@@ -1,0 +1,78 @@
+//! The [`DataPlane`] trait: the contract between a switch program and
+//! whatever carries its packets (the discrete-event simulator or the
+//! real-socket soft switch).
+//!
+//! A program receives one parsed packet plus its ingress port and returns
+//! the packets to emit, each with an egress port and the processing latency
+//! it accrued inside the switch (pipeline passes + any recirculations —
+//! replication and recirculation are internal to the program, so callers
+//! only ever see final emissions).
+
+use netclone_proto::PacketMeta;
+
+/// A switch port number.
+pub type PortId = u16;
+
+/// One packet leaving the switch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Emission {
+    /// The (possibly rewritten) packet.
+    pub pkt: PacketMeta,
+    /// Egress port.
+    pub port: PortId,
+    /// Total in-switch latency accrued by this packet, ns.
+    pub latency_ns: u64,
+}
+
+/// A switch data-plane program.
+pub trait DataPlane {
+    /// Short program name (diagnostics and reports).
+    fn name(&self) -> &'static str;
+
+    /// Processes one ingress packet and returns everything that egresses.
+    ///
+    /// An empty vector means the packet was dropped (e.g. a filtered
+    /// redundant response, or no route).
+    fn process(&mut self, pkt: PacketMeta, ingress: PortId, now_ns: u64) -> Vec<Emission>;
+
+    /// Clears all *soft* state (server states, sequence numbers, filter
+    /// fingerprints) as a power cycle would (§3.6 "Switch failures").
+    /// Match-action table entries survive: the control plane reinstalls
+    /// them on recovery.
+    fn reset_soft_state(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netclone_proto::{Ipv4, NetCloneHdr};
+
+    /// A trivial program for trait-object sanity: forwards everything to
+    /// port 0 with fixed latency.
+    struct Null;
+
+    impl DataPlane for Null {
+        fn name(&self) -> &'static str {
+            "null"
+        }
+        fn process(&mut self, pkt: PacketMeta, _ingress: PortId, _now_ns: u64) -> Vec<Emission> {
+            vec![Emission {
+                pkt,
+                port: 0,
+                latency_ns: 100,
+            }]
+        }
+    }
+
+    #[test]
+    fn trait_objects_work() {
+        let mut dp: Box<dyn DataPlane> = Box::new(Null);
+        let pkt = PacketMeta::netclone_request(Ipv4::client(0), NetCloneHdr::request(0, 0, 0, 0), 64);
+        let out = dp.process(pkt, 5, 0);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].port, 0);
+        assert_eq!(out[0].latency_ns, 100);
+        assert_eq!(dp.name(), "null");
+        dp.reset_soft_state(); // default no-op must be callable
+    }
+}

@@ -1,0 +1,148 @@
+//! Hash units: CRC-based hash computation, the primitive behind the filter
+//! tables' slot index (Algorithm 1 line 18: `Hidx ← Hash(pkt.req_id)`).
+//!
+//! Tofino's hash distribution units compute CRCs over selected header
+//! fields; we implement CRC-32 (IEEE polynomial, reflected) with a small
+//! table, and expose it both as a free function and as a stage-bound
+//! [`HashUnit`] resource.
+
+use crate::error::AsicError;
+use crate::pass::PacketPass;
+use crate::resources::{Allocation, Layout, ResourceId, ResourceKind};
+
+/// Reflected CRC-32 (IEEE 802.3, polynomial 0xEDB88320) lookup table.
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            k += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = build_table();
+
+/// Computes CRC-32 (IEEE) over `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// A stage-bound hash computation unit producing `out_bits`-wide indices.
+pub struct HashUnit {
+    name: String,
+    id: ResourceId,
+    stage: u8,
+    mask: u32,
+}
+
+impl HashUnit {
+    /// Allocates a hash unit in `stage` producing values in
+    /// `0 .. 2^out_bits`.
+    pub fn alloc(
+        layout: &mut Layout,
+        name: &str,
+        stage: u8,
+        in_bytes: u32,
+        out_bits: u32,
+    ) -> Result<Self, AsicError> {
+        assert!((1..=32).contains(&out_bits), "out_bits must be 1..=32");
+        let id = layout.allocate(Allocation {
+            name: name.to_string(),
+            stage,
+            kind: ResourceKind::HashUnit,
+            sram_bytes: 0,
+            hash_bits: (in_bytes * 8 + out_bits) as u64,
+            alus: 0,
+            crossbar_bytes: in_bytes,
+        })?;
+        Ok(HashUnit {
+            name: name.to_string(),
+            id,
+            stage,
+            mask: if out_bits == 32 {
+                u32::MAX
+            } else {
+                (1u32 << out_bits) - 1
+            },
+        })
+    }
+
+    /// The unit's name (diagnostics).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Computes the masked CRC of `data` (one access per pass).
+    pub fn hash(&self, pass: &mut PacketPass, data: &[u8]) -> Result<u32, AsicError> {
+        pass.access(self.id, self.stage)?;
+        Ok(crc32(data) & self.mask)
+    }
+
+    /// The output mask (`2^out_bits - 1`).
+    pub fn mask(&self) -> u32 {
+        self.mask
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::AsicSpec;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn crc32_is_sensitive_to_every_byte() {
+        let a = crc32(&[1, 2, 3, 4]);
+        let b = crc32(&[1, 2, 3, 5]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn unit_masks_to_out_bits() {
+        let mut layout = Layout::new(AsicSpec::tofino());
+        let h = HashUnit::alloc(&mut layout, "h", 4, 4, 17).unwrap();
+        assert_eq!(h.mask(), (1 << 17) - 1);
+        for req_id in 0u32..64 {
+            let v = h.hash(&mut PacketPass::new(), &req_id.to_be_bytes()).unwrap();
+            assert!(v < (1 << 17));
+        }
+    }
+
+    #[test]
+    fn unit_is_single_access() {
+        let mut layout = Layout::new(AsicSpec::tofino());
+        let h = HashUnit::alloc(&mut layout, "h", 4, 4, 16).unwrap();
+        let mut pass = PacketPass::new();
+        h.hash(&mut pass, &[0]).unwrap();
+        assert!(h.hash(&mut pass, &[0]).is_err());
+    }
+
+    #[test]
+    fn full_width_unit_is_plain_crc() {
+        let mut layout = Layout::new(AsicSpec::tofino());
+        let h = HashUnit::alloc(&mut layout, "h", 0, 9, 32).unwrap();
+        let mut pass = PacketPass::new();
+        assert_eq!(h.hash(&mut pass, b"123456789").unwrap(), 0xCBF4_3926);
+    }
+}

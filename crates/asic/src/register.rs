@@ -1,0 +1,213 @@
+//! Stateful register arrays.
+//!
+//! On a PISA ASIC a register array lives in one stage's SRAM and is served
+//! by a stateful ALU that performs at most one read-modify-write per
+//! packet. [`RegisterArray::read_modify_write`] models exactly that: a
+//! single access that may both observe and update a cell — which is how
+//! NetClone's filter tables test-and-clear a fingerprint in one touch
+//! (Algorithm 1 lines 19–23).
+
+use crate::error::AsicError;
+use crate::pass::PacketPass;
+use crate::resources::{Allocation, Layout, ResourceId, ResourceKind};
+
+/// A register array bound to one pipeline stage.
+pub struct RegisterArray<T> {
+    name: String,
+    id: ResourceId,
+    stage: u8,
+    cells: Vec<T>,
+}
+
+impl<T: Copy + Default> RegisterArray<T> {
+    /// Allocates an array of `size` cells of `width_bytes` each in `stage`.
+    ///
+    /// `width_bytes` is the accounting width (Tofino registers are 8/16/32
+    /// bits wide; pass the real width even if `T` is a wider Rust type).
+    pub fn alloc(
+        layout: &mut Layout,
+        name: &str,
+        stage: u8,
+        size: usize,
+        width_bytes: u32,
+    ) -> Result<Self, AsicError> {
+        let index_bits = (usize::BITS - size.saturating_sub(1).leading_zeros()).max(1) as u64;
+        let id = layout.allocate(Allocation {
+            name: name.to_string(),
+            stage,
+            kind: ResourceKind::Register,
+            sram_bytes: size as u64 * width_bytes as u64,
+            // Address distribution for the index, in and out of the hash
+            // distribution network.
+            hash_bits: 2 * index_bits,
+            alus: 1,           // one stateful ALU serves the array
+            crossbar_bytes: 2, // 16-bit index through the match crossbar
+        })?;
+        Ok(RegisterArray {
+            name: name.to_string(),
+            id,
+            stage,
+            cells: vec![T::default(); size],
+        })
+    }
+
+    /// The array's name (diagnostics).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The stage this array is bound to.
+    pub fn stage(&self) -> u8 {
+        self.stage
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when the array has zero cells (never, in practice).
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    fn check_idx(&self, index: usize) -> Result<(), AsicError> {
+        if index >= self.cells.len() {
+            Err(AsicError::IndexOutOfBounds {
+                index,
+                size: self.cells.len(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Reads one cell (counts as this pass's single access to the array).
+    pub fn read(&self, pass: &mut PacketPass, index: usize) -> Result<T, AsicError> {
+        self.check_idx(index)?;
+        pass.access(self.id, self.stage)?;
+        Ok(self.cells[index])
+    }
+
+    /// Writes one cell (counts as this pass's single access to the array).
+    pub fn write(&mut self, pass: &mut PacketPass, index: usize, value: T) -> Result<(), AsicError> {
+        self.check_idx(index)?;
+        pass.access(self.id, self.stage)?;
+        self.cells[index] = value;
+        Ok(())
+    }
+
+    /// Atomic read-modify-write: observes the old value, stores `f(old)`,
+    /// and returns the old value — one stateful-ALU operation, one access.
+    pub fn read_modify_write(
+        &mut self,
+        pass: &mut PacketPass,
+        index: usize,
+        f: impl FnOnce(T) -> T,
+    ) -> Result<T, AsicError> {
+        self.check_idx(index)?;
+        pass.access(self.id, self.stage)?;
+        let old = self.cells[index];
+        self.cells[index] = f(old);
+        Ok(old)
+    }
+
+    /// Control-plane / failure-recovery reset: zeroes every cell without a
+    /// packet pass (§3.6: soft state is lost on switch failure).
+    pub fn reset(&mut self) {
+        self.cells.fill(T::default());
+    }
+
+    /// Control-plane peek (no pass constraints — the control plane reads
+    /// registers out of band).
+    pub fn peek(&self, index: usize) -> Option<T> {
+        self.cells.get(index).copied()
+    }
+
+    /// Control-plane poke (e.g. priming state in tests).
+    pub fn poke(&mut self, index: usize, value: T) {
+        if let Some(c) = self.cells.get_mut(index) {
+            *c = value;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::AsicSpec;
+
+    fn mk() -> (Layout, RegisterArray<u32>) {
+        let mut layout = Layout::new(AsicSpec::tofino());
+        let reg = RegisterArray::<u32>::alloc(&mut layout, "r", 2, 8, 4).unwrap();
+        (layout, reg)
+    }
+
+    #[test]
+    fn read_write_round_trip() {
+        let (_l, mut reg) = mk();
+        let mut pass = PacketPass::new();
+        reg.write(&mut pass, 3, 77).unwrap();
+        let mut pass2 = PacketPass::new();
+        assert_eq!(reg.read(&mut pass2, 3).unwrap(), 77);
+    }
+
+    #[test]
+    fn two_accesses_in_one_pass_fail() {
+        let (_l, mut reg) = mk();
+        let mut pass = PacketPass::new();
+        reg.write(&mut pass, 0, 1).unwrap();
+        assert_eq!(
+            reg.read(&mut pass, 0),
+            Err(AsicError::DoubleAccess { stage: 2 })
+        );
+    }
+
+    #[test]
+    fn rmw_returns_old_and_stores_new() {
+        let (_l, mut reg) = mk();
+        let mut pass = PacketPass::new();
+        reg.poke(5, 10);
+        let old = reg.read_modify_write(&mut pass, 5, |v| v + 1).unwrap();
+        assert_eq!(old, 10);
+        assert_eq!(reg.peek(5), Some(11));
+    }
+
+    #[test]
+    fn rmw_counts_as_one_access() {
+        let (_l, mut reg) = mk();
+        let mut pass = PacketPass::new();
+        reg.read_modify_write(&mut pass, 0, |v| v).unwrap();
+        assert!(reg.read(&mut pass, 1).is_err(), "second touch must fail");
+    }
+
+    #[test]
+    fn out_of_bounds_is_reported_without_consuming_the_access() {
+        let (_l, mut reg) = mk();
+        let mut pass = PacketPass::new();
+        assert_eq!(
+            reg.read(&mut pass, 99),
+            Err(AsicError::IndexOutOfBounds { index: 99, size: 8 })
+        );
+        // The failed access did not burn the pass's single touch.
+        assert!(reg.write(&mut pass, 0, 1).is_ok());
+    }
+
+    #[test]
+    fn reset_zeroes_all_cells() {
+        let (_l, mut reg) = mk();
+        reg.poke(0, 42);
+        reg.poke(7, 43);
+        reg.reset();
+        assert_eq!(reg.peek(0), Some(0));
+        assert_eq!(reg.peek(7), Some(0));
+    }
+
+    #[test]
+    fn allocation_is_budget_checked() {
+        let mut layout = Layout::new(AsicSpec::tofino());
+        // One giant array over the per-stage budget must fail.
+        let huge = (AsicSpec::tofino().sram_per_stage_bytes / 4 + 1) as usize;
+        assert!(RegisterArray::<u32>::alloc(&mut layout, "huge", 0, huge, 4).is_err());
+    }
+}

@@ -1,0 +1,18 @@
+//! Regenerates the design-choice ablations (DESIGN.md): filter-table
+//! count and group-table ordering.
+//! Run: `cargo bench -p netclone-bench --bench ablations`
+
+use netclone_cluster::experiments::{ablations, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("{}", ablations::render(scale));
+    ablations::filter_tables(scale)
+        .to_table()
+        .write_csv("results/ablation_filter_tables.csv")
+        .expect("write csv");
+    ablations::group_ordering(scale)
+        .to_table()
+        .write_csv("results/ablation_group_ordering.csv")
+        .expect("write csv");
+}

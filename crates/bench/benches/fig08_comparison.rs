@@ -1,0 +1,10 @@
+//! Regenerates Figure 8: C-Clone vs LÆDGE vs NetClone on 5 workers.
+//! Run: `cargo bench -p netclone-bench --bench fig08_comparison`
+
+use netclone_cluster::experiments::{fig08, Scale};
+
+fn main() {
+    let fig = fig08::run(Scale::from_env());
+    println!("{}", fig.render());
+    fig.write_csv("results").expect("write csv");
+}

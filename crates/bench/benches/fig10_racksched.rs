@@ -1,0 +1,11 @@
+//! Regenerates Figure 10: NetClone ± RackSched under homogeneous and
+//! heterogeneous workers.
+//! Run: `cargo bench -p netclone-bench --bench fig10_racksched`
+
+use netclone_cluster::experiments::{fig10, Scale};
+
+fn main() {
+    let fig = fig10::run(Scale::from_env());
+    println!("{}", fig.render());
+    fig.write_csv("results").expect("write csv");
+}

@@ -1,0 +1,10 @@
+//! Regenerates Figure 11: the Redis GET/SCAN workload.
+//! Run: `cargo bench -p netclone-bench --bench fig11_redis`
+
+use netclone_cluster::experiments::{fig11, Scale};
+
+fn main() {
+    let fig = fig11::run(Scale::from_env());
+    println!("{}", fig.render());
+    fig.write_csv("results").expect("write csv");
+}

@@ -1,0 +1,10 @@
+//! Regenerates Figure 12: the Memcached GET/SCAN workload.
+//! Run: `cargo bench -p netclone-bench --bench fig12_memcached`
+
+use netclone_cluster::experiments::{fig12, Scale};
+
+fn main() {
+    let fig = fig12::run(Scale::from_env());
+    println!("{}", fig.render());
+    fig.write_csv("results").expect("write csv");
+}

@@ -1,0 +1,10 @@
+//! Regenerates Figure 14: the low-variability (p = 0.001) synthetic runs.
+//! Run: `cargo bench -p netclone-bench --bench fig14_low_variability`
+
+use netclone_cluster::experiments::{fig14, Scale};
+
+fn main() {
+    let fig = fig14::run(Scale::from_env());
+    println!("{}", fig.render());
+    fig.write_csv("results").expect("write csv");
+}

@@ -1,0 +1,10 @@
+//! Regenerates Figure 15: the impact of redundant-response filtering.
+//! Run: `cargo bench -p netclone-bench --bench fig15_filtering`
+
+use netclone_cluster::experiments::{fig15, Scale};
+
+fn main() {
+    let fig = fig15::run(Scale::from_env());
+    println!("{}", fig.render());
+    fig.write_csv("results").expect("write csv");
+}

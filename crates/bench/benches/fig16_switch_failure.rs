@@ -1,0 +1,10 @@
+//! Regenerates Figure 16: throughput timeline across a switch failure.
+//! Run: `cargo bench -p netclone-bench --bench fig16_switch_failure`
+
+use netclone_cluster::experiments::{fig16, Scale};
+
+fn main() {
+    let f = fig16::run(Scale::from_env());
+    println!("{}", f.render());
+    f.write_csv("results").expect("write csv");
+}

@@ -1,0 +1,91 @@
+//! Criterion micro-benchmarks of the data-plane primitives: per-packet
+//! processing cost of the NetClone program (request, clone, response,
+//! filtered response), the CRC hash, and the wire codec.
+//!
+//! These measure the *model's* software cost, not ASIC latency — but they
+//! bound the simulator's event cost and catch regressions in the hot path.
+//! Run: `cargo bench -p netclone-bench --bench micro_dataplane`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use netclone_asic::{crc32, DataPlane};
+use netclone_core::{NetCloneConfig, NetCloneSwitch};
+use netclone_proto::{wire, Ipv4, NetCloneHdr, PacketMeta, RpcOp, ServerState};
+
+fn build_switch(busy: bool) -> NetCloneSwitch {
+    let mut sw = NetCloneSwitch::new(NetCloneConfig::default());
+    for sid in 0..6u16 {
+        sw.add_server(sid, Ipv4::server(sid), 10 + sid).unwrap();
+    }
+    sw.add_client(Ipv4::client(0), 100).unwrap();
+    if busy {
+        // Mark everything busy so requests take the non-cloning path.
+        let probe = sw.process(
+            PacketMeta::netclone_request(Ipv4::client(0), NetCloneHdr::request(0, 0, 0, 0), 84),
+            100,
+            0,
+        );
+        for sid in 0..6u16 {
+            let nc = NetCloneHdr::response_to(&probe[0].pkt.nc, sid, ServerState(5));
+            let resp =
+                PacketMeta::netclone_response(Ipv4::server(sid), Ipv4::client(0), nc, 84);
+            sw.process(resp, 10, 0);
+        }
+    }
+    sw
+}
+
+fn bench_program(c: &mut Criterion) {
+    let mut g = c.benchmark_group("netclone_program");
+
+    let mut sw = build_switch(true);
+    let req = PacketMeta::netclone_request(Ipv4::client(0), NetCloneHdr::request(0, 0, 0, 0), 84);
+    g.bench_function("request_no_clone", |b| {
+        b.iter(|| black_box(sw.process(black_box(req), 100, 0)))
+    });
+
+    let mut sw = build_switch(false);
+    g.bench_function("request_with_clone", |b| {
+        b.iter(|| black_box(sw.process(black_box(req), 100, 0)))
+    });
+
+    let mut sw = build_switch(false);
+    let out = sw.process(req, 100, 0);
+    let nc = NetCloneHdr::response_to(&out[0].pkt.nc, 0, ServerState(0));
+    let resp = PacketMeta::netclone_response(Ipv4::server(0), Ipv4::client(0), nc, 84);
+    g.bench_function("response_with_filter", |b| {
+        b.iter(|| black_box(sw.process(black_box(resp), 10, 0)))
+    });
+    g.finish();
+}
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("primitives");
+    g.bench_function("crc32_req_id", |b| {
+        let mut id = 0u32;
+        b.iter(|| {
+            id = id.wrapping_add(1);
+            black_box(crc32(&id.to_be_bytes()))
+        })
+    });
+    let hdr = NetCloneHdr::request(17, 1, 3, 12345);
+    g.bench_function("wire_encode_header", |b| {
+        b.iter(|| {
+            let mut buf = bytes::BytesMut::with_capacity(wire::HEADER_LEN);
+            wire::encode_header(black_box(&hdr), &mut buf);
+            black_box(buf)
+        })
+    });
+    let frame = wire::encode_frame(&hdr, &RpcOp::Echo { class_ns: 25_000 });
+    g.bench_function("wire_decode_frame", |b| {
+        b.iter(|| {
+            let mut bytes = frame.clone();
+            black_box(wire::decode_frame(&mut bytes).unwrap())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_program, bench_primitives);
+criterion_main!(benches);

@@ -1,0 +1,11 @@
+//! Regenerates Table 1: the qualitative comparison of cloning systems.
+//! Run: `cargo bench -p netclone-bench --bench tab01_comparison`
+
+use netclone_cluster::experiments::table1;
+
+fn main() {
+    println!("{}", table1::render());
+    table1::to_table()
+        .write_csv("results/tab01.csv")
+        .expect("write csv");
+}

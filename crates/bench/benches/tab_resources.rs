@@ -1,0 +1,12 @@
+//! Regenerates the §4.1 resource-usage report (stages, SRAM, crossbar,
+//! hash, ALUs, filter memory, supported throughput).
+//! Run: `cargo bench -p netclone-bench --bench tab_resources`
+
+use netclone_cluster::experiments::resources;
+
+fn main() {
+    println!("{}", resources::render());
+    resources::to_table()
+        .write_csv("results/tab_resources.csv")
+        .expect("write csv");
+}

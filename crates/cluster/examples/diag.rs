@@ -1,0 +1,27 @@
+//! Developer diagnostic: clone/filter/redundancy rates across loads.
+use netclone_cluster::{Scenario, Scheme, Sim};
+use netclone_workloads::exp25;
+
+fn main() {
+    for scheme in [Scheme::NETCLONE, Scheme::NETCLONE_NOFILTER] {
+        println!("== {}", scheme.label());
+        for pct in [10, 30, 50, 70, 80, 90, 95] {
+            let mut s = Scenario::synthetic_default(scheme, exp25(), 1.0);
+            s.warmup_ns = 10_000_000;
+            s.measure_ns = 80_000_000;
+            s.offered_rps = s.capacity_rps() * pct as f64 / 100.0;
+            let r = Sim::run(s);
+            println!(
+                "load {pct:>3}%: p99 {:>7.1}us clone_rate {:.3} empty_frac {:.3} \
+                 filtered/resp {:.3} redundant_rx/completed {:.4} clone_drops/req {:.3} achieved {:.2}",
+                r.p99_us(),
+                r.switch.clone_rate(),
+                r.empty_queue_fraction(),
+                r.switch.filter_rate(),
+                r.client_redundant as f64 / r.completed.max(1) as f64,
+                r.server_clone_drops as f64 / r.switch.requests.max(1) as f64,
+                r.achieved_mrps(),
+            );
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! One module per paper artifact: every figure and table of the
+//! evaluation, plus the §4.1 resource report and this reproduction's
+//! ablations. Each returns structured results that render to markdown
+//! (`to_table`) and CSV.
+
+pub mod panel;
+pub mod scale;
+
+pub mod ablations;
+pub mod fig07;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod resources;
+pub mod table1;
+
+pub use scale::Scale;

@@ -1,0 +1,54 @@
+//! Figure 8: "Comparison with the existing solutions."
+//!
+//! C-Clone vs LÆDGE vs NetClone on **five** worker servers (one host is
+//! dedicated to the LÆDGE coordinator, §5.3.1), for Exp(25) and
+//! Bimodal(90%-25,10%-250).
+//!
+//! Expected shape: "NetClone provides high throughput, while LÆDGE and
+//! C-Clone exhibit low throughput … LÆDGE performs even worse than
+//! C-Clone since it relies on a CPU-based coordinator."
+
+use netclone_workloads::{bimodal_25_250, exp25};
+
+use crate::calib;
+use crate::experiments::panel::{Figure, Panel, Series};
+use crate::experiments::scale::Scale;
+use crate::scenario::{Scenario, ServerSpec};
+use crate::scheme::Scheme;
+use crate::sweep::{capacity_fractions, sweep};
+
+/// Runs the figure at the given scale.
+pub fn run(scale: Scale) -> Figure {
+    let schemes = [Scheme::CClone, Scheme::Laedge, Scheme::NETCLONE];
+    let mut panels = Vec::new();
+    for wl in [exp25(), bimodal_25_250()] {
+        let mut template = Scenario::synthetic_default(Scheme::CClone, wl, 1.0);
+        template.servers = vec![
+            ServerSpec {
+                workers: calib::SYNTHETIC_WORKERS
+            };
+            5
+        ];
+        template.warmup_ns = scale.warmup_ns();
+        template.measure_ns = scale.measure_ns();
+        let rates = capacity_fractions(&template, 0.05, 0.9, scale.sweep_points());
+        let mut series = Vec::new();
+        for scheme in schemes {
+            let mut t = template.clone();
+            t.scheme = scheme;
+            series.push(Series {
+                scheme: scheme.label(),
+                points: sweep(&t, &rates),
+            });
+        }
+        panels.push(Panel {
+            name: wl.label(),
+            series,
+        });
+    }
+    Figure {
+        id: "fig08",
+        title: "Scalability comparison: C-Clone / LAEDGE / NetClone (5 workers, one host as coordinator)",
+        panels,
+    }
+}

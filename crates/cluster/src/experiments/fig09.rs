@@ -1,0 +1,60 @@
+//! Figure 9: "Impact of the number of servers."
+//!
+//! Baseline vs NetClone at 2, 4, and 6 worker servers under Exp(25).
+//!
+//! Expected shape (§5.3.2): NetClone keeps lower tail latency at every
+//! scale; with 2 or 4 servers it may do *worse* than the baseline at very
+//! high loads (clone-drop processing cost + herding on a small idle pool),
+//! and the effect fades at 6 servers.
+
+use netclone_workloads::exp25;
+
+use crate::calib;
+use crate::experiments::panel::{Figure, Panel, Series};
+use crate::experiments::scale::Scale;
+use crate::scenario::{Scenario, ServerSpec};
+use crate::scheme::Scheme;
+use crate::sweep::{capacity_fractions, sweep};
+
+/// Runs the figure at the given scale.
+pub fn run(scale: Scale) -> Figure {
+    let mut panels = Vec::new();
+    for n_servers in [2usize, 4, 6] {
+        let mut template = Scenario::synthetic_default(Scheme::Baseline, exp25(), 1.0);
+        template.servers = vec![
+            ServerSpec {
+                workers: calib::SYNTHETIC_WORKERS
+            };
+            n_servers
+        ];
+        template.warmup_ns = scale.warmup_ns();
+        template.measure_ns = scale.measure_ns();
+        // "very high loads" included: run past the knee.
+        let rates = capacity_fractions(&template, 0.1, 1.0, scale.sweep_points());
+        let mut series = Vec::new();
+        for scheme in [Scheme::Baseline, Scheme::NETCLONE] {
+            let mut t = template.clone();
+            t.scheme = scheme;
+            series.push(Series {
+                scheme: match (scheme, n_servers) {
+                    (Scheme::Baseline, 2) => "Baseline(2)",
+                    (Scheme::Baseline, 4) => "Baseline(4)",
+                    (Scheme::Baseline, _) => "Baseline(6)",
+                    (_, 2) => "NetClone(2)",
+                    (_, 4) => "NetClone(4)",
+                    (_, _) => "NetClone(6)",
+                },
+                points: sweep(&t, &rates),
+            });
+        }
+        panels.push(Panel {
+            name: format!("{n_servers} servers"),
+            series,
+        });
+    }
+    Figure {
+        id: "fig09",
+        title: "Impact of the number of servers (Exp(25); 2/4/6 workers)",
+        panels,
+    }
+}

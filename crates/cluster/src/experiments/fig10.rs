@@ -1,0 +1,70 @@
+//! Figure 10: "Performance with RackSched under homogeneous and
+//! heterogeneous workloads."
+//!
+//! Baseline vs NetClone vs NetClone w/ RackSched, for Exp(25) and
+//! Bimodal(90%-25,10%-250), with homogeneous servers (6 × 15 worker
+//! threads) and heterogeneous ones (3 × 15 + 3 × 8 threads, §5.4).
+//!
+//! Expected shape: "NetClone with RackSched achieves the best
+//! performance … performs better with heterogeneous workloads"; in
+//! homogeneous settings it can trail plain NetClone at very high loads
+//! (more tracked-vs-actual state mismatches).
+
+use netclone_workloads::{bimodal_25_250, exp25};
+
+use crate::calib;
+use crate::experiments::panel::{Figure, Panel, Series};
+use crate::experiments::scale::Scale;
+use crate::scenario::{Scenario, ServerSpec};
+use crate::scheme::Scheme;
+use crate::sweep::{capacity_fractions, sweep};
+
+fn hetero_servers() -> Vec<ServerSpec> {
+    let mut v = vec![
+        ServerSpec {
+            workers: calib::SYNTHETIC_WORKERS
+        };
+        3
+    ];
+    v.extend(vec![ServerSpec { workers: calib::KV_WORKERS }; 3]);
+    v
+}
+
+/// Runs the figure at the given scale.
+pub fn run(scale: Scale) -> Figure {
+    let schemes = [Scheme::Baseline, Scheme::NETCLONE, Scheme::NETCLONE_RS];
+    let mut panels = Vec::new();
+    for wl in [exp25(), bimodal_25_250()] {
+        for hetero in [false, true] {
+            let mut template = Scenario::synthetic_default(Scheme::Baseline, wl, 1.0);
+            if hetero {
+                template.servers = hetero_servers();
+            }
+            template.warmup_ns = scale.warmup_ns();
+            template.measure_ns = scale.measure_ns();
+            let rates = capacity_fractions(&template, 0.1, 0.95, scale.sweep_points());
+            let mut series = Vec::new();
+            for scheme in schemes {
+                let mut t = template.clone();
+                t.scheme = scheme;
+                series.push(Series {
+                    scheme: scheme.label(),
+                    points: sweep(&t, &rates),
+                });
+            }
+            panels.push(Panel {
+                name: format!(
+                    "{}-{}",
+                    if wl.label().starts_with("Exp") { "Exp" } else { "Bimodal" },
+                    if hetero { "Heterogeneous" } else { "Homogeneous" }
+                ),
+                series,
+            });
+        }
+    }
+    Figure {
+        id: "fig10",
+        title: "NetClone + RackSched under homogeneous/heterogeneous workers",
+        panels,
+    }
+}

@@ -1,0 +1,64 @@
+//! Figure 11: "Experimental results for Redis."
+//!
+//! Baseline vs C-Clone vs NetClone over the Redis-style store: 1 M objects
+//! (16 B keys / 64 B values), Zipf-0.99 reads, 8 worker threads, GET/SCAN
+//! mixes of 99 %/1 % and 90 %/10 % (§5.5).
+//!
+//! Expected shape: the tail-latency gap is biggest at low loads (up to
+//! 22.59× for 99/1) and shrinks with load; C-Clone matches NetClone's
+//! latency but at half the throughput.
+
+use crate::experiments::panel::{Figure, Panel, Series};
+use crate::experiments::scale::Scale;
+use crate::scenario::{Scenario, Workload};
+use crate::scheme::Scheme;
+use crate::sweep::{capacity_fractions, sweep};
+
+/// Runs the figure at the given scale; `memcached` switches the cost
+/// model (shared implementation with Fig. 12).
+pub fn run_kv(scale: Scale, memcached: bool) -> Figure {
+    let schemes = [Scheme::Baseline, Scheme::CClone, Scheme::NETCLONE];
+    let mut panels = Vec::new();
+    for get_frac in [0.99, 0.90] {
+        let workload = if memcached {
+            Workload::memcached(get_frac)
+        } else {
+            Workload::redis(get_frac)
+        };
+        let mut template = Scenario::kv_default(Scheme::Baseline, workload, 1.0);
+        template.warmup_ns = scale.warmup_ns();
+        template.measure_ns = scale.measure_ns().saturating_mul(2); // rarer SCANs need samples
+        let rates = capacity_fractions(&template, 0.08, 0.92, scale.sweep_points());
+        let mut series = Vec::new();
+        for scheme in schemes {
+            let mut t = template.clone();
+            t.scheme = scheme;
+            series.push(Series {
+                scheme: scheme.label(),
+                points: sweep(&t, &rates),
+            });
+        }
+        panels.push(Panel {
+            name: format!(
+                "{}%-GET,{}%-SCAN",
+                (get_frac * 100.0).round() as u32,
+                ((1.0 - get_frac) * 100.0).round() as u32
+            ),
+            series,
+        });
+    }
+    Figure {
+        id: if memcached { "fig12" } else { "fig11" },
+        title: if memcached {
+            "Memcached workload: p99 vs throughput (GET/SCAN mixes)"
+        } else {
+            "Redis workload: p99 vs throughput (GET/SCAN mixes)"
+        },
+        panels,
+    }
+}
+
+/// Runs Figure 11 (Redis).
+pub fn run(scale: Scale) -> Figure {
+    run_kv(scale, false)
+}

@@ -1,0 +1,15 @@
+//! Figure 12: "Experimental results for Memcached."
+//!
+//! Identical protocol to Fig. 11 with the Memcached cost model (§5.5):
+//! slightly cheaper per-op costs, same GET/SCAN mixes. Expected shape
+//! matches Fig. 11 ("similar trends"); the paper reports a largest
+//! improvement of 22.0× and a smallest of 1.06× for 99/1.
+
+use crate::experiments::fig11;
+use crate::experiments::panel::Figure;
+use crate::experiments::scale::Scale;
+
+/// Runs the figure at the given scale.
+pub fn run(scale: Scale) -> Figure {
+    fig11::run_kv(scale, true)
+}

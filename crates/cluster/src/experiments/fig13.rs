@@ -1,0 +1,118 @@
+//! Figure 13: "Confidence of the empty queue for state signaling."
+//!
+//! (a) The fraction of responses reporting an empty queue as offered load
+//! sweeps 10–100 % — it declines with load but never reaches zero, which
+//! is both why NetClone trails C-Clone at low load and why cloning still
+//! happens at high load (§5.6.1).
+//!
+//! (b) Ten repeated runs at 90 % load: mean ± σ of the p99 for Baseline vs
+//! NetClone — NetClone can occasionally lose a run but wins on average.
+
+use std::path::Path;
+
+use netclone_stats::{Summary, Table};
+use netclone_workloads::exp25;
+
+use crate::experiments::scale::Scale;
+use crate::scenario::Scenario;
+use crate::scheme::Scheme;
+use crate::sim::Sim;
+
+/// Results of both subfigures.
+pub struct Fig13 {
+    /// (offered %, empty-queue fraction %) — subfigure (a).
+    pub empty_queue: Vec<(f64, f64)>,
+    /// p99 summary over repeats at 90 % load — subfigure (b).
+    pub baseline_p99_us: Summary,
+    /// NetClone's p99 summary at 90 % load.
+    pub netclone_p99_us: Summary,
+}
+
+impl Fig13 {
+    /// Renders subfigure (a) as a table.
+    pub fn table_a(&self) -> Table {
+        let mut t = Table::new(["offered load (%)", "portion of empty queues (%)"]);
+        for &(load, frac) in &self.empty_queue {
+            t.row([format!("{load:.0}"), format!("{frac:.1}")]);
+        }
+        t
+    }
+
+    /// Renders subfigure (b) as a table.
+    pub fn table_b(&self) -> Table {
+        let mut t = Table::new(["scheme", "mean p99 (us)", "std dev (us)", "runs"]);
+        for (name, s) in [
+            ("Baseline", &self.baseline_p99_us),
+            ("NetClone", &self.netclone_p99_us),
+        ] {
+            t.row([
+                name.to_string(),
+                format!("{:.1}", s.mean()),
+                format!("{:.1}", s.std_dev()),
+                s.count().to_string(),
+            ]);
+        }
+        t
+    }
+
+    /// Writes both CSVs.
+    pub fn write_csv<P: AsRef<Path>>(&self, dir: P) -> std::io::Result<()> {
+        self.table_a().write_csv(dir.as_ref().join("fig13a.csv"))?;
+        self.table_b().write_csv(dir.as_ref().join("fig13b.csv"))
+    }
+
+    /// Renders both tables.
+    pub fn render(&self) -> String {
+        format!(
+            "## fig13 — Confidence of the empty-queue signal\n\n### (a) empty queues vs load\n\n{}\n### (b) p99 at 90% load, {} runs\n\n{}",
+            self.table_a().to_markdown(),
+            self.baseline_p99_us.count(),
+            self.table_b().to_markdown()
+        )
+    }
+}
+
+/// Runs the experiment at the given scale.
+pub fn run(scale: Scale) -> Fig13 {
+    let mut template = Scenario::synthetic_default(Scheme::NETCLONE, exp25(), 1.0);
+    template.warmup_ns = scale.warmup_ns();
+    template.measure_ns = scale.measure_ns();
+    let cap = template.capacity_rps();
+
+    // (a): empty-queue fraction vs load, 10%..100%.
+    let loads: Vec<f64> = match scale {
+        Scale::Smoke => vec![10.0, 50.0, 90.0],
+        _ => (1..=10).map(|i| i as f64 * 10.0).collect(),
+    };
+    let empty_queue = loads
+        .iter()
+        .map(|&pct| {
+            let mut s = template.clone();
+            s.offered_rps = cap * pct / 100.0;
+            let run = Sim::run(s);
+            (pct, run.empty_queue_fraction() * 100.0)
+        })
+        .collect();
+
+    // (b): repeated runs at 90% load with different seeds.
+    let mut baseline = Summary::new();
+    let mut netclone = Summary::new();
+    for rep in 0..scale.repeats() {
+        for (scheme, acc) in [
+            (Scheme::Baseline, &mut baseline),
+            (Scheme::NETCLONE, &mut netclone),
+        ] {
+            let mut s = template.clone();
+            s.scheme = scheme;
+            s.offered_rps = cap * 0.9;
+            s.seed = 1000 + rep as u64;
+            let run = Sim::run(s);
+            acc.add(run.p99_us());
+        }
+    }
+    Fig13 {
+        empty_queue,
+        baseline_p99_us: baseline,
+        netclone_p99_us: netclone,
+    }
+}

@@ -1,0 +1,46 @@
+//! Figure 14: "Experimental results with a low service-time variability
+//! (p = 0.001)."
+//!
+//! Same protocol as Fig. 7(a)/(b) but with the low-variability jitter.
+//! Expected shape: "NetClone can decrease tail latency even if the
+//! service-time variability is low … performance improvement slightly
+//! decreases."
+
+use netclone_workloads::{bimodal_25_250, exp25, Jitter};
+
+use crate::experiments::panel::{Figure, Panel, Series};
+use crate::experiments::scale::Scale;
+use crate::scenario::Scenario;
+use crate::scheme::Scheme;
+use crate::sweep::{capacity_fractions, sweep};
+
+/// Runs the figure at the given scale.
+pub fn run(scale: Scale) -> Figure {
+    let schemes = [Scheme::Baseline, Scheme::CClone, Scheme::NETCLONE];
+    let mut panels = Vec::new();
+    for wl in [exp25(), bimodal_25_250()] {
+        let mut template = Scenario::synthetic_default(Scheme::Baseline, wl, 1.0);
+        template.jitter = Jitter::LOW;
+        template.warmup_ns = scale.warmup_ns();
+        template.measure_ns = scale.measure_ns();
+        let rates = capacity_fractions(&template, 0.08, 0.95, scale.sweep_points());
+        let mut series = Vec::new();
+        for scheme in schemes {
+            let mut t = template.clone();
+            t.scheme = scheme;
+            series.push(Series {
+                scheme: scheme.label(),
+                points: sweep(&t, &rates),
+            });
+        }
+        panels.push(Panel {
+            name: wl.label(),
+            series,
+        });
+    }
+    Figure {
+        id: "fig14",
+        title: "Low service-time variability (p = 0.001)",
+        panels,
+    }
+}

@@ -1,0 +1,44 @@
+//! Figure 15: "Impact of redundant response filtering."
+//!
+//! Baseline vs NetClone-without-filtering vs NetClone on Exp(25).
+//! Expected shape (§5.6.3): at low load the unfiltered redundancy barely
+//! matters; as load grows the extra responses overwhelm the client
+//! receivers and the unfiltered variant becomes *worse than the baseline*.
+
+use netclone_workloads::exp25;
+
+use crate::experiments::panel::{Figure, Panel, Series};
+use crate::experiments::scale::Scale;
+use crate::scenario::Scenario;
+use crate::scheme::Scheme;
+use crate::sweep::{capacity_fractions, sweep};
+
+/// Runs the figure at the given scale.
+pub fn run(scale: Scale) -> Figure {
+    let schemes = [
+        Scheme::Baseline,
+        Scheme::NETCLONE_NOFILTER,
+        Scheme::NETCLONE,
+    ];
+    let mut template = Scenario::synthetic_default(Scheme::Baseline, exp25(), 1.0);
+    template.warmup_ns = scale.warmup_ns();
+    template.measure_ns = scale.measure_ns();
+    let rates = capacity_fractions(&template, 0.1, 0.98, scale.sweep_points());
+    let mut series = Vec::new();
+    for scheme in schemes {
+        let mut t = template.clone();
+        t.scheme = scheme;
+        series.push(Series {
+            scheme: scheme.label(),
+            points: sweep(&t, &rates),
+        });
+    }
+    Figure {
+        id: "fig15",
+        title: "Impact of redundant response filtering (Exp(25))",
+        panels: vec![Panel {
+            name: "Exp(25)".into(),
+            series,
+        }],
+    }
+}

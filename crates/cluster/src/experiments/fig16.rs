@@ -1,0 +1,108 @@
+//! Figure 16: "Performance under switch failures."
+//!
+//! A 25-second NetClone run; the switch is stopped at 5 s and reactivated
+//! at 7 s; with the modelled ~3 s pipeline bring-up, throughput recovers
+//! around 10 s ("the downtime … depends on the switch architecture").
+//! Recovery is complete because only soft state is lost (§3.6).
+
+use std::path::Path;
+
+use netclone_stats::Table;
+use netclone_workloads::exp25;
+
+use crate::experiments::scale::Scale;
+use crate::scenario::{Scenario, SwitchFailurePlan};
+use crate::scheme::Scheme;
+use crate::sim::Sim;
+
+/// The timeline result.
+pub struct Fig16 {
+    /// (second, throughput MRPS) — one row per bucket.
+    pub timeline: Vec<(f64, f64)>,
+    /// When the switch was stopped, s.
+    pub fail_at_s: f64,
+    /// When it was reactivated, s.
+    pub reactivate_at_s: f64,
+    /// When forwarding actually resumed, s.
+    pub up_at_s: f64,
+}
+
+impl Fig16 {
+    /// Renders the timeline.
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new(["time (s)", "throughput (MRPS)"]);
+        for &(s, mrps) in &self.timeline {
+            t.row([format!("{s:.1}"), format!("{mrps:.3}")]);
+        }
+        t
+    }
+
+    /// Writes `fig16.csv`.
+    pub fn write_csv<P: AsRef<Path>>(&self, dir: P) -> std::io::Result<()> {
+        self.to_table().write_csv(dir.as_ref().join("fig16.csv"))
+    }
+
+    /// Renders with annotations.
+    pub fn render(&self) -> String {
+        format!(
+            "## fig16 — Switch failure timeline (stop {:.1}s, reactivate {:.1}s, up {:.1}s)\n\n{}",
+            self.fail_at_s,
+            self.reactivate_at_s,
+            self.up_at_s,
+            self.to_table().to_markdown()
+        )
+    }
+
+    /// Mean throughput over buckets whose centre falls in `[from_s, to_s)`.
+    pub fn mean_mrps_between(&self, from_s: f64, to_s: f64) -> f64 {
+        let pts: Vec<f64> = self
+            .timeline
+            .iter()
+            .filter(|(s, _)| *s >= from_s && *s < to_s)
+            .map(|&(_, m)| m)
+            .collect();
+        if pts.is_empty() {
+            0.0
+        } else {
+            pts.iter().sum::<f64>() / pts.len() as f64
+        }
+    }
+}
+
+/// Runs the timeline. At `Scale::Full` this is the paper's exact
+/// 25 s / 5 s / 7 s layout at 0.8 MRPS; smaller scales compress time by
+/// 10× (Smoke: 50×) while preserving the stop/reactivate/bring-up
+/// proportions.
+pub fn run(scale: Scale) -> Fig16 {
+    let compress = match scale {
+        Scale::Smoke => 50,
+        Scale::Standard => 10,
+        Scale::Full => 1,
+    };
+    let sec = 1_000_000_000u64 / compress;
+    let mut s = Scenario::synthetic_default(Scheme::NETCLONE, exp25(), 800_000.0);
+    s.warmup_ns = 0;
+    s.measure_ns = 25 * sec;
+    s.timeseries_bucket_ns = sec / 2;
+    s.switch_failure = Some(SwitchFailurePlan {
+        fail_at_ns: 5 * sec,
+        reactivate_at_ns: 7 * sec,
+        bringup_ns: 3 * sec,
+    });
+    let run = Sim::run(s);
+    // rates_per_sec is per *sim* second — already the paper's y-axis; only
+    // the time axis needs decompressing back to paper seconds.
+    let rates = run.throughput_series.rates_per_sec();
+    let bucket_s = (sec / 2) as f64 / 1e9;
+    let timeline = rates
+        .iter()
+        .enumerate()
+        .map(|(i, &r)| (i as f64 * bucket_s * compress as f64, r / 1e6))
+        .collect();
+    Fig16 {
+        timeline,
+        fail_at_s: 5.0,
+        reactivate_at_s: 7.0,
+        up_at_s: 10.0,
+    }
+}

@@ -1,0 +1,175 @@
+//! Shared rendering for multi-panel, multi-scheme sweep figures
+//! (the shape of Figs. 7–12, 14, 15).
+
+use std::path::Path;
+
+use netclone_stats::Table;
+
+use crate::sweep::SweepPoint;
+
+/// One scheme's series within a panel.
+pub struct Series {
+    /// Scheme label (legend entry).
+    pub scheme: &'static str,
+    /// The sweep points.
+    pub points: Vec<SweepPoint>,
+}
+
+/// One subfigure: a workload/configuration with several schemes.
+pub struct Panel {
+    /// Panel caption (e.g. `Exp(25)`).
+    pub name: String,
+    /// The plotted series.
+    pub series: Vec<Series>,
+}
+
+impl Panel {
+    /// p99 of the series named `scheme` at the sweep point closest to the
+    /// given offered load, for shape assertions.
+    pub fn p99_at(&self, scheme: &str, offered_mrps: f64) -> Option<f64> {
+        let s = self.series.iter().find(|s| s.scheme == scheme)?;
+        s.points
+            .iter()
+            .min_by(|a, b| {
+                (a.offered_mrps - offered_mrps)
+                    .abs()
+                    .total_cmp(&(b.offered_mrps - offered_mrps).abs())
+            })
+            .map(|p| p.p99_us)
+    }
+
+    /// Maximum achieved throughput of the series named `scheme`, MRPS.
+    pub fn max_achieved(&self, scheme: &str) -> Option<f64> {
+        let s = self.series.iter().find(|s| s.scheme == scheme)?;
+        s.points
+            .iter()
+            .map(|p| p.achieved_mrps)
+            .max_by(f64::total_cmp)
+    }
+}
+
+/// A complete figure.
+pub struct Figure {
+    /// Figure identifier (e.g. `fig07`).
+    pub id: &'static str,
+    /// Figure title (the paper caption).
+    pub title: &'static str,
+    /// The subfigures.
+    pub panels: Vec<Panel>,
+}
+
+impl Figure {
+    /// Renders the paper-style rows: one per (panel, scheme, load point).
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new([
+            "panel",
+            "scheme",
+            "offered (MRPS)",
+            "achieved (MRPS)",
+            "p50 (us)",
+            "p99 (us)",
+            "p99.9 (us)",
+            "clone rate",
+        ]);
+        for panel in &self.panels {
+            for series in &panel.series {
+                for p in &series.points {
+                    t.row([
+                        panel.name.clone(),
+                        series.scheme.to_string(),
+                        format!("{:.3}", p.offered_mrps),
+                        format!("{:.3}", p.achieved_mrps),
+                        format!("{:.1}", p.p50_us),
+                        format!("{:.1}", p.p99_us),
+                        format!("{:.1}", p.p999_us),
+                        format!("{:.3}", p.clone_rate),
+                    ]);
+                }
+            }
+        }
+        t
+    }
+
+    /// Writes `<dir>/<id>.csv`.
+    pub fn write_csv<P: AsRef<Path>>(&self, dir: P) -> std::io::Result<()> {
+        self.to_table()
+            .write_csv(dir.as_ref().join(format!("{}.csv", self.id)))
+    }
+
+    /// Renders the title plus the table.
+    pub fn render(&self) -> String {
+        format!("## {} — {}\n\n{}", self.id, self.title, self.to_table().to_markdown())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::RunResult;
+    use netclone_core::SwitchCounters;
+    use netclone_stats::{LatencyHistogram, TimeSeries};
+
+    fn dummy_point(offered: f64, p99: f64, achieved: f64) -> SweepPoint {
+        SweepPoint {
+            offered_mrps: offered,
+            achieved_mrps: achieved,
+            p50_us: p99 / 4.0,
+            p99_us: p99,
+            p999_us: p99 * 2.0,
+            mean_us: p99 / 3.0,
+            clone_rate: 0.5,
+            empty_queue_fraction: 0.5,
+            run: RunResult {
+                scheme: "x",
+                workload: "w".into(),
+                offered_rps: offered * 1e6,
+                achieved_rps: achieved * 1e6,
+                latency: LatencyHistogram::new(),
+                generated: 0,
+                completed: 0,
+                client_redundant: 0,
+                switch: SwitchCounters::default(),
+                server_clone_drops: 0,
+                server_idle_reports: 0,
+                server_responses: 0,
+                throughput_series: TimeSeries::new(1_000_000, 1),
+                packets_lost: 0,
+                per_server_served: vec![],
+            },
+        }
+    }
+
+    #[test]
+    fn panel_lookups() {
+        let panel = Panel {
+            name: "Exp(25)".into(),
+            series: vec![Series {
+                scheme: "NetClone",
+                points: vec![dummy_point(0.5, 100.0, 0.5), dummy_point(1.0, 200.0, 0.99)],
+            }],
+        };
+        assert_eq!(panel.p99_at("NetClone", 0.6), Some(100.0));
+        assert_eq!(panel.p99_at("NetClone", 0.9), Some(200.0));
+        assert_eq!(panel.max_achieved("NetClone"), Some(0.99));
+        assert_eq!(panel.p99_at("Nope", 0.5), None);
+    }
+
+    #[test]
+    fn figure_renders_rows() {
+        let fig = Figure {
+            id: "figXX",
+            title: "test",
+            panels: vec![Panel {
+                name: "P".into(),
+                series: vec![Series {
+                    scheme: "Baseline",
+                    points: vec![dummy_point(1.0, 50.0, 1.0)],
+                }],
+            }],
+        };
+        let md = fig.render();
+        assert!(md.contains("figXX"));
+        assert!(md.contains("Baseline"));
+        assert_eq!(fig.to_table().len(), 1);
+    }
+}

@@ -1,0 +1,30 @@
+//! # netclone-cluster
+//!
+//! The evaluation testbed as a deterministic discrete-event simulation:
+//! open-loop clients, a programmable ToR switch running any of the compared
+//! schemes, and multi-worker servers — the §5.1 setup of the paper (8
+//! machines: 2 clients + 6 workers by default, one worker donated to the
+//! coordinator for the LÆDGE comparison).
+//!
+//! One simulation ([`sim::Sim`]) runs one (scheme, workload, offered-load)
+//! point and yields a [`metrics::RunResult`]; [`sweep()`](sweep::sweep)
+//! drives load sweeps;
+//! [`experiments`] packages every figure and table of the paper's
+//! evaluation as a callable function returning rendered tables and CSV.
+//!
+//! All physical constants live in [`calib`] — one set, used by every
+//! experiment, documented with their rationale.
+
+pub mod calib;
+pub mod experiments;
+pub mod metrics;
+pub mod scenario;
+pub mod scheme;
+pub mod sim;
+pub mod sweep;
+
+pub use metrics::RunResult;
+pub use scenario::{Scenario, ServerSpec, SwitchFailurePlan, Workload};
+pub use scheme::Scheme;
+pub use sim::Sim;
+pub use sweep::{sweep, SweepPoint};

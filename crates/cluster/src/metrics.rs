@@ -1,0 +1,111 @@
+//! Results of one simulation run.
+
+use netclone_core::SwitchCounters;
+use netclone_stats::{LatencyHistogram, TimeSeries};
+
+/// Everything measured in one run's measurement window.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Scheme label.
+    pub scheme: &'static str,
+    /// Workload label.
+    pub workload: String,
+    /// Offered load, requests/second.
+    pub offered_rps: f64,
+    /// Achieved goodput: completed requests ÷ measurement window.
+    pub achieved_rps: f64,
+    /// End-to-end latency histogram (merged over clients).
+    pub latency: LatencyHistogram,
+    /// Requests generated in the window.
+    pub generated: u64,
+    /// Requests completed in the window.
+    pub completed: u64,
+    /// Redundant responses processed by clients.
+    pub client_redundant: u64,
+    /// Switch counters (NetClone/RackSched runs; zeroed otherwise).
+    pub switch: SwitchCounters,
+    /// Cloned requests dropped at servers (tracked-vs-actual state gap).
+    pub server_clone_drops: u64,
+    /// Responses reporting an empty queue (Fig. 13a numerator).
+    pub server_idle_reports: u64,
+    /// Total responses sent by servers (Fig. 13a denominator).
+    pub server_responses: u64,
+    /// Completions over time (Fig. 16).
+    pub throughput_series: TimeSeries,
+    /// Packets lost to injected link loss.
+    pub packets_lost: u64,
+    /// Requests served per server (load-balance diagnostics, ablations).
+    pub per_server_served: Vec<u64>,
+}
+
+impl RunResult {
+    /// 50th/99th/99.9th percentile latency, μs.
+    pub fn percentiles_us(&self) -> (f64, f64, f64) {
+        let (p50, p99, p999) = self.latency.p50_p99_p999();
+        (
+            p50 as f64 / 1_000.0,
+            p99 as f64 / 1_000.0,
+            p999 as f64 / 1_000.0,
+        )
+    }
+
+    /// p99 latency in μs (the paper's headline metric).
+    pub fn p99_us(&self) -> f64 {
+        self.latency.quantile(0.99) as f64 / 1_000.0
+    }
+
+    /// Mean latency in μs.
+    pub fn mean_us(&self) -> f64 {
+        self.latency.mean() / 1_000.0
+    }
+
+    /// Achieved throughput in MRPS.
+    pub fn achieved_mrps(&self) -> f64 {
+        self.achieved_rps / 1e6
+    }
+
+    /// Fraction of server responses that reported an empty queue
+    /// (Fig. 13a).
+    pub fn empty_queue_fraction(&self) -> f64 {
+        if self.server_responses == 0 {
+            0.0
+        } else {
+            self.server_idle_reports as f64 / self.server_responses as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let mut latency = LatencyHistogram::new();
+        for v in [10_000u64, 20_000, 900_000] {
+            latency.record(v);
+        }
+        let r = RunResult {
+            scheme: "NetClone",
+            workload: "Exp(25)".into(),
+            offered_rps: 1e6,
+            achieved_rps: 9.9e5,
+            latency,
+            generated: 100,
+            completed: 99,
+            client_redundant: 1,
+            switch: SwitchCounters::default(),
+            server_clone_drops: 0,
+            server_idle_reports: 60,
+            server_responses: 100,
+            throughput_series: TimeSeries::new(1_000_000_000, 1),
+            packets_lost: 0,
+            per_server_served: vec![50, 50],
+        };
+        assert!((r.achieved_mrps() - 0.99).abs() < 1e-9);
+        assert!((r.empty_queue_fraction() - 0.6).abs() < 1e-9);
+        assert!(r.p99_us() >= 890.0);
+        let (p50, p99, p999) = r.percentiles_us();
+        assert!(p50 <= p99 && p99 <= p999);
+    }
+}

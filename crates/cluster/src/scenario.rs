@@ -1,0 +1,257 @@
+//! Scenario descriptions: everything one simulation run needs.
+
+use netclone_kvstore::ServiceCostModel;
+use netclone_workloads::{Jitter, SyntheticWorkload};
+
+use crate::calib;
+use crate::scheme::Scheme;
+
+/// One worker server's shape.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerSpec {
+    /// Worker threads (15 synthetic / 8 KV; heterogeneous setups mix 15
+    /// and 8, §5.4).
+    pub workers: usize,
+}
+
+/// The workload a scenario offers.
+#[derive(Clone, Debug)]
+pub enum Workload {
+    /// Synthetic dummy RPCs (§5.1.2).
+    Synthetic(SyntheticWorkload),
+    /// KV read mix over a Zipf population (§5.5).
+    Kv {
+        /// Fraction of GETs (the remainder are SCANs).
+        get_frac: f64,
+        /// Objects per SCAN (the paper uses 100).
+        scan_count: u16,
+        /// Key population size (the paper uses 1 M).
+        objects: usize,
+        /// Zipf skew (the paper uses 0.99).
+        zipf_theta: f64,
+        /// Service-cost model (Redis or Memcached).
+        cost: ServiceCostModel,
+    },
+}
+
+impl Workload {
+    /// The paper's Redis workload at the given GET fraction.
+    pub fn redis(get_frac: f64) -> Self {
+        Workload::Kv {
+            get_frac,
+            scan_count: 100,
+            objects: 1_000_000,
+            zipf_theta: 0.99,
+            cost: ServiceCostModel::redis(),
+        }
+    }
+
+    /// The paper's Memcached workload at the given GET fraction.
+    pub fn memcached(get_frac: f64) -> Self {
+        Workload::Kv {
+            get_frac,
+            scan_count: 100,
+            objects: 1_000_000,
+            zipf_theta: 0.99,
+            cost: ServiceCostModel::memcached(),
+        }
+    }
+
+    /// Mean service time per request, ns (for capacity estimates).
+    pub fn mean_service_ns(&self) -> f64 {
+        match self {
+            Workload::Synthetic(wl) => wl.mean_class_ns(),
+            Workload::Kv {
+                get_frac,
+                scan_count,
+                cost,
+                ..
+            } => cost.mix_mean_ns(*get_frac, *scan_count),
+        }
+    }
+
+    /// Display label.
+    pub fn label(&self) -> String {
+        match self {
+            Workload::Synthetic(wl) => wl.label(),
+            Workload::Kv {
+                get_frac,
+                scan_count,
+                ..
+            } => format!(
+                "{}%-GET,{}%-SCAN({})",
+                (get_frac * 100.0).round() as u32,
+                ((1.0 - get_frac) * 100.0).round() as u32,
+                scan_count
+            ),
+        }
+    }
+}
+
+/// Switch failure injection (Fig. 16).
+#[derive(Clone, Copy, Debug)]
+pub struct SwitchFailurePlan {
+    /// When the switch stops forwarding, ns.
+    pub fail_at_ns: u64,
+    /// When the operator reactivates it, ns (forwarding resumes after the
+    /// pipeline bring-up time, with soft state cleared).
+    pub reactivate_at_ns: u64,
+    /// Pipeline bring-up duration, ns.
+    pub bringup_ns: u64,
+}
+
+/// A server failure injection (§3.6).
+#[derive(Clone, Copy, Debug)]
+pub struct ServerFailurePlan {
+    /// Which server dies.
+    pub sid: u16,
+    /// When it dies, ns.
+    pub fail_at_ns: u64,
+    /// When the switch control plane removes it from the tables, ns
+    /// (detection delay after the failure).
+    pub removed_at_ns: u64,
+}
+
+/// Everything one simulation run needs.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// The scheme under test.
+    pub scheme: Scheme,
+    /// Number of client hosts (the paper uses 2).
+    pub n_clients: usize,
+    /// The worker servers.
+    pub servers: Vec<ServerSpec>,
+    /// The offered workload.
+    pub workload: Workload,
+    /// Service-time variability (±15, p ∈ {0.01, 0.001}).
+    pub jitter: Jitter,
+    /// Total offered load, requests/second across all clients.
+    pub offered_rps: f64,
+    /// Warm-up duration (measurements discarded), ns.
+    pub warmup_ns: u64,
+    /// Measurement window, ns.
+    pub measure_ns: u64,
+    /// Uniform packet-loss probability per link traversal.
+    pub loss: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// Optional switch failure (Fig. 16).
+    pub switch_failure: Option<SwitchFailurePlan>,
+    /// Optional server failure (§3.6).
+    pub server_failure: Option<ServerFailurePlan>,
+    /// Throughput-timeseries bucket width, ns (Fig. 16 uses 1 s).
+    pub timeseries_bucket_ns: u64,
+    /// Filter tables on the switch (paper default 2; ablations vary it).
+    pub n_filter_tables: usize,
+    /// log2 of slots per filter table (paper default 17; the ablation
+    /// shrinks it to make hash collisions observable).
+    pub filter_slots_log2: u8,
+    /// Override the group table (ablations: e.g. unordered C(n,2) pairs).
+    pub custom_groups: Option<Vec<(u16, u16)>>,
+    /// Cloning condition (paper: both idle; the §3.4 threshold alternative
+    /// is available for the ablation).
+    pub clone_condition: netclone_core::CloneCondition,
+}
+
+impl Scenario {
+    /// The paper's default testbed: 2 clients, 6 homogeneous synthetic
+    /// workers, Exp(25), high variability.
+    pub fn synthetic_default(scheme: Scheme, wl: SyntheticWorkload, offered_rps: f64) -> Self {
+        Scenario {
+            scheme,
+            n_clients: 2,
+            servers: vec![
+                ServerSpec {
+                    workers: calib::SYNTHETIC_WORKERS
+                };
+                6
+            ],
+            workload: Workload::Synthetic(wl),
+            jitter: Jitter::HIGH,
+            offered_rps,
+            warmup_ns: 30_000_000,   // 30 ms
+            measure_ns: 250_000_000, // 250 ms
+            loss: 0.0,
+            seed: 42,
+            switch_failure: None,
+            server_failure: None,
+            timeseries_bucket_ns: 100_000_000,
+            n_filter_tables: 2,
+            filter_slots_log2: 17,
+            custom_groups: None,
+            clone_condition: netclone_core::CloneCondition::BothIdle,
+        }
+    }
+
+    /// The paper's KV testbed: 2 clients, 6 workers × 8 threads.
+    pub fn kv_default(scheme: Scheme, workload: Workload, offered_rps: f64) -> Self {
+        Scenario {
+            scheme,
+            n_clients: 2,
+            servers: vec![ServerSpec { workers: calib::KV_WORKERS }; 6],
+            workload,
+            jitter: Jitter::HIGH,
+            offered_rps,
+            warmup_ns: 50_000_000,
+            measure_ns: 400_000_000,
+            loss: 0.0,
+            seed: 42,
+            switch_failure: None,
+            server_failure: None,
+            timeseries_bucket_ns: 100_000_000,
+            n_filter_tables: 2,
+            filter_slots_log2: 17,
+            custom_groups: None,
+            clone_condition: netclone_core::CloneCondition::BothIdle,
+        }
+    }
+
+    /// Aggregate worker-thread capacity in requests/second (the knee of
+    /// the throughput axis; sweeps size their rates from this).
+    pub fn capacity_rps(&self) -> f64 {
+        let threads: usize = self.servers.iter().map(|s| s.workers).sum();
+        let mean_ns = self.workload.mean_service_ns()
+            * (1.0 + self.jitter.p * (self.jitter.factor as f64 - 1.0));
+        threads as f64 / (mean_ns / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netclone_workloads::exp25;
+
+    #[test]
+    fn default_testbed_matches_paper() {
+        let s = Scenario::synthetic_default(Scheme::NETCLONE, exp25(), 1e6);
+        assert_eq!(s.n_clients, 2);
+        assert_eq!(s.servers.len(), 6);
+        assert_eq!(s.servers[0].workers, 15);
+        assert_eq!(s.jitter, Jitter::HIGH);
+    }
+
+    #[test]
+    fn capacity_is_in_the_fig7_region() {
+        // 6 × 15 threads at Exp(25)+jitter: ≈ 3.1–3.2 MRPS, the Fig. 7
+        // saturation region.
+        let s = Scenario::synthetic_default(Scheme::Baseline, exp25(), 1e6);
+        let cap = s.capacity_rps();
+        assert!((2.8e6..3.6e6).contains(&cap), "capacity {cap}");
+    }
+
+    #[test]
+    fn kv_capacity_is_in_the_fig11_region() {
+        let s = Scenario::kv_default(Scheme::Baseline, Workload::redis(0.99), 1e5);
+        let cap = s.capacity_rps();
+        assert!((4.5e5..7.0e5).contains(&cap), "capacity {cap}");
+        let s = Scenario::kv_default(Scheme::Baseline, Workload::redis(0.90), 1e5);
+        let cap = s.capacity_rps();
+        assert!((1.4e5..2.2e5).contains(&cap), "capacity {cap}");
+    }
+
+    #[test]
+    fn workload_labels() {
+        assert_eq!(Workload::Synthetic(exp25()).label(), "Exp(25)");
+        assert_eq!(Workload::redis(0.99).label(), "99%-GET,1%-SCAN(100)");
+    }
+}

@@ -1,0 +1,91 @@
+//! The compared schemes (paper §5.1.3).
+
+/// Which request-distribution scheme a scenario runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Scheme {
+    /// Random server selection, no cloning (the paper's "Baseline").
+    Baseline,
+    /// Client-based static cloning to two random servers (§2.2).
+    CClone,
+    /// Coordinator-based dynamic cloning (LÆDGE, §2.2). One host is
+    /// dedicated to the coordinator.
+    Laedge,
+    /// In-network dynamic cloning (this paper).
+    NetClone {
+        /// RackSched integration (§3.7): JSQ fallback when not cloning.
+        racksched: bool,
+        /// Redundant-response filtering (§3.5); `false` only for the
+        /// Fig. 15 ablation.
+        filtering: bool,
+    },
+    /// Standalone in-network JSQ scheduler, no cloning (RackSched alone,
+    /// for ablations).
+    RackSchedOnly,
+}
+
+impl Scheme {
+    /// The canonical NetClone configuration.
+    pub const NETCLONE: Scheme = Scheme::NetClone {
+        racksched: false,
+        filtering: true,
+    };
+
+    /// NetClone with the RackSched fallback (Fig. 10).
+    pub const NETCLONE_RS: Scheme = Scheme::NetClone {
+        racksched: true,
+        filtering: true,
+    };
+
+    /// NetClone without response filtering (Fig. 15).
+    pub const NETCLONE_NOFILTER: Scheme = Scheme::NetClone {
+        racksched: false,
+        filtering: false,
+    };
+
+    /// Display label matching the paper's legends.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Scheme::Baseline => "Baseline",
+            Scheme::CClone => "C-Clone",
+            Scheme::Laedge => "LAEDGE",
+            Scheme::NetClone {
+                racksched: false,
+                filtering: true,
+            } => "NetClone",
+            Scheme::NetClone {
+                racksched: true, ..
+            } => "NetClone w/ RackSched",
+            Scheme::NetClone {
+                filtering: false, ..
+            } => "NetClone w/o Filtering",
+            Scheme::RackSchedOnly => "RackSched",
+        }
+    }
+
+    /// Whether the scheme needs a coordinator host.
+    pub fn uses_coordinator(&self) -> bool {
+        matches!(self, Scheme::Laedge)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper_legends() {
+        assert_eq!(Scheme::Baseline.label(), "Baseline");
+        assert_eq!(Scheme::CClone.label(), "C-Clone");
+        assert_eq!(Scheme::NETCLONE.label(), "NetClone");
+        assert_eq!(Scheme::NETCLONE_RS.label(), "NetClone w/ RackSched");
+        assert_eq!(Scheme::NETCLONE_NOFILTER.label(), "NetClone w/o Filtering");
+        assert_eq!(Scheme::Laedge.label(), "LAEDGE");
+    }
+
+    #[test]
+    fn only_laedge_uses_a_coordinator() {
+        assert!(Scheme::Laedge.uses_coordinator());
+        assert!(!Scheme::NETCLONE.uses_coordinator());
+        assert!(!Scheme::Baseline.uses_coordinator());
+    }
+}

@@ -1,0 +1,615 @@
+//! The event-driven testbed simulation.
+//!
+//! Topology: every host hangs off one ToR switch (the paper's single-rack
+//! model; §3.7's multi-rack variant is exercised in the ablation tests).
+//! Ports: servers at `10+sid`, coordinator at 99, clients at `100+cid`.
+//!
+//! Event flow for one RPC (NetClone scheme):
+//!
+//! ```text
+//! Gen ─→ SwitchIn(req) ─→ ServerIn ─→ ServerDone ─→ SwitchIn(resp) ─→ ClientIn
+//!            │ (clone)                                   │ (slower resp:
+//!            └─→ ServerIn(clone) ─→ … ─┘                    filtered at switch)
+//! ```
+
+use netclone_asic::{DataPlane, PortId};
+use netclone_core::{NetCloneConfig, NetCloneSwitch, Scheduling, SwitchCounters};
+use netclone_des::{EventQueue, SeedFactory, SimTime};
+use netclone_hosts::{Admission, AppPacket, ClientMode, ClientSim, ServerConfig, ServerSim};
+use netclone_kvstore::ServiceCostModel;
+use netclone_policies::{CoordinatorConfig, LaedgeCoordinator, PlainL3Switch};
+use netclone_proto::{Ipv4, MsgType, NetCloneHdr, PacketMeta, RpcOp, ServerId};
+use netclone_stats::{LatencyHistogram, TimeSeries};
+use netclone_workloads::{KvMix, PoissonArrivals, ServiceShape, SyntheticWorkload, ZipfSampler};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::calib;
+use crate::metrics::RunResult;
+use crate::scenario::{Scenario, Workload};
+use crate::scheme::Scheme;
+
+const COORD_PORT: PortId = 99;
+
+fn server_port(sid: ServerId) -> PortId {
+    10 + sid
+}
+
+fn client_port(cid: u16) -> PortId {
+    100 + cid
+}
+
+const COORD_IP: Ipv4 = Ipv4::new(10, 0, 3, 1);
+
+/// Simulation events.
+enum Ev {
+    /// Client `cid` generates its next request.
+    Gen(usize),
+    /// A packet reaches the switch.
+    SwitchIn(AppPacket),
+    /// A packet reaches server `idx`'s NIC.
+    ServerIn(usize, AppPacket),
+    /// Server `idx` finishes serving `pkt` (valid only in `epoch`).
+    ServerDone {
+        idx: usize,
+        epoch: u32,
+        pkt: AppPacket,
+    },
+    /// A packet reaches client `cid`'s NIC.
+    ClientIn(usize, AppPacket),
+    /// A packet reaches the coordinator.
+    CoordIn(AppPacket),
+    /// Measurements start.
+    EndWarmup,
+    /// The switch stops forwarding (Fig. 16).
+    SwitchFail,
+    /// The operator reactivates the switch; bring-up begins.
+    SwitchReactivate { bringup_ns: u64 },
+    /// Bring-up complete: forwarding resumes with cleared soft state.
+    SwitchUp,
+    /// Server `idx` dies (§3.6).
+    ServerKill(usize),
+    /// The control plane removes a failed server from the switch tables.
+    ServerRemove(ServerId),
+}
+
+enum SwitchKind {
+    NetClone(Box<NetCloneSwitch>),
+    Plain(Box<PlainL3Switch>),
+}
+
+impl SwitchKind {
+    fn process(&mut self, pkt: PacketMeta, ingress: PortId, now: u64) -> Vec<netclone_asic::Emission> {
+        match self {
+            SwitchKind::NetClone(sw) => sw.process(pkt, ingress, now),
+            SwitchKind::Plain(sw) => sw.process(pkt, ingress, now),
+        }
+    }
+
+    fn reset_soft_state(&mut self) {
+        match self {
+            SwitchKind::NetClone(sw) => sw.reset_soft_state(),
+            SwitchKind::Plain(sw) => sw.reset_soft_state(),
+        }
+    }
+
+    fn counters(&self) -> SwitchCounters {
+        match self {
+            SwitchKind::NetClone(sw) => *sw.counters(),
+            SwitchKind::Plain(_) => SwitchCounters::default(),
+        }
+    }
+}
+
+/// One testbed simulation.
+pub struct Sim {
+    scenario: Scenario,
+    q: EventQueue<Ev>,
+    clients: Vec<ClientSim>,
+    servers: Vec<ServerSim>,
+    server_epoch: Vec<u32>,
+    switch: SwitchKind,
+    switch_up: bool,
+    coordinator: Option<LaedgeCoordinator>,
+    arrivals: PoissonArrivals,
+    arrival_rngs: Vec<StdRng>,
+    workload_rngs: Vec<StdRng>,
+    loss_rng: StdRng,
+    synthetic: Option<SyntheticWorkload>,
+    kvmix: Option<KvMix>,
+    end_ns: u64,
+    measure_start_ns: u64,
+    throughput: TimeSeries,
+    completed_in_window: u64,
+    generated_in_window: u64,
+    packets_lost: u64,
+    switch_counters_at_warmup: SwitchCounters,
+    server_stats_at_warmup: Vec<netclone_hosts::server::ServerStats>,
+}
+
+impl Sim {
+    /// Builds the testbed for a scenario.
+    pub fn new(scenario: Scenario) -> Self {
+        let seeds = SeedFactory::new(scenario.seed);
+        let n_servers = scenario.servers.len();
+        assert!(n_servers >= 2, "NetClone requires at least two servers (§5.3.2)");
+
+        // ---- switch -------------------------------------------------
+        let mut switch = match scenario.scheme {
+            Scheme::NetClone {
+                racksched,
+                filtering,
+            } => {
+                let mut cfg = NetCloneConfig::paper_prototype();
+                cfg.scheduling = if racksched {
+                    Scheduling::RackSched
+                } else {
+                    Scheduling::Random
+                };
+                cfg.filtering_enabled = filtering;
+                cfg.num_filter_tables = scenario.n_filter_tables;
+                cfg.filter_slots_log2 = scenario.filter_slots_log2;
+                cfg.clone_condition = scenario.clone_condition;
+                SwitchKind::NetClone(Box::new(NetCloneSwitch::new(cfg)))
+            }
+            Scheme::RackSchedOnly => SwitchKind::NetClone(Box::new(
+                netclone_policies::racksched_switch(NetCloneConfig::paper_prototype()),
+            )),
+            Scheme::Baseline | Scheme::CClone | Scheme::Laedge => SwitchKind::Plain(Box::new(
+                PlainL3Switch::new(netclone_asic::AsicSpec::tofino()),
+            )),
+        };
+        for sid in 0..n_servers as u16 {
+            match &mut switch {
+                SwitchKind::NetClone(sw) => {
+                    sw.add_server(sid, Ipv4::server(sid), server_port(sid))
+                        .expect("server registration");
+                }
+                SwitchKind::Plain(sw) => sw.add_route(Ipv4::server(sid), server_port(sid)),
+            }
+        }
+        for cid in 0..scenario.n_clients as u16 {
+            match &mut switch {
+                SwitchKind::NetClone(sw) => {
+                    sw.add_client(Ipv4::client(cid), client_port(cid))
+                        .expect("client registration");
+                }
+                SwitchKind::Plain(sw) => sw.add_route(Ipv4::client(cid), client_port(cid)),
+            }
+        }
+        if scenario.scheme.uses_coordinator() {
+            match &mut switch {
+                SwitchKind::Plain(sw) => sw.add_route(COORD_IP, COORD_PORT),
+                SwitchKind::NetClone(_) => unreachable!("LÆDGE runs on a plain switch"),
+            }
+        }
+        if let (Some(groups), SwitchKind::NetClone(sw)) = (&scenario.custom_groups, &mut switch) {
+            sw.install_custom_groups(groups).expect("custom groups");
+        }
+
+        // ---- workload -----------------------------------------------
+        let (synthetic, kvmix, cost) = match &scenario.workload {
+            Workload::Synthetic(wl) => (Some(*wl), None, ServiceCostModel::redis()),
+            Workload::Kv {
+                get_frac,
+                scan_count,
+                objects,
+                zipf_theta,
+                cost,
+            } => {
+                let keys = ZipfSampler::new(*objects, *zipf_theta);
+                (
+                    None,
+                    Some(KvMix::read_mix(*get_frac, *scan_count, keys)),
+                    *cost,
+                )
+            }
+        };
+
+        // ---- servers -------------------------------------------------
+        let servers: Vec<ServerSim> = scenario
+            .servers
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                let mut cfg = ServerConfig {
+                    sid: i as u16,
+                    workers: spec.workers,
+                    dispatch_ns: calib::DISPATCH_NS,
+                    clone_drop_ns: calib::CLONE_DROP_NS,
+                    shape: if synthetic.is_some() {
+                        ServiceShape::Exponential
+                    } else {
+                        ServiceShape::Gamma4
+                    },
+                    jitter: scenario.jitter,
+                    cost,
+                    seed: seeds.seed_for("server", i as u64),
+                };
+                cfg.jitter = scenario.jitter;
+                ServerSim::new(cfg)
+            })
+            .collect();
+
+        // ---- coordinator ----------------------------------------------
+        let coordinator = scenario.scheme.uses_coordinator().then(|| {
+            let mut c = LaedgeCoordinator::new(CoordinatorConfig {
+                ip: COORD_IP,
+                per_packet_ns: calib::COORD_PKT_NS,
+            });
+            for (i, spec) in scenario.servers.iter().enumerate() {
+                c.add_server(i as u16, Ipv4::server(i as u16), spec.workers);
+            }
+            c
+        });
+
+        // ---- clients ---------------------------------------------------
+        let server_ips: Vec<Ipv4> = (0..n_servers as u16).map(Ipv4::server).collect();
+        let num_groups = match &switch {
+            SwitchKind::NetClone(sw) => sw.num_groups(),
+            SwitchKind::Plain(_) => 0,
+        };
+        let clients: Vec<ClientSim> = (0..scenario.n_clients as u16)
+            .map(|cid| {
+                let mode = match scenario.scheme {
+                    Scheme::Baseline => ClientMode::DirectRandom {
+                        servers: server_ips.clone(),
+                    },
+                    Scheme::CClone => ClientMode::DirectDuplicate {
+                        servers: server_ips.clone(),
+                    },
+                    Scheme::Laedge => ClientMode::Coordinator { ip: COORD_IP },
+                    Scheme::NetClone { .. } | Scheme::RackSchedOnly => ClientMode::NetClone {
+                        num_groups,
+                        num_filter_tables: scenario.n_filter_tables as u8,
+                    },
+                };
+                ClientSim::new(
+                    cid,
+                    mode,
+                    calib::CLIENT_TX_NS,
+                    calib::CLIENT_RX_NS,
+                    seeds.seed_for("client", cid as u64),
+                )
+            })
+            .collect();
+
+        let end_ns = scenario.warmup_ns + scenario.measure_ns;
+        let ts_buckets =
+            (end_ns / scenario.timeseries_bucket_ns + 2).max(1) as usize;
+        let n_clients = scenario.n_clients;
+        Sim {
+            arrivals: PoissonArrivals::new(scenario.offered_rps / n_clients as f64),
+            arrival_rngs: (0..n_clients)
+                .map(|i| seeds.rng_for("arrivals", i as u64))
+                .collect(),
+            workload_rngs: (0..n_clients)
+                .map(|i| seeds.rng_for("workload", i as u64))
+                .collect(),
+            loss_rng: seeds.rng_for("loss", 0),
+            server_epoch: vec![0; n_servers],
+            server_stats_at_warmup: vec![Default::default(); n_servers],
+            scenario,
+            q: EventQueue::new(),
+            clients,
+            servers,
+            switch,
+            switch_up: true,
+            coordinator,
+            synthetic,
+            kvmix,
+            end_ns,
+            measure_start_ns: 0,
+            throughput: TimeSeries::new(1, 1), // replaced in prime()
+            completed_in_window: 0,
+            generated_in_window: 0,
+            packets_lost: 0,
+            switch_counters_at_warmup: SwitchCounters::default(),
+        }
+        .primed(ts_buckets)
+    }
+
+    fn primed(mut self, ts_buckets: usize) -> Self {
+        self.throughput = TimeSeries::new(self.scenario.timeseries_bucket_ns, ts_buckets);
+        for cid in 0..self.clients.len() {
+            let gap = self.arrivals.next_gap_ns(&mut self.arrival_rngs[cid]);
+            self.q.schedule(SimTime::from_ns(gap), Ev::Gen(cid));
+        }
+        self.q
+            .schedule(SimTime::from_ns(self.scenario.warmup_ns), Ev::EndWarmup);
+        if let Some(plan) = self.scenario.switch_failure {
+            self.q
+                .schedule(SimTime::from_ns(plan.fail_at_ns), Ev::SwitchFail);
+            self.q.schedule(
+                SimTime::from_ns(plan.reactivate_at_ns),
+                Ev::SwitchReactivate {
+                    bringup_ns: plan.bringup_ns,
+                },
+            );
+        }
+        if let Some(plan) = self.scenario.server_failure {
+            self.q.schedule(
+                SimTime::from_ns(plan.fail_at_ns),
+                Ev::ServerKill(plan.sid as usize),
+            );
+            self.q.schedule(
+                SimTime::from_ns(plan.removed_at_ns),
+                Ev::ServerRemove(plan.sid),
+            );
+        }
+        self
+    }
+
+    /// Runs to completion and returns the measured results.
+    pub fn run(scenario: Scenario) -> RunResult {
+        let mut sim = Sim::new(scenario);
+        while let Some((t, ev)) = sim.q.pop() {
+            sim.handle(t.as_ns(), ev);
+        }
+        sim.finish()
+    }
+
+    fn lose_packet(&mut self) -> bool {
+        self.scenario.loss > 0.0 && self.loss_rng.random::<f64>() < self.scenario.loss
+    }
+
+    fn draw_op(&mut self, cid: usize) -> RpcOp {
+        if let Some(wl) = self.synthetic {
+            RpcOp::Echo {
+                class_ns: wl.sample_class(&mut self.workload_rngs[cid]),
+            }
+        } else {
+            self.kvmix
+                .as_ref()
+                .expect("kv workload")
+                .sample(&mut self.workload_rngs[cid])
+        }
+    }
+
+    fn handle(&mut self, now: u64, ev: Ev) {
+        match ev {
+            Ev::Gen(cid) => self.on_gen(cid, now),
+            Ev::SwitchIn(pkt) => self.on_switch_in(pkt, now),
+            Ev::ServerIn(idx, pkt) => self.on_server_in(idx, pkt, now),
+            Ev::ServerDone { idx, epoch, pkt } => self.on_server_done(idx, epoch, pkt, now),
+            Ev::ClientIn(cid, pkt) => self.on_client_in(cid, pkt, now),
+            Ev::CoordIn(pkt) => self.on_coord_in(pkt, now),
+            Ev::EndWarmup => self.on_end_warmup(now),
+            Ev::SwitchFail => self.switch_up = false,
+            Ev::SwitchReactivate { bringup_ns } => {
+                self.q.schedule(SimTime::from_ns(now + bringup_ns), Ev::SwitchUp);
+            }
+            Ev::SwitchUp => {
+                // §3.6: only soft state is lost; the control plane's table
+                // entries are reinstalled during bring-up.
+                self.switch.reset_soft_state();
+                self.switch_up = true;
+            }
+            Ev::ServerKill(idx) => {
+                self.servers[idx].kill();
+                self.server_epoch[idx] += 1;
+            }
+            Ev::ServerRemove(sid) => {
+                if let SwitchKind::NetClone(sw) = &mut self.switch {
+                    let _ = sw.remove_server(sid);
+                    let groups = sw.num_groups();
+                    for c in &mut self.clients {
+                        if let ClientMode::NetClone { num_groups, .. } = c.mode_mut() {
+                            *num_groups = groups;
+                        }
+                    }
+                }
+                // Direct-addressing clients stop targeting the dead server.
+                let dead_ip = Ipv4::server(sid);
+                for c in &mut self.clients {
+                    match c.mode_mut() {
+                        ClientMode::DirectRandom { servers }
+                        | ClientMode::DirectDuplicate { servers } => {
+                            servers.retain(|ip| *ip != dead_ip);
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_gen(&mut self, cid: usize, now: u64) {
+        if now >= self.end_ns {
+            return; // generation stops; in-flight work drains
+        }
+        if now >= self.measure_start_ns && self.measure_start_ns > 0 {
+            self.generated_in_window += 1;
+        }
+        let op = self.draw_op(cid);
+        let pkts = self.clients[cid].generate(op, now);
+        for (pkt, tx_done) in pkts {
+            if self.lose_packet() {
+                self.packets_lost += 1;
+                continue;
+            }
+            self.q.schedule(
+                SimTime::from_ns(tx_done + calib::LINK_ONE_WAY_NS),
+                Ev::SwitchIn(pkt),
+            );
+        }
+        let gap = self.arrivals.next_gap_ns(&mut self.arrival_rngs[cid]);
+        self.q.schedule(SimTime::from_ns(now + gap), Ev::Gen(cid));
+    }
+
+    fn on_switch_in(&mut self, pkt: AppPacket, now: u64) {
+        if !self.switch_up {
+            self.packets_lost += 1;
+            return;
+        }
+        let emissions = self.switch.process(pkt.meta, 0, now);
+        for e in emissions {
+            if self.lose_packet() {
+                self.packets_lost += 1;
+                continue;
+            }
+            let out = AppPacket {
+                meta: e.pkt,
+                op: pkt.op,
+                born_ns: pkt.born_ns,
+            };
+            let at = SimTime::from_ns(now + e.latency_ns + calib::LINK_ONE_WAY_NS);
+            if e.port == COORD_PORT {
+                self.q.schedule(at, Ev::CoordIn(out));
+            } else if e.port >= 100 {
+                let cid = (e.port - 100) as usize;
+                if cid < self.clients.len() {
+                    self.q.schedule(at, Ev::ClientIn(cid, out));
+                }
+            } else if e.port >= 10 {
+                let idx = (e.port - 10) as usize;
+                if idx < self.servers.len() {
+                    self.q.schedule(at, Ev::ServerIn(idx, out));
+                }
+            }
+        }
+    }
+
+    fn on_server_in(&mut self, idx: usize, pkt: AppPacket, now: u64) {
+        if !self.servers[idx].is_alive() {
+            return; // a dead server swallows packets
+        }
+        let seen_at = now + calib::HOST_RX_STACK_NS;
+        match self.servers[idx].on_request(pkt, seen_at) {
+            Admission::Start { done_at } => {
+                self.q.schedule(
+                    SimTime::from_ns(done_at),
+                    Ev::ServerDone {
+                        idx,
+                        epoch: self.server_epoch[idx],
+                        pkt,
+                    },
+                );
+            }
+            Admission::Queued | Admission::CloneDropped => {}
+        }
+    }
+
+    fn on_server_done(&mut self, idx: usize, epoch: u32, pkt: AppPacket, now: u64) {
+        if epoch != self.server_epoch[idx] || !self.servers[idx].is_alive() {
+            return; // the server died while this was in service
+        }
+        let completion = self.servers[idx].on_service_done(now);
+        let sid = self.servers[idx].sid();
+        let nc = NetCloneHdr::response_to(&pkt.meta.nc, sid, completion.state);
+        let resp = AppPacket {
+            meta: PacketMeta::netclone_response(Ipv4::server(sid), pkt.meta.src_ip, nc, 84),
+            op: pkt.op,
+            born_ns: pkt.born_ns,
+        };
+        if self.lose_packet() {
+            self.packets_lost += 1;
+        } else {
+            self.q.schedule(
+                SimTime::from_ns(now + calib::LINK_ONE_WAY_NS),
+                Ev::SwitchIn(resp),
+            );
+        }
+        if let Some((next_pkt, next_done)) = completion.next {
+            self.q.schedule(
+                SimTime::from_ns(next_done),
+                Ev::ServerDone {
+                    idx,
+                    epoch: self.server_epoch[idx],
+                    pkt: next_pkt,
+                },
+            );
+        }
+    }
+
+    fn on_client_in(&mut self, cid: usize, pkt: AppPacket, now: u64) {
+        let outcome = self.clients[cid].on_response(&pkt, now);
+        if outcome.latency_ns.is_some() && self.measure_start_ns > 0 {
+            self.throughput.record(outcome.done_at);
+            if outcome.done_at <= self.end_ns {
+                self.completed_in_window += 1;
+            }
+        }
+    }
+
+    fn on_coord_in(&mut self, pkt: AppPacket, now: u64) {
+        let coord = self.coordinator.as_mut().expect("coordinator scheme");
+        let events = match pkt.meta.nc.msg_type {
+            MsgType::Req => coord.on_request(pkt, now),
+            MsgType::Resp => coord.on_response(pkt, now),
+        };
+        for e in events {
+            if self.lose_packet() {
+                self.packets_lost += 1;
+                continue;
+            }
+            self.q.schedule(
+                SimTime::from_ns(e.send_at + calib::LINK_ONE_WAY_NS),
+                Ev::SwitchIn(e.pkt),
+            );
+        }
+    }
+
+    fn on_end_warmup(&mut self, now: u64) {
+        self.measure_start_ns = now.max(1);
+        for c in &mut self.clients {
+            c.reset_measurements();
+        }
+        self.switch_counters_at_warmup = self.switch.counters();
+        for (i, s) in self.servers.iter().enumerate() {
+            self.server_stats_at_warmup[i] = s.stats();
+        }
+    }
+
+    fn finish(self) -> RunResult {
+        let mut latency = LatencyHistogram::new();
+        let mut generated = 0u64;
+        let mut redundant = 0u64;
+        for c in &self.clients {
+            latency.merge(c.latencies());
+            generated += c.stats().generated;
+            redundant += c.stats().redundant;
+        }
+        let measure_secs = self.scenario.measure_ns as f64 / 1e9;
+        let mut switch = self.switch.counters();
+        let base = self.switch_counters_at_warmup;
+        switch.requests -= base.requests;
+        switch.cloned -= base.cloned;
+        switch.clone_skipped_busy -= base.clone_skipped_busy;
+        switch.responses -= base.responses;
+        switch.responses_filtered -= base.responses_filtered;
+        switch.filter_overwrites -= base.filter_overwrites;
+        switch.recirculated -= base.recirculated;
+
+        let mut clone_drops = 0;
+        let mut idle_reports = 0;
+        let mut responses = 0;
+        let mut per_server_served = Vec::with_capacity(self.servers.len());
+        for (i, s) in self.servers.iter().enumerate() {
+            let st = s.stats();
+            let b = self.server_stats_at_warmup[i];
+            clone_drops += st.clones_dropped - b.clones_dropped;
+            idle_reports += st.idle_reports - b.idle_reports;
+            responses += st.responses - b.responses;
+            per_server_served.push(st.served - b.served);
+        }
+
+        RunResult {
+            scheme: self.scenario.scheme.label(),
+            workload: self.scenario.workload.label(),
+            offered_rps: self.scenario.offered_rps,
+            achieved_rps: self.completed_in_window as f64 / measure_secs,
+            latency,
+            generated,
+            completed: self.completed_in_window,
+            client_redundant: redundant,
+            switch,
+            server_clone_drops: clone_drops,
+            server_idle_reports: idle_reports,
+            server_responses: responses,
+            throughput_series: self.throughput,
+            packets_lost: self.packets_lost,
+            per_server_served,
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Load sweeps: run one scenario template across offered rates and collect
+//! the (throughput, tail latency) series every figure plots.
+
+use crate::metrics::RunResult;
+use crate::scenario::Scenario;
+use crate::sim::Sim;
+
+/// One point of a sweep.
+#[derive(Clone, Debug)]
+pub struct SweepPoint {
+    /// Offered load, MRPS.
+    pub offered_mrps: f64,
+    /// Achieved goodput, MRPS.
+    pub achieved_mrps: f64,
+    /// Median latency, μs.
+    pub p50_us: f64,
+    /// 99th-percentile latency, μs (the paper's headline metric).
+    pub p99_us: f64,
+    /// 99.9th-percentile latency, μs.
+    pub p999_us: f64,
+    /// Mean latency, μs.
+    pub mean_us: f64,
+    /// Fraction of requests the switch cloned (NetClone runs).
+    pub clone_rate: f64,
+    /// Fraction of server responses reporting an empty queue.
+    pub empty_queue_fraction: f64,
+    /// The full run result (for scheme-specific detail).
+    pub run: RunResult,
+}
+
+/// Runs `template` at each rate in `rates_rps` (total across clients).
+pub fn sweep(template: &Scenario, rates_rps: &[f64]) -> Vec<SweepPoint> {
+    rates_rps
+        .iter()
+        .map(|&rate| {
+            let mut s = template.clone();
+            s.offered_rps = rate;
+            let run = Sim::run(s);
+            let (p50, p99, p999) = run.percentiles_us();
+            SweepPoint {
+                offered_mrps: rate / 1e6,
+                achieved_mrps: run.achieved_mrps(),
+                p50_us: p50,
+                p99_us: p99,
+                p999_us: p999,
+                mean_us: run.mean_us(),
+                clone_rate: run.switch.clone_rate(),
+                empty_queue_fraction: run.empty_queue_fraction(),
+                run,
+            }
+        })
+        .collect()
+}
+
+/// Evenly spaced rates from `lo_frac` to `hi_frac` of a scenario's
+/// capacity.
+pub fn capacity_fractions(template: &Scenario, lo_frac: f64, hi_frac: f64, n: usize) -> Vec<f64> {
+    let cap = template.capacity_rps();
+    assert!(n >= 2, "a sweep needs at least two points");
+    (0..n)
+        .map(|i| {
+            let f = lo_frac + (hi_frac - lo_frac) * i as f64 / (n - 1) as f64;
+            cap * f
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::Scheme;
+    use netclone_workloads::exp25;
+
+    #[test]
+    fn capacity_fractions_are_monotone() {
+        let t = Scenario::synthetic_default(Scheme::Baseline, exp25(), 1e6);
+        let rates = capacity_fractions(&t, 0.1, 0.9, 5);
+        assert_eq!(rates.len(), 5);
+        for w in rates.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+        assert!((rates[0] - t.capacity_rps() * 0.1).abs() < 1.0);
+    }
+}

@@ -1,0 +1,83 @@
+//! Property tests for the testbed simulation: conservation laws and
+//! determinism for arbitrary (small) scenario parameters.
+
+use netclone_cluster::{Scenario, Scheme, Sim};
+use netclone_workloads::exp25;
+use proptest::prelude::*;
+
+fn tiny(scheme: Scheme, servers: usize, load_pct: u8, seed: u64) -> Scenario {
+    let mut s = Scenario::synthetic_default(scheme, exp25(), 1.0);
+    s.servers.truncate(servers.max(2));
+    s.warmup_ns = 2_000_000;
+    s.measure_ns = 8_000_000;
+    s.offered_rps = (s.capacity_rps() * load_pct.clamp(5, 95) as f64 / 100.0).max(10_000.0);
+    s.seed = seed;
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Conservation for NetClone runs at arbitrary sizes and loads:
+    /// decision counters partition requests, recirculations equal clones,
+    /// and filtered ≤ cloned.
+    #[test]
+    fn netclone_counters_partition(
+        servers in 2usize..6,
+        load in 10u8..90,
+        seed in any::<u64>(),
+    ) {
+        let r = Sim::run(tiny(Scheme::NETCLONE, servers, load, seed));
+        prop_assert_eq!(
+            r.switch.requests,
+            r.switch.cloned + r.switch.clone_skipped_busy + r.switch.clone_skipped_uncloneable
+        );
+        prop_assert_eq!(r.switch.cloned, r.switch.recirculated);
+        // Windowed counters: clones born in warm-up may be filtered inside
+        // the measurement window, so allow in-flight boundary slack.
+        prop_assert!(r.switch.responses_filtered <= r.switch.cloned + 32);
+        prop_assert!(r.completed > 0);
+        // Without loss injection nothing vanishes silently. Windowed
+        // boundary: requests born during warm-up can complete inside the
+        // window, so completions may exceed generations by the in-flight
+        // population (bounded well under 256 at these rates).
+        prop_assert!(r.completed <= r.generated + 256);
+    }
+
+    /// Identical seeds give identical results; different seeds differ, for
+    /// any scheme.
+    #[test]
+    fn determinism_holds_for_all_schemes(
+        scheme_pick in 0usize..4,
+        seed in any::<u64>(),
+    ) {
+        let scheme = [
+            Scheme::Baseline,
+            Scheme::CClone,
+            Scheme::NETCLONE,
+            Scheme::RackSchedOnly,
+        ][scheme_pick];
+        let a = Sim::run(tiny(scheme, 3, 40, seed));
+        let b = Sim::run(tiny(scheme, 3, 40, seed));
+        prop_assert_eq!(a.completed, b.completed);
+        prop_assert_eq!(a.latency.quantile(0.99), b.latency.quantile(0.99));
+        prop_assert_eq!(a.generated, b.generated);
+    }
+
+    /// Baseline goodput tracks offered load below saturation, regardless
+    /// of fleet size.
+    #[test]
+    fn baseline_goodput_tracks_offered(
+        servers in 2usize..6,
+        load in 10u8..70,
+        seed in any::<u64>(),
+    ) {
+        let r = Sim::run(tiny(Scheme::Baseline, servers, load, seed));
+        prop_assert!(
+            r.achieved_rps > r.offered_rps * 0.85,
+            "achieved {} far below offered {}",
+            r.achieved_rps,
+            r.offered_rps
+        );
+    }
+}

@@ -1,0 +1,189 @@
+//! Shape tests: the qualitative claims of the paper's evaluation must hold
+//! in the simulated testbed at smoke scale. These are the guardrails that
+//! keep refactors from silently breaking the reproduction.
+
+use netclone_cluster::{Scenario, Scheme, Sim};
+use netclone_workloads::exp25;
+
+fn run_at(scheme: Scheme, frac_of_capacity: f64, seed: u64) -> netclone_cluster::RunResult {
+    let mut s = Scenario::synthetic_default(scheme, exp25(), 1.0);
+    s.warmup_ns = 10_000_000;
+    s.measure_ns = 60_000_000;
+    s.offered_rps = s.capacity_rps() * frac_of_capacity;
+    s.seed = seed;
+    Sim::run(s)
+}
+
+#[test]
+fn baseline_achieves_offered_load_below_saturation() {
+    let r = run_at(Scheme::Baseline, 0.5, 1);
+    println!(
+        "baseline@50%: offered {:.2} achieved {:.2} MRPS, p50 {:.0}us p99 {:.0}us",
+        r.offered_rps / 1e6,
+        r.achieved_mrps(),
+        r.percentiles_us().0,
+        r.p99_us()
+    );
+    assert!(r.achieved_rps > r.offered_rps * 0.93, "goodput collapse");
+    // Latency floor: ~8 μs network + 25 μs service; p50 in the tens of μs.
+    let (p50, p99, _) = r.percentiles_us();
+    assert!(p50 > 25.0 && p50 < 120.0, "p50 {p50}");
+    assert!(p99 > p50, "p99 {p99} must exceed p50 {p50}");
+    assert!(p99 < 2_000.0, "p99 {p99} absurdly high at 50% load");
+}
+
+#[test]
+fn netclone_beats_baseline_tail_at_mid_load() {
+    let base = run_at(Scheme::Baseline, 0.4, 2);
+    let nc = run_at(Scheme::NETCLONE, 0.4, 2);
+    println!(
+        "mid-load p99: baseline {:.0}us netclone {:.0}us (clone rate {:.2})",
+        base.p99_us(),
+        nc.p99_us(),
+        nc.switch.clone_rate()
+    );
+    assert!(
+        nc.p99_us() < base.p99_us() * 0.9,
+        "NetClone must cut the tail: {} vs {}",
+        nc.p99_us(),
+        base.p99_us()
+    );
+    assert!(nc.switch.clone_rate() > 0.2, "cloning should be frequent at 40% load");
+    assert!(
+        nc.achieved_rps > nc.offered_rps * 0.93,
+        "NetClone must not sacrifice goodput"
+    );
+}
+
+#[test]
+fn cclone_collapses_at_high_load_netclone_does_not() {
+    let cc = run_at(Scheme::CClone, 0.8, 3);
+    let nc = run_at(Scheme::NETCLONE, 0.8, 3);
+    println!(
+        "80% load: cclone p99 {:.0}us achieved {:.2}, netclone p99 {:.0}us achieved {:.2}",
+        cc.p99_us(),
+        cc.achieved_mrps(),
+        nc.p99_us(),
+        nc.achieved_mrps()
+    );
+    // C-Clone doubles server load: at 80% of capacity it is far past its
+    // tipping point.
+    assert!(
+        cc.p99_us() > nc.p99_us() * 3.0,
+        "C-Clone must be deep in overload: {} vs {}",
+        cc.p99_us(),
+        nc.p99_us()
+    );
+}
+
+#[test]
+fn cclone_wins_slightly_at_low_load() {
+    // §5.2: "at low loads, NetClone experiences worse latency than
+    // C-Clone" (C-Clone always clones; NetClone skips when a tracked queue
+    // is non-empty).
+    let cc = run_at(Scheme::CClone, 0.1, 4);
+    let nc = run_at(Scheme::NETCLONE, 0.1, 4);
+    println!(
+        "10% load p99: cclone {:.0}us netclone {:.0}us",
+        cc.p99_us(),
+        nc.p99_us()
+    );
+    assert!(
+        cc.p99_us() <= nc.p99_us() * 1.10,
+        "C-Clone should be at least on par at low load: {} vs {}",
+        cc.p99_us(),
+        nc.p99_us()
+    );
+}
+
+#[test]
+fn laedge_throughput_is_capped_by_the_coordinator() {
+    let mut s = Scenario::synthetic_default(Scheme::Laedge, exp25(), 1.0);
+    s.warmup_ns = 10_000_000;
+    s.measure_ns = 60_000_000;
+    s.offered_rps = 1_000_000.0; // well beyond the coordinator's CPU
+    let r = Sim::run(s);
+    println!(
+        "laedge@1MRPS offered: achieved {:.3} MRPS, p99 {:.0}us",
+        r.achieved_mrps(),
+        r.p99_us()
+    );
+    assert!(
+        r.achieved_mrps() < 0.7,
+        "LÆDGE must be CPU-capped: {}",
+        r.achieved_mrps()
+    );
+    // And NetClone at the same offered load sails through.
+    let mut s2 = Scenario::synthetic_default(Scheme::NETCLONE, exp25(), 1.0);
+    s2.warmup_ns = 10_000_000;
+    s2.measure_ns = 60_000_000;
+    s2.offered_rps = 1_000_000.0;
+    let nc = Sim::run(s2);
+    assert!(nc.achieved_rps > 0.9e6);
+}
+
+#[test]
+fn unfiltered_redundancy_hurts_at_high_load() {
+    let nof = run_at(Scheme::NETCLONE_NOFILTER, 0.92, 5);
+    let nc = run_at(Scheme::NETCLONE, 0.92, 5);
+    let base = run_at(Scheme::Baseline, 0.92, 5);
+    println!(
+        "92% load p99: nofilter {:.0}us netclone {:.0}us baseline {:.0}us (redundant rx {})",
+        nof.p99_us(),
+        nc.p99_us(),
+        base.p99_us(),
+        nof.client_redundant
+    );
+    assert!(nof.client_redundant > 0, "unfiltered run must leak responses");
+    assert!(
+        nof.p99_us() > nc.p99_us(),
+        "filtering must help at high load: {} vs {}",
+        nof.p99_us(),
+        nc.p99_us()
+    );
+}
+
+#[test]
+fn empty_queue_fraction_declines_with_load() {
+    let lo = run_at(Scheme::NETCLONE, 0.15, 6);
+    let hi = run_at(Scheme::NETCLONE, 0.9, 6);
+    println!(
+        "empty-queue fraction: 15% load {:.2}, 90% load {:.2}",
+        lo.empty_queue_fraction(),
+        hi.empty_queue_fraction()
+    );
+    assert!(lo.empty_queue_fraction() > hi.empty_queue_fraction());
+    assert!(
+        hi.empty_queue_fraction() > 0.02,
+        "queues still drain sometimes even at 90% (Fig. 13a)"
+    );
+    assert!(lo.empty_queue_fraction() > 0.7);
+}
+
+#[test]
+fn switch_failure_creates_a_throughput_hole_and_recovers() {
+    use netclone_cluster::experiments::{fig16, Scale};
+    let f = fig16::run(Scale::Smoke);
+    let before = f.mean_mrps_between(1.0, 5.0);
+    let during = f.mean_mrps_between(6.0, 9.5);
+    let after = f.mean_mrps_between(11.0, 24.0);
+    println!("fig16 smoke: before {before:.3} during {during:.3} after {after:.3} MRPS");
+    assert!(before > 0.5, "healthy throughput before the failure");
+    assert!(during < before * 0.1, "failure must zero throughput");
+    assert!(after > before * 0.8, "full recovery (soft state only)");
+}
+
+#[test]
+fn runs_are_deterministic_for_a_seed() {
+    let a = run_at(Scheme::NETCLONE, 0.5, 42);
+    let b = run_at(Scheme::NETCLONE, 0.5, 42);
+    assert_eq!(a.completed, b.completed);
+    assert_eq!(a.latency.quantile(0.99), b.latency.quantile(0.99));
+    assert_eq!(a.switch.cloned, b.switch.cloned);
+    let c = run_at(Scheme::NETCLONE, 0.5, 43);
+    assert_ne!(
+        (a.completed, a.switch.cloned),
+        (c.completed, c.switch.cloned),
+        "different seeds should differ"
+    );
+}

@@ -1,0 +1,81 @@
+//! Data-plane counters (the switch equivalents of P4 counters), used by
+//! tests, examples, and the experiment harness to observe cloning and
+//! filtering behaviour.
+
+/// Event counters maintained by the NetClone program.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SwitchCounters {
+    /// Fresh (non-recirculated) NetClone requests processed.
+    pub requests: u64,
+    /// Requests that were cloned (both candidates tracked idle).
+    pub cloned: u64,
+    /// Requests not cloned because at least one candidate was tracked busy.
+    pub clone_skipped_busy: u64,
+    /// Requests not cloned because the client marked them non-cloneable
+    /// (writes, §5.5).
+    pub clone_skipped_uncloneable: u64,
+    /// Requests forced to clone by the multi-packet affinity table (§3.7).
+    pub clone_forced_multipacket: u64,
+    /// Recirculated clone passes completed.
+    pub recirculated: u64,
+    /// Responses processed.
+    pub responses: u64,
+    /// Redundant (slower) responses dropped by the filter.
+    pub responses_filtered: u64,
+    /// Filter-slot overwrites of a *different* live request ID (hash
+    /// collision or lost-response reclamation, §3.5/§3.6).
+    pub filter_overwrites: u64,
+    /// Packets forwarded by the plain L2/L3 path (non-NetClone traffic and
+    /// multi-rack pass-through).
+    pub routed_plain: u64,
+    /// Packets dropped for lack of a route/group/address entry.
+    pub dropped_unroutable: u64,
+    /// RackSched-mode requests steered to the shorter queue (fallback
+    /// path, §3.7).
+    pub jsq_fallbacks: u64,
+}
+
+impl SwitchCounters {
+    /// Fraction of fresh requests that were cloned (0 when none seen).
+    pub fn clone_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.cloned as f64 / self.requests as f64
+        }
+    }
+
+    /// Fraction of responses that were filtered.
+    pub fn filter_rate(&self) -> f64 {
+        if self.responses == 0 {
+            0.0
+        } else {
+            self.responses_filtered as f64 / self.responses as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_handle_zero_denominators() {
+        let c = SwitchCounters::default();
+        assert_eq!(c.clone_rate(), 0.0);
+        assert_eq!(c.filter_rate(), 0.0);
+    }
+
+    #[test]
+    fn rates_compute() {
+        let c = SwitchCounters {
+            requests: 10,
+            cloned: 4,
+            responses: 14,
+            responses_filtered: 4,
+            ..Default::default()
+        };
+        assert!((c.clone_rate() - 0.4).abs() < 1e-12);
+        assert!((c.filter_rate() - 4.0 / 14.0).abs() < 1e-12);
+    }
+}

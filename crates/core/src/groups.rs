@@ -1,0 +1,75 @@
+//! Group-table construction.
+//!
+//! §3.3: "The number of groups is 2·C(n,2) as we choose two servers between
+//! n servers. Multiplying by two is to sustain the randomness of server
+//! selection because the switch forwards the request to the first candidate
+//! server if cloning conditions are not satisfied."
+//!
+//! In other words: groups are the **ordered** 2-permutations of the server
+//! set — n·(n−1) of them — so that a uniformly random group ID gives a
+//! uniformly random first candidate.
+
+use netclone_proto::ServerId;
+
+/// Enumerates all ordered pairs of distinct servers, in a deterministic
+/// order: pair `(a, b)` for every `a`, then every `b ≠ a`.
+pub fn build_groups(servers: &[ServerId]) -> Vec<(ServerId, ServerId)> {
+    let mut out = Vec::with_capacity(servers.len().saturating_mul(servers.len().saturating_sub(1)));
+    for &a in servers {
+        for &b in servers {
+            if a != b {
+                out.push((a, b));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_servers_give_two_groups() {
+        // The paper's example: with servers {1, 2} the groups are
+        // {Srv1,Srv2} and {Srv2,Srv1}.
+        let g = build_groups(&[1, 2]);
+        assert_eq!(g, vec![(1, 2), (2, 1)]);
+    }
+
+    #[test]
+    fn count_is_n_times_n_minus_1() {
+        for n in 2u16..10 {
+            let ids: Vec<ServerId> = (0..n).collect();
+            let g = build_groups(&ids);
+            assert_eq!(g.len(), (n * (n - 1)) as usize);
+        }
+    }
+
+    #[test]
+    fn first_candidates_are_uniform() {
+        let ids: Vec<ServerId> = (0..6).collect();
+        let g = build_groups(&ids);
+        for s in 0..6u16 {
+            let firsts = g.iter().filter(|(a, _)| *a == s).count();
+            assert_eq!(firsts, 5, "server {s} must lead exactly n-1 groups");
+        }
+    }
+
+    #[test]
+    fn no_self_pairs_and_no_duplicates() {
+        let ids: Vec<ServerId> = vec![3, 7, 11, 20];
+        let g = build_groups(&ids);
+        let mut seen = std::collections::HashSet::new();
+        for &(a, b) in &g {
+            assert_ne!(a, b);
+            assert!(seen.insert((a, b)), "duplicate pair ({a},{b})");
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(build_groups(&[]).is_empty());
+        assert!(build_groups(&[5]).is_empty());
+    }
+}

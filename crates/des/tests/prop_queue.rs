@@ -1,0 +1,59 @@
+//! Property tests for the event queue: chronological pops, stable ties,
+//! and clock monotonicity under arbitrary schedules.
+
+use netclone_des::{EventQueue, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// Popping returns events in non-decreasing time order regardless of
+    /// push order.
+    #[test]
+    fn pops_are_chronological(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_ns(t), i);
+        }
+        let mut last = SimTime::ZERO;
+        while let Some((at, _)) = q.pop() {
+            prop_assert!(at >= last);
+            last = at;
+        }
+    }
+
+    /// Events at equal times pop in push order (stable ties).
+    #[test]
+    fn equal_times_are_fifo(n in 1usize..100, t in 0u64..1_000) {
+        let mut q = EventQueue::new();
+        for i in 0..n {
+            q.schedule(SimTime::from_ns(t), i);
+        }
+        let popped: Vec<usize> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        let expected: Vec<usize> = (0..n).collect();
+        prop_assert_eq!(popped, expected);
+    }
+
+    /// Interleaving schedule_in with pops keeps the clock monotone and
+    /// drains everything exactly once.
+    #[test]
+    fn interleaved_scheduling_drains_once(
+        script in proptest::collection::vec((0u64..10_000, 0u8..3), 1..100)
+    ) {
+        let mut q = EventQueue::new();
+        let mut pushed = 0u64;
+        let mut popped = 0u64;
+        for &(delay, extra) in &script {
+            q.schedule_in(delay, ());
+            pushed += 1;
+            for _ in 0..extra {
+                if q.pop().is_some() {
+                    popped += 1;
+                }
+            }
+        }
+        while q.pop().is_some() {
+            popped += 1;
+        }
+        prop_assert_eq!(pushed, popped);
+        prop_assert_eq!(q.scheduled_total(), pushed);
+    }
+}

@@ -1,0 +1,414 @@
+//! The open-loop client model: sender + receiver threads with per-packet
+//! CPU costs, request addressing for every compared scheme, response
+//! dedup, and latency recording.
+
+use std::collections::HashMap;
+
+use netclone_proto::{ClientId, Ipv4, NetCloneHdr, PacketMeta, RpcOp, ServerState};
+use netclone_stats::LatencyHistogram;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::packet::AppPacket;
+
+/// How the client addresses its requests — one variant per compared scheme
+/// (paper §5.1.3).
+#[derive(Clone, Debug)]
+pub enum ClientMode {
+    /// NetClone: pick a random group ID and filter-table index; let the
+    /// switch choose the destination (§3.3).
+    NetClone {
+        /// Number of installed groups (n·(n−1)).
+        num_groups: u16,
+        /// Number of filter tables (for the random `IDX`).
+        num_filter_tables: u8,
+    },
+    /// Baseline: send to one uniformly random worker server, no cloning.
+    DirectRandom {
+        /// The worker servers' addresses.
+        servers: Vec<Ipv4>,
+    },
+    /// C-Clone: send duplicates to two distinct random servers; the client
+    /// processes both responses itself (§2.2).
+    DirectDuplicate {
+        /// The worker servers' addresses.
+        servers: Vec<Ipv4>,
+    },
+    /// LÆDGE: send everything to the coordinator host.
+    Coordinator {
+        /// The coordinator's address.
+        ip: Ipv4,
+    },
+}
+
+/// Outcome of the receiver thread processing one response.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RxOutcome {
+    /// When the receiver thread finished with the packet (≥ arrival; the
+    /// receiver is a serial resource).
+    pub done_at: u64,
+    /// The end-to-end latency recorded, if this was the *first* response
+    /// for its request. `None` for redundant/unknown responses.
+    pub latency_ns: Option<u64>,
+}
+
+/// Aggregate client statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ClientStats {
+    /// Requests generated.
+    pub generated: u64,
+    /// Packets sent (2× generated for C-Clone).
+    pub packets_sent: u64,
+    /// Completed requests (first responses).
+    pub completed: u64,
+    /// Redundant responses processed and discarded by the client.
+    pub redundant: u64,
+}
+
+/// One simulated client host.
+pub struct ClientSim {
+    cid: ClientId,
+    ip: Ipv4,
+    mode: ClientMode,
+    tx_cost_ns: u64,
+    rx_cost_ns: u64,
+    rng: StdRng,
+    tx_free_at: u64,
+    rx_free_at: u64,
+    next_seq: u32,
+    outstanding: HashMap<u32, u64>, // client_seq → born_ns
+    latencies: LatencyHistogram,
+    stats: ClientStats,
+}
+
+impl ClientSim {
+    /// Builds a client.
+    ///
+    /// `tx_cost_ns`/`rx_cost_ns` are the per-packet CPU costs of the sender
+    /// and receiver threads (§4.2's VMA path; see the cluster's calibration
+    /// module for the values used in experiments).
+    pub fn new(
+        cid: ClientId,
+        mode: ClientMode,
+        tx_cost_ns: u64,
+        rx_cost_ns: u64,
+        seed: u64,
+    ) -> Self {
+        ClientSim {
+            cid,
+            ip: Ipv4::client(cid),
+            mode,
+            tx_cost_ns,
+            rx_cost_ns,
+            rng: StdRng::seed_from_u64(seed),
+            tx_free_at: 0,
+            rx_free_at: 0,
+            next_seq: 0,
+            outstanding: HashMap::new(),
+            latencies: LatencyHistogram::new(),
+            stats: ClientStats::default(),
+        }
+    }
+
+    /// The client's address.
+    pub fn ip(&self) -> Ipv4 {
+        self.ip
+    }
+
+    /// The client's identity.
+    pub fn cid(&self) -> ClientId {
+        self.cid
+    }
+
+    /// Mutable access to the addressing mode — the §3.6 failure path
+    /// updates "the number of groups on the client side" (and direct modes
+    /// drop dead servers) through this.
+    pub fn mode_mut(&mut self) -> &mut ClientMode {
+        &mut self.mode
+    }
+
+    /// Latency histogram of completed requests.
+    pub fn latencies(&self) -> &LatencyHistogram {
+        &self.latencies
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> ClientStats {
+        self.stats
+    }
+
+    /// Requests still awaiting their first response.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Discards warm-up measurements (keeps outstanding bookkeeping).
+    pub fn reset_measurements(&mut self) {
+        self.latencies.clear();
+        self.stats = ClientStats::default();
+    }
+
+    /// Generates one request at time `now` and returns the packet(s) the
+    /// sender thread emits, each stamped with its TX-completion time.
+    ///
+    /// The open-loop generator never blocks: packets queue behind the
+    /// sender thread's per-packet cost (`tx_free_at`), exactly like an
+    /// application handing buffers to a userspace NIC queue.
+    pub fn generate(&mut self, op: RpcOp, now: u64) -> Vec<(AppPacket, u64)> {
+        let seq = self.next_seq;
+        self.next_seq = self.next_seq.wrapping_add(1);
+        self.outstanding.insert(seq, now);
+        self.stats.generated += 1;
+
+        // Writes must not be cloned (§5.5): mark them for the switch.
+        let uncloneable = !op.is_cloneable();
+        let mk_hdr = |grp: u16, idx: u8, me: &mut Self| {
+            let mut nc = NetCloneHdr::request(grp, idx, me.cid, seq);
+            if uncloneable {
+                nc.state = ServerState(1);
+            }
+            nc
+        };
+
+        let mut out = Vec::with_capacity(2);
+        let mut push = |me: &mut Self, mut meta: PacketMeta| {
+            let tx_done = now.max(me.tx_free_at) + me.tx_cost_ns;
+            me.tx_free_at = tx_done;
+            meta.src_ip = me.ip;
+            me.stats.packets_sent += 1;
+            out.push((
+                AppPacket {
+                    meta,
+                    op,
+                    born_ns: now,
+                },
+                tx_done,
+            ));
+        };
+
+        match self.mode.clone() {
+            ClientMode::NetClone {
+                num_groups,
+                num_filter_tables,
+            } => {
+                let grp = self.rng.random_range(0..num_groups.max(1));
+                let idx = self.rng.random_range(0..num_filter_tables.max(1));
+                let nc = mk_hdr(grp, idx, self);
+                push(self, PacketMeta::netclone_request(self.ip, nc, 84));
+            }
+            ClientMode::DirectRandom { servers } => {
+                let dst = servers[self.rng.random_range(0..servers.len())];
+                let nc = mk_hdr(0, 0, self);
+                let mut meta = PacketMeta::netclone_request(self.ip, nc, 84);
+                meta.dst_ip = dst;
+                push(self, meta);
+            }
+            ClientMode::DirectDuplicate { servers } => {
+                // Two distinct random servers (§2.2: "typically sends two
+                // duplicate requests").
+                let a = self.rng.random_range(0..servers.len());
+                let b = if servers.len() > 1 {
+                    let mut b = self.rng.random_range(0..servers.len() - 1);
+                    if b >= a {
+                        b += 1;
+                    }
+                    b
+                } else {
+                    a
+                };
+                for dst in [servers[a], servers[b]] {
+                    let nc = mk_hdr(0, 0, self);
+                    let mut meta = PacketMeta::netclone_request(self.ip, nc, 84);
+                    meta.dst_ip = dst;
+                    push(self, meta);
+                }
+            }
+            ClientMode::Coordinator { ip } => {
+                let nc = mk_hdr(0, 0, self);
+                let mut meta = PacketMeta::netclone_request(self.ip, nc, 84);
+                meta.dst_ip = ip;
+                push(self, meta);
+            }
+        }
+        out
+    }
+
+    /// Receiver thread handles one response arriving at `now`.
+    ///
+    /// Every response — wanted or redundant — occupies the receiver for
+    /// `rx_cost_ns` (this is the client-side redundancy overhead of §2.2
+    /// and the mechanism behind Fig. 15). Latency is recorded at receiver
+    /// completion for the first response of each request.
+    pub fn on_response(&mut self, pkt: &AppPacket, now: u64) -> RxOutcome {
+        let done_at = now.max(self.rx_free_at) + self.rx_cost_ns;
+        self.rx_free_at = done_at;
+        match self.outstanding.remove(&pkt.meta.nc.client_seq) {
+            Some(born) => {
+                let latency = done_at.saturating_sub(born);
+                self.latencies.record(latency);
+                self.stats.completed += 1;
+                RxOutcome {
+                    done_at,
+                    latency_ns: Some(latency),
+                }
+            }
+            None => {
+                self.stats.redundant += 1;
+                RxOutcome {
+                    done_at,
+                    latency_ns: None,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn echo() -> RpcOp {
+        RpcOp::Echo { class_ns: 25_000 }
+    }
+
+    #[test]
+    fn netclone_mode_leaves_destination_to_the_switch() {
+        let mut c = ClientSim::new(
+            0,
+            ClientMode::NetClone {
+                num_groups: 30,
+                num_filter_tables: 2,
+            },
+            350,
+            500,
+            1,
+        );
+        let out = c.generate(echo(), 1_000);
+        assert_eq!(out.len(), 1);
+        let (pkt, tx_done) = out[0];
+        assert!(pkt.meta.dst_ip.is_unspecified());
+        assert!(pkt.meta.nc.grp < 30);
+        assert!(pkt.meta.nc.idx < 2);
+        assert_eq!(tx_done, 1_350);
+        assert_eq!(pkt.born_ns, 1_000);
+    }
+
+    #[test]
+    fn cclone_mode_duplicates_to_distinct_servers() {
+        let servers: Vec<Ipv4> = (0..6).map(Ipv4::server).collect();
+        let mut c = ClientSim::new(0, ClientMode::DirectDuplicate { servers }, 350, 500, 2);
+        for _ in 0..100 {
+            let out = c.generate(echo(), 0);
+            assert_eq!(out.len(), 2);
+            assert_ne!(out[0].0.meta.dst_ip, out[1].0.meta.dst_ip);
+            assert_eq!(out[0].0.meta.nc.client_seq, out[1].0.meta.nc.client_seq);
+        }
+        assert_eq!(c.stats().packets_sent, 200);
+    }
+
+    #[test]
+    fn sender_thread_serialises_packets() {
+        let servers: Vec<Ipv4> = (0..4).map(Ipv4::server).collect();
+        let mut c = ClientSim::new(0, ClientMode::DirectDuplicate { servers }, 350, 500, 3);
+        let out = c.generate(echo(), 0);
+        assert_eq!(out[0].1, 350);
+        assert_eq!(out[1].1, 700, "second copy queues behind the first");
+    }
+
+    #[test]
+    fn first_response_records_latency_second_is_redundant() {
+        let mut c = ClientSim::new(
+            0,
+            ClientMode::NetClone {
+                num_groups: 30,
+                num_filter_tables: 2,
+            },
+            0,
+            500,
+            4,
+        );
+        let out = c.generate(echo(), 0);
+        let pkt = out[0].0;
+        let r1 = c.on_response(&pkt, 40_000);
+        assert_eq!(r1.latency_ns, Some(40_500));
+        let r2 = c.on_response(&pkt, 41_000);
+        assert_eq!(r2.latency_ns, None);
+        let st = c.stats();
+        assert_eq!(st.completed, 1);
+        assert_eq!(st.redundant, 1);
+        assert_eq!(c.latencies().count(), 1);
+    }
+
+    #[test]
+    fn receiver_thread_backpressure_inflates_latency() {
+        let mut c = ClientSim::new(
+            0,
+            ClientMode::NetClone {
+                num_groups: 30,
+                num_filter_tables: 2,
+            },
+            0,
+            1_000,
+            5,
+        );
+        let a = c.generate(echo(), 0)[0].0;
+        let b = c.generate(echo(), 0)[0].0;
+        // Both responses arrive at t=10_000; the second waits for the
+        // receiver.
+        let r1 = c.on_response(&a, 10_000);
+        let r2 = c.on_response(&b, 10_000);
+        assert_eq!(r1.done_at, 11_000);
+        assert_eq!(r2.done_at, 12_000);
+        assert_eq!(r2.latency_ns, Some(12_000));
+    }
+
+    #[test]
+    fn writes_are_marked_uncloneable() {
+        let mut c = ClientSim::new(
+            0,
+            ClientMode::NetClone {
+                num_groups: 30,
+                num_filter_tables: 2,
+            },
+            0,
+            0,
+            6,
+        );
+        let put = RpcOp::Put {
+            key: netclone_proto::KvKey::from_index(1),
+            value_len: 64,
+        };
+        let out = c.generate(put, 0);
+        assert_eq!(out[0].0.meta.nc.state, ServerState(1));
+        let get = c.generate(echo(), 0);
+        assert_eq!(get[0].0.meta.nc.state, ServerState(0));
+    }
+
+    #[test]
+    fn coordinator_mode_targets_the_coordinator() {
+        let coord = Ipv4::new(10, 0, 3, 1);
+        let mut c = ClientSim::new(0, ClientMode::Coordinator { ip: coord }, 0, 0, 7);
+        let out = c.generate(echo(), 0);
+        assert_eq!(out[0].0.meta.dst_ip, coord);
+    }
+
+    #[test]
+    fn reset_measurements_keeps_outstanding() {
+        let mut c = ClientSim::new(
+            0,
+            ClientMode::NetClone {
+                num_groups: 30,
+                num_filter_tables: 2,
+            },
+            0,
+            0,
+            8,
+        );
+        let pkt = c.generate(echo(), 0)[0].0;
+        c.reset_measurements();
+        assert_eq!(c.stats().generated, 0);
+        // The in-flight request still completes after the reset.
+        let r = c.on_response(&pkt, 50_000);
+        assert!(r.latency_ns.is_some());
+    }
+}

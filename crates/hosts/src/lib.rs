@@ -1,0 +1,29 @@
+//! # netclone-hosts
+//!
+//! Host-side models for the evaluation testbed (paper §4.2):
+//!
+//! * [`ServerSim`] — "The server consists of a single dispatcher thread and
+//!   multiple worker threads. The dispatcher enqueues received requests
+//!   into a global request queue with FCFS policy. Worker threads dequeue
+//!   requests and process them in parallel." Plus the NetClone server-side
+//!   rule from §3.4: a cloned request (`CLO=2`) is **dropped** if the queue
+//!   is non-empty on arrival, and every response piggybacks the current
+//!   queue state.
+//! * [`ClientSim`] — "an open-loop multi-threaded application … one sender
+//!   thread and one receiver thread", with per-packet CPU costs on both
+//!   (the VMA kernel-bypass path still costs hundreds of ns per packet);
+//!   the receiver cost is what makes unfiltered redundant responses harmful
+//!   at load (Fig. 15) and halves C-Clone's effective capacity (§2.2).
+//!
+//! Clients implement all four request-addressing modes of the evaluation:
+//! NetClone (group ID, unspecified destination), Baseline (random server),
+//! C-Clone (duplicate to two random servers), and coordinator-directed
+//! (LÆDGE).
+
+pub mod client;
+pub mod packet;
+pub mod server;
+
+pub use client::{ClientMode, ClientSim, RxOutcome};
+pub use packet::AppPacket;
+pub use server::{Admission, Completion, ServerConfig, ServerSim};

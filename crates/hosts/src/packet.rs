@@ -1,0 +1,36 @@
+//! [`AppPacket`] — a packet as hosts see it: switch-visible metadata plus
+//! the application payload and the client-side birth timestamp used for
+//! end-to-end latency measurement.
+
+use netclone_proto::{PacketMeta, RpcOp};
+
+/// One in-flight packet at the application layer.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AppPacket {
+    /// The switch-visible slice (addresses + NetClone header).
+    pub meta: PacketMeta,
+    /// The RPC operation (payload).
+    pub op: RpcOp,
+    /// When the request was *generated* at the client, ns. Carried through
+    /// the response so latency is measured generation → receiver-thread
+    /// completion, exactly like the paper's client.
+    pub born_ns: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netclone_proto::{Ipv4, NetCloneHdr};
+
+    #[test]
+    fn app_packet_is_copy_cheap() {
+        let p = AppPacket {
+            meta: PacketMeta::netclone_request(Ipv4::client(0), NetCloneHdr::request(0, 0, 0, 0), 84),
+            op: RpcOp::Echo { class_ns: 25_000 },
+            born_ns: 123,
+        };
+        let q = p; // Copy
+        assert_eq!(p, q);
+        assert!(std::mem::size_of::<AppPacket>() <= 96, "keep the hot type small");
+    }
+}

@@ -1,0 +1,398 @@
+//! The worker-server model: dispatcher + FCFS queue + worker threads, the
+//! §3.4 cloned-request drop rule, and state piggybacking.
+
+use std::collections::VecDeque;
+
+use netclone_kvstore::ServiceCostModel;
+use netclone_proto::{CloneStatus, RpcOp, ServerId, ServerState};
+use netclone_workloads::{Jitter, ServiceShape};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::packet::AppPacket;
+
+/// Static configuration of one worker server.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Server identity (the `SID` field of its responses).
+    pub sid: ServerId,
+    /// Worker threads processing requests in parallel (paper: 15 for
+    /// synthetic workloads + 1 dispatcher on a 16-thread CPU; 8 for KV).
+    pub workers: usize,
+    /// Dispatcher cost to receive + enqueue one request, ns.
+    pub dispatch_ns: u64,
+    /// Dispatcher cost to receive + drop a cloned request, ns (the §5.3.2
+    /// "processing cost \[that\] can be harmful … at very high loads").
+    pub clone_drop_ns: u64,
+    /// Distribution of execution time around a request's class.
+    pub shape: ServiceShape,
+    /// The §5.1.2 jitter model (×15 with probability p).
+    pub jitter: Jitter,
+    /// Cost model for KV operations (Echo requests carry their own class).
+    pub cost: ServiceCostModel,
+    /// RNG seed (derive via `SeedFactory`).
+    pub seed: u64,
+}
+
+impl ServerConfig {
+    /// The paper's synthetic-workload server: 15 workers, exponential
+    /// service shape, high-variability jitter.
+    pub fn synthetic(sid: ServerId, seed: u64) -> Self {
+        ServerConfig {
+            sid,
+            workers: 15,
+            dispatch_ns: 300,
+            clone_drop_ns: 200,
+            shape: ServiceShape::Exponential,
+            jitter: Jitter::HIGH,
+            cost: ServiceCostModel::redis(), // unused by Echo classes
+            seed,
+        }
+    }
+
+    /// The paper's KV server: 8 worker threads (§5.5), Gamma(4) service
+    /// dispersion over the store's cost model.
+    pub fn kv(sid: ServerId, cost: ServiceCostModel, seed: u64) -> Self {
+        ServerConfig {
+            sid,
+            workers: 8,
+            dispatch_ns: 300,
+            clone_drop_ns: 200,
+            shape: ServiceShape::Gamma4,
+            jitter: Jitter::HIGH,
+            cost,
+            seed,
+        }
+    }
+}
+
+/// What happened to an arriving request.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Admission {
+    /// A worker picked it up immediately; service completes at `done_at`.
+    Start {
+        /// Absolute completion time, ns.
+        done_at: u64,
+    },
+    /// Enqueued behind other requests (FCFS).
+    Queued,
+    /// A `CLO=2` clone arriving at a non-empty queue: dropped (§3.4).
+    CloneDropped,
+}
+
+/// What a completed service hands back.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Completion {
+    /// The state to piggyback on the response (queue length at send time,
+    /// §3.4/§5.6.1).
+    pub state: ServerState,
+    /// The next queued request this worker immediately starts, with its
+    /// completion time.
+    pub next: Option<(AppPacket, u64)>,
+}
+
+/// Aggregate server statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServerStats {
+    /// Requests fully served.
+    pub served: u64,
+    /// Cloned requests dropped at the dispatcher.
+    pub clones_dropped: u64,
+    /// Responses that reported an empty queue (Fig. 13a numerator).
+    pub idle_reports: u64,
+    /// Total responses sent (Fig. 13a denominator).
+    pub responses: u64,
+    /// Peak queue length observed.
+    pub peak_queue: usize,
+}
+
+/// One simulated worker server.
+pub struct ServerSim {
+    cfg: ServerConfig,
+    rng: StdRng,
+    queue: VecDeque<AppPacket>,
+    busy_workers: usize,
+    dispatcher_free_at: u64,
+    stats: ServerStats,
+    alive: bool,
+}
+
+impl ServerSim {
+    /// Builds a server from its configuration.
+    pub fn new(cfg: ServerConfig) -> Self {
+        ServerSim {
+            rng: StdRng::seed_from_u64(cfg.seed),
+            cfg,
+            queue: VecDeque::new(),
+            busy_workers: 0,
+            dispatcher_free_at: 0,
+            stats: ServerStats::default(),
+            alive: true,
+        }
+    }
+
+    /// The server's identity.
+    pub fn sid(&self) -> ServerId {
+        self.cfg.sid
+    }
+
+    /// Current queue length (excludes in-service requests — this is the
+    /// quantity the paper's servers report and check).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Workers currently serving requests.
+    pub fn busy_workers(&self) -> usize {
+        self.busy_workers
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> ServerStats {
+        self.stats
+    }
+
+    /// Marks the server failed: it silently drops everything (§3.6).
+    pub fn kill(&mut self) {
+        self.alive = false;
+        self.queue.clear();
+        self.busy_workers = 0;
+    }
+
+    /// Brings a failed server back, empty.
+    pub fn revive(&mut self) {
+        self.alive = true;
+    }
+
+    /// True when the server is up.
+    pub fn is_alive(&self) -> bool {
+        self.alive
+    }
+
+    /// Draws the execution time for one request (class → shape → jitter).
+    fn draw_service_ns(&mut self, op: &RpcOp) -> u64 {
+        let class = self.cfg.cost.class_ns(op);
+        let base = self.cfg.shape.sample(&mut self.rng, class);
+        self.cfg.jitter.apply(&mut self.rng, base)
+    }
+
+    /// Handles one arriving request packet at time `now`.
+    pub fn on_request(&mut self, pkt: AppPacket, now: u64) -> Admission {
+        if !self.alive {
+            return Admission::CloneDropped; // silently lost; caller ignores
+        }
+        // The single dispatcher thread serialises receive+enqueue work.
+        let t0 = now.max(self.dispatcher_free_at);
+        // §3.4: "the server drops the packet request if the queue is not
+        // empty when receiving a cloned request … only cloned requests
+        // (CLO=2) are dropped, while the original (CLO=1) is processed
+        // normally."
+        if pkt.meta.nc.clo == CloneStatus::Clone && !self.queue.is_empty() {
+            self.dispatcher_free_at = t0 + self.cfg.clone_drop_ns;
+            self.stats.clones_dropped += 1;
+            return Admission::CloneDropped;
+        }
+        let ready = t0 + self.cfg.dispatch_ns;
+        self.dispatcher_free_at = ready;
+        if self.busy_workers < self.cfg.workers && self.queue.is_empty() {
+            self.busy_workers += 1;
+            let service = self.draw_service_ns(&pkt.op);
+            Admission::Start {
+                done_at: ready + service,
+            }
+        } else {
+            self.queue.push_back(pkt);
+            self.stats.peak_queue = self.stats.peak_queue.max(self.queue.len());
+            Admission::Queued
+        }
+    }
+
+    /// Completes one service at time `now`: pulls the next queued request
+    /// (if any) onto the freed worker, then reports the piggyback state.
+    ///
+    /// The worker loop is *dequeue next, then send the response* — so the
+    /// "current queue length when sending a response" (§5.6.1) is the
+    /// post-dequeue length. This makes the idle signal optimistic about
+    /// imminent drain, which is what lets cloning persist into high loads
+    /// (§5.6.1: "queues do not always build up even under very high
+    /// loads") and produces the §5.3.2 herding effects the paper observes.
+    pub fn on_service_done(&mut self, now: u64) -> Completion {
+        debug_assert!(self.busy_workers > 0, "completion without a busy worker");
+        self.busy_workers = self.busy_workers.saturating_sub(1);
+        self.stats.served += 1;
+        let next = self.queue.pop_front().map(|pkt| {
+            self.busy_workers += 1;
+            let service = self.draw_service_ns(&pkt.op);
+            (pkt, now + service)
+        });
+        let state = ServerState::from_queue_len(self.queue.len());
+        self.stats.responses += 1;
+        if state.is_idle() {
+            self.stats.idle_reports += 1;
+        }
+        Completion { state, next }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netclone_proto::{Ipv4, NetCloneHdr, PacketMeta};
+
+    fn pkt(clo: CloneStatus) -> AppPacket {
+        let mut meta =
+            PacketMeta::netclone_request(Ipv4::client(0), NetCloneHdr::request(0, 0, 0, 0), 84);
+        meta.nc.clo = clo;
+        AppPacket {
+            meta,
+            op: RpcOp::Echo { class_ns: 25_000 },
+            born_ns: 0,
+        }
+    }
+
+    fn det_server(workers: usize) -> ServerSim {
+        let mut cfg = ServerConfig::synthetic(0, 1);
+        cfg.workers = workers;
+        cfg.shape = ServiceShape::Deterministic;
+        cfg.jitter = Jitter::NONE;
+        cfg.dispatch_ns = 100;
+        ServerSim::new(cfg)
+    }
+
+    #[test]
+    fn idle_server_starts_immediately() {
+        let mut s = det_server(2);
+        match s.on_request(pkt(CloneStatus::NotCloned), 1_000) {
+            Admission::Start { done_at } => assert_eq!(done_at, 1_000 + 100 + 25_000),
+            other => panic!("expected Start, got {other:?}"),
+        }
+        assert_eq!(s.busy_workers(), 1);
+        assert_eq!(s.queue_len(), 0);
+    }
+
+    #[test]
+    fn requests_queue_when_workers_are_busy() {
+        let mut s = det_server(1);
+        assert!(matches!(
+            s.on_request(pkt(CloneStatus::NotCloned), 0),
+            Admission::Start { .. }
+        ));
+        assert_eq!(s.on_request(pkt(CloneStatus::NotCloned), 10), Admission::Queued);
+        assert_eq!(s.queue_len(), 1);
+    }
+
+    #[test]
+    fn clone_dropped_iff_queue_nonempty() {
+        let mut s = det_server(1);
+        // Queue empty, worker free: the clone is served.
+        assert!(matches!(
+            s.on_request(pkt(CloneStatus::Clone), 0),
+            Admission::Start { .. }
+        ));
+        // Queue empty, worker busy: the clone queues (only *non-empty
+        // queues* drop clones, §3.4).
+        assert_eq!(s.on_request(pkt(CloneStatus::Clone), 10), Admission::Queued);
+        // Queue non-empty: the clone is dropped.
+        assert_eq!(
+            s.on_request(pkt(CloneStatus::Clone), 20),
+            Admission::CloneDropped
+        );
+        assert_eq!(s.stats().clones_dropped, 1);
+        // …while an original (CLO=1) is processed normally.
+        assert_eq!(
+            s.on_request(pkt(CloneStatus::ClonedOriginal), 30),
+            Admission::Queued
+        );
+    }
+
+    #[test]
+    fn completion_reports_queue_state_and_chains_next() {
+        let mut s = det_server(1);
+        let done_at = match s.on_request(pkt(CloneStatus::NotCloned), 0) {
+            Admission::Start { done_at } => done_at,
+            other => panic!("{other:?}"),
+        };
+        s.on_request(pkt(CloneStatus::NotCloned), 10);
+        s.on_request(pkt(CloneStatus::NotCloned), 20);
+        assert_eq!(s.queue_len(), 2);
+        let c = s.on_service_done(done_at);
+        // State sampled after the worker dequeues its next request:
+        // 2 were queued, 1 remains.
+        assert_eq!(c.state.queue_len(), 1);
+        let (next_pkt, next_done) = c.next.expect("worker must chain");
+        assert_eq!(next_pkt.meta.nc.clo, CloneStatus::NotCloned);
+        assert_eq!(next_done, done_at + 25_000);
+        assert_eq!(s.queue_len(), 1);
+        assert_eq!(s.busy_workers(), 1);
+    }
+
+    #[test]
+    fn idle_reports_track_empty_queue_fraction() {
+        let mut s = det_server(2);
+        let d1 = match s.on_request(pkt(CloneStatus::NotCloned), 0) {
+            Admission::Start { done_at } => done_at,
+            _ => unreachable!(),
+        };
+        let c = s.on_service_done(d1);
+        assert!(c.state.is_idle());
+        let st = s.stats();
+        assert_eq!(st.idle_reports, 1);
+        assert_eq!(st.responses, 1);
+    }
+
+    #[test]
+    fn dispatcher_serialises_arrivals() {
+        let mut s = det_server(4);
+        // Two arrivals at the same instant: the second starts 100 ns later
+        // (dispatcher cost), so completions differ.
+        let a = match s.on_request(pkt(CloneStatus::NotCloned), 0) {
+            Admission::Start { done_at } => done_at,
+            _ => unreachable!(),
+        };
+        let b = match s.on_request(pkt(CloneStatus::NotCloned), 0) {
+            Admission::Start { done_at } => done_at,
+            _ => unreachable!(),
+        };
+        assert_eq!(b, a + 100);
+    }
+
+    #[test]
+    fn killed_server_swallows_requests() {
+        let mut s = det_server(1);
+        s.kill();
+        assert!(!s.is_alive());
+        assert_eq!(
+            s.on_request(pkt(CloneStatus::NotCloned), 0),
+            Admission::CloneDropped
+        );
+        s.revive();
+        assert!(matches!(
+            s.on_request(pkt(CloneStatus::NotCloned), 0),
+            Admission::Start { .. }
+        ));
+    }
+
+    #[test]
+    fn jitter_inflates_some_services() {
+        let mut cfg = ServerConfig::synthetic(0, 7);
+        cfg.workers = 1_000_000; // never queue
+        cfg.shape = ServiceShape::Deterministic;
+        cfg.jitter = Jitter { p: 0.5, factor: 15 };
+        let mut s = ServerSim::new(cfg);
+        let mut slow = 0;
+        for i in 0..1_000 {
+            match s.on_request(pkt(CloneStatus::NotCloned), i * 1_000_000) {
+                Admission::Start { done_at } => {
+                    let service = done_at - i * 1_000_000 - cfg.dispatch_ns;
+                    if service == 375_000 {
+                        slow += 1;
+                    } else {
+                        assert_eq!(service, 25_000);
+                    }
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+        assert!((300..700).contains(&slow), "jitter hits {slow}/1000");
+    }
+}

@@ -1,0 +1,136 @@
+//! Property tests for the server model: queue discipline, worker
+//! accounting, and the §3.4 clone-drop rule under arbitrary arrival
+//! scripts.
+
+use netclone_hosts::{Admission, AppPacket, ServerConfig, ServerSim};
+use netclone_kvstore::ServiceCostModel;
+use netclone_proto::{CloneStatus, Ipv4, NetCloneHdr, PacketMeta, RpcOp};
+use netclone_workloads::{Jitter, ServiceShape};
+use proptest::prelude::*;
+
+fn pkt(clo: CloneStatus) -> AppPacket {
+    let mut meta =
+        PacketMeta::netclone_request(Ipv4::client(0), NetCloneHdr::request(0, 0, 0, 0), 84);
+    meta.nc.clo = clo;
+    AppPacket {
+        meta,
+        op: RpcOp::Echo { class_ns: 10_000 },
+        born_ns: 0,
+    }
+}
+
+fn server(workers: usize, seed: u64) -> ServerSim {
+    ServerSim::new(ServerConfig {
+        sid: 0,
+        workers,
+        dispatch_ns: 100,
+        clone_drop_ns: 50,
+        shape: ServiceShape::Deterministic,
+        jitter: Jitter::NONE,
+        cost: ServiceCostModel::redis(),
+        seed,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Under any interleaving of arrivals and completions:
+    /// * busy workers never exceed the worker count,
+    /// * admitted = started + queued (clone drops excluded),
+    /// * every admitted request eventually completes,
+    /// * clones are dropped only when the queue was non-empty.
+    #[test]
+    fn server_accounting_is_conserved(
+        workers in 1usize..8,
+        script in proptest::collection::vec((any::<bool>(), 0u8..3), 1..120),
+        seed in any::<u64>(),
+    ) {
+        let mut s = server(workers, seed);
+        let mut now = 0u64;
+        let mut in_service = std::collections::BinaryHeap::new(); // Reverse(done_at)
+        let mut admitted = 0u64;
+        let mut completed = 0u64;
+        let mut dropped = 0u64;
+
+        for (is_clone, completions_first) in script {
+            // Optionally drain some completions before the next arrival.
+            for _ in 0..completions_first {
+                if let Some(std::cmp::Reverse(done_at)) = in_service.pop() {
+                    now = now.max(done_at);
+                    let c = s.on_service_done(now);
+                    completed += 1;
+                    if let Some((_pkt, next_done)) = c.next {
+                        in_service.push(std::cmp::Reverse(next_done));
+                    }
+                }
+            }
+            now += 1_000;
+            let clo = if is_clone { CloneStatus::Clone } else { CloneStatus::NotCloned };
+            let queue_before = s.queue_len();
+            match s.on_request(pkt(clo), now) {
+                Admission::Start { done_at } => {
+                    prop_assert!(done_at > now);
+                    in_service.push(std::cmp::Reverse(done_at));
+                    admitted += 1;
+                }
+                Admission::Queued => {
+                    admitted += 1;
+                }
+                Admission::CloneDropped => {
+                    prop_assert!(is_clone, "only clones may be dropped");
+                    prop_assert!(queue_before > 0, "drops require a non-empty queue");
+                    dropped += 1;
+                }
+            }
+            prop_assert!(s.busy_workers() <= workers);
+        }
+
+        // Drain everything.
+        while let Some(std::cmp::Reverse(done_at)) = in_service.pop() {
+            now = now.max(done_at);
+            let c = s.on_service_done(now);
+            completed += 1;
+            if let Some((_pkt, next_done)) = c.next {
+                in_service.push(std::cmp::Reverse(next_done));
+            }
+        }
+        prop_assert_eq!(s.queue_len(), 0, "drain must empty the queue");
+        prop_assert_eq!(s.busy_workers(), 0);
+        prop_assert_eq!(completed, admitted, "every admitted request completes");
+        prop_assert_eq!(s.stats().clones_dropped, dropped);
+        prop_assert_eq!(s.stats().served, completed);
+    }
+
+    /// Idle reports equal responses whose post-dequeue queue was empty.
+    #[test]
+    fn idle_reports_match_observed_states(
+        arrivals in 1usize..40,
+        seed in any::<u64>(),
+    ) {
+        let mut s = server(2, seed);
+        let mut now = 0u64;
+        let mut in_service = Vec::new();
+        for _ in 0..arrivals {
+            now += 500;
+            if let Admission::Start { done_at } = s.on_request(pkt(CloneStatus::NotCloned), now) {
+                in_service.push(done_at);
+            }
+        }
+        let mut idle_seen = 0u64;
+        let mut responses = 0u64;
+        while let Some(done_at) = in_service.pop() {
+            now = now.max(done_at);
+            let c = s.on_service_done(now);
+            responses += 1;
+            if c.state.is_idle() {
+                idle_seen += 1;
+            }
+            if let Some((_p, d)) = c.next {
+                in_service.push(d);
+            }
+        }
+        prop_assert_eq!(s.stats().idle_reports, idle_seen);
+        prop_assert_eq!(s.stats().responses, responses);
+    }
+}

@@ -1,0 +1,17 @@
+//! # netclone-kvstore
+//!
+//! An in-memory key-value store standing in for the Redis and Memcached
+//! backends of the paper's §5.5 experiments, plus the calibrated service-
+//! cost models the simulator uses for those experiments.
+//!
+//! The store itself is real and is executed by the real-socket runtime
+//! (`netclone-net`); the discrete-event simulator only needs the *cost* of
+//! an operation, which [`ServiceCostModel`] provides. The paper's setup:
+//! 1 million objects, 16-byte keys, 64-byte values, GET reads one object,
+//! SCAN reads 100 consecutive objects.
+
+pub mod cost;
+pub mod store;
+
+pub use cost::ServiceCostModel;
+pub use store::KvStore;

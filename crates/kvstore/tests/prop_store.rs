@@ -1,0 +1,68 @@
+//! Property tests for the KV store: scans always return the requested
+//! number of objects for in-range starts, wrap correctly, and execute()
+//! never panics for arbitrary operations.
+
+use netclone_kvstore::KvStore;
+use netclone_proto::{KvKey, RpcOp};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn scan_reads_exactly_count(
+        n in 1usize..200,
+        start in 0u64..400,
+        count in 0u16..300,
+        value_len in 1usize..32,
+    ) {
+        let s = KvStore::populate(n, value_len);
+        let (bytes, objects) = s.scan(&KvKey::from_index(start), count);
+        if (start as usize) < n {
+            prop_assert_eq!(objects, count as u32);
+            prop_assert_eq!(bytes.len(), count as usize * value_len);
+        } else {
+            prop_assert_eq!(objects, 0);
+            prop_assert!(bytes.is_empty());
+        }
+    }
+
+    #[test]
+    fn get_hits_iff_in_population(n in 1usize..200, idx in 0u64..400) {
+        let s = KvStore::populate(n, 8);
+        let hit = s.get(&KvKey::from_index(idx)).is_some();
+        prop_assert_eq!(hit, (idx as usize) < n);
+    }
+
+    #[test]
+    fn put_then_get_round_trips(n in 1usize..100, idx in 0u64..100, data in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let mut s = KvStore::populate(n, 8);
+        let key = KvKey::from_index(idx);
+        let ok = s.put(&key, &data);
+        if (idx as usize) < n {
+            prop_assert!(ok);
+            prop_assert_eq!(s.get(&key).unwrap(), &data[..]);
+        } else {
+            prop_assert!(!ok);
+        }
+    }
+
+    #[test]
+    fn execute_never_panics(
+        n in 1usize..64,
+        idx in 0u64..128,
+        count in 0u16..200,
+        value_len in 0u16..128,
+    ) {
+        let mut s = KvStore::populate(n, 8);
+        let key = KvKey::from_index(idx);
+        for op in [
+            RpcOp::Echo { class_ns: 25_000 },
+            RpcOp::Get { key },
+            RpcOp::Scan { key, count },
+            RpcOp::Put { key, value_len },
+        ] {
+            let _ = s.execute(&op);
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! The real-socket client: NetClone-style addressing (random group +
+//! filter-table index, destination left to the switch), latency
+//! measurement, and redundant-response accounting.
+
+use std::net::{SocketAddr, UdpSocket};
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use netclone_proto::{ClientId, Ipv4, NetCloneHdr, PacketMeta, RpcOp, ServerState};
+use netclone_stats::LatencyHistogram;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::codec::{decode_packet, encode_packet};
+
+/// Errors from a blocking call.
+#[derive(Debug, PartialEq, Eq)]
+pub enum CallError {
+    /// No response within the timeout.
+    Timeout,
+    /// Socket error (description).
+    Io(String),
+}
+
+impl std::fmt::Display for CallError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CallError::Timeout => write!(f, "request timed out"),
+            CallError::Io(e) => write!(f, "socket error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CallError {}
+
+/// One response as the client application sees it.
+#[derive(Debug, Clone)]
+pub struct CallReply {
+    /// Which server answered.
+    pub sid: u16,
+    /// The piggybacked server state.
+    pub state: ServerState,
+    /// Whether the winning response came from the clone (`CLO=2`).
+    pub from_clone: bool,
+    /// The response value bytes.
+    pub value: Vec<u8>,
+    /// Measured round-trip latency.
+    pub latency: Duration,
+}
+
+/// A real-socket NetClone client.
+pub struct UdpClient {
+    cid: ClientId,
+    vip: Ipv4,
+    socket: UdpSocket,
+    switch_addr: SocketAddr,
+    num_groups: u16,
+    num_filter_tables: u8,
+    rng: StdRng,
+    next_seq: u32,
+    latencies: LatencyHistogram,
+    redundant: u64,
+    completed: u64,
+}
+
+impl UdpClient {
+    /// Binds a client on `127.0.0.1`. Register the returned socket address
+    /// with the switch before calling.
+    pub fn bind(
+        cid: ClientId,
+        switch_addr: SocketAddr,
+        num_groups: u16,
+        num_filter_tables: u8,
+        seed: u64,
+    ) -> std::io::Result<UdpClient> {
+        let socket = UdpSocket::bind("127.0.0.1:0")?;
+        Ok(UdpClient {
+            cid,
+            vip: Ipv4::client(cid),
+            socket,
+            switch_addr,
+            num_groups,
+            num_filter_tables,
+            rng: StdRng::seed_from_u64(seed),
+            next_seq: 0,
+            latencies: LatencyHistogram::new(),
+            redundant: 0,
+            completed: 0,
+        })
+    }
+
+    /// The client's socket address.
+    pub fn addr(&self) -> std::io::Result<SocketAddr> {
+        self.socket.local_addr()
+    }
+
+    /// The client's virtual address.
+    pub fn vip(&self) -> Ipv4 {
+        self.vip
+    }
+
+    /// Latency histogram of completed calls.
+    pub fn latencies(&self) -> &LatencyHistogram {
+        &self.latencies
+    }
+
+    /// Redundant responses observed (should be 0 with filtering on).
+    pub fn redundant(&self) -> u64 {
+        self.redundant
+    }
+
+    /// Completed calls.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Issues one request and blocks for its first response.
+    ///
+    /// Late/redundant datagrams from *earlier* requests encountered while
+    /// waiting are counted and discarded, mirroring the client-side
+    /// redundancy handling the paper requires of RPC frameworks (§3.7).
+    pub fn call(&mut self, op: RpcOp, timeout: Duration) -> Result<CallReply, CallError> {
+        let seq = self.next_seq;
+        self.next_seq = self.next_seq.wrapping_add(1);
+        let grp = self.rng.random_range(0..self.num_groups.max(1));
+        let idx = self.rng.random_range(0..self.num_filter_tables.max(1));
+        let mut nc = NetCloneHdr::request(grp, idx, self.cid, seq);
+        if !op.is_cloneable() {
+            nc.state = ServerState(1); // §5.5: writes are not cloned
+        }
+        let meta = PacketMeta::netclone_request(self.vip, nc, 0);
+        let datagram = encode_packet(&meta, &op, &[]);
+        let start = Instant::now();
+        self.socket
+            .send_to(&datagram, self.switch_addr)
+            .map_err(|e| CallError::Io(e.to_string()))?;
+
+        let mut buf = vec![0u8; 65_536];
+        loop {
+            let elapsed = start.elapsed();
+            if elapsed >= timeout {
+                return Err(CallError::Timeout);
+            }
+            self.socket
+                .set_read_timeout(Some(timeout - elapsed))
+                .map_err(|e| CallError::Io(e.to_string()))?;
+            let len = match self.socket.recv(&mut buf) {
+                Ok(len) => len,
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return Err(CallError::Timeout)
+                }
+                Err(e) => return Err(CallError::Io(e.to_string())),
+            };
+            let Ok((m, _op, value)) = decode_packet(Bytes::copy_from_slice(&buf[..len])) else {
+                continue;
+            };
+            if !m.nc.is_response() {
+                continue;
+            }
+            if m.nc.client_seq != seq || m.nc.client_id != self.cid {
+                self.redundant += 1; // a slower response that escaped the filter
+                continue;
+            }
+            let latency = start.elapsed();
+            self.latencies.record(latency.as_nanos() as u64);
+            self.completed += 1;
+            return Ok(CallReply {
+                sid: m.nc.sid,
+                state: m.nc.state,
+                from_clone: m.nc.clo == netclone_proto::CloneStatus::Clone,
+                value: value.to_vec(),
+                latency,
+            });
+        }
+    }
+
+    /// Drains any late datagrams sitting in the socket buffer, counting
+    /// them as redundant. Returns how many were drained.
+    pub fn drain_late_responses(&mut self) -> u64 {
+        let mut buf = [0u8; 65_536];
+        let mut n = 0;
+        let _ = self
+            .socket
+            .set_read_timeout(Some(Duration::from_millis(5)));
+        while let Ok(len) = self.socket.recv(&mut buf) {
+            if decode_packet(Bytes::copy_from_slice(&buf[..len])).is_ok() {
+                self.redundant += 1;
+                n += 1;
+            }
+        }
+        n
+    }
+}

@@ -1,0 +1,101 @@
+//! Datagram framing for the soft-switch fabric.
+//!
+//! Real IP headers belong to the host's stack (and on loopback everything
+//! is 127.0.0.1), so each datagram carries a 10-byte virtual-L3 preheader
+//! — source, destination, and L4 destination port as the switch sees them
+//! — followed by the standard NetClone header and operation payload from
+//! [`netclone_proto::wire`]:
+//!
+//! ```text
+//! [src_ip u32][dst_ip u32][l4_dport u16][NetClone header 20B][op …][value …]
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use netclone_proto::wire::{self, WireError};
+use netclone_proto::{Ipv4, PacketMeta, RpcOp};
+
+/// Preheader length: virtual src (4) + dst (4) + dport (2).
+pub const PREHEADER_LEN: usize = 10;
+
+/// Encodes a packet (and optional trailing value bytes) into a datagram.
+pub fn encode_packet(meta: &PacketMeta, op: &RpcOp, value: &[u8]) -> Bytes {
+    let mut b = BytesMut::with_capacity(PREHEADER_LEN + wire::HEADER_LEN + 24 + value.len());
+    b.put_u32(meta.src_ip.0);
+    b.put_u32(meta.dst_ip.0);
+    b.put_u16(meta.l4_dport);
+    wire::encode_header(&meta.nc, &mut b);
+    wire::encode_op(op, &mut b);
+    b.put_slice(value);
+    b.freeze()
+}
+
+/// Decodes a datagram into (metadata, op, trailing value bytes).
+pub fn decode_packet(mut datagram: Bytes) -> Result<(PacketMeta, RpcOp, Bytes), WireError> {
+    if datagram.len() < PREHEADER_LEN {
+        return Err(WireError::Truncated {
+            needed: PREHEADER_LEN,
+            have: datagram.len(),
+        });
+    }
+    let src_ip = Ipv4(datagram.get_u32());
+    let dst_ip = Ipv4(datagram.get_u32());
+    let l4_dport = datagram.get_u16();
+    let wire_len = (PREHEADER_LEN + wire::HEADER_LEN + datagram.len()).min(u16::MAX as usize);
+    let (nc, op) = wire::decode_frame(&mut datagram)?;
+    Ok((
+        PacketMeta {
+            src_ip,
+            dst_ip,
+            l4_dport,
+            nc,
+            wire_bytes: wire_len as u16,
+        },
+        op,
+        datagram,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netclone_proto::{KvKey, NetCloneHdr, NETCLONE_UDP_PORT};
+
+    #[test]
+    fn round_trip_with_value() {
+        let meta = PacketMeta::netclone_response(
+            Ipv4::server(3),
+            Ipv4::client(1),
+            NetCloneHdr::request(5, 1, 1, 99),
+            0,
+        );
+        let op = RpcOp::Get {
+            key: KvKey::from_index(7),
+        };
+        let dg = encode_packet(&meta, &op, b"VALUE64");
+        let (m2, op2, val) = decode_packet(dg).unwrap();
+        assert_eq!(m2.src_ip, meta.src_ip);
+        assert_eq!(m2.dst_ip, meta.dst_ip);
+        assert_eq!(m2.l4_dport, NETCLONE_UDP_PORT);
+        assert_eq!(m2.nc, meta.nc);
+        assert_eq!(op2, op);
+        assert_eq!(&val[..], b"VALUE64");
+    }
+
+    #[test]
+    fn truncated_datagrams_error() {
+        assert!(decode_packet(Bytes::from_static(&[1, 2, 3])).is_err());
+    }
+
+    #[test]
+    fn empty_value_round_trips() {
+        let meta = PacketMeta::netclone_request(
+            Ipv4::client(0),
+            NetCloneHdr::request(0, 0, 0, 0),
+            0,
+        );
+        let dg = encode_packet(&meta, &RpcOp::Echo { class_ns: 50_000 }, &[]);
+        let (_, op, val) = decode_packet(dg).unwrap();
+        assert_eq!(op, RpcOp::Echo { class_ns: 50_000 });
+        assert!(val.is_empty());
+    }
+}

@@ -1,0 +1,38 @@
+//! # netclone-net
+//!
+//! A real-socket runtime for NetClone: the **same** data-plane program that
+//! drives the simulator ([`netclone-core`]'s `NetCloneSwitch`) running as a
+//! userspace *soft switch* over UDP sockets, plus threaded servers and
+//! clients speaking the wire format of [`netclone-proto::wire`].
+//!
+//! This is the closest laptop-scale equivalent of the paper's testbed
+//! (Tofino ToR + VMA hosts): virtual L3 addresses are carried in a small
+//! preheader so the switch can rewrite destinations exactly as the ASIC
+//! rewrites `dst_ip`, and all forwarding decisions — cloning, recirculation
+//! (performed internally by the program), state tracking, response
+//! filtering — are the genuine Algorithm 1 implementation.
+//!
+//! Concurrency follows the structured style of the networking guides:
+//! crossbeam channels as the server's request queue (its length is the
+//! §3.4 "queue" the clone-drop rule consults), `parking_lot` locks around
+//! shared switch state, explicit shutdown flags, and joined threads on
+//! drop.
+//!
+//! [`netclone-core`]: ../netclone_core/index.html
+//! [`netclone-proto::wire`]: ../netclone_proto/wire/index.html
+
+pub mod client;
+pub mod codec;
+pub mod openloop;
+pub mod server;
+pub mod switch;
+pub mod testbed;
+pub mod work;
+
+pub use client::{CallError, UdpClient};
+pub use codec::{decode_packet, encode_packet};
+pub use openloop::{OpenLoopClient, OpenLoopReport, OpenLoopSpec};
+pub use server::{ServerHandle, UdpServerConfig};
+pub use switch::{SoftSwitch, SwitchHandle};
+pub use testbed::Testbed;
+pub use work::WorkExecutor;

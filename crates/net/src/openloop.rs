@@ -1,0 +1,203 @@
+//! Open-loop load generation over real sockets — the §4.2 client: "It
+//! consists of two threads, one is the sender thread and the other is the
+//! receiver thread. The inter-arrival time between two consecutive
+//! requests is exponentially distributed."
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, UdpSocket};
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use netclone_proto::{Ipv4, NetCloneHdr, PacketMeta, RpcOp};
+use netclone_stats::LatencyHistogram;
+use netclone_workloads::PoissonArrivals;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::codec::{decode_packet, encode_packet};
+
+/// Parameters of one open-loop run.
+#[derive(Clone, Debug)]
+pub struct OpenLoopSpec {
+    /// Target request rate, requests/second.
+    pub rate_rps: f64,
+    /// Generation window.
+    pub duration: Duration,
+    /// The operation to issue (fixed class / key pattern).
+    pub op: RpcOp,
+    /// Extra time to wait for in-flight responses after generation stops.
+    pub drain: Duration,
+    /// Number of installed groups on the switch.
+    pub num_groups: u16,
+    /// Number of filter tables (for the random IDX).
+    pub num_filter_tables: u8,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Results of one open-loop run.
+#[derive(Debug)]
+pub struct OpenLoopReport {
+    /// Requests sent.
+    pub sent: u64,
+    /// First responses received.
+    pub completed: u64,
+    /// Redundant/late responses received.
+    pub redundant: u64,
+    /// Latency histogram (ns) of completed requests.
+    pub latencies: LatencyHistogram,
+}
+
+impl OpenLoopReport {
+    /// Completion fraction.
+    pub fn completion_rate(&self) -> f64 {
+        if self.sent == 0 {
+            0.0
+        } else {
+            self.completed as f64 / self.sent as f64
+        }
+    }
+}
+
+/// An open-loop client bound to a socket (register [`Self::addr`] with the
+/// switch before running).
+pub struct OpenLoopClient {
+    cid: u16,
+    vip: Ipv4,
+    socket: UdpSocket,
+    switch_addr: SocketAddr,
+}
+
+impl OpenLoopClient {
+    /// Binds on `127.0.0.1`.
+    pub fn bind(cid: u16, switch_addr: SocketAddr) -> std::io::Result<Self> {
+        Ok(OpenLoopClient {
+            cid,
+            vip: Ipv4::client(cid),
+            socket: UdpSocket::bind("127.0.0.1:0")?,
+            switch_addr,
+        })
+    }
+
+    /// The client's socket address.
+    pub fn addr(&self) -> std::io::Result<SocketAddr> {
+        self.socket.local_addr()
+    }
+
+    /// The client's virtual address.
+    pub fn vip(&self) -> Ipv4 {
+        self.vip
+    }
+
+    /// Runs the sender on this thread and a receiver thread until the
+    /// window plus drain elapse; returns the merged report.
+    pub fn run(self, spec: OpenLoopSpec) -> std::io::Result<OpenLoopReport> {
+        let rx_socket = self.socket.try_clone()?;
+        let deadline = Instant::now() + spec.duration + spec.drain;
+        type SendRecord = (u32, Instant);
+        let (meta_tx, meta_rx): (Sender<SendRecord>, Receiver<SendRecord>) = unbounded();
+        let cid = self.cid;
+        let receiver = std::thread::Builder::new()
+            .name(format!("openloop{cid}-rx"))
+            .spawn(move || receiver_loop(rx_socket, meta_rx, cid, deadline))?;
+
+        // Sender (this thread): exponential gaps at the target rate.
+        let arrivals = PoissonArrivals::new(spec.rate_rps);
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let start = Instant::now();
+        let mut next_at = Duration::ZERO;
+        let mut seq: u32 = 0;
+        let mut sent = 0u64;
+        while start.elapsed() < spec.duration {
+            // Pace: sleep coarse gaps, spin the tail for μs precision.
+            loop {
+                let now = start.elapsed();
+                if now >= next_at {
+                    break;
+                }
+                let remaining = next_at - now;
+                if remaining > Duration::from_micros(300) {
+                    std::thread::sleep(remaining - Duration::from_micros(200));
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+            let grp = rng.random_range(0..spec.num_groups.max(1));
+            let idx = rng.random_range(0..spec.num_filter_tables.max(1));
+            let nc = NetCloneHdr::request(grp, idx, cid, seq);
+            let meta = PacketMeta::netclone_request(self.vip, nc, 0);
+            let datagram = encode_packet(&meta, &spec.op, &[]);
+            meta_tx.send((seq, Instant::now())).ok();
+            self.socket.send_to(&datagram, self.switch_addr)?;
+            sent += 1;
+            seq = seq.wrapping_add(1);
+            next_at += Duration::from_nanos(arrivals.next_gap_ns(&mut rng));
+        }
+        drop(meta_tx); // receiver sees the disconnect after draining
+
+        let (completed, redundant, latencies) = receiver
+            .join()
+            .map_err(|_| std::io::Error::other("receiver thread panicked"))?;
+        Ok(OpenLoopReport {
+            sent,
+            completed,
+            redundant,
+            latencies,
+        })
+    }
+}
+
+fn receiver_loop(
+    socket: UdpSocket,
+    meta_rx: Receiver<(u32, Instant)>,
+    cid: u16,
+    deadline: Instant,
+) -> (u64, u64, LatencyHistogram) {
+    let mut outstanding: HashMap<u32, Instant> = HashMap::new();
+    let mut latencies = LatencyHistogram::new();
+    let mut completed = 0u64;
+    let mut redundant = 0u64;
+    let mut buf = vec![0u8; 65_536];
+    loop {
+        let now = Instant::now();
+        if now >= deadline {
+            break;
+        }
+        let _ = socket.set_read_timeout(Some((deadline - now).min(Duration::from_millis(20))));
+        // Pull any send timestamps published since the last packet.
+        while let Ok((seq, at)) = meta_rx.try_recv() {
+            outstanding.insert(seq, at);
+        }
+        let len = match socket.recv(&mut buf) {
+            Ok(len) => len,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue
+            }
+            Err(_) => break,
+        };
+        let Ok((meta, _op, _value)) = decode_packet(Bytes::copy_from_slice(&buf[..len])) else {
+            continue;
+        };
+        if !meta.nc.is_response() || meta.nc.client_id != cid {
+            continue;
+        }
+        // The send record may still be in the channel (sender races us).
+        if !outstanding.contains_key(&meta.nc.client_seq) {
+            while let Ok((seq, at)) = meta_rx.try_recv() {
+                outstanding.insert(seq, at);
+            }
+        }
+        match outstanding.remove(&meta.nc.client_seq) {
+            Some(at) => {
+                latencies.record(at.elapsed().as_nanos() as u64);
+                completed += 1;
+            }
+            None => redundant += 1,
+        }
+    }
+    (completed, redundant, latencies)
+}

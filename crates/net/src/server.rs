@@ -1,0 +1,199 @@
+//! The real-socket worker server: one dispatcher thread + N worker
+//! threads, faithful to §4.2 and the §3.4 server-side rules.
+//!
+//! The crossbeam channel between dispatcher and workers *is* the FCFS
+//! request queue: its length is the "queue" consulted by the clone-drop
+//! rule and piggybacked on responses.
+
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use netclone_proto::{CloneStatus, Ipv4, NetCloneHdr, PacketMeta, RpcOp, ServerId, ServerState};
+
+use crate::codec::{decode_packet, encode_packet};
+use crate::work::WorkExecutor;
+
+/// Configuration of a real-socket server.
+#[derive(Clone)]
+pub struct UdpServerConfig {
+    /// Server identity.
+    pub sid: ServerId,
+    /// Virtual address (registered with the soft switch).
+    pub vip: Ipv4,
+    /// Worker threads.
+    pub workers: usize,
+    /// What a worker does with a request.
+    pub executor: WorkExecutor,
+    /// Where to send responses (the soft switch).
+    pub switch_addr: SocketAddr,
+}
+
+/// Aggregate server statistics (atomics: many threads update them).
+#[derive(Default)]
+pub struct ServerStats {
+    /// Requests served to completion.
+    pub served: AtomicU64,
+    /// Cloned requests dropped on a non-empty queue (§3.4).
+    pub clones_dropped: AtomicU64,
+    /// Responses that piggybacked an empty queue.
+    pub idle_reports: AtomicU64,
+}
+
+/// A running server: dispatcher + workers.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stats: Arc<ServerStats>,
+    stop: Arc<AtomicBool>,
+    dispatcher: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    // Keeping one sender alive would prevent worker shutdown on dispatcher
+    // exit; the dispatcher owns the only sender.
+}
+
+struct Job {
+    meta: PacketMeta,
+    op: RpcOp,
+}
+
+impl ServerHandle {
+    /// Binds a server on `127.0.0.1` and starts its threads.
+    pub fn spawn(cfg: UdpServerConfig) -> std::io::Result<ServerHandle> {
+        let socket = UdpSocket::bind("127.0.0.1:0")?;
+        socket.set_read_timeout(Some(Duration::from_millis(20)))?;
+        let addr = socket.local_addr()?;
+        let stats = Arc::new(ServerStats::default());
+        let stop = Arc::new(AtomicBool::new(false));
+        let (tx, rx): (Sender<Job>, Receiver<Job>) = unbounded();
+
+        let mut workers = Vec::with_capacity(cfg.workers);
+        for w in 0..cfg.workers {
+            let rx = rx.clone();
+            let cfg = cfg.clone();
+            let stats = Arc::clone(&stats);
+            let sock = socket.try_clone()?;
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("server{}-worker{}", cfg.sid, w))
+                    .spawn(move || worker_loop(rx, cfg, stats, sock))?,
+            );
+        }
+
+        let dispatcher = {
+            let cfg = cfg.clone();
+            let stats = Arc::clone(&stats);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name(format!("server{}-dispatcher", cfg.sid))
+                .spawn(move || dispatcher_loop(socket, tx, cfg, stats, stop))?
+        };
+
+        Ok(ServerHandle {
+            addr,
+            stats,
+            stop,
+            dispatcher: Some(dispatcher),
+            workers,
+        })
+    }
+
+    /// The server's socket address (register this with the switch).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests served so far.
+    pub fn served(&self) -> u64 {
+        self.stats.served.load(Ordering::Relaxed)
+    }
+
+    /// Clones dropped so far (§3.4).
+    pub fn clones_dropped(&self) -> u64 {
+        self.stats.clones_dropped.load(Ordering::Relaxed)
+    }
+
+    /// Responses that reported an empty queue.
+    pub fn idle_reports(&self) -> u64 {
+        self.stats.idle_reports.load(Ordering::Relaxed)
+    }
+
+    /// Stops all threads and joins them.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(d) = self.dispatcher.take() {
+            let _ = d.join();
+        }
+        // The dispatcher owned the only Sender; once it exits, worker
+        // recv() calls return Err and the workers drain out.
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn dispatcher_loop(
+    socket: UdpSocket,
+    tx: Sender<Job>,
+    _cfg: UdpServerConfig,
+    stats: Arc<ServerStats>,
+    stop: Arc<AtomicBool>,
+) {
+    let mut buf = vec![0u8; 65_536];
+    while !stop.load(Ordering::SeqCst) {
+        let (len, _from) = match socket.recv_from(&mut buf) {
+            Ok(x) => x,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue
+            }
+            Err(_) => break,
+        };
+        let Ok((meta, op, _value)) = decode_packet(bytes::Bytes::copy_from_slice(&buf[..len]))
+        else {
+            continue;
+        };
+        if !meta.nc.is_request() {
+            continue;
+        }
+        // §3.4: a cloned request (CLO=2) arriving at a non-empty queue is
+        // dropped; the original (CLO=1) is processed normally.
+        if meta.nc.clo == CloneStatus::Clone && !tx.is_empty() {
+            stats.clones_dropped.fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
+        let _ = tx.send(Job { meta, op });
+    }
+    // tx drops here → workers see a disconnected channel and exit.
+}
+
+fn worker_loop(rx: Receiver<Job>, cfg: UdpServerConfig, stats: Arc<ServerStats>, sock: UdpSocket) {
+    while let Ok(job) = rx.recv() {
+        let value = cfg.executor.execute(&job.op);
+        // Piggyback the queue state observed at response-send time (§3.4).
+        let qlen = rx.len();
+        let state = ServerState::from_queue_len(qlen);
+        if state.is_idle() {
+            stats.idle_reports.fetch_add(1, Ordering::Relaxed);
+        }
+        stats.served.fetch_add(1, Ordering::Relaxed);
+        let nc = NetCloneHdr::response_to(&job.meta.nc, cfg.sid, state);
+        let resp = PacketMeta::netclone_response(cfg.vip, job.meta.src_ip, nc, 0);
+        let out = encode_packet(&resp, &job.op, &value);
+        let _ = sock.send_to(&out, cfg.switch_addr);
+    }
+}

@@ -1,0 +1,223 @@
+//! The soft switch: the NetClone data plane behind a UDP socket.
+//!
+//! One thread receives datagrams, decodes the virtual-L3 preheader, runs
+//! the genuine `NetCloneSwitch` program (cloning, state tracking,
+//! filtering — recirculation happens inside the program, exactly like the
+//! inline model the simulator uses), and transmits every emission to the
+//! socket address registered for its egress port.
+
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use netclone_asic::{DataPlane, PortId};
+use netclone_core::{NetCloneConfig, NetCloneSwitch, SwitchCounters};
+use netclone_proto::pcap::PcapWriter;
+use netclone_proto::{Ipv4, ServerId};
+use parking_lot::Mutex;
+
+use crate::codec::{decode_packet, encode_packet};
+
+/// Shared state between the switch thread and the control plane.
+struct Shared {
+    program: NetCloneSwitch,
+    /// Egress port → where to send the datagram.
+    port_map: Vec<Option<SocketAddr>>,
+}
+
+/// A running soft switch.
+pub struct SoftSwitch {
+    addr: SocketAddr,
+    shared: Arc<Mutex<Shared>>,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+/// A cheap handle for registering endpoints and reading counters.
+#[derive(Clone)]
+pub struct SwitchHandle {
+    addr: SocketAddr,
+    shared: Arc<Mutex<Shared>>,
+}
+
+impl SoftSwitch {
+    /// Binds a soft switch on `127.0.0.1` (ephemeral port) and starts its
+    /// forwarding thread.
+    pub fn spawn(cfg: NetCloneConfig) -> std::io::Result<SoftSwitch> {
+        Self::spawn_inner(cfg, None)
+    }
+
+    /// Like [`SoftSwitch::spawn`], with a pcap debug tap: every packet the
+    /// switch emits is also written (as `IPv4/UDP/NetClone`, LINKTYPE_RAW)
+    /// to `pcap_path` for Wireshark/tcpdump inspection.
+    pub fn spawn_with_tap<P: AsRef<std::path::Path>>(
+        cfg: NetCloneConfig,
+        pcap_path: P,
+    ) -> std::io::Result<SoftSwitch> {
+        let tap = PcapWriter::create(pcap_path)?;
+        Self::spawn_inner(cfg, Some(tap))
+    }
+
+    fn spawn_inner(cfg: NetCloneConfig, tap: Option<PcapWriter>) -> std::io::Result<SoftSwitch> {
+        let socket = UdpSocket::bind("127.0.0.1:0")?;
+        socket.set_read_timeout(Some(Duration::from_millis(20)))?;
+        let addr = socket.local_addr()?;
+        let shared = Arc::new(Mutex::new(Shared {
+            program: NetCloneSwitch::new(cfg),
+            port_map: vec![None; 512],
+        }));
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread = {
+            let shared = Arc::clone(&shared);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("soft-switch".into())
+                .spawn(move || switch_loop(socket, shared, stop, tap))?
+        };
+        Ok(SoftSwitch {
+            addr,
+            shared,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The switch's socket address (endpoints send here).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A cloneable control-plane handle.
+    pub fn handle(&self) -> SwitchHandle {
+        SwitchHandle {
+            addr: self.addr,
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Stops the forwarding thread and joins it.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for SoftSwitch {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+impl SwitchHandle {
+    /// The switch's socket address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Registers a worker server: virtual address + socket address.
+    pub fn register_server(
+        &self,
+        sid: ServerId,
+        vip: Ipv4,
+        sock: SocketAddr,
+    ) -> Result<(), String> {
+        let mut s = self.shared.lock();
+        let port: PortId = 10 + sid;
+        s.program
+            .add_server(sid, vip, port)
+            .map_err(|e| e.to_string())?;
+        s.port_map[port as usize] = Some(sock);
+        Ok(())
+    }
+
+    /// Removes a failed server (§3.6).
+    pub fn remove_server(&self, sid: ServerId) -> Result<(), String> {
+        let mut s = self.shared.lock();
+        s.program.remove_server(sid).map_err(|e| e.to_string())?;
+        let port: PortId = 10 + sid;
+        s.port_map[port as usize] = None;
+        Ok(())
+    }
+
+    /// Registers a client endpoint.
+    pub fn register_client(&self, cid: u16, vip: Ipv4, sock: SocketAddr) -> Result<(), String> {
+        let mut s = self.shared.lock();
+        let port: PortId = 100 + cid;
+        s.program.add_client(vip, port).map_err(|e| e.to_string())?;
+        s.port_map[port as usize] = Some(sock);
+        Ok(())
+    }
+
+    /// Number of installed groups (clients need this to draw `GRP`).
+    pub fn num_groups(&self) -> u16 {
+        self.shared.lock().program.num_groups()
+    }
+
+    /// Data-plane counters snapshot.
+    pub fn counters(&self) -> SwitchCounters {
+        *self.shared.lock().program.counters()
+    }
+
+    /// §3.6 power-cycle: clears soft state.
+    pub fn reset_soft_state(&self) {
+        self.shared.lock().program.reset_soft_state();
+    }
+}
+
+fn now_ns() -> u64 {
+    use std::time::{SystemTime, UNIX_EPOCH};
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0)
+}
+
+fn switch_loop(
+    socket: UdpSocket,
+    shared: Arc<Mutex<Shared>>,
+    stop: Arc<AtomicBool>,
+    mut tap: Option<PcapWriter>,
+) {
+    let mut buf = vec![0u8; 65_536];
+    while !stop.load(Ordering::SeqCst) {
+        let (len, _from) = match socket.recv_from(&mut buf) {
+            Ok(x) => x,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue
+            }
+            Err(_) => break,
+        };
+        let datagram = bytes::Bytes::copy_from_slice(&buf[..len]);
+        let Ok((meta, op, value)) = decode_packet(datagram) else {
+            continue; // malformed datagrams are dropped, never crash the fabric
+        };
+        let now = now_ns();
+        let mut s = shared.lock();
+        // Ingress port 0: the loopback fabric cannot tell us which wire the
+        // packet came in on, and the program only needs the recirculation
+        // port to be distinguishable (recirculation is internal here).
+        let emissions = s.program.process(meta, 0, now);
+        for e in emissions {
+            if let Some(Some(dst)) = s.port_map.get(e.port as usize) {
+                let out = encode_packet(&e.pkt, &op, &value);
+                let _ = socket.send_to(&out, dst);
+                if let Some(w) = tap.as_mut() {
+                    // The tap must never break forwarding: ignore IO errors.
+                    let ip = netclone_proto::l3::encode_ip_packet(&e.pkt, e.port, &op);
+                    let _ = w.record(now, &ip);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! One-call local testbed: a soft switch plus N servers on loopback,
+//! ready for clients — the real-socket analogue of the paper's rack.
+
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use netclone_core::NetCloneConfig;
+use netclone_proto::Ipv4;
+
+use crate::client::UdpClient;
+use crate::server::{ServerHandle, UdpServerConfig};
+use crate::switch::{SoftSwitch, SwitchHandle};
+use crate::work::WorkExecutor;
+
+/// A running local testbed.
+pub struct Testbed {
+    switch: SoftSwitch,
+    servers: Vec<ServerHandle>,
+    next_cid: u16,
+}
+
+impl Testbed {
+    /// Spawns a switch and `n_servers` servers with `workers` worker
+    /// threads each, all registered and ready.
+    pub fn spawn(
+        cfg: NetCloneConfig,
+        n_servers: u16,
+        workers: usize,
+        executor: WorkExecutor,
+    ) -> std::io::Result<Testbed> {
+        let switch = SoftSwitch::spawn(cfg)?;
+        let handle = switch.handle();
+        let mut servers = Vec::with_capacity(n_servers as usize);
+        for sid in 0..n_servers {
+            let server = ServerHandle::spawn(UdpServerConfig {
+                sid,
+                vip: Ipv4::server(sid),
+                workers,
+                executor: executor.clone(),
+                switch_addr: switch.addr(),
+            })?;
+            handle
+                .register_server(sid, Ipv4::server(sid), server.addr())
+                .map_err(std::io::Error::other)?;
+            servers.push(server);
+        }
+        Ok(Testbed {
+            switch,
+            servers,
+            next_cid: 0,
+        })
+    }
+
+    /// The switch's socket address.
+    pub fn switch_addr(&self) -> SocketAddr {
+        self.switch.addr()
+    }
+
+    /// The switch control-plane handle.
+    pub fn switch_handle(&self) -> SwitchHandle {
+        self.switch.handle()
+    }
+
+    /// The running servers.
+    pub fn servers(&self) -> &[ServerHandle] {
+        &self.servers
+    }
+
+    /// Binds and registers a new client.
+    pub fn client(&mut self, seed: u64) -> std::io::Result<UdpClient> {
+        let cid = self.next_cid;
+        self.next_cid += 1;
+        let handle = self.switch.handle();
+        let client = UdpClient::bind(
+            cid,
+            self.switch.addr(),
+            handle.num_groups(),
+            2,
+            seed,
+        )?;
+        handle
+            .register_client(cid, client.vip(), client.addr()?)
+            .map_err(std::io::Error::other)?;
+        // Give the registration a moment to land before traffic flows.
+        std::thread::sleep(Duration::from_millis(5));
+        Ok(client)
+    }
+
+    /// Shuts everything down, joining all threads.
+    pub fn shutdown(self) {
+        for s in self.servers {
+            s.shutdown();
+        }
+        self.switch.shutdown();
+    }
+}

@@ -1,0 +1,395 @@
+//! The LÆDGE coordinator (Primorac et al., NSDI'21) as the paper describes
+//! it (§2.2):
+//!
+//! > "The coordinator only replicates requests if at least two servers are
+//! > idle. If only one server is available, the request is forwarded
+//! > without replication. In the case where all servers are busy, the
+//! > coordinator enqueues the request in a request queue and waits for an
+//! > idle server. The buffered request is dispatched to a server upon
+//! > receiving a response."
+//!
+//! The model is a single CPU-bound host: every received or transmitted
+//! packet serialises on one core for `per_packet_ns` (kernel-bypass class,
+//! but still a CPU), which is what caps LÆDGE's throughput in Fig. 8. The
+//! coordinator also relays every response — including the redundant slower
+//! ones — "making throughput worse" (§2.2).
+//!
+//! One adaptation for multi-worker servers (ours have 8–16 worker
+//! threads): the coordinator tracks per-server *outstanding* counts with a
+//! per-server capacity; "idle" (cloneable) means zero outstanding, exactly
+//! LÆDGE's invariant, while non-cloned forwards go to the least-loaded
+//! server with spare capacity so the baseline is not crippled below its
+//! hardware parallelism. Queued requests dispatch singly, FCFS, as slots
+//! free up.
+
+use std::collections::{HashMap, VecDeque};
+
+use netclone_hosts::AppPacket;
+use netclone_proto::{ClientId, Ipv4, ServerId};
+
+/// Configuration of the coordinator host.
+#[derive(Clone, Copy, Debug)]
+pub struct CoordinatorConfig {
+    /// The coordinator's address (clients send here).
+    pub ip: Ipv4,
+    /// CPU time to receive or transmit one packet, ns.
+    pub per_packet_ns: u64,
+}
+
+impl Default for CoordinatorConfig {
+    fn default() -> Self {
+        CoordinatorConfig {
+            ip: Ipv4::new(10, 0, 3, 1),
+            per_packet_ns: 800,
+        }
+    }
+}
+
+/// A packet the coordinator wants to send, with the time its CPU finished
+/// preparing it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CoordinatorEvent {
+    /// The outgoing packet (request toward a server, or response toward a
+    /// client).
+    pub pkt: AppPacket,
+    /// Absolute transmit time, ns.
+    pub send_at: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Pending {
+    client_ip: Ipv4,
+    copies_remaining: u8,
+    responded: bool,
+}
+
+/// Aggregate coordinator statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CoordinatorStats {
+    /// Requests received from clients.
+    pub requests: u64,
+    /// Requests replicated to two idle servers.
+    pub cloned: u64,
+    /// Requests forwarded without replication.
+    pub forwarded_single: u64,
+    /// Requests buffered waiting for an idle server.
+    pub queued: u64,
+    /// Responses received from servers.
+    pub responses: u64,
+    /// Redundant slower responses absorbed (still cost CPU).
+    pub redundant_absorbed: u64,
+    /// Requests dropped at the NIC ring under CPU overload.
+    pub rx_dropped: u64,
+}
+
+/// The LÆDGE coordinator host.
+pub struct LaedgeCoordinator {
+    cfg: CoordinatorConfig,
+    servers: Vec<(ServerId, Ipv4)>,
+    capacity: Vec<usize>,
+    outstanding: Vec<usize>,
+    queue: VecDeque<AppPacket>,
+    cpu_free_at: u64,
+    pending: HashMap<(ClientId, u32), Pending>,
+    stats: CoordinatorStats,
+}
+
+impl LaedgeCoordinator {
+    /// Builds an empty coordinator.
+    pub fn new(cfg: CoordinatorConfig) -> Self {
+        LaedgeCoordinator {
+            cfg,
+            servers: Vec::new(),
+            capacity: Vec::new(),
+            outstanding: Vec::new(),
+            queue: VecDeque::new(),
+            cpu_free_at: 0,
+            pending: HashMap::new(),
+            stats: CoordinatorStats::default(),
+        }
+    }
+
+    /// The coordinator's address.
+    pub fn ip(&self) -> Ipv4 {
+        self.cfg.ip
+    }
+
+    /// Registers a worker server with its parallelism (worker threads).
+    pub fn add_server(&mut self, sid: ServerId, ip: Ipv4, workers: usize) {
+        self.servers.push((sid, ip));
+        self.capacity.push(workers.max(1));
+        self.outstanding.push(0);
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> CoordinatorStats {
+        self.stats
+    }
+
+    /// Buffered requests waiting for an idle server.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Charges the CPU for one packet and returns when it is done.
+    fn cpu(&mut self, now: u64) -> u64 {
+        let done = now.max(self.cpu_free_at) + self.cfg.per_packet_ns;
+        self.cpu_free_at = done;
+        done
+    }
+
+    /// Builds the outgoing copy of `pkt` toward server `idx`.
+    fn dispatch_to(&mut self, mut pkt: AppPacket, idx: usize, send_at: u64) -> CoordinatorEvent {
+        self.outstanding[idx] += 1;
+        pkt.meta.src_ip = self.cfg.ip;
+        pkt.meta.dst_ip = self.servers[idx].1;
+        CoordinatorEvent { pkt, send_at }
+    }
+
+    /// CPU backlog beyond which the NIC ring overflows and incoming
+    /// *requests* are dropped (≈ a few hundred descriptors at 800 ns per
+    /// packet). Without this bound, overload would bury response relaying
+    /// under an ever-growing request backlog — a real host drops instead,
+    /// which is what keeps LÆDGE's curve flat-at-the-cap in Fig. 8.
+    /// Responses are never dropped: in overload their arrival rate is
+    /// already CPU-bounded (servers only hold what the coordinator
+    /// dispatched).
+    const RING_BACKLOG_NS: u64 = 200_000;
+
+    /// Handles one client request arriving at `now`.
+    pub fn on_request(&mut self, pkt: AppPacket, now: u64) -> Vec<CoordinatorEvent> {
+        if self.cpu_free_at.saturating_sub(now) > Self::RING_BACKLOG_NS {
+            self.stats.rx_dropped += 1;
+            return Vec::new();
+        }
+        let rx_done = self.cpu(now);
+        self.stats.requests += 1;
+        self.pending.insert(
+            (pkt.meta.nc.client_id, pkt.meta.nc.client_seq),
+            Pending {
+                client_ip: pkt.meta.src_ip,
+                copies_remaining: 0,
+                responded: false,
+            },
+        );
+        let idle: Vec<usize> = (0..self.servers.len())
+            .filter(|&i| self.outstanding[i] == 0)
+            .collect();
+        let cloneable = pkt.op.is_cloneable();
+        let key = (pkt.meta.nc.client_id, pkt.meta.nc.client_seq);
+        if idle.len() >= 2 && cloneable {
+            // Dynamic cloning: two idle servers get copies.
+            self.stats.cloned += 1;
+            let t1 = self.cpu(rx_done);
+            let t2 = self.cpu(t1);
+            let a = self.dispatch_to(pkt, idle[0], t1);
+            let b = self.dispatch_to(pkt, idle[1], t2);
+            self.pending.get_mut(&key).expect("just inserted").copies_remaining = 2;
+            vec![a, b]
+        } else if let Some(i) = self.least_loaded_with_capacity() {
+            self.stats.forwarded_single += 1;
+            let t1 = self.cpu(rx_done);
+            let ev = self.dispatch_to(pkt, i, t1);
+            self.pending.get_mut(&key).expect("just inserted").copies_remaining = 1;
+            vec![ev]
+        } else {
+            self.stats.queued += 1;
+            self.queue.push_back(pkt);
+            Vec::new()
+        }
+    }
+
+    fn least_loaded_with_capacity(&self) -> Option<usize> {
+        (0..self.servers.len())
+            .filter(|&i| self.outstanding[i] < self.capacity[i])
+            .min_by_key(|&i| self.outstanding[i])
+    }
+
+    /// Handles one server response arriving at `now`.
+    pub fn on_response(&mut self, mut pkt: AppPacket, now: u64) -> Vec<CoordinatorEvent> {
+        let rx_done = self.cpu(now);
+        self.stats.responses += 1;
+        if let Some(idx) = self
+            .servers
+            .iter()
+            .position(|&(sid, _)| sid == pkt.meta.nc.sid)
+        {
+            self.outstanding[idx] = self.outstanding[idx].saturating_sub(1);
+        }
+        let key = (pkt.meta.nc.client_id, pkt.meta.nc.client_seq);
+        let mut out = Vec::new();
+        let mut t = rx_done;
+        match self.pending.get_mut(&key) {
+            Some(p) if !p.responded => {
+                p.responded = true;
+                p.copies_remaining = p.copies_remaining.saturating_sub(1);
+                let client_ip = p.client_ip;
+                if p.copies_remaining == 0 {
+                    self.pending.remove(&key);
+                }
+                t = self.cpu(t);
+                pkt.meta.src_ip = self.cfg.ip;
+                pkt.meta.dst_ip = client_ip;
+                out.push(CoordinatorEvent { pkt, send_at: t });
+            }
+            Some(p) => {
+                // The redundant slower response: absorbed, CPU already paid.
+                self.stats.redundant_absorbed += 1;
+                p.copies_remaining = p.copies_remaining.saturating_sub(1);
+                if p.copies_remaining == 0 {
+                    self.pending.remove(&key);
+                }
+            }
+            None => {
+                self.stats.redundant_absorbed += 1;
+            }
+        }
+        // "The buffered request is dispatched to a server upon receiving a
+        // response": drain FCFS into freed capacity, one CPU TX each.
+        while !self.queue.is_empty() {
+            let Some(i) = self.least_loaded_with_capacity() else {
+                break;
+            };
+            let q = self.queue.pop_front().expect("non-empty");
+            let qkey = (q.meta.nc.client_id, q.meta.nc.client_seq);
+            t = self.cpu(t);
+            let ev = self.dispatch_to(q, i, t);
+            if let Some(p) = self.pending.get_mut(&qkey) {
+                p.copies_remaining = 1;
+            }
+            self.stats.forwarded_single += 1;
+            out.push(ev);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netclone_proto::{MsgType, NetCloneHdr, PacketMeta, RpcOp, ServerState};
+
+    fn coord(n_servers: u16, workers: usize) -> LaedgeCoordinator {
+        let mut c = LaedgeCoordinator::new(CoordinatorConfig::default());
+        for sid in 0..n_servers {
+            c.add_server(sid, Ipv4::server(sid), workers);
+        }
+        c
+    }
+
+    fn req(seq: u32) -> AppPacket {
+        AppPacket {
+            meta: PacketMeta::netclone_request(
+                Ipv4::client(0),
+                NetCloneHdr::request(0, 0, 0, seq),
+                84,
+            ),
+            op: RpcOp::Echo { class_ns: 25_000 },
+            born_ns: 0,
+        }
+    }
+
+    fn resp_for(ev: &CoordinatorEvent, sid: ServerId) -> AppPacket {
+        let nc = NetCloneHdr::response_to(&ev.pkt.meta.nc, sid, ServerState(0));
+        AppPacket {
+            meta: PacketMeta::netclone_response(Ipv4::server(sid), ev.pkt.meta.src_ip, nc, 84),
+            op: ev.pkt.op,
+            born_ns: ev.pkt.born_ns,
+        }
+    }
+
+    #[test]
+    fn clones_when_two_servers_idle() {
+        let mut c = coord(3, 8);
+        let out = c.on_request(req(0), 0);
+        assert_eq!(out.len(), 2, "two idle servers → replicate");
+        assert_ne!(out[0].pkt.meta.dst_ip, out[1].pkt.meta.dst_ip);
+        assert_eq!(c.stats().cloned, 1);
+        // CPU serialisation: rx + 2 tx = 3 packet times.
+        assert_eq!(out[1].send_at, 3 * 800);
+    }
+
+    #[test]
+    fn forwards_single_when_one_idle() {
+        let mut c = coord(2, 1);
+        let a = c.on_request(req(0), 0);
+        assert_eq!(a.len(), 2); // both idle initially → cloned
+        // Now both servers hold one outstanding; a new request sees zero
+        // idle servers and no spare capacity → queued.
+        let b = c.on_request(req(1), 0);
+        assert!(b.is_empty());
+        assert_eq!(c.queue_len(), 1);
+        assert_eq!(c.stats().queued, 1);
+    }
+
+    #[test]
+    fn single_idle_server_gets_unreplicated_request() {
+        let mut c = coord(2, 4);
+        // Occupy server picked first with one outstanding request:
+        let first = c.on_request(req(0), 0);
+        assert_eq!(first.len(), 2); // both were idle
+        // Second request: no server has zero outstanding → forwarded single.
+        let out = c.on_request(req(1), 0);
+        assert_eq!(out.len(), 1);
+        assert_eq!(c.stats().forwarded_single, 1);
+    }
+
+    #[test]
+    fn first_response_relays_to_client_second_is_absorbed() {
+        let mut c = coord(2, 8);
+        let out = c.on_request(req(7), 0);
+        assert_eq!(out.len(), 2);
+        let r1 = c.on_response(resp_for(&out[0], 0), 100_000);
+        assert_eq!(r1.len(), 1, "first response forwarded to the client");
+        assert_eq!(r1[0].pkt.meta.dst_ip, Ipv4::client(0));
+        let r2 = c.on_response(resp_for(&out[1], 1), 110_000);
+        assert!(r2.is_empty(), "slower response absorbed");
+        assert_eq!(c.stats().redundant_absorbed, 1);
+    }
+
+    #[test]
+    fn queued_request_dispatches_on_response() {
+        let mut c = coord(1, 1);
+        let first = c.on_request(req(0), 0);
+        assert_eq!(first.len(), 1);
+        assert!(c.on_request(req(1), 0).is_empty()); // queued
+        let out = c.on_response(resp_for(&first[0], 0), 50_000);
+        // Response to client + the dequeued request to the server.
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().any(|e| e.pkt.meta.nc.msg_type == MsgType::Resp));
+        assert!(out.iter().any(|e| e.pkt.meta.nc.msg_type == MsgType::Req));
+        assert_eq!(c.queue_len(), 0);
+    }
+
+    #[test]
+    fn writes_are_never_replicated() {
+        let mut c = coord(4, 8);
+        let mut w = req(0);
+        w.op = RpcOp::Put {
+            key: netclone_proto::KvKey::from_index(0),
+            value_len: 64,
+        };
+        let out = c.on_request(w, 0);
+        assert_eq!(out.len(), 1, "writes forwarded without replication");
+        assert_eq!(c.stats().cloned, 0);
+    }
+
+    #[test]
+    fn cpu_is_the_bottleneck() {
+        // Back-to-back requests serialise on the coordinator CPU even with
+        // plenty of idle servers: the Nth request leaves no earlier than
+        // ~2N packet times (rx + tx each).
+        let mut c = coord(16, 8);
+        let mut last_send = 0;
+        for i in 0..100 {
+            let out = c.on_request(req(i), 0);
+            if let Some(e) = out.last() {
+                last_send = e.send_at;
+            }
+        }
+        assert!(
+            last_send >= 100 * 2 * 800,
+            "CPU serialisation must bound the dispatch rate (got {last_send})"
+        );
+    }
+}

@@ -1,0 +1,121 @@
+//! A plain L3 switch: route on destination IP, nothing else. This is the
+//! fabric under the Baseline and C-Clone schemes — all intelligence lives
+//! in the clients.
+
+use netclone_asic::{
+    AsicSpec, DataPlane, Emission, Layout, MatchTable, PacketPass, PortId,
+};
+use netclone_proto::{Ipv4, PacketMeta};
+
+/// Route-only data plane.
+pub struct PlainL3Switch {
+    layout: Layout,
+    route_t: MatchTable<u32, PortId>,
+    forwarded: u64,
+    dropped: u64,
+}
+
+impl PlainL3Switch {
+    /// Builds an empty switch on the given ASIC.
+    pub fn new(spec: AsicSpec) -> Self {
+        let mut layout = Layout::new(spec);
+        let route_t = MatchTable::alloc(&mut layout, "RouteT", 0, 65_536, 4, 2, 1)
+            .expect("route table must fit an empty ASIC");
+        PlainL3Switch {
+            layout,
+            route_t,
+            forwarded: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Installs a route.
+    pub fn add_route(&mut self, ip: Ipv4, port: PortId) {
+        self.route_t
+            .insert(ip.0, port)
+            .expect("route table capacity");
+    }
+
+    /// Packets forwarded so far.
+    pub fn forwarded(&self) -> u64 {
+        self.forwarded
+    }
+
+    /// Packets dropped (no route).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Resource report (for comparison against NetClone's §4.1 numbers).
+    pub fn resource_report(&self) -> netclone_asic::ResourceReport {
+        self.layout.report("PlainL3")
+    }
+}
+
+impl DataPlane for PlainL3Switch {
+    fn name(&self) -> &'static str {
+        "PlainL3"
+    }
+
+    fn process(&mut self, pkt: PacketMeta, _ingress: PortId, _now_ns: u64) -> Vec<Emission> {
+        let mut pass = PacketPass::new();
+        match self
+            .route_t
+            .lookup(&mut pass, pkt.dst_ip.0)
+            .expect("single lookup per pass")
+        {
+            Some(port) => {
+                self.forwarded += 1;
+                vec![Emission {
+                    pkt,
+                    port,
+                    latency_ns: self.layout.spec().pass_latency_ns,
+                }]
+            }
+            None => {
+                self.dropped += 1;
+                Vec::new()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netclone_proto::NetCloneHdr;
+
+    #[test]
+    fn routes_by_destination() {
+        let mut sw = PlainL3Switch::new(AsicSpec::tofino());
+        sw.add_route(Ipv4::server(0), 10);
+        sw.add_route(Ipv4::client(0), 2);
+        let mut pkt =
+            PacketMeta::netclone_request(Ipv4::client(0), NetCloneHdr::request(0, 0, 0, 0), 84);
+        pkt.dst_ip = Ipv4::server(0);
+        let out = sw.process(pkt, 2, 0);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].port, 10);
+        // Header is untouched: no request IDs, no cloning.
+        assert_eq!(out[0].pkt.nc.req_id, 0);
+        assert_eq!(sw.forwarded(), 1);
+    }
+
+    #[test]
+    fn unrouted_packets_drop() {
+        let mut sw = PlainL3Switch::new(AsicSpec::tofino());
+        let mut pkt =
+            PacketMeta::netclone_request(Ipv4::client(0), NetCloneHdr::request(0, 0, 0, 0), 84);
+        pkt.dst_ip = Ipv4::new(198, 18, 0, 1);
+        assert!(sw.process(pkt, 2, 0).is_empty());
+        assert_eq!(sw.dropped(), 1);
+    }
+
+    #[test]
+    fn uses_far_less_sram_than_netclone() {
+        let plain = PlainL3Switch::new(AsicSpec::tofino()).resource_report();
+        let nc = netclone_core::NetCloneSwitch::paper_prototype().resource_report();
+        assert!(plain.sram_pct < nc.sram_pct);
+        assert!(plain.stages_used < nc.stages_used);
+    }
+}

@@ -1,0 +1,115 @@
+//! Compact IPv4 address newtype used throughout the switch models.
+//!
+//! `std::net::Ipv4Addr` would work, but a `u32` newtype keeps packet metadata
+//! `Copy`-cheap in the simulator's hot loop and mirrors how a switch ALU
+//! actually sees the field. Conversions to/from `std::net::Ipv4Addr` are
+//! provided for the real-socket runtime.
+
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// An IPv4 address stored in host byte order.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Ipv4(pub u32);
+
+impl Ipv4 {
+    /// The unspecified address `0.0.0.0`, used for requests before the
+    /// switch's address table assigns a destination (§3.3: "clients do not
+    /// have to know server information").
+    pub const UNSPECIFIED: Ipv4 = Ipv4(0);
+
+    /// Builds an address from dotted-quad octets.
+    pub const fn new(a: u8, b: u8, c: u8, d: u8) -> Self {
+        Ipv4(u32::from_be_bytes([a, b, c, d]))
+    }
+
+    /// Returns the four octets in network order.
+    pub const fn octets(self) -> [u8; 4] {
+        self.0.to_be_bytes()
+    }
+
+    /// True for `0.0.0.0`.
+    pub const fn is_unspecified(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Convenience constructor for the testbed's server subnet
+    /// (`10.0.1.100 + id`, mirroring the example in paper Fig. 5).
+    pub const fn server(id: u16) -> Self {
+        Ipv4(u32::from_be_bytes([10, 0, 1, 100]).wrapping_add(id as u32 + 1))
+    }
+
+    /// Convenience constructor for the testbed's client subnet
+    /// (`10.0.2.1 + id`).
+    pub const fn client(id: u16) -> Self {
+        Ipv4(u32::from_be_bytes([10, 0, 2, 0]).wrapping_add(id as u32 + 1))
+    }
+}
+
+impl fmt::Debug for Ipv4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Ipv4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let [a, b, c, d] = self.octets();
+        write!(f, "{a}.{b}.{c}.{d}")
+    }
+}
+
+impl From<Ipv4Addr> for Ipv4 {
+    fn from(a: Ipv4Addr) -> Self {
+        Ipv4(u32::from(a))
+    }
+}
+
+impl From<Ipv4> for Ipv4Addr {
+    fn from(a: Ipv4) -> Self {
+        Ipv4Addr::from(a.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn octet_round_trip() {
+        let a = Ipv4::new(10, 0, 1, 103);
+        assert_eq!(a.octets(), [10, 0, 1, 103]);
+        assert_eq!(a.to_string(), "10.0.1.103");
+    }
+
+    #[test]
+    fn unspecified_is_zero() {
+        assert!(Ipv4::UNSPECIFIED.is_unspecified());
+        assert!(!Ipv4::new(10, 0, 0, 1).is_unspecified());
+    }
+
+    #[test]
+    fn std_conversions_round_trip() {
+        let a = Ipv4::new(192, 168, 69, 1);
+        let std: Ipv4Addr = a.into();
+        assert_eq!(std, Ipv4Addr::new(192, 168, 69, 1));
+        assert_eq!(Ipv4::from(std), a);
+    }
+
+    #[test]
+    fn server_addresses_match_paper_example() {
+        // Fig. 5 uses 10.0.1.101..10.0.1.104 for servers 1..4. Our SIDs are
+        // zero-based, so server(0) == 10.0.1.101.
+        assert_eq!(Ipv4::server(0).to_string(), "10.0.1.101");
+        assert_eq!(Ipv4::server(2).to_string(), "10.0.1.103");
+    }
+
+    #[test]
+    fn client_addresses_are_disjoint_from_servers() {
+        for c in 0..64 {
+            for s in 0..64 {
+                assert_ne!(Ipv4::client(c), Ipv4::server(s));
+            }
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! The NetClone header (paper Fig. 3) and its field types.
+//!
+//! The header rides between the L4 header and the application payload. The
+//! seven fields from the paper are `TYPE`, `REQ_ID`, `GRP`, `SID`, `STATE`,
+//! `CLO`, and `IDX`; §3.7 adds `SWITCH_ID` (multi-rack) and we carry
+//! `CLIENT_ID`/`CLIENT_SEQ` for the TCP-mode request-ID scheme.
+
+use crate::{ClientId, GroupId, ReqId, ServerId, SwitchId};
+
+/// `TYPE` field: request vs. response.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+#[repr(u8)]
+pub enum MsgType {
+    /// An RPC request travelling client → server.
+    Req = 1,
+    /// An RPC response travelling server → client.
+    Resp = 2,
+}
+
+impl MsgType {
+    /// Parses the on-wire byte.
+    pub fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            1 => Some(MsgType::Req),
+            2 => Some(MsgType::Resp),
+            _ => None,
+        }
+    }
+}
+
+/// `CLO` field: cloning status of a request, echoed into its response.
+///
+/// * `0` — request was not cloned;
+/// * `1` — the *original* copy of a cloned request (processed normally by
+///   the server even when busy);
+/// * `2` — the switch-generated clone (dropped by the server if its request
+///   queue is non-empty, §3.4).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, Default)]
+#[repr(u8)]
+pub enum CloneStatus {
+    /// Not cloned (`CLO = 0`).
+    #[default]
+    NotCloned = 0,
+    /// The original copy of a cloned pair (`CLO = 1`).
+    ClonedOriginal = 1,
+    /// The switch-generated duplicate (`CLO = 2`).
+    Clone = 2,
+}
+
+impl CloneStatus {
+    /// Parses the on-wire byte.
+    pub fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            0 => Some(CloneStatus::NotCloned),
+            1 => Some(CloneStatus::ClonedOriginal),
+            2 => Some(CloneStatus::Clone),
+            _ => None,
+        }
+    }
+
+    /// True if this request was cloned (original or duplicate) — the filter
+    /// logic only engages for such packets (Algorithm 1 line 17).
+    pub fn was_cloned(self) -> bool {
+        !matches!(self, CloneStatus::NotCloned)
+    }
+}
+
+/// `STATE` field: the server state piggybacked on responses (§3.4).
+///
+/// The base design needs only a binary idle/busy signal ("idle" ⇔ the
+/// server's request queue is empty). The RackSched integration (§3.7)
+/// generalises the field to the *queue length* so the switch can fall back
+/// to join-the-shortest-queue. Both views share one 16-bit encoding:
+/// `0` = idle / empty queue, `n > 0` = busy with `n` queued requests.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, Default, PartialOrd, Ord)]
+pub struct ServerState(pub u16);
+
+impl ServerState {
+    /// The idle state (empty request queue).
+    pub const IDLE: ServerState = ServerState(0);
+
+    /// Builds a state from an observed queue length, saturating at
+    /// `u16::MAX`.
+    pub fn from_queue_len(len: usize) -> Self {
+        ServerState(len.min(u16::MAX as usize) as u16)
+    }
+
+    /// True iff the server reported an empty request queue.
+    pub fn is_idle(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The reported queue length (0 when idle).
+    pub fn queue_len(self) -> u16 {
+        self.0
+    }
+}
+
+/// The NetClone header (Fig. 3 + §3.7 extensions).
+///
+/// All switch-side logic operates on this struct; the wire layout lives in
+/// [`crate::wire`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct NetCloneHdr {
+    /// `TYPE`: request or response.
+    pub msg_type: MsgType,
+    /// `REQ_ID`: switch-assigned sequence number shared by a request, its
+    /// clone, and both responses.
+    pub req_id: ReqId,
+    /// `GRP`: client-chosen group identifying a pair of candidate servers.
+    pub grp: GroupId,
+    /// `SID`: server ID. On responses, the responding server; on a cloned
+    /// original in flight, the switch temporarily stores the *clone's*
+    /// destination here (Algorithm 1 line 8).
+    pub sid: ServerId,
+    /// `STATE`: the piggybacked server state (responses only).
+    pub state: ServerState,
+    /// `CLO`: cloning status.
+    pub clo: CloneStatus,
+    /// `IDX`: which filter *table* (not slot) this request's responses use;
+    /// chosen uniformly at random by the client (§3.5).
+    pub idx: u8,
+    /// `SWITCH_ID`: 0 until stamped by the client-side ToR (§3.7).
+    pub switch_id: SwitchId,
+    /// TCP-mode: originating client, for Lamport-style request IDs (§3.7).
+    pub client_id: ClientId,
+    /// TCP-mode: client-local sequence number (§3.7).
+    pub client_seq: u32,
+}
+
+impl NetCloneHdr {
+    /// A fresh request as a client emits it: no request ID yet (the switch
+    /// assigns it), unspecified destination, not cloned.
+    pub fn request(grp: GroupId, idx: u8, client_id: ClientId, client_seq: u32) -> Self {
+        NetCloneHdr {
+            msg_type: MsgType::Req,
+            req_id: 0,
+            grp,
+            sid: 0,
+            state: ServerState::IDLE,
+            clo: CloneStatus::NotCloned,
+            idx,
+            switch_id: 0,
+            client_id,
+            client_seq,
+        }
+    }
+
+    /// The response a server sends for `req`: echoes the identifying fields
+    /// and piggybacks the server's current state (§3.3 "Response packets").
+    pub fn response_to(req: &NetCloneHdr, sid: ServerId, state: ServerState) -> Self {
+        NetCloneHdr {
+            msg_type: MsgType::Resp,
+            req_id: req.req_id,
+            grp: req.grp,
+            sid,
+            state,
+            clo: req.clo,
+            idx: req.idx,
+            switch_id: req.switch_id,
+            client_id: req.client_id,
+            client_seq: req.client_seq,
+        }
+    }
+
+    /// True iff this is a request packet.
+    pub fn is_request(&self) -> bool {
+        self.msg_type == MsgType::Req
+    }
+
+    /// True iff this is a response packet.
+    pub fn is_response(&self) -> bool {
+        self.msg_type == MsgType::Resp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn msg_type_round_trip() {
+        for t in [MsgType::Req, MsgType::Resp] {
+            assert_eq!(MsgType::from_u8(t as u8), Some(t));
+        }
+        assert_eq!(MsgType::from_u8(0), None);
+        assert_eq!(MsgType::from_u8(3), None);
+    }
+
+    #[test]
+    fn clone_status_round_trip() {
+        for c in [
+            CloneStatus::NotCloned,
+            CloneStatus::ClonedOriginal,
+            CloneStatus::Clone,
+        ] {
+            assert_eq!(CloneStatus::from_u8(c as u8), Some(c));
+        }
+        assert_eq!(CloneStatus::from_u8(3), None);
+    }
+
+    #[test]
+    fn was_cloned_matches_paper_semantics() {
+        assert!(!CloneStatus::NotCloned.was_cloned());
+        assert!(CloneStatus::ClonedOriginal.was_cloned());
+        assert!(CloneStatus::Clone.was_cloned());
+    }
+
+    #[test]
+    fn server_state_idle_iff_queue_empty() {
+        assert!(ServerState::from_queue_len(0).is_idle());
+        assert!(!ServerState::from_queue_len(1).is_idle());
+        assert_eq!(ServerState::from_queue_len(7).queue_len(), 7);
+    }
+
+    #[test]
+    fn server_state_saturates() {
+        assert_eq!(
+            ServerState::from_queue_len(usize::MAX).queue_len(),
+            u16::MAX
+        );
+    }
+
+    #[test]
+    fn response_echoes_request_identity() {
+        let mut req = NetCloneHdr::request(5, 1, 9, 42);
+        req.req_id = 1234;
+        req.clo = CloneStatus::ClonedOriginal;
+        let resp = NetCloneHdr::response_to(&req, 3, ServerState::from_queue_len(2));
+        assert!(resp.is_response());
+        assert_eq!(resp.req_id, 1234);
+        assert_eq!(resp.grp, 5);
+        assert_eq!(resp.idx, 1);
+        assert_eq!(resp.clo, CloneStatus::ClonedOriginal);
+        assert_eq!(resp.sid, 3);
+        assert_eq!(resp.state.queue_len(), 2);
+        assert_eq!(resp.client_id, 9);
+        assert_eq!(resp.client_seq, 42);
+    }
+
+    #[test]
+    fn fresh_request_has_no_req_id() {
+        let req = NetCloneHdr::request(0, 0, 0, 0);
+        assert!(req.is_request());
+        assert_eq!(req.req_id, 0);
+        assert_eq!(req.clo, CloneStatus::NotCloned);
+        assert_eq!(req.switch_id, 0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Application payloads carried by NetClone requests.
+//!
+//! The paper evaluates two payload families: synthetic dummy RPCs whose
+//! service time is drawn from a configured distribution (§5.1.2), and
+//! key-value operations against Redis/Memcached-style stores (§5.5) where
+//! `GET` reads one object and `SCAN` reads 100.
+
+/// A fixed-size 16-byte key, matching the paper's KV experiments
+/// ("1 million objects with 16-byte keys and 64-byte values", §5.5).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct KvKey(pub [u8; 16]);
+
+impl KvKey {
+    /// Derives the canonical key for object number `n` (the generator and
+    /// the store must agree on this mapping).
+    pub fn from_index(n: u64) -> Self {
+        let mut k = [0u8; 16];
+        k[..8].copy_from_slice(&n.to_be_bytes());
+        // Mix the index into the tail so keys are not prefix-degenerate for
+        // hash functions that favour late bytes.
+        k[8..].copy_from_slice(&(n.wrapping_mul(0x9E37_79B9_7F4A_7C15)).to_be_bytes());
+        KvKey(k)
+    }
+
+    /// Recovers the object index encoded by [`KvKey::from_index`].
+    pub fn index(&self) -> u64 {
+        u64::from_be_bytes(self.0[..8].try_into().expect("8 bytes"))
+    }
+}
+
+/// The RPC operation requested by a client.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum RpcOp {
+    /// Synthetic dummy RPC: the server busy-works for a duration drawn
+    /// around `class_ns` (the workload's intrinsic class, e.g. the 25 μs or
+    /// 250 μs mode of a bimodal mix).
+    Echo {
+        /// Intrinsic mean service time of this request's class, in ns.
+        class_ns: u64,
+    },
+    /// Read one object (Redis/Memcached `GET`).
+    Get {
+        /// Key to read.
+        key: KvKey,
+    },
+    /// Read `count` consecutive objects starting at `key` (the paper's
+    /// `SCAN` reads 100 objects).
+    Scan {
+        /// First key of the range.
+        key: KvKey,
+        /// Number of objects to read.
+        count: u16,
+    },
+    /// Write one object. NetClone never clones writes (§5.5: "write
+    /// coordination should be handled by replication protocols"), but the
+    /// store and runtime support them.
+    Put {
+        /// Key to write.
+        key: KvKey,
+        /// Length of the value in bytes (the sim carries lengths, the real
+        /// runtime carries bytes).
+        value_len: u16,
+    },
+}
+
+impl RpcOp {
+    /// True for operations that NetClone may clone. Writes are excluded
+    /// (§5.5).
+    pub fn is_cloneable(&self) -> bool {
+        !matches!(self, RpcOp::Put { .. })
+    }
+
+    /// Number of objects this operation touches (used by service-cost
+    /// models: `SCAN` costs ≈ 100 × a `GET`'s per-object work).
+    pub fn objects_touched(&self) -> u32 {
+        match self {
+            RpcOp::Echo { .. } => 0,
+            RpcOp::Get { .. } | RpcOp::Put { .. } => 1,
+            RpcOp::Scan { count, .. } => *count as u32,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_index_round_trip() {
+        for n in [0u64, 1, 42, 999_999, u64::MAX] {
+            assert_eq!(KvKey::from_index(n).index(), n);
+        }
+    }
+
+    #[test]
+    fn distinct_indices_give_distinct_keys() {
+        let a = KvKey::from_index(1);
+        let b = KvKey::from_index(2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn writes_are_not_cloneable() {
+        assert!(!RpcOp::Put {
+            key: KvKey::from_index(0),
+            value_len: 64
+        }
+        .is_cloneable());
+        assert!(RpcOp::Get {
+            key: KvKey::from_index(0)
+        }
+        .is_cloneable());
+        assert!(RpcOp::Echo { class_ns: 25_000 }.is_cloneable());
+    }
+
+    #[test]
+    fn scan_touches_count_objects() {
+        let op = RpcOp::Scan {
+            key: KvKey::from_index(3),
+            count: 100,
+        };
+        assert_eq!(op.objects_touched(), 100);
+        assert_eq!(RpcOp::Echo { class_ns: 1 }.objects_touched(), 0);
+    }
+}

@@ -1,0 +1,98 @@
+//! [`PacketMeta`] — the switch-visible slice of a packet.
+//!
+//! A PISA switch parses a packet into per-field metadata, runs the
+//! match-action pipeline over that metadata, and deparses the (possibly
+//! rewritten) fields back onto the wire. `PacketMeta` is exactly that
+//! parsed view: L3 addresses, the L4 destination port (which selects
+//! NetClone vs. normal processing, §3.2), and the NetClone header.
+//!
+//! Both the discrete-event simulator and the real UDP soft switch drive the
+//! data-plane program ([`netclone-core`]) with this type, which is what lets
+//! one implementation of Algorithm 1 serve both worlds.
+//!
+//! [`netclone-core`]: ../../netclone_core/index.html
+
+use crate::{Ipv4, NetCloneHdr, NETCLONE_UDP_PORT};
+
+/// The parsed, rewritable representation of one packet inside a switch.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PacketMeta {
+    /// L3 source address.
+    pub src_ip: Ipv4,
+    /// L3 destination address. Fresh NetClone requests leave the client
+    /// with this unspecified; the switch's address table fills it in
+    /// (Algorithm 1 line 5).
+    pub dst_ip: Ipv4,
+    /// L4 destination port; [`NETCLONE_UDP_PORT`] selects NetClone
+    /// processing.
+    pub l4_dport: u16,
+    /// The NetClone header.
+    pub nc: NetCloneHdr,
+    /// Total frame length in bytes (for serialization-delay models).
+    pub wire_bytes: u16,
+}
+
+impl PacketMeta {
+    /// Builds the metadata for a fresh NetClone request leaving a client.
+    pub fn netclone_request(src_ip: Ipv4, nc: NetCloneHdr, wire_bytes: u16) -> Self {
+        PacketMeta {
+            src_ip,
+            dst_ip: Ipv4::UNSPECIFIED,
+            l4_dport: NETCLONE_UDP_PORT,
+            nc,
+            wire_bytes,
+        }
+    }
+
+    /// Builds the metadata for a response from a server back to `dst_ip`
+    /// (the client).
+    pub fn netclone_response(src_ip: Ipv4, dst_ip: Ipv4, nc: NetCloneHdr, wire_bytes: u16) -> Self {
+        PacketMeta {
+            src_ip,
+            dst_ip,
+            l4_dport: NETCLONE_UDP_PORT,
+            nc,
+            wire_bytes,
+        }
+    }
+
+    /// True iff the switch should run the NetClone modules on this packet
+    /// (§3.2: a reserved L4 port distinguishes NetClone packets; everything
+    /// else uses the traditional routing path).
+    pub fn is_netclone(&self) -> bool {
+        self.l4_dport == NETCLONE_UDP_PORT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MsgType;
+
+    #[test]
+    fn fresh_request_has_unspecified_destination() {
+        let nc = NetCloneHdr::request(3, 0, 1, 7);
+        let pkt = PacketMeta::netclone_request(Ipv4::client(0), nc, 84);
+        assert!(pkt.dst_ip.is_unspecified());
+        assert!(pkt.is_netclone());
+        assert_eq!(pkt.nc.msg_type, MsgType::Req);
+    }
+
+    #[test]
+    fn non_netclone_port_is_not_netclone() {
+        let nc = NetCloneHdr::request(0, 0, 0, 0);
+        let mut pkt = PacketMeta::netclone_request(Ipv4::client(0), nc, 84);
+        pkt.l4_dport = 53;
+        assert!(!pkt.is_netclone());
+    }
+
+    #[test]
+    fn response_carries_both_endpoints() {
+        let req = NetCloneHdr::request(0, 0, 2, 5);
+        let nc = NetCloneHdr::response_to(&req, 4, crate::ServerState::IDLE);
+        let pkt = PacketMeta::netclone_response(Ipv4::server(4), Ipv4::client(2), nc, 84);
+        assert_eq!(pkt.src_ip, Ipv4::server(4));
+        assert_eq!(pkt.dst_ip, Ipv4::client(2));
+        assert!(pkt.is_netclone());
+    }
+}

@@ -1,0 +1,124 @@
+//! Minimal libpcap file writer, for debug taps.
+//!
+//! Emits the classic pcap format (magic 0xa1b2c3d4, microsecond
+//! timestamps, LINKTYPE_RAW = 101: packets start at the IPv4 header), so
+//! captures from the soft switch or the simulator open directly in
+//! Wireshark/tcpdump. Writing is append-only and infallible from the data
+//! plane's perspective — a tap must never break forwarding.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+/// LINKTYPE_RAW: packets begin with the IP header.
+const LINKTYPE_RAW: u32 = 101;
+
+/// An open pcap file.
+pub struct PcapWriter {
+    out: BufWriter<File>,
+    packets: u64,
+}
+
+impl PcapWriter {
+    /// Creates the file and writes the global header.
+    pub fn create<P: AsRef<Path>>(path: P) -> std::io::Result<PcapWriter> {
+        let mut out = BufWriter::new(File::create(path)?);
+        out.write_all(&0xa1b2_c3d4u32.to_le_bytes())?; // magic
+        out.write_all(&2u16.to_le_bytes())?; // version major
+        out.write_all(&4u16.to_le_bytes())?; // version minor
+        out.write_all(&0i32.to_le_bytes())?; // thiszone
+        out.write_all(&0u32.to_le_bytes())?; // sigfigs
+        out.write_all(&65_535u32.to_le_bytes())?; // snaplen
+        out.write_all(&LINKTYPE_RAW.to_le_bytes())?;
+        Ok(PcapWriter { out, packets: 0 })
+    }
+
+    /// Appends one packet with the given timestamp (ns since an epoch of
+    /// the caller's choosing).
+    pub fn record(&mut self, ts_ns: u64, packet: &[u8]) -> std::io::Result<()> {
+        let secs = (ts_ns / 1_000_000_000) as u32;
+        let usecs = ((ts_ns % 1_000_000_000) / 1_000) as u32;
+        self.out.write_all(&secs.to_le_bytes())?;
+        self.out.write_all(&usecs.to_le_bytes())?;
+        let len = packet.len() as u32;
+        self.out.write_all(&len.to_le_bytes())?; // incl_len
+        self.out.write_all(&len.to_le_bytes())?; // orig_len
+        self.out.write_all(packet)?;
+        self.packets += 1;
+        Ok(())
+    }
+
+    /// Packets written so far.
+    pub fn packets(&self) -> u64 {
+        self.packets
+    }
+
+    /// Flushes buffered records to disk.
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        self.out.flush()
+    }
+}
+
+impl Drop for PcapWriter {
+    fn drop(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::l3::encode_ip_packet;
+    use crate::{Ipv4, NetCloneHdr, PacketMeta, RpcOp};
+
+    #[test]
+    fn writes_a_parseable_capture() {
+        let dir = std::env::temp_dir().join("netclone-pcap-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tap.pcap");
+        {
+            let mut w = PcapWriter::create(&path).unwrap();
+            for i in 0..3u32 {
+                let mut meta = PacketMeta::netclone_request(
+                    Ipv4::client(0),
+                    NetCloneHdr::request(0, 0, 0, i),
+                    0,
+                );
+                meta.dst_ip = Ipv4::server(1);
+                let pkt = encode_ip_packet(&meta, 4000, &RpcOp::Echo { class_ns: 1 });
+                w.record(i as u64 * 1_000_000, &pkt).unwrap();
+            }
+            assert_eq!(w.packets(), 3);
+        }
+        let raw = std::fs::read(&path).unwrap();
+        // Global header.
+        assert_eq!(&raw[..4], &0xa1b2_c3d4u32.to_le_bytes());
+        assert_eq!(u32::from_le_bytes(raw[20..24].try_into().unwrap()), 101);
+        // First record header: ts 0, two equal lengths, then an IPv4
+        // version nibble.
+        let incl = u32::from_le_bytes(raw[32..36].try_into().unwrap());
+        let orig = u32::from_le_bytes(raw[36..40].try_into().unwrap());
+        assert_eq!(incl, orig);
+        assert_eq!(raw[40] >> 4, 4, "record must start at the IPv4 header");
+        // Total size: 24 + 3 × (16 + incl).
+        assert_eq!(raw.len(), 24 + 3 * (16 + incl as usize));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn timestamps_split_into_secs_and_usecs() {
+        let dir = std::env::temp_dir().join("netclone-pcap-ts");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ts.pcap");
+        let mut w = PcapWriter::create(&path).unwrap();
+        w.record(2_500_000_000, &[0x45, 0, 0, 0]).unwrap();
+        w.flush().unwrap();
+        let raw = std::fs::read(&path).unwrap();
+        assert_eq!(u32::from_le_bytes(raw[24..28].try_into().unwrap()), 2);
+        assert_eq!(
+            u32::from_le_bytes(raw[28..32].try_into().unwrap()),
+            500_000
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,89 @@
+//! Property tests for the full IPv4/UDP encapsulation: round trips for
+//! arbitrary headers/ops, checksum detection of arbitrary single-byte
+//! corruption, and panic-freedom on garbage.
+
+use bytes::Bytes;
+use netclone_proto::l3::{decode_ip_packet, encode_ip_packet, internet_checksum};
+use netclone_proto::{Ipv4, KvKey, NetCloneHdr, PacketMeta, RpcOp};
+use proptest::prelude::*;
+
+fn arb_op() -> impl Strategy<Value = RpcOp> {
+    prop_oneof![
+        any::<u64>().prop_map(|class_ns| RpcOp::Echo { class_ns }),
+        any::<u64>().prop_map(|n| RpcOp::Get {
+            key: KvKey::from_index(n)
+        }),
+        (any::<u64>(), any::<u16>()).prop_map(|(n, count)| RpcOp::Scan {
+            key: KvKey::from_index(n),
+            count,
+        }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_round_trips(
+        src in any::<u32>(),
+        dst in any::<u32>(),
+        grp in any::<u16>(),
+        idx in any::<u8>(),
+        seq in any::<u32>(),
+        sport in any::<u16>(),
+        op in arb_op(),
+    ) {
+        let mut meta = PacketMeta::netclone_request(
+            Ipv4(src),
+            NetCloneHdr::request(grp, idx, 3, seq),
+            0,
+        );
+        meta.dst_ip = Ipv4(dst);
+        let pkt = encode_ip_packet(&meta, sport, &op);
+        let (m2, op2) = decode_ip_packet(pkt).unwrap();
+        prop_assert_eq!(m2.src_ip, meta.src_ip);
+        prop_assert_eq!(m2.dst_ip, meta.dst_ip);
+        prop_assert_eq!(m2.nc, meta.nc);
+        prop_assert_eq!(op2, op);
+    }
+
+    /// Any single-byte corruption is caught by one of the two checksums
+    /// (or the structural validators).
+    #[test]
+    fn single_byte_corruption_is_detected(
+        seq in any::<u32>(),
+        flip_pos in 0usize..57,
+        flip_bit in 0u8..8,
+    ) {
+        let meta = PacketMeta::netclone_request(
+            Ipv4::client(0),
+            NetCloneHdr::request(1, 0, 0, seq),
+            0,
+        );
+        let pkt = encode_ip_packet(&meta, 9999, &RpcOp::Echo { class_ns: 25_000 });
+        prop_assume!(flip_pos < pkt.len());
+        let mut raw = pkt.to_vec();
+        raw[flip_pos] ^= 1 << flip_bit;
+        let decoded = decode_ip_packet(Bytes::from(raw));
+        prop_assert!(
+            decoded.is_err(),
+            "corruption at byte {flip_pos} bit {flip_bit} slipped through"
+        );
+    }
+
+    /// Garbage never panics the decoder.
+    #[test]
+    fn garbage_never_panics(raw in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let _ = decode_ip_packet(Bytes::from(raw));
+    }
+
+    /// The checksum of data with its own checksum appended is zero.
+    #[test]
+    fn checksum_self_verifies(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let mut padded = data.clone();
+        if padded.len() % 2 == 1 {
+            padded.push(0);
+        }
+        let csum = internet_checksum(&padded);
+        padded.extend_from_slice(&csum.to_be_bytes());
+        prop_assert_eq!(internet_checksum(&padded), 0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Tiny ASCII scatter/line charts so examples can visualise a figure
+//! in the terminal without a plotting dependency.
+
+/// One named series: label, marker, points.
+type Series = (String, char, Vec<(f64, f64)>);
+
+/// Renders one or more named series on shared axes.
+pub struct AsciiChart {
+    width: usize,
+    height: usize,
+    log_y: bool,
+    series: Vec<Series>,
+}
+
+impl AsciiChart {
+    /// Creates a chart canvas of `width`×`height` characters.
+    pub fn new(width: usize, height: usize) -> Self {
+        AsciiChart {
+            width: width.max(16),
+            height: height.max(6),
+            log_y: false,
+            series: Vec::new(),
+        }
+    }
+
+    /// Plots the Y axis on a log10 scale (the paper's latency axes are log).
+    pub fn log_y(mut self) -> Self {
+        self.log_y = true;
+        self
+    }
+
+    /// Adds a named series drawn with marker `marker`.
+    pub fn series<S: Into<String>>(
+        mut self,
+        name: S,
+        marker: char,
+        points: impl IntoIterator<Item = (f64, f64)>,
+    ) -> Self {
+        self.series
+            .push((name.into(), marker, points.into_iter().collect()));
+        self
+    }
+
+    fn y_transform(&self, y: f64) -> f64 {
+        if self.log_y {
+            y.max(1e-12).log10()
+        } else {
+            y
+        }
+    }
+
+    /// Renders the chart to a string.
+    pub fn render(&self) -> String {
+        let pts: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|(_, _, p)| p.iter().copied())
+            .filter(|(x, y)| x.is_finite() && y.is_finite())
+            .collect();
+        if pts.is_empty() {
+            return "(no data)\n".to_string();
+        }
+        let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &(x, y) in &pts {
+            x0 = x0.min(x);
+            x1 = x1.max(x);
+            let ty = self.y_transform(y);
+            y0 = y0.min(ty);
+            y1 = y1.max(ty);
+        }
+        if (x1 - x0).abs() < 1e-12 {
+            x1 = x0 + 1.0;
+        }
+        if (y1 - y0).abs() < 1e-12 {
+            y1 = y0 + 1.0;
+        }
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        for (_, marker, points) in &self.series {
+            for &(x, y) in points {
+                if !x.is_finite() || !y.is_finite() {
+                    continue;
+                }
+                let ty = self.y_transform(y);
+                let col = ((x - x0) / (x1 - x0) * (self.width - 1) as f64).round() as usize;
+                let row = ((ty - y0) / (y1 - y0) * (self.height - 1) as f64).round() as usize;
+                let r = self.height - 1 - row.min(self.height - 1);
+                grid[r][col.min(self.width - 1)] = *marker;
+            }
+        }
+        let mut out = String::new();
+        let y_hi = if self.log_y { 10f64.powf(y1) } else { y1 };
+        let y_lo = if self.log_y { 10f64.powf(y0) } else { y0 };
+        out.push_str(&format!("  y: {y_lo:.1} .. {y_hi:.1}\n"));
+        for row in &grid {
+            out.push_str("  |");
+            out.extend(row.iter());
+            out.push('\n');
+        }
+        out.push_str("  +");
+        out.push_str(&"-".repeat(self.width));
+        out.push('\n');
+        out.push_str(&format!("   x: {x0:.2} .. {x1:.2}   "));
+        for (name, marker, _) in &self.series {
+            out.push_str(&format!("[{marker}] {name}  "));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_markers_for_each_series() {
+        let chart = AsciiChart::new(40, 10)
+            .series("a", '*', vec![(0.0, 1.0), (1.0, 2.0)])
+            .series("b", 'o', vec![(0.5, 1.5)]);
+        let out = chart.render();
+        assert!(out.contains('*'));
+        assert!(out.contains('o'));
+        assert!(out.contains("[*] a"));
+        assert!(out.contains("[o] b"));
+    }
+
+    #[test]
+    fn empty_chart_is_graceful() {
+        let out = AsciiChart::new(40, 10).render();
+        assert_eq!(out, "(no data)\n");
+    }
+
+    #[test]
+    fn log_scale_accepts_wide_ranges() {
+        let out = AsciiChart::new(40, 10)
+            .log_y()
+            .series("lat", '#', vec![(0.0, 100.0), (1.0, 1_000_000.0)])
+            .render();
+        assert!(out.contains('#'));
+    }
+
+    #[test]
+    fn degenerate_ranges_do_not_panic() {
+        let out = AsciiChart::new(20, 8)
+            .series("flat", '.', vec![(1.0, 5.0), (1.0, 5.0)])
+            .render();
+        assert!(out.contains('.'));
+    }
+}

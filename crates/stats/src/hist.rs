@@ -1,0 +1,293 @@
+//! HDR-style log-linear latency histogram.
+//!
+//! Values are u64 nanoseconds. Buckets: values below 128 are exact; above,
+//! each power-of-two octave is split into 64 linear sub-buckets, so the
+//! recorded→reported relative error is at most 1/64 ≈ 1.6 % — comfortably
+//! below the run-to-run noise of any tail-latency experiment.
+
+/// Number of exact low buckets (also the linear threshold).
+const EXACT: u64 = 128;
+/// Sub-buckets per octave above the linear threshold.
+const SUB: u64 = 64;
+/// Total bucket count: covers values up to 2^63.
+const NBUCKETS: usize = (EXACT + (63 - 6) * SUB) as usize;
+
+/// A fixed-memory latency histogram with ≤ 1.6 % bucket error.
+#[derive(Clone)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn bucket_index(v: u64) -> usize {
+    if v < EXACT {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros() as u64; // >= 7
+        let e = msb - 6; // >= 1
+        let mantissa = (v >> e) - SUB; // in [0, 64)
+        (EXACT + (e - 1) * SUB + mantissa) as usize
+    }
+}
+
+/// Upper edge (inclusive) of the bucket containing `v`s of this index.
+fn bucket_high(idx: usize) -> u64 {
+    let idx = idx as u64;
+    if idx < EXACT {
+        idx
+    } else {
+        let e = (idx - EXACT) / SUB + 1;
+        let mantissa = (idx - EXACT) % SUB + SUB;
+        ((mantissa + 1) << e) - 1
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: vec![0; NBUCKETS],
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one value (nanoseconds).
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_index(v)] += 1;
+        self.total += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Smallest recorded value, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean of recorded values (exact, not bucketed).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// The value at quantile `q` ∈ [0, 1], e.g. `0.99` for p99.
+    ///
+    /// Returns the upper edge of the bucket holding the `ceil(q·n)`-th
+    /// smallest sample (so the reported value is ≥ the true quantile, by at
+    /// most one bucket width). Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_high(i).min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
+
+    /// Convenience: the 50th/99th/99.9th percentiles in one call.
+    pub fn p50_p99_p999(&self) -> (u64, u64, u64) {
+        (
+            self.quantile(0.50),
+            self.quantile(0.99),
+            self.quantile(0.999),
+        )
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Resets all recorded state (e.g. to discard a warm-up window).
+    pub fn clear(&mut self) {
+        self.counts.fill(0);
+        self.total = 0;
+        self.sum = 0;
+        self.min = u64::MAX;
+        self.max = 0;
+    }
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (p50, p99, p999) = self.p50_p99_p999();
+        f.debug_struct("LatencyHistogram")
+            .field("count", &self.total)
+            .field("mean_ns", &(self.mean() as u64))
+            .field("p50_ns", &p50)
+            .field("p99_ns", &p99)
+            .field("p999_ns", &p999)
+            .field("max_ns", &self.max)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in 0..EXACT {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(1.0), EXACT - 1);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), EXACT - 1);
+    }
+
+    #[test]
+    fn single_value_all_quantiles() {
+        let mut h = LatencyHistogram::new();
+        h.record(25_000);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            let got = h.quantile(q);
+            let err = (got as f64 - 25_000.0).abs() / 25_000.0;
+            assert!(err <= 1.0 / 64.0, "q={q} got={got}");
+        }
+    }
+
+    #[test]
+    fn bucket_error_bound_holds() {
+        // For a spread of magnitudes, the reported quantile of a point mass
+        // must be within one bucket (1/64) of the true value.
+        for v in [130u64, 999, 25_000, 1_000_000, 123_456_789, u32::MAX as u64] {
+            let mut h = LatencyHistogram::new();
+            h.record(v);
+            let got = h.quantile(0.99);
+            assert!(got >= v, "reported quantile must not undershoot: v={v} got={got}");
+            let err = (got - v) as f64 / v as f64;
+            assert!(err <= 1.0 / 64.0 + 1e-9, "v={v} got={got} err={err}");
+        }
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in [10u64, 20, 30, 40] {
+            h.record(v);
+        }
+        assert_eq!(h.mean(), 25.0);
+        assert_eq!(h.count(), 4);
+    }
+
+    #[test]
+    fn quantiles_are_monotone() {
+        let mut h = LatencyHistogram::new();
+        for i in 0..10_000u64 {
+            h.record(i * 37 % 1_000_000);
+        }
+        let mut last = 0;
+        for i in 0..=100 {
+            let q = i as f64 / 100.0;
+            let v = h.quantile(q);
+            assert!(v >= last, "quantiles must be monotone");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut combined = LatencyHistogram::new();
+        for i in 0..1000u64 {
+            let v = i * 101 % 50_000;
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            combined.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), combined.count());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(a.quantile(q), combined.quantile(q));
+        }
+        assert_eq!(a.min(), combined.min());
+        assert_eq!(a.max(), combined.max());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut h = LatencyHistogram::new();
+        h.record(123);
+        h.clear();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_and_consistent() {
+        let mut last = 0usize;
+        let mut v = 1u64;
+        while v < u64::MAX / 4 {
+            let i = bucket_index(v);
+            assert!(i >= last);
+            assert!(bucket_high(i) >= v, "upper edge covers the value");
+            last = i;
+            v = v.saturating_mul(3) / 2 + 1;
+        }
+    }
+}

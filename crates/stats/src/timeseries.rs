@@ -1,0 +1,92 @@
+//! Fixed-interval event-count timeseries.
+//!
+//! Fig. 16 plots per-second throughput over a 25-second run with a switch
+//! failure injected; this type is that counter.
+
+/// Counts events into fixed-width time buckets.
+#[derive(Clone, Debug)]
+pub struct TimeSeries {
+    bucket_ns: u64,
+    counts: Vec<u64>,
+}
+
+impl TimeSeries {
+    /// Creates a series with `buckets` buckets of `bucket_ns` each.
+    pub fn new(bucket_ns: u64, buckets: usize) -> Self {
+        assert!(bucket_ns > 0, "bucket width must be positive");
+        TimeSeries {
+            bucket_ns,
+            counts: vec![0; buckets],
+        }
+    }
+
+    /// Records one event at absolute time `t_ns`. Events beyond the last
+    /// bucket are dropped (the run is over).
+    pub fn record(&mut self, t_ns: u64) {
+        let idx = (t_ns / self.bucket_ns) as usize;
+        if let Some(c) = self.counts.get_mut(idx) {
+            *c += 1;
+        }
+    }
+
+    /// Bucket width in nanoseconds.
+    pub fn bucket_ns(&self) -> u64 {
+        self.bucket_ns
+    }
+
+    /// Raw per-bucket counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Per-bucket rate in events/second.
+    pub fn rates_per_sec(&self) -> Vec<f64> {
+        let scale = 1e9 / self.bucket_ns as f64;
+        self.counts.iter().map(|&c| c as f64 * scale).collect()
+    }
+
+    /// Total events recorded in-range.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_land_in_the_right_bucket() {
+        let mut ts = TimeSeries::new(1_000, 3);
+        ts.record(0);
+        ts.record(999);
+        ts.record(1_000);
+        ts.record(2_500);
+        assert_eq!(ts.counts(), &[2, 1, 1]);
+        assert_eq!(ts.total(), 4);
+    }
+
+    #[test]
+    fn out_of_range_events_are_dropped() {
+        let mut ts = TimeSeries::new(1_000, 2);
+        ts.record(5_000);
+        assert_eq!(ts.total(), 0);
+    }
+
+    #[test]
+    fn rates_scale_by_bucket_width() {
+        let mut ts = TimeSeries::new(500_000_000, 2); // 0.5 s buckets
+        for _ in 0..100 {
+            ts.record(0);
+        }
+        let rates = ts.rates_per_sec();
+        assert_eq!(rates[0], 200.0); // 100 events / 0.5 s
+        assert_eq!(rates[1], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bucket_width_panics() {
+        let _ = TimeSeries::new(0, 1);
+    }
+}

@@ -1,0 +1,69 @@
+//! Property tests: histogram quantiles track exact order statistics within
+//! the documented bucket error, and merging is equivalent to combined
+//! recording.
+
+use netclone_stats::LatencyHistogram;
+use proptest::prelude::*;
+
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The histogram quantile never undershoots the exact order statistic
+    /// and overshoots by at most one bucket width (1/64 relative) plus one.
+    #[test]
+    fn quantile_error_is_bounded(
+        mut values in proptest::collection::vec(0u64..10_000_000_000, 1..500),
+        qi in 0usize..=100,
+    ) {
+        let q = qi as f64 / 100.0;
+        let mut h = LatencyHistogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        let exact = exact_quantile(&values, q);
+        let got = h.quantile(q);
+        prop_assert!(got >= exact, "undershoot: got={got} exact={exact}");
+        let bound = exact + exact / 32 + 1; // generous 2-bucket bound
+        prop_assert!(got <= bound.max(*values.last().unwrap()),
+            "overshoot: got={got} exact={exact} bound={bound}");
+    }
+
+    /// count/min/max/mean are exact.
+    #[test]
+    fn aggregates_are_exact(values in proptest::collection::vec(0u64..1_000_000_000, 1..300)) {
+        let mut h = LatencyHistogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.min(), *values.iter().min().unwrap());
+        prop_assert_eq!(h.max(), *values.iter().max().unwrap());
+        let mean = values.iter().map(|&v| v as f64).sum::<f64>() / values.len() as f64;
+        prop_assert!((h.mean() - mean).abs() < 1e-3);
+    }
+
+    /// merge(a, b) reports identical quantiles to recording a ∪ b.
+    #[test]
+    fn merge_is_equivalent(
+        a in proptest::collection::vec(0u64..100_000_000, 0..200),
+        b in proptest::collection::vec(0u64..100_000_000, 0..200),
+    ) {
+        let mut ha = LatencyHistogram::new();
+        let mut hb = LatencyHistogram::new();
+        let mut hc = LatencyHistogram::new();
+        for &v in &a { ha.record(v); hc.record(v); }
+        for &v in &b { hb.record(v); hc.record(v); }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.count(), hc.count());
+        for qi in [0, 25, 50, 75, 90, 99, 100] {
+            let q = qi as f64 / 100.0;
+            prop_assert_eq!(ha.quantile(q), hc.quantile(q));
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Open-loop Poisson arrival process.
+//!
+//! §4.2: "The client measures the throughput and latency by generating
+//! requests at a given target sending rate … The inter-arrival time between
+//! two consecutive requests is exponentially distributed."
+
+use rand::Rng;
+
+use crate::dist::sample_exp;
+
+/// Generates exponential inter-arrival gaps for a target request rate.
+#[derive(Clone, Copy, Debug)]
+pub struct PoissonArrivals {
+    mean_gap_ns: f64,
+}
+
+impl PoissonArrivals {
+    /// Creates a process with the given rate in requests/second.
+    ///
+    /// Panics on a non-positive rate: an open-loop generator with no rate
+    /// is a configuration bug.
+    pub fn new(rate_rps: f64) -> Self {
+        assert!(rate_rps > 0.0, "arrival rate must be positive");
+        PoissonArrivals {
+            mean_gap_ns: 1e9 / rate_rps,
+        }
+    }
+
+    /// Draws the gap to the next arrival, in nanoseconds (minimum 1 ns so
+    /// the event loop always advances).
+    pub fn next_gap_ns<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        sample_exp(rng, self.mean_gap_ns).max(1)
+    }
+
+    /// The configured rate, requests/second.
+    pub fn rate_rps(&self) -> f64 {
+        1e9 / self.mean_gap_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mean_gap_matches_rate() {
+        let p = PoissonArrivals::new(1_000_000.0); // 1 MRPS → 1000 ns gaps
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 200_000;
+        let total: u64 = (0..n).map(|_| p.next_gap_ns(&mut rng)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 1_000.0).abs() / 1_000.0 < 0.02, "mean gap {mean}");
+    }
+
+    #[test]
+    fn gaps_are_never_zero() {
+        let p = PoissonArrivals::new(1e9); // pathologically fast
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            assert!(p.next_gap_ns(&mut rng) >= 1);
+        }
+    }
+
+    #[test]
+    fn rate_round_trips() {
+        let p = PoissonArrivals::new(123_456.0);
+        assert!((p.rate_rps() - 123_456.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_panics() {
+        let _ = PoissonArrivals::new(0.0);
+    }
+}

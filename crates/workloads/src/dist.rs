@@ -1,0 +1,224 @@
+//! Service-time distributions.
+//!
+//! The split of responsibilities mirrors how variability arises in a real
+//! cluster (and in the paper's model):
+//!
+//! * the *class* of a request (simple vs. complex RPC) is a property of the
+//!   request, drawn once at the client — both the original and the clone of
+//!   a request share it;
+//! * the *execution time* around that class is a property of the server
+//!   visit (cache state, interference, scheduling) — drawn independently at
+//!   each server, which is precisely why cloning masks it.
+
+use rand::Rng;
+
+/// Draws from an exponential distribution with the given mean, via inverse
+/// CDF. Returns whole nanoseconds.
+pub fn sample_exp<R: Rng + ?Sized>(rng: &mut R, mean_ns: f64) -> u64 {
+    // u ∈ (0, 1]: guard against ln(0).
+    let u: f64 = 1.0 - rng.random::<f64>();
+    let x = -mean_ns * u.ln();
+    x.max(0.0).round() as u64
+}
+
+/// Draws from a Gamma(k=4, θ=mean/4) distribution (sum of four
+/// exponentials): same mean, CV² = 0.25. Used for the KV service model,
+/// where per-op times are much less dispersed than a full exponential.
+pub fn sample_gamma4<R: Rng + ?Sized>(rng: &mut R, mean_ns: f64) -> u64 {
+    let quarter = mean_ns / 4.0;
+    (0..4).map(|_| sample_exp(rng, quarter)).sum()
+}
+
+/// How a server turns a request's intrinsic class into an execution time.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ServiceShape {
+    /// Execution time is exactly the class (useful in deterministic tests).
+    Deterministic,
+    /// Exponential with mean = class (the paper's synthetic workloads).
+    Exponential,
+    /// Gamma(4) with mean = class (the KV workloads: moderate dispersion).
+    Gamma4,
+}
+
+impl ServiceShape {
+    /// Samples an execution time for a request of the given class.
+    pub fn sample<R: Rng + ?Sized>(self, rng: &mut R, class_ns: u64) -> u64 {
+        match self {
+            ServiceShape::Deterministic => class_ns,
+            ServiceShape::Exponential => sample_exp(rng, class_ns as f64),
+            ServiceShape::Gamma4 => sample_gamma4(rng, class_ns as f64),
+        }
+    }
+}
+
+/// The synthetic workload families of §5.1.2.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SyntheticWorkload {
+    /// Every request belongs to one class of the given mean (e.g.
+    /// `Exp(25)`: class 25 μs, execution exponential around it).
+    Exp {
+        /// Mean service time in nanoseconds.
+        mean_ns: u64,
+    },
+    /// Two classes: `heavy_ns` with probability `p_heavy`, else `light_ns`
+    /// (e.g. `Bimodal(90%-25, 10%-250)`).
+    Bimodal {
+        /// Probability of the heavy class.
+        p_heavy: f64,
+        /// Light class mean, ns.
+        light_ns: u64,
+        /// Heavy class mean, ns.
+        heavy_ns: u64,
+    },
+}
+
+impl SyntheticWorkload {
+    /// Draws the intrinsic class of one request.
+    pub fn sample_class<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        match *self {
+            SyntheticWorkload::Exp { mean_ns } => mean_ns,
+            SyntheticWorkload::Bimodal {
+                p_heavy,
+                light_ns,
+                heavy_ns,
+            } => {
+                if rng.random::<f64>() < p_heavy {
+                    heavy_ns
+                } else {
+                    light_ns
+                }
+            }
+        }
+    }
+
+    /// Mean class value (for utilisation/offered-load calculations).
+    pub fn mean_class_ns(&self) -> f64 {
+        match *self {
+            SyntheticWorkload::Exp { mean_ns } => mean_ns as f64,
+            SyntheticWorkload::Bimodal {
+                p_heavy,
+                light_ns,
+                heavy_ns,
+            } => p_heavy * heavy_ns as f64 + (1.0 - p_heavy) * light_ns as f64,
+        }
+    }
+
+    /// Short label used in experiment output (e.g. `Exp(25)`).
+    pub fn label(&self) -> String {
+        match *self {
+            SyntheticWorkload::Exp { mean_ns } => format!("Exp({})", mean_ns / 1_000),
+            SyntheticWorkload::Bimodal {
+                p_heavy,
+                light_ns,
+                heavy_ns,
+            } => format!(
+                "Bimodal({}%-{},{}%-{})",
+                ((1.0 - p_heavy) * 100.0).round() as u32,
+                light_ns / 1_000,
+                (p_heavy * 100.0).round() as u32,
+                heavy_ns / 1_000
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exp_mean_converges() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 200_000;
+        let mean = 25_000.0;
+        let sum: u64 = (0..n).map(|_| sample_exp(&mut rng, mean)).sum();
+        let got = sum as f64 / n as f64;
+        assert!(
+            (got - mean).abs() / mean < 0.02,
+            "exp mean off: got {got}, want {mean}"
+        );
+    }
+
+    #[test]
+    fn gamma4_mean_and_dispersion() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 200_000usize;
+        let mean = 50_000.0;
+        let xs: Vec<u64> = (0..n).map(|_| sample_gamma4(&mut rng, mean)).collect();
+        let got_mean = xs.iter().sum::<u64>() as f64 / n as f64;
+        assert!((got_mean - mean).abs() / mean < 0.02);
+        let var = xs
+            .iter()
+            .map(|&x| (x as f64 - got_mean).powi(2))
+            .sum::<f64>()
+            / (n - 1) as f64;
+        let cv2 = var / (got_mean * got_mean);
+        assert!(
+            (cv2 - 0.25).abs() < 0.02,
+            "gamma4 CV² should be 0.25, got {cv2}"
+        );
+    }
+
+    #[test]
+    fn deterministic_shape_is_exact() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(ServiceShape::Deterministic.sample(&mut rng, 777), 777);
+    }
+
+    #[test]
+    fn bimodal_class_fractions() {
+        let wl = SyntheticWorkload::Bimodal {
+            p_heavy: 0.1,
+            light_ns: 25_000,
+            heavy_ns: 250_000,
+        };
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 100_000;
+        let heavy = (0..n)
+            .filter(|_| wl.sample_class(&mut rng) == 250_000)
+            .count();
+        let frac = heavy as f64 / n as f64;
+        assert!((frac - 0.1).abs() < 0.01, "heavy fraction {frac}");
+    }
+
+    #[test]
+    fn mean_class_is_weighted() {
+        let wl = SyntheticWorkload::Bimodal {
+            p_heavy: 0.1,
+            light_ns: 25_000,
+            heavy_ns: 250_000,
+        };
+        assert!((wl.mean_class_ns() - 47_500.0).abs() < 1e-9);
+        assert_eq!(
+            SyntheticWorkload::Exp { mean_ns: 25_000 }.mean_class_ns(),
+            25_000.0
+        );
+    }
+
+    #[test]
+    fn labels_match_paper_notation() {
+        assert_eq!(
+            SyntheticWorkload::Exp { mean_ns: 25_000 }.label(),
+            "Exp(25)"
+        );
+        assert_eq!(
+            SyntheticWorkload::Bimodal {
+                p_heavy: 0.1,
+                light_ns: 25_000,
+                heavy_ns: 250_000
+            }
+            .label(),
+            "Bimodal(90%-25,10%-250)"
+        );
+    }
+
+    #[test]
+    fn exp_never_returns_absurd_values_for_zero_mean() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            assert_eq!(sample_exp(&mut rng, 0.0), 0);
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! The LÆDGE-style service-time jitter model (§5.1.2).
+//!
+//! "We consider p = 0.01 and p = 0.001 to represent a high variability and
+//! a low variability, where p denotes the jitter probability to experience
+//! excessive long latency … the runtime of an RPC experiencing the
+//! unexpected jitter can take 15 times more than the normal case."
+
+use rand::Rng;
+
+/// Multiplies a drawn service time by `factor` with probability `p`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Jitter {
+    /// Probability that a request hits the slow path.
+    pub p: f64,
+    /// Slow-path multiplier (the paper uses 15).
+    pub factor: u32,
+}
+
+impl Jitter {
+    /// No jitter at all (deterministic tests).
+    pub const NONE: Jitter = Jitter { p: 0.0, factor: 1 };
+
+    /// High variability: p = 0.01, ×15 (the paper's default).
+    pub const HIGH: Jitter = Jitter { p: 0.01, factor: 15 };
+
+    /// Low variability: p = 0.001, ×15 (Fig. 14).
+    pub const LOW: Jitter = Jitter {
+        p: 0.001,
+        factor: 15,
+    };
+
+    /// Applies the jitter to a drawn service time.
+    pub fn apply<R: Rng + ?Sized>(&self, rng: &mut R, service_ns: u64) -> u64 {
+        if self.p > 0.0 && rng.random::<f64>() < self.p {
+            service_ns.saturating_mul(self.factor as u64)
+        } else {
+            service_ns
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn none_is_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for v in [0u64, 1, 25_000, u64::MAX] {
+            assert_eq!(Jitter::NONE.apply(&mut rng, v), v);
+        }
+    }
+
+    #[test]
+    fn jitter_frequency_matches_p() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let j = Jitter::HIGH;
+        let n = 200_000;
+        let hits = (0..n).filter(|_| j.apply(&mut rng, 1_000) == 15_000).count();
+        let frac = hits as f64 / n as f64;
+        assert!((frac - 0.01).abs() < 0.002, "hit fraction {frac}");
+    }
+
+    #[test]
+    fn jittered_value_is_scaled_by_factor() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let j = Jitter { p: 1.0, factor: 15 };
+        assert_eq!(j.apply(&mut rng, 25_000), 375_000);
+    }
+
+    #[test]
+    fn saturates_instead_of_overflowing() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let j = Jitter { p: 1.0, factor: 15 };
+        assert_eq!(j.apply(&mut rng, u64::MAX / 2), u64::MAX);
+    }
+
+    #[test]
+    fn presets_match_paper() {
+        assert_eq!(Jitter::HIGH.p, 0.01);
+        assert_eq!(Jitter::LOW.p, 0.001);
+        assert_eq!(Jitter::HIGH.factor, 15);
+        assert_eq!(Jitter::LOW.factor, 15);
+    }
+}

@@ -1,0 +1,145 @@
+//! GET/SCAN/PUT operation mixes for the Redis/Memcached experiments.
+//!
+//! §5.5: "We vary the portion of GET and SCAN requests to 99%-GET,1%-SCAN
+//! and 90%-GET,10%-SCAN where GET reads a single object and SCAN reads 100
+//! objects."
+
+use netclone_proto::{KvKey, RpcOp};
+use rand::Rng;
+
+use crate::zipf::ZipfSampler;
+
+/// A KV operation mix over a Zipf-distributed key population.
+#[derive(Clone, Debug)]
+pub struct KvMix {
+    /// Fraction of GET requests (e.g. 0.99).
+    pub get_frac: f64,
+    /// Fraction of SCAN requests (e.g. 0.01). GET + SCAN + PUT must be 1.
+    pub scan_frac: f64,
+    /// Objects read by one SCAN (the paper uses 100).
+    pub scan_count: u16,
+    /// Value length for PUTs (the paper's objects are 64 B).
+    pub put_value_len: u16,
+    keys: ZipfSampler,
+}
+
+impl KvMix {
+    /// Builds a GET/SCAN mix with no writes (the paper's read experiments).
+    pub fn read_mix(get_frac: f64, scan_count: u16, keys: ZipfSampler) -> Self {
+        assert!((0.0..=1.0).contains(&get_frac), "get_frac out of range");
+        KvMix {
+            get_frac,
+            scan_frac: 1.0 - get_frac,
+            scan_count,
+            put_value_len: 64,
+            keys,
+        }
+    }
+
+    /// Builds a mix with writes; fractions must sum to 1.
+    pub fn with_puts(
+        get_frac: f64,
+        scan_frac: f64,
+        scan_count: u16,
+        put_value_len: u16,
+        keys: ZipfSampler,
+    ) -> Self {
+        let put = 1.0 - get_frac - scan_frac;
+        assert!(
+            put >= -1e-9,
+            "fractions exceed 1: get={get_frac} scan={scan_frac}"
+        );
+        KvMix {
+            get_frac,
+            scan_frac,
+            scan_count,
+            put_value_len,
+            keys,
+        }
+    }
+
+    /// Draws one operation.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> RpcOp {
+        let u: f64 = rng.random();
+        let key = KvKey::from_index(self.keys.sample(rng));
+        if u < self.get_frac {
+            RpcOp::Get { key }
+        } else if u < self.get_frac + self.scan_frac {
+            RpcOp::Scan {
+                key,
+                count: self.scan_count,
+            }
+        } else {
+            RpcOp::Put {
+                key,
+                value_len: self.put_value_len,
+            }
+        }
+    }
+
+    /// Number of objects in the key population.
+    pub fn population(&self) -> usize {
+        self.keys.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_keys() -> ZipfSampler {
+        ZipfSampler::new(1_000, 0.99)
+    }
+
+    #[test]
+    fn read_mix_fractions_converge() {
+        let mix = KvMix::read_mix(0.9, 100, small_keys());
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 100_000;
+        let mut scans = 0;
+        for _ in 0..n {
+            match mix.sample(&mut rng) {
+                RpcOp::Scan { count, .. } => {
+                    assert_eq!(count, 100);
+                    scans += 1;
+                }
+                RpcOp::Get { .. } => {}
+                other => panic!("unexpected op {other:?} in read mix"),
+            }
+        }
+        let frac = scans as f64 / n as f64;
+        assert!((frac - 0.1).abs() < 0.01, "scan fraction {frac}");
+    }
+
+    #[test]
+    fn put_mix_emits_writes() {
+        let mix = KvMix::with_puts(0.5, 0.25, 10, 64, small_keys());
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 40_000;
+        let puts = (0..n)
+            .filter(|_| matches!(mix.sample(&mut rng), RpcOp::Put { .. }))
+            .count();
+        let frac = puts as f64 / n as f64;
+        assert!((frac - 0.25).abs() < 0.02, "put fraction {frac}");
+    }
+
+    #[test]
+    fn keys_come_from_population() {
+        let mix = KvMix::read_mix(1.0, 100, small_keys());
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            match mix.sample(&mut rng) {
+                RpcOp::Get { key } => assert!(key.index() < 1_000),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed 1")]
+    fn overfull_fractions_panic() {
+        let _ = KvMix::with_puts(0.9, 0.2, 10, 64, small_keys());
+    }
+}

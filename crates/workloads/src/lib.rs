@@ -1,0 +1,33 @@
+//! # netclone-workloads
+//!
+//! Workload generation for the NetClone reproduction, mirroring §5.1.2 of
+//! the paper:
+//!
+//! * **Synthetic RPCs** — a request carries an intrinsic *class* (e.g. the
+//!   25 μs mode of `Exp(25)`, or 25/250 μs drawn 90/10 for the bimodal
+//!   mix); the server then draws its actual execution time around that
+//!   class ([`ServiceShape`]) and applies the LÆDGE-style jitter model
+//!   ([`Jitter`]: ×15 with probability `p` ∈ {0.01, 0.001}).
+//! * **Open-loop arrivals** — exponential inter-arrival gaps at a target
+//!   rate ([`PoissonArrivals`]), exactly like the paper's client.
+//! * **KV workloads** — Zipf-0.99 key popularity over 1 M objects and
+//!   GET/SCAN mixes (99/1 and 90/10) for the Redis/Memcached experiments
+//!   ([`ZipfSampler`], [`KvMix`]).
+//!
+//! All samplers are implemented here (inverse-CDF exponential, sum-of-four
+//! exponentials Gamma, table-based Zipf) because `rand_distr` is not in the
+//! approved offline dependency set; the unit tests validate their moments.
+
+pub mod arrivals;
+pub mod dist;
+pub mod jitter;
+pub mod kvmix;
+pub mod presets;
+pub mod zipf;
+
+pub use arrivals::PoissonArrivals;
+pub use dist::{sample_exp, sample_gamma4, ServiceShape, SyntheticWorkload};
+pub use jitter::Jitter;
+pub use kvmix::KvMix;
+pub use presets::*;
+pub use zipf::ZipfSampler;

@@ -1,0 +1,54 @@
+//! The exact workload configurations used in the paper's evaluation,
+//! as named constructors so every experiment and test refers to one
+//! definition.
+
+use crate::dist::SyntheticWorkload;
+
+/// `Exp(25)` — the default workload: common short-lasting RPCs (§5.1.2).
+pub fn exp25() -> SyntheticWorkload {
+    SyntheticWorkload::Exp { mean_ns: 25_000 }
+}
+
+/// `Exp(50)` — longer RPCs, Fig. 7(c).
+pub fn exp50() -> SyntheticWorkload {
+    SyntheticWorkload::Exp { mean_ns: 50_000 }
+}
+
+/// `Bimodal(90%-25, 10%-250)` — a mix of simple and complex RPCs,
+/// Fig. 7(b).
+pub fn bimodal_25_250() -> SyntheticWorkload {
+    SyntheticWorkload::Bimodal {
+        p_heavy: 0.10,
+        light_ns: 25_000,
+        heavy_ns: 250_000,
+    }
+}
+
+/// `Bimodal(90%-50, 10%-500)` — the longer bimodal mix, Fig. 7(d).
+pub fn bimodal_50_500() -> SyntheticWorkload {
+    SyntheticWorkload::Bimodal {
+        p_heavy: 0.10,
+        light_ns: 50_000,
+        heavy_ns: 500_000,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_labels() {
+        assert_eq!(exp25().label(), "Exp(25)");
+        assert_eq!(exp50().label(), "Exp(50)");
+        assert_eq!(bimodal_25_250().label(), "Bimodal(90%-25,10%-250)");
+        assert_eq!(bimodal_50_500().label(), "Bimodal(90%-50,10%-500)");
+    }
+
+    #[test]
+    fn preset_means() {
+        assert_eq!(exp25().mean_class_ns(), 25_000.0);
+        assert_eq!(bimodal_25_250().mean_class_ns(), 47_500.0);
+        assert_eq!(bimodal_50_500().mean_class_ns(), 95_000.0);
+    }
+}

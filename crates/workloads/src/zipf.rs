@@ -1,0 +1,148 @@
+//! Zipfian key-popularity sampler.
+//!
+//! §5.5: "clients generate read requests … with a skewed key access pattern
+//! with Zipf-0.99" over 1 million objects — the standard YCSB-style skew.
+//!
+//! Implementation: precomputed cumulative weights + binary search. Building
+//! the table is O(n) once; sampling is O(log n) with no rejection loop, and
+//! the table can be shared across clients.
+
+use rand::Rng;
+use std::sync::Arc;
+
+/// Samples object indices `0..n` with probability ∝ 1/(rank+1)^θ.
+#[derive(Clone, Debug)]
+pub struct ZipfSampler {
+    cdf: Arc<[f64]>,
+}
+
+impl ZipfSampler {
+    /// Builds a sampler over `n` objects with skew `theta` (0 = uniform,
+    /// 0.99 = the paper's setting).
+    ///
+    /// Panics if `n == 0` or `theta` is negative/not finite.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one object");
+        assert!(theta.is_finite() && theta >= 0.0, "invalid Zipf theta");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for rank in 1..=n {
+            acc += 1.0 / (rank as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in cdf.iter_mut() {
+            *c /= total;
+        }
+        // Guard against floating-point drift on the last entry.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        ZipfSampler { cdf: cdf.into() }
+    }
+
+    /// Number of objects.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Always false: the constructor rejects empty populations.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Draws one object index in `0..len()` (0 is the most popular).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.random();
+        // partition_point returns the first index whose cdf >= u.
+        let idx = self.cdf.partition_point(|&c| c < u);
+        idx.min(self.cdf.len() - 1) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_when_theta_zero() {
+        let z = ZipfSampler::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 100_000;
+        let mut counts = [0u32; 10];
+        for _ in 0..n {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        for &c in &counts {
+            let frac = c as f64 / n as f64;
+            assert!((frac - 0.1).abs() < 0.01, "uniform fraction {frac}");
+        }
+    }
+
+    #[test]
+    fn skew_prefers_low_ranks() {
+        let z = ZipfSampler::new(1_000, 0.99);
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 100_000;
+        let mut rank0 = 0u32;
+        let mut tail = 0u32;
+        for _ in 0..n {
+            let k = z.sample(&mut rng);
+            if k == 0 {
+                rank0 += 1;
+            }
+            if k >= 500 {
+                tail += 1;
+            }
+        }
+        // For Zipf-0.99 over 1000 items, rank 0 carries ≈ 13 % of mass,
+        // and the upper half well under 20 %.
+        let f0 = rank0 as f64 / n as f64;
+        let ft = tail as f64 / n as f64;
+        assert!(f0 > 0.10, "rank-0 mass {f0}");
+        assert!(ft < 0.20, "tail mass {ft}");
+    }
+
+    #[test]
+    fn theoretical_rank0_mass_matches() {
+        let n = 100usize;
+        let theta = 0.99f64;
+        let z = ZipfSampler::new(n, theta);
+        let h: f64 = (1..=n).map(|r| 1.0 / (r as f64).powf(theta)).sum();
+        let expect = 1.0 / h;
+        let mut rng = StdRng::seed_from_u64(3);
+        let trials = 200_000;
+        let hits = (0..trials).filter(|_| z.sample(&mut rng) == 0).count();
+        let got = hits as f64 / trials as f64;
+        assert!((got - expect).abs() < 0.01, "got {got}, expect {expect}");
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = ZipfSampler::new(7, 0.99);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 7);
+        }
+    }
+
+    #[test]
+    fn million_object_table_builds_quickly() {
+        // The paper's population: 1M objects. Construction must be cheap
+        // enough for test suites.
+        let z = ZipfSampler::new(1_000_000, 0.99);
+        assert_eq!(z.len(), 1_000_000);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..1_000 {
+            assert!(z.sample(&mut rng) < 1_000_000);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_population_panics() {
+        let _ = ZipfSampler::new(0, 0.99);
+    }
+}

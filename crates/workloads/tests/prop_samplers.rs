@@ -1,0 +1,100 @@
+//! Property tests for the samplers: determinism under a fixed seed, range
+//! safety, and basic statistical sanity under arbitrary parameters.
+
+use netclone_workloads::{
+    sample_exp, Jitter, KvMix, PoissonArrivals, ServiceShape, SyntheticWorkload, ZipfSampler,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Same seed → same stream, for every sampler.
+    #[test]
+    fn samplers_are_deterministic(seed in any::<u64>(), mean in 1u64..1_000_000) {
+        let mut a = StdRng::seed_from_u64(seed);
+        let mut b = StdRng::seed_from_u64(seed);
+        for _ in 0..32 {
+            prop_assert_eq!(
+                sample_exp(&mut a, mean as f64),
+                sample_exp(&mut b, mean as f64)
+            );
+        }
+    }
+
+    /// Zipf samples always fall inside the population.
+    #[test]
+    fn zipf_in_range(n in 1usize..5_000, theta in 0.0f64..1.5, seed in any::<u64>()) {
+        let z = ZipfSampler::new(n, theta);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..256 {
+            prop_assert!((z.sample(&mut rng) as usize) < n);
+        }
+    }
+
+    /// Jitter either leaves the value alone or multiplies by the factor.
+    #[test]
+    fn jitter_output_is_binary(p in 0.0f64..1.0, v in 1u64..1_000_000, seed in any::<u64>()) {
+        let j = Jitter { p, factor: 15 };
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..64 {
+            let out = j.apply(&mut rng, v);
+            prop_assert!(out == v || out == v * 15, "unexpected jitter output {out}");
+        }
+    }
+
+    /// Arrival gaps are positive and roughly match the configured rate.
+    #[test]
+    fn arrival_gaps_positive(rate in 1_000.0f64..10_000_000.0, seed in any::<u64>()) {
+        let p = PoissonArrivals::new(rate);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..128 {
+            prop_assert!(p.next_gap_ns(&mut rng) >= 1);
+        }
+    }
+
+    /// Service shapes produce finite values with plausible magnitude.
+    #[test]
+    fn shapes_scale_with_class(class in 1_000u64..10_000_000, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for shape in [ServiceShape::Deterministic, ServiceShape::Exponential, ServiceShape::Gamma4] {
+            let mut total = 0u64;
+            let n = 64;
+            for _ in 0..n {
+                total += shape.sample(&mut rng, class);
+            }
+            let mean = total as f64 / n as f64;
+            // Loose: within 8x either way even for heavy-tailed draws.
+            prop_assert!(mean < class as f64 * 8.0, "{shape:?} mean {mean}");
+            prop_assert!(mean > class as f64 / 8.0, "{shape:?} mean {mean}");
+        }
+    }
+
+    /// Bimodal classes only ever return the two configured values.
+    #[test]
+    fn bimodal_classes_are_closed(p_heavy in 0.0f64..1.0, seed in any::<u64>()) {
+        let wl = SyntheticWorkload::Bimodal {
+            p_heavy,
+            light_ns: 25_000,
+            heavy_ns: 250_000,
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..128 {
+            let c = wl.sample_class(&mut rng);
+            prop_assert!(c == 25_000 || c == 250_000);
+        }
+    }
+
+    /// Read mixes never emit writes.
+    #[test]
+    fn read_mix_never_writes(get_frac in 0.0f64..1.0, seed in any::<u64>()) {
+        let mix = KvMix::read_mix(get_frac, 100, ZipfSampler::new(100, 0.99));
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..128 {
+            let op = mix.sample(&mut rng);
+            prop_assert!(op.is_cloneable(), "read mix produced a write: {op:?}");
+        }
+    }
+}

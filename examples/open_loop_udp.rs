@@ -1,0 +1,60 @@
+//! Open-loop load over the real-socket fabric: a paced sender + receiver
+//! thread pair (the paper's §4.2 client) against the soft switch.
+//!
+//! ```text
+//! cargo run --release --example open_loop_udp [rate_rps] [duration_ms]
+//! ```
+
+use std::time::Duration;
+
+use netclone::core::NetCloneConfig;
+use netclone::net::{OpenLoopClient, OpenLoopSpec, Testbed, WorkExecutor};
+use netclone::proto::{Ipv4, RpcOp};
+
+fn main() -> std::io::Result<()> {
+    let mut args = std::env::args().skip(1);
+    let rate: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(5_000.0);
+    let dur_ms: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(500);
+
+    let tb = Testbed::spawn(NetCloneConfig::default(), 4, 2, WorkExecutor::Synthetic)?;
+    let handle = tb.switch_handle();
+    let client = OpenLoopClient::bind(0, tb.switch_addr())?;
+    handle
+        .register_client(0, Ipv4::client(0), client.addr()?)
+        .map_err(std::io::Error::other)?;
+
+    println!("open loop: {rate} rps for {dur_ms} ms against 4 servers (Echo 50us)\n");
+    let report = client.run(OpenLoopSpec {
+        rate_rps: rate,
+        duration: Duration::from_millis(dur_ms),
+        op: RpcOp::Echo { class_ns: 50_000 },
+        drain: Duration::from_millis(200),
+        num_groups: handle.num_groups(),
+        num_filter_tables: 2,
+        seed: 1,
+    })?;
+
+    let lat = &report.latencies;
+    println!(
+        "sent {}  completed {} ({:.1}%)  redundant {}",
+        report.sent,
+        report.completed,
+        report.completion_rate() * 100.0,
+        report.redundant
+    );
+    println!(
+        "latency: p50 {:.0} us   p99 {:.0} us   max {:.0} us",
+        lat.quantile(0.50) as f64 / 1e3,
+        lat.quantile(0.99) as f64 / 1e3,
+        lat.max() as f64 / 1e3
+    );
+    let c = handle.counters();
+    println!(
+        "switch: cloned {:.0}% of {} requests, filtered {} slower responses",
+        c.clone_rate() * 100.0,
+        c.requests,
+        c.responses_filtered
+    );
+    tb.shutdown();
+    Ok(())
+}

@@ -1,0 +1,123 @@
+//! `repro` — regenerate any table or figure of the paper's evaluation.
+//!
+//! ```text
+//! repro [--scale smoke|standard|full] [--out DIR] [ids…]
+//! repro --list
+//! ```
+//!
+//! With no ids, runs everything. Results print as markdown and are written
+//! as CSV under `--out` (default `results/`).
+
+use std::path::PathBuf;
+
+use netclone_cluster::experiments::{
+    ablations, fig07, fig08, fig09, fig10, fig11, fig12, fig13, fig14, fig15, fig16, resources,
+    table1, Scale,
+};
+
+const ALL: &[&str] = &[
+    "tab01", "tab-res", "fig07", "fig08", "fig09", "fig10", "fig11", "fig12", "fig13", "fig14",
+    "fig15", "fig16", "ablations",
+];
+
+fn main() {
+    let mut scale = Scale::from_env();
+    let mut out = PathBuf::from("results");
+    let mut ids: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--list" => {
+                for id in ALL {
+                    println!("{id}");
+                }
+                return;
+            }
+            "--scale" => {
+                scale = match args.next().as_deref() {
+                    Some("smoke") => Scale::Smoke,
+                    Some("standard") => Scale::Standard,
+                    Some("full") => Scale::Full,
+                    other => {
+                        eprintln!("unknown scale {other:?} (smoke|standard|full)");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--out" => {
+                out = PathBuf::from(args.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a directory");
+                    std::process::exit(2);
+                }));
+            }
+            "--help" | "-h" => {
+                println!("usage: repro [--scale smoke|standard|full] [--out DIR] [ids…]");
+                println!("ids: {}", ALL.join(" "));
+                return;
+            }
+            id => ids.push(id.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        ids = ALL.iter().map(|s| s.to_string()).collect();
+    }
+    std::fs::create_dir_all(&out).expect("create results dir");
+
+    for id in &ids {
+        let t0 = std::time::Instant::now();
+        eprintln!("== running {id} at {scale:?} scale…");
+        match id.as_str() {
+            "tab01" => {
+                println!("{}", table1::render());
+                table1::to_table()
+                    .write_csv(out.join("tab01.csv"))
+                    .expect("write");
+            }
+            "tab-res" => {
+                println!("{}", resources::render());
+                resources::to_table()
+                    .write_csv(out.join("tab_resources.csv"))
+                    .expect("write");
+            }
+            "fig07" => emit(fig07::run(scale), &out),
+            "fig08" => emit(fig08::run(scale), &out),
+            "fig09" => emit(fig09::run(scale), &out),
+            "fig10" => emit(fig10::run(scale), &out),
+            "fig11" => emit(fig11::run(scale), &out),
+            "fig12" => emit(fig12::run(scale), &out),
+            "fig13" => {
+                let f = fig13::run(scale);
+                println!("{}", f.render());
+                f.write_csv(&out).expect("write");
+            }
+            "fig14" => emit(fig14::run(scale), &out),
+            "fig15" => emit(fig15::run(scale), &out),
+            "fig16" => {
+                let f = fig16::run(scale);
+                println!("{}", f.render());
+                f.write_csv(&out).expect("write");
+            }
+            "ablations" => {
+                println!("{}", ablations::render(scale));
+                ablations::filter_tables(scale)
+                    .to_table()
+                    .write_csv(out.join("ablation_filter_tables.csv"))
+                    .expect("write");
+                ablations::group_ordering(scale)
+                    .to_table()
+                    .write_csv(out.join("ablation_group_ordering.csv"))
+                    .expect("write");
+            }
+            other => {
+                eprintln!("unknown experiment id {other:?}; try --list");
+                std::process::exit(2);
+            }
+        }
+        eprintln!("== {id} done in {:.1}s", t0.elapsed().as_secs_f64());
+    }
+}
+
+fn emit(fig: netclone_cluster::experiments::panel::Figure, out: &std::path::Path) {
+    println!("{}", fig.render());
+    fig.write_csv(out).expect("write csv");
+}

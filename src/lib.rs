@@ -1,0 +1,67 @@
+//! # NetClone — a Rust reproduction of in-network request cloning
+//!
+//! This workspace reproduces **"NetClone: Fast, Scalable, and Dynamic
+//! Request Cloning for Microsecond-Scale RPCs"** (Gyuyeong Kim, ACM
+//! SIGCOMM 2023): a Tofino-resident data plane that clones an RPC request
+//! to a *pair* of tracked-idle servers and drops the slower of the two
+//! responses with an in-switch fingerprint filter, cutting tail latency
+//! without the throughput collapse of client-side cloning or the CPU
+//! bottleneck of a coordinator.
+//!
+//! The crate is a facade: it re-exports every subsystem so downstream
+//! users depend on one name. See `DESIGN.md` for the architecture and
+//! `EXPERIMENTS.md` for the paper-vs-measured results.
+//!
+//! ## Quick start (simulated rack)
+//!
+//! ```
+//! use netclone::cluster::{Scenario, Scheme, Sim};
+//! use netclone::workloads::exp25;
+//!
+//! // The paper's testbed: 2 clients, 6 workers, Exp(25 us) service.
+//! let mut scenario = Scenario::synthetic_default(Scheme::NETCLONE, exp25(), 0.0);
+//! scenario.offered_rps = scenario.capacity_rps() * 0.4;
+//! scenario.warmup_ns = 2_000_000;
+//! scenario.measure_ns = 10_000_000;
+//! let result = Sim::run(scenario);
+//! assert!(result.completed > 0);
+//! assert!(result.switch.clone_rate() > 0.5); // mid load: cloning is common
+//! ```
+//!
+//! ## Quick start (real sockets)
+//!
+//! ```no_run
+//! use netclone::net::{Testbed, WorkExecutor};
+//! use netclone::core::NetCloneConfig;
+//! use netclone::proto::RpcOp;
+//! use std::time::Duration;
+//!
+//! let mut tb = Testbed::spawn(NetCloneConfig::default(), 4, 2, WorkExecutor::Synthetic)?;
+//! let mut client = tb.client(7)?;
+//! let reply = client.call(RpcOp::Echo { class_ns: 100_000 }, Duration::from_secs(1)).unwrap();
+//! println!("answered by server {} in {:?}", reply.sid, reply.latency);
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+/// Packet formats and the wire codec (paper Fig. 3).
+pub use netclone_proto as proto;
+/// Deterministic discrete-event kernel.
+pub use netclone_des as des;
+/// Histograms, summaries, tables, charts.
+pub use netclone_stats as stats;
+/// Service-time distributions, arrivals, Zipf, op mixes (§5.1.2).
+pub use netclone_workloads as workloads;
+/// The KV store and Redis/Memcached cost models (§5.5).
+pub use netclone_kvstore as kvstore;
+/// The PISA switch ASIC model (§2.3's constraints, §4.1's resources).
+pub use netclone_asic as asic;
+/// ★ The NetClone data plane: Algorithm 1 + §3.7 extensions.
+pub use netclone_core as core;
+/// Client/server host models (§4.2).
+pub use netclone_hosts as hosts;
+/// Compared schemes: Baseline/C-Clone fabric, LÆDGE, RackSched.
+pub use netclone_policies as policies;
+/// The simulated testbed and every figure/table of the evaluation (§5).
+pub use netclone_cluster as cluster;
+/// The real-socket UDP runtime (soft switch + threaded hosts).
+pub use netclone_net as net;

@@ -1,0 +1,112 @@
+//! Cross-crate smoke tests: every scheme runs end-to-end in the simulated
+//! testbed and satisfies conservation invariants.
+
+use netclone::cluster::{Scenario, Scheme, Sim};
+use netclone::workloads::exp25;
+
+fn smoke(scheme: Scheme) -> netclone::cluster::RunResult {
+    let mut s = Scenario::synthetic_default(scheme, exp25(), 0.0);
+    s.warmup_ns = 5_000_000;
+    s.measure_ns = 25_000_000;
+    s.offered_rps = s.capacity_rps() * 0.45;
+    Sim::run(s)
+}
+
+#[test]
+fn every_scheme_completes_requests() {
+    for scheme in [
+        Scheme::Baseline,
+        Scheme::CClone,
+        Scheme::Laedge,
+        Scheme::NETCLONE,
+        Scheme::NETCLONE_RS,
+        Scheme::NETCLONE_NOFILTER,
+        Scheme::RackSchedOnly,
+    ] {
+        let r = smoke(scheme);
+        assert!(
+            r.completed > 1_000,
+            "{}: only {} completions",
+            scheme.label(),
+            r.completed
+        );
+        assert!(
+            r.latency.count() >= r.completed,
+            "{}: histogram lost samples",
+            scheme.label()
+        );
+        // No scheme invents requests.
+        assert!(
+            r.completed <= r.generated + 1_000,
+            "{}: more completions than generations",
+            scheme.label()
+        );
+        let (p50, p99, p999) = r.percentiles_us();
+        // Network floor ≈ 7 μs + median service; NetClone's min-of-two
+        // pulls the service median to ≈ 12.5 μs.
+        assert!(p50 >= 15.0, "{}: p50 {} below service floor", scheme.label(), p50);
+        assert!(p50 <= p99 && p99 <= p999, "{}: percentile order", scheme.label());
+    }
+}
+
+#[test]
+fn netclone_conservation_invariants() {
+    let r = smoke(Scheme::NETCLONE);
+    // Every fresh request is cloned or not; the counters must partition.
+    assert_eq!(
+        r.switch.requests,
+        r.switch.cloned + r.switch.clone_skipped_busy + r.switch.clone_skipped_uncloneable,
+        "clone decision counters must partition requests"
+    );
+    // Each clone recirculates exactly once.
+    assert_eq!(r.switch.cloned, r.switch.recirculated);
+    // Filtered responses never exceed cloned requests.
+    assert!(r.switch.responses_filtered <= r.switch.cloned);
+    // With filtering on, clients see (almost) no redundancy — collisions
+    // can leak a handful when two live requests share (IDX, slot).
+    assert!(
+        r.client_redundant <= r.completed / 200,
+        "redundancy leak: {} of {}",
+        r.client_redundant,
+        r.completed
+    );
+    // Responses at the switch = server responses that reached it.
+    assert!(r.switch.responses <= r.server_responses + 1_000);
+}
+
+#[test]
+fn racksched_only_never_clones() {
+    let r = smoke(Scheme::RackSchedOnly);
+    assert_eq!(r.switch.cloned, 0);
+    assert_eq!(r.switch.responses_filtered, 0);
+    assert_eq!(r.client_redundant, 0);
+}
+
+#[test]
+fn cclone_doubles_offered_packets() {
+    let r = smoke(Scheme::CClone);
+    // The client sends two copies of everything; servers serve ~2× the
+    // completions (minus drain edges).
+    assert!(
+        r.server_responses as f64 > r.completed as f64 * 1.8,
+        "C-Clone must double server work: {} responses vs {} completions",
+        r.server_responses,
+        r.completed
+    );
+    assert!(r.client_redundant as f64 > r.completed as f64 * 0.8);
+}
+
+#[test]
+fn kv_workload_runs_all_schemes() {
+    use netclone::cluster::Workload;
+    for scheme in [Scheme::Baseline, Scheme::NETCLONE] {
+        let mut s = Scenario::kv_default(scheme, Workload::redis(0.99), 0.0);
+        s.warmup_ns = 5_000_000;
+        s.measure_ns = 40_000_000;
+        s.offered_rps = s.capacity_rps() * 0.4;
+        let r = Sim::run(s);
+        assert!(r.completed > 500, "{}: {}", scheme.label(), r.completed);
+        // SCANs are ~2 ms: the p99.9 must reflect them.
+        assert!(r.latency.quantile(0.999) > 1_000_000, "{}", scheme.label());
+    }
+}

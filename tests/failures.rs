@@ -1,0 +1,136 @@
+//! Failure-handling integration tests (§3.6): server death + control-plane
+//! removal, switch power cycles, and packet loss.
+
+use netclone::cluster::scenario::ServerFailurePlan;
+use netclone::cluster::{Scenario, Scheme, Sim, SwitchFailurePlan};
+use netclone::workloads::exp25;
+
+#[test]
+fn server_failure_degrades_then_recovers() {
+    let mut s = Scenario::synthetic_default(Scheme::NETCLONE, exp25(), 0.0);
+    s.offered_rps = s.capacity_rps() * 0.3;
+    s.warmup_ns = 5_000_000;
+    s.measure_ns = 80_000_000;
+    s.server_failure = Some(ServerFailurePlan {
+        sid: 2,
+        fail_at_ns: 20_000_000,
+        removed_at_ns: 30_000_000,
+    });
+    let r = Sim::run(s);
+    // Requests routed to the dead server during the 10 ms detection window
+    // are lost; everything after removal completes.
+    assert!(r.completed > 0);
+    let lost = r.generated - r.completed;
+    assert!(lost > 0, "some in-flight requests must die with the server");
+    assert!(
+        (lost as f64) < r.generated as f64 * 0.15,
+        "losses must be bounded by the detection window: {lost}/{}",
+        r.generated
+    );
+    // The dead server served nothing after its removal.
+    assert_eq!(r.per_server_served.len(), 6);
+}
+
+#[test]
+fn netclone_masks_some_failures_through_cloning() {
+    // With cloning, a request whose original went to the dying server can
+    // still complete via its clone. Compare losses against the baseline in
+    // the identical failure scenario: NetClone should lose no more, and
+    // generally fewer.
+    let mut base_lost = 0;
+    let mut nc_lost = 0;
+    for (scheme, lost) in [
+        (Scheme::Baseline, &mut base_lost),
+        (Scheme::NETCLONE, &mut nc_lost),
+    ] {
+        let mut s = Scenario::synthetic_default(scheme, exp25(), 0.0);
+        s.offered_rps = s.capacity_rps() * 0.25;
+        s.warmup_ns = 5_000_000;
+        s.measure_ns = 60_000_000;
+        s.server_failure = Some(ServerFailurePlan {
+            sid: 0,
+            fail_at_ns: 20_000_000,
+            removed_at_ns: 40_000_000,
+        });
+        let r = Sim::run(s);
+        *lost = r.generated - r.completed;
+    }
+    assert!(
+        nc_lost < base_lost,
+        "cloning should mask some failure-window losses: NetClone {nc_lost} vs Baseline {base_lost}"
+    );
+}
+
+#[test]
+fn switch_power_cycle_loses_only_soft_state() {
+    let mut s = Scenario::synthetic_default(Scheme::NETCLONE, exp25(), 0.0);
+    s.offered_rps = s.capacity_rps() * 0.3;
+    s.warmup_ns = 0;
+    s.measure_ns = 100_000_000;
+    s.timeseries_bucket_ns = 10_000_000;
+    s.switch_failure = Some(SwitchFailurePlan {
+        fail_at_ns: 30_000_000,
+        reactivate_at_ns: 40_000_000,
+        bringup_ns: 10_000_000,
+    });
+    let r = Sim::run(s);
+    let rates = r.throughput_series.rates_per_sec();
+    // Hole during [30ms, 50ms): bucket 3 keeps only in-flight stragglers,
+    // bucket 4 is empty.
+    assert!(rates[1] > 0.0, "healthy before the failure");
+    assert!(
+        rates[3] < rates[1] * 0.2,
+        "only stragglers complete after the stop"
+    );
+    assert_eq!(rates[4], 0.0, "nothing completes while the switch is down");
+    // Recovery buckets [60ms, 100ms) — excluding the post-run drain
+    // buckets at the tail of the series.
+    let recovered = rates[6..10].iter().sum::<f64>() / 4.0;
+    assert!(
+        recovered > rates[1] * 0.8,
+        "throughput must fully recover after bring-up: {recovered} vs {}",
+        rates[1]
+    );
+    assert!(r.packets_lost > 0, "in-flight packets die with the switch");
+}
+
+#[test]
+fn random_packet_loss_does_not_wedge_anything() {
+    // §3.6 "Dropped messages": response loss must not permanently occupy
+    // filter slots (overwrites reclaim them), and the run must stay
+    // healthy.
+    let mut s = Scenario::synthetic_default(Scheme::NETCLONE, exp25(), 0.0);
+    s.offered_rps = s.capacity_rps() * 0.3;
+    s.warmup_ns = 5_000_000;
+    s.measure_ns = 60_000_000;
+    s.loss = 0.01; // 1% per link traversal — brutal for a data center
+    let r = Sim::run(s);
+    assert!(r.packets_lost > 0);
+    let completion_rate = r.completed as f64 / r.generated as f64;
+    assert!(
+        completion_rate > 0.90,
+        "most requests complete despite loss (cloning helps): {completion_rate}"
+    );
+    // Filter slots were reclaimed by overwrites rather than wedging.
+    assert!(r.switch.responses_filtered > 0);
+}
+
+#[test]
+fn cloning_masks_request_loss_better_than_baseline() {
+    let mut rates = Vec::new();
+    for scheme in [Scheme::Baseline, Scheme::NETCLONE] {
+        let mut s = Scenario::synthetic_default(scheme, exp25(), 0.0);
+        s.offered_rps = s.capacity_rps() * 0.2;
+        s.warmup_ns = 5_000_000;
+        s.measure_ns = 60_000_000;
+        s.loss = 0.02;
+        let r = Sim::run(s);
+        rates.push(r.completed as f64 / r.generated as f64);
+    }
+    assert!(
+        rates[1] > rates[0],
+        "two copies in flight must survive loss more often: baseline {:.3} vs netclone {:.3}",
+        rates[0],
+        rates[1]
+    );
+}

@@ -1,0 +1,148 @@
+//! §3.7 "Multi-rack deployment": two NetClone ToR switches joined by a
+//! plain aggregation switch. Only the *client-side* ToR may apply NetClone
+//! logic; the SWITCH_ID field gates everything else. This test wires the
+//! three data planes together by hand and pushes packets through the full
+//! path.
+
+use netclone::asic::{DataPlane, Emission};
+use netclone::core::{NetCloneConfig, NetCloneSwitch};
+use netclone::policies::PlainL3Switch;
+use netclone::proto::{CloneStatus, Ipv4, NetCloneHdr, PacketMeta, ServerState};
+
+const UPLINK: u16 = 50;
+const CLIENT_PORT: u16 = 100;
+
+struct TwoTier {
+    client_tor: NetCloneSwitch,
+    agg: PlainL3Switch,
+    server_tor: NetCloneSwitch,
+}
+
+impl TwoTier {
+    fn new(n_servers: u16) -> Self {
+        // Client ToR (switch_id 1): clients attach here; all servers are
+        // reachable via the uplink, so AddrT maps every SID to the uplink
+        // port.
+        let c_cfg = NetCloneConfig {
+            switch_id: 1,
+            ..NetCloneConfig::default()
+        };
+        let mut client_tor = NetCloneSwitch::new(c_cfg);
+        for sid in 0..n_servers {
+            client_tor.add_server(sid, Ipv4::server(sid), UPLINK).unwrap();
+        }
+        client_tor.add_client(Ipv4::client(0), CLIENT_PORT).unwrap();
+
+        // Aggregation: plain L3 both ways (port 1 → client ToR, 2 → server
+        // ToR).
+        let mut agg = PlainL3Switch::new(netclone::asic::AsicSpec::tofino());
+        for sid in 0..n_servers {
+            agg.add_route(Ipv4::server(sid), 2);
+        }
+        agg.add_route(Ipv4::client(0), 1);
+
+        // Server ToR (switch_id 2): servers attach here; the gate must
+        // bounce foreign-stamped packets to plain routing.
+        let s_cfg = NetCloneConfig {
+            switch_id: 2,
+            ..NetCloneConfig::default()
+        };
+        let mut server_tor = NetCloneSwitch::new(s_cfg);
+        for sid in 0..n_servers {
+            server_tor.add_route(Ipv4::server(sid), 10 + sid).unwrap();
+        }
+        server_tor.add_route(Ipv4::client(0), UPLINK).unwrap();
+
+        TwoTier {
+            client_tor,
+            agg,
+            server_tor,
+        }
+    }
+
+    /// Drives one packet from the client all the way to server ports.
+    fn client_to_servers(&mut self, pkt: PacketMeta) -> Vec<Emission> {
+        let mut out = Vec::new();
+        for e1 in self.client_tor.process(pkt, CLIENT_PORT, 0) {
+            for e2 in self.agg.process(e1.pkt, 1, 0) {
+                assert_eq!(e2.port, 2, "agg must push toward the server rack");
+                out.extend(self.server_tor.process(e2.pkt, UPLINK, 0));
+            }
+        }
+        out
+    }
+
+    /// Drives one response from a server back to the client port.
+    fn server_to_client(&mut self, pkt: PacketMeta, sid: u16) -> Vec<Emission> {
+        let mut out = Vec::new();
+        for e1 in self.server_tor.process(pkt, 10 + sid, 0) {
+            assert_eq!(e1.port, UPLINK);
+            for e2 in self.agg.process(e1.pkt, 2, 0) {
+                assert_eq!(e2.port, 1);
+                out.extend(self.client_tor.process(e2.pkt, UPLINK, 0));
+            }
+        }
+        out
+    }
+}
+
+#[test]
+fn only_the_client_tor_applies_netclone_logic() {
+    let mut net = TwoTier::new(4);
+    let req = PacketMeta::netclone_request(Ipv4::client(0), NetCloneHdr::request(0, 0, 0, 1), 84);
+    let delivered = net.client_to_servers(req);
+
+    // Cloned at the client ToR: two copies reach two different servers.
+    assert_eq!(delivered.len(), 2);
+    assert_ne!(delivered[0].port, delivered[1].port);
+    let req_id = delivered[0].pkt.nc.req_id;
+    assert_ne!(req_id, 0);
+    assert_eq!(delivered[1].pkt.nc.req_id, req_id, "one ID for both copies");
+    // Stamped by ToR 1; the server ToR must not have re-processed them.
+    for d in &delivered {
+        assert_eq!(d.pkt.nc.switch_id, 1);
+    }
+    assert_eq!(net.server_tor.counters().requests, 0, "gate must bypass NetClone");
+    assert_eq!(net.server_tor.counters().routed_plain, 2);
+    assert_eq!(net.client_tor.counters().cloned, 1);
+}
+
+#[test]
+fn responses_are_filtered_at_the_client_tor_only() {
+    let mut net = TwoTier::new(4);
+    let req = PacketMeta::netclone_request(Ipv4::client(0), NetCloneHdr::request(3, 1, 0, 2), 84);
+    let delivered = net.client_to_servers(req);
+    assert_eq!(delivered.len(), 2);
+
+    // Both servers respond (idle, echoing the stamped switch_id).
+    let mut to_client = Vec::new();
+    for d in &delivered {
+        let sid = d.port - 10;
+        let nc = NetCloneHdr::response_to(&d.pkt.nc, sid, ServerState(0));
+        let resp = PacketMeta::netclone_response(Ipv4::server(sid), Ipv4::client(0), nc, 84);
+        to_client.extend(net.server_to_client(resp, sid));
+    }
+    assert_eq!(to_client.len(), 1, "exactly one response survives the filter");
+    assert_eq!(to_client[0].port, CLIENT_PORT);
+    assert_eq!(net.client_tor.counters().responses_filtered, 1);
+    assert_eq!(net.server_tor.counters().responses, 0, "server ToR only routes");
+    // And the client ToR learned the states from both responses.
+    assert!(net.client_tor.state_tables_consistent());
+}
+
+#[test]
+fn busy_remote_servers_suppress_cloning_across_racks() {
+    let mut net = TwoTier::new(2);
+    // Prime the client ToR with a busy report from server 1.
+    let req = PacketMeta::netclone_request(Ipv4::client(0), NetCloneHdr::request(0, 0, 0, 3), 84);
+    let delivered = net.client_to_servers(req);
+    let sid = delivered[0].port - 10;
+    let nc = NetCloneHdr::response_to(&delivered[0].pkt.nc, 1, ServerState(5));
+    let resp = PacketMeta::netclone_response(Ipv4::server(1), Ipv4::client(0), nc, 84);
+    net.server_to_client(resp, sid);
+
+    let req = PacketMeta::netclone_request(Ipv4::client(0), NetCloneHdr::request(0, 0, 0, 4), 84);
+    let delivered = net.client_to_servers(req);
+    assert_eq!(delivered.len(), 1, "tracked-busy remote server must block cloning");
+    assert_eq!(delivered[0].pkt.nc.clo, CloneStatus::NotCloned);
+}
