@@ -67,7 +67,8 @@ mod tests {
     #[test]
     fn trait_objects_work() {
         let mut dp: Box<dyn DataPlane> = Box::new(Null);
-        let pkt = PacketMeta::netclone_request(Ipv4::client(0), NetCloneHdr::request(0, 0, 0, 0), 64);
+        let pkt =
+            PacketMeta::netclone_request(Ipv4::client(0), NetCloneHdr::request(0, 0, 0, 0), 64);
         let out = dp.process(pkt, 5, 0);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].port, 0);

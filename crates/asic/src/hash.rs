@@ -124,7 +124,9 @@ mod tests {
         let h = HashUnit::alloc(&mut layout, "h", 4, 4, 17).unwrap();
         assert_eq!(h.mask(), (1 << 17) - 1);
         for req_id in 0u32..64 {
-            let v = h.hash(&mut PacketPass::new(), &req_id.to_be_bytes()).unwrap();
+            let v = h
+                .hash(&mut PacketPass::new(), &req_id.to_be_bytes())
+                .unwrap();
             assert!(v < (1 << 17));
         }
     }

@@ -22,8 +22,11 @@
 //! The model also provides the two packet-replication mechanisms the paper
 //! uses: **multicast** groups and **recirculation** through a loopback port
 //! ([`spec::AsicSpec::recirc_latency_ns`]), plus the [`DataPlane`] trait
-//! that both the discrete-event simulator and the real-socket soft switch
-//! drive.
+//! — the *packet path* half of the switch contract. `netclone-core`
+//! extends it with control-plane operations as `SwitchEngine`
+//! (registration, failure handling, counters); every frontend — the
+//! discrete-event simulator and the real-socket soft switch — holds a
+//! `Box<dyn SwitchEngine>` and therefore drives the identical program.
 
 pub mod dataplane;
 pub mod error;

@@ -90,7 +90,12 @@ impl<T: Copy + Default> RegisterArray<T> {
     }
 
     /// Writes one cell (counts as this pass's single access to the array).
-    pub fn write(&mut self, pass: &mut PacketPass, index: usize, value: T) -> Result<(), AsicError> {
+    pub fn write(
+        &mut self,
+        pass: &mut PacketPass,
+        index: usize,
+        value: T,
+    ) -> Result<(), AsicError> {
         self.check_idx(index)?;
         pass.access(self.id, self.stage)?;
         self.cells[index] = value;

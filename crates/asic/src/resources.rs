@@ -194,7 +194,11 @@ impl std::fmt::Display for ResourceReport {
             "  SRAM:     {:.2}% ({} bytes; registers {:.2}% = {} bytes)",
             self.sram_pct, self.sram_bytes, self.register_sram_pct, self.register_sram_bytes
         )?;
-        writeln!(f, "  hash:     {:.2}% ({} bits)", self.hash_pct, self.hash_bits)?;
+        writeln!(
+            f,
+            "  hash:     {:.2}% ({} bits)",
+            self.hash_pct, self.hash_bits
+        )?;
         writeln!(f, "  ALUs:     {:.2}% ({})", self.alu_pct, self.alus)?;
         writeln!(
             f,

@@ -65,7 +65,10 @@ mod tests {
     fn tofino_spec_is_self_consistent() {
         let s = AsicSpec::tofino();
         assert!(s.stages >= 7, "NetClone needs 7 stages (paper §4.1)");
-        assert!(s.pass_latency_ns < 1_000, "per-packet delay is hundreds of ns (§2.3)");
+        assert!(
+            s.pass_latency_ns < 1_000,
+            "per-packet delay is hundreds of ns (§2.3)"
+        );
         assert!(s.sram_per_stage_bytes <= s.sram_total_bytes);
     }
 

@@ -145,10 +145,7 @@ mod tests {
         let (_l, mut t) = mk(2);
         t.insert(1, 1).unwrap();
         t.insert(2, 2).unwrap();
-        assert_eq!(
-            t.insert(3, 3),
-            Err(AsicError::TableFull { capacity: 2 })
-        );
+        assert_eq!(t.insert(3, 3), Err(AsicError::TableFull { capacity: 2 }));
         // Updating an existing key is always allowed.
         t.insert(2, 22).unwrap();
         assert_eq!(t.peek(&2), Some(22));

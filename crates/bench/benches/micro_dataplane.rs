@@ -28,8 +28,7 @@ fn build_switch(busy: bool) -> NetCloneSwitch {
         );
         for sid in 0..6u16 {
             let nc = NetCloneHdr::response_to(&probe[0].pkt.nc, sid, ServerState(5));
-            let resp =
-                PacketMeta::netclone_response(Ipv4::server(sid), Ipv4::client(0), nc, 84);
+            let resp = PacketMeta::netclone_response(Ipv4::server(sid), Ipv4::client(0), nc, 84);
             sw.process(resp, 10, 0);
         }
     }

@@ -1,0 +1,270 @@
+//! Scenario → testbed assembly.
+//!
+//! [`ScenarioBuilder`] turns a [`Scenario`] into a runnable [`Sim`]: it
+//! picks and programs the switch engine for the scheme, spawns the server
+//! and client models, wires the optional coordinator, and schedules the
+//! priming events. The simulator itself ([`Sim`]) is only the event loop.
+//!
+//! [`build_engine`] is the single place a scheme becomes a switch
+//! program. Every frontend (this DES testbed, `netclone-net`'s soft
+//! switch, tests) drives the result through
+//! [`netclone_core::SwitchEngine`], so there is exactly one
+//! implementation of each data plane and no per-scheme dispatch anywhere
+//! else.
+
+use netclone_asic::PortId;
+use netclone_core::{NetCloneConfig, NetCloneSwitch, Scheduling, SwitchEngine};
+use netclone_des::{EventQueue, SeedFactory, SimTime};
+use netclone_hosts::{ClientMode, ClientSim, ServerConfig, ServerSim};
+use netclone_kvstore::ServiceCostModel;
+use netclone_policies::{CoordinatorConfig, LaedgeCoordinator, PlainL3Switch};
+use netclone_proto::{Ipv4, ServerId};
+use netclone_stats::TimeSeries;
+use netclone_workloads::{KvMix, ServiceShape, ZipfSampler};
+
+use crate::calib;
+use crate::scenario::{Scenario, Workload};
+use crate::scheme::Scheme;
+use crate::sim::{Ev, Sim};
+
+/// Switch port of the LÆDGE coordinator host.
+pub(crate) const COORD_PORT: PortId = 99;
+
+/// Virtual address of the LÆDGE coordinator host.
+pub(crate) const COORD_IP: Ipv4 = Ipv4::new(10, 0, 3, 1);
+
+/// Switch port of server `sid` (servers hang off ports 10+).
+pub(crate) fn server_port(sid: ServerId) -> PortId {
+    10 + sid
+}
+
+/// Switch port of client `cid` (clients hang off ports 100+).
+pub(crate) fn client_port(cid: u16) -> PortId {
+    100 + cid
+}
+
+/// Builds and programs the switch engine for a scenario.
+///
+/// This is the only place in the workspace where a [`Scheme`] is mapped to
+/// a switch program; everything downstream sees `dyn SwitchEngine`.
+pub fn build_engine(scenario: &Scenario) -> Box<dyn SwitchEngine> {
+    let mut engine: Box<dyn SwitchEngine> = match scenario.scheme {
+        Scheme::NetClone {
+            racksched,
+            filtering,
+        } => {
+            let mut cfg = NetCloneConfig::paper_prototype();
+            cfg.scheduling = if racksched {
+                Scheduling::RackSched
+            } else {
+                Scheduling::Random
+            };
+            cfg.filtering_enabled = filtering;
+            cfg.num_filter_tables = scenario.n_filter_tables;
+            cfg.filter_slots_log2 = scenario.filter_slots_log2;
+            cfg.clone_condition = scenario.clone_condition;
+            Box::new(NetCloneSwitch::new(cfg))
+        }
+        Scheme::RackSchedOnly => Box::new(netclone_policies::racksched_switch(
+            NetCloneConfig::paper_prototype(),
+        )),
+        Scheme::Baseline | Scheme::CClone | Scheme::Laedge => {
+            Box::new(PlainL3Switch::new(netclone_asic::AsicSpec::tofino()))
+        }
+    };
+    for sid in 0..scenario.servers.len() as u16 {
+        engine
+            .register_server(sid, Ipv4::server(sid), server_port(sid))
+            .expect("server registration");
+    }
+    for cid in 0..scenario.n_clients as u16 {
+        engine
+            .register_client(Ipv4::client(cid), client_port(cid))
+            .expect("client registration");
+    }
+    if scenario.scheme.uses_coordinator() {
+        engine
+            .register_route(COORD_IP, COORD_PORT)
+            .expect("coordinator route");
+    }
+    if let Some(groups) = &scenario.custom_groups {
+        engine.install_custom_groups(groups).expect("custom groups");
+    }
+    engine
+}
+
+/// Assembles a [`Sim`] from a [`Scenario`].
+pub struct ScenarioBuilder {
+    scenario: Scenario,
+}
+
+impl ScenarioBuilder {
+    /// Starts a build for the given scenario.
+    pub fn new(scenario: Scenario) -> Self {
+        ScenarioBuilder { scenario }
+    }
+
+    /// Builds the testbed: switch engine, hosts, workload streams, and the
+    /// priming events (first arrivals, warm-up end, failure injections).
+    pub fn build(self) -> Sim {
+        let scenario = self.scenario;
+        let seeds = SeedFactory::new(scenario.seed);
+        let n_servers = scenario.servers.len();
+        assert!(
+            n_servers >= 2,
+            "NetClone requires at least two servers (§5.3.2)"
+        );
+
+        let switch = build_engine(&scenario);
+
+        // ---- workload -----------------------------------------------
+        let (synthetic, kvmix, cost) = match &scenario.workload {
+            Workload::Synthetic(wl) => (Some(*wl), None, ServiceCostModel::redis()),
+            Workload::Kv {
+                get_frac,
+                scan_count,
+                objects,
+                zipf_theta,
+                cost,
+            } => {
+                let keys = ZipfSampler::new(*objects, *zipf_theta);
+                (
+                    None,
+                    Some(KvMix::read_mix(*get_frac, *scan_count, keys)),
+                    *cost,
+                )
+            }
+        };
+
+        // ---- servers -------------------------------------------------
+        let servers: Vec<ServerSim> = scenario
+            .servers
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                ServerSim::new(ServerConfig {
+                    sid: i as u16,
+                    workers: spec.workers,
+                    dispatch_ns: calib::DISPATCH_NS,
+                    clone_drop_ns: calib::CLONE_DROP_NS,
+                    shape: if synthetic.is_some() {
+                        ServiceShape::Exponential
+                    } else {
+                        ServiceShape::Gamma4
+                    },
+                    jitter: scenario.jitter,
+                    cost,
+                    seed: seeds.seed_for("server", i as u64),
+                })
+            })
+            .collect();
+
+        // ---- coordinator ---------------------------------------------
+        let coordinator = scenario.scheme.uses_coordinator().then(|| {
+            let mut c = LaedgeCoordinator::new(CoordinatorConfig {
+                ip: COORD_IP,
+                per_packet_ns: calib::COORD_PKT_NS,
+            });
+            for (i, spec) in scenario.servers.iter().enumerate() {
+                c.add_server(i as u16, Ipv4::server(i as u16), spec.workers);
+            }
+            c
+        });
+
+        // ---- clients --------------------------------------------------
+        let server_ips: Vec<Ipv4> = (0..n_servers as u16).map(Ipv4::server).collect();
+        let num_groups = switch.num_groups();
+        let clients: Vec<ClientSim> = (0..scenario.n_clients as u16)
+            .map(|cid| {
+                let mode = match scenario.scheme {
+                    Scheme::Baseline => ClientMode::DirectRandom {
+                        servers: server_ips.clone(),
+                    },
+                    Scheme::CClone => ClientMode::DirectDuplicate {
+                        servers: server_ips.clone(),
+                    },
+                    Scheme::Laedge => ClientMode::Coordinator { ip: COORD_IP },
+                    Scheme::NetClone { .. } | Scheme::RackSchedOnly => ClientMode::NetClone {
+                        num_groups,
+                        num_filter_tables: scenario.n_filter_tables as u8,
+                    },
+                };
+                ClientSim::new(
+                    cid,
+                    mode,
+                    calib::CLIENT_TX_NS,
+                    calib::CLIENT_RX_NS,
+                    seeds.seed_for("client", cid as u64),
+                )
+            })
+            .collect();
+
+        // ---- assembly + priming --------------------------------------
+        let end_ns = scenario.warmup_ns + scenario.measure_ns;
+        let ts_buckets = (end_ns / scenario.timeseries_bucket_ns + 2).max(1) as usize;
+        let n_clients = scenario.n_clients;
+        let mut sim = Sim {
+            arrivals: netclone_workloads::PoissonArrivals::new(
+                scenario.offered_rps / n_clients as f64,
+            ),
+            arrival_rngs: (0..n_clients)
+                .map(|i| seeds.rng_for("arrivals", i as u64))
+                .collect(),
+            workload_rngs: (0..n_clients)
+                .map(|i| seeds.rng_for("workload", i as u64))
+                .collect(),
+            loss_rng: seeds.rng_for("loss", 0),
+            server_epoch: vec![0; n_servers],
+            server_stats_at_warmup: vec![Default::default(); n_servers],
+            throughput: TimeSeries::new(scenario.timeseries_bucket_ns, ts_buckets),
+            scenario,
+            q: EventQueue::new(),
+            clients,
+            servers,
+            switch,
+            switch_up: true,
+            coordinator,
+            synthetic,
+            kvmix,
+            end_ns,
+            measure_start_ns: 0,
+            completed_in_window: 0,
+            generated_in_window: 0,
+            packets_lost: 0,
+            switch_counters_at_warmup: Default::default(),
+        };
+        Self::prime(&mut sim);
+        sim
+    }
+
+    /// Schedules the events that start the run: one arrival per client,
+    /// the warm-up end, and any configured failure injections.
+    fn prime(sim: &mut Sim) {
+        for cid in 0..sim.clients.len() {
+            let gap = sim.arrivals.next_gap_ns(&mut sim.arrival_rngs[cid]);
+            sim.q.schedule(SimTime::from_ns(gap), Ev::Gen(cid));
+        }
+        sim.q
+            .schedule(SimTime::from_ns(sim.scenario.warmup_ns), Ev::EndWarmup);
+        if let Some(plan) = sim.scenario.switch_failure {
+            sim.q
+                .schedule(SimTime::from_ns(plan.fail_at_ns), Ev::SwitchFail);
+            sim.q.schedule(
+                SimTime::from_ns(plan.reactivate_at_ns),
+                Ev::SwitchReactivate {
+                    bringup_ns: plan.bringup_ns,
+                },
+            );
+        }
+        if let Some(plan) = sim.scenario.server_failure {
+            sim.q.schedule(
+                SimTime::from_ns(plan.fail_at_ns),
+                Ev::ServerKill(plan.sid as usize),
+            );
+            sim.q.schedule(
+                SimTime::from_ns(plan.removed_at_ns),
+                Ev::ServerRemove(plan.sid),
+            );
+        }
+    }
+}

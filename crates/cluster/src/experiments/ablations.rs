@@ -35,11 +35,7 @@ impl FilterAblation {
             "filter rate",
         ]);
         for &(n, leak, rate) in &self.rows {
-            t.row([
-                n.to_string(),
-                format!("{leak:.2}"),
-                format!("{rate:.3}"),
-            ]);
+            t.row([n.to_string(), format!("{leak:.2}"), format!("{rate:.3}")]);
         }
         t
     }

@@ -26,7 +26,12 @@ fn hetero_servers() -> Vec<ServerSpec> {
         };
         3
     ];
-    v.extend(vec![ServerSpec { workers: calib::KV_WORKERS }; 3]);
+    v.extend(vec![
+        ServerSpec {
+            workers: calib::KV_WORKERS
+        };
+        3
+    ]);
     v
 }
 
@@ -55,8 +60,16 @@ pub fn run(scale: Scale) -> Figure {
             panels.push(Panel {
                 name: format!(
                     "{}-{}",
-                    if wl.label().starts_with("Exp") { "Exp" } else { "Bimodal" },
-                    if hetero { "Heterogeneous" } else { "Homogeneous" }
+                    if wl.label().starts_with("Exp") {
+                        "Exp"
+                    } else {
+                        "Bimodal"
+                    },
+                    if hetero {
+                        "Heterogeneous"
+                    } else {
+                        "Homogeneous"
+                    }
                 ),
                 series,
             });

@@ -98,7 +98,12 @@ impl Figure {
 
     /// Renders the title plus the table.
     pub fn render(&self) -> String {
-        format!("## {} — {}\n\n{}", self.id, self.title, self.to_table().to_markdown())
+        format!(
+            "## {} — {}\n\n{}",
+            self.id,
+            self.title,
+            self.to_table().to_markdown()
+        )
     }
 }
 

@@ -58,7 +58,10 @@ pub fn to_table() -> Table {
 
 /// Renders with the caption.
 pub fn render() -> String {
-    format!("## tab-res — Switch resource usage (§4.1)\n\n{}", to_table().to_markdown())
+    format!(
+        "## tab-res — Switch resource usage (§4.1)\n\n{}",
+        to_table().to_markdown()
+    )
 }
 
 #[cfg(test)]

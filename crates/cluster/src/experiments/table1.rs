@@ -37,17 +37,17 @@ pub fn rows() -> Vec<SchemeProperties> {
         SchemeProperties {
             name: "LAEDGE",
             cloning_point: "Coordinator",
-            dynamic_cloning: true,   // clones only on >=2 idle (policies::laedge)
-            scalable: false,         // coordinator CPU bound (Fig. 8)
-            high_throughput: false,  // ~0.5 MRPS cap (Fig. 8)
+            dynamic_cloning: true, // clones only on >=2 idle (policies::laedge)
+            scalable: false,       // coordinator CPU bound (Fig. 8)
+            high_throughput: false, // ~0.5 MRPS cap (Fig. 8)
             low_latency_overhead: false, // two extra hops + CPU queueing
         },
         SchemeProperties {
             name: "NetClone",
             cloning_point: "Switch",
-            dynamic_cloning: true,  // state-tracked cloning (core Algorithm 1)
-            scalable: true,         // per-packet ns processing in the ASIC
-            high_throughput: true,  // matches baseline capacity (Fig. 7)
+            dynamic_cloning: true, // state-tracked cloning (core Algorithm 1)
+            scalable: true,        // per-packet ns processing in the ASIC
+            high_throughput: true, // matches baseline capacity (Fig. 7)
             low_latency_overhead: true, // nanosecond-scale decisions (§2.3)
         },
     ]
@@ -63,12 +63,7 @@ fn mark(b: bool) -> &'static str {
 
 /// Renders the table.
 pub fn to_table() -> Table {
-    let mut t = Table::new([
-        "",
-        "C-Clone",
-        "LAEDGE",
-        "NetClone",
-    ]);
+    let mut t = Table::new(["", "C-Clone", "LAEDGE", "NetClone"]);
     let r = rows();
     t.row([
         "Cloning point",
@@ -105,7 +100,10 @@ pub fn to_table() -> Table {
 
 /// Renders with the caption.
 pub fn render() -> String {
-    format!("## tab01 — Comparison to existing works\n\n{}", to_table().to_markdown())
+    format!(
+        "## tab01 — Comparison to existing works\n\n{}",
+        to_table().to_markdown()
+    )
 }
 
 #[cfg(test)]

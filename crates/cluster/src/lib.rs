@@ -15,6 +15,7 @@
 //! All physical constants live in [`calib`] — one set, used by every
 //! experiment, documented with their rationale.
 
+pub mod build;
 pub mod calib;
 pub mod experiments;
 pub mod metrics;
@@ -23,6 +24,7 @@ pub mod scheme;
 pub mod sim;
 pub mod sweep;
 
+pub use build::{build_engine, ScenarioBuilder};
 pub use metrics::RunResult;
 pub use scenario::{Scenario, ServerSpec, SwitchFailurePlan, Workload};
 pub use scheme::Scheme;

@@ -188,7 +188,12 @@ impl Scenario {
         Scenario {
             scheme,
             n_clients: 2,
-            servers: vec![ServerSpec { workers: calib::KV_WORKERS }; 6],
+            servers: vec![
+                ServerSpec {
+                    workers: calib::KV_WORKERS
+                };
+                6
+            ],
             workload,
             jitter: Jitter::HIGH,
             offered_rps,

@@ -1,4 +1,12 @@
-//! The event-driven testbed simulation.
+//! The event-driven testbed simulation: the event loop only.
+//!
+//! Everything about *assembling* a testbed (scheme → switch engine,
+//! hosts, workload streams, priming events) lives in
+//! [`crate::build::ScenarioBuilder`]; this module drains the event queue
+//! and keeps the measurement windows. The switch is a
+//! [`Box<dyn SwitchEngine>`](netclone_core::SwitchEngine) — the same
+//! trait object the real-socket soft switch drives — so the simulator has
+//! no per-scheme dispatch at all.
 //!
 //! Topology: every host hangs off one ToR switch (the paper's single-rack
 //! model; §3.7's multi-rack variant is exercised in the ablation tests).
@@ -12,37 +20,23 @@
 //!            └─→ ServerIn(clone) ─→ … ─┘                    filtered at switch)
 //! ```
 
-use netclone_asic::{DataPlane, PortId};
-use netclone_core::{NetCloneConfig, NetCloneSwitch, Scheduling, SwitchCounters};
-use netclone_des::{EventQueue, SeedFactory, SimTime};
-use netclone_hosts::{Admission, AppPacket, ClientMode, ClientSim, ServerConfig, ServerSim};
-use netclone_kvstore::ServiceCostModel;
-use netclone_policies::{CoordinatorConfig, LaedgeCoordinator, PlainL3Switch};
+use netclone_core::{SwitchCounters, SwitchEngine};
+use netclone_des::{EventQueue, SimTime};
+use netclone_hosts::{Admission, AppPacket, ClientMode, ClientSim, ServerSim};
+use netclone_policies::LaedgeCoordinator;
 use netclone_proto::{Ipv4, MsgType, NetCloneHdr, PacketMeta, RpcOp, ServerId};
 use netclone_stats::{LatencyHistogram, TimeSeries};
-use netclone_workloads::{KvMix, PoissonArrivals, ServiceShape, SyntheticWorkload, ZipfSampler};
+use netclone_workloads::{KvMix, PoissonArrivals, SyntheticWorkload};
 use rand::rngs::StdRng;
 use rand::Rng;
 
+use crate::build::{ScenarioBuilder, COORD_PORT};
 use crate::calib;
 use crate::metrics::RunResult;
-use crate::scenario::{Scenario, Workload};
-use crate::scheme::Scheme;
-
-const COORD_PORT: PortId = 99;
-
-fn server_port(sid: ServerId) -> PortId {
-    10 + sid
-}
-
-fn client_port(cid: u16) -> PortId {
-    100 + cid
-}
-
-const COORD_IP: Ipv4 = Ipv4::new(10, 0, 3, 1);
+use crate::scenario::Scenario;
 
 /// Simulation events.
-enum Ev {
+pub(crate) enum Ev {
     /// Client `cid` generates its next request.
     Gen(usize),
     /// A packet reaches the switch.
@@ -73,271 +67,38 @@ enum Ev {
     ServerRemove(ServerId),
 }
 
-enum SwitchKind {
-    NetClone(Box<NetCloneSwitch>),
-    Plain(Box<PlainL3Switch>),
-}
-
-impl SwitchKind {
-    fn process(&mut self, pkt: PacketMeta, ingress: PortId, now: u64) -> Vec<netclone_asic::Emission> {
-        match self {
-            SwitchKind::NetClone(sw) => sw.process(pkt, ingress, now),
-            SwitchKind::Plain(sw) => sw.process(pkt, ingress, now),
-        }
-    }
-
-    fn reset_soft_state(&mut self) {
-        match self {
-            SwitchKind::NetClone(sw) => sw.reset_soft_state(),
-            SwitchKind::Plain(sw) => sw.reset_soft_state(),
-        }
-    }
-
-    fn counters(&self) -> SwitchCounters {
-        match self {
-            SwitchKind::NetClone(sw) => *sw.counters(),
-            SwitchKind::Plain(_) => SwitchCounters::default(),
-        }
-    }
-}
-
 /// One testbed simulation.
 pub struct Sim {
-    scenario: Scenario,
-    q: EventQueue<Ev>,
-    clients: Vec<ClientSim>,
-    servers: Vec<ServerSim>,
-    server_epoch: Vec<u32>,
-    switch: SwitchKind,
-    switch_up: bool,
-    coordinator: Option<LaedgeCoordinator>,
-    arrivals: PoissonArrivals,
-    arrival_rngs: Vec<StdRng>,
-    workload_rngs: Vec<StdRng>,
-    loss_rng: StdRng,
-    synthetic: Option<SyntheticWorkload>,
-    kvmix: Option<KvMix>,
-    end_ns: u64,
-    measure_start_ns: u64,
-    throughput: TimeSeries,
-    completed_in_window: u64,
-    generated_in_window: u64,
-    packets_lost: u64,
-    switch_counters_at_warmup: SwitchCounters,
-    server_stats_at_warmup: Vec<netclone_hosts::server::ServerStats>,
+    pub(crate) scenario: Scenario,
+    pub(crate) q: EventQueue<Ev>,
+    pub(crate) clients: Vec<ClientSim>,
+    pub(crate) servers: Vec<ServerSim>,
+    pub(crate) server_epoch: Vec<u32>,
+    /// The switch program — any [`SwitchEngine`], selected by
+    /// [`crate::build::build_engine`].
+    pub(crate) switch: Box<dyn SwitchEngine>,
+    pub(crate) switch_up: bool,
+    pub(crate) coordinator: Option<LaedgeCoordinator>,
+    pub(crate) arrivals: PoissonArrivals,
+    pub(crate) arrival_rngs: Vec<StdRng>,
+    pub(crate) workload_rngs: Vec<StdRng>,
+    pub(crate) loss_rng: StdRng,
+    pub(crate) synthetic: Option<SyntheticWorkload>,
+    pub(crate) kvmix: Option<KvMix>,
+    pub(crate) end_ns: u64,
+    pub(crate) measure_start_ns: u64,
+    pub(crate) throughput: TimeSeries,
+    pub(crate) completed_in_window: u64,
+    pub(crate) generated_in_window: u64,
+    pub(crate) packets_lost: u64,
+    pub(crate) switch_counters_at_warmup: SwitchCounters,
+    pub(crate) server_stats_at_warmup: Vec<netclone_hosts::server::ServerStats>,
 }
 
 impl Sim {
-    /// Builds the testbed for a scenario.
+    /// Builds the testbed for a scenario (see [`ScenarioBuilder`]).
     pub fn new(scenario: Scenario) -> Self {
-        let seeds = SeedFactory::new(scenario.seed);
-        let n_servers = scenario.servers.len();
-        assert!(n_servers >= 2, "NetClone requires at least two servers (§5.3.2)");
-
-        // ---- switch -------------------------------------------------
-        let mut switch = match scenario.scheme {
-            Scheme::NetClone {
-                racksched,
-                filtering,
-            } => {
-                let mut cfg = NetCloneConfig::paper_prototype();
-                cfg.scheduling = if racksched {
-                    Scheduling::RackSched
-                } else {
-                    Scheduling::Random
-                };
-                cfg.filtering_enabled = filtering;
-                cfg.num_filter_tables = scenario.n_filter_tables;
-                cfg.filter_slots_log2 = scenario.filter_slots_log2;
-                cfg.clone_condition = scenario.clone_condition;
-                SwitchKind::NetClone(Box::new(NetCloneSwitch::new(cfg)))
-            }
-            Scheme::RackSchedOnly => SwitchKind::NetClone(Box::new(
-                netclone_policies::racksched_switch(NetCloneConfig::paper_prototype()),
-            )),
-            Scheme::Baseline | Scheme::CClone | Scheme::Laedge => SwitchKind::Plain(Box::new(
-                PlainL3Switch::new(netclone_asic::AsicSpec::tofino()),
-            )),
-        };
-        for sid in 0..n_servers as u16 {
-            match &mut switch {
-                SwitchKind::NetClone(sw) => {
-                    sw.add_server(sid, Ipv4::server(sid), server_port(sid))
-                        .expect("server registration");
-                }
-                SwitchKind::Plain(sw) => sw.add_route(Ipv4::server(sid), server_port(sid)),
-            }
-        }
-        for cid in 0..scenario.n_clients as u16 {
-            match &mut switch {
-                SwitchKind::NetClone(sw) => {
-                    sw.add_client(Ipv4::client(cid), client_port(cid))
-                        .expect("client registration");
-                }
-                SwitchKind::Plain(sw) => sw.add_route(Ipv4::client(cid), client_port(cid)),
-            }
-        }
-        if scenario.scheme.uses_coordinator() {
-            match &mut switch {
-                SwitchKind::Plain(sw) => sw.add_route(COORD_IP, COORD_PORT),
-                SwitchKind::NetClone(_) => unreachable!("LÆDGE runs on a plain switch"),
-            }
-        }
-        if let (Some(groups), SwitchKind::NetClone(sw)) = (&scenario.custom_groups, &mut switch) {
-            sw.install_custom_groups(groups).expect("custom groups");
-        }
-
-        // ---- workload -----------------------------------------------
-        let (synthetic, kvmix, cost) = match &scenario.workload {
-            Workload::Synthetic(wl) => (Some(*wl), None, ServiceCostModel::redis()),
-            Workload::Kv {
-                get_frac,
-                scan_count,
-                objects,
-                zipf_theta,
-                cost,
-            } => {
-                let keys = ZipfSampler::new(*objects, *zipf_theta);
-                (
-                    None,
-                    Some(KvMix::read_mix(*get_frac, *scan_count, keys)),
-                    *cost,
-                )
-            }
-        };
-
-        // ---- servers -------------------------------------------------
-        let servers: Vec<ServerSim> = scenario
-            .servers
-            .iter()
-            .enumerate()
-            .map(|(i, spec)| {
-                let mut cfg = ServerConfig {
-                    sid: i as u16,
-                    workers: spec.workers,
-                    dispatch_ns: calib::DISPATCH_NS,
-                    clone_drop_ns: calib::CLONE_DROP_NS,
-                    shape: if synthetic.is_some() {
-                        ServiceShape::Exponential
-                    } else {
-                        ServiceShape::Gamma4
-                    },
-                    jitter: scenario.jitter,
-                    cost,
-                    seed: seeds.seed_for("server", i as u64),
-                };
-                cfg.jitter = scenario.jitter;
-                ServerSim::new(cfg)
-            })
-            .collect();
-
-        // ---- coordinator ----------------------------------------------
-        let coordinator = scenario.scheme.uses_coordinator().then(|| {
-            let mut c = LaedgeCoordinator::new(CoordinatorConfig {
-                ip: COORD_IP,
-                per_packet_ns: calib::COORD_PKT_NS,
-            });
-            for (i, spec) in scenario.servers.iter().enumerate() {
-                c.add_server(i as u16, Ipv4::server(i as u16), spec.workers);
-            }
-            c
-        });
-
-        // ---- clients ---------------------------------------------------
-        let server_ips: Vec<Ipv4> = (0..n_servers as u16).map(Ipv4::server).collect();
-        let num_groups = match &switch {
-            SwitchKind::NetClone(sw) => sw.num_groups(),
-            SwitchKind::Plain(_) => 0,
-        };
-        let clients: Vec<ClientSim> = (0..scenario.n_clients as u16)
-            .map(|cid| {
-                let mode = match scenario.scheme {
-                    Scheme::Baseline => ClientMode::DirectRandom {
-                        servers: server_ips.clone(),
-                    },
-                    Scheme::CClone => ClientMode::DirectDuplicate {
-                        servers: server_ips.clone(),
-                    },
-                    Scheme::Laedge => ClientMode::Coordinator { ip: COORD_IP },
-                    Scheme::NetClone { .. } | Scheme::RackSchedOnly => ClientMode::NetClone {
-                        num_groups,
-                        num_filter_tables: scenario.n_filter_tables as u8,
-                    },
-                };
-                ClientSim::new(
-                    cid,
-                    mode,
-                    calib::CLIENT_TX_NS,
-                    calib::CLIENT_RX_NS,
-                    seeds.seed_for("client", cid as u64),
-                )
-            })
-            .collect();
-
-        let end_ns = scenario.warmup_ns + scenario.measure_ns;
-        let ts_buckets =
-            (end_ns / scenario.timeseries_bucket_ns + 2).max(1) as usize;
-        let n_clients = scenario.n_clients;
-        Sim {
-            arrivals: PoissonArrivals::new(scenario.offered_rps / n_clients as f64),
-            arrival_rngs: (0..n_clients)
-                .map(|i| seeds.rng_for("arrivals", i as u64))
-                .collect(),
-            workload_rngs: (0..n_clients)
-                .map(|i| seeds.rng_for("workload", i as u64))
-                .collect(),
-            loss_rng: seeds.rng_for("loss", 0),
-            server_epoch: vec![0; n_servers],
-            server_stats_at_warmup: vec![Default::default(); n_servers],
-            scenario,
-            q: EventQueue::new(),
-            clients,
-            servers,
-            switch,
-            switch_up: true,
-            coordinator,
-            synthetic,
-            kvmix,
-            end_ns,
-            measure_start_ns: 0,
-            throughput: TimeSeries::new(1, 1), // replaced in prime()
-            completed_in_window: 0,
-            generated_in_window: 0,
-            packets_lost: 0,
-            switch_counters_at_warmup: SwitchCounters::default(),
-        }
-        .primed(ts_buckets)
-    }
-
-    fn primed(mut self, ts_buckets: usize) -> Self {
-        self.throughput = TimeSeries::new(self.scenario.timeseries_bucket_ns, ts_buckets);
-        for cid in 0..self.clients.len() {
-            let gap = self.arrivals.next_gap_ns(&mut self.arrival_rngs[cid]);
-            self.q.schedule(SimTime::from_ns(gap), Ev::Gen(cid));
-        }
-        self.q
-            .schedule(SimTime::from_ns(self.scenario.warmup_ns), Ev::EndWarmup);
-        if let Some(plan) = self.scenario.switch_failure {
-            self.q
-                .schedule(SimTime::from_ns(plan.fail_at_ns), Ev::SwitchFail);
-            self.q.schedule(
-                SimTime::from_ns(plan.reactivate_at_ns),
-                Ev::SwitchReactivate {
-                    bringup_ns: plan.bringup_ns,
-                },
-            );
-        }
-        if let Some(plan) = self.scenario.server_failure {
-            self.q.schedule(
-                SimTime::from_ns(plan.fail_at_ns),
-                Ev::ServerKill(plan.sid as usize),
-            );
-            self.q.schedule(
-                SimTime::from_ns(plan.removed_at_ns),
-                Ev::ServerRemove(plan.sid),
-            );
-        }
-        self
+        ScenarioBuilder::new(scenario).build()
     }
 
     /// Runs to completion and returns the measured results.
@@ -377,7 +138,8 @@ impl Sim {
             Ev::EndWarmup => self.on_end_warmup(now),
             Ev::SwitchFail => self.switch_up = false,
             Ev::SwitchReactivate { bringup_ns } => {
-                self.q.schedule(SimTime::from_ns(now + bringup_ns), Ev::SwitchUp);
+                self.q
+                    .schedule(SimTime::from_ns(now + bringup_ns), Ev::SwitchUp);
             }
             Ev::SwitchUp => {
                 // §3.6: only soft state is lost; the control plane's table
@@ -389,27 +151,29 @@ impl Sim {
                 self.servers[idx].kill();
                 self.server_epoch[idx] += 1;
             }
-            Ev::ServerRemove(sid) => {
-                if let SwitchKind::NetClone(sw) = &mut self.switch {
-                    let _ = sw.remove_server(sid);
-                    let groups = sw.num_groups();
-                    for c in &mut self.clients {
-                        if let ClientMode::NetClone { num_groups, .. } = c.mode_mut() {
-                            *num_groups = groups;
-                        }
-                    }
+            Ev::ServerRemove(sid) => self.on_server_remove(sid),
+        }
+    }
+
+    /// §3.6 "Server failures": the engine drops the server from its tables
+    /// (engines without server tables decline, which is fine — their
+    /// clients handle failure below), and every client stops addressing it.
+    fn on_server_remove(&mut self, sid: ServerId) {
+        if self.switch.deregister_server(sid).is_ok() {
+            let groups = self.switch.num_groups();
+            for c in &mut self.clients {
+                if let ClientMode::NetClone { num_groups, .. } = c.mode_mut() {
+                    *num_groups = groups;
                 }
-                // Direct-addressing clients stop targeting the dead server.
-                let dead_ip = Ipv4::server(sid);
-                for c in &mut self.clients {
-                    match c.mode_mut() {
-                        ClientMode::DirectRandom { servers }
-                        | ClientMode::DirectDuplicate { servers } => {
-                            servers.retain(|ip| *ip != dead_ip);
-                        }
-                        _ => {}
-                    }
+            }
+        }
+        let dead_ip = Ipv4::server(sid);
+        for c in &mut self.clients {
+            match c.mode_mut() {
+                ClientMode::DirectRandom { servers } | ClientMode::DirectDuplicate { servers } => {
+                    servers.retain(|ip| *ip != dead_ip);
                 }
+                _ => {}
             }
         }
     }
@@ -571,15 +335,13 @@ impl Sim {
             redundant += c.stats().redundant;
         }
         let measure_secs = self.scenario.measure_ns as f64 / 1e9;
-        let mut switch = self.switch.counters();
-        let base = self.switch_counters_at_warmup;
-        switch.requests -= base.requests;
-        switch.cloned -= base.cloned;
-        switch.clone_skipped_busy -= base.clone_skipped_busy;
-        switch.responses -= base.responses;
-        switch.responses_filtered -= base.responses_filtered;
-        switch.filter_overwrites -= base.filter_overwrites;
-        switch.recirculated -= base.recirculated;
+        // Every counter field is windowed, so plain-fabric counts
+        // (routed_plain, dropped_unroutable) and the rarer NetClone
+        // counters stay comparable with the windowed requests/responses.
+        let switch = self
+            .switch
+            .counters()
+            .since(&self.switch_counters_at_warmup);
 
         let mut clone_drops = 0;
         let mut idle_reports = 0;

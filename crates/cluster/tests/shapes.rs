@@ -48,7 +48,10 @@ fn netclone_beats_baseline_tail_at_mid_load() {
         nc.p99_us(),
         base.p99_us()
     );
-    assert!(nc.switch.clone_rate() > 0.2, "cloning should be frequent at 40% load");
+    assert!(
+        nc.switch.clone_rate() > 0.2,
+        "cloning should be frequent at 40% load"
+    );
     assert!(
         nc.achieved_rps > nc.offered_rps * 0.93,
         "NetClone must not sacrifice goodput"
@@ -134,7 +137,10 @@ fn unfiltered_redundancy_hurts_at_high_load() {
         base.p99_us(),
         nof.client_redundant
     );
-    assert!(nof.client_redundant > 0, "unfiltered run must leak responses");
+    assert!(
+        nof.client_redundant > 0,
+        "unfiltered run must leak responses"
+    );
     assert!(
         nof.p99_us() > nc.p99_us(),
         "filtering must help at high load: {} vs {}",

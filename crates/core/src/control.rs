@@ -49,7 +49,12 @@ impl std::error::Error for ControlError {}
 impl NetCloneSwitch {
     /// Registers a worker server: installs its address/port and rebuilds
     /// the group table over the new server set.
-    pub fn add_server(&mut self, sid: ServerId, ip: Ipv4, port: PortId) -> Result<(), ControlError> {
+    pub fn add_server(
+        &mut self,
+        sid: ServerId,
+        ip: Ipv4,
+        port: PortId,
+    ) -> Result<(), ControlError> {
         if sid as usize >= self.cfg.max_servers {
             return Err(ControlError::SidOutOfRange {
                 sid,

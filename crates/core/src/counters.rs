@@ -45,6 +45,39 @@ impl SwitchCounters {
         }
     }
 
+    /// The counter deltas accumulated since `base` was snapshotted —
+    /// every field, so windowed results never mix window-only and
+    /// since-boot counts. Saturating: a reset between the snapshots
+    /// yields zeros rather than wrap-around garbage.
+    pub fn since(&self, base: &SwitchCounters) -> SwitchCounters {
+        SwitchCounters {
+            requests: self.requests.saturating_sub(base.requests),
+            cloned: self.cloned.saturating_sub(base.cloned),
+            clone_skipped_busy: self
+                .clone_skipped_busy
+                .saturating_sub(base.clone_skipped_busy),
+            clone_skipped_uncloneable: self
+                .clone_skipped_uncloneable
+                .saturating_sub(base.clone_skipped_uncloneable),
+            clone_forced_multipacket: self
+                .clone_forced_multipacket
+                .saturating_sub(base.clone_forced_multipacket),
+            recirculated: self.recirculated.saturating_sub(base.recirculated),
+            responses: self.responses.saturating_sub(base.responses),
+            responses_filtered: self
+                .responses_filtered
+                .saturating_sub(base.responses_filtered),
+            filter_overwrites: self
+                .filter_overwrites
+                .saturating_sub(base.filter_overwrites),
+            routed_plain: self.routed_plain.saturating_sub(base.routed_plain),
+            dropped_unroutable: self
+                .dropped_unroutable
+                .saturating_sub(base.dropped_unroutable),
+            jsq_fallbacks: self.jsq_fallbacks.saturating_sub(base.jsq_fallbacks),
+        }
+    }
+
     /// Fraction of responses that were filtered.
     pub fn filter_rate(&self) -> f64 {
         if self.responses == 0 {

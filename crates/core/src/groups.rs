@@ -14,7 +14,11 @@ use netclone_proto::ServerId;
 /// Enumerates all ordered pairs of distinct servers, in a deterministic
 /// order: pair `(a, b)` for every `a`, then every `b ≠ a`.
 pub fn build_groups(servers: &[ServerId]) -> Vec<(ServerId, ServerId)> {
-    let mut out = Vec::with_capacity(servers.len().saturating_mul(servers.len().saturating_sub(1)));
+    let mut out = Vec::with_capacity(
+        servers
+            .len()
+            .saturating_mul(servers.len().saturating_sub(1)),
+    );
     for &a in servers {
         for &b in servers {
             if a != b {

@@ -33,10 +33,12 @@
 pub mod config;
 pub mod control;
 pub mod counters;
+pub mod engine;
 pub mod groups;
 pub mod program;
 
 pub use config::{CloneCondition, NetCloneConfig, RequestIdMode, Scheduling};
 pub use counters::SwitchCounters;
+pub use engine::{EngineError, SwitchEngine};
 pub use groups::build_groups;
 pub use program::NetCloneSwitch;

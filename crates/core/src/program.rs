@@ -32,14 +32,12 @@
 //! The recirculated pass is executed inline here and surfaces as a second
 //! [`Emission`] whose latency includes the loopback traversal.
 
-use netclone_asic::{
-    AsicSpec, DataPlane, Emission, HashUnit, Layout, MatchTable, PacketPass, PortId,
-    RegisterArray, ResourceReport,
-};
 use netclone_asic::resources::{Allocation, ResourceKind};
-use netclone_proto::{
-    CloneStatus, Ipv4, MsgType, PacketMeta, ReqId, ServerId, ServerState,
+use netclone_asic::{
+    AsicSpec, DataPlane, Emission, HashUnit, Layout, MatchTable, PacketPass, PortId, RegisterArray,
+    ResourceReport,
 };
+use netclone_proto::{CloneStatus, Ipv4, MsgType, PacketMeta, ReqId, ServerId, ServerState};
 
 use crate::config::{NetCloneConfig, RequestIdMode, Scheduling};
 use crate::counters::SwitchCounters;
@@ -113,11 +111,9 @@ impl NetCloneSwitch {
         // forwarding with the traditional L2/L3 routing module").
         let mac_t: MatchTable<u64, PortId> =
             MatchTable::alloc(&mut layout, "MacT", STAGE_ROUTE, 65_536, 6, 2, 1).expect(PIPE);
-        let grp_t =
-            MatchTable::alloc(&mut layout, "GrpT", STAGE_GRP, 65_536, 2, 4, 2).expect(PIPE);
-        let state_t =
-            RegisterArray::alloc(&mut layout, "StateT", STAGE_STATE, cfg.max_servers, 2)
-                .expect(PIPE);
+        let grp_t = MatchTable::alloc(&mut layout, "GrpT", STAGE_GRP, 65_536, 2, 4, 2).expect(PIPE);
+        let state_t = RegisterArray::alloc(&mut layout, "StateT", STAGE_STATE, cfg.max_servers, 2)
+            .expect(PIPE);
         let shadow_t =
             RegisterArray::alloc(&mut layout, "ShadowT", STAGE_SHADOW, cfg.max_servers, 2)
                 .expect(PIPE);
@@ -131,11 +127,9 @@ impl NetCloneSwitch {
             cfg.filter_slots_log2 as u32,
         )
         .expect(PIPE);
-        let mpk_hash =
-            HashUnit::alloc(&mut layout, "MpkHash", STAGE_MPK_HASH, 6, 32).expect(PIPE);
-        let mpk_t =
-            RegisterArray::alloc(&mut layout, "ClonedReqT", STAGE_MPK_TABLE, 1 << 12, 4)
-                .expect(PIPE);
+        let mpk_hash = HashUnit::alloc(&mut layout, "MpkHash", STAGE_MPK_HASH, 6, 32).expect(PIPE);
+        let mpk_t = RegisterArray::alloc(&mut layout, "ClonedReqT", STAGE_MPK_TABLE, 1 << 12, 4)
+            .expect(PIPE);
         let mut filters = Vec::with_capacity(cfg.num_filter_tables);
         for i in 0..cfg.num_filter_tables {
             let stage = STAGE_FILTER0 + i as u8;
@@ -223,8 +217,7 @@ impl NetCloneSwitch {
     /// of the state table ("the consistency … can be preserved since the
     /// switch always updates the tables at the same time").
     pub fn state_tables_consistent(&self) -> bool {
-        (0..self.cfg.max_servers)
-            .all(|i| self.state_t.peek(i) == self.shadow_t.peek(i))
+        (0..self.cfg.max_servers).all(|i| self.state_t.peek(i) == self.shadow_t.peek(i))
     }
 
     // ------------------------------------------------------------------
@@ -233,10 +226,7 @@ impl NetCloneSwitch {
 
     fn plain_route(&mut self, pkt: PacketMeta) -> Vec<Emission> {
         let mut pass = PacketPass::new();
-        let port = self
-            .route_t
-            .lookup(&mut pass, pkt.dst_ip.0)
-            .expect(PIPE);
+        let port = self.route_t.lookup(&mut pass, pkt.dst_ip.0).expect(PIPE);
         match port {
             Some(port) => {
                 self.counters.routed_plain += 1;

@@ -5,9 +5,7 @@
 
 use netclone_asic::{DataPlane, Emission, PortId};
 use netclone_core::{NetCloneConfig, NetCloneSwitch, RequestIdMode, Scheduling};
-use netclone_proto::{
-    CloneStatus, Ipv4, MsgType, NetCloneHdr, PacketMeta, ServerId, ServerState,
-};
+use netclone_proto::{CloneStatus, Ipv4, MsgType, NetCloneHdr, PacketMeta, ServerId, ServerState};
 
 const CLIENT_PORT: PortId = 2;
 
@@ -18,7 +16,8 @@ fn server_port(sid: ServerId) -> PortId {
 fn build_switch(n: u16, cfg: NetCloneConfig) -> NetCloneSwitch {
     let mut sw = NetCloneSwitch::new(cfg);
     for sid in 0..n {
-        sw.add_server(sid, Ipv4::server(sid), server_port(sid)).unwrap();
+        sw.add_server(sid, Ipv4::server(sid), server_port(sid))
+            .unwrap();
     }
     sw.add_client(Ipv4::client(0), CLIENT_PORT).unwrap();
     sw
@@ -49,7 +48,10 @@ fn idle_pair_is_cloned_with_shared_request_id() {
     assert_eq!(orig.pkt.nc.clo, CloneStatus::ClonedOriginal);
     assert_eq!(clone.pkt.nc.clo, CloneStatus::Clone);
     assert_eq!(orig.pkt.nc.req_id, clone.pkt.nc.req_id);
-    assert_ne!(orig.pkt.nc.req_id, 0, "request IDs never collide with the empty sentinel");
+    assert_ne!(
+        orig.pkt.nc.req_id, 0,
+        "request IDs never collide with the empty sentinel"
+    );
     assert_eq!(orig.port, server_port(s1));
     assert_eq!(clone.port, server_port(s2));
     assert_eq!(orig.pkt.dst_ip, Ipv4::server(s1));
@@ -93,7 +95,10 @@ fn responses_update_both_state_tables() {
     let resp = response_for(&out[0].pkt, 1, 7);
     ingest(&mut sw, resp);
     assert_eq!(sw.tracked_state(1).unwrap().queue_len(), 7);
-    assert!(sw.state_tables_consistent(), "shadow must mirror state (§3.4)");
+    assert!(
+        sw.state_tables_consistent(),
+        "shadow must mirror state (§3.4)"
+    );
     // Back to idle.
     let resp = response_for(&out[0].pkt, 1, 0);
     ingest(&mut sw, resp);
@@ -117,7 +122,10 @@ fn slower_response_is_filtered_and_slot_is_cleared() {
     // Slower response (from the clone) is dropped.
     let slow = response_for(&out[1].pkt, s2, 0);
     let dropped = ingest(&mut sw, slow);
-    assert!(dropped.is_empty(), "redundant slower response must be filtered");
+    assert!(
+        dropped.is_empty(),
+        "redundant slower response must be filtered"
+    );
     assert_eq!(sw.counters().responses_filtered, 1);
 
     // The slot was cleared (line 20): a hypothetical third response with
@@ -199,20 +207,28 @@ fn racksched_fallback_joins_the_shorter_queue() {
 
     let out = ingest(&mut sw, request(0, 0));
     assert_eq!(out.len(), 1);
-    assert_eq!(out[0].port, server_port(s2), "JSQ must pick the shorter queue");
+    assert_eq!(
+        out[0].port,
+        server_port(s2),
+        "JSQ must pick the shorter queue"
+    );
     assert!(sw.counters().jsq_fallbacks >= 1);
 
     // Both empty → still clones as usual (§3.7).
     ingest(&mut sw, response_for(&probe[0].pkt, s1, 0));
     ingest(&mut sw, response_for(&probe[0].pkt, s2, 0));
     let out = ingest(&mut sw, request(0, 0));
-    assert_eq!(out.len(), 2, "RackSched integration still clones on idle pairs");
+    assert_eq!(
+        out.len(),
+        2,
+        "RackSched integration still clones on idle pairs"
+    );
 }
 
 #[test]
 fn multirack_gate_passes_foreign_packets_through() {
     let mut sw = build_switch(4, NetCloneConfig::default()); // our switch_id = 1
-    // A request already stamped by another ToR (switch 7), already addressed.
+                                                             // A request already stamped by another ToR (switch 7), already addressed.
     let mut pkt = request(0, 0);
     pkt.nc.switch_id = 7;
     pkt.dst_ip = Ipv4::server(2);
@@ -244,7 +260,10 @@ fn multirack_gate_passes_foreign_packets_through() {
     resp.l4_dport = netclone_proto::NETCLONE_UDP_PORT;
     let out = ingest(&mut sw, resp);
     assert_eq!(out.len(), 1);
-    assert!(sw.tracked_state(2).unwrap().is_idle(), "foreign state not absorbed");
+    assert!(
+        sw.tracked_state(2).unwrap().is_idle(),
+        "foreign state not absorbed"
+    );
 }
 
 #[test]
@@ -287,7 +306,10 @@ fn soft_state_reset_models_a_power_cycle() {
     // Registers cleared: states idle again, sequence restarted (§3.6).
     assert!(sw.tracked_state(0).unwrap().is_idle());
     let out = ingest(&mut sw, request(0, 0));
-    assert_eq!(out[0].pkt.nc.req_id, 1, "sequence restarts from 0 → first ID 1");
+    assert_eq!(
+        out[0].pkt.nc.req_id, 1,
+        "sequence restarts from 0 → first ID 1"
+    );
     assert!(id_before >= 1);
     // Match-action tables survive: groups are still installed.
     assert_eq!(sw.num_groups(), 12);
@@ -308,7 +330,10 @@ fn externally_recirculated_clone_is_finished_on_reentry() {
     assert_eq!(out[0].pkt.nc.clo, CloneStatus::Clone);
     assert_eq!(out[0].port, server_port(3));
     assert_eq!(out[0].pkt.dst_ip, Ipv4::server(3));
-    assert_eq!(out[0].pkt.nc.req_id, 42, "request ID must not be reassigned");
+    assert_eq!(
+        out[0].pkt.nc.req_id, 42,
+        "request ID must not be reassigned"
+    );
 }
 
 #[test]
@@ -357,7 +382,10 @@ fn lamport_request_ids_are_stable_across_retransmissions() {
     let id1 = ingest(&mut sw, first)[0].pkt.nc.req_id;
     retx.nc.client_seq = 1234; // identical retransmission
     let id2 = ingest(&mut sw, retx)[0].pkt.nc.req_id;
-    assert_eq!(id1, id2, "TCP retransmissions must keep one request ID (§3.7)");
+    assert_eq!(
+        id1, id2,
+        "TCP retransmissions must keep one request ID (§3.7)"
+    );
     // Different request → different ID.
     let mut next = request(0, 0);
     next.nc.client_id = 9;

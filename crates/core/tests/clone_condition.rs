@@ -64,7 +64,11 @@ fn threshold_clones_through_small_queues() {
         100,
         0,
     );
-    assert_eq!(out.len(), 2, "threshold condition must clone through qlen 2");
+    assert_eq!(
+        out.len(),
+        2,
+        "threshold condition must clone through qlen 2"
+    );
 
     mark_busy(&mut sw, s1, 3);
     let out = sw.process(

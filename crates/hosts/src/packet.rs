@@ -25,12 +25,19 @@ mod tests {
     #[test]
     fn app_packet_is_copy_cheap() {
         let p = AppPacket {
-            meta: PacketMeta::netclone_request(Ipv4::client(0), NetCloneHdr::request(0, 0, 0, 0), 84),
+            meta: PacketMeta::netclone_request(
+                Ipv4::client(0),
+                NetCloneHdr::request(0, 0, 0, 0),
+                84,
+            ),
             op: RpcOp::Echo { class_ns: 25_000 },
             born_ns: 123,
         };
         let q = p; // Copy
         assert_eq!(p, q);
-        assert!(std::mem::size_of::<AppPacket>() <= 96, "keep the hot type small");
+        assert!(
+            std::mem::size_of::<AppPacket>() <= 96,
+            "keep the hot type small"
+        );
     }
 }

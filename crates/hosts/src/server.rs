@@ -277,7 +277,10 @@ mod tests {
             s.on_request(pkt(CloneStatus::NotCloned), 0),
             Admission::Start { .. }
         ));
-        assert_eq!(s.on_request(pkt(CloneStatus::NotCloned), 10), Admission::Queued);
+        assert_eq!(
+            s.on_request(pkt(CloneStatus::NotCloned), 10),
+            Admission::Queued
+        );
         assert_eq!(s.queue_len(), 1);
     }
 

@@ -182,9 +182,7 @@ impl UdpClient {
     pub fn drain_late_responses(&mut self) -> u64 {
         let mut buf = [0u8; 65_536];
         let mut n = 0;
-        let _ = self
-            .socket
-            .set_read_timeout(Some(Duration::from_millis(5)));
+        let _ = self.socket.set_read_timeout(Some(Duration::from_millis(5)));
         while let Ok(len) = self.socket.recv(&mut buf) {
             if decode_packet(Bytes::copy_from_slice(&buf[..len])).is_ok() {
                 self.redundant += 1;

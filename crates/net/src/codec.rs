@@ -88,11 +88,8 @@ mod tests {
 
     #[test]
     fn empty_value_round_trips() {
-        let meta = PacketMeta::netclone_request(
-            Ipv4::client(0),
-            NetCloneHdr::request(0, 0, 0, 0),
-            0,
-        );
+        let meta =
+            PacketMeta::netclone_request(Ipv4::client(0), NetCloneHdr::request(0, 0, 0, 0), 0);
         let dg = encode_packet(&meta, &RpcOp::Echo { class_ns: 50_000 }, &[]);
         let (_, op, val) = decode_packet(dg).unwrap();
         assert_eq!(op, RpcOp::Echo { class_ns: 50_000 });

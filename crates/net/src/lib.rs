@@ -1,9 +1,12 @@
 //! # netclone-net
 //!
-//! A real-socket runtime for NetClone: the **same** data-plane program that
-//! drives the simulator ([`netclone-core`]'s `NetCloneSwitch`) running as a
-//! userspace *soft switch* over UDP sockets, plus threaded servers and
-//! clients speaking the wire format of [`netclone-proto::wire`].
+//! A real-socket runtime for NetClone: the **same** switch program that
+//! drives the simulator — any [`netclone-core`] `SwitchEngine`, by
+//! default the genuine `NetCloneSwitch` — running as a userspace *soft
+//! switch* over UDP sockets, plus threaded servers and clients speaking
+//! the wire format of [`netclone-proto::wire`]. The cross-frontend
+//! equivalence test at the workspace root proves the soft switch and the
+//! discrete-event simulator execute the identical program.
 //!
 //! This is the closest laptop-scale equivalent of the paper's testbed
 //! (Tofino ToR + VMA hosts): virtual L3 addresses are carried in a small

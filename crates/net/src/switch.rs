@@ -1,10 +1,14 @@
-//! The soft switch: the NetClone data plane behind a UDP socket.
+//! The soft switch: a switch engine behind a UDP socket.
 //!
 //! One thread receives datagrams, decodes the virtual-L3 preheader, runs
-//! the genuine `NetCloneSwitch` program (cloning, state tracking,
-//! filtering — recirculation happens inside the program, exactly like the
-//! inline model the simulator uses), and transmits every emission to the
-//! socket address registered for its egress port.
+//! the switch program — any [`netclone_core::SwitchEngine`]; by default
+//! the genuine `NetCloneSwitch` (cloning, state tracking, filtering —
+//! recirculation happens inside the program, exactly like the inline
+//! model the simulator uses) — and transmits every emission to the socket
+//! address registered for its egress port. Because both frontends drive
+//! the same trait object, the soft switch and the DES simulator execute
+//! the identical program (asserted by `tests/equivalence.rs` at the
+//! workspace root).
 
 use std::net::{SocketAddr, UdpSocket};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -12,8 +16,8 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use netclone_asic::{DataPlane, PortId};
-use netclone_core::{NetCloneConfig, NetCloneSwitch, SwitchCounters};
+use netclone_asic::PortId;
+use netclone_core::{NetCloneConfig, NetCloneSwitch, SwitchCounters, SwitchEngine};
 use netclone_proto::pcap::PcapWriter;
 use netclone_proto::{Ipv4, ServerId};
 use parking_lot::Mutex;
@@ -22,7 +26,7 @@ use crate::codec::{decode_packet, encode_packet};
 
 /// Shared state between the switch thread and the control plane.
 struct Shared {
-    program: NetCloneSwitch,
+    program: Box<dyn SwitchEngine>,
     /// Egress port → where to send the datagram.
     port_map: Vec<Option<SocketAddr>>,
 }
@@ -43,10 +47,16 @@ pub struct SwitchHandle {
 }
 
 impl SoftSwitch {
-    /// Binds a soft switch on `127.0.0.1` (ephemeral port) and starts its
-    /// forwarding thread.
+    /// Binds a soft switch running the NetClone program on `127.0.0.1`
+    /// (ephemeral port) and starts its forwarding thread.
     pub fn spawn(cfg: NetCloneConfig) -> std::io::Result<SoftSwitch> {
-        Self::spawn_inner(cfg, None)
+        Self::spawn_inner(Box::new(NetCloneSwitch::new(cfg)), None)
+    }
+
+    /// Binds a soft switch running an arbitrary [`SwitchEngine`] — the
+    /// same trait object the DES simulator drives.
+    pub fn spawn_engine(engine: Box<dyn SwitchEngine>) -> std::io::Result<SoftSwitch> {
+        Self::spawn_inner(engine, None)
     }
 
     /// Like [`SoftSwitch::spawn`], with a pcap debug tap: every packet the
@@ -57,15 +67,18 @@ impl SoftSwitch {
         pcap_path: P,
     ) -> std::io::Result<SoftSwitch> {
         let tap = PcapWriter::create(pcap_path)?;
-        Self::spawn_inner(cfg, Some(tap))
+        Self::spawn_inner(Box::new(NetCloneSwitch::new(cfg)), Some(tap))
     }
 
-    fn spawn_inner(cfg: NetCloneConfig, tap: Option<PcapWriter>) -> std::io::Result<SoftSwitch> {
+    fn spawn_inner(
+        engine: Box<dyn SwitchEngine>,
+        tap: Option<PcapWriter>,
+    ) -> std::io::Result<SoftSwitch> {
         let socket = UdpSocket::bind("127.0.0.1:0")?;
         socket.set_read_timeout(Some(Duration::from_millis(20)))?;
         let addr = socket.local_addr()?;
         let shared = Arc::new(Mutex::new(Shared {
-            program: NetCloneSwitch::new(cfg),
+            program: engine,
             port_map: vec![None; 512],
         }));
         let stop = Arc::new(AtomicBool::new(false));
@@ -132,16 +145,33 @@ impl SwitchHandle {
         let mut s = self.shared.lock();
         let port: PortId = 10 + sid;
         s.program
-            .add_server(sid, vip, port)
+            .register_server(sid, vip, port)
             .map_err(|e| e.to_string())?;
         s.port_map[port as usize] = Some(sock);
+        Ok(())
+    }
+
+    /// Maps an egress port to a socket address without touching the
+    /// engine's tables — for engines that were programmed *before*
+    /// [`SoftSwitch::spawn_engine`] (e.g. one built by
+    /// `netclone-cluster`'s scenario builder, whose port convention is
+    /// the same `10+sid` / `100+cid` used here).
+    pub fn map_port(&self, port: PortId, sock: SocketAddr) -> Result<(), String> {
+        let mut s = self.shared.lock();
+        let slot = s
+            .port_map
+            .get_mut(port as usize)
+            .ok_or_else(|| format!("port {port} outside the switch's port space"))?;
+        *slot = Some(sock);
         Ok(())
     }
 
     /// Removes a failed server (§3.6).
     pub fn remove_server(&self, sid: ServerId) -> Result<(), String> {
         let mut s = self.shared.lock();
-        s.program.remove_server(sid).map_err(|e| e.to_string())?;
+        s.program
+            .deregister_server(sid)
+            .map_err(|e| e.to_string())?;
         let port: PortId = 10 + sid;
         s.port_map[port as usize] = None;
         Ok(())
@@ -151,7 +181,9 @@ impl SwitchHandle {
     pub fn register_client(&self, cid: u16, vip: Ipv4, sock: SocketAddr) -> Result<(), String> {
         let mut s = self.shared.lock();
         let port: PortId = 100 + cid;
-        s.program.add_client(vip, port).map_err(|e| e.to_string())?;
+        s.program
+            .register_client(vip, port)
+            .map_err(|e| e.to_string())?;
         s.port_map[port as usize] = Some(sock);
         Ok(())
     }
@@ -163,7 +195,7 @@ impl SwitchHandle {
 
     /// Data-plane counters snapshot.
     pub fn counters(&self) -> SwitchCounters {
-        *self.shared.lock().program.counters()
+        self.shared.lock().program.counters()
     }
 
     /// §3.6 power-cycle: clears soft state.

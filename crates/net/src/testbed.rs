@@ -71,13 +71,7 @@ impl Testbed {
         let cid = self.next_cid;
         self.next_cid += 1;
         let handle = self.switch.handle();
-        let client = UdpClient::bind(
-            cid,
-            self.switch.addr(),
-            handle.num_groups(),
-            2,
-            seed,
-        )?;
+        let client = UdpClient::bind(cid, self.switch.addr(), handle.num_groups(), 2, seed)?;
         handle
             .register_client(cid, client.vip(), client.addr()?)
             .map_err(std::io::Error::other)?;

@@ -13,8 +13,8 @@ const TIMEOUT: Duration = Duration::from_secs(2);
 
 #[test]
 fn echo_calls_complete_and_slower_responses_are_filtered() {
-    let mut tb = Testbed::spawn(NetCloneConfig::default(), 3, 2, WorkExecutor::Synthetic)
-        .expect("testbed");
+    let mut tb =
+        Testbed::spawn(NetCloneConfig::default(), 3, 2, WorkExecutor::Synthetic).expect("testbed");
     let mut client = tb.client(1).expect("client");
     let calls = 40;
     for _ in 0..calls {
@@ -35,7 +35,11 @@ fn echo_calls_complete_and_slower_responses_are_filtered() {
     );
     // Allow stragglers still in flight, then confirm no redundancy leaked.
     std::thread::sleep(Duration::from_millis(50));
-    assert_eq!(client.drain_late_responses(), 0, "filter must block the slower copies");
+    assert_eq!(
+        client.drain_late_responses(),
+        0,
+        "filter must block the slower copies"
+    );
     assert_eq!(client.redundant(), 0);
     assert_eq!(client.completed(), calls);
     tb.shutdown();
@@ -63,13 +67,8 @@ fn disabling_the_filter_leaks_redundant_responses() {
 
 #[test]
 fn kv_store_round_trips_values_through_the_fabric() {
-    let mut tb = Testbed::spawn(
-        NetCloneConfig::default(),
-        2,
-        2,
-        WorkExecutor::kv(1_000, 64),
-    )
-    .expect("testbed");
+    let mut tb = Testbed::spawn(NetCloneConfig::default(), 2, 2, WorkExecutor::kv(1_000, 64))
+        .expect("testbed");
     let mut client = tb.client(3).expect("client");
 
     // GET returns the store's deterministic value (object index prefix).
@@ -115,8 +114,8 @@ fn kv_store_round_trips_values_through_the_fabric() {
 
 #[test]
 fn server_failure_is_handled_by_the_control_plane() {
-    let mut tb = Testbed::spawn(NetCloneConfig::default(), 3, 2, WorkExecutor::Synthetic)
-        .expect("testbed");
+    let mut tb =
+        Testbed::spawn(NetCloneConfig::default(), 3, 2, WorkExecutor::Synthetic).expect("testbed");
     let handle = tb.switch_handle();
     assert_eq!(handle.num_groups(), 6);
     handle.remove_server(2).expect("remove");
@@ -135,8 +134,8 @@ fn server_failure_is_handled_by_the_control_plane() {
 
 #[test]
 fn switch_soft_state_reset_is_harmless() {
-    let mut tb = Testbed::spawn(NetCloneConfig::default(), 2, 2, WorkExecutor::Synthetic)
-        .expect("testbed");
+    let mut tb =
+        Testbed::spawn(NetCloneConfig::default(), 2, 2, WorkExecutor::Synthetic).expect("testbed");
     let mut client = tb.client(5).expect("client");
     client
         .call(RpcOp::Echo { class_ns: 20_000 }, TIMEOUT)
@@ -160,8 +159,8 @@ fn switch_soft_state_reset_is_harmless() {
 
 #[test]
 fn shutdown_joins_quickly() {
-    let tb = Testbed::spawn(NetCloneConfig::default(), 2, 2, WorkExecutor::Synthetic)
-        .expect("testbed");
+    let tb =
+        Testbed::spawn(NetCloneConfig::default(), 2, 2, WorkExecutor::Synthetic).expect("testbed");
     let start = std::time::Instant::now();
     tb.shutdown();
     assert!(

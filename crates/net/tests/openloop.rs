@@ -8,8 +8,8 @@ use netclone_proto::{Ipv4, RpcOp};
 
 #[test]
 fn open_loop_sustains_a_modest_rate() {
-    let tb = Testbed::spawn(NetCloneConfig::default(), 3, 2, WorkExecutor::Synthetic)
-        .expect("testbed");
+    let tb =
+        Testbed::spawn(NetCloneConfig::default(), 3, 2, WorkExecutor::Synthetic).expect("testbed");
     let handle = tb.switch_handle();
     let client = OpenLoopClient::bind(0, tb.switch_addr()).expect("bind");
     handle

@@ -184,13 +184,19 @@ impl LaedgeCoordinator {
             let t2 = self.cpu(t1);
             let a = self.dispatch_to(pkt, idle[0], t1);
             let b = self.dispatch_to(pkt, idle[1], t2);
-            self.pending.get_mut(&key).expect("just inserted").copies_remaining = 2;
+            self.pending
+                .get_mut(&key)
+                .expect("just inserted")
+                .copies_remaining = 2;
             vec![a, b]
         } else if let Some(i) = self.least_loaded_with_capacity() {
             self.stats.forwarded_single += 1;
             let t1 = self.cpu(rx_done);
             let ev = self.dispatch_to(pkt, i, t1);
-            self.pending.get_mut(&key).expect("just inserted").copies_remaining = 1;
+            self.pending
+                .get_mut(&key)
+                .expect("just inserted")
+                .copies_remaining = 1;
             vec![ev]
         } else {
             self.stats.queued += 1;
@@ -314,8 +320,8 @@ mod tests {
         let mut c = coord(2, 1);
         let a = c.on_request(req(0), 0);
         assert_eq!(a.len(), 2); // both idle initially → cloned
-        // Now both servers hold one outstanding; a new request sees zero
-        // idle servers and no spare capacity → queued.
+                                // Now both servers hold one outstanding; a new request sees zero
+                                // idle servers and no spare capacity → queued.
         let b = c.on_request(req(1), 0);
         assert!(b.is_empty());
         assert_eq!(c.queue_len(), 1);
@@ -328,7 +334,7 @@ mod tests {
         // Occupy server picked first with one outstanding request:
         let first = c.on_request(req(0), 0);
         assert_eq!(first.len(), 2); // both were idle
-        // Second request: no server has zero outstanding → forwarded single.
+                                    // Second request: no server has zero outstanding → forwarded single.
         let out = c.on_request(req(1), 0);
         assert_eq!(out.len(), 1);
         assert_eq!(c.stats().forwarded_single, 1);

@@ -2,10 +2,9 @@
 //! fabric under the Baseline and C-Clone schemes — all intelligence lives
 //! in the clients.
 
-use netclone_asic::{
-    AsicSpec, DataPlane, Emission, Layout, MatchTable, PacketPass, PortId,
-};
-use netclone_proto::{Ipv4, PacketMeta};
+use netclone_asic::{AsicSpec, DataPlane, Emission, Layout, MatchTable, PacketPass, PortId};
+use netclone_core::{EngineError, SwitchCounters, SwitchEngine};
+use netclone_proto::{Ipv4, PacketMeta, ServerId};
 
 /// Route-only data plane.
 pub struct PlainL3Switch {
@@ -78,6 +77,45 @@ impl DataPlane for PlainL3Switch {
             }
         }
     }
+}
+
+impl SwitchEngine for PlainL3Switch {
+    /// The plain fabric surfaces its forwarded/dropped totals through the
+    /// shared counter struct; every cloning/filtering counter stays 0,
+    /// which is exactly what a route-only switch reports.
+    fn counters(&self) -> SwitchCounters {
+        SwitchCounters {
+            routed_plain: self.forwarded,
+            dropped_unroutable: self.dropped,
+            ..SwitchCounters::default()
+        }
+    }
+
+    /// A plain switch has no server table — registration is just a route.
+    fn register_server(
+        &mut self,
+        _sid: ServerId,
+        ip: Ipv4,
+        port: PortId,
+    ) -> Result<(), EngineError> {
+        self.add_route(ip, port);
+        Ok(())
+    }
+
+    fn register_client(&mut self, ip: Ipv4, port: PortId) -> Result<(), EngineError> {
+        self.add_route(ip, port);
+        Ok(())
+    }
+
+    fn register_route(&mut self, ip: Ipv4, port: PortId) -> Result<(), EngineError> {
+        self.add_route(ip, port);
+        Ok(())
+    }
+
+    // `deregister_server` and `install_custom_groups` keep the default
+    // `Unsupported` answer: the plain fabric has no server/group tables,
+    // and under the client-side schemes failure handling lives in the
+    // clients (they stop addressing the dead server).
 }
 
 #[cfg(test)]

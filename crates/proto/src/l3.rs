@@ -278,11 +278,7 @@ mod tests {
     }
 
     fn sample_meta() -> PacketMeta {
-        PacketMeta::netclone_request(
-            Ipv4::client(0),
-            NetCloneHdr::request(7, 1, 0, 42),
-            0,
-        )
+        PacketMeta::netclone_request(Ipv4::client(0), NetCloneHdr::request(7, 1, 0, 42), 0)
     }
 
     #[test]
@@ -328,8 +324,8 @@ mod tests {
         let pkt = encode_ip_packet(&meta, 5555, &RpcOp::Echo { class_ns: 1 });
         let mut raw = pkt.to_vec();
         raw[9] = 6; // TCP
-        // Fix the IP checksum for the mutated header so we get past it to
-        // the protocol check.
+                    // Fix the IP checksum for the mutated header so we get past it to
+                    // the protocol check.
         raw[10] = 0;
         raw[11] = 0;
         let csum = internet_checksum(&raw[..IPV4_HEADER_LEN]);

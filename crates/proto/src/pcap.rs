@@ -115,10 +115,7 @@ mod tests {
         w.flush().unwrap();
         let raw = std::fs::read(&path).unwrap();
         assert_eq!(u32::from_le_bytes(raw[24..28].try_into().unwrap()), 2);
-        assert_eq!(
-            u32::from_le_bytes(raw[28..32].try_into().unwrap()),
-            500_000
-        );
+        assert_eq!(u32::from_le_bytes(raw[28..32].try_into().unwrap()), 500_000);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

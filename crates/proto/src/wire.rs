@@ -303,7 +303,10 @@ mod tests {
 
     #[test]
     fn error_display_is_informative() {
-        let e = WireError::Truncated { needed: 20, have: 3 };
+        let e = WireError::Truncated {
+            needed: 20,
+            have: 3,
+        };
         assert!(e.to_string().contains("20"));
         assert!(WireError::BadOpTag(7).to_string().contains('7'));
     }

@@ -2,9 +2,7 @@
 //! the decoder never panics on arbitrary bytes.
 
 use bytes::{Bytes, BytesMut};
-use netclone_proto::wire::{
-    decode_frame, decode_header, encode_header, encode_op, HEADER_LEN,
-};
+use netclone_proto::wire::{decode_frame, decode_header, encode_header, encode_op, HEADER_LEN};
 use netclone_proto::{CloneStatus, KvKey, MsgType, NetCloneHdr, RpcOp, ServerState};
 use proptest::prelude::*;
 

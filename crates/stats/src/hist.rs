@@ -215,7 +215,10 @@ mod tests {
             let mut h = LatencyHistogram::new();
             h.record(v);
             let got = h.quantile(0.99);
-            assert!(got >= v, "reported quantile must not undershoot: v={v} got={got}");
+            assert!(
+                got >= v,
+                "reported quantile must not undershoot: v={v} got={got}"
+            );
             let err = (got - v) as f64 / v as f64;
             assert!(err <= 1.0 / 64.0 + 1e-9, "v={v} got={got} err={err}");
         }

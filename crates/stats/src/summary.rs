@@ -103,7 +103,9 @@ mod tests {
 
     #[test]
     fn known_values() {
-        let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
         assert_eq!(s.count(), 8);
         assert!((s.mean() - 5.0).abs() < 1e-12);
         // Sample std dev of this classic set is sqrt(32/7).
@@ -121,7 +123,9 @@ mod tests {
 
     #[test]
     fn matches_two_pass_computation() {
-        let xs: Vec<f64> = (0..1000).map(|i| ((i * 7919) % 1000) as f64 / 3.0).collect();
+        let xs: Vec<f64> = (0..1000)
+            .map(|i| ((i * 7919) % 1000) as f64 / 3.0)
+            .collect();
         let s: Summary = xs.iter().copied().collect();
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
         let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;

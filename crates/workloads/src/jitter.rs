@@ -21,7 +21,10 @@ impl Jitter {
     pub const NONE: Jitter = Jitter { p: 0.0, factor: 1 };
 
     /// High variability: p = 0.01, ×15 (the paper's default).
-    pub const HIGH: Jitter = Jitter { p: 0.01, factor: 15 };
+    pub const HIGH: Jitter = Jitter {
+        p: 0.01,
+        factor: 15,
+    };
 
     /// Low variability: p = 0.001, ×15 (Fig. 14).
     pub const LOW: Jitter = Jitter {
@@ -58,7 +61,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let j = Jitter::HIGH;
         let n = 200_000;
-        let hits = (0..n).filter(|_| j.apply(&mut rng, 1_000) == 15_000).count();
+        let hits = (0..n)
+            .filter(|_| j.apply(&mut rng, 1_000) == 15_000)
+            .count();
         let frac = hits as f64 / n as f64;
         assert!((frac - 0.01).abs() < 0.002, "hit fraction {frac}");
     }

@@ -12,8 +12,8 @@
 //! ```
 
 use netclone::cluster::experiments::{fig16, Scale};
-use netclone::cluster::{Scenario, Scheme, Sim};
 use netclone::cluster::scenario::ServerFailurePlan;
+use netclone::cluster::{Scenario, Scheme, Sim};
 use netclone::workloads::exp25;
 
 fn main() {
@@ -27,7 +27,11 @@ fn main() {
         .max(1e-9);
     for &(t, mrps) in f.timeline.iter() {
         let bars = ((mrps / peak) * 50.0).round() as usize;
-        let marker = if t >= f.fail_at_s && t < f.up_at_s { "x" } else { " " };
+        let marker = if t >= f.fail_at_s && t < f.up_at_s {
+            "x"
+        } else {
+            " "
+        };
         println!("{t:>5.1}s |{}{marker}", "#".repeat(bars));
     }
     println!(

@@ -15,9 +15,17 @@ use netclone::net::{Testbed, WorkExecutor};
 use netclone::proto::{KvKey, RpcOp};
 
 fn main() -> std::io::Result<()> {
-    let mut tb = Testbed::spawn(NetCloneConfig::default(), 4, 2, WorkExecutor::kv(10_000, 64))?;
+    let mut tb = Testbed::spawn(
+        NetCloneConfig::default(),
+        4,
+        2,
+        WorkExecutor::kv(10_000, 64),
+    )?;
     let mut client = tb.client(1)?;
-    println!("soft switch on {}, 4 servers, KV store with 10k objects\n", tb.switch_addr());
+    println!(
+        "soft switch on {}, 4 servers, KV store with 10k objects\n",
+        tb.switch_addr()
+    );
 
     let mut from_clone = 0;
     let calls = 200;
@@ -38,7 +46,11 @@ fn main() -> std::io::Result<()> {
                 "GET #{i}: server {} answered in {:>7.1?} (winner was the {})",
                 reply.sid,
                 reply.latency,
-                if reply.from_clone { "clone" } else { "original" }
+                if reply.from_clone {
+                    "clone"
+                } else {
+                    "original"
+                }
             );
         }
     }
@@ -47,7 +59,11 @@ fn main() -> std::io::Result<()> {
 
     let c = tb.switch_handle().counters();
     let lat = client.latencies();
-    println!("\n{calls} calls: p50 {:.0} us, p99 {:.0} us", lat.quantile(0.5) as f64 / 1e3, lat.quantile(0.99) as f64 / 1e3);
+    println!(
+        "\n{calls} calls: p50 {:.0} us, p99 {:.0} us",
+        lat.quantile(0.5) as f64 / 1e3,
+        lat.quantile(0.99) as f64 / 1e3
+    );
     println!(
         "switch: {} requests, {} cloned ({:.0}%), {} slower responses filtered",
         c.requests,

@@ -26,11 +26,15 @@ fn main() {
         let mut t = template.clone();
         t.scheme = scheme;
         let points = sweep(&t, &rates);
-        println!("{:<10} {}", scheme.label(), points
-            .iter()
-            .map(|p| format!("({:.2} MRPS, {:.0}us)", p.achieved_mrps, p.p99_us))
-            .collect::<Vec<_>>()
-            .join(" "));
+        println!(
+            "{:<10} {}",
+            scheme.label(),
+            points
+                .iter()
+                .map(|p| format!("({:.2} MRPS, {:.0}us)", p.achieved_mrps, p.p99_us))
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
         chart = chart.series(
             scheme.label(),
             marker,

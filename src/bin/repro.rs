@@ -16,8 +16,19 @@ use netclone_cluster::experiments::{
 };
 
 const ALL: &[&str] = &[
-    "tab01", "tab-res", "fig07", "fig08", "fig09", "fig10", "fig11", "fig12", "fig13", "fig14",
-    "fig15", "fig16", "ablations",
+    "tab01",
+    "tab-res",
+    "fig07",
+    "fig08",
+    "fig09",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "ablations",
 ];
 
 fn main() {

@@ -9,8 +9,32 @@
 //! bottleneck of a coordinator.
 //!
 //! The crate is a facade: it re-exports every subsystem so downstream
-//! users depend on one name. See `DESIGN.md` for the architecture and
-//! `EXPERIMENTS.md` for the paper-vs-measured results.
+//! users depend on one name.
+//!
+//! ## One switch program, many frontends
+//!
+//! Every switch program implements [`core::SwitchEngine`]
+//! (`netclone_core::engine`): the packet path from
+//! [`asic::DataPlane`] plus the control plane (registration, failure
+//! handling, group management, counters). Both frontends — the
+//! discrete-event testbed ([`cluster::Sim`]) and the real-socket soft
+//! switch ([`net::SoftSwitch`]) — hold a `Box<dyn SwitchEngine>` built by
+//! [`cluster::build_engine`], so they execute the *identical* program
+//! (asserted by `tests/equivalence.rs`):
+//!
+//! ```
+//! use netclone::cluster::{build_engine, Scenario, Scheme};
+//! use netclone::core::SwitchEngine;
+//! use netclone::proto::{Ipv4, NetCloneHdr, PacketMeta};
+//! use netclone::workloads::exp25;
+//!
+//! let scenario = Scenario::synthetic_default(Scheme::NETCLONE, exp25(), 1e5);
+//! let mut engine = build_engine(&scenario); // Box<dyn SwitchEngine>, fully programmed
+//! let req = PacketMeta::netclone_request(Ipv4::client(0), NetCloneHdr::request(0, 0, 0, 0), 84);
+//! let out = engine.process(req, 100, 0);
+//! assert_eq!(out.len(), 2, "both candidates idle: the request was cloned");
+//! assert_eq!(engine.counters().cloned, 1);
+//! ```
 //!
 //! ## Quick start (simulated rack)
 //!
@@ -43,25 +67,25 @@
 //! # Ok::<(), std::io::Error>(())
 //! ```
 
-/// Packet formats and the wire codec (paper Fig. 3).
-pub use netclone_proto as proto;
+/// The PISA switch ASIC model (§2.3's constraints, §4.1's resources).
+pub use netclone_asic as asic;
+/// The simulated testbed and every figure/table of the evaluation (§5).
+pub use netclone_cluster as cluster;
+/// ★ The NetClone data plane: Algorithm 1 + §3.7 extensions.
+pub use netclone_core as core;
 /// Deterministic discrete-event kernel.
 pub use netclone_des as des;
+/// Client/server host models (§4.2).
+pub use netclone_hosts as hosts;
+/// The KV store and Redis/Memcached cost models (§5.5).
+pub use netclone_kvstore as kvstore;
+/// The real-socket UDP runtime (soft switch + threaded hosts).
+pub use netclone_net as net;
+/// Compared schemes: Baseline/C-Clone fabric, LÆDGE, RackSched.
+pub use netclone_policies as policies;
+/// Packet formats and the wire codec (paper Fig. 3).
+pub use netclone_proto as proto;
 /// Histograms, summaries, tables, charts.
 pub use netclone_stats as stats;
 /// Service-time distributions, arrivals, Zipf, op mixes (§5.1.2).
 pub use netclone_workloads as workloads;
-/// The KV store and Redis/Memcached cost models (§5.5).
-pub use netclone_kvstore as kvstore;
-/// The PISA switch ASIC model (§2.3's constraints, §4.1's resources).
-pub use netclone_asic as asic;
-/// ★ The NetClone data plane: Algorithm 1 + §3.7 extensions.
-pub use netclone_core as core;
-/// Client/server host models (§4.2).
-pub use netclone_hosts as hosts;
-/// Compared schemes: Baseline/C-Clone fabric, LÆDGE, RackSched.
-pub use netclone_policies as policies;
-/// The simulated testbed and every figure/table of the evaluation (§5).
-pub use netclone_cluster as cluster;
-/// The real-socket UDP runtime (soft switch + threaded hosts).
-pub use netclone_net as net;

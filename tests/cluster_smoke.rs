@@ -44,8 +44,17 @@ fn every_scheme_completes_requests() {
         let (p50, p99, p999) = r.percentiles_us();
         // Network floor ≈ 7 μs + median service; NetClone's min-of-two
         // pulls the service median to ≈ 12.5 μs.
-        assert!(p50 >= 15.0, "{}: p50 {} below service floor", scheme.label(), p50);
-        assert!(p50 <= p99 && p99 <= p999, "{}: percentile order", scheme.label());
+        assert!(
+            p50 >= 15.0,
+            "{}: p50 {} below service floor",
+            scheme.label(),
+            p50
+        );
+        assert!(
+            p50 <= p99 && p99 <= p999,
+            "{}: percentile order",
+            scheme.label()
+        );
     }
 }
 

@@ -1,0 +1,279 @@
+//! Cross-frontend equivalence: the DES simulator and the UDP soft switch
+//! must execute the *identical* switch program.
+//!
+//! Both frontends hold a `Box<dyn SwitchEngine>` built by the same
+//! factory (`netclone_cluster::build_engine`), so this test drives one
+//! short deterministic packet trace through
+//!
+//! 1. the engine directly (exactly how the DES event loop calls it), and
+//! 2. a second engine from the same factory running behind
+//!    [`SoftSwitch`](netclone::net::SoftSwitch) over real UDP sockets,
+//!
+//! and asserts the two end with byte-identical [`SwitchCounters`] —
+//! cloning decisions, busy/uncloneable skips, recirculations, and
+//! redundant-response filtering all included.
+
+use std::net::UdpSocket;
+use std::time::{Duration, Instant};
+
+use netclone::cluster::{build_engine, Scenario, Scheme};
+use netclone::core::{SwitchCounters, SwitchEngine};
+use netclone::net::{decode_packet, encode_packet, SoftSwitch};
+use netclone::proto::{Ipv4, NetCloneHdr, PacketMeta, RpcOp, ServerState};
+use netclone::workloads::exp25;
+
+const N_SERVERS: usize = 2;
+const N_REQUESTS: u32 = 12;
+
+/// The two-server, one-client scenario both frontends are programmed from.
+fn scenario() -> Scenario {
+    let mut s = Scenario::synthetic_default(Scheme::NETCLONE, exp25(), 1e5);
+    s.servers.truncate(N_SERVERS);
+    s.n_clients = 1;
+    s
+}
+
+/// The deterministic trace, encoded as per-request inputs.
+struct TraceStep {
+    /// Client-chosen group.
+    grp: u16,
+    /// Client-chosen filter-table index.
+    idx: u8,
+    /// Client marks the request non-cloneable (a write, §5.5).
+    uncloneable: bool,
+    /// Queue state each server piggybacks on its response.
+    reply_state: ServerState,
+}
+
+fn trace(num_groups: u16) -> Vec<TraceStep> {
+    (0..N_REQUESTS)
+        .map(|i| TraceStep {
+            grp: (i as u16) % num_groups,
+            idx: (i % 2) as u8,
+            uncloneable: i == 5,
+            // Every third request reports a busy queue, making later
+            // requests on that pair skip cloning until the state clears.
+            reply_state: ServerState(if i % 3 == 2 { 2 } else { 0 }),
+        })
+        .collect()
+}
+
+fn request_meta(step: &TraceStep, seq: u32) -> PacketMeta {
+    let mut nc = NetCloneHdr::request(step.grp, step.idx, 0, seq);
+    if step.uncloneable {
+        nc.state = ServerState(1);
+    }
+    PacketMeta::netclone_request(Ipv4::client(0), nc, 84)
+}
+
+/// Runs the trace straight through the engine, the way the DES event loop
+/// does. Returns the final counters plus, per request, the server ports
+/// that received an emission (the expected fan-out for the UDP run).
+fn run_direct(
+    engine: &mut dyn SwitchEngine,
+    steps: &[TraceStep],
+) -> (SwitchCounters, Vec<Vec<u16>>) {
+    let mut fanouts = Vec::new();
+    for (seq, step) in steps.iter().enumerate() {
+        let emissions = engine.process(request_meta(step, seq as u32), 100, 0);
+        let mut ports: Vec<u16> = emissions.iter().map(|e| e.port).collect();
+        ports.sort_unstable();
+        // Mirror each delivery with a server response, in port order.
+        for e in &emissions {
+            assert!((10..12).contains(&e.port), "emission to a server port");
+        }
+        let mut sorted = emissions;
+        sorted.sort_by_key(|e| e.port);
+        for e in sorted {
+            let sid = e.port - 10;
+            let nc = NetCloneHdr::response_to(&e.pkt.nc, sid, step.reply_state);
+            let resp = PacketMeta::netclone_response(Ipv4::server(sid), e.pkt.src_ip, nc, 84);
+            engine.process(resp, e.port, 0);
+        }
+        fanouts.push(ports);
+    }
+    (engine.counters(), fanouts)
+}
+
+fn recv_with_deadline(sock: &UdpSocket, buf: &mut [u8]) -> Option<usize> {
+    sock.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    sock.recv(buf).ok()
+}
+
+#[test]
+fn soft_switch_and_des_engine_run_the_same_program() {
+    let scenario = scenario();
+
+    // Frontend 1: the engine as the DES simulator drives it.
+    let mut direct = build_engine(&scenario);
+    let steps = trace(direct.num_groups());
+    let (direct_counters, fanouts) = run_direct(direct.as_mut(), &steps);
+
+    // Sanity: the trace must actually exercise the interesting paths,
+    // otherwise equality would be vacuous.
+    assert!(direct_counters.cloned > 0, "trace exercises cloning");
+    assert!(
+        direct_counters.responses_filtered > 0,
+        "trace exercises redundant-response filtering"
+    );
+    assert!(
+        direct_counters.clone_skipped_busy > 0,
+        "trace exercises busy-skip"
+    );
+    assert_eq!(direct_counters.clone_skipped_uncloneable, 1);
+
+    // Frontend 2: an identically-programmed engine behind the UDP soft
+    // switch. The scenario builder registered ports 10+sid / 100+cid;
+    // map them to real sockets.
+    let switch = SoftSwitch::spawn_engine(build_engine(&scenario)).expect("spawn soft switch");
+    let handle = switch.handle();
+    let client = UdpSocket::bind("127.0.0.1:0").expect("client socket");
+    let servers: Vec<UdpSocket> = (0..N_SERVERS)
+        .map(|_| UdpSocket::bind("127.0.0.1:0").expect("server socket"))
+        .collect();
+    handle
+        .map_port(100, client.local_addr().unwrap())
+        .expect("map client port");
+    for (sid, sock) in servers.iter().enumerate() {
+        handle
+            .map_port(10 + sid as u16, sock.local_addr().unwrap())
+            .expect("map server port");
+    }
+
+    let op = RpcOp::Echo { class_ns: 25_000 };
+    let mut buf = vec![0u8; 65_536];
+    for (seq, step) in steps.iter().enumerate() {
+        let datagram = encode_packet(&request_meta(step, seq as u32), &op, &[]);
+        client
+            .send_to(&datagram, handle.addr())
+            .expect("send request");
+
+        // Receive on exactly the server ports the direct run predicts,
+        // then respond in the same (sorted) port order.
+        for &port in &fanouts[seq] {
+            let sock = &servers[(port - 10) as usize];
+            let len = recv_with_deadline(sock, &mut buf)
+                .unwrap_or_else(|| panic!("request {seq}: no delivery on port {port}"));
+            let (meta, op_rx, _value) =
+                decode_packet(bytes_of(&buf[..len])).expect("decode request");
+            assert_eq!(op_rx, op);
+            let sid = port - 10;
+            let nc = NetCloneHdr::response_to(&meta.nc, sid, step.reply_state);
+            let resp = PacketMeta::netclone_response(Ipv4::server(sid), meta.src_ip, nc, 84);
+            sock.send_to(&encode_packet(&resp, &op, &[]), handle.addr())
+                .expect("send response");
+        }
+
+        // Serialise the trace: wait until the switch has processed every
+        // response of this step before issuing the next request.
+        let expected_responses = direct_partial_responses(&fanouts, seq);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while handle.counters().responses < expected_responses {
+            assert!(
+                Instant::now() < deadline,
+                "request {seq}: switch never saw its responses"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    let udp_counters = handle.counters();
+    assert_eq!(
+        udp_counters, direct_counters,
+        "soft switch and DES engine diverged on an identical trace"
+    );
+    // The headline numbers of the paper's data plane, spelled out:
+    assert_eq!(udp_counters.clone_rate(), direct_counters.clone_rate());
+    assert_eq!(udp_counters.filter_rate(), direct_counters.filter_rate());
+    switch.shutdown();
+}
+
+/// Responses the switch must have processed once step `upto` completed.
+fn direct_partial_responses(fanouts: &[Vec<u16>], upto: usize) -> u64 {
+    fanouts[..=upto].iter().map(|f| f.len() as u64).sum()
+}
+
+fn bytes_of(b: &[u8]) -> bytes::Bytes {
+    bytes::Bytes::copy_from_slice(b)
+}
+
+/// The plain L3 fabric (Baseline/C-Clone schemes) must also behave
+/// identically across frontends — it implements the same trait.
+#[test]
+fn plain_engine_is_equivalent_across_frontends() {
+    let mut scenario = scenario();
+    scenario.scheme = Scheme::Baseline;
+
+    // Direct run: route one request to each server and one response back.
+    let mut direct = build_engine(&scenario);
+    for sid in 0..N_SERVERS as u16 {
+        let mut req = PacketMeta::netclone_request(
+            Ipv4::client(0),
+            NetCloneHdr::request(0, 0, 0, sid as u32),
+            84,
+        );
+        req.dst_ip = Ipv4::server(sid);
+        let out = direct.process(req, 100, 0);
+        assert_eq!(out.len(), 1, "plain switch forwards without cloning");
+        let resp = PacketMeta::netclone_response(
+            Ipv4::server(sid),
+            Ipv4::client(0),
+            NetCloneHdr::response_to(&req.nc, sid, ServerState(0)),
+            84,
+        );
+        direct.process(resp, 10 + sid, 0);
+    }
+    let direct_counters = direct.counters();
+    assert_eq!(direct_counters.routed_plain, 2 * N_SERVERS as u64);
+    assert_eq!(direct_counters.cloned, 0);
+
+    // Same trace through the soft switch.
+    let switch = SoftSwitch::spawn_engine(build_engine(&scenario)).expect("spawn soft switch");
+    let handle = switch.handle();
+    let client = UdpSocket::bind("127.0.0.1:0").unwrap();
+    let servers: Vec<UdpSocket> = (0..N_SERVERS)
+        .map(|_| UdpSocket::bind("127.0.0.1:0").unwrap())
+        .collect();
+    handle
+        .map_port(100, client.local_addr().unwrap())
+        .expect("map client port");
+    for (sid, sock) in servers.iter().enumerate() {
+        handle
+            .map_port(10 + sid as u16, sock.local_addr().unwrap())
+            .expect("map server port");
+    }
+
+    let op = RpcOp::Echo { class_ns: 25_000 };
+    let mut buf = vec![0u8; 65_536];
+    for sid in 0..N_SERVERS as u16 {
+        let mut req = PacketMeta::netclone_request(
+            Ipv4::client(0),
+            NetCloneHdr::request(0, 0, 0, sid as u32),
+            84,
+        );
+        req.dst_ip = Ipv4::server(sid);
+        client
+            .send_to(&encode_packet(&req, &op, &[]), handle.addr())
+            .unwrap();
+        let len = recv_with_deadline(&servers[sid as usize], &mut buf)
+            .expect("plain switch must deliver to the addressed server");
+        let (meta, _op, _v) = decode_packet(bytes_of(&buf[..len])).unwrap();
+        let resp = PacketMeta::netclone_response(
+            Ipv4::server(sid),
+            meta.src_ip,
+            NetCloneHdr::response_to(&meta.nc, sid, ServerState(0)),
+            84,
+        );
+        servers[sid as usize]
+            .send_to(&encode_packet(&resp, &op, &[]), handle.addr())
+            .unwrap();
+        recv_with_deadline(&client, &mut buf).expect("response reaches the client");
+    }
+
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while handle.counters() != direct_counters && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert_eq!(handle.counters(), direct_counters);
+    switch.shutdown();
+}

@@ -1,9 +1,7 @@
 //! Smoke runs of the experiment harness itself: every figure/table driver
 //! executes at `Scale::Smoke` and produces sane, renderable output.
 
-use netclone::cluster::experiments::{
-    ablations, fig13, fig16, resources, table1, Scale,
-};
+use netclone::cluster::experiments::{ablations, fig13, fig16, resources, table1, Scale};
 
 #[test]
 fn table1_and_resources_render() {

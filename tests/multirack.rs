@@ -29,7 +29,9 @@ impl TwoTier {
         };
         let mut client_tor = NetCloneSwitch::new(c_cfg);
         for sid in 0..n_servers {
-            client_tor.add_server(sid, Ipv4::server(sid), UPLINK).unwrap();
+            client_tor
+                .add_server(sid, Ipv4::server(sid), UPLINK)
+                .unwrap();
         }
         client_tor.add_client(Ipv4::client(0), CLIENT_PORT).unwrap();
 
@@ -102,7 +104,11 @@ fn only_the_client_tor_applies_netclone_logic() {
     for d in &delivered {
         assert_eq!(d.pkt.nc.switch_id, 1);
     }
-    assert_eq!(net.server_tor.counters().requests, 0, "gate must bypass NetClone");
+    assert_eq!(
+        net.server_tor.counters().requests,
+        0,
+        "gate must bypass NetClone"
+    );
     assert_eq!(net.server_tor.counters().routed_plain, 2);
     assert_eq!(net.client_tor.counters().cloned, 1);
 }
@@ -122,10 +128,18 @@ fn responses_are_filtered_at_the_client_tor_only() {
         let resp = PacketMeta::netclone_response(Ipv4::server(sid), Ipv4::client(0), nc, 84);
         to_client.extend(net.server_to_client(resp, sid));
     }
-    assert_eq!(to_client.len(), 1, "exactly one response survives the filter");
+    assert_eq!(
+        to_client.len(),
+        1,
+        "exactly one response survives the filter"
+    );
     assert_eq!(to_client[0].port, CLIENT_PORT);
     assert_eq!(net.client_tor.counters().responses_filtered, 1);
-    assert_eq!(net.server_tor.counters().responses, 0, "server ToR only routes");
+    assert_eq!(
+        net.server_tor.counters().responses,
+        0,
+        "server ToR only routes"
+    );
     // And the client ToR learned the states from both responses.
     assert!(net.client_tor.state_tables_consistent());
 }
@@ -143,6 +157,10 @@ fn busy_remote_servers_suppress_cloning_across_racks() {
 
     let req = PacketMeta::netclone_request(Ipv4::client(0), NetCloneHdr::request(0, 0, 0, 4), 84);
     let delivered = net.client_to_servers(req);
-    assert_eq!(delivered.len(), 1, "tracked-busy remote server must block cloning");
+    assert_eq!(
+        delivered.len(),
+        1,
+        "tracked-busy remote server must block cloning"
+    );
     assert_eq!(delivered[0].pkt.nc.clo, CloneStatus::NotCloned);
 }

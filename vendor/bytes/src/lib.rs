@@ -1,0 +1,311 @@
+//! Minimal offline stand-in for the `bytes` crate.
+//!
+//! [`Bytes`] is a cheaply cloneable, advanceable view over shared bytes;
+//! [`BytesMut`] is a growable buffer. The [`Buf`]/[`BufMut`] traits carry
+//! the big-endian accessors the wire codecs use. No `split_to`/`split_off`
+//! — the workspace doesn't use them.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+/// Read-side byte cursor operations.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// The unread bytes.
+    fn chunk(&self) -> &[u8];
+
+    /// Skips `n` bytes. Panics if fewer remain.
+    fn advance(&mut self, n: usize);
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let v = self.chunk()[0];
+        self.advance(1);
+        v
+    }
+
+    /// Reads a big-endian `u16`.
+    fn get_u16(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_be_bytes(b)
+    }
+
+    /// Reads a big-endian `u32`.
+    fn get_u32(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_be_bytes(b)
+    }
+
+    /// Reads a big-endian `u64`.
+    fn get_u64(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_be_bytes(b)
+    }
+
+    /// Copies `dst.len()` bytes out, advancing. Panics if fewer remain.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+}
+
+/// Write-side buffer operations.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a big-endian `u16`.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+/// A cheaply cloneable, advanceable view over immutable shared bytes.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// A buffer holding a copy of `data` (the stand-in copies; upstream
+    /// borrows `'static` data zero-copy).
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Bytes::copy_from_slice(data)
+    }
+
+    /// A buffer holding a copy of `data`.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes::from(data.to_vec())
+    }
+
+    /// A sub-view of this buffer (relative to the current view).
+    ///
+    /// Panics if the range exceeds the view, like upstream.
+    pub fn slice(&self, range: impl std::ops::RangeBounds<usize>) -> Bytes {
+        use std::ops::Bound;
+        let len = self.end - self.start;
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => len,
+        };
+        assert!(
+            lo <= hi && hi <= len,
+            "slice {lo}..{hi} out of bounds of {len}"
+        );
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + lo,
+            end: self.start + hi,
+        }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Bytes {
+            data: Arc::new(v),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({:?})", &self[..])
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for Bytes {}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.end - self.start
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.remaining(), "advance past end of Bytes");
+        self.start += n;
+    }
+}
+
+/// A growable byte buffer.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    v: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            v: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Reserves space for `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.v.reserve(additional);
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.v)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.v
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.v
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl std::fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BytesMut({:?})", &self[..])
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.v.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_and_views() {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_u8(1);
+        b.put_u16(0x0203);
+        b.put_u32(0x0405_0607);
+        b.put_u64(0x0809_0A0B_0C0D_0E0F);
+        b.put_slice(b"xy");
+        assert_eq!(b.len(), 17);
+        let mut bytes = b.freeze();
+        let snapshot = bytes.clone();
+        assert_eq!(bytes.get_u8(), 1);
+        assert_eq!(bytes.get_u16(), 0x0203);
+        assert_eq!(bytes.get_u32(), 0x0405_0607);
+        assert_eq!(bytes.get_u64(), 0x0809_0A0B_0C0D_0E0F);
+        let mut tail = [0u8; 2];
+        bytes.copy_to_slice(&mut tail);
+        assert_eq!(&tail, b"xy");
+        assert!(bytes.is_empty());
+        assert_eq!(snapshot.len(), 17, "clones are independent cursors");
+    }
+
+    #[test]
+    fn mutable_indexing() {
+        let mut b = BytesMut::new();
+        b.put_slice(&[9, 9, 9]);
+        b[0] = 1;
+        assert_eq!(&b[..], &[1, 9, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "advance past end")]
+    fn over_advance_panics() {
+        let mut b = Bytes::copy_from_slice(&[1, 2]);
+        b.advance(3);
+    }
+}
+#[cfg(test)]
+mod slice_tests {
+    use super::*;
+
+    #[test]
+    fn slice_is_a_bounded_view() {
+        let b = Bytes::copy_from_slice(b"abcdef");
+        assert_eq!(&b.slice(..3)[..], b"abc");
+        assert_eq!(&b.slice(2..5)[..], b"cde");
+        assert_eq!(&b.slice(..)[..], b"abcdef");
+        let mut s = b.slice(1..4);
+        assert_eq!(s.get_u8(), b'b');
+        assert_eq!(s.remaining(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oversized_slice_panics() {
+        Bytes::copy_from_slice(b"ab").slice(..3);
+    }
+}

@@ -1,0 +1,225 @@
+//! Minimal offline stand-in for `crossbeam`: an unbounded MPMC channel
+//! with cloneable senders *and* receivers, `len`/`is_empty` observation
+//! from either end, and disconnect semantics (receive fails once every
+//! sender is dropped and the queue is drained; send fails once every
+//! receiver is dropped).
+
+/// MPMC channels.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Inner<T> {
+        queue: Mutex<VecDeque<T>>,
+        ready: Condvar,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when the channel is drained
+    /// and all senders are gone.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message is currently queued.
+        Empty,
+        /// The channel is drained and all senders are gone.
+        Disconnected,
+    }
+
+    /// The sending half.
+    pub struct Sender<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// The receiving half.
+    pub struct Receiver<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Inner {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+        });
+        (
+            Sender {
+                inner: Arc::clone(&inner),
+            },
+            Receiver { inner },
+        )
+    }
+
+    impl<T> Inner<T> {
+        fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+            self.queue.lock().unwrap_or_else(|e| e.into_inner())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues a message; fails only if every receiver is gone.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            if self.inner.receivers.load(Ordering::SeqCst) == 0 {
+                return Err(SendError(msg));
+            }
+            self.inner.lock().push_back(msg);
+            self.inner.ready.notify_one();
+            Ok(())
+        }
+
+        /// Queued-message count.
+        pub fn len(&self) -> usize {
+            self.inner.lock().len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.inner.lock().is_empty()
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.inner.senders.fetch_add(1, Ordering::SeqCst);
+            Sender {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.inner.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+                // Last sender: wake all blocked receivers so they observe
+                // the disconnect.
+                self.inner.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or all senders disconnect.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut q = self.inner.lock();
+            loop {
+                if let Some(msg) = q.pop_front() {
+                    return Ok(msg);
+                }
+                if self.inner.senders.load(Ordering::SeqCst) == 0 {
+                    return Err(RecvError);
+                }
+                q = self.inner.ready.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// Dequeues a message if one is ready.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut q = self.inner.lock();
+            match q.pop_front() {
+                Some(msg) => Ok(msg),
+                None if self.inner.senders.load(Ordering::SeqCst) == 0 => {
+                    Err(TryRecvError::Disconnected)
+                }
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Queued-message count (the soft server uses this as the FCFS
+        /// queue length piggybacked on responses).
+        pub fn len(&self) -> usize {
+            self.inner.lock().len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.inner.lock().is_empty()
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.inner.receivers.fetch_add(1, Ordering::SeqCst);
+            Receiver {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.inner.receivers.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::*;
+
+    #[test]
+    fn fifo_and_len() {
+        let (tx, rx) = unbounded();
+        assert!(tx.is_empty());
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.len(), 2);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn dropping_all_senders_disconnects() {
+        let (tx, rx) = unbounded::<u32>();
+        let tx2 = tx.clone();
+        drop(tx);
+        tx2.send(7).unwrap();
+        drop(tx2);
+        assert_eq!(rx.recv(), Ok(7), "queued messages drain first");
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn blocking_recv_wakes_on_send() {
+        let (tx, rx) = unbounded();
+        let t = std::thread::spawn(move || rx.recv());
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        tx.send(42).unwrap();
+        assert_eq!(t.join().unwrap(), Ok(42));
+    }
+
+    #[test]
+    fn workers_share_one_receiver() {
+        let (tx, rx) = unbounded();
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let rx = rx.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut got = 0;
+                while rx.recv().is_ok() {
+                    got += 1;
+                }
+                got
+            }));
+        }
+        drop(rx);
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let total: u32 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 100, "every message consumed exactly once");
+    }
+}

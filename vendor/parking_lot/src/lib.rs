@@ -1,0 +1,91 @@
+//! Minimal offline stand-in for `parking_lot`: non-poisoning `Mutex` and
+//! `RwLock` wrappers over `std::sync`. A panicked holder's poison is
+//! swallowed (`into_inner`), matching parking_lot's no-poisoning model.
+
+/// Guard types re-used from `std`.
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+/// See [`MutexGuard`].
+pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
+/// See [`MutexGuard`].
+pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
+
+/// A mutex whose `lock` never returns a poison error.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Wraps a value.
+    pub fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    /// Consumes the mutex, returning the value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, ignoring poisoning.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Mutable access without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// A reader-writer lock whose accessors never return poison errors.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    /// Wraps a value.
+    pub fn new(value: T) -> Self {
+        RwLock(std::sync::RwLock::new(value))
+    }
+
+    /// Consumes the lock, returning the value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires a shared read guard, ignoring poisoning.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Acquires an exclusive write guard, ignoring poisoning.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_survives_a_panicked_holder() {
+        let m = std::sync::Arc::new(Mutex::new(5));
+        let m2 = std::sync::Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison it");
+        })
+        .join();
+        assert_eq!(*m.lock(), 5, "lock still usable after poisoning");
+    }
+
+    #[test]
+    fn rwlock_read_write() {
+        let l = RwLock::new(1);
+        *l.write() += 1;
+        assert_eq!(*l.read(), 2);
+        assert_eq!(l.into_inner(), 2);
+    }
+}
