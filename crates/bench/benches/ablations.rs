@@ -1,18 +1,7 @@
-//! Regenerates the design-choice ablations (DESIGN.md): filter-table
-//! count and group-table ordering.
+//! Regenerates the design-choice ablations (DESIGN.md): filter-table count, group ordering, clone threshold.
 //! Run: `cargo bench -p netclone-bench --bench ablations`
-
-use netclone_cluster::experiments::{ablations, Scale};
+//! Scale via NETCLONE_BENCH_SCALE=smoke|standard|full.
 
 fn main() {
-    let scale = Scale::from_env();
-    println!("{}", ablations::render(scale));
-    ablations::filter_tables(scale)
-        .to_table()
-        .write_csv("results/ablation_filter_tables.csv")
-        .expect("write csv");
-    ablations::group_ordering(scale)
-        .to_table()
-        .write_csv("results/ablation_group_ordering.csv")
-        .expect("write csv");
+    netclone_bench::run_and_emit("ablations");
 }

@@ -1,12 +1,7 @@
-//! Regenerates Figure 7: synthetic workloads (Exp(25), Bimodal(25/250),
-//! Exp(50), Bimodal(50/500)); Baseline vs C-Clone vs NetClone.
+//! Regenerates Figure 7: synthetic workloads (Exp(25), Bimodal(25/250), Exp(50), Bimodal(50/500)); Baseline vs C-Clone vs NetClone.
 //! Run: `cargo bench -p netclone-bench --bench fig07_synthetic`
 //! Scale via NETCLONE_BENCH_SCALE=smoke|standard|full.
 
-use netclone_cluster::experiments::{fig07, Scale};
-
 fn main() {
-    let fig = fig07::run(Scale::from_env());
-    println!("{}", fig.render());
-    fig.write_csv("results").expect("write csv");
+    netclone_bench::run_and_emit("fig07");
 }

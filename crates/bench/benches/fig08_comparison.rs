@@ -1,10 +1,7 @@
-//! Regenerates Figure 8: C-Clone vs LÆDGE vs NetClone on 5 workers.
+//! Regenerates Figure 8: C-Clone vs LAEDGE vs NetClone on five workers plus a coordinator host.
 //! Run: `cargo bench -p netclone-bench --bench fig08_comparison`
-
-use netclone_cluster::experiments::{fig08, Scale};
+//! Scale via NETCLONE_BENCH_SCALE=smoke|standard|full.
 
 fn main() {
-    let fig = fig08::run(Scale::from_env());
-    println!("{}", fig.render());
-    fig.write_csv("results").expect("write csv");
+    netclone_bench::run_and_emit("fig08");
 }

@@ -1,10 +1,7 @@
 //! Regenerates Figure 9: Baseline vs NetClone at 2/4/6 worker servers.
 //! Run: `cargo bench -p netclone-bench --bench fig09_scalability`
-
-use netclone_cluster::experiments::{fig09, Scale};
+//! Scale via NETCLONE_BENCH_SCALE=smoke|standard|full.
 
 fn main() {
-    let fig = fig09::run(Scale::from_env());
-    println!("{}", fig.render());
-    fig.write_csv("results").expect("write csv");
+    netclone_bench::run_and_emit("fig09");
 }

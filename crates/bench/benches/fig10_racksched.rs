@@ -1,11 +1,7 @@
-//! Regenerates Figure 10: NetClone ± RackSched under homogeneous and
-//! heterogeneous workers.
+//! Regenerates Figure 10: NetClone with RackSched under homogeneous/heterogeneous workers.
 //! Run: `cargo bench -p netclone-bench --bench fig10_racksched`
-
-use netclone_cluster::experiments::{fig10, Scale};
+//! Scale via NETCLONE_BENCH_SCALE=smoke|standard|full.
 
 fn main() {
-    let fig = fig10::run(Scale::from_env());
-    println!("{}", fig.render());
-    fig.write_csv("results").expect("write csv");
+    netclone_bench::run_and_emit("fig10");
 }

@@ -1,10 +1,7 @@
-//! Regenerates Figure 11: the Redis GET/SCAN workload.
+//! Regenerates Figure 11: the Redis-style KV workload (GET/SCAN mixes).
 //! Run: `cargo bench -p netclone-bench --bench fig11_redis`
-
-use netclone_cluster::experiments::{fig11, Scale};
+//! Scale via NETCLONE_BENCH_SCALE=smoke|standard|full.
 
 fn main() {
-    let fig = fig11::run(Scale::from_env());
-    println!("{}", fig.render());
-    fig.write_csv("results").expect("write csv");
+    netclone_bench::run_and_emit("fig11");
 }

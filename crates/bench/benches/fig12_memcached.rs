@@ -1,10 +1,7 @@
-//! Regenerates Figure 12: the Memcached GET/SCAN workload.
+//! Regenerates Figure 12: the Memcached cost model (GET/SCAN mixes).
 //! Run: `cargo bench -p netclone-bench --bench fig12_memcached`
-
-use netclone_cluster::experiments::{fig12, Scale};
+//! Scale via NETCLONE_BENCH_SCALE=smoke|standard|full.
 
 fn main() {
-    let fig = fig12::run(Scale::from_env());
-    println!("{}", fig.render());
-    fig.write_csv("results").expect("write csv");
+    netclone_bench::run_and_emit("fig12");
 }

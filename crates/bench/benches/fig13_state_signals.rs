@@ -1,11 +1,7 @@
-//! Regenerates Figure 13: (a) empty-queue fraction vs load; (b) repeated
-//! p99 at 90 % load, mean ± σ.
+//! Regenerates Figure 13: (a) empty-queue fraction vs load; (b) repeated p99 at 90 % load, mean ± σ.
 //! Run: `cargo bench -p netclone-bench --bench fig13_state_signals`
-
-use netclone_cluster::experiments::{fig13, Scale};
+//! Scale via NETCLONE_BENCH_SCALE=smoke|standard|full.
 
 fn main() {
-    let f = fig13::run(Scale::from_env());
-    println!("{}", f.render());
-    f.write_csv("results").expect("write csv");
+    netclone_bench::run_and_emit("fig13");
 }

@@ -1,10 +1,7 @@
-//! Regenerates Figure 14: the low-variability (p = 0.001) synthetic runs.
+//! Regenerates Figure 14: low service-time variability (p = 0.001).
 //! Run: `cargo bench -p netclone-bench --bench fig14_low_variability`
-
-use netclone_cluster::experiments::{fig14, Scale};
+//! Scale via NETCLONE_BENCH_SCALE=smoke|standard|full.
 
 fn main() {
-    let fig = fig14::run(Scale::from_env());
-    println!("{}", fig.render());
-    fig.write_csv("results").expect("write csv");
+    netclone_bench::run_and_emit("fig14");
 }

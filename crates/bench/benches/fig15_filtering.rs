@@ -1,10 +1,7 @@
-//! Regenerates Figure 15: the impact of redundant-response filtering.
+//! Regenerates Figure 15: impact of redundant response filtering.
 //! Run: `cargo bench -p netclone-bench --bench fig15_filtering`
-
-use netclone_cluster::experiments::{fig15, Scale};
+//! Scale via NETCLONE_BENCH_SCALE=smoke|standard|full.
 
 fn main() {
-    let fig = fig15::run(Scale::from_env());
-    println!("{}", fig.render());
-    fig.write_csv("results").expect("write csv");
+    netclone_bench::run_and_emit("fig15");
 }

@@ -1,10 +1,7 @@
 //! Regenerates Figure 16: throughput timeline across a switch failure.
 //! Run: `cargo bench -p netclone-bench --bench fig16_switch_failure`
-
-use netclone_cluster::experiments::{fig16, Scale};
+//! Scale via NETCLONE_BENCH_SCALE=smoke|standard|full.
 
 fn main() {
-    let f = fig16::run(Scale::from_env());
-    println!("{}", f.render());
-    f.write_csv("results").expect("write csv");
+    netclone_bench::run_and_emit("fig16");
 }

@@ -1,11 +1,7 @@
 //! Regenerates Table 1: the qualitative comparison of cloning systems.
 //! Run: `cargo bench -p netclone-bench --bench tab01_comparison`
-
-use netclone_cluster::experiments::table1;
+//! Scale via NETCLONE_BENCH_SCALE=smoke|standard|full.
 
 fn main() {
-    println!("{}", table1::render());
-    table1::to_table()
-        .write_csv("results/tab01.csv")
-        .expect("write csv");
+    netclone_bench::run_and_emit("tab01");
 }

@@ -1,12 +1,7 @@
-//! Regenerates the §4.1 resource-usage report (stages, SRAM, crossbar,
-//! hash, ALUs, filter memory, supported throughput).
+//! Regenerates the §4.1 resource-usage report.
 //! Run: `cargo bench -p netclone-bench --bench tab_resources`
-
-use netclone_cluster::experiments::resources;
+//! Scale via NETCLONE_BENCH_SCALE=smoke|standard|full.
 
 fn main() {
-    println!("{}", resources::render());
-    resources::to_table()
-        .write_csv("results/tab_resources.csv")
-        .expect("write csv");
+    netclone_bench::run_and_emit("tab-res");
 }

@@ -1,1 +1,19 @@
-//! placeholder
+//! Shared driver for the per-figure bench binaries: resolve one
+//! experiment from the [`harness registry`](netclone_cluster::harness),
+//! run it at the env-selected scale on all cores, and emit markdown to
+//! stdout plus CSV under `results/` — the benches carry no per-figure
+//! plumbing of their own.
+
+use netclone_cluster::experiments::Scale;
+use netclone_cluster::harness::{default_jobs, find, RunCtx};
+
+/// Runs the registry experiment `id` at `NETCLONE_BENCH_SCALE` and
+/// emits markdown + `results/` CSVs. Panics on an unknown id — the
+/// bench names are fixed at compile time.
+pub fn run_and_emit(id: &str) {
+    let exp = find(id).unwrap_or_else(|| panic!("unknown experiment id {id:?}"));
+    let ctx = RunCtx::new(Scale::from_env()).with_jobs(default_jobs());
+    let report = exp.run(&ctx);
+    println!("{}", report.to_markdown());
+    report.write_csv("results").expect("write csv");
+}

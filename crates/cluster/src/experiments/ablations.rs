@@ -12,13 +12,15 @@
 //!   clone more under load and pay for it in clone drops and tail — the
 //!   "complex performance profiling" problem the paper avoids.
 
-use netclone_stats::Table;
+use netclone_stats::{Report, Table};
 use netclone_workloads::exp25;
 
-use crate::experiments::scale::Scale;
+use crate::harness::{Experiment, RunCtx};
 use crate::scenario::Scenario;
 use crate::scheme::Scheme;
 use crate::sim::Sim;
+
+const TITLE: &str = "Design-choice ablations (filter tables, group ordering, clone threshold)";
 
 /// Result of the filter-table-count ablation.
 pub struct FilterAblation {
@@ -48,12 +50,11 @@ impl FilterAblation {
 /// unobservable at testbed rates (which is the point of the sizing); the
 /// ablation shrinks the tables to 2^7 slots so the *relief* extra tables
 /// provide is measurable.
-pub fn filter_tables(scale: Scale) -> FilterAblation {
-    let mut rows = Vec::new();
-    for n_tables in [1usize, 2, 4] {
+pub fn filter_tables(ctx: &RunCtx) -> FilterAblation {
+    let rows = ctx.map("ablation:filter", vec![1usize, 2, 4], |n_tables| {
         let mut s = Scenario::synthetic_default(Scheme::NETCLONE, exp25(), 1.0);
-        s.warmup_ns = scale.warmup_ns();
-        s.measure_ns = scale.measure_ns();
+        s.warmup_ns = ctx.scale.warmup_ns();
+        s.measure_ns = ctx.scale.measure_ns();
         s.offered_rps = s.capacity_rps() * 0.5;
         s.n_filter_tables = n_tables;
         s.filter_slots_log2 = 7;
@@ -63,8 +64,8 @@ pub fn filter_tables(scale: Scale) -> FilterAblation {
         } else {
             run.client_redundant as f64 * 1_000.0 / run.completed as f64
         };
-        rows.push((n_tables, leak, run.switch.filter_rate()));
-    }
+        (n_tables, leak, run.switch.filter_rate())
+    });
     FilterAblation { rows }
 }
 
@@ -100,13 +101,11 @@ fn imbalance(served: &[u64]) -> f64 {
 
 /// Runs the group-ordering ablation at high load (where non-cloned
 /// forwarding to "server 1" dominates).
-pub fn group_ordering(scale: Scale) -> GroupAblation {
+pub fn group_ordering(ctx: &RunCtx) -> GroupAblation {
     let mut template = Scenario::synthetic_default(Scheme::NETCLONE, exp25(), 1.0);
-    template.warmup_ns = scale.warmup_ns();
-    template.measure_ns = scale.measure_ns();
+    template.warmup_ns = ctx.scale.warmup_ns();
+    template.measure_ns = ctx.scale.measure_ns();
     template.offered_rps = template.capacity_rps() * 0.85;
-
-    let ordered = Sim::run(template.clone());
 
     // Naive: only (a, b) with a < b — every non-cloned request lands on
     // the lower-numbered candidate.
@@ -117,12 +116,17 @@ pub fn group_ordering(scale: Scale) -> GroupAblation {
             naive.push((a, b));
         }
     }
-    template.custom_groups = Some(naive);
-    let unordered = Sim::run(template);
+    let mut naive_scenario = template.clone();
+    naive_scenario.custom_groups = Some(naive);
 
+    let imbalances = ctx.map(
+        "ablation:groups",
+        vec![template, naive_scenario],
+        |scenario| imbalance(&Sim::run(scenario).per_server_served),
+    );
     GroupAblation {
-        ordered_imbalance: imbalance(&ordered.per_server_served),
-        unordered_imbalance: imbalance(&unordered.per_server_served),
+        ordered_imbalance: imbalances[0],
+        unordered_imbalance: imbalances[1],
     }
 }
 
@@ -156,12 +160,11 @@ impl ThresholdAblation {
 
 /// Runs the cloning-threshold ablation at high load, where the condition
 /// matters most.
-pub fn clone_threshold(scale: Scale) -> ThresholdAblation {
-    let mut rows = Vec::new();
-    for thr in [1u16, 2, 4] {
+pub fn clone_threshold(ctx: &RunCtx) -> ThresholdAblation {
+    let rows = ctx.map("ablation:threshold", vec![1u16, 2, 4], |thr| {
         let mut s = Scenario::synthetic_default(Scheme::NETCLONE, exp25(), 1.0);
-        s.warmup_ns = scale.warmup_ns();
-        s.measure_ns = scale.measure_ns();
+        s.warmup_ns = ctx.scale.warmup_ns();
+        s.measure_ns = ctx.scale.measure_ns();
         s.offered_rps = s.capacity_rps() * 0.8;
         s.clone_condition = netclone_core::CloneCondition::QueueBelow(thr);
         let run = Sim::run(s);
@@ -170,17 +173,45 @@ pub fn clone_threshold(scale: Scale) -> ThresholdAblation {
         } else {
             run.server_clone_drops as f64 * 1_000.0 / run.switch.requests as f64
         };
-        rows.push((thr, run.switch.clone_rate(), drops, run.p99_us()));
-    }
+        (thr, run.switch.clone_rate(), drops, run.p99_us())
+    });
     ThresholdAblation { rows }
 }
 
-/// Renders all ablations.
-pub fn render(scale: Scale) -> String {
-    format!(
-        "## ablations\n\n### Filter-table count (§3.5)\n\n{}\n### Group ordering (§3.3)\n\n{}\n### Cloning threshold (§3.4 alternative)\n\n{}",
-        filter_tables(scale).to_table().to_markdown(),
-        group_ordering(scale).to_table().to_markdown(),
-        clone_threshold(scale).to_table().to_markdown()
-    )
+/// Runs all three ablations into the unified report artifact.
+pub fn run(ctx: &RunCtx) -> Report {
+    Report::new("ablations", TITLE)
+        .with_section(
+            "Filter-table count (§3.5)",
+            "ablation_filter_tables",
+            filter_tables(ctx).to_table(),
+        )
+        .with_section(
+            "Group ordering (§3.3)",
+            "ablation_group_ordering",
+            group_ordering(ctx).to_table(),
+        )
+        .with_section(
+            "Cloning threshold (§3.4 alternative)",
+            "ablation_clone_threshold",
+            clone_threshold(ctx).to_table(),
+        )
+}
+
+/// The ablation suite in the experiment registry.
+pub struct Ablations;
+
+impl Experiment for Ablations {
+    fn id(&self) -> &'static str {
+        "ablations"
+    }
+    fn title(&self) -> &'static str {
+        TITLE
+    }
+    fn tags(&self) -> &'static [&'static str] {
+        &["ablation", "design"]
+    }
+    fn run(&self, ctx: &RunCtx) -> Report {
+        run(ctx)
+    }
 }

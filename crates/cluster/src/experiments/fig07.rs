@@ -11,45 +11,64 @@
 //! for the 25 μs workloads); for the 50 μs workloads the high-load
 //! improvement becomes negligible.
 
+use netclone_stats::Report;
 use netclone_workloads::{bimodal_25_250, bimodal_50_500, exp25, exp50, SyntheticWorkload};
 
-use crate::experiments::panel::{Figure, Panel, Series};
-use crate::experiments::scale::Scale;
+use crate::experiments::panel::Figure;
+use crate::harness::{run_sweeps, Experiment, RunCtx, SweepSpec};
 use crate::scenario::Scenario;
 use crate::scheme::Scheme;
-use crate::sweep::{capacity_fractions, sweep};
+use crate::sweep::capacity_fractions;
+
+const TITLE: &str =
+    "Synthetic workloads: p99 latency vs throughput (Baseline / C-Clone / NetClone, 6 workers)";
 
 /// The figure's workloads, in panel order.
 pub fn workloads() -> Vec<SyntheticWorkload> {
     vec![exp25(), bimodal_25_250(), exp50(), bimodal_50_500()]
 }
 
-/// Runs the figure at the given scale.
-pub fn run(scale: Scale) -> Figure {
+/// Runs the figure on the given context.
+pub fn run(ctx: &RunCtx) -> Figure {
     let schemes = [Scheme::Baseline, Scheme::CClone, Scheme::NETCLONE];
-    let mut panels = Vec::new();
+    let mut specs = Vec::new();
     for wl in workloads() {
         let mut template = Scenario::synthetic_default(Scheme::Baseline, wl, 1.0);
-        template.warmup_ns = scale.warmup_ns();
-        template.measure_ns = scale.measure_ns();
-        let rates = capacity_fractions(&template, 0.08, 0.95, scale.sweep_points());
-        let mut series = Vec::new();
+        template.warmup_ns = ctx.scale.warmup_ns();
+        template.measure_ns = ctx.scale.measure_ns();
+        let rates = capacity_fractions(&template, 0.08, 0.95, ctx.scale.sweep_points());
         for scheme in schemes {
             let mut t = template.clone();
             t.scheme = scheme;
-            series.push(Series {
+            specs.push(SweepSpec {
+                panel: wl.label(),
                 scheme: scheme.label(),
-                points: sweep(&t, &rates),
+                template: t,
+                rates: rates.clone(),
             });
         }
-        panels.push(Panel {
-            name: wl.label(),
-            series,
-        });
     }
     Figure {
         id: "fig07",
-        title: "Synthetic workloads: p99 latency vs throughput (Baseline / C-Clone / NetClone, 6 workers)",
-        panels,
+        title: TITLE,
+        panels: run_sweeps(ctx, "fig07", specs),
+    }
+}
+
+/// Figure 7 in the experiment registry.
+pub struct Fig07;
+
+impl Experiment for Fig07 {
+    fn id(&self) -> &'static str {
+        "fig07"
+    }
+    fn title(&self) -> &'static str {
+        TITLE
+    }
+    fn tags(&self) -> &'static [&'static str] {
+        &["figure", "sweep", "synthetic"]
+    }
+    fn run(&self, ctx: &RunCtx) -> Report {
+        run(ctx).into_report()
     }
 }

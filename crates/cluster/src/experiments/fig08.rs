@@ -8,19 +8,23 @@
 //! C-Clone exhibit low throughput … LÆDGE performs even worse than
 //! C-Clone since it relies on a CPU-based coordinator."
 
+use netclone_stats::Report;
 use netclone_workloads::{bimodal_25_250, exp25};
 
 use crate::calib;
-use crate::experiments::panel::{Figure, Panel, Series};
-use crate::experiments::scale::Scale;
+use crate::experiments::panel::Figure;
+use crate::harness::{run_sweeps, Experiment, RunCtx, SweepSpec};
 use crate::scenario::{Scenario, ServerSpec};
 use crate::scheme::Scheme;
-use crate::sweep::{capacity_fractions, sweep};
+use crate::sweep::capacity_fractions;
 
-/// Runs the figure at the given scale.
-pub fn run(scale: Scale) -> Figure {
+const TITLE: &str =
+    "Scalability comparison: C-Clone / LAEDGE / NetClone (5 workers, one host as coordinator)";
+
+/// Runs the figure on the given context.
+pub fn run(ctx: &RunCtx) -> Figure {
     let schemes = [Scheme::CClone, Scheme::Laedge, Scheme::NETCLONE];
-    let mut panels = Vec::new();
+    let mut specs = Vec::new();
     for wl in [exp25(), bimodal_25_250()] {
         let mut template = Scenario::synthetic_default(Scheme::CClone, wl, 1.0);
         template.servers = vec![
@@ -29,26 +33,41 @@ pub fn run(scale: Scale) -> Figure {
             };
             5
         ];
-        template.warmup_ns = scale.warmup_ns();
-        template.measure_ns = scale.measure_ns();
-        let rates = capacity_fractions(&template, 0.05, 0.9, scale.sweep_points());
-        let mut series = Vec::new();
+        template.warmup_ns = ctx.scale.warmup_ns();
+        template.measure_ns = ctx.scale.measure_ns();
+        let rates = capacity_fractions(&template, 0.05, 0.9, ctx.scale.sweep_points());
         for scheme in schemes {
             let mut t = template.clone();
             t.scheme = scheme;
-            series.push(Series {
+            specs.push(SweepSpec {
+                panel: wl.label(),
                 scheme: scheme.label(),
-                points: sweep(&t, &rates),
+                template: t,
+                rates: rates.clone(),
             });
         }
-        panels.push(Panel {
-            name: wl.label(),
-            series,
-        });
     }
     Figure {
         id: "fig08",
-        title: "Scalability comparison: C-Clone / LAEDGE / NetClone (5 workers, one host as coordinator)",
-        panels,
+        title: TITLE,
+        panels: run_sweeps(ctx, "fig08", specs),
+    }
+}
+
+/// Figure 8 in the experiment registry.
+pub struct Fig08;
+
+impl Experiment for Fig08 {
+    fn id(&self) -> &'static str {
+        "fig08"
+    }
+    fn title(&self) -> &'static str {
+        TITLE
+    }
+    fn tags(&self) -> &'static [&'static str] {
+        &["figure", "sweep", "comparison", "laedge"]
+    }
+    fn run(&self, ctx: &RunCtx) -> Report {
+        run(ctx).into_report()
     }
 }

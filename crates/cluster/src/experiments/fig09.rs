@@ -7,18 +7,21 @@
 //! high loads (clone-drop processing cost + herding on a small idle pool),
 //! and the effect fades at 6 servers.
 
+use netclone_stats::Report;
 use netclone_workloads::exp25;
 
 use crate::calib;
-use crate::experiments::panel::{Figure, Panel, Series};
-use crate::experiments::scale::Scale;
+use crate::experiments::panel::Figure;
+use crate::harness::{run_sweeps, Experiment, RunCtx, SweepSpec};
 use crate::scenario::{Scenario, ServerSpec};
 use crate::scheme::Scheme;
-use crate::sweep::{capacity_fractions, sweep};
+use crate::sweep::capacity_fractions;
 
-/// Runs the figure at the given scale.
-pub fn run(scale: Scale) -> Figure {
-    let mut panels = Vec::new();
+const TITLE: &str = "Impact of the number of servers (Exp(25); 2/4/6 workers)";
+
+/// Runs the figure on the given context.
+pub fn run(ctx: &RunCtx) -> Figure {
+    let mut specs = Vec::new();
     for n_servers in [2usize, 4, 6] {
         let mut template = Scenario::synthetic_default(Scheme::Baseline, exp25(), 1.0);
         template.servers = vec![
@@ -27,15 +30,15 @@ pub fn run(scale: Scale) -> Figure {
             };
             n_servers
         ];
-        template.warmup_ns = scale.warmup_ns();
-        template.measure_ns = scale.measure_ns();
+        template.warmup_ns = ctx.scale.warmup_ns();
+        template.measure_ns = ctx.scale.measure_ns();
         // "very high loads" included: run past the knee.
-        let rates = capacity_fractions(&template, 0.1, 1.0, scale.sweep_points());
-        let mut series = Vec::new();
+        let rates = capacity_fractions(&template, 0.1, 1.0, ctx.scale.sweep_points());
         for scheme in [Scheme::Baseline, Scheme::NETCLONE] {
             let mut t = template.clone();
             t.scheme = scheme;
-            series.push(Series {
+            specs.push(SweepSpec {
+                panel: format!("{n_servers} servers"),
                 scheme: match (scheme, n_servers) {
                     (Scheme::Baseline, 2) => "Baseline(2)",
                     (Scheme::Baseline, 4) => "Baseline(4)",
@@ -44,17 +47,32 @@ pub fn run(scale: Scale) -> Figure {
                     (_, 4) => "NetClone(4)",
                     (_, _) => "NetClone(6)",
                 },
-                points: sweep(&t, &rates),
+                template: t,
+                rates: rates.clone(),
             });
         }
-        panels.push(Panel {
-            name: format!("{n_servers} servers"),
-            series,
-        });
     }
     Figure {
         id: "fig09",
-        title: "Impact of the number of servers (Exp(25); 2/4/6 workers)",
-        panels,
+        title: TITLE,
+        panels: run_sweeps(ctx, "fig09", specs),
+    }
+}
+
+/// Figure 9 in the experiment registry.
+pub struct Fig09;
+
+impl Experiment for Fig09 {
+    fn id(&self) -> &'static str {
+        "fig09"
+    }
+    fn title(&self) -> &'static str {
+        TITLE
+    }
+    fn tags(&self) -> &'static [&'static str] {
+        &["figure", "sweep", "scalability"]
+    }
+    fn run(&self, ctx: &RunCtx) -> Report {
+        run(ctx).into_report()
     }
 }

@@ -10,14 +10,17 @@
 //! homogeneous settings it can trail plain NetClone at very high loads
 //! (more tracked-vs-actual state mismatches).
 
+use netclone_stats::Report;
 use netclone_workloads::{bimodal_25_250, exp25};
 
 use crate::calib;
-use crate::experiments::panel::{Figure, Panel, Series};
-use crate::experiments::scale::Scale;
+use crate::experiments::panel::Figure;
+use crate::harness::{run_sweeps, Experiment, RunCtx, SweepSpec};
 use crate::scenario::{Scenario, ServerSpec};
 use crate::scheme::Scheme;
-use crate::sweep::{capacity_fractions, sweep};
+use crate::sweep::capacity_fractions;
+
+const TITLE: &str = "NetClone + RackSched under homogeneous/heterogeneous workers";
 
 fn hetero_servers() -> Vec<ServerSpec> {
     let mut v = vec![
@@ -35,49 +38,65 @@ fn hetero_servers() -> Vec<ServerSpec> {
     v
 }
 
-/// Runs the figure at the given scale.
-pub fn run(scale: Scale) -> Figure {
+/// Runs the figure on the given context.
+pub fn run(ctx: &RunCtx) -> Figure {
     let schemes = [Scheme::Baseline, Scheme::NETCLONE, Scheme::NETCLONE_RS];
-    let mut panels = Vec::new();
+    let mut specs = Vec::new();
     for wl in [exp25(), bimodal_25_250()] {
         for hetero in [false, true] {
             let mut template = Scenario::synthetic_default(Scheme::Baseline, wl, 1.0);
             if hetero {
                 template.servers = hetero_servers();
             }
-            template.warmup_ns = scale.warmup_ns();
-            template.measure_ns = scale.measure_ns();
-            let rates = capacity_fractions(&template, 0.1, 0.95, scale.sweep_points());
-            let mut series = Vec::new();
+            template.warmup_ns = ctx.scale.warmup_ns();
+            template.measure_ns = ctx.scale.measure_ns();
+            let rates = capacity_fractions(&template, 0.1, 0.95, ctx.scale.sweep_points());
+            let panel = format!(
+                "{}-{}",
+                if wl.label().starts_with("Exp") {
+                    "Exp"
+                } else {
+                    "Bimodal"
+                },
+                if hetero {
+                    "Heterogeneous"
+                } else {
+                    "Homogeneous"
+                }
+            );
             for scheme in schemes {
                 let mut t = template.clone();
                 t.scheme = scheme;
-                series.push(Series {
+                specs.push(SweepSpec {
+                    panel: panel.clone(),
                     scheme: scheme.label(),
-                    points: sweep(&t, &rates),
+                    template: t,
+                    rates: rates.clone(),
                 });
             }
-            panels.push(Panel {
-                name: format!(
-                    "{}-{}",
-                    if wl.label().starts_with("Exp") {
-                        "Exp"
-                    } else {
-                        "Bimodal"
-                    },
-                    if hetero {
-                        "Heterogeneous"
-                    } else {
-                        "Homogeneous"
-                    }
-                ),
-                series,
-            });
         }
     }
     Figure {
         id: "fig10",
-        title: "NetClone + RackSched under homogeneous/heterogeneous workers",
-        panels,
+        title: TITLE,
+        panels: run_sweeps(ctx, "fig10", specs),
+    }
+}
+
+/// Figure 10 in the experiment registry.
+pub struct Fig10;
+
+impl Experiment for Fig10 {
+    fn id(&self) -> &'static str {
+        "fig10"
+    }
+    fn title(&self) -> &'static str {
+        TITLE
+    }
+    fn tags(&self) -> &'static [&'static str] {
+        &["figure", "sweep", "racksched"]
+    }
+    fn run(&self, ctx: &RunCtx) -> Report {
+        run(ctx).into_report()
     }
 }

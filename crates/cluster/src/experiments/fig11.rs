@@ -8,17 +8,23 @@
 //! 22.59× for 99/1) and shrinks with load; C-Clone matches NetClone's
 //! latency but at half the throughput.
 
-use crate::experiments::panel::{Figure, Panel, Series};
-use crate::experiments::scale::Scale;
+use netclone_stats::Report;
+
+use crate::experiments::panel::Figure;
+use crate::harness::{run_sweeps, Experiment, RunCtx, SweepSpec};
 use crate::scenario::{Scenario, Workload};
 use crate::scheme::Scheme;
-use crate::sweep::{capacity_fractions, sweep};
+use crate::sweep::capacity_fractions;
 
-/// Runs the figure at the given scale; `memcached` switches the cost
+pub(crate) const TITLE_REDIS: &str = "Redis workload: p99 vs throughput (GET/SCAN mixes)";
+pub(crate) const TITLE_MEMCACHED: &str = "Memcached workload: p99 vs throughput (GET/SCAN mixes)";
+
+/// Runs the figure on the given context; `memcached` switches the cost
 /// model (shared implementation with Fig. 12).
-pub fn run_kv(scale: Scale, memcached: bool) -> Figure {
+pub fn run_kv(ctx: &RunCtx, memcached: bool) -> Figure {
     let schemes = [Scheme::Baseline, Scheme::CClone, Scheme::NETCLONE];
-    let mut panels = Vec::new();
+    let id = if memcached { "fig12" } else { "fig11" };
+    let mut specs = Vec::new();
     for get_frac in [0.99, 0.90] {
         let workload = if memcached {
             Workload::memcached(get_frac)
@@ -26,39 +32,55 @@ pub fn run_kv(scale: Scale, memcached: bool) -> Figure {
             Workload::redis(get_frac)
         };
         let mut template = Scenario::kv_default(Scheme::Baseline, workload, 1.0);
-        template.warmup_ns = scale.warmup_ns();
-        template.measure_ns = scale.measure_ns().saturating_mul(2); // rarer SCANs need samples
-        let rates = capacity_fractions(&template, 0.08, 0.92, scale.sweep_points());
-        let mut series = Vec::new();
+        template.warmup_ns = ctx.scale.warmup_ns();
+        template.measure_ns = ctx.scale.measure_ns().saturating_mul(2); // rarer SCANs need samples
+        let rates = capacity_fractions(&template, 0.08, 0.92, ctx.scale.sweep_points());
+        let panel = format!(
+            "{}%-GET,{}%-SCAN",
+            (get_frac * 100.0).round() as u32,
+            ((1.0 - get_frac) * 100.0).round() as u32
+        );
         for scheme in schemes {
             let mut t = template.clone();
             t.scheme = scheme;
-            series.push(Series {
+            specs.push(SweepSpec {
+                panel: panel.clone(),
                 scheme: scheme.label(),
-                points: sweep(&t, &rates),
+                template: t,
+                rates: rates.clone(),
             });
         }
-        panels.push(Panel {
-            name: format!(
-                "{}%-GET,{}%-SCAN",
-                (get_frac * 100.0).round() as u32,
-                ((1.0 - get_frac) * 100.0).round() as u32
-            ),
-            series,
-        });
     }
     Figure {
-        id: if memcached { "fig12" } else { "fig11" },
+        id,
         title: if memcached {
-            "Memcached workload: p99 vs throughput (GET/SCAN mixes)"
+            TITLE_MEMCACHED
         } else {
-            "Redis workload: p99 vs throughput (GET/SCAN mixes)"
+            TITLE_REDIS
         },
-        panels,
+        panels: run_sweeps(ctx, id, specs),
     }
 }
 
-/// Runs Figure 11 (Redis).
-pub fn run(scale: Scale) -> Figure {
-    run_kv(scale, false)
+/// Runs Figure 11 (Redis) on the given context.
+pub fn run(ctx: &RunCtx) -> Figure {
+    run_kv(ctx, false)
+}
+
+/// Figure 11 in the experiment registry.
+pub struct Fig11;
+
+impl Experiment for Fig11 {
+    fn id(&self) -> &'static str {
+        "fig11"
+    }
+    fn title(&self) -> &'static str {
+        TITLE_REDIS
+    }
+    fn tags(&self) -> &'static [&'static str] {
+        &["figure", "sweep", "kv", "redis"]
+    }
+    fn run(&self, ctx: &RunCtx) -> Report {
+        run(ctx).into_report()
+    }
 }

@@ -8,15 +8,15 @@
 //! (b) Ten repeated runs at 90 % load: mean ± σ of the p99 for Baseline vs
 //! NetClone — NetClone can occasionally lose a run but wins on average.
 
-use std::path::Path;
-
-use netclone_stats::{Summary, Table};
+use netclone_stats::{Report, Summary, Table};
 use netclone_workloads::exp25;
 
-use crate::experiments::scale::Scale;
+use crate::harness::{Experiment, RunCtx};
 use crate::scenario::Scenario;
 use crate::scheme::Scheme;
 use crate::sim::Sim;
+
+const TITLE: &str = "Confidence of the empty-queue signal";
 
 /// Results of both subfigures.
 pub struct Fig13 {
@@ -55,64 +55,82 @@ impl Fig13 {
         t
     }
 
-    /// Writes both CSVs.
-    pub fn write_csv<P: AsRef<Path>>(&self, dir: P) -> std::io::Result<()> {
-        self.table_a().write_csv(dir.as_ref().join("fig13a.csv"))?;
-        self.table_b().write_csv(dir.as_ref().join("fig13b.csv"))
-    }
-
-    /// Renders both tables.
-    pub fn render(&self) -> String {
-        format!(
-            "## fig13 — Confidence of the empty-queue signal\n\n### (a) empty queues vs load\n\n{}\n### (b) p99 at 90% load, {} runs\n\n{}",
-            self.table_a().to_markdown(),
-            self.baseline_p99_us.count(),
-            self.table_b().to_markdown()
-        )
+    /// Converts both subfigures into the unified report artifact.
+    pub fn into_report(self) -> Report {
+        let runs = self.baseline_p99_us.count();
+        Report::new("fig13", TITLE)
+            .with_section("(a) empty queues vs load", "fig13a", self.table_a())
+            .with_section(
+                format!("(b) p99 at 90% load, {runs} runs"),
+                "fig13b",
+                self.table_b(),
+            )
     }
 }
 
-/// Runs the experiment at the given scale.
-pub fn run(scale: Scale) -> Fig13 {
+/// Runs the experiment on the given context.
+pub fn run(ctx: &RunCtx) -> Fig13 {
     let mut template = Scenario::synthetic_default(Scheme::NETCLONE, exp25(), 1.0);
-    template.warmup_ns = scale.warmup_ns();
-    template.measure_ns = scale.measure_ns();
+    template.warmup_ns = ctx.scale.warmup_ns();
+    template.measure_ns = ctx.scale.measure_ns();
     let cap = template.capacity_rps();
 
     // (a): empty-queue fraction vs load, 10%..100%.
-    let loads: Vec<f64> = match scale {
-        Scale::Smoke => vec![10.0, 50.0, 90.0],
+    let loads: Vec<f64> = match ctx.scale {
+        crate::experiments::Scale::Smoke => vec![10.0, 50.0, 90.0],
         _ => (1..=10).map(|i| i as f64 * 10.0).collect(),
     };
-    let empty_queue = loads
-        .iter()
-        .map(|&pct| {
-            let mut s = template.clone();
-            s.offered_rps = cap * pct / 100.0;
-            let run = Sim::run(s);
-            (pct, run.empty_queue_fraction() * 100.0)
-        })
-        .collect();
+    let empty_queue = ctx.map("fig13a", loads, |pct| {
+        let mut s = template.clone();
+        s.offered_rps = cap * pct / 100.0;
+        let run = Sim::run(s);
+        (pct, run.empty_queue_fraction() * 100.0)
+    });
 
     // (b): repeated runs at 90% load with different seeds.
+    let mut cells = Vec::new();
+    for rep in 0..ctx.scale.repeats() {
+        for scheme in [Scheme::Baseline, Scheme::NETCLONE] {
+            cells.push((rep, scheme));
+        }
+    }
+    let p99s = ctx.map("fig13b", cells, |(rep, scheme)| {
+        let mut s = template.clone();
+        s.scheme = scheme;
+        s.offered_rps = cap * 0.9;
+        s.seed = 1000 + rep as u64;
+        (scheme, Sim::run(s).p99_us())
+    });
     let mut baseline = Summary::new();
     let mut netclone = Summary::new();
-    for rep in 0..scale.repeats() {
-        for (scheme, acc) in [
-            (Scheme::Baseline, &mut baseline),
-            (Scheme::NETCLONE, &mut netclone),
-        ] {
-            let mut s = template.clone();
-            s.scheme = scheme;
-            s.offered_rps = cap * 0.9;
-            s.seed = 1000 + rep as u64;
-            let run = Sim::run(s);
-            acc.add(run.p99_us());
+    for (scheme, p99) in p99s {
+        if scheme == Scheme::Baseline {
+            baseline.add(p99);
+        } else {
+            netclone.add(p99);
         }
     }
     Fig13 {
         empty_queue,
         baseline_p99_us: baseline,
         netclone_p99_us: netclone,
+    }
+}
+
+/// Figure 13 in the experiment registry.
+pub struct Fig13Exp;
+
+impl Experiment for Fig13Exp {
+    fn id(&self) -> &'static str {
+        "fig13"
+    }
+    fn title(&self) -> &'static str {
+        TITLE
+    }
+    fn tags(&self) -> &'static [&'static str] {
+        &["figure", "state-signal"]
+    }
+    fn run(&self, ctx: &RunCtx) -> Report {
+        run(ctx).into_report()
     }
 }

@@ -6,41 +6,59 @@
 //! service-time variability is low … performance improvement slightly
 //! decreases."
 
+use netclone_stats::Report;
 use netclone_workloads::{bimodal_25_250, exp25, Jitter};
 
-use crate::experiments::panel::{Figure, Panel, Series};
-use crate::experiments::scale::Scale;
+use crate::experiments::panel::Figure;
+use crate::harness::{run_sweeps, Experiment, RunCtx, SweepSpec};
 use crate::scenario::Scenario;
 use crate::scheme::Scheme;
-use crate::sweep::{capacity_fractions, sweep};
+use crate::sweep::capacity_fractions;
 
-/// Runs the figure at the given scale.
-pub fn run(scale: Scale) -> Figure {
+const TITLE: &str = "Low service-time variability (p = 0.001)";
+
+/// Runs the figure on the given context.
+pub fn run(ctx: &RunCtx) -> Figure {
     let schemes = [Scheme::Baseline, Scheme::CClone, Scheme::NETCLONE];
-    let mut panels = Vec::new();
+    let mut specs = Vec::new();
     for wl in [exp25(), bimodal_25_250()] {
         let mut template = Scenario::synthetic_default(Scheme::Baseline, wl, 1.0);
         template.jitter = Jitter::LOW;
-        template.warmup_ns = scale.warmup_ns();
-        template.measure_ns = scale.measure_ns();
-        let rates = capacity_fractions(&template, 0.08, 0.95, scale.sweep_points());
-        let mut series = Vec::new();
+        template.warmup_ns = ctx.scale.warmup_ns();
+        template.measure_ns = ctx.scale.measure_ns();
+        let rates = capacity_fractions(&template, 0.08, 0.95, ctx.scale.sweep_points());
         for scheme in schemes {
             let mut t = template.clone();
             t.scheme = scheme;
-            series.push(Series {
+            specs.push(SweepSpec {
+                panel: wl.label(),
                 scheme: scheme.label(),
-                points: sweep(&t, &rates),
+                template: t,
+                rates: rates.clone(),
             });
         }
-        panels.push(Panel {
-            name: wl.label(),
-            series,
-        });
     }
     Figure {
         id: "fig14",
-        title: "Low service-time variability (p = 0.001)",
-        panels,
+        title: TITLE,
+        panels: run_sweeps(ctx, "fig14", specs),
+    }
+}
+
+/// Figure 14 in the experiment registry.
+pub struct Fig14;
+
+impl Experiment for Fig14 {
+    fn id(&self) -> &'static str {
+        "fig14"
+    }
+    fn title(&self) -> &'static str {
+        TITLE
+    }
+    fn tags(&self) -> &'static [&'static str] {
+        &["figure", "sweep", "low-variability"]
+    }
+    fn run(&self, ctx: &RunCtx) -> Report {
+        run(ctx).into_report()
     }
 }

@@ -5,40 +5,60 @@
 //! matters; as load grows the extra responses overwhelm the client
 //! receivers and the unfiltered variant becomes *worse than the baseline*.
 
+use netclone_stats::Report;
 use netclone_workloads::exp25;
 
-use crate::experiments::panel::{Figure, Panel, Series};
-use crate::experiments::scale::Scale;
+use crate::experiments::panel::Figure;
+use crate::harness::{run_sweeps, Experiment, RunCtx, SweepSpec};
 use crate::scenario::Scenario;
 use crate::scheme::Scheme;
-use crate::sweep::{capacity_fractions, sweep};
+use crate::sweep::capacity_fractions;
 
-/// Runs the figure at the given scale.
-pub fn run(scale: Scale) -> Figure {
+const TITLE: &str = "Impact of redundant response filtering (Exp(25))";
+
+/// Runs the figure on the given context.
+pub fn run(ctx: &RunCtx) -> Figure {
     let schemes = [
         Scheme::Baseline,
         Scheme::NETCLONE_NOFILTER,
         Scheme::NETCLONE,
     ];
     let mut template = Scenario::synthetic_default(Scheme::Baseline, exp25(), 1.0);
-    template.warmup_ns = scale.warmup_ns();
-    template.measure_ns = scale.measure_ns();
-    let rates = capacity_fractions(&template, 0.1, 0.98, scale.sweep_points());
-    let mut series = Vec::new();
+    template.warmup_ns = ctx.scale.warmup_ns();
+    template.measure_ns = ctx.scale.measure_ns();
+    let rates = capacity_fractions(&template, 0.1, 0.98, ctx.scale.sweep_points());
+    let mut specs = Vec::new();
     for scheme in schemes {
         let mut t = template.clone();
         t.scheme = scheme;
-        series.push(Series {
+        specs.push(SweepSpec {
+            panel: "Exp(25)".into(),
             scheme: scheme.label(),
-            points: sweep(&t, &rates),
+            template: t,
+            rates: rates.clone(),
         });
     }
     Figure {
         id: "fig15",
-        title: "Impact of redundant response filtering (Exp(25))",
-        panels: vec![Panel {
-            name: "Exp(25)".into(),
-            series,
-        }],
+        title: TITLE,
+        panels: run_sweeps(ctx, "fig15", specs),
+    }
+}
+
+/// Figure 15 in the experiment registry.
+pub struct Fig15;
+
+impl Experiment for Fig15 {
+    fn id(&self) -> &'static str {
+        "fig15"
+    }
+    fn title(&self) -> &'static str {
+        TITLE
+    }
+    fn tags(&self) -> &'static [&'static str] {
+        &["figure", "sweep", "filtering"]
+    }
+    fn run(&self, ctx: &RunCtx) -> Report {
+        run(ctx).into_report()
     }
 }

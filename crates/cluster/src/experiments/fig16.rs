@@ -5,15 +5,16 @@
 //! around 10 s ("the downtime … depends on the switch architecture").
 //! Recovery is complete because only soft state is lost (§3.6).
 
-use std::path::Path;
-
-use netclone_stats::Table;
+use netclone_stats::{Report, Table};
 use netclone_workloads::exp25;
 
 use crate::experiments::scale::Scale;
+use crate::harness::{Experiment, RunCtx};
 use crate::scenario::{Scenario, SwitchFailurePlan};
 use crate::scheme::Scheme;
 use crate::sim::Sim;
+
+const TITLE: &str = "Switch failure timeline (stop 5s, reactivate 7s, up ~10s)";
 
 /// The timeline result.
 pub struct Fig16 {
@@ -37,20 +38,17 @@ impl Fig16 {
         t
     }
 
-    /// Writes `fig16.csv`.
-    pub fn write_csv<P: AsRef<Path>>(&self, dir: P) -> std::io::Result<()> {
-        self.to_table().write_csv(dir.as_ref().join("fig16.csv"))
-    }
-
-    /// Renders with annotations.
-    pub fn render(&self) -> String {
-        format!(
-            "## fig16 — Switch failure timeline (stop {:.1}s, reactivate {:.1}s, up {:.1}s)\n\n{}",
-            self.fail_at_s,
-            self.reactivate_at_s,
-            self.up_at_s,
-            self.to_table().to_markdown()
-        )
+    /// Converts the timeline into the unified report artifact, with the
+    /// stop/reactivate/bring-up marks as section notes.
+    pub fn into_report(self) -> Report {
+        let note = format!(
+            "stop @ {:.1}s, reactivate @ {:.1}s, forwarding up @ {:.1}s",
+            self.fail_at_s, self.reactivate_at_s, self.up_at_s
+        );
+        let table = self.to_table();
+        Report::new("fig16", TITLE)
+            .with_table(table)
+            .with_note(note)
     }
 
     /// Mean throughput over buckets whose centre falls in `[from_s, to_s)`.
@@ -69,12 +67,12 @@ impl Fig16 {
     }
 }
 
-/// Runs the timeline. At `Scale::Full` this is the paper's exact
-/// 25 s / 5 s / 7 s layout at 0.8 MRPS; smaller scales compress time by
-/// 10× (Smoke: 50×) while preserving the stop/reactivate/bring-up
-/// proportions.
-pub fn run(scale: Scale) -> Fig16 {
-    let compress = match scale {
+/// Runs the timeline (one simulation — the context only contributes its
+/// scale). At `Scale::Full` this is the paper's exact 25 s / 5 s / 7 s
+/// layout at 0.8 MRPS; smaller scales compress time by 10× (Smoke: 50×)
+/// while preserving the stop/reactivate/bring-up proportions.
+pub fn run(ctx: &RunCtx) -> Fig16 {
+    let compress = match ctx.scale {
         Scale::Smoke => 50,
         Scale::Standard => 10,
         Scale::Full => 1,
@@ -104,5 +102,23 @@ pub fn run(scale: Scale) -> Fig16 {
         fail_at_s: 5.0,
         reactivate_at_s: 7.0,
         up_at_s: 10.0,
+    }
+}
+
+/// Figure 16 in the experiment registry.
+pub struct Fig16Exp;
+
+impl Experiment for Fig16Exp {
+    fn id(&self) -> &'static str {
+        "fig16"
+    }
+    fn title(&self) -> &'static str {
+        TITLE
+    }
+    fn tags(&self) -> &'static [&'static str] {
+        &["figure", "timeline", "failure"]
+    }
+    fn run(&self, ctx: &RunCtx) -> Report {
+        run(ctx).into_report()
     }
 }

@@ -1,9 +1,8 @@
-//! Shared rendering for multi-panel, multi-scheme sweep figures
-//! (the shape of Figs. 7–12, 14, 15).
+//! Shared shape of multi-panel, multi-scheme sweep figures
+//! (Figs. 7–12, 14, 15): typed panels/series for shape assertions, and
+//! the one conversion into the unified [`Report`] artifact.
 
-use std::path::Path;
-
-use netclone_stats::Table;
+use netclone_stats::{Report, Table};
 
 use crate::sweep::SweepPoint;
 
@@ -90,20 +89,11 @@ impl Figure {
         t
     }
 
-    /// Writes `<dir>/<id>.csv`.
-    pub fn write_csv<P: AsRef<Path>>(&self, dir: P) -> std::io::Result<()> {
-        self.to_table()
-            .write_csv(dir.as_ref().join(format!("{}.csv", self.id)))
-    }
-
-    /// Renders the title plus the table.
-    pub fn render(&self) -> String {
-        format!(
-            "## {} — {}\n\n{}",
-            self.id,
-            self.title,
-            self.to_table().to_markdown()
-        )
+    /// Converts the figure into the unified report artifact (one
+    /// section; CSV stem = figure id).
+    pub fn into_report(self) -> Report {
+        let table = self.to_table();
+        Report::new(self.id, self.title).with_table(table)
     }
 }
 
@@ -160,7 +150,7 @@ mod tests {
     }
 
     #[test]
-    fn figure_renders_rows() {
+    fn figure_converts_to_report() {
         let fig = Figure {
             id: "figXX",
             title: "test",
@@ -172,9 +162,12 @@ mod tests {
                 }],
             }],
         };
-        let md = fig.render();
+        assert_eq!(fig.to_table().len(), 1);
+        let report = fig.into_report();
+        let md = report.to_markdown();
         assert!(md.contains("figXX"));
         assert!(md.contains("Baseline"));
-        assert_eq!(fig.to_table().len(), 1);
+        assert_eq!(report.sections.len(), 1);
+        assert_eq!(report.sections[0].csv_stem, "figXX");
     }
 }

@@ -3,7 +3,11 @@
 //! envelope filter-capacity calculation.
 
 use netclone_core::NetCloneSwitch;
-use netclone_stats::Table;
+use netclone_stats::{Report, Table};
+
+use crate::harness::{Experiment, RunCtx};
+
+const TITLE: &str = "Switch resource usage (§4.1)";
 
 /// The report rows: (metric, measured, paper).
 pub fn to_table() -> Table {
@@ -56,12 +60,29 @@ pub fn to_table() -> Table {
     t
 }
 
-/// Renders with the caption.
-pub fn render() -> String {
-    format!(
-        "## tab-res — Switch resource usage (§4.1)\n\n{}",
-        to_table().to_markdown()
-    )
+/// Builds the unified report artifact. The CSV keeps its historical
+/// `tab_resources` stem.
+pub fn report() -> Report {
+    Report::new("tab-res", TITLE).with_section("", "tab_resources", to_table())
+}
+
+/// The §4.1 resource report in the experiment registry (pure — ignores
+/// the context).
+pub struct TabRes;
+
+impl Experiment for TabRes {
+    fn id(&self) -> &'static str {
+        "tab-res"
+    }
+    fn title(&self) -> &'static str {
+        TITLE
+    }
+    fn tags(&self) -> &'static [&'static str] {
+        &["table", "resources"]
+    }
+    fn run(&self, _ctx: &RunCtx) -> Report {
+        report()
+    }
 }
 
 #[cfg(test)]
@@ -70,7 +91,7 @@ mod tests {
 
     #[test]
     fn back_of_envelope_matches_paper() {
-        let md = render();
+        let md = report().to_markdown();
         assert!(md.contains("5.24 BRPS"), "{md}");
         assert!(md.contains("18.04%"));
     }

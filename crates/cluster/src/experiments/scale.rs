@@ -13,15 +13,50 @@ pub enum Scale {
     Full,
 }
 
-impl Scale {
-    /// Reads the scale from `NETCLONE_BENCH_SCALE` (`smoke` / `standard` /
-    /// `full`), defaulting to `Standard`.
-    pub fn from_env() -> Self {
-        match std::env::var("NETCLONE_BENCH_SCALE").as_deref() {
-            Ok("smoke") => Scale::Smoke,
-            Ok("full") => Scale::Full,
-            _ => Scale::Standard,
+/// Error for an unrecognised scale name.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseScaleError(pub String);
+
+impl std::fmt::Display for ParseScaleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown scale {:?} (expected smoke, standard, or full)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseScaleError {}
+
+impl std::str::FromStr for Scale {
+    type Err = ParseScaleError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "smoke" => Ok(Scale::Smoke),
+            "standard" => Ok(Scale::Standard),
+            "full" => Ok(Scale::Full),
+            other => Err(ParseScaleError(other.to_string())),
         }
+    }
+}
+
+impl Scale {
+    /// Reads the scale from `NETCLONE_BENCH_SCALE` (`smoke` / `standard`
+    /// / `full`). Unset means `Standard`; an unrecognised value is an
+    /// error, never a silent default.
+    pub fn try_from_env() -> Result<Self, ParseScaleError> {
+        match std::env::var("NETCLONE_BENCH_SCALE") {
+            Ok(v) => v.parse(),
+            Err(_) => Ok(Scale::Standard),
+        }
+    }
+
+    /// [`Scale::try_from_env`], panicking with the parse error on an
+    /// unrecognised value (for bench binaries without CLI error paths).
+    pub fn from_env() -> Self {
+        Scale::try_from_env().unwrap_or_else(|e| panic!("NETCLONE_BENCH_SCALE: {e}"))
     }
 
     /// Warm-up duration, ns.
@@ -77,7 +112,18 @@ mod tests {
     fn env_parsing_defaults_to_standard() {
         // Not setting the variable in-process: just exercise the default
         // path (the env may be set by the harness; accept any valid value).
-        let s = Scale::from_env();
+        let s = Scale::try_from_env().expect("harness env must hold a valid scale");
         assert!(matches!(s, Scale::Smoke | Scale::Standard | Scale::Full));
+    }
+
+    #[test]
+    fn parsing_accepts_names_and_rejects_junk() {
+        assert_eq!("smoke".parse(), Ok(Scale::Smoke));
+        assert_eq!("standard".parse(), Ok(Scale::Standard));
+        assert_eq!("full".parse(), Ok(Scale::Full));
+        let err = "Full".parse::<Scale>().unwrap_err();
+        assert_eq!(err, ParseScaleError("Full".into()));
+        assert!(err.to_string().contains("smoke, standard, or full"));
+        assert!("".parse::<Scale>().is_err());
     }
 }

@@ -5,7 +5,11 @@
 //! measurable behaviour of the implementations in this repository (the
 //! cross-references are listed in EXPERIMENTS.md).
 
-use netclone_stats::Table;
+use netclone_stats::{Report, Table};
+
+use crate::harness::{Experiment, RunCtx};
+
+const TITLE: &str = "Comparison to existing works";
 
 /// One row of the comparison.
 pub struct SchemeProperties {
@@ -98,12 +102,27 @@ pub fn to_table() -> Table {
     t
 }
 
-/// Renders with the caption.
-pub fn render() -> String {
-    format!(
-        "## tab01 — Comparison to existing works\n\n{}",
-        to_table().to_markdown()
-    )
+/// Builds the unified report artifact.
+pub fn report() -> Report {
+    Report::new("tab01", TITLE).with_table(to_table())
+}
+
+/// Table 1 in the experiment registry (pure — ignores the context).
+pub struct Tab01;
+
+impl Experiment for Tab01 {
+    fn id(&self) -> &'static str {
+        "tab01"
+    }
+    fn title(&self) -> &'static str {
+        TITLE
+    }
+    fn tags(&self) -> &'static [&'static str] {
+        &["table", "qualitative"]
+    }
+    fn run(&self, _ctx: &RunCtx) -> Report {
+        report()
+    }
 }
 
 #[cfg(test)]
@@ -127,6 +146,6 @@ mod tests {
     #[test]
     fn renders_five_property_rows() {
         assert_eq!(to_table().len(), 5);
-        assert!(render().contains("Cloning point"));
+        assert!(report().to_markdown().contains("Cloning point"));
     }
 }

@@ -10,7 +10,10 @@
 //! point and yields a [`metrics::RunResult`]; [`sweep()`](sweep::sweep)
 //! drives load sweeps;
 //! [`experiments`] packages every figure and table of the paper's
-//! evaluation as a callable function returning rendered tables and CSV.
+//! evaluation as an [`harness::Experiment`] producing a unified
+//! [`netclone_stats::Report`]; [`harness::registry()`] lists them all
+//! and [`harness::Runner`] fans their cells out across cores with
+//! results bit-identical to serial execution.
 //!
 //! All physical constants live in [`calib`] — one set, used by every
 //! experiment, documented with their rationale.
@@ -18,6 +21,7 @@
 pub mod build;
 pub mod calib;
 pub mod experiments;
+pub mod harness;
 pub mod metrics;
 pub mod scenario;
 pub mod scheme;
@@ -25,6 +29,7 @@ pub mod sim;
 pub mod sweep;
 
 pub use build::{build_engine, ScenarioBuilder};
+pub use harness::{registry, Experiment, RunCtx, Runner};
 pub use metrics::RunResult;
 pub use scenario::{Scenario, ServerSpec, SwitchFailurePlan, Workload};
 pub use scheme::Scheme;

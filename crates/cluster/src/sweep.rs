@@ -28,26 +28,34 @@ pub struct SweepPoint {
     pub run: RunResult,
 }
 
-/// Runs `template` at each rate in `rates_rps` (total across clients).
+impl SweepPoint {
+    /// Derives a sweep point from one finished run at `offered_rps`.
+    pub fn from_run(offered_rps: f64, run: RunResult) -> Self {
+        let (p50, p99, p999) = run.percentiles_us();
+        SweepPoint {
+            offered_mrps: offered_rps / 1e6,
+            achieved_mrps: run.achieved_mrps(),
+            p50_us: p50,
+            p99_us: p99,
+            p999_us: p999,
+            mean_us: run.mean_us(),
+            clone_rate: run.switch.clone_rate(),
+            empty_queue_fraction: run.empty_queue_fraction(),
+            run,
+        }
+    }
+}
+
+/// Runs `template` at each rate in `rates_rps` (total across clients),
+/// serially. The figures fan the same cells out across threads via
+/// [`harness::run_sweeps`](crate::harness::run_sweeps).
 pub fn sweep(template: &Scenario, rates_rps: &[f64]) -> Vec<SweepPoint> {
     rates_rps
         .iter()
         .map(|&rate| {
             let mut s = template.clone();
             s.offered_rps = rate;
-            let run = Sim::run(s);
-            let (p50, p99, p999) = run.percentiles_us();
-            SweepPoint {
-                offered_mrps: rate / 1e6,
-                achieved_mrps: run.achieved_mrps(),
-                p50_us: p50,
-                p99_us: p99,
-                p999_us: p999,
-                mean_us: run.mean_us(),
-                clone_rate: run.switch.clone_rate(),
-                empty_queue_fraction: run.empty_queue_fraction(),
-                run,
-            }
+            SweepPoint::from_run(rate, Sim::run(s))
         })
         .collect()
 }

@@ -169,7 +169,8 @@ fn empty_queue_fraction_declines_with_load() {
 #[test]
 fn switch_failure_creates_a_throughput_hole_and_recovers() {
     use netclone_cluster::experiments::{fig16, Scale};
-    let f = fig16::run(Scale::Smoke);
+    use netclone_cluster::harness::RunCtx;
+    let f = fig16::run(&RunCtx::new(Scale::Smoke));
     let before = f.mean_mrps_between(1.0, 5.0);
     let during = f.mean_mrps_between(6.0, 9.5);
     let after = f.mean_mrps_between(11.0, 24.0);

@@ -40,7 +40,10 @@ pub fn decode_packet(mut datagram: Bytes) -> Result<(PacketMeta, RpcOp, Bytes), 
     let src_ip = Ipv4(datagram.get_u32());
     let dst_ip = Ipv4(datagram.get_u32());
     let l4_dport = datagram.get_u16();
-    let wire_len = (PREHEADER_LEN + wire::HEADER_LEN + datagram.len()).min(u16::MAX as usize);
+    // The preheader has been consumed; the NetClone header, op, and value
+    // are all still in `datagram`, so the total frame length is just the
+    // preheader plus what remains.
+    let wire_len = (PREHEADER_LEN + datagram.len()).min(u16::MAX as usize);
     let (nc, op) = wire::decode_frame(&mut datagram)?;
     Ok((
         PacketMeta {
@@ -84,6 +87,34 @@ mod tests {
     #[test]
     fn truncated_datagrams_error() {
         assert!(decode_packet(Bytes::from_static(&[1, 2, 3])).is_err());
+    }
+
+    #[test]
+    fn wire_bytes_counts_every_byte_exactly_once() {
+        // Regression: wire_bytes used to add HEADER_LEN to a buffer that
+        // still *contained* the header, counting those 20 bytes twice.
+        let meta =
+            PacketMeta::netclone_request(Ipv4::client(2), NetCloneHdr::request(1, 2, 3, 4), 0);
+
+        // Echo op: 1 tag byte + 8 payload bytes.
+        let dg = encode_packet(&meta, &RpcOp::Echo { class_ns: 25_000 }, &[]);
+        assert_eq!(dg.len(), PREHEADER_LEN + wire::HEADER_LEN + 9);
+        let (m, _, _) = decode_packet(dg).unwrap();
+        assert_eq!(m.wire_bytes, 39, "10B preheader + 20B header + 9B op");
+
+        // Get op (1 + 16 key bytes) with a 64-byte value.
+        let dg = encode_packet(
+            &meta,
+            &RpcOp::Get {
+                key: KvKey::from_index(1),
+            },
+            &[0xAB; 64],
+        );
+        let total = dg.len();
+        assert_eq!(total, PREHEADER_LEN + wire::HEADER_LEN + 17 + 64);
+        let (m, _, val) = decode_packet(dg).unwrap();
+        assert_eq!(m.wire_bytes as usize, total);
+        assert_eq!(val.len(), 64);
     }
 
     #[test]

@@ -78,7 +78,8 @@ pub fn decode_header(src: &mut Bytes) -> Result<NetCloneHdr, WireError> {
             have: src.len(),
         });
     }
-    let msg_type = MsgType::from_u8(src.get_u8()).ok_or(WireError::BadMsgType(0))?;
+    let ty_raw = src.get_u8();
+    let msg_type = MsgType::from_u8(ty_raw).ok_or(WireError::BadMsgType(ty_raw))?;
     let req_id = src.get_u32();
     let grp = src.get_u16();
     let sid = src.get_u16();
@@ -285,11 +286,18 @@ mod tests {
         let h = sample_header();
         let mut buf = BytesMut::new();
         encode_header(&h, &mut buf);
+        // The error must carry the actual on-wire byte, not a placeholder.
         let mut bad_type = buf.clone();
         bad_type[0] = 9;
         assert_eq!(
             decode_header(&mut bad_type.freeze()),
-            Err(WireError::BadMsgType(0))
+            Err(WireError::BadMsgType(9))
+        );
+        let mut bad_type2 = buf.clone();
+        bad_type2[0] = 0xFF;
+        assert_eq!(
+            decode_header(&mut bad_type2.freeze()),
+            Err(WireError::BadMsgType(0xFF))
         );
         let mut bad_clo = buf.clone();
         bad_clo[11] = 9;

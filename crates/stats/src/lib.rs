@@ -13,12 +13,14 @@
 
 pub mod chart;
 pub mod hist;
+pub mod report;
 pub mod summary;
 pub mod table;
 pub mod timeseries;
 
 pub use chart::AsciiChart;
 pub use hist::LatencyHistogram;
+pub use report::{Report, Section};
 pub use summary::Summary;
 pub use table::Table;
 pub use timeseries::TimeSeries;

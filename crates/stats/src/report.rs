@@ -1,0 +1,292 @@
+//! The unified experiment artifact: one [`Report`] per figure/table of
+//! the evaluation, rendered to markdown, CSV, and JSON through a single
+//! code path.
+//!
+//! A report is metadata (id, title) plus an ordered list of
+//! [`Section`]s; each section holds one [`Table`] of results, an
+//! optional caption, and free-form annotation notes (e.g. the failure
+//! timestamps of Fig. 16). Every renderer walks the same structure, so
+//! adding a new experiment never means writing new emit plumbing.
+//!
+//! All cell values are pre-formatted strings — formatting decisions
+//! (units, precision) belong to the experiment that measured them, which
+//! also makes every rendering byte-deterministic.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+use crate::table::Table;
+
+/// One titled table within a report, with its CSV file stem.
+#[derive(Clone, Debug)]
+pub struct Section {
+    /// Section caption (empty for single-table reports).
+    pub name: String,
+    /// Annotation lines rendered above the table (and carried in JSON).
+    pub notes: Vec<String>,
+    /// File stem for CSV output: `<csv_stem>.csv`.
+    pub csv_stem: String,
+    /// The tabular results.
+    pub table: Table,
+}
+
+/// A complete, renderable experiment result.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Experiment identifier (e.g. `fig07`).
+    pub id: String,
+    /// Human title (the paper caption).
+    pub title: String,
+    /// The tables, in presentation order.
+    pub sections: Vec<Section>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(id: impl Into<String>, title: impl Into<String>) -> Self {
+        Report {
+            id: id.into(),
+            title: title.into(),
+            sections: Vec::new(),
+        }
+    }
+
+    /// Appends a captionless section whose CSV stem is the report id.
+    pub fn with_table(mut self, table: Table) -> Self {
+        let stem = self.id.replace('-', "_");
+        self.sections.push(Section {
+            name: String::new(),
+            notes: Vec::new(),
+            csv_stem: stem,
+            table,
+        });
+        self
+    }
+
+    /// Appends a captioned section with an explicit CSV stem.
+    pub fn with_section(
+        mut self,
+        name: impl Into<String>,
+        csv_stem: impl Into<String>,
+        table: Table,
+    ) -> Self {
+        self.sections.push(Section {
+            name: name.into(),
+            notes: Vec::new(),
+            csv_stem: csv_stem.into(),
+            table,
+        });
+        self
+    }
+
+    /// Appends an annotation note to the most recent section. Panics if
+    /// no section exists yet — add a table first, so notes can never be
+    /// silently dropped.
+    pub fn with_note(mut self, note: impl Into<String>) -> Self {
+        self.sections
+            .last_mut()
+            .expect("with_note needs a section: call with_table/with_section first")
+            .notes
+            .push(note.into());
+        self
+    }
+
+    /// Renders the whole report as markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("## {} — {}\n", self.id, self.title);
+        for section in &self.sections {
+            if !section.name.is_empty() {
+                let _ = write!(out, "\n### {}\n", section.name);
+            }
+            for note in &section.notes {
+                let _ = write!(out, "\n*{note}*\n");
+            }
+            let _ = write!(out, "\n{}", section.table.to_markdown());
+        }
+        out
+    }
+
+    /// Renders every section as CSV: `(file stem, contents)` pairs.
+    pub fn to_csv(&self) -> Vec<(String, String)> {
+        self.sections
+            .iter()
+            .map(|s| (s.csv_stem.clone(), s.table.to_csv()))
+            .collect()
+    }
+
+    /// Writes `<dir>/<csv_stem>.csv` for every section.
+    pub fn write_csv<P: AsRef<Path>>(&self, dir: P) -> io::Result<()> {
+        for (stem, csv) in self.to_csv() {
+            let path = dir.as_ref().join(format!("{stem}.csv"));
+            if let Some(parent) = path.parent() {
+                std::fs::create_dir_all(parent)?;
+            }
+            std::fs::write(path, csv)?;
+        }
+        Ok(())
+    }
+
+    /// Renders the report as pretty-printed JSON (stable key order, all
+    /// cells as strings — byte-deterministic for a given report).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"id\": {},", json_str(&self.id));
+        let _ = writeln!(out, "  \"title\": {},", json_str(&self.title));
+        out.push_str("  \"sections\": [");
+        for (i, s) in self.sections.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    {\n");
+            let _ = writeln!(out, "      \"name\": {},", json_str(&s.name));
+            let _ = writeln!(out, "      \"notes\": {},", json_str_array(&s.notes));
+            let _ = writeln!(out, "      \"csv\": {},", json_str(&s.csv_stem));
+            let _ = writeln!(
+                out,
+                "      \"columns\": {},",
+                json_str_array(s.table.headers())
+            );
+            out.push_str("      \"rows\": [");
+            for (j, row) in s.table.rows().iter().enumerate() {
+                out.push_str(if j == 0 { "\n" } else { ",\n" });
+                let _ = write!(out, "        {}", json_str_array(row));
+            }
+            if !s.table.rows().is_empty() {
+                out.push_str("\n      ");
+            }
+            out.push_str("]\n    }");
+        }
+        if !self.sections.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// Writes `<dir>/<id>.json`.
+    pub fn write_json<P: AsRef<Path>>(&self, dir: P) -> io::Result<()> {
+        let path = dir.as_ref().join(format!("{}.json", self.id));
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Writes `<dir>/<id>.md`.
+    pub fn write_markdown<P: AsRef<Path>>(&self, dir: P) -> io::Result<()> {
+        let path = dir.as_ref().join(format!("{}.md", self.id));
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.to_markdown())
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders a flat JSON array of strings on one line.
+fn json_str_array<S: AsRef<str>>(items: &[S]) -> String {
+    let cells: Vec<String> = items.iter().map(|s| json_str(s.as_ref())).collect();
+    format!("[{}]", cells.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let mut t = Table::new(["scheme", "p99 (us)"]);
+        t.row(["Baseline", "812.0"]);
+        t.row(["NetClone", "540.0"]);
+        let mut t2 = Table::new(["k", "v"]);
+        t2.row(["x,y", "say \"hi\""]);
+        Report::new("figxx", "A test figure")
+            .with_section("(a) sweep", "figxx_a", t)
+            .with_note("stop @ 5s")
+            .with_section("(b) detail", "figxx_b", t2)
+    }
+
+    #[test]
+    fn markdown_has_title_sections_and_notes() {
+        let md = sample().to_markdown();
+        assert!(md.starts_with("## figxx — A test figure"));
+        assert!(md.contains("### (a) sweep"));
+        assert!(md.contains("*stop @ 5s*"));
+        assert!(md.contains("### (b) detail"));
+        assert!(md.contains("| NetClone"));
+    }
+
+    #[test]
+    fn csv_emits_one_file_per_section() {
+        let csvs = sample().to_csv();
+        assert_eq!(csvs.len(), 2);
+        assert_eq!(csvs[0].0, "figxx_a");
+        assert!(csvs[0].1.starts_with("scheme,p99 (us)\n"));
+        assert_eq!(csvs[1].0, "figxx_b");
+    }
+
+    #[test]
+    fn json_is_valid_and_escaped() {
+        let json = sample().to_json();
+        // Structural sanity a full parser would check: balanced braces and
+        // brackets, and the quote/comma escaping of awkward cells.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.contains("\"id\": \"figxx\""));
+        assert!(json.contains("\"say \\\"hi\\\"\""));
+        assert!(json.contains("\"columns\": [\"scheme\", \"p99 (us)\"]"));
+        assert!(json.contains("\"notes\": [\"stop @ 5s\"]"));
+    }
+
+    #[test]
+    #[should_panic(expected = "with_note needs a section")]
+    fn note_without_section_panics() {
+        let _ = Report::new("x", "t").with_note("orphan");
+    }
+
+    #[test]
+    fn single_table_report_uses_id_as_stem() {
+        let mut t = Table::new(["a"]);
+        t.row(["1"]);
+        let r = Report::new("tab-res", "Resources").with_table(t);
+        assert_eq!(r.sections[0].csv_stem, "tab_res");
+        assert_eq!(r.sections[0].name, "");
+    }
+
+    #[test]
+    fn writers_create_files() {
+        let dir = std::env::temp_dir().join("netclone-report-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let r = sample();
+        r.write_csv(&dir).unwrap();
+        r.write_json(&dir).unwrap();
+        r.write_markdown(&dir).unwrap();
+        assert!(dir.join("figxx_a.csv").exists());
+        assert!(dir.join("figxx_b.csv").exists());
+        assert!(dir.join("figxx.json").exists());
+        assert!(dir.join("figxx.md").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

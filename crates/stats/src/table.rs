@@ -40,6 +40,16 @@ impl Table {
         self.rows.len()
     }
 
+    /// The column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// The data rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
     /// True when the table has no data rows.
     pub fn is_empty(&self) -> bool {
         self.rows.is_empty()

@@ -12,13 +12,14 @@
 //! ```
 
 use netclone::cluster::experiments::{fig16, Scale};
+use netclone::cluster::harness::RunCtx;
 use netclone::cluster::scenario::ServerFailurePlan;
 use netclone::cluster::{Scenario, Scheme, Sim};
 use netclone::workloads::exp25;
 
 fn main() {
     println!("== Switch failure (Fig. 16, compressed timeline) ==\n");
-    let f = fig16::run(Scale::Standard);
+    let f = fig16::run(&RunCtx::new(Scale::Standard));
     let peak = f
         .timeline
         .iter()

@@ -1,134 +1,169 @@
 //! `repro` — regenerate any table or figure of the paper's evaluation.
 //!
 //! ```text
-//! repro [--scale smoke|standard|full] [--out DIR] [ids…]
+//! repro [--scale smoke|standard|full] [--jobs N] [--format md|csv|json]
+//!       [--out DIR] [ids…]
 //! repro --list
 //! ```
 //!
-//! With no ids, runs everything. Results print as markdown and are written
-//! as CSV under `--out` (default `results/`).
+//! A thin, data-driven frontend over
+//! [`netclone_cluster::harness::registry`]: every experiment id comes
+//! from the registry (no per-id dispatch here), runs on a `--jobs`-wide
+//! deterministic worker pool, and renders through the unified `Report`
+//! artifact — the chosen format is printed to stdout and written under
+//! `--out` (default `results/`).
 
 use std::path::PathBuf;
+use std::process::ExitCode;
 
-use netclone_cluster::experiments::{
-    ablations, fig07, fig08, fig09, fig10, fig11, fig12, fig13, fig14, fig15, fig16, resources,
-    table1, Scale,
-};
+use netclone::cluster::experiments::Scale;
+use netclone::cluster::harness::{default_jobs, find, registry, suggest, RunCtx};
+use netclone::stats::Report;
 
-const ALL: &[&str] = &[
-    "tab01",
-    "tab-res",
-    "fig07",
-    "fig08",
-    "fig09",
-    "fig10",
-    "fig11",
-    "fig12",
-    "fig13",
-    "fig14",
-    "fig15",
-    "fig16",
-    "ablations",
-];
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Markdown,
+    Csv,
+    Json,
+}
 
-fn main() {
-    let mut scale = Scale::from_env();
+fn usage() {
+    println!(
+        "usage: repro [--scale smoke|standard|full] [--jobs N] [--format md|csv|json] [--out DIR] [ids…]"
+    );
+    println!("       repro --list");
+    println!("With no ids, runs every experiment in the registry.");
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("{msg}");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut scale = match Scale::try_from_env() {
+        Ok(s) => s,
+        Err(e) => return fail(&format!("NETCLONE_BENCH_SCALE: {e}")),
+    };
     let mut out = PathBuf::from("results");
+    let mut jobs = default_jobs();
+    let mut format = Format::Markdown;
     let mut ids: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--list" => {
-                for id in ALL {
-                    println!("{id}");
+                for e in registry() {
+                    println!("{:<10} [{}]  {}", e.id(), e.tags().join(", "), e.title());
                 }
-                return;
+                return ExitCode::SUCCESS;
             }
             "--scale" => {
-                scale = match args.next().as_deref() {
-                    Some("smoke") => Scale::Smoke,
-                    Some("standard") => Scale::Standard,
-                    Some("full") => Scale::Full,
+                scale = match args.next() {
+                    Some(v) => match v.parse() {
+                        Ok(s) => s,
+                        Err(e) => return fail(&format!("--scale: {e}")),
+                    },
+                    None => return fail("--scale needs a value (smoke|standard|full)"),
+                };
+            }
+            "--jobs" => {
+                jobs = match args.next().map(|v| v.parse::<usize>()) {
+                    Some(Ok(n)) if n >= 1 => n,
+                    _ => return fail("--jobs needs a positive integer"),
+                };
+            }
+            "--format" => {
+                format = match args.next().as_deref() {
+                    Some("md") => Format::Markdown,
+                    Some("csv") => Format::Csv,
+                    Some("json") => Format::Json,
                     other => {
-                        eprintln!("unknown scale {other:?} (smoke|standard|full)");
-                        std::process::exit(2);
+                        return fail(&format!("unknown format {other:?} (md|csv|json)"));
                     }
                 };
             }
             "--out" => {
-                out = PathBuf::from(args.next().unwrap_or_else(|| {
-                    eprintln!("--out needs a directory");
-                    std::process::exit(2);
-                }));
+                out = match args.next() {
+                    Some(dir) => PathBuf::from(dir),
+                    None => return fail("--out needs a directory"),
+                };
             }
             "--help" | "-h" => {
-                println!("usage: repro [--scale smoke|standard|full] [--out DIR] [ids…]");
-                println!("ids: {}", ALL.join(" "));
-                return;
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with("--") => {
+                return fail(&format!("unknown flag {flag:?}; try --help"));
             }
             id => ids.push(id.to_string()),
         }
     }
     if ids.is_empty() {
-        ids = ALL.iter().map(|s| s.to_string()).collect();
+        ids = registry().iter().map(|e| e.id().to_string()).collect();
     }
-    std::fs::create_dir_all(&out).expect("create results dir");
 
+    // Resolve every id up front so a typo fails before hours of sweeps.
+    let mut experiments = Vec::new();
     for id in &ids {
-        let t0 = std::time::Instant::now();
-        eprintln!("== running {id} at {scale:?} scale…");
-        match id.as_str() {
-            "tab01" => {
-                println!("{}", table1::render());
-                table1::to_table()
-                    .write_csv(out.join("tab01.csv"))
-                    .expect("write");
-            }
-            "tab-res" => {
-                println!("{}", resources::render());
-                resources::to_table()
-                    .write_csv(out.join("tab_resources.csv"))
-                    .expect("write");
-            }
-            "fig07" => emit(fig07::run(scale), &out),
-            "fig08" => emit(fig08::run(scale), &out),
-            "fig09" => emit(fig09::run(scale), &out),
-            "fig10" => emit(fig10::run(scale), &out),
-            "fig11" => emit(fig11::run(scale), &out),
-            "fig12" => emit(fig12::run(scale), &out),
-            "fig13" => {
-                let f = fig13::run(scale);
-                println!("{}", f.render());
-                f.write_csv(&out).expect("write");
-            }
-            "fig14" => emit(fig14::run(scale), &out),
-            "fig15" => emit(fig15::run(scale), &out),
-            "fig16" => {
-                let f = fig16::run(scale);
-                println!("{}", f.render());
-                f.write_csv(&out).expect("write");
-            }
-            "ablations" => {
-                println!("{}", ablations::render(scale));
-                ablations::filter_tables(scale)
-                    .to_table()
-                    .write_csv(out.join("ablation_filter_tables.csv"))
-                    .expect("write");
-                ablations::group_ordering(scale)
-                    .to_table()
-                    .write_csv(out.join("ablation_group_ordering.csv"))
-                    .expect("write");
-            }
-            other => {
-                eprintln!("unknown experiment id {other:?}; try --list");
-                std::process::exit(2);
+        match find(id) {
+            Some(e) => experiments.push(e),
+            None => {
+                let near = suggest(id);
+                let hint = if near.is_empty() {
+                    "try --list".to_string()
+                } else {
+                    format!("did you mean {}?", near.join(" or "))
+                };
+                return fail(&format!("unknown experiment id {id:?}; {hint}"));
             }
         }
-        eprintln!("== {id} done in {:.1}s", t0.elapsed().as_secs_f64());
     }
+
+    if let Err(e) = std::fs::create_dir_all(&out) {
+        return fail(&format!("cannot create {}: {e}", out.display()));
+    }
+    let ctx = RunCtx::new(scale)
+        .with_jobs(jobs)
+        .with_progress(|msg| eprint!("\r   {msg} "));
+    for exp in experiments {
+        let t0 = std::time::Instant::now();
+        eprintln!(
+            "== running {} at {scale:?} scale on {jobs} thread(s)…",
+            exp.id()
+        );
+        let report = exp.run(&ctx);
+        eprintln!();
+        if let Err(e) = emit(&report, format, &out) {
+            return fail(&format!("cannot write results for {}: {e}", report.id));
+        }
+        eprintln!(
+            "== {} done in {:.1}s",
+            report.id,
+            t0.elapsed().as_secs_f64()
+        );
+    }
+    ExitCode::SUCCESS
 }
 
-fn emit(fig: netclone_cluster::experiments::panel::Figure, out: &std::path::Path) {
-    println!("{}", fig.render());
-    fig.write_csv(out).expect("write csv");
+/// Prints the report in the chosen format and writes the matching
+/// artifact file(s) under `out` — the single emit path for every id.
+fn emit(report: &Report, format: Format, out: &std::path::Path) -> std::io::Result<()> {
+    match format {
+        Format::Markdown => {
+            println!("{}", report.to_markdown());
+            report.write_markdown(out)?;
+            report.write_csv(out)
+        }
+        Format::Csv => {
+            for (stem, csv) in report.to_csv() {
+                println!("{stem}.csv:\n{csv}");
+            }
+            report.write_csv(out)
+        }
+        Format::Json => {
+            println!("{}", report.to_json());
+            report.write_json(out)
+        }
+    }
 }

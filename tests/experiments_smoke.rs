@@ -2,18 +2,23 @@
 //! executes at `Scale::Smoke` and produces sane, renderable output.
 
 use netclone::cluster::experiments::{ablations, fig13, fig16, resources, table1, Scale};
+use netclone::cluster::harness::RunCtx;
+
+fn smoke() -> RunCtx {
+    RunCtx::new(Scale::Smoke)
+}
 
 #[test]
 fn table1_and_resources_render() {
-    let t1 = table1::render();
+    let t1 = table1::report().to_markdown();
     assert!(t1.contains("NetClone") && t1.contains("Cloning point"));
-    let res = resources::render();
+    let res = resources::report().to_markdown();
     assert!(res.contains("18.04%") && res.contains("stages"));
 }
 
 #[test]
 fn fig13_smoke_has_declining_empty_queue_signal() {
-    let f = fig13::run(Scale::Smoke);
+    let f = fig13::run(&smoke());
     assert!(f.empty_queue.len() >= 3);
     let first = f.empty_queue.first().unwrap().1;
     let last = f.empty_queue.last().unwrap().1;
@@ -27,22 +32,22 @@ fn fig13_smoke_has_declining_empty_queue_signal() {
         f.netclone_p99_us.mean() < f.baseline_p99_us.mean() * 1.5,
         "NetClone should be competitive at 90% load"
     );
-    let rendered = f.render();
+    let rendered = f.into_report().to_markdown();
     assert!(rendered.contains("empty"));
 }
 
 #[test]
 fn fig16_smoke_timeline_has_the_failure_hole() {
-    let f = fig16::run(Scale::Smoke);
+    let f = fig16::run(&smoke());
     assert!(f.mean_mrps_between(1.0, 4.5) > 0.3);
     assert!(f.mean_mrps_between(6.0, 9.0) < 0.05);
     assert!(f.mean_mrps_between(12.0, 24.0) > 0.3);
-    assert!(f.render().contains("fig16"));
+    assert!(f.into_report().to_markdown().contains("fig16"));
 }
 
 #[test]
 fn filter_table_ablation_shows_collision_relief() {
-    let a = ablations::filter_tables(Scale::Smoke);
+    let a = ablations::filter_tables(&smoke());
     assert_eq!(a.rows.len(), 3);
     // More tables → no more leaked redundancy than fewer tables.
     let leak1 = a.rows[0].1;
@@ -55,7 +60,7 @@ fn filter_table_ablation_shows_collision_relief() {
 
 #[test]
 fn group_ordering_ablation_shows_the_skew() {
-    let g = ablations::group_ordering(Scale::Smoke);
+    let g = ablations::group_ordering(&smoke());
     assert!(
         g.unordered_imbalance > g.ordered_imbalance * 1.15,
         "naive C(n,2) groups must skew load: ordered {:.2} vs unordered {:.2}",

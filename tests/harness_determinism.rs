@@ -1,0 +1,42 @@
+//! The parallel `Runner` must be invisible in the results: running an
+//! experiment on one thread or on many must produce byte-identical
+//! `Report` artifacts (every `Sim::run` owns its seeded RNG, and the
+//! harness reassembles cells in submission order).
+
+use netclone::cluster::experiments::Scale;
+use netclone::cluster::harness::{find, RunCtx};
+
+fn reports_match(id: &str) {
+    let exp = find(id).expect("registry id");
+    let serial = exp.run(&RunCtx::new(Scale::Smoke));
+    let parallel = exp.run(&RunCtx::new(Scale::Smoke).with_jobs(8));
+    assert_eq!(
+        serial.to_json(),
+        parallel.to_json(),
+        "{id}: parallel JSON diverged from serial"
+    );
+    assert_eq!(
+        serial.to_csv(),
+        parallel.to_csv(),
+        "{id}: parallel CSV diverged from serial"
+    );
+    assert_eq!(serial.to_markdown(), parallel.to_markdown());
+}
+
+#[test]
+fn fig15_parallel_equals_serial() {
+    // A sweep figure: 3 schemes × smoke sweep points through run_sweeps.
+    reports_match("fig15");
+}
+
+#[test]
+fn fig13_parallel_equals_serial() {
+    // A two-section report with repeat cells (distinct seeds) via ctx.map.
+    reports_match("fig13");
+}
+
+#[test]
+fn ablations_parallel_equals_serial() {
+    // Three independent sub-studies, including the custom-group scenario.
+    reports_match("ablations");
+}
