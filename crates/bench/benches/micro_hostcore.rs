@@ -1,0 +1,108 @@
+//! Criterion micro-benchmarks of the sans-io host-core hot path: the
+//! per-request cost of `ClientCore::generate` + `poll` and the
+//! per-response cost of `ClientCore::on_packet`, plus the server core's
+//! admission + response construction.
+//!
+//! Every frontend — the DES event loop and the real-socket clients — pays
+//! these costs once per packet, so regressions here slow both worlds.
+//! Run: `cargo bench -p netclone-bench --bench micro_hostcore`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use netclone_hostcore::{ClientCore, ClientMode, ServerCore};
+use netclone_proto::{CloneStatus, NetCloneHdr, RpcOp, ServerState};
+
+fn nc_client(seed: u64) -> ClientCore {
+    ClientCore::new(
+        0,
+        ClientMode::NetClone {
+            num_groups: 30,
+            num_filter_tables: 2,
+        },
+        seed,
+    )
+}
+
+fn bench_client_core(c: &mut Criterion) {
+    let mut g = c.benchmark_group("client_core");
+    let op = RpcOp::Echo { class_ns: 25_000 };
+
+    g.bench_function("generate_poll", |b| {
+        let mut core = nc_client(1);
+        let mut now = 0u64;
+        b.iter(|| {
+            now += 1_000;
+            let seq = core.generate(black_box(op), now);
+            let meta = core.poll().expect("one packet");
+            // Complete it immediately so `outstanding` stays O(1).
+            let resp = NetCloneHdr::response_to(&meta.nc, 1, ServerState::IDLE);
+            core.on_packet(&resp, now + 10);
+            black_box(seq)
+        });
+    });
+
+    g.bench_function("on_packet_completed", |b| {
+        // Pre-generate a window of outstanding requests and answer them
+        // round-robin: every on_packet takes the completion path.
+        let mut core = nc_client(2);
+        let mut resps = Vec::new();
+        for i in 0..1024u64 {
+            core.generate(op, i);
+            let meta = core.poll().unwrap();
+            resps.push(NetCloneHdr::response_to(&meta.nc, 1, ServerState::IDLE));
+        }
+        let mut i = 0usize;
+        let mut now = 1_000_000u64;
+        b.iter(|| {
+            now += 100;
+            let ev = core.on_packet(black_box(&resps[i]), now);
+            i += 1;
+            if i == resps.len() {
+                // Regenerate the window once it drains.
+                i = 0;
+                for k in 0..resps.len() as u64 {
+                    core.generate(op, now + k);
+                    let meta = core.poll().unwrap();
+                    resps[k as usize] = NetCloneHdr::response_to(&meta.nc, 1, ServerState::IDLE);
+                }
+            }
+            black_box(ev)
+        });
+    });
+
+    g.bench_function("on_packet_redundant", |b| {
+        let mut core = nc_client(3);
+        core.generate(op, 0);
+        let meta = core.poll().unwrap();
+        let resp = NetCloneHdr::response_to(&meta.nc, 1, ServerState::IDLE);
+        core.on_packet(&resp, 10); // complete it: every later copy is redundant
+        b.iter(|| black_box(core.on_packet(black_box(&resp), 1_000)));
+    });
+
+    g.finish();
+}
+
+fn bench_server_core(c: &mut Criterion) {
+    let mut g = c.benchmark_group("server_core");
+    let req = NetCloneHdr::request(3, 1, 0, 42);
+
+    g.bench_function("admit_respond", |b| {
+        let core = ServerCore::new(0);
+        b.iter(|| {
+            let d = core.admit(black_box(CloneStatus::ClonedOriginal), 1);
+            let resp = core.response(black_box(&req), 1);
+            black_box((d, resp))
+        });
+    });
+
+    g.bench_function("admit_drop_clone", |b| {
+        let core = ServerCore::new(0);
+        b.iter(|| black_box(core.admit(black_box(CloneStatus::Clone), 3)));
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_client_core, bench_server_core);
+criterion_main!(benches);

@@ -123,6 +123,7 @@ mod tests {
                 generated: 0,
                 completed: 0,
                 client_redundant: 0,
+                client_clone_wins: 0,
                 switch: SwitchCounters::default(),
                 server_clone_drops: 0,
                 server_idle_reports: 0,

@@ -22,6 +22,9 @@ pub struct RunResult {
     pub completed: u64,
     /// Redundant responses processed by clients.
     pub client_redundant: u64,
+    /// Completed requests whose winning response came from the clone
+    /// (`CLO=2`) — tracked by the shared host core in every frontend.
+    pub client_clone_wins: u64,
     /// Switch counters (NetClone/RackSched runs; zeroed otherwise).
     pub switch: SwitchCounters,
     /// Cloned requests dropped at servers (tracked-vs-actual state gap).
@@ -64,6 +67,16 @@ impl RunResult {
         self.achieved_rps / 1e6
     }
 
+    /// Fraction of completed requests won by the switch-generated clone —
+    /// how often cloning actually beat the original (§5.3).
+    pub fn clone_win_ratio(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.client_clone_wins as f64 / self.completed as f64
+        }
+    }
+
     /// Fraction of server responses that reported an empty queue
     /// (Fig. 13a).
     pub fn empty_queue_fraction(&self) -> f64 {
@@ -94,6 +107,7 @@ mod tests {
             generated: 100,
             completed: 99,
             client_redundant: 1,
+            client_clone_wins: 33,
             switch: SwitchCounters::default(),
             server_clone_drops: 0,
             server_idle_reports: 60,
@@ -104,6 +118,7 @@ mod tests {
         };
         assert!((r.achieved_mrps() - 0.99).abs() < 1e-9);
         assert!((r.empty_queue_fraction() - 0.6).abs() < 1e-9);
+        assert!((r.clone_win_ratio() - 33.0 / 99.0).abs() < 1e-9);
         assert!(r.p99_us() >= 890.0);
         let (p50, p99, p999) = r.percentiles_us();
         assert!(p50 <= p99 && p99 <= p999);

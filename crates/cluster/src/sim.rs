@@ -24,7 +24,7 @@ use netclone_core::{SwitchCounters, SwitchEngine};
 use netclone_des::{EventQueue, SimTime};
 use netclone_hosts::{Admission, AppPacket, ClientMode, ClientSim, ServerSim};
 use netclone_policies::LaedgeCoordinator;
-use netclone_proto::{Ipv4, MsgType, NetCloneHdr, PacketMeta, RpcOp, ServerId};
+use netclone_proto::{Ipv4, MsgType, PacketMeta, RpcOp, ServerId};
 use netclone_stats::{LatencyHistogram, TimeSeries};
 use netclone_workloads::{KvMix, PoissonArrivals, SyntheticWorkload};
 use rand::rngs::StdRng;
@@ -258,11 +258,15 @@ impl Sim {
         if epoch != self.server_epoch[idx] || !self.servers[idx].is_alive() {
             return; // the server died while this was in service
         }
-        let completion = self.servers[idx].on_service_done(now);
+        let completion = self.servers[idx].on_service_done(&pkt.meta.nc, now);
         let sid = self.servers[idx].sid();
-        let nc = NetCloneHdr::response_to(&pkt.meta.nc, sid, completion.state);
         let resp = AppPacket {
-            meta: PacketMeta::netclone_response(Ipv4::server(sid), pkt.meta.src_ip, nc, 84),
+            meta: PacketMeta::netclone_response(
+                Ipv4::server(sid),
+                pkt.meta.src_ip,
+                completion.resp,
+                84,
+            ),
             op: pkt.op,
             born_ns: pkt.born_ns,
         };
@@ -329,10 +333,12 @@ impl Sim {
         let mut latency = LatencyHistogram::new();
         let mut generated = 0u64;
         let mut redundant = 0u64;
+        let mut clone_wins = 0u64;
         for c in &self.clients {
             latency.merge(c.latencies());
             generated += c.stats().generated;
             redundant += c.stats().redundant;
+            clone_wins += c.stats().clone_wins;
         }
         let measure_secs = self.scenario.measure_ns as f64 / 1e9;
         // Every counter field is windowed, so plain-fabric counts
@@ -365,6 +371,7 @@ impl Sim {
             generated,
             completed: self.completed_in_window,
             client_redundant: redundant,
+            client_clone_wins: clone_wins,
             switch,
             server_clone_drops: clone_drops,
             server_idle_reports: idle_reports,

@@ -1,0 +1,525 @@
+//! [`ClientCore`] — the transport-free client half of the NetClone
+//! protocol: addressing, duplicate filtering, and accounting.
+//!
+//! The core is a plain state machine over explicit nanosecond timestamps:
+//!
+//! * [`ClientCore::generate`] assigns the next sequence number, applies the
+//!   scheme's addressing ([`ClientMode`]), and queues the outgoing
+//!   packet(s);
+//! * [`ClientCore::poll`] drains the queued packets — the frontend decides
+//!   when and how to transmit them (DES event, UDP datagram);
+//! * [`ClientCore::on_packet`] classifies an incoming response (first
+//!   response / redundant / not-for-us) and keeps the latency histogram;
+//! * [`ClientCore::on_tick`] evicts requests that outlived the configured
+//!   per-request timeout, so `outstanding` never grows without bound under
+//!   response loss.
+
+use std::collections::{HashMap, VecDeque};
+
+use netclone_proto::{ClientId, CloneStatus, Ipv4, NetCloneHdr, PacketMeta, RpcOp, ServerState};
+use netclone_stats::LatencyHistogram;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How the client addresses its requests — one variant per compared scheme
+/// (paper §5.1.3).
+#[derive(Clone, Debug)]
+pub enum ClientMode {
+    /// NetClone: pick a random group ID and filter-table index; let the
+    /// switch choose the destination (§3.3).
+    NetClone {
+        /// Number of installed groups (n·(n−1)).
+        num_groups: u16,
+        /// Number of filter tables (for the random `IDX`).
+        num_filter_tables: u8,
+    },
+    /// Baseline: send to one uniformly random worker server, no cloning.
+    DirectRandom {
+        /// The worker servers' addresses.
+        servers: Vec<Ipv4>,
+    },
+    /// C-Clone: send duplicates to two distinct random servers; the client
+    /// processes both responses itself (§2.2).
+    DirectDuplicate {
+        /// The worker servers' addresses.
+        servers: Vec<Ipv4>,
+    },
+    /// LÆDGE: send everything to the coordinator host.
+    Coordinator {
+        /// The coordinator's address.
+        ip: Ipv4,
+    },
+}
+
+/// Aggregate client statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Requests generated.
+    pub generated: u64,
+    /// Packets sent (2× generated for C-Clone).
+    pub packets_sent: u64,
+    /// Completed requests (first responses).
+    pub completed: u64,
+    /// Redundant responses processed and discarded by the client.
+    pub redundant: u64,
+    /// Completed requests whose *winning* response came from the
+    /// switch-generated clone (`CLO=2`) — the §5.3 "effectiveness of
+    /// cloning" numerator.
+    pub clone_wins: u64,
+    /// Requests evicted after exceeding the per-request timeout (or
+    /// explicitly abandoned) without ever completing.
+    pub lost: u64,
+}
+
+impl ClientStats {
+    /// Fraction of completed requests won by the clone copy.
+    pub fn clone_win_ratio(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.clone_wins as f64 / self.completed as f64
+        }
+    }
+}
+
+/// Verdict of [`ClientCore::on_packet`] on one incoming packet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RxEvent {
+    /// First response for an outstanding request: it completed.
+    Completed {
+        /// End-to-end latency (receive time − generation time).
+        latency_ns: u64,
+        /// The winning response came from the clone (`CLO=2`).
+        from_clone: bool,
+    },
+    /// A response for a request that already completed, timed out, or was
+    /// never ours to begin with a matching client ID — counted and
+    /// discarded (§3.7's client-side redundancy handling).
+    Redundant,
+    /// Not a response addressed to this client; ignored entirely.
+    Ignored,
+}
+
+impl RxEvent {
+    /// The recorded latency, if this packet completed a request.
+    pub fn latency_ns(self) -> Option<u64> {
+        match self {
+            RxEvent::Completed { latency_ns, .. } => Some(latency_ns),
+            _ => None,
+        }
+    }
+}
+
+/// The sans-io client protocol core.
+///
+/// Owns everything about *what* a NetClone client says and remembers;
+/// owns nothing about *how* packets move or time passes.
+pub struct ClientCore {
+    cid: ClientId,
+    ip: Ipv4,
+    mode: ClientMode,
+    rng: StdRng,
+    next_seq: u32,
+    outstanding: HashMap<u32, u64>, // client_seq → born_ns
+    outbox: VecDeque<PacketMeta>,
+    timeout_ns: Option<u64>,
+    latencies: LatencyHistogram,
+    stats: ClientStats,
+}
+
+impl ClientCore {
+    /// Builds a core with no request timeout (requests stay outstanding
+    /// until answered or [`Self::abandon`]ed).
+    pub fn new(cid: ClientId, mode: ClientMode, seed: u64) -> Self {
+        ClientCore {
+            cid,
+            ip: Ipv4::client(cid),
+            mode,
+            rng: StdRng::seed_from_u64(seed),
+            next_seq: 0,
+            outstanding: HashMap::new(),
+            outbox: VecDeque::new(),
+            timeout_ns: None,
+            latencies: LatencyHistogram::new(),
+            stats: ClientStats::default(),
+        }
+    }
+
+    /// Sets the per-request timeout consulted by [`Self::on_tick`].
+    pub fn with_timeout(mut self, timeout_ns: u64) -> Self {
+        self.timeout_ns = Some(timeout_ns);
+        self
+    }
+
+    /// The client's virtual address.
+    pub fn ip(&self) -> Ipv4 {
+        self.ip
+    }
+
+    /// The client's identity.
+    pub fn cid(&self) -> ClientId {
+        self.cid
+    }
+
+    /// Mutable access to the addressing mode — the §3.6 failure path
+    /// updates "the number of groups on the client side" (and direct modes
+    /// drop dead servers) through this.
+    pub fn mode_mut(&mut self) -> &mut ClientMode {
+        &mut self.mode
+    }
+
+    /// Latency histogram of completed requests.
+    pub fn latencies(&self) -> &LatencyHistogram {
+        &self.latencies
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> ClientStats {
+        self.stats
+    }
+
+    /// Requests still awaiting their first response.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Discards warm-up measurements (keeps outstanding bookkeeping).
+    pub fn reset_measurements(&mut self) {
+        self.latencies.clear();
+        self.stats = ClientStats::default();
+    }
+
+    /// Generates one request at time `now`, queues the addressed packet(s)
+    /// for [`Self::poll`], and returns the assigned sequence number.
+    pub fn generate(&mut self, op: RpcOp, now: u64) -> u32 {
+        let seq = self.next_seq;
+        self.next_seq = self.next_seq.wrapping_add(1);
+        self.outstanding.insert(seq, now);
+        self.stats.generated += 1;
+
+        // Resolve the scheme's addressing first (mode and rng are disjoint
+        // fields, so no clone of the server list is needed), then build
+        // and queue the packet(s).
+        enum Addressing {
+            /// NetClone: destination left to the switch.
+            Switch { grp: u16, idx: u8 },
+            /// One addressed copy (Baseline / LÆDGE).
+            One(Ipv4),
+            /// Two addressed duplicates (C-Clone).
+            Two(Ipv4, Ipv4),
+        }
+        let rng = &mut self.rng;
+        let addressing = match &self.mode {
+            ClientMode::NetClone {
+                num_groups,
+                num_filter_tables,
+            } => Addressing::Switch {
+                grp: rng.random_range(0..(*num_groups).max(1)),
+                idx: rng.random_range(0..(*num_filter_tables).max(1)),
+            },
+            ClientMode::DirectRandom { servers } => {
+                Addressing::One(servers[rng.random_range(0..servers.len())])
+            }
+            ClientMode::DirectDuplicate { servers } => {
+                // Two distinct random servers (§2.2: "typically sends two
+                // duplicate requests").
+                let a = rng.random_range(0..servers.len());
+                let b = if servers.len() > 1 {
+                    let mut b = rng.random_range(0..servers.len() - 1);
+                    if b >= a {
+                        b += 1;
+                    }
+                    b
+                } else {
+                    a
+                };
+                Addressing::Two(servers[a], servers[b])
+            }
+            ClientMode::Coordinator { ip } => Addressing::One(*ip),
+        };
+
+        // Writes must not be cloned (§5.5): mark them for the switch.
+        let uncloneable = !op.is_cloneable();
+        let queue_to = |me: &mut Self, grp: u16, idx: u8, dst: Option<Ipv4>| {
+            let mut nc = NetCloneHdr::request(grp, idx, me.cid, seq);
+            if uncloneable {
+                nc.state = ServerState(1);
+            }
+            let mut meta = PacketMeta::netclone_request(me.ip, nc, 84);
+            if let Some(dst) = dst {
+                meta.dst_ip = dst;
+            }
+            me.push(meta);
+        };
+        match addressing {
+            Addressing::Switch { grp, idx } => queue_to(self, grp, idx, None),
+            Addressing::One(dst) => queue_to(self, 0, 0, Some(dst)),
+            Addressing::Two(a, b) => {
+                queue_to(self, 0, 0, Some(a));
+                queue_to(self, 0, 0, Some(b));
+            }
+        }
+        seq
+    }
+
+    fn push(&mut self, meta: PacketMeta) {
+        self.stats.packets_sent += 1;
+        self.outbox.push_back(meta);
+    }
+
+    /// Takes the next queued outgoing packet, in generation order.
+    pub fn poll(&mut self) -> Option<PacketMeta> {
+        self.outbox.pop_front()
+    }
+
+    /// Classifies one incoming packet received at time `now`.
+    ///
+    /// The first response for an outstanding request completes it and
+    /// records `now − born` in the latency histogram; any later copy — a
+    /// duplicate that escaped the switch filter, a response to a timed-out
+    /// request — is [`RxEvent::Redundant`]. Packets that are not responses
+    /// addressed to this client are [`RxEvent::Ignored`].
+    pub fn on_packet(&mut self, nc: &NetCloneHdr, now: u64) -> RxEvent {
+        if !nc.is_response() || nc.client_id != self.cid {
+            return RxEvent::Ignored;
+        }
+        match self.outstanding.remove(&nc.client_seq) {
+            Some(born) => {
+                let latency_ns = now.saturating_sub(born);
+                self.latencies.record(latency_ns);
+                self.stats.completed += 1;
+                let from_clone = nc.clo == CloneStatus::Clone;
+                if from_clone {
+                    self.stats.clone_wins += 1;
+                }
+                RxEvent::Completed {
+                    latency_ns,
+                    from_clone,
+                }
+            }
+            None => {
+                self.stats.redundant += 1;
+                RxEvent::Redundant
+            }
+        }
+    }
+
+    /// Evicts outstanding requests older than the configured timeout,
+    /// counting them as lost. Returns how many were evicted. No-op (0)
+    /// when no timeout was configured.
+    pub fn on_tick(&mut self, now: u64) -> u64 {
+        let Some(timeout) = self.timeout_ns else {
+            return 0;
+        };
+        let before = self.outstanding.len();
+        self.outstanding
+            .retain(|_, born| now.saturating_sub(*born) < timeout);
+        let evicted = (before - self.outstanding.len()) as u64;
+        self.stats.lost += evicted;
+        evicted
+    }
+
+    /// Gives up on one specific request (e.g. a blocking call that timed
+    /// out), counting it as lost. Returns false if it was not outstanding.
+    pub fn abandon(&mut self, seq: u32) -> bool {
+        let removed = self.outstanding.remove(&seq).is_some();
+        if removed {
+            self.stats.lost += 1;
+        }
+        removed
+    }
+
+    /// Ends the run: every still-outstanding request is counted as lost
+    /// (nothing will ever answer it). Returns how many there were.
+    pub fn drain_outstanding(&mut self) -> u64 {
+        let n = self.outstanding.len() as u64;
+        self.outstanding.clear();
+        self.stats.lost += n;
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netclone_proto::MsgType;
+
+    fn echo() -> RpcOp {
+        RpcOp::Echo { class_ns: 25_000 }
+    }
+
+    fn nc_core(seed: u64) -> ClientCore {
+        ClientCore::new(
+            0,
+            ClientMode::NetClone {
+                num_groups: 30,
+                num_filter_tables: 2,
+            },
+            seed,
+        )
+    }
+
+    fn response_for(meta: &PacketMeta, clo: CloneStatus) -> NetCloneHdr {
+        let mut req = meta.nc;
+        req.clo = clo;
+        NetCloneHdr::response_to(&req, 1, ServerState::IDLE)
+    }
+
+    #[test]
+    fn generate_then_poll_yields_addressed_packets() {
+        let mut c = nc_core(1);
+        let seq = c.generate(echo(), 1_000);
+        assert_eq!(seq, 0);
+        let meta = c.poll().expect("one packet queued");
+        assert!(c.poll().is_none());
+        assert!(meta.dst_ip.is_unspecified());
+        assert!(meta.nc.grp < 30);
+        assert!(meta.nc.idx < 2);
+        assert_eq!(meta.nc.client_seq, 0);
+        assert_eq!(c.stats().packets_sent, 1);
+    }
+
+    #[test]
+    fn first_response_completes_second_is_redundant() {
+        let mut c = nc_core(2);
+        c.generate(echo(), 0);
+        let meta = c.poll().unwrap();
+        let resp = response_for(&meta, CloneStatus::ClonedOriginal);
+        assert_eq!(
+            c.on_packet(&resp, 40_000),
+            RxEvent::Completed {
+                latency_ns: 40_000,
+                from_clone: false
+            }
+        );
+        assert_eq!(c.on_packet(&resp, 41_000), RxEvent::Redundant);
+        let st = c.stats();
+        assert_eq!(st.completed, 1);
+        assert_eq!(st.redundant, 1);
+        assert_eq!(st.clone_wins, 0);
+        assert_eq!(c.latencies().count(), 1);
+    }
+
+    #[test]
+    fn clone_win_is_counted_once_per_completion() {
+        let mut c = nc_core(3);
+        c.generate(echo(), 0);
+        let meta = c.poll().unwrap();
+        let win = response_for(&meta, CloneStatus::Clone);
+        assert_eq!(
+            c.on_packet(&win, 10_000),
+            RxEvent::Completed {
+                latency_ns: 10_000,
+                from_clone: true
+            }
+        );
+        // The slower original is redundant, not a second win.
+        let lose = response_for(&meta, CloneStatus::ClonedOriginal);
+        assert_eq!(c.on_packet(&lose, 12_000), RxEvent::Redundant);
+        assert_eq!(c.stats().clone_wins, 1);
+        assert!((c.stats().clone_win_ratio() - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn foreign_and_request_packets_are_ignored() {
+        let mut c = nc_core(4);
+        c.generate(echo(), 0);
+        let meta = c.poll().unwrap();
+        // A request header is never counted.
+        assert_eq!(c.on_packet(&meta.nc, 1_000), RxEvent::Ignored);
+        // A response for some other client is not ours.
+        let mut foreign = response_for(&meta, CloneStatus::NotCloned);
+        foreign.client_id = 9;
+        assert_eq!(c.on_packet(&foreign, 1_000), RxEvent::Ignored);
+        assert_eq!(c.stats().redundant, 0);
+        assert_eq!(c.outstanding(), 1);
+        assert_eq!(foreign.msg_type, MsgType::Resp);
+    }
+
+    #[test]
+    fn on_tick_evicts_only_timed_out_requests() {
+        let mut c = nc_core(5).with_timeout(10_000);
+        c.generate(echo(), 0);
+        let old = c.poll().unwrap();
+        c.generate(echo(), 8_000);
+        let young = c.poll().unwrap();
+        assert_eq!(c.on_tick(9_999), 0, "nothing has timed out yet");
+        assert_eq!(c.on_tick(12_000), 1, "only the first request expired");
+        assert_eq!(c.stats().lost, 1);
+        assert_eq!(c.outstanding(), 1);
+        // A late response to the evicted request is redundant, not a
+        // completion — no double counting.
+        let resp = response_for(&old, CloneStatus::NotCloned);
+        assert_eq!(c.on_packet(&resp, 13_000), RxEvent::Redundant);
+        assert_eq!(c.stats().completed, 0);
+        // The surviving request still completes normally.
+        let resp = response_for(&young, CloneStatus::NotCloned);
+        assert!(c.on_packet(&resp, 13_000).latency_ns().is_some());
+        assert_eq!(
+            c.stats(),
+            ClientStats {
+                generated: 2,
+                packets_sent: 2,
+                completed: 1,
+                redundant: 1,
+                clone_wins: 0,
+                lost: 1,
+            }
+        );
+    }
+
+    #[test]
+    fn abandon_and_drain_count_lost() {
+        let mut c = nc_core(6);
+        let seq = c.generate(echo(), 0);
+        c.poll();
+        assert!(c.abandon(seq));
+        assert!(!c.abandon(seq), "already abandoned");
+        c.generate(echo(), 1);
+        c.generate(echo(), 2);
+        assert_eq!(c.drain_outstanding(), 2);
+        assert_eq!(c.stats().lost, 3);
+        assert_eq!(c.outstanding(), 0);
+    }
+
+    #[test]
+    fn cclone_duplicates_share_a_seq_and_differ_in_destination() {
+        let servers: Vec<Ipv4> = (0..6).map(Ipv4::server).collect();
+        let mut c = ClientCore::new(0, ClientMode::DirectDuplicate { servers }, 7);
+        for i in 0..100 {
+            c.generate(echo(), i);
+            let a = c.poll().unwrap();
+            let b = c.poll().unwrap();
+            assert_ne!(a.dst_ip, b.dst_ip);
+            assert_eq!(a.nc.client_seq, b.nc.client_seq);
+        }
+        assert_eq!(c.stats().packets_sent, 200);
+        assert_eq!(c.stats().generated, 100);
+    }
+
+    #[test]
+    fn writes_are_marked_uncloneable() {
+        let mut c = nc_core(8);
+        c.generate(
+            RpcOp::Put {
+                key: netclone_proto::KvKey::from_index(1),
+                value_len: 64,
+            },
+            0,
+        );
+        assert_eq!(c.poll().unwrap().nc.state, ServerState(1));
+        c.generate(echo(), 0);
+        assert_eq!(c.poll().unwrap().nc.state, ServerState(0));
+    }
+
+    #[test]
+    fn reset_measurements_keeps_outstanding() {
+        let mut c = nc_core(9);
+        c.generate(echo(), 0);
+        let meta = c.poll().unwrap();
+        c.reset_measurements();
+        assert_eq!(c.stats().generated, 0);
+        let resp = response_for(&meta, CloneStatus::NotCloned);
+        assert!(c.on_packet(&resp, 50_000).latency_ns().is_some());
+    }
+}

@@ -1,0 +1,188 @@
+//! [`ServerCore`] — the transport-free server half of the NetClone
+//! protocol: the §3.4 clone-drop rule, response construction with the
+//! piggybacked queue state, and accounting.
+//!
+//! The core deliberately does **not** own the request queue: the DES
+//! server models it as a `VecDeque` behind simulated worker threads, the
+//! real-socket server *is* a crossbeam channel feeding OS threads. Both
+//! report the observed queue length to the core, which applies the
+//! protocol rules and keeps the counters the evaluation reads.
+//!
+//! Counters are relaxed atomics and every method takes `&self`, so the
+//! real-socket frontend shares one core between its dispatcher and worker
+//! threads without a lock on the per-packet path; the DES frontend simply
+//! uses it single-threaded.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use netclone_proto::{CloneStatus, NetCloneHdr, ServerId, ServerState};
+
+/// What the §3.4 admission rule says to do with an arriving request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdmitDecision {
+    /// Process the request normally (enqueue / start service).
+    Admit,
+    /// A `CLO=2` clone arriving at a non-empty queue: drop it.
+    DropClone,
+}
+
+/// A point-in-time snapshot of the server counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Requests fully served.
+    pub served: u64,
+    /// Cloned requests dropped at the dispatcher (§3.4).
+    pub clones_dropped: u64,
+    /// Responses that reported an empty queue (Fig. 13a numerator).
+    pub idle_reports: u64,
+    /// Total responses sent (Fig. 13a denominator).
+    pub responses: u64,
+    /// Peak queue length observed.
+    pub peak_queue: usize,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    served: AtomicU64,
+    clones_dropped: AtomicU64,
+    idle_reports: AtomicU64,
+    responses: AtomicU64,
+    peak_queue: AtomicUsize,
+}
+
+/// The sans-io server protocol core. Thread-safe by construction: all
+/// methods take `&self` and counters are relaxed atomics.
+#[derive(Debug)]
+pub struct ServerCore {
+    sid: ServerId,
+    counters: Counters,
+}
+
+impl ServerCore {
+    /// Builds a core for server `sid`.
+    pub fn new(sid: ServerId) -> Self {
+        ServerCore {
+            sid,
+            counters: Counters::default(),
+        }
+    }
+
+    /// The server's identity (the `SID` of its responses).
+    pub fn sid(&self) -> ServerId {
+        self.sid
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            served: self.counters.served.load(Ordering::Relaxed),
+            clones_dropped: self.counters.clones_dropped.load(Ordering::Relaxed),
+            idle_reports: self.counters.idle_reports.load(Ordering::Relaxed),
+            responses: self.counters.responses.load(Ordering::Relaxed),
+            peak_queue: self.counters.peak_queue.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Applies the §3.4 admission rule to a request with clone status
+    /// `clo` arriving while the request queue holds `queue_len` entries:
+    /// "the server drops the packet request if the queue is not empty when
+    /// receiving a cloned request … only cloned requests (CLO=2) are
+    /// dropped, while the original (CLO=1) is processed normally."
+    pub fn admit(&self, clo: CloneStatus, queue_len: usize) -> AdmitDecision {
+        if clo == CloneStatus::Clone && queue_len > 0 {
+            self.counters.clones_dropped.fetch_add(1, Ordering::Relaxed);
+            AdmitDecision::DropClone
+        } else {
+            AdmitDecision::Admit
+        }
+    }
+
+    /// Records the queue depth after an admitted request was actually
+    /// enqueued (requests started immediately never deepen the queue).
+    pub fn note_queue_depth(&self, queue_len: usize) {
+        self.counters
+            .peak_queue
+            .fetch_max(queue_len, Ordering::Relaxed);
+    }
+
+    /// Builds the response for `req`, piggybacking the queue length
+    /// observed at send time (§3.4/§5.6.1), and accounts the completion.
+    pub fn response(&self, req: &NetCloneHdr, queue_len: usize) -> NetCloneHdr {
+        let state = ServerState::from_queue_len(queue_len);
+        self.counters.served.fetch_add(1, Ordering::Relaxed);
+        self.counters.responses.fetch_add(1, Ordering::Relaxed);
+        if state.is_idle() {
+            self.counters.idle_reports.fetch_add(1, Ordering::Relaxed);
+        }
+        NetCloneHdr::response_to(req, self.sid, state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_dropped_iff_queue_nonempty() {
+        let s = ServerCore::new(3);
+        assert_eq!(s.admit(CloneStatus::Clone, 0), AdmitDecision::Admit);
+        assert_eq!(s.admit(CloneStatus::Clone, 2), AdmitDecision::DropClone);
+        // Originals (CLO=1) and uncloned requests always pass.
+        assert_eq!(
+            s.admit(CloneStatus::ClonedOriginal, 5),
+            AdmitDecision::Admit
+        );
+        assert_eq!(s.admit(CloneStatus::NotCloned, 5), AdmitDecision::Admit);
+        assert_eq!(s.stats().clones_dropped, 1);
+    }
+
+    #[test]
+    fn noted_depths_track_the_peak() {
+        let s = ServerCore::new(0);
+        s.note_queue_depth(1);
+        s.note_queue_depth(5);
+        s.note_queue_depth(3);
+        assert_eq!(s.stats().peak_queue, 5);
+    }
+
+    #[test]
+    fn responses_piggyback_state_and_count_idle() {
+        let s = ServerCore::new(7);
+        let req = NetCloneHdr::request(4, 1, 2, 99);
+        let idle = s.response(&req, 0);
+        assert!(idle.is_response());
+        assert_eq!(idle.sid, 7);
+        assert!(idle.state.is_idle());
+        assert_eq!(idle.client_seq, 99);
+        let busy = s.response(&req, 3);
+        assert_eq!(busy.state.queue_len(), 3);
+        let st = s.stats();
+        assert_eq!(st.served, 2);
+        assert_eq!(st.responses, 2);
+        assert_eq!(st.idle_reports, 1);
+    }
+
+    #[test]
+    fn core_is_shareable_across_threads() {
+        let s = std::sync::Arc::new(ServerCore::new(0));
+        let req = NetCloneHdr::request(0, 0, 0, 0);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let s = std::sync::Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for _ in 0..1_000 {
+                        s.admit(CloneStatus::Clone, 1);
+                        s.response(&req, 0);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let st = s.stats();
+        assert_eq!(st.clones_dropped, 4_000);
+        assert_eq!(st.served, 4_000);
+        assert_eq!(st.idle_reports, 4_000);
+    }
+}

@@ -1,0 +1,155 @@
+//! Property tests for the client protocol core: under *any* interleaving
+//! of responses, duplicate deliveries, and timeout sweeps, the accounting
+//! is conserved — every generated request ends up exactly once in
+//! `completed` or `lost`, and redundant replies are never double-counted
+//! as completions.
+
+use netclone_hostcore::{ClientCore, ClientMode, RxEvent};
+use netclone_proto::{CloneStatus, NetCloneHdr, PacketMeta, RpcOp, ServerState};
+use proptest::prelude::*;
+
+const TIMEOUT_NS: u64 = 50_000;
+
+fn nc_core(seed: u64) -> ClientCore {
+    ClientCore::new(
+        0,
+        ClientMode::NetClone {
+            num_groups: 30,
+            num_filter_tables: 2,
+        },
+        seed,
+    )
+    .with_timeout(TIMEOUT_NS)
+}
+
+fn response_to(meta: &PacketMeta, from_clone: bool) -> NetCloneHdr {
+    let mut req = meta.nc;
+    req.clo = if from_clone {
+        CloneStatus::Clone
+    } else {
+        CloneStatus::ClonedOriginal
+    };
+    NetCloneHdr::response_to(&req, 1, ServerState::IDLE)
+}
+
+/// One scripted action against the core.
+#[derive(Clone, Debug)]
+enum Action {
+    /// Generate a new request.
+    Generate,
+    /// Deliver a response for the request with this script index (modulo
+    /// the number generated so far); `clone` selects the `CLO=2` copy.
+    Deliver { target: usize, clone: bool },
+    /// Advance time past the timeout horizon and sweep.
+    TickFar,
+}
+
+fn arb_action() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        Just(Action::Generate),
+        (any::<usize>(), any::<bool>())
+            .prop_map(|(target, clone)| Action::Deliver { target, clone }),
+        (any::<usize>(), any::<bool>())
+            .prop_map(|(target, clone)| Action::Deliver { target, clone }),
+        Just(Action::TickFar),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// For any interleaving: `sent == completed + lost` once everything
+    /// has been drained, each request completes at most once (extra
+    /// deliveries are redundant), and clone wins never exceed completions.
+    #[test]
+    fn accounting_is_conserved_under_arbitrary_interleavings(
+        script in proptest::collection::vec(arb_action(), 1..120),
+        seed in any::<u64>(),
+    ) {
+        let mut c = nc_core(seed);
+        let mut now = 0u64;
+        let mut sent: Vec<PacketMeta> = Vec::new();
+        let mut completions = std::collections::HashSet::new();
+        let mut expect_redundant = 0u64;
+
+        for action in script {
+            now += 1_000;
+            match action {
+                Action::Generate => {
+                    c.generate(RpcOp::Echo { class_ns: 10_000 }, now);
+                    sent.push(c.poll().expect("NetClone mode emits one packet"));
+                    prop_assert!(c.poll().is_none());
+                }
+                Action::Deliver { target, clone } => {
+                    if sent.is_empty() {
+                        continue;
+                    }
+                    let meta = &sent[target % sent.len()];
+                    let resp = response_to(meta, clone);
+                    match c.on_packet(&resp, now) {
+                        RxEvent::Completed { from_clone, .. } => {
+                            prop_assert!(
+                                completions.insert(meta.nc.client_seq),
+                                "request {} completed twice",
+                                meta.nc.client_seq
+                            );
+                            prop_assert_eq!(from_clone, clone);
+                        }
+                        RxEvent::Redundant => {
+                            expect_redundant += 1;
+                        }
+                        RxEvent::Ignored => {
+                            prop_assert!(false, "own responses are never ignored");
+                        }
+                    }
+                }
+                Action::TickFar => {
+                    now += TIMEOUT_NS;
+                    c.on_tick(now);
+                }
+            }
+        }
+
+        // Outstanding requests will never be answered once the run ends.
+        c.drain_outstanding();
+
+        let st = c.stats();
+        prop_assert_eq!(st.generated, sent.len() as u64);
+        prop_assert_eq!(st.packets_sent, sent.len() as u64);
+        prop_assert_eq!(st.completed, completions.len() as u64);
+        prop_assert_eq!(
+            st.completed + st.lost,
+            st.generated,
+            "every request resolves exactly once"
+        );
+        prop_assert_eq!(st.redundant, expect_redundant);
+        prop_assert!(st.clone_wins <= st.completed);
+        prop_assert_eq!(c.outstanding(), 0);
+        prop_assert_eq!(c.latencies().count(), st.completed);
+    }
+
+    /// A request that timed out and is answered late is redundant — the
+    /// late reply must not resurrect it as a completion.
+    #[test]
+    fn late_replies_to_evicted_requests_stay_redundant(
+        n in 1usize..30,
+        seed in any::<u64>(),
+    ) {
+        let mut c = nc_core(seed);
+        let mut metas = Vec::new();
+        for i in 0..n {
+            c.generate(RpcOp::Echo { class_ns: 1 }, i as u64);
+            metas.push(c.poll().unwrap());
+        }
+        let far = TIMEOUT_NS + n as u64 + 1;
+        prop_assert_eq!(c.on_tick(far), n as u64);
+        for meta in &metas {
+            let resp = response_to(meta, false);
+            prop_assert_eq!(c.on_packet(&resp, far + 1), RxEvent::Redundant);
+        }
+        let st = c.stats();
+        prop_assert_eq!(st.completed, 0);
+        prop_assert_eq!(st.lost, n as u64);
+        prop_assert_eq!(st.redundant, n as u64);
+    }
+}

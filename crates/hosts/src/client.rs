@@ -1,45 +1,20 @@
-//! The open-loop client model: sender + receiver threads with per-packet
-//! CPU costs, request addressing for every compared scheme, response
-//! dedup, and latency recording.
+//! The open-loop client model: a thin DES frontend over the shared
+//! [`ClientCore`] protocol state machine, adding only what the simulator
+//! models that real hosts get for free from the OS — per-packet CPU costs
+//! on the sender and receiver threads (§4.2's VMA path).
+//!
+//! All protocol logic — request addressing for every compared scheme,
+//! response dedup, clone-win/redundant accounting, latency recording —
+//! lives in [`netclone_hostcore::ClientCore`] and is shared verbatim with
+//! the real-socket clients in `netclone-net`.
 
-use std::collections::HashMap;
-
-use netclone_proto::{ClientId, Ipv4, NetCloneHdr, PacketMeta, RpcOp, ServerState};
+use netclone_hostcore::ClientCore;
+use netclone_proto::{ClientId, Ipv4, RpcOp};
 use netclone_stats::LatencyHistogram;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+
+pub use netclone_hostcore::{ClientMode, ClientStats};
 
 use crate::packet::AppPacket;
-
-/// How the client addresses its requests — one variant per compared scheme
-/// (paper §5.1.3).
-#[derive(Clone, Debug)]
-pub enum ClientMode {
-    /// NetClone: pick a random group ID and filter-table index; let the
-    /// switch choose the destination (§3.3).
-    NetClone {
-        /// Number of installed groups (n·(n−1)).
-        num_groups: u16,
-        /// Number of filter tables (for the random `IDX`).
-        num_filter_tables: u8,
-    },
-    /// Baseline: send to one uniformly random worker server, no cloning.
-    DirectRandom {
-        /// The worker servers' addresses.
-        servers: Vec<Ipv4>,
-    },
-    /// C-Clone: send duplicates to two distinct random servers; the client
-    /// processes both responses itself (§2.2).
-    DirectDuplicate {
-        /// The worker servers' addresses.
-        servers: Vec<Ipv4>,
-    },
-    /// LÆDGE: send everything to the coordinator host.
-    Coordinator {
-        /// The coordinator's address.
-        ip: Ipv4,
-    },
-}
 
 /// Outcome of the receiver thread processing one response.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -52,33 +27,14 @@ pub struct RxOutcome {
     pub latency_ns: Option<u64>,
 }
 
-/// Aggregate client statistics.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct ClientStats {
-    /// Requests generated.
-    pub generated: u64,
-    /// Packets sent (2× generated for C-Clone).
-    pub packets_sent: u64,
-    /// Completed requests (first responses).
-    pub completed: u64,
-    /// Redundant responses processed and discarded by the client.
-    pub redundant: u64,
-}
-
-/// One simulated client host.
+/// One simulated client host: the shared protocol core plus the two
+/// serial thread resources (sender, receiver) the paper's client runs on.
 pub struct ClientSim {
-    cid: ClientId,
-    ip: Ipv4,
-    mode: ClientMode,
+    core: ClientCore,
     tx_cost_ns: u64,
     rx_cost_ns: u64,
-    rng: StdRng,
     tx_free_at: u64,
     rx_free_at: u64,
-    next_seq: u32,
-    outstanding: HashMap<u32, u64>, // client_seq → born_ns
-    latencies: LatencyHistogram,
-    stats: ClientStats,
 }
 
 impl ClientSim {
@@ -95,57 +51,49 @@ impl ClientSim {
         seed: u64,
     ) -> Self {
         ClientSim {
-            cid,
-            ip: Ipv4::client(cid),
-            mode,
+            core: ClientCore::new(cid, mode, seed),
             tx_cost_ns,
             rx_cost_ns,
-            rng: StdRng::seed_from_u64(seed),
             tx_free_at: 0,
             rx_free_at: 0,
-            next_seq: 0,
-            outstanding: HashMap::new(),
-            latencies: LatencyHistogram::new(),
-            stats: ClientStats::default(),
         }
     }
 
     /// The client's address.
     pub fn ip(&self) -> Ipv4 {
-        self.ip
+        self.core.ip()
     }
 
     /// The client's identity.
     pub fn cid(&self) -> ClientId {
-        self.cid
+        self.core.cid()
     }
 
     /// Mutable access to the addressing mode — the §3.6 failure path
     /// updates "the number of groups on the client side" (and direct modes
     /// drop dead servers) through this.
     pub fn mode_mut(&mut self) -> &mut ClientMode {
-        &mut self.mode
+        self.core.mode_mut()
     }
 
     /// Latency histogram of completed requests.
     pub fn latencies(&self) -> &LatencyHistogram {
-        &self.latencies
+        self.core.latencies()
     }
 
     /// Statistics so far.
     pub fn stats(&self) -> ClientStats {
-        self.stats
+        self.core.stats()
     }
 
     /// Requests still awaiting their first response.
     pub fn outstanding(&self) -> usize {
-        self.outstanding.len()
+        self.core.outstanding()
     }
 
     /// Discards warm-up measurements (keeps outstanding bookkeeping).
     pub fn reset_measurements(&mut self) {
-        self.latencies.clear();
-        self.stats = ClientStats::default();
+        self.core.reset_measurements();
     }
 
     /// Generates one request at time `now` and returns the packet(s) the
@@ -155,27 +103,11 @@ impl ClientSim {
     /// sender thread's per-packet cost (`tx_free_at`), exactly like an
     /// application handing buffers to a userspace NIC queue.
     pub fn generate(&mut self, op: RpcOp, now: u64) -> Vec<(AppPacket, u64)> {
-        let seq = self.next_seq;
-        self.next_seq = self.next_seq.wrapping_add(1);
-        self.outstanding.insert(seq, now);
-        self.stats.generated += 1;
-
-        // Writes must not be cloned (§5.5): mark them for the switch.
-        let uncloneable = !op.is_cloneable();
-        let mk_hdr = |grp: u16, idx: u8, me: &mut Self| {
-            let mut nc = NetCloneHdr::request(grp, idx, me.cid, seq);
-            if uncloneable {
-                nc.state = ServerState(1);
-            }
-            nc
-        };
-
+        self.core.generate(op, now);
         let mut out = Vec::with_capacity(2);
-        let mut push = |me: &mut Self, mut meta: PacketMeta| {
-            let tx_done = now.max(me.tx_free_at) + me.tx_cost_ns;
-            me.tx_free_at = tx_done;
-            meta.src_ip = me.ip;
-            me.stats.packets_sent += 1;
+        while let Some(meta) = self.core.poll() {
+            let tx_done = now.max(self.tx_free_at) + self.tx_cost_ns;
+            self.tx_free_at = tx_done;
             out.push((
                 AppPacket {
                     meta,
@@ -184,51 +116,6 @@ impl ClientSim {
                 },
                 tx_done,
             ));
-        };
-
-        match self.mode.clone() {
-            ClientMode::NetClone {
-                num_groups,
-                num_filter_tables,
-            } => {
-                let grp = self.rng.random_range(0..num_groups.max(1));
-                let idx = self.rng.random_range(0..num_filter_tables.max(1));
-                let nc = mk_hdr(grp, idx, self);
-                push(self, PacketMeta::netclone_request(self.ip, nc, 84));
-            }
-            ClientMode::DirectRandom { servers } => {
-                let dst = servers[self.rng.random_range(0..servers.len())];
-                let nc = mk_hdr(0, 0, self);
-                let mut meta = PacketMeta::netclone_request(self.ip, nc, 84);
-                meta.dst_ip = dst;
-                push(self, meta);
-            }
-            ClientMode::DirectDuplicate { servers } => {
-                // Two distinct random servers (§2.2: "typically sends two
-                // duplicate requests").
-                let a = self.rng.random_range(0..servers.len());
-                let b = if servers.len() > 1 {
-                    let mut b = self.rng.random_range(0..servers.len() - 1);
-                    if b >= a {
-                        b += 1;
-                    }
-                    b
-                } else {
-                    a
-                };
-                for dst in [servers[a], servers[b]] {
-                    let nc = mk_hdr(0, 0, self);
-                    let mut meta = PacketMeta::netclone_request(self.ip, nc, 84);
-                    meta.dst_ip = dst;
-                    push(self, meta);
-                }
-            }
-            ClientMode::Coordinator { ip } => {
-                let nc = mk_hdr(0, 0, self);
-                let mut meta = PacketMeta::netclone_request(self.ip, nc, 84);
-                meta.dst_ip = ip;
-                push(self, meta);
-            }
         }
         out
     }
@@ -242,23 +129,9 @@ impl ClientSim {
     pub fn on_response(&mut self, pkt: &AppPacket, now: u64) -> RxOutcome {
         let done_at = now.max(self.rx_free_at) + self.rx_cost_ns;
         self.rx_free_at = done_at;
-        match self.outstanding.remove(&pkt.meta.nc.client_seq) {
-            Some(born) => {
-                let latency = done_at.saturating_sub(born);
-                self.latencies.record(latency);
-                self.stats.completed += 1;
-                RxOutcome {
-                    done_at,
-                    latency_ns: Some(latency),
-                }
-            }
-            None => {
-                self.stats.redundant += 1;
-                RxOutcome {
-                    done_at,
-                    latency_ns: None,
-                }
-            }
+        RxOutcome {
+            done_at,
+            latency_ns: self.core.on_packet(&pkt.meta.nc, done_at).latency_ns(),
         }
     }
 }
@@ -266,9 +139,25 @@ impl ClientSim {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use netclone_proto::{NetCloneHdr, ServerState};
 
     fn echo() -> RpcOp {
         RpcOp::Echo { class_ns: 25_000 }
+    }
+
+    /// The response a server would send for `pkt` (echoing its identity).
+    fn response_to(pkt: &AppPacket) -> AppPacket {
+        let nc = NetCloneHdr::response_to(&pkt.meta.nc, 0, ServerState::IDLE);
+        AppPacket {
+            meta: netclone_proto::PacketMeta::netclone_response(
+                Ipv4::server(0),
+                pkt.meta.src_ip,
+                nc,
+                84,
+            ),
+            op: pkt.op,
+            born_ns: pkt.born_ns,
+        }
     }
 
     #[test]
@@ -328,10 +217,10 @@ mod tests {
             4,
         );
         let out = c.generate(echo(), 0);
-        let pkt = out[0].0;
-        let r1 = c.on_response(&pkt, 40_000);
+        let resp = response_to(&out[0].0);
+        let r1 = c.on_response(&resp, 40_000);
         assert_eq!(r1.latency_ns, Some(40_500));
-        let r2 = c.on_response(&pkt, 41_000);
+        let r2 = c.on_response(&resp, 41_000);
         assert_eq!(r2.latency_ns, None);
         let st = c.stats();
         assert_eq!(st.completed, 1);
@@ -351,8 +240,8 @@ mod tests {
             1_000,
             5,
         );
-        let a = c.generate(echo(), 0)[0].0;
-        let b = c.generate(echo(), 0)[0].0;
+        let a = response_to(&c.generate(echo(), 0)[0].0);
+        let b = response_to(&c.generate(echo(), 0)[0].0);
         // Both responses arrive at t=10_000; the second waits for the
         // receiver.
         let r1 = c.on_response(&a, 10_000);
@@ -408,7 +297,26 @@ mod tests {
         c.reset_measurements();
         assert_eq!(c.stats().generated, 0);
         // The in-flight request still completes after the reset.
-        let r = c.on_response(&pkt, 50_000);
+        let r = c.on_response(&response_to(&pkt), 50_000);
         assert!(r.latency_ns.is_some());
+    }
+
+    #[test]
+    fn clone_wins_surface_through_the_sim() {
+        let mut c = ClientSim::new(
+            0,
+            ClientMode::NetClone {
+                num_groups: 30,
+                num_filter_tables: 2,
+            },
+            0,
+            0,
+            9,
+        );
+        let pkt = c.generate(echo(), 0)[0].0;
+        let mut resp = response_to(&pkt);
+        resp.meta.nc.clo = netclone_proto::CloneStatus::Clone;
+        c.on_response(&resp, 1_000);
+        assert_eq!(c.stats().clone_wins, 1);
     }
 }

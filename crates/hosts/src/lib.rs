@@ -15,15 +15,22 @@
 //!   the receiver cost is what makes unfiltered redundant responses harmful
 //!   at load (Fig. 15) and halves C-Clone's effective capacity (§2.2).
 //!
-//! Clients implement all four request-addressing modes of the evaluation:
-//! NetClone (group ID, unspecified destination), Baseline (random server),
-//! C-Clone (duplicate to two random servers), and coordinator-directed
-//! (LÆDGE).
+//! Both models are thin DES frontends over the shared sans-io protocol
+//! cores in [`netclone-hostcore`]: the cores own addressing, duplicate
+//! filtering, the §3.4 clone-drop rule, piggyback construction, and all
+//! accounting; this crate adds only the *timing* the simulator models
+//! (serial sender/receiver threads, dispatcher + FCFS queue + workers).
+//! The request-addressing modes of the evaluation — NetClone (group ID,
+//! unspecified destination), Baseline (random server), C-Clone (duplicate
+//! to two random servers), and coordinator-directed (LÆDGE) — come from
+//! [`netclone_hostcore::ClientMode`], re-exported here.
+//!
+//! [`netclone-hostcore`]: ../netclone_hostcore/index.html
 
 pub mod client;
 pub mod packet;
 pub mod server;
 
-pub use client::{ClientMode, ClientSim, RxOutcome};
+pub use client::{ClientMode, ClientSim, ClientStats, RxOutcome};
 pub use packet::AppPacket;
-pub use server::{Admission, Completion, ServerConfig, ServerSim};
+pub use server::{Admission, Completion, ServerConfig, ServerSim, ServerStats};

@@ -1,13 +1,20 @@
-//! The worker-server model: dispatcher + FCFS queue + worker threads, the
-//! §3.4 cloned-request drop rule, and state piggybacking.
+//! The worker-server model: a DES frontend over the shared [`ServerCore`]
+//! protocol state machine, adding the dispatcher + FCFS queue + worker
+//! thread *timing* the simulator models. The §3.4 clone-drop rule,
+//! response construction with state piggybacking, and all accounting live
+//! in [`netclone_hostcore::ServerCore`], shared verbatim with the
+//! real-socket server in `netclone-net`.
 
 use std::collections::VecDeque;
 
+use netclone_hostcore::{AdmitDecision, ServerCore};
 use netclone_kvstore::ServiceCostModel;
-use netclone_proto::{CloneStatus, RpcOp, ServerId, ServerState};
+use netclone_proto::{NetCloneHdr, RpcOp, ServerId};
 use netclone_workloads::{Jitter, ServiceShape};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+pub use netclone_hostcore::ServerStats;
 
 use crate::packet::AppPacket;
 
@@ -83,37 +90,22 @@ pub enum Admission {
 /// What a completed service hands back.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Completion {
-    /// The state to piggyback on the response (queue length at send time,
-    /// §3.4/§5.6.1).
-    pub state: ServerState,
+    /// The response header to send, piggybacking the queue length at send
+    /// time (§3.4/§5.6.1), built by the shared [`ServerCore`].
+    pub resp: NetCloneHdr,
     /// The next queued request this worker immediately starts, with its
     /// completion time.
     pub next: Option<(AppPacket, u64)>,
 }
 
-/// Aggregate server statistics.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct ServerStats {
-    /// Requests fully served.
-    pub served: u64,
-    /// Cloned requests dropped at the dispatcher.
-    pub clones_dropped: u64,
-    /// Responses that reported an empty queue (Fig. 13a numerator).
-    pub idle_reports: u64,
-    /// Total responses sent (Fig. 13a denominator).
-    pub responses: u64,
-    /// Peak queue length observed.
-    pub peak_queue: usize,
-}
-
 /// One simulated worker server.
 pub struct ServerSim {
     cfg: ServerConfig,
+    core: ServerCore,
     rng: StdRng,
     queue: VecDeque<AppPacket>,
     busy_workers: usize,
     dispatcher_free_at: u64,
-    stats: ServerStats,
     alive: bool,
 }
 
@@ -121,19 +113,19 @@ impl ServerSim {
     /// Builds a server from its configuration.
     pub fn new(cfg: ServerConfig) -> Self {
         ServerSim {
+            core: ServerCore::new(cfg.sid),
             rng: StdRng::seed_from_u64(cfg.seed),
             cfg,
             queue: VecDeque::new(),
             busy_workers: 0,
             dispatcher_free_at: 0,
-            stats: ServerStats::default(),
             alive: true,
         }
     }
 
     /// The server's identity.
     pub fn sid(&self) -> ServerId {
-        self.cfg.sid
+        self.core.sid()
     }
 
     /// Current queue length (excludes in-service requests — this is the
@@ -149,7 +141,7 @@ impl ServerSim {
 
     /// Statistics so far.
     pub fn stats(&self) -> ServerStats {
-        self.stats
+        self.core.stats()
     }
 
     /// Marks the server failed: it silently drops everything (§3.6).
@@ -183,13 +175,10 @@ impl ServerSim {
         }
         // The single dispatcher thread serialises receive+enqueue work.
         let t0 = now.max(self.dispatcher_free_at);
-        // §3.4: "the server drops the packet request if the queue is not
-        // empty when receiving a cloned request … only cloned requests
-        // (CLO=2) are dropped, while the original (CLO=1) is processed
-        // normally."
-        if pkt.meta.nc.clo == CloneStatus::Clone && !self.queue.is_empty() {
+        // §3.4: cloned requests (CLO=2) are dropped on a non-empty queue;
+        // the shared core applies the rule and keeps the counter.
+        if self.core.admit(pkt.meta.nc.clo, self.queue.len()) == AdmitDecision::DropClone {
             self.dispatcher_free_at = t0 + self.cfg.clone_drop_ns;
-            self.stats.clones_dropped += 1;
             return Admission::CloneDropped;
         }
         let ready = t0 + self.cfg.dispatch_ns;
@@ -202,13 +191,13 @@ impl ServerSim {
             }
         } else {
             self.queue.push_back(pkt);
-            self.stats.peak_queue = self.stats.peak_queue.max(self.queue.len());
+            self.core.note_queue_depth(self.queue.len());
             Admission::Queued
         }
     }
 
-    /// Completes one service at time `now`: pulls the next queued request
-    /// (if any) onto the freed worker, then reports the piggyback state.
+    /// Completes one service of `req` at time `now`: pulls the next queued
+    /// request (if any) onto the freed worker, then builds the response.
     ///
     /// The worker loop is *dequeue next, then send the response* — so the
     /// "current queue length when sending a response" (§5.6.1) is the
@@ -216,28 +205,23 @@ impl ServerSim {
     /// imminent drain, which is what lets cloning persist into high loads
     /// (§5.6.1: "queues do not always build up even under very high
     /// loads") and produces the §5.3.2 herding effects the paper observes.
-    pub fn on_service_done(&mut self, now: u64) -> Completion {
+    pub fn on_service_done(&mut self, req: &NetCloneHdr, now: u64) -> Completion {
         debug_assert!(self.busy_workers > 0, "completion without a busy worker");
         self.busy_workers = self.busy_workers.saturating_sub(1);
-        self.stats.served += 1;
         let next = self.queue.pop_front().map(|pkt| {
             self.busy_workers += 1;
             let service = self.draw_service_ns(&pkt.op);
             (pkt, now + service)
         });
-        let state = ServerState::from_queue_len(self.queue.len());
-        self.stats.responses += 1;
-        if state.is_idle() {
-            self.stats.idle_reports += 1;
-        }
-        Completion { state, next }
+        let resp = self.core.response(req, self.queue.len());
+        Completion { resp, next }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use netclone_proto::{Ipv4, NetCloneHdr, PacketMeta};
+    use netclone_proto::{CloneStatus, Ipv4, PacketMeta};
 
     fn pkt(clo: CloneStatus) -> AppPacket {
         let mut meta =
@@ -282,6 +266,7 @@ mod tests {
             Admission::Queued
         );
         assert_eq!(s.queue_len(), 1);
+        assert_eq!(s.stats().peak_queue, 1);
     }
 
     #[test]
@@ -311,17 +296,20 @@ mod tests {
     #[test]
     fn completion_reports_queue_state_and_chains_next() {
         let mut s = det_server(1);
-        let done_at = match s.on_request(pkt(CloneStatus::NotCloned), 0) {
+        let first = pkt(CloneStatus::NotCloned);
+        let done_at = match s.on_request(first, 0) {
             Admission::Start { done_at } => done_at,
             other => panic!("{other:?}"),
         };
         s.on_request(pkt(CloneStatus::NotCloned), 10);
         s.on_request(pkt(CloneStatus::NotCloned), 20);
         assert_eq!(s.queue_len(), 2);
-        let c = s.on_service_done(done_at);
+        let c = s.on_service_done(&first.meta.nc, done_at);
         // State sampled after the worker dequeues its next request:
         // 2 were queued, 1 remains.
-        assert_eq!(c.state.queue_len(), 1);
+        assert_eq!(c.resp.state.queue_len(), 1);
+        assert!(c.resp.is_response());
+        assert_eq!(c.resp.sid, 0);
         let (next_pkt, next_done) = c.next.expect("worker must chain");
         assert_eq!(next_pkt.meta.nc.clo, CloneStatus::NotCloned);
         assert_eq!(next_done, done_at + 25_000);
@@ -332,15 +320,17 @@ mod tests {
     #[test]
     fn idle_reports_track_empty_queue_fraction() {
         let mut s = det_server(2);
-        let d1 = match s.on_request(pkt(CloneStatus::NotCloned), 0) {
+        let first = pkt(CloneStatus::NotCloned);
+        let d1 = match s.on_request(first, 0) {
             Admission::Start { done_at } => done_at,
             _ => unreachable!(),
         };
-        let c = s.on_service_done(d1);
-        assert!(c.state.is_idle());
+        let c = s.on_service_done(&first.meta.nc, d1);
+        assert!(c.resp.state.is_idle());
         let st = s.stats();
         assert_eq!(st.idle_reports, 1);
         assert_eq!(st.responses, 1);
+        assert_eq!(st.served, 1);
     }
 
     #[test]

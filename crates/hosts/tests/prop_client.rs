@@ -1,9 +1,19 @@
 //! Property tests for the client model: dedup, latency accounting, and
 //! sender/receiver serialization under arbitrary traffic.
 
-use netclone_hosts::{ClientMode, ClientSim};
-use netclone_proto::{Ipv4, RpcOp};
+use netclone_hosts::{AppPacket, ClientMode, ClientSim};
+use netclone_proto::{Ipv4, NetCloneHdr, PacketMeta, RpcOp, ServerState};
 use proptest::prelude::*;
+
+/// The response a server would send for `pkt`.
+fn response_to(pkt: &AppPacket) -> AppPacket {
+    let nc = NetCloneHdr::response_to(&pkt.meta.nc, 0, ServerState::IDLE);
+    AppPacket {
+        meta: PacketMeta::netclone_response(Ipv4::server(0), pkt.meta.src_ip, nc, 84),
+        op: pkt.op,
+        born_ns: pkt.born_ns,
+    }
+}
 
 fn nc_client(seed: u64) -> ClientSim {
     ClientSim::new(
@@ -35,7 +45,7 @@ proptest! {
         for i in 0..n {
             let out = c.generate(RpcOp::Echo { class_ns: 10_000 }, (i as u64) * 1_000);
             prop_assert_eq!(out.len(), 1);
-            pkts.push(out[0].0);
+            pkts.push(response_to(&out[0].0));
         }
         let mut now = 1_000_000u64;
         let mut expect_redundant = 0u64;
@@ -67,7 +77,7 @@ proptest! {
         let mut c = nc_client(seed);
         let mut pkts = Vec::new();
         for _ in 0..k {
-            pkts.push(c.generate(RpcOp::Echo { class_ns: 1 }, 0)[0].0);
+            pkts.push(response_to(&c.generate(RpcOp::Echo { class_ns: 1 }, 0)[0].0));
         }
         let arrive = 10_000u64;
         let mut last_done = 0;

@@ -19,6 +19,12 @@ fn pkt(clo: CloneStatus) -> AppPacket {
     }
 }
 
+/// A request header completions are attributed to (identity is irrelevant
+/// to the properties under test).
+fn req_hdr() -> NetCloneHdr {
+    NetCloneHdr::request(0, 0, 0, 0)
+}
+
 fn server(workers: usize, seed: u64) -> ServerSim {
     ServerSim::new(ServerConfig {
         sid: 0,
@@ -58,7 +64,7 @@ proptest! {
             for _ in 0..completions_first {
                 if let Some(std::cmp::Reverse(done_at)) = in_service.pop() {
                     now = now.max(done_at);
-                    let c = s.on_service_done(now);
+                    let c = s.on_service_done(&req_hdr(), now);
                     completed += 1;
                     if let Some((_pkt, next_done)) = c.next {
                         in_service.push(std::cmp::Reverse(next_done));
@@ -89,7 +95,7 @@ proptest! {
         // Drain everything.
         while let Some(std::cmp::Reverse(done_at)) = in_service.pop() {
             now = now.max(done_at);
-            let c = s.on_service_done(now);
+            let c = s.on_service_done(&req_hdr(), now);
             completed += 1;
             if let Some((_pkt, next_done)) = c.next {
                 in_service.push(std::cmp::Reverse(next_done));
@@ -121,9 +127,9 @@ proptest! {
         let mut responses = 0u64;
         while let Some(done_at) = in_service.pop() {
             now = now.max(done_at);
-            let c = s.on_service_done(now);
+            let c = s.on_service_done(&req_hdr(), now);
             responses += 1;
-            if c.state.is_idle() {
+            if c.resp.state.is_idle() {
                 idle_seen += 1;
             }
             if let Some((_p, d)) = c.next {

@@ -1,15 +1,19 @@
-//! The real-socket client: NetClone-style addressing (random group +
-//! filter-table index, destination left to the switch), latency
-//! measurement, and redundant-response accounting.
+//! The real-socket client: a blocking UDP driver over the shared
+//! [`ClientCore`] protocol state machine.
+//!
+//! Addressing (random group + filter-table index, destination left to the
+//! switch), duplicate filtering, latency measurement, and clone-win /
+//! redundant / lost accounting all live in
+//! [`netclone_hostcore::ClientCore`] — this type only moves datagrams and
+//! converts wall-clock time to the core's explicit nanoseconds.
 
 use std::net::{SocketAddr, UdpSocket};
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use netclone_proto::{ClientId, Ipv4, NetCloneHdr, PacketMeta, RpcOp, ServerState};
+use netclone_hostcore::{ClientCore, ClientMode, ClientStats, RxEvent};
+use netclone_proto::{ClientId, Ipv4, RpcOp, ServerState};
 use netclone_stats::LatencyHistogram;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::codec::{decode_packet, encode_packet};
 
@@ -50,17 +54,10 @@ pub struct CallReply {
 
 /// A real-socket NetClone client.
 pub struct UdpClient {
-    cid: ClientId,
-    vip: Ipv4,
+    core: ClientCore,
     socket: UdpSocket,
     switch_addr: SocketAddr,
-    num_groups: u16,
-    num_filter_tables: u8,
-    rng: StdRng,
-    next_seq: u32,
-    latencies: LatencyHistogram,
-    redundant: u64,
-    completed: u64,
+    epoch: Instant,
 }
 
 impl UdpClient {
@@ -75,18 +72,22 @@ impl UdpClient {
     ) -> std::io::Result<UdpClient> {
         let socket = UdpSocket::bind("127.0.0.1:0")?;
         Ok(UdpClient {
-            cid,
-            vip: Ipv4::client(cid),
+            core: ClientCore::new(
+                cid,
+                ClientMode::NetClone {
+                    num_groups,
+                    num_filter_tables,
+                },
+                seed,
+            ),
             socket,
             switch_addr,
-            num_groups,
-            num_filter_tables,
-            rng: StdRng::seed_from_u64(seed),
-            next_seq: 0,
-            latencies: LatencyHistogram::new(),
-            redundant: 0,
-            completed: 0,
+            epoch: Instant::now(),
         })
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
     }
 
     /// The client's socket address.
@@ -96,22 +97,37 @@ impl UdpClient {
 
     /// The client's virtual address.
     pub fn vip(&self) -> Ipv4 {
-        self.vip
+        self.core.ip()
     }
 
     /// Latency histogram of completed calls.
     pub fn latencies(&self) -> &LatencyHistogram {
-        &self.latencies
+        self.core.latencies()
+    }
+
+    /// Statistics so far (same counters as every other frontend).
+    pub fn stats(&self) -> ClientStats {
+        self.core.stats()
     }
 
     /// Redundant responses observed (should be 0 with filtering on).
     pub fn redundant(&self) -> u64 {
-        self.redundant
+        self.core.stats().redundant
     }
 
     /// Completed calls.
     pub fn completed(&self) -> u64 {
-        self.completed
+        self.core.stats().completed
+    }
+
+    /// Calls abandoned after their timeout.
+    pub fn lost(&self) -> u64 {
+        self.core.stats().lost
+    }
+
+    /// Completed calls won by the switch-generated clone.
+    pub fn clone_wins(&self) -> u64 {
+        self.core.stats().clone_wins
     }
 
     /// Issues one request and blocks for its first response.
@@ -120,73 +136,77 @@ impl UdpClient {
     /// waiting are counted and discarded, mirroring the client-side
     /// redundancy handling the paper requires of RPC frameworks (§3.7).
     pub fn call(&mut self, op: RpcOp, timeout: Duration) -> Result<CallReply, CallError> {
-        let seq = self.next_seq;
-        self.next_seq = self.next_seq.wrapping_add(1);
-        let grp = self.rng.random_range(0..self.num_groups.max(1));
-        let idx = self.rng.random_range(0..self.num_filter_tables.max(1));
-        let mut nc = NetCloneHdr::request(grp, idx, self.cid, seq);
-        if !op.is_cloneable() {
-            nc.state = ServerState(1); // §5.5: writes are not cloned
-        }
-        let meta = PacketMeta::netclone_request(self.vip, nc, 0);
+        let seq = self.core.generate(op, self.now_ns());
+        let meta = self.core.poll().expect("NetClone mode emits one packet");
+        debug_assert!(self.core.poll().is_none());
         let datagram = encode_packet(&meta, &op, &[]);
         let start = Instant::now();
-        self.socket
-            .send_to(&datagram, self.switch_addr)
-            .map_err(|e| CallError::Io(e.to_string()))?;
+        // Every early return must abandon `seq`, or the entry would linger
+        // in the outstanding map and let a stray late datagram complete it
+        // during a *later* call with a nonsense latency.
+        let fail = |core: &mut ClientCore, e: CallError| {
+            core.abandon(seq);
+            Err(e)
+        };
+        if let Err(e) = self.socket.send_to(&datagram, self.switch_addr) {
+            return fail(&mut self.core, CallError::Io(e.to_string()));
+        }
 
         let mut buf = vec![0u8; 65_536];
         loop {
             let elapsed = start.elapsed();
             if elapsed >= timeout {
-                return Err(CallError::Timeout);
+                return fail(&mut self.core, CallError::Timeout);
             }
-            self.socket
-                .set_read_timeout(Some(timeout - elapsed))
-                .map_err(|e| CallError::Io(e.to_string()))?;
+            if let Err(e) = self.socket.set_read_timeout(Some(timeout - elapsed)) {
+                return fail(&mut self.core, CallError::Io(e.to_string()));
+            }
             let len = match self.socket.recv(&mut buf) {
                 Ok(len) => len,
                 Err(e)
                     if e.kind() == std::io::ErrorKind::WouldBlock
                         || e.kind() == std::io::ErrorKind::TimedOut =>
                 {
-                    return Err(CallError::Timeout)
+                    return fail(&mut self.core, CallError::Timeout);
                 }
-                Err(e) => return Err(CallError::Io(e.to_string())),
+                Err(e) => return fail(&mut self.core, CallError::Io(e.to_string())),
             };
             let Ok((m, _op, value)) = decode_packet(Bytes::copy_from_slice(&buf[..len])) else {
                 continue;
             };
-            if !m.nc.is_response() {
-                continue;
+            match self.core.on_packet(&m.nc, self.now_ns()) {
+                RxEvent::Completed {
+                    latency_ns,
+                    from_clone,
+                } if m.nc.client_seq == seq => {
+                    return Ok(CallReply {
+                        sid: m.nc.sid,
+                        state: m.nc.state,
+                        from_clone,
+                        value: value.to_vec(),
+                        latency: Duration::from_nanos(latency_ns),
+                    });
+                }
+                // Responses to other (abandoned/stale) sequence numbers and
+                // anything the core classified as redundant or foreign are
+                // already accounted; keep waiting for ours.
+                _ => continue,
             }
-            if m.nc.client_seq != seq || m.nc.client_id != self.cid {
-                self.redundant += 1; // a slower response that escaped the filter
-                continue;
-            }
-            let latency = start.elapsed();
-            self.latencies.record(latency.as_nanos() as u64);
-            self.completed += 1;
-            return Ok(CallReply {
-                sid: m.nc.sid,
-                state: m.nc.state,
-                from_clone: m.nc.clo == netclone_proto::CloneStatus::Clone,
-                value: value.to_vec(),
-                latency,
-            });
         }
     }
 
     /// Drains any late datagrams sitting in the socket buffer, counting
-    /// them as redundant. Returns how many were drained.
+    /// responses to this client as redundant. Returns how many were
+    /// drained.
     pub fn drain_late_responses(&mut self) -> u64 {
         let mut buf = [0u8; 65_536];
         let mut n = 0;
         let _ = self.socket.set_read_timeout(Some(Duration::from_millis(5)));
         while let Ok(len) = self.socket.recv(&mut buf) {
-            if decode_packet(Bytes::copy_from_slice(&buf[..len])).is_ok() {
-                self.redundant += 1;
-                n += 1;
+            if let Ok((m, _op, _value)) = decode_packet(Bytes::copy_from_slice(&buf[..len])) {
+                if self.core.on_packet(&m.nc, self.now_ns()) != RxEvent::Ignored {
+                    n += 1;
+                }
             }
         }
         n

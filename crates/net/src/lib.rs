@@ -15,6 +15,12 @@
 //! (performed internally by the program), state tracking, response
 //! filtering — are the genuine Algorithm 1 implementation.
 //!
+//! The host protocol logic — addressing, duplicate filtering, the §3.4
+//! clone-drop rule, clone-win/redundant/lost accounting — is **not**
+//! implemented here: every client and server in this crate is a socket
+//! driver over the sans-io cores in [`netclone-hostcore`], the same state
+//! machines the discrete-event simulator runs.
+//!
 //! Concurrency follows the structured style of the networking guides:
 //! crossbeam channels as the server's request queue (its length is the
 //! §3.4 "queue" the clone-drop rule consults), `parking_lot` locks around
@@ -22,6 +28,7 @@
 //! drop.
 //!
 //! [`netclone-core`]: ../netclone_core/index.html
+//! [`netclone-hostcore`]: ../netclone_hostcore/index.html
 //! [`netclone-proto::wire`]: ../netclone_proto/wire/index.html
 
 pub mod client;
@@ -32,7 +39,7 @@ pub mod switch;
 pub mod testbed;
 pub mod work;
 
-pub use client::{CallError, UdpClient};
+pub use client::{CallError, CallReply, UdpClient};
 pub use codec::{decode_packet, encode_packet};
 pub use openloop::{OpenLoopClient, OpenLoopReport, OpenLoopSpec};
 pub use server::{ServerHandle, UdpServerConfig};

@@ -2,18 +2,26 @@
 //! consists of two threads, one is the sender thread and the other is the
 //! receiver thread. The inter-arrival time between two consecutive
 //! requests is exponentially distributed."
+//!
+//! Both threads drive one shared [`ClientCore`]: the sender locks it to
+//! generate and address each request, the receiver locks it to classify
+//! responses and to evict requests that outlived `request_timeout`
+//! (bounding the outstanding map under response loss). All accounting —
+//! completed, redundant, clone-win, lost — is therefore identical to the
+//! DES client and to [`crate::UdpClient`].
 
-use std::collections::HashMap;
 use std::net::{SocketAddr, UdpSocket};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use netclone_proto::{Ipv4, NetCloneHdr, PacketMeta, RpcOp};
+use netclone_hostcore::{ClientCore, ClientMode, ClientStats};
+use netclone_proto::{Ipv4, RpcOp};
 use netclone_stats::LatencyHistogram;
 use netclone_workloads::PoissonArrivals;
+use parking_lot::Mutex;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 
 use crate::codec::{decode_packet, encode_packet};
 
@@ -28,6 +36,9 @@ pub struct OpenLoopSpec {
     pub op: RpcOp,
     /// Extra time to wait for in-flight responses after generation stops.
     pub drain: Duration,
+    /// Per-request timeout: requests unanswered this long are evicted from
+    /// the outstanding map and reported as `lost`.
+    pub request_timeout: Duration,
     /// Number of installed groups on the switch.
     pub num_groups: u16,
     /// Number of filter tables (for the random IDX).
@@ -45,6 +56,11 @@ pub struct OpenLoopReport {
     pub completed: u64,
     /// Redundant/late responses received.
     pub redundant: u64,
+    /// Completed requests won by the switch-generated clone (`CLO=2`).
+    pub clone_wins: u64,
+    /// Requests that never saw a response: evicted after
+    /// `request_timeout`, or still outstanding when the run ended.
+    pub lost: u64,
     /// Latency histogram (ns) of completed requests.
     pub latencies: LatencyHistogram,
 }
@@ -56,6 +72,15 @@ impl OpenLoopReport {
             0.0
         } else {
             self.completed as f64 / self.sent as f64
+        }
+    }
+
+    /// Fraction of completions won by the clone copy.
+    pub fn clone_win_ratio(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.clone_wins as f64 / self.completed as f64
         }
     }
 }
@@ -93,26 +118,36 @@ impl OpenLoopClient {
     /// Runs the sender on this thread and a receiver thread until the
     /// window plus drain elapse; returns the merged report.
     pub fn run(self, spec: OpenLoopSpec) -> std::io::Result<OpenLoopReport> {
+        let core = Arc::new(Mutex::new(
+            ClientCore::new(
+                self.cid,
+                ClientMode::NetClone {
+                    num_groups: spec.num_groups,
+                    num_filter_tables: spec.num_filter_tables,
+                },
+                spec.seed,
+            )
+            .with_timeout(spec.request_timeout.as_nanos() as u64),
+        ));
         let rx_socket = self.socket.try_clone()?;
-        let deadline = Instant::now() + spec.duration + spec.drain;
-        type SendRecord = (u32, Instant);
-        let (meta_tx, meta_rx): (Sender<SendRecord>, Receiver<SendRecord>) = unbounded();
-        let cid = self.cid;
-        let receiver = std::thread::Builder::new()
-            .name(format!("openloop{cid}-rx"))
-            .spawn(move || receiver_loop(rx_socket, meta_rx, cid, deadline))?;
+        let epoch = Instant::now();
+        let deadline = epoch + spec.duration + spec.drain;
+        let receiver = {
+            let core = Arc::clone(&core);
+            let cid = self.cid;
+            std::thread::Builder::new()
+                .name(format!("openloop{cid}-rx"))
+                .spawn(move || receiver_loop(rx_socket, core, epoch, deadline))?
+        };
 
         // Sender (this thread): exponential gaps at the target rate.
         let arrivals = PoissonArrivals::new(spec.rate_rps);
         let mut rng = StdRng::seed_from_u64(spec.seed);
-        let start = Instant::now();
         let mut next_at = Duration::ZERO;
-        let mut seq: u32 = 0;
-        let mut sent = 0u64;
-        while start.elapsed() < spec.duration {
+        while epoch.elapsed() < spec.duration {
             // Pace: sleep coarse gaps, spin the tail for μs precision.
             loop {
-                let now = start.elapsed();
+                let now = epoch.elapsed();
                 if now >= next_at {
                     break;
                 }
@@ -123,81 +158,73 @@ impl OpenLoopClient {
                     std::hint::spin_loop();
                 }
             }
-            let grp = rng.random_range(0..spec.num_groups.max(1));
-            let idx = rng.random_range(0..spec.num_filter_tables.max(1));
-            let nc = NetCloneHdr::request(grp, idx, cid, seq);
-            let meta = PacketMeta::netclone_request(self.vip, nc, 0);
+            let meta = {
+                let mut core = core.lock();
+                core.generate(spec.op, epoch.elapsed().as_nanos() as u64);
+                core.poll().expect("NetClone mode emits one packet")
+            };
             let datagram = encode_packet(&meta, &spec.op, &[]);
-            meta_tx.send((seq, Instant::now())).ok();
             self.socket.send_to(&datagram, self.switch_addr)?;
-            sent += 1;
-            seq = seq.wrapping_add(1);
             next_at += Duration::from_nanos(arrivals.next_gap_ns(&mut rng));
         }
-        drop(meta_tx); // receiver sees the disconnect after draining
 
-        let (completed, redundant, latencies) = receiver
+        receiver
             .join()
             .map_err(|_| std::io::Error::other("receiver thread panicked"))?;
+        let mut core = core.lock();
+        // Whatever is still unanswered when the run ends will never be:
+        // the eviction sweep plus this final drain report it as lost.
+        core.drain_outstanding();
+        let stats: ClientStats = core.stats();
         Ok(OpenLoopReport {
-            sent,
-            completed,
-            redundant,
-            latencies,
+            sent: stats.generated,
+            completed: stats.completed,
+            redundant: stats.redundant,
+            clone_wins: stats.clone_wins,
+            lost: stats.lost,
+            latencies: core.latencies().clone(),
         })
     }
 }
 
 fn receiver_loop(
     socket: UdpSocket,
-    meta_rx: Receiver<(u32, Instant)>,
-    cid: u16,
+    core: Arc<Mutex<ClientCore>>,
+    epoch: Instant,
     deadline: Instant,
-) -> (u64, u64, LatencyHistogram) {
-    let mut outstanding: HashMap<u32, Instant> = HashMap::new();
-    let mut latencies = LatencyHistogram::new();
-    let mut completed = 0u64;
-    let mut redundant = 0u64;
+) {
+    /// How often the timeout sweep (`on_tick`) runs. Sweeping on every
+    /// packet would make the receive path O(outstanding) under load; a
+    /// fixed cadence keeps the map bounded at O(rate × timeout) entries
+    /// while amortising the scan.
+    const SWEEP_EVERY: Duration = Duration::from_millis(20);
+
     let mut buf = vec![0u8; 65_536];
+    let mut last_sweep = Instant::now();
     loop {
         let now = Instant::now();
         if now >= deadline {
             break;
         }
-        let _ = socket.set_read_timeout(Some((deadline - now).min(Duration::from_millis(20))));
-        // Pull any send timestamps published since the last packet.
-        while let Ok((seq, at)) = meta_rx.try_recv() {
-            outstanding.insert(seq, at);
+        if now.duration_since(last_sweep) >= SWEEP_EVERY {
+            last_sweep = now;
+            core.lock().on_tick(epoch.elapsed().as_nanos() as u64);
         }
+        let _ = socket.set_read_timeout(Some((deadline - now).min(SWEEP_EVERY)));
         let len = match socket.recv(&mut buf) {
             Ok(len) => len,
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
             {
-                continue
+                continue;
             }
             Err(_) => break,
         };
         let Ok((meta, _op, _value)) = decode_packet(Bytes::copy_from_slice(&buf[..len])) else {
             continue;
         };
-        if !meta.nc.is_response() || meta.nc.client_id != cid {
-            continue;
-        }
-        // The send record may still be in the channel (sender races us).
-        if !outstanding.contains_key(&meta.nc.client_seq) {
-            while let Ok((seq, at)) = meta_rx.try_recv() {
-                outstanding.insert(seq, at);
-            }
-        }
-        match outstanding.remove(&meta.nc.client_seq) {
-            Some(at) => {
-                latencies.record(at.elapsed().as_nanos() as u64);
-                completed += 1;
-            }
-            None => redundant += 1,
-        }
+        core.lock()
+            .on_packet(&meta.nc, epoch.elapsed().as_nanos() as u64);
     }
-    (completed, redundant, latencies)
 }

@@ -1,18 +1,23 @@
 //! The real-socket worker server: one dispatcher thread + N worker
-//! threads, faithful to §4.2 and the §3.4 server-side rules.
+//! threads, faithful to §4.2, driving the shared [`ServerCore`] for the
+//! §3.4 server-side rules.
 //!
 //! The crossbeam channel between dispatcher and workers *is* the FCFS
-//! request queue: its length is the "queue" consulted by the clone-drop
-//! rule and piggybacked on responses.
+//! request queue: its length is the "queue" the core's clone-drop rule
+//! consults and the value piggybacked on responses. The protocol logic
+//! itself — drop rule, response construction, accounting — is
+//! [`netclone_hostcore::ServerCore`], shared verbatim with the simulated
+//! server in `netclone-hosts`.
 
 use std::net::{SocketAddr, UdpSocket};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use netclone_proto::{CloneStatus, Ipv4, NetCloneHdr, PacketMeta, RpcOp, ServerId, ServerState};
+use netclone_hostcore::{AdmitDecision, ServerCore, ServerStats};
+use netclone_proto::{Ipv4, PacketMeta, RpcOp, ServerId};
 
 use crate::codec::{decode_packet, encode_packet};
 use crate::work::WorkExecutor;
@@ -32,21 +37,11 @@ pub struct UdpServerConfig {
     pub switch_addr: SocketAddr,
 }
 
-/// Aggregate server statistics (atomics: many threads update them).
-#[derive(Default)]
-pub struct ServerStats {
-    /// Requests served to completion.
-    pub served: AtomicU64,
-    /// Cloned requests dropped on a non-empty queue (§3.4).
-    pub clones_dropped: AtomicU64,
-    /// Responses that piggybacked an empty queue.
-    pub idle_reports: AtomicU64,
-}
-
-/// A running server: dispatcher + workers.
+/// A running server: dispatcher + workers around one shared core. The
+/// core's counters are atomics, so no lock sits on the per-packet path.
 pub struct ServerHandle {
     addr: SocketAddr,
-    stats: Arc<ServerStats>,
+    core: Arc<ServerCore>,
     stop: Arc<AtomicBool>,
     dispatcher: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
@@ -65,7 +60,7 @@ impl ServerHandle {
         let socket = UdpSocket::bind("127.0.0.1:0")?;
         socket.set_read_timeout(Some(Duration::from_millis(20)))?;
         let addr = socket.local_addr()?;
-        let stats = Arc::new(ServerStats::default());
+        let core = Arc::new(ServerCore::new(cfg.sid));
         let stop = Arc::new(AtomicBool::new(false));
         let (tx, rx): (Sender<Job>, Receiver<Job>) = unbounded();
 
@@ -73,27 +68,27 @@ impl ServerHandle {
         for w in 0..cfg.workers {
             let rx = rx.clone();
             let cfg = cfg.clone();
-            let stats = Arc::clone(&stats);
+            let core = Arc::clone(&core);
             let sock = socket.try_clone()?;
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("server{}-worker{}", cfg.sid, w))
-                    .spawn(move || worker_loop(rx, cfg, stats, sock))?,
+                    .spawn(move || worker_loop(rx, cfg, core, sock))?,
             );
         }
 
         let dispatcher = {
             let cfg = cfg.clone();
-            let stats = Arc::clone(&stats);
+            let core = Arc::clone(&core);
             let stop = Arc::clone(&stop);
             std::thread::Builder::new()
                 .name(format!("server{}-dispatcher", cfg.sid))
-                .spawn(move || dispatcher_loop(socket, tx, cfg, stats, stop))?
+                .spawn(move || dispatcher_loop(socket, tx, cfg, core, stop))?
         };
 
         Ok(ServerHandle {
             addr,
-            stats,
+            core,
             stop,
             dispatcher: Some(dispatcher),
             workers,
@@ -105,19 +100,24 @@ impl ServerHandle {
         self.addr
     }
 
+    /// Statistics so far (same counters as the simulated server).
+    pub fn stats(&self) -> ServerStats {
+        self.core.stats()
+    }
+
     /// Requests served so far.
     pub fn served(&self) -> u64 {
-        self.stats.served.load(Ordering::Relaxed)
+        self.stats().served
     }
 
     /// Clones dropped so far (§3.4).
     pub fn clones_dropped(&self) -> u64 {
-        self.stats.clones_dropped.load(Ordering::Relaxed)
+        self.stats().clones_dropped
     }
 
     /// Responses that reported an empty queue.
     pub fn idle_reports(&self) -> u64 {
-        self.stats.idle_reports.load(Ordering::Relaxed)
+        self.stats().idle_reports
     }
 
     /// Stops all threads and joins them.
@@ -148,7 +148,7 @@ fn dispatcher_loop(
     socket: UdpSocket,
     tx: Sender<Job>,
     _cfg: UdpServerConfig,
-    stats: Arc<ServerStats>,
+    core: Arc<ServerCore>,
     stop: Arc<AtomicBool>,
 ) {
     let mut buf = vec![0u8; 65_536];
@@ -170,28 +170,22 @@ fn dispatcher_loop(
         if !meta.nc.is_request() {
             continue;
         }
-        // §3.4: a cloned request (CLO=2) arriving at a non-empty queue is
-        // dropped; the original (CLO=1) is processed normally.
-        if meta.nc.clo == CloneStatus::Clone && !tx.is_empty() {
-            stats.clones_dropped.fetch_add(1, Ordering::Relaxed);
+        // §3.4 admission: the channel length is the queue the clone-drop
+        // rule consults.
+        if core.admit(meta.nc.clo, tx.len()) == AdmitDecision::DropClone {
             continue;
         }
         let _ = tx.send(Job { meta, op });
+        core.note_queue_depth(tx.len());
     }
     // tx drops here → workers see a disconnected channel and exit.
 }
 
-fn worker_loop(rx: Receiver<Job>, cfg: UdpServerConfig, stats: Arc<ServerStats>, sock: UdpSocket) {
+fn worker_loop(rx: Receiver<Job>, cfg: UdpServerConfig, core: Arc<ServerCore>, sock: UdpSocket) {
     while let Ok(job) = rx.recv() {
         let value = cfg.executor.execute(&job.op);
         // Piggyback the queue state observed at response-send time (§3.4).
-        let qlen = rx.len();
-        let state = ServerState::from_queue_len(qlen);
-        if state.is_idle() {
-            stats.idle_reports.fetch_add(1, Ordering::Relaxed);
-        }
-        stats.served.fetch_add(1, Ordering::Relaxed);
-        let nc = NetCloneHdr::response_to(&job.meta.nc, cfg.sid, state);
+        let nc = core.response(&job.meta.nc, rx.len());
         let resp = PacketMeta::netclone_response(cfg.vip, job.meta.src_ip, nc, 0);
         let out = encode_packet(&resp, &job.op, &value);
         let _ = sock.send_to(&out, cfg.switch_addr);

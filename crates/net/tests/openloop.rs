@@ -22,6 +22,7 @@ fn open_loop_sustains_a_modest_rate() {
             duration: Duration::from_millis(400),
             op: RpcOp::Echo { class_ns: 30_000 },
             drain: Duration::from_millis(150),
+            request_timeout: Duration::from_millis(100),
             num_groups: handle.num_groups(),
             num_filter_tables: 2,
             seed: 11,
@@ -42,6 +43,15 @@ fn open_loop_sustains_a_modest_rate() {
         report.sent
     );
     assert_eq!(report.redundant, 0, "filtering must hold under open loop");
+    assert_eq!(
+        report.sent,
+        report.completed + report.lost,
+        "every request is accounted for exactly once"
+    );
+    assert!(
+        report.clone_wins <= report.completed,
+        "clone wins are a subset of completions"
+    );
     let p50 = report.latencies.quantile(0.5);
     assert!(
         p50 > 30_000 && p50 < 5_000_000,

@@ -29,6 +29,7 @@ fn main() -> std::io::Result<()> {
         duration: Duration::from_millis(dur_ms),
         op: RpcOp::Echo { class_ns: 50_000 },
         drain: Duration::from_millis(200),
+        request_timeout: Duration::from_millis(150),
         num_groups: handle.num_groups(),
         num_filter_tables: 2,
         seed: 1,
@@ -36,11 +37,14 @@ fn main() -> std::io::Result<()> {
 
     let lat = &report.latencies;
     println!(
-        "sent {}  completed {} ({:.1}%)  redundant {}",
+        "sent {}  completed {} ({:.1}%)  redundant {}  lost {}  clone-wins {} ({:.1}%)",
         report.sent,
         report.completed,
         report.completion_rate() * 100.0,
-        report.redundant
+        report.redundant,
+        report.lost,
+        report.clone_wins,
+        report.clone_win_ratio() * 100.0
     );
     println!(
         "latency: p50 {:.0} us   p99 {:.0} us   max {:.0} us",

@@ -75,6 +75,8 @@ pub use netclone_cluster as cluster;
 pub use netclone_core as core;
 /// Deterministic discrete-event kernel.
 pub use netclone_des as des;
+/// Sans-io host protocol cores shared by the DES and UDP frontends.
+pub use netclone_hostcore as hostcore;
 /// Client/server host models (§4.2).
 pub use netclone_hosts as hosts;
 /// The KV store and Redis/Memcached cost models (§5.5).

@@ -18,8 +18,9 @@ use std::time::{Duration, Instant};
 
 use netclone::cluster::{build_engine, Scenario, Scheme};
 use netclone::core::{SwitchCounters, SwitchEngine};
+use netclone::hostcore::{ClientCore, ClientMode, ClientStats, ServerCore, ServerStats};
 use netclone::net::{decode_packet, encode_packet, SoftSwitch};
-use netclone::proto::{Ipv4, NetCloneHdr, PacketMeta, RpcOp, ServerState};
+use netclone::proto::{Ipv4, KvKey, NetCloneHdr, PacketMeta, RpcOp, ServerState};
 use netclone::workloads::exp25;
 
 const N_SERVERS: usize = 2;
@@ -195,6 +196,173 @@ fn direct_partial_responses(fanouts: &[Vec<u16>], upto: usize) -> u64 {
 
 fn bytes_of(b: &[u8]) -> bytes::Bytes {
     bytes::Bytes::copy_from_slice(b)
+}
+
+/// Host-level equivalence: both frontends are thin drivers over the same
+/// sans-io protocol cores (`ClientCore`/`ServerCore`), so driving the
+/// *same* cores through the DES-style inline path and through real UDP
+/// sockets must yield identical host counters — sent, completed,
+/// redundant, clone-win, lost on the client; served/responses/idle on the
+/// servers. Filtering is disabled so redundant responses actually reach
+/// the client and its dedup path is exercised, not just the switch's.
+#[test]
+fn host_cores_agree_across_frontends() {
+    const N_HOST_REQUESTS: usize = 24;
+
+    let mut scenario = scenario();
+    scenario.scheme = Scheme::NetClone {
+        racksched: false,
+        filtering: false,
+    };
+
+    /// The op sequence: mostly cloneable echoes, every fifth a write
+    /// (uncloneable, §5.5) so the no-clone path is exercised too.
+    fn op_for(i: usize) -> RpcOp {
+        if i % 5 == 3 {
+            RpcOp::Put {
+                key: KvKey::from_index(i as u64),
+                value_len: 16,
+            }
+        } else {
+            RpcOp::Echo { class_ns: 25_000 }
+        }
+    }
+
+    fn fresh_hosts(num_groups: u16) -> (ClientCore, Vec<ServerCore>) {
+        let client = ClientCore::new(
+            0,
+            ClientMode::NetClone {
+                num_groups,
+                num_filter_tables: 2,
+            },
+            424242,
+        );
+        let servers = (0..N_SERVERS as u16).map(ServerCore::new).collect();
+        (client, servers)
+    }
+
+    // ---- Frontend 1: DES-style, cores fed inline from the engine. ----
+    let mut engine = build_engine(&scenario);
+    let (mut client, mut servers) = fresh_hosts(engine.num_groups());
+    // Per step: the server ports that received a delivery, and how many
+    // responses the switch forwarded back to the client — the UDP run's
+    // receive schedule.
+    let mut fanouts: Vec<Vec<u16>> = Vec::new();
+    let mut client_rx: Vec<usize> = Vec::new();
+    for i in 0..N_HOST_REQUESTS {
+        let now = (i as u64 + 1) * 100_000;
+        client.generate(op_for(i), now);
+        let meta = client.poll().expect("one packet per request");
+        assert!(client.poll().is_none());
+        let mut emissions = engine.process(meta, 100, now);
+        emissions.sort_by_key(|e| e.port);
+        let ports: Vec<u16> = emissions.iter().map(|e| e.port).collect();
+        let mut to_client = 0;
+        for e in emissions {
+            let sid = e.port - 10;
+            // The harness serialises requests, so every queue is empty:
+            // clones are always admitted.
+            let core = &mut servers[sid as usize];
+            assert_eq!(
+                core.admit(e.pkt.nc.clo, 0),
+                netclone::hostcore::AdmitDecision::Admit
+            );
+            let resp_hdr = core.response(&e.pkt.nc, 0);
+            let resp = PacketMeta::netclone_response(Ipv4::server(sid), e.pkt.src_ip, resp_hdr, 84);
+            for out in engine.process(resp, e.port, now) {
+                assert_eq!(out.port, 100, "responses go back to the client");
+                client.on_packet(&out.pkt.nc, now + 50_000);
+                to_client += 1;
+            }
+        }
+        fanouts.push(ports);
+        client_rx.push(to_client);
+    }
+    let direct_client: ClientStats = client.stats();
+    let direct_servers: Vec<ServerStats> = servers.iter().map(|s| s.stats()).collect();
+
+    // The trace must exercise the interesting host paths, otherwise the
+    // parity assertions below would be vacuous.
+    assert_eq!(direct_client.generated, N_HOST_REQUESTS as u64);
+    assert_eq!(direct_client.completed, N_HOST_REQUESTS as u64);
+    assert_eq!(direct_client.lost, 0);
+    assert!(
+        direct_client.redundant > 0,
+        "unfiltered clones must reach the client's dedup path"
+    );
+    assert!(
+        direct_client.clone_wins > 0,
+        "some requests must be won by the clone copy"
+    );
+
+    // ---- Frontend 2: the same cores behind real UDP sockets. ----
+    let switch = SoftSwitch::spawn_engine(build_engine(&scenario)).expect("spawn soft switch");
+    let handle = switch.handle();
+    let (mut client, mut servers) = fresh_hosts(handle.num_groups());
+    let client_sock = UdpSocket::bind("127.0.0.1:0").expect("client socket");
+    let server_socks: Vec<UdpSocket> = (0..N_SERVERS)
+        .map(|_| UdpSocket::bind("127.0.0.1:0").expect("server socket"))
+        .collect();
+    handle
+        .map_port(100, client_sock.local_addr().unwrap())
+        .expect("map client port");
+    for (sid, sock) in server_socks.iter().enumerate() {
+        handle
+            .map_port(10 + sid as u16, sock.local_addr().unwrap())
+            .expect("map server port");
+    }
+
+    let mut buf = vec![0u8; 65_536];
+    for i in 0..N_HOST_REQUESTS {
+        let now = (i as u64 + 1) * 100_000;
+        let op = op_for(i);
+        client.generate(op, now);
+        let meta = client.poll().expect("one packet per request");
+        client_sock
+            .send_to(&encode_packet(&meta, &op, &[]), handle.addr())
+            .expect("send request");
+
+        // Serve on exactly the ports the direct run predicts, responding
+        // in the same (sorted) port order so the switch sees the same
+        // response sequence.
+        for &port in &fanouts[i] {
+            let sock = &server_socks[(port - 10) as usize];
+            let len = recv_with_deadline(sock, &mut buf)
+                .unwrap_or_else(|| panic!("request {i}: no delivery on port {port}"));
+            let (req, op_rx, _value) = decode_packet(bytes_of(&buf[..len])).expect("decode");
+            assert_eq!(op_rx, op);
+            let sid = port - 10;
+            let core = &mut servers[sid as usize];
+            assert_eq!(
+                core.admit(req.nc.clo, 0),
+                netclone::hostcore::AdmitDecision::Admit
+            );
+            let resp_hdr = core.response(&req.nc, 0);
+            let resp = PacketMeta::netclone_response(Ipv4::server(sid), req.src_ip, resp_hdr, 84);
+            sock.send_to(&encode_packet(&resp, &op, &[]), handle.addr())
+                .expect("send response");
+        }
+
+        // Drain the responses the direct run says the switch forwards.
+        for _ in 0..client_rx[i] {
+            let len = recv_with_deadline(&client_sock, &mut buf)
+                .unwrap_or_else(|| panic!("request {i}: missing response at the client"));
+            let (resp, _op, _value) = decode_packet(bytes_of(&buf[..len])).expect("decode");
+            client.on_packet(&resp.nc, now + 50_000);
+        }
+    }
+
+    assert_eq!(
+        client.stats(),
+        direct_client,
+        "client cores diverged between the DES and UDP frontends"
+    );
+    let udp_servers: Vec<ServerStats> = servers.iter().map(|s| s.stats()).collect();
+    assert_eq!(
+        udp_servers, direct_servers,
+        "server cores diverged between the DES and UDP frontends"
+    );
+    switch.shutdown();
 }
 
 /// The plain L3 fabric (Baseline/C-Clone schemes) must also behave
