@@ -1,0 +1,8 @@
+//! Regenerates the multi-rack scale-out sweep: racks × scheme × load on
+//! the two-tier leaf/spine fabric (§3.7).
+//! Run: `cargo bench -p netclone-bench --bench multirack_scale`
+//! Scale via NETCLONE_BENCH_SCALE=smoke|standard|full.
+
+fn main() {
+    netclone_bench::run_and_emit("multirack");
+}

@@ -5,12 +5,15 @@
 //! and client models, wires the optional coordinator, and schedules the
 //! priming events. The simulator itself ([`Sim`]) is only the event loop.
 //!
-//! [`build_engine`] is the single place a scheme becomes a switch
-//! program. Every frontend (this DES testbed, `netclone-net`'s soft
-//! switch, tests) drives the result through
+//! [`build_engine`] / [`build_fabric`] are the single place a scheme
+//! becomes a switch program. Every frontend (this DES testbed,
+//! `netclone-net`'s soft switch, tests) drives the result through
 //! [`netclone_core::SwitchEngine`], so there is exactly one
 //! implementation of each data plane and no per-scheme dispatch anywhere
-//! else.
+//! else. A single-rack topology yields a one-engine [`Fabric`] programmed
+//! exactly like [`build_engine`]'s; multi-rack topologies get one engine
+//! per leaf plus a plain-L3 spine, wired per §3.7 (NetClone logic only
+//! where clients attach, `SWITCH_ID`-gated pass-through everywhere else).
 
 use netclone_asic::PortId;
 use netclone_core::{NetCloneConfig, NetCloneSwitch, Scheduling, SwitchEngine};
@@ -18,7 +21,7 @@ use netclone_des::{EventQueue, SeedFactory, SimTime};
 use netclone_hosts::{ClientMode, ClientSim, ServerConfig, ServerSim};
 use netclone_kvstore::ServiceCostModel;
 use netclone_policies::{CoordinatorConfig, LaedgeCoordinator, PlainL3Switch};
-use netclone_proto::{Ipv4, ServerId};
+use netclone_proto::{Ipv4, ServerId, SwitchId};
 use netclone_stats::TimeSeries;
 use netclone_workloads::{KvMix, ServiceShape, ZipfSampler};
 
@@ -26,6 +29,7 @@ use crate::calib;
 use crate::scenario::{Scenario, Workload};
 use crate::scheme::Scheme;
 use crate::sim::{Ev, Sim};
+use crate::topology::{spine_port, Fabric, UPLINK_PORT};
 
 /// Switch port of the LÆDGE coordinator host.
 pub(crate) const COORD_PORT: PortId = 99;
@@ -43,12 +47,17 @@ pub(crate) fn client_port(cid: u16) -> PortId {
     100 + cid
 }
 
-/// Builds and programs the switch engine for a scenario.
-///
-/// This is the only place in the workspace where a [`Scheme`] is mapped to
-/// a switch program; everything downstream sees `dyn SwitchEngine`.
-pub fn build_engine(scenario: &Scenario) -> Box<dyn SwitchEngine> {
-    let mut engine: Box<dyn SwitchEngine> = match scenario.scheme {
+/// True when the scheme programs in-switch logic (the NetClone family);
+/// the client-driven schemes (Baseline, C-Clone, LÆDGE) run over a plain
+/// L3 fabric.
+fn scheme_has_engine(scheme: Scheme) -> bool {
+    matches!(scheme, Scheme::NetClone { .. } | Scheme::RackSchedOnly)
+}
+
+/// Builds the *unprogrammed* engine for a scenario's scheme, stamping the
+/// given multi-rack identity (§3.7; single-rack deployments use 1).
+fn scheme_engine(scenario: &Scenario, switch_id: SwitchId) -> Box<dyn SwitchEngine> {
+    match scenario.scheme {
         Scheme::NetClone {
             racksched,
             filtering,
@@ -63,15 +72,29 @@ pub fn build_engine(scenario: &Scenario) -> Box<dyn SwitchEngine> {
             cfg.num_filter_tables = scenario.n_filter_tables;
             cfg.filter_slots_log2 = scenario.filter_slots_log2;
             cfg.clone_condition = scenario.clone_condition;
+            cfg.switch_id = switch_id;
             Box::new(NetCloneSwitch::new(cfg))
         }
-        Scheme::RackSchedOnly => Box::new(netclone_policies::racksched_switch(
-            NetCloneConfig::paper_prototype(),
-        )),
+        Scheme::RackSchedOnly => {
+            let mut cfg = NetCloneConfig::paper_prototype();
+            cfg.switch_id = switch_id;
+            Box::new(netclone_policies::racksched_switch(cfg))
+        }
         Scheme::Baseline | Scheme::CClone | Scheme::Laedge => {
             Box::new(PlainL3Switch::new(netclone_asic::AsicSpec::tofino()))
         }
-    };
+    }
+}
+
+/// Builds and programs the single-rack switch engine for a scenario.
+///
+/// Together with the internal per-leaf engine factory this is the only
+/// place in the workspace where a [`Scheme`] is mapped to a switch
+/// program; everything
+/// downstream sees `dyn SwitchEngine`. The real-socket soft switch and
+/// the equivalence tests program from here too.
+pub fn build_engine(scenario: &Scenario) -> Box<dyn SwitchEngine> {
+    let mut engine = scheme_engine(scenario, 1);
     for sid in 0..scenario.servers.len() as u16 {
         engine
             .register_server(sid, Ipv4::server(sid), server_port(sid))
@@ -91,6 +114,129 @@ pub fn build_engine(scenario: &Scenario) -> Box<dyn SwitchEngine> {
         engine.install_custom_groups(groups).expect("custom groups");
     }
     engine
+}
+
+/// Builds and programs the whole fabric for a scenario's topology.
+///
+/// Single rack: one engine, programmed exactly as [`build_engine`] does —
+/// the pre-topology simulator, bit for bit. Multi-rack (§3.7):
+///
+/// * every **client-bearing leaf** runs the scheme's engine (switch_id =
+///   rack + 1) with the full server table — local servers on their access
+///   ports, remote ones via the uplink — so cloning happens only where
+///   clients attach;
+/// * every **other leaf** of an in-switch scheme runs the same engine type
+///   but only has routes (the `SWITCH_ID` gate bounces foreign-stamped
+///   packets to plain forwarding, and nothing ever enters it unstamped);
+/// * the **spine** and all leaves of the client-driven schemes are plain
+///   L3 switches routing each endpoint toward its rack.
+pub fn build_fabric(scenario: &Scenario) -> Fabric {
+    let topo = &scenario.topology;
+    let n_servers = scenario.servers.len();
+    topo.validate(n_servers, scenario.n_clients)
+        .expect("invalid topology");
+    let server_leaf: Vec<usize> = (0..n_servers).map(|s| topo.server_rack(s)).collect();
+    let client_leaf: Vec<usize> = (0..scenario.n_clients)
+        .map(|c| topo.client_rack(c))
+        .collect();
+    // The LÆDGE coordinator hangs off rack 0's leaf by convention.
+    let coord_leaf = 0usize;
+
+    let mut fabric = Fabric {
+        engines: Vec::with_capacity(topo.num_switches()),
+        racks: topo.racks,
+        inter_rack_ns: topo.inter_rack_ns,
+        server_leaf,
+        client_leaf,
+        coord_leaf,
+    };
+    if topo.racks == 1 {
+        fabric.engines.push(build_engine(scenario));
+        return fabric;
+    }
+
+    for r in 0..topo.racks {
+        let has_clients = fabric.client_leaf.contains(&r);
+        let mut e = scheme_engine(scenario, (r + 1) as SwitchId);
+        if scheme_has_engine(scenario.scheme) && has_clients {
+            // Client-side ToR: the full NetClone control plane. AddrT
+            // resolves every server — rack-local ones to their access
+            // port, remote ones to the uplink (the paper's Fig. 5 setup
+            // generalised).
+            for sid in 0..n_servers as u16 {
+                let port = if fabric.server_leaf[sid as usize] == r {
+                    server_port(sid)
+                } else {
+                    UPLINK_PORT
+                };
+                e.register_server(sid, Ipv4::server(sid), port)
+                    .expect("server registration");
+            }
+            for cid in 0..scenario.n_clients as u16 {
+                if fabric.client_leaf[cid as usize] == r {
+                    e.register_client(Ipv4::client(cid), client_port(cid))
+                        .expect("client registration");
+                } else {
+                    e.register_route(Ipv4::client(cid), UPLINK_PORT)
+                        .expect("remote client route");
+                }
+            }
+            if let Some(groups) = &scenario.custom_groups {
+                e.install_custom_groups(groups).expect("custom groups");
+            }
+        } else {
+            // Routing-only leaf: local endpoints on their access ports,
+            // everything else via the uplink.
+            for sid in 0..n_servers as u16 {
+                let port = if fabric.server_leaf[sid as usize] == r {
+                    server_port(sid)
+                } else {
+                    UPLINK_PORT
+                };
+                e.register_route(Ipv4::server(sid), port)
+                    .expect("server route");
+            }
+            for cid in 0..scenario.n_clients as u16 {
+                let port = if fabric.client_leaf[cid as usize] == r {
+                    client_port(cid)
+                } else {
+                    UPLINK_PORT
+                };
+                e.register_route(Ipv4::client(cid), port)
+                    .expect("client route");
+            }
+        }
+        if scenario.scheme.uses_coordinator() {
+            let port = if coord_leaf == r {
+                COORD_PORT
+            } else {
+                UPLINK_PORT
+            };
+            e.register_route(COORD_IP, port).expect("coordinator route");
+        }
+        fabric.engines.push(e);
+    }
+
+    // The aggregation spine: plain L3, one route per endpoint toward its
+    // rack's leaf.
+    let mut spine = PlainL3Switch::new(netclone_asic::AsicSpec::tofino());
+    for sid in 0..n_servers as u16 {
+        spine.add_route(
+            Ipv4::server(sid),
+            spine_port(fabric.server_leaf[sid as usize]),
+        );
+    }
+    for cid in 0..scenario.n_clients as u16 {
+        spine.add_route(
+            Ipv4::client(cid),
+            spine_port(fabric.client_leaf[cid as usize]),
+        );
+    }
+    if scenario.scheme.uses_coordinator() {
+        spine.add_route(COORD_IP, spine_port(coord_leaf));
+    }
+    fabric.engines.push(Box::new(spine));
+    fabric
 }
 
 /// Assembles a [`Sim`] from a [`Scenario`].
@@ -115,7 +261,7 @@ impl ScenarioBuilder {
             "NetClone requires at least two servers (§5.3.2)"
         );
 
-        let switch = build_engine(&scenario);
+        let fabric = build_fabric(&scenario);
 
         // ---- workload -----------------------------------------------
         let (synthetic, kvmix, cost) = match &scenario.workload {
@@ -173,7 +319,6 @@ impl ScenarioBuilder {
 
         // ---- clients --------------------------------------------------
         let server_ips: Vec<Ipv4> = (0..n_servers as u16).map(Ipv4::server).collect();
-        let num_groups = switch.num_groups();
         let clients: Vec<ClientSim> = (0..scenario.n_clients as u16)
             .map(|cid| {
                 let mode = match scenario.scheme {
@@ -185,7 +330,9 @@ impl ScenarioBuilder {
                     },
                     Scheme::Laedge => ClientMode::Coordinator { ip: COORD_IP },
                     Scheme::NetClone { .. } | Scheme::RackSchedOnly => ClientMode::NetClone {
-                        num_groups,
+                        // Groups come from the client's own ToR: that is
+                        // the engine its requests traverse (§3.7).
+                        num_groups: fabric.engines[fabric.client_leaf(cid as usize)].num_groups(),
                         num_filter_tables: scenario.n_filter_tables as u8,
                     },
                 };
@@ -203,6 +350,7 @@ impl ScenarioBuilder {
         let end_ns = scenario.warmup_ns + scenario.measure_ns;
         let ts_buckets = (end_ns / scenario.timeseries_bucket_ns + 2).max(1) as usize;
         let n_clients = scenario.n_clients;
+        let n_switches = fabric.len();
         let mut sim = Sim {
             arrivals: netclone_workloads::PoissonArrivals::new(
                 scenario.offered_rps / n_clients as f64,
@@ -221,7 +369,7 @@ impl ScenarioBuilder {
             q: EventQueue::new(),
             clients,
             servers,
-            switch,
+            fabric,
             switch_up: true,
             coordinator,
             synthetic,
@@ -231,7 +379,7 @@ impl ScenarioBuilder {
             completed_in_window: 0,
             generated_in_window: 0,
             packets_lost: 0,
-            switch_counters_at_warmup: Default::default(),
+            switch_counters_at_warmup: vec![Default::default(); n_switches],
         };
         Self::prime(&mut sim);
         sim

@@ -27,6 +27,13 @@
 /// One-way link + NIC traversal for one hop (host↔switch), ns.
 pub const LINK_ONE_WAY_NS: u64 = 1_000;
 
+/// One-way traversal of a leaf↔spine fabric link (§3.7 multi-rack), ns.
+/// No NIC/PCIe on a switch-to-switch hop, but the runs are longer and
+/// optics add serialisation — 500 ns is a typical intra-DC leaf/spine
+/// figure at 100 GbE. Cross-rack RPCs therefore pay 2 × 2 × 500 ns extra
+/// round trip versus rack-local ones.
+pub const INTER_RACK_ONE_WAY_NS: u64 = 500;
+
 /// Userspace RX delivery inside a server before the dispatcher, ns.
 pub const HOST_RX_STACK_NS: u64 = 1_000;
 

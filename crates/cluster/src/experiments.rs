@@ -19,6 +19,7 @@ pub mod fig13;
 pub mod fig14;
 pub mod fig15;
 pub mod fig16;
+pub mod multirack;
 pub mod resources;
 pub mod table1;
 

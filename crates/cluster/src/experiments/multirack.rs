@@ -1,0 +1,180 @@
+//! Multi-rack scale-out (§3.7): the two-tier leaf/spine fabric.
+//!
+//! The paper deploys NetClone on one rack and sketches the multi-rack
+//! story in §3.7: clone only at the client-side ToR, gate everything else
+//! with `SWITCH_ID`, route plainly across the aggregation layer. This
+//! experiment measures what that deployment actually costs: the same
+//! fleet spread over 1, 2, and 4 racks (servers and clients round-robin),
+//! swept over offered load for each scheme. Two effects compose:
+//!
+//! * every cross-rack RPC pays two extra switch passes plus two
+//!   inter-rack link traversals each way, lifting the latency floor;
+//! * each client-side ToR only learns server states from the responses
+//!   *it* terminates, so its idle-tracking confidence degrades as the
+//!   fleet spreads — visible in the clone-win ratio.
+
+use netclone_stats::{Report, Table};
+use netclone_workloads::exp25;
+
+use crate::harness::{Experiment, RunCtx};
+use crate::metrics::RunResult;
+use crate::scenario::Scenario;
+use crate::scheme::Scheme;
+use crate::sim::Sim;
+use crate::sweep::capacity_fractions;
+use crate::topology::Topology;
+
+const TITLE: &str = "Multi-rack scale-out: leaf/spine fabric (§3.7)";
+
+/// Rack counts under test (1 = the paper's single-rack testbed).
+pub const RACK_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Schemes under test.
+pub const SCHEMES: [Scheme; 2] = [Scheme::Baseline, Scheme::NETCLONE];
+
+/// One measured cell of the sweep.
+pub struct Cell {
+    /// Number of racks.
+    pub racks: usize,
+    /// The full run result.
+    pub run: RunResult,
+}
+
+/// The typed result: every (racks, scheme, load) cell, in sweep order.
+pub struct MultiRackResult {
+    /// The measured cells.
+    pub cells: Vec<Cell>,
+}
+
+impl MultiRackResult {
+    /// Renders the sweep as one table: racks × scheme × load rows with
+    /// the paper's headline metrics plus the cloning diagnostics.
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new([
+            "racks",
+            "scheme",
+            "offered (MRPS)",
+            "achieved (MRPS)",
+            "p50 (us)",
+            "p99 (us)",
+            "clone rate",
+            "clone-win ratio",
+        ]);
+        for cell in &self.cells {
+            let (p50, p99, _) = cell.run.percentiles_us();
+            t.row([
+                cell.racks.to_string(),
+                cell.run.scheme.to_string(),
+                format!("{:.3}", cell.run.offered_rps / 1e6),
+                format!("{:.3}", cell.run.achieved_mrps()),
+                format!("{p50:.1}"),
+                format!("{p99:.1}"),
+                format!("{:.3}", cell.run.switch.clone_rate()),
+                format!("{:.3}", cell.run.clone_win_ratio()),
+            ]);
+        }
+        t
+    }
+
+    /// Converts the sweep into the unified report artifact.
+    pub fn into_report(self) -> Report {
+        let table = self.to_table();
+        Report::new("multirack", TITLE).with_table(table)
+    }
+
+    /// p99 of the given (racks, scheme) series at the highest load point
+    /// (for shape assertions).
+    pub fn p99_at_peak(&self, racks: usize, scheme: &str) -> Option<f64> {
+        self.cells
+            .iter()
+            .rev()
+            .find(|c| c.racks == racks && c.run.scheme == scheme)
+            .map(|c| c.run.p99_us())
+    }
+}
+
+/// Runs the sweep on the given context.
+pub fn run(ctx: &RunCtx) -> MultiRackResult {
+    let mut template = Scenario::synthetic_default(Scheme::Baseline, exp25(), 1.0);
+    template.warmup_ns = ctx.scale.warmup_ns();
+    template.measure_ns = ctx.scale.measure_ns();
+    let rates = capacity_fractions(&template, 0.3, 0.9, ctx.scale.sweep_points());
+
+    let mut cells: Vec<(usize, Scenario)> = Vec::new();
+    for &racks in &RACK_COUNTS {
+        for scheme in SCHEMES {
+            for &rate in &rates {
+                let mut s = template.clone();
+                s.scheme = scheme;
+                s.offered_rps = rate;
+                s.topology = Topology::uniform(racks);
+                cells.push((racks, s));
+            }
+        }
+    }
+    let cells = ctx.map("multirack", cells, |(racks, s)| Cell {
+        racks,
+        run: Sim::run(s),
+    });
+    MultiRackResult { cells }
+}
+
+/// The multi-rack sweep in the experiment registry.
+pub struct MultiRack;
+
+impl Experiment for MultiRack {
+    fn id(&self) -> &'static str {
+        "multirack"
+    }
+    fn title(&self) -> &'static str {
+        TITLE
+    }
+    fn tags(&self) -> &'static [&'static str] {
+        &["table", "sweep", "topology", "multirack"]
+    }
+    fn run(&self, ctx: &RunCtx) -> Report {
+        run(ctx).into_report()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::Scale;
+
+    #[test]
+    fn smoke_run_covers_every_cell() {
+        let ctx = RunCtx::new(Scale::Smoke).with_jobs(crate::harness::default_jobs());
+        let r = run(&ctx);
+        assert_eq!(
+            r.cells.len(),
+            RACK_COUNTS.len() * SCHEMES.len() * Scale::Smoke.sweep_points()
+        );
+        for cell in &r.cells {
+            assert!(
+                cell.run.completed > 0,
+                "{}r {}",
+                cell.racks,
+                cell.run.scheme
+            );
+            let switches = if cell.racks == 1 { 1 } else { cell.racks + 1 };
+            assert_eq!(cell.run.per_switch.len(), switches);
+        }
+        // NetClone still clones — and still beats the baseline tail at
+        // the peak load point — in every multi-rack shape.
+        for &racks in &RACK_COUNTS {
+            let cloned: u64 = r
+                .cells
+                .iter()
+                .filter(|c| c.racks == racks && c.run.scheme == "NetClone")
+                .map(|c| c.run.switch.cloned)
+                .sum();
+            assert!(cloned > 0, "no clones at {racks} racks");
+            let nc = r.p99_at_peak(racks, "NetClone").expect("NetClone series");
+            let base = r.p99_at_peak(racks, "Baseline").expect("Baseline series");
+            assert!(nc < base, "{racks} racks: p99 {nc} >= baseline {base}");
+        }
+        let report = r.into_report();
+        assert!(report.to_markdown().contains("multirack"));
+    }
+}

@@ -125,6 +125,7 @@ mod tests {
                 client_redundant: 0,
                 client_clone_wins: 0,
                 switch: SwitchCounters::default(),
+                per_switch: vec![SwitchCounters::default()],
                 server_clone_drops: 0,
                 server_idle_reports: 0,
                 server_responses: 0,

@@ -220,7 +220,8 @@ pub fn run_sweeps(ctx: &RunCtx, label: &str, specs: Vec<SweepSpec>) -> Vec<Panel
 }
 
 /// Every built-in experiment, in presentation order (tables first, then
-/// the figures, then this reproduction's ablations).
+/// the figures, then this reproduction's multi-rack sweep and
+/// ablations).
 pub fn registry() -> Vec<Box<dyn Experiment>> {
     use crate::experiments::*;
     vec![
@@ -236,6 +237,7 @@ pub fn registry() -> Vec<Box<dyn Experiment>> {
         Box::new(fig14::Fig14),
         Box::new(fig15::Fig15),
         Box::new(fig16::Fig16Exp),
+        Box::new(multirack::MultiRack),
         Box::new(ablations::Ablations),
     ]
 }
@@ -319,11 +321,11 @@ mod tests {
     #[test]
     fn registry_ids_are_unique_and_titled() {
         let reg = registry();
-        assert_eq!(reg.len(), 13);
+        assert_eq!(reg.len(), 14);
         let mut ids: Vec<&str> = reg.iter().map(|e| e.id()).collect();
         ids.sort();
         ids.dedup();
-        assert_eq!(ids.len(), 13, "duplicate experiment ids");
+        assert_eq!(ids.len(), 14, "duplicate experiment ids");
         for e in &reg {
             assert!(!e.title().is_empty(), "{} has no title", e.id());
             assert!(!e.tags().is_empty(), "{} has no tags", e.id());
@@ -333,6 +335,7 @@ mod tests {
     #[test]
     fn find_and_suggest() {
         assert!(find("fig07").is_some());
+        assert!(find("multirack").is_some());
         assert!(find("fig99").is_none());
         assert!(suggest("fig0").contains(&"fig07"));
         assert_eq!(suggest("fig13").first(), Some(&"fig13"));

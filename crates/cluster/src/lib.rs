@@ -1,10 +1,14 @@
 //! # netclone-cluster
 //!
 //! The evaluation testbed as a deterministic discrete-event simulation:
-//! open-loop clients, a programmable ToR switch running any of the compared
-//! schemes, and multi-worker servers — the §5.1 setup of the paper (8
-//! machines: 2 clients + 6 workers by default, one worker donated to the
-//! coordinator for the LÆDGE comparison).
+//! open-loop clients, a programmable switch fabric running any of the
+//! compared schemes, and multi-worker servers — the §5.1 setup of the
+//! paper (8 machines: 2 clients + 6 workers by default, one worker
+//! donated to the coordinator for the LÆDGE comparison). The fabric
+//! shape is a scenario dimension ([`topology::Topology`]): the default
+//! single rack is the paper's testbed; multi-rack shapes build the §3.7
+//! two-tier leaf/spine deployment with one engine per switch
+//! ([`topology::Fabric`]).
 //!
 //! One simulation ([`sim::Sim`]) runs one (scheme, workload, offered-load)
 //! point and yields a [`metrics::RunResult`]; [`sweep()`](sweep::sweep)
@@ -27,11 +31,13 @@ pub mod scenario;
 pub mod scheme;
 pub mod sim;
 pub mod sweep;
+pub mod topology;
 
-pub use build::{build_engine, ScenarioBuilder};
+pub use build::{build_engine, build_fabric, ScenarioBuilder};
 pub use harness::{registry, Experiment, RunCtx, Runner};
 pub use metrics::RunResult;
 pub use scenario::{Scenario, ServerSpec, SwitchFailurePlan, Workload};
 pub use scheme::Scheme;
 pub use sim::Sim;
 pub use sweep::{sweep, SweepPoint};
+pub use topology::{Fabric, Hop, Placement, Topology};

@@ -25,8 +25,14 @@ pub struct RunResult {
     /// Completed requests whose winning response came from the clone
     /// (`CLO=2`) — tracked by the shared host core in every frontend.
     pub client_clone_wins: u64,
-    /// Switch counters (NetClone/RackSched runs; zeroed otherwise).
+    /// Fabric-wide switch counters: the merge of every per-switch window
+    /// (NetClone/RackSched engines count cloning/filtering; plain-L3
+    /// switches only routed/dropped).
     pub switch: SwitchCounters,
+    /// Per-switch counter windows, in fabric index order (leaves
+    /// `0..racks`, then the spine for multi-rack runs). Single-rack runs
+    /// have exactly one entry, equal to [`RunResult::switch`].
+    pub per_switch: Vec<SwitchCounters>,
     /// Cloned requests dropped at servers (tracked-vs-actual state gap).
     pub server_clone_drops: u64,
     /// Responses reporting an empty queue (Fig. 13a numerator).
@@ -109,6 +115,7 @@ mod tests {
             client_redundant: 1,
             client_clone_wins: 33,
             switch: SwitchCounters::default(),
+            per_switch: vec![SwitchCounters::default()],
             server_clone_drops: 0,
             server_idle_reports: 60,
             server_responses: 100,

@@ -5,6 +5,7 @@ use netclone_workloads::{Jitter, SyntheticWorkload};
 
 use crate::calib;
 use crate::scheme::Scheme;
+use crate::topology::Topology;
 
 /// One worker server's shape.
 #[derive(Clone, Copy, Debug)]
@@ -89,6 +90,12 @@ impl Workload {
 }
 
 /// Switch failure injection (Fig. 16).
+///
+/// The plan gates forwarding for the *whole* fabric: in the paper's
+/// single-rack testbed that is exactly the one ToR power-cycling; under a
+/// multi-rack [`Topology`] it models a fabric-wide outage (every leaf and
+/// the spine stop forwarding, and bring-up clears soft state on all of
+/// them). Per-switch failure injection is not modeled yet.
 #[derive(Clone, Copy, Debug)]
 pub struct SwitchFailurePlan {
     /// When the switch stops forwarding, ns.
@@ -151,6 +158,9 @@ pub struct Scenario {
     /// Cloning condition (paper: both idle; the §3.4 threshold alternative
     /// is available for the ablation).
     pub clone_condition: netclone_core::CloneCondition,
+    /// Fabric shape: racks, host placement, inter-rack latency (§3.7).
+    /// [`Topology::single_rack`] reproduces the paper's testbed exactly.
+    pub topology: Topology,
 }
 
 impl Scenario {
@@ -180,6 +190,7 @@ impl Scenario {
             filter_slots_log2: 17,
             custom_groups: None,
             clone_condition: netclone_core::CloneCondition::BothIdle,
+            topology: Topology::single_rack(),
         }
     }
 
@@ -208,6 +219,7 @@ impl Scenario {
             filter_slots_log2: 17,
             custom_groups: None,
             clone_condition: netclone_core::CloneCondition::BothIdle,
+            topology: Topology::single_rack(),
         }
     }
 

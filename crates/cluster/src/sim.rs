@@ -1,16 +1,25 @@
 //! The event-driven testbed simulation: the event loop only.
 //!
-//! Everything about *assembling* a testbed (scheme → switch engine,
+//! Everything about *assembling* a testbed (scheme → switch engines,
 //! hosts, workload streams, priming events) lives in
 //! [`crate::build::ScenarioBuilder`]; this module drains the event queue
-//! and keeps the measurement windows. The switch is a
+//! and keeps the measurement windows. Every switch is a
 //! [`Box<dyn SwitchEngine>`](netclone_core::SwitchEngine) — the same
 //! trait object the real-socket soft switch drives — so the simulator has
 //! no per-scheme dispatch at all.
 //!
-//! Topology: every host hangs off one ToR switch (the paper's single-rack
-//! model; §3.7's multi-rack variant is exercised in the ablation tests).
-//! Ports: servers at `10+sid`, coordinator at 99, clients at `100+cid`.
+//! Topology: a [`Fabric`] built from the
+//! scenario's [`Topology`](crate::topology::Topology). The default single
+//! rack (the paper's testbed) is one ToR switch with every host attached;
+//! multi-rack shapes (§3.7) add per-rack leaves and an aggregation spine,
+//! with `Ev::SwitchIn` carrying the switch index and
+//! [`Fabric::hop`](crate::topology::Fabric::hop) walking emissions
+//! between switches (each leaf↔spine traversal costs the topology's
+//! inter-rack latency). The full fabric path — cloning at the client-side
+//! ToR only, `SWITCH_ID`-gated pass-through elsewhere — is covered by
+//! `tests/multirack.rs` and the topology proptests.
+//! Ports: servers at `10+sid`, coordinator at 99, clients at `100+cid`,
+//! uplinks per [`crate::topology`].
 //!
 //! Event flow for one RPC (NetClone scheme):
 //!
@@ -20,7 +29,7 @@
 //!            └─→ ServerIn(clone) ─→ … ─┘                    filtered at switch)
 //! ```
 
-use netclone_core::{SwitchCounters, SwitchEngine};
+use netclone_core::SwitchCounters;
 use netclone_des::{EventQueue, SimTime};
 use netclone_hosts::{Admission, AppPacket, ClientMode, ClientSim, ServerSim};
 use netclone_policies::LaedgeCoordinator;
@@ -34,13 +43,14 @@ use crate::build::{ScenarioBuilder, COORD_PORT};
 use crate::calib;
 use crate::metrics::RunResult;
 use crate::scenario::Scenario;
+use crate::topology::{Fabric, Hop};
 
 /// Simulation events.
 pub(crate) enum Ev {
     /// Client `cid` generates its next request.
     Gen(usize),
-    /// A packet reaches the switch.
-    SwitchIn(AppPacket),
+    /// A packet reaches switch `idx` of the fabric.
+    SwitchIn(usize, AppPacket),
     /// A packet reaches server `idx`'s NIC.
     ServerIn(usize, AppPacket),
     /// Server `idx` finishes serving `pkt` (valid only in `epoch`).
@@ -55,11 +65,13 @@ pub(crate) enum Ev {
     CoordIn(AppPacket),
     /// Measurements start.
     EndWarmup,
-    /// The switch stops forwarding (Fig. 16).
+    /// The fabric stops forwarding (Fig. 16; see
+    /// [`crate::scenario::SwitchFailurePlan`] for multi-rack semantics).
     SwitchFail,
-    /// The operator reactivates the switch; bring-up begins.
+    /// The operator reactivates the fabric; bring-up begins.
     SwitchReactivate { bringup_ns: u64 },
-    /// Bring-up complete: forwarding resumes with cleared soft state.
+    /// Bring-up complete: forwarding resumes with cleared soft state on
+    /// every switch.
     SwitchUp,
     /// Server `idx` dies (§3.6).
     ServerKill(usize),
@@ -74,9 +86,9 @@ pub struct Sim {
     pub(crate) clients: Vec<ClientSim>,
     pub(crate) servers: Vec<ServerSim>,
     pub(crate) server_epoch: Vec<u32>,
-    /// The switch program — any [`SwitchEngine`], selected by
-    /// [`crate::build::build_engine`].
-    pub(crate) switch: Box<dyn SwitchEngine>,
+    /// The switch fabric — one engine per switch, assembled by
+    /// [`crate::build::build_fabric`].
+    pub(crate) fabric: Fabric,
     pub(crate) switch_up: bool,
     pub(crate) coordinator: Option<LaedgeCoordinator>,
     pub(crate) arrivals: PoissonArrivals,
@@ -91,7 +103,7 @@ pub struct Sim {
     pub(crate) completed_in_window: u64,
     pub(crate) generated_in_window: u64,
     pub(crate) packets_lost: u64,
-    pub(crate) switch_counters_at_warmup: SwitchCounters,
+    pub(crate) switch_counters_at_warmup: Vec<SwitchCounters>,
     pub(crate) server_stats_at_warmup: Vec<netclone_hosts::server::ServerStats>,
 }
 
@@ -130,7 +142,7 @@ impl Sim {
     fn handle(&mut self, now: u64, ev: Ev) {
         match ev {
             Ev::Gen(cid) => self.on_gen(cid, now),
-            Ev::SwitchIn(pkt) => self.on_switch_in(pkt, now),
+            Ev::SwitchIn(sw, pkt) => self.on_switch_in(sw, pkt, now),
             Ev::ServerIn(idx, pkt) => self.on_server_in(idx, pkt, now),
             Ev::ServerDone { idx, epoch, pkt } => self.on_server_done(idx, epoch, pkt, now),
             Ev::ClientIn(cid, pkt) => self.on_client_in(cid, pkt, now),
@@ -144,7 +156,9 @@ impl Sim {
             Ev::SwitchUp => {
                 // §3.6: only soft state is lost; the control plane's table
                 // entries are reinstalled during bring-up.
-                self.switch.reset_soft_state();
+                for e in &mut self.fabric.engines {
+                    e.reset_soft_state();
+                }
                 self.switch_up = true;
             }
             Ev::ServerKill(idx) => {
@@ -155,15 +169,20 @@ impl Sim {
         }
     }
 
-    /// §3.6 "Server failures": the engine drops the server from its tables
-    /// (engines without server tables decline, which is fine — their
-    /// clients handle failure below), and every client stops addressing it.
+    /// §3.6 "Server failures": every engine holding the server in its
+    /// tables drops it (engines without server tables decline, which is
+    /// fine — their clients handle failure below), and every client stops
+    /// addressing it. Each client refreshes its group count from its own
+    /// ToR, the engine its requests traverse.
     fn on_server_remove(&mut self, sid: ServerId) {
-        if self.switch.deregister_server(sid).is_ok() {
-            let groups = self.switch.num_groups();
-            for c in &mut self.clients {
+        let mut any_deregistered = false;
+        for e in &mut self.fabric.engines {
+            any_deregistered |= e.deregister_server(sid).is_ok();
+        }
+        if any_deregistered {
+            for (cid, c) in self.clients.iter_mut().enumerate() {
                 if let ClientMode::NetClone { num_groups, .. } = c.mode_mut() {
-                    *num_groups = groups;
+                    *num_groups = self.fabric.engines[self.fabric.client_leaf(cid)].num_groups();
                 }
             }
         }
@@ -186,6 +205,7 @@ impl Sim {
             self.generated_in_window += 1;
         }
         let op = self.draw_op(cid);
+        let tor = self.fabric.client_leaf(cid);
         let pkts = self.clients[cid].generate(op, now);
         for (pkt, tx_done) in pkts {
             if self.lose_packet() {
@@ -194,19 +214,19 @@ impl Sim {
             }
             self.q.schedule(
                 SimTime::from_ns(tx_done + calib::LINK_ONE_WAY_NS),
-                Ev::SwitchIn(pkt),
+                Ev::SwitchIn(tor, pkt),
             );
         }
         let gap = self.arrivals.next_gap_ns(&mut self.arrival_rngs[cid]);
         self.q.schedule(SimTime::from_ns(now + gap), Ev::Gen(cid));
     }
 
-    fn on_switch_in(&mut self, pkt: AppPacket, now: u64) {
+    fn on_switch_in(&mut self, sw: usize, pkt: AppPacket, now: u64) {
         if !self.switch_up {
             self.packets_lost += 1;
             return;
         }
-        let emissions = self.switch.process(pkt.meta, 0, now);
+        let emissions = self.fabric.engines[sw].process(pkt.meta, 0, now);
         for e in emissions {
             if self.lose_packet() {
                 self.packets_lost += 1;
@@ -217,18 +237,28 @@ impl Sim {
                 op: pkt.op,
                 born_ns: pkt.born_ns,
             };
-            let at = SimTime::from_ns(now + e.latency_ns + calib::LINK_ONE_WAY_NS);
-            if e.port == COORD_PORT {
-                self.q.schedule(at, Ev::CoordIn(out));
-            } else if e.port >= 100 {
-                let cid = (e.port - 100) as usize;
-                if cid < self.clients.len() {
-                    self.q.schedule(at, Ev::ClientIn(cid, out));
+            match self.fabric.hop(sw, e.port) {
+                Hop::Switch(next) => {
+                    // A leaf↔spine traversal: no host NIC on this hop,
+                    // the fabric link latency applies instead.
+                    let at = SimTime::from_ns(now + e.latency_ns + self.fabric.inter_rack_ns());
+                    self.q.schedule(at, Ev::SwitchIn(next, out));
                 }
-            } else if e.port >= 10 {
-                let idx = (e.port - 10) as usize;
-                if idx < self.servers.len() {
-                    self.q.schedule(at, Ev::ServerIn(idx, out));
+                Hop::Local(port) => {
+                    let at = SimTime::from_ns(now + e.latency_ns + calib::LINK_ONE_WAY_NS);
+                    if port == COORD_PORT {
+                        self.q.schedule(at, Ev::CoordIn(out));
+                    } else if port >= 100 {
+                        let cid = (port - 100) as usize;
+                        if cid < self.clients.len() {
+                            self.q.schedule(at, Ev::ClientIn(cid, out));
+                        }
+                    } else if port >= 10 {
+                        let idx = (port - 10) as usize;
+                        if idx < self.servers.len() {
+                            self.q.schedule(at, Ev::ServerIn(idx, out));
+                        }
+                    }
                 }
             }
         }
@@ -275,7 +305,7 @@ impl Sim {
         } else {
             self.q.schedule(
                 SimTime::from_ns(now + calib::LINK_ONE_WAY_NS),
-                Ev::SwitchIn(resp),
+                Ev::SwitchIn(self.fabric.server_leaf(idx), resp),
             );
         }
         if let Some((next_pkt, next_done)) = completion.next {
@@ -313,7 +343,7 @@ impl Sim {
             }
             self.q.schedule(
                 SimTime::from_ns(e.send_at + calib::LINK_ONE_WAY_NS),
-                Ev::SwitchIn(e.pkt),
+                Ev::SwitchIn(self.fabric.coord_leaf(), e.pkt),
             );
         }
     }
@@ -323,7 +353,7 @@ impl Sim {
         for c in &mut self.clients {
             c.reset_measurements();
         }
-        self.switch_counters_at_warmup = self.switch.counters();
+        self.switch_counters_at_warmup = self.fabric.counters();
         for (i, s) in self.servers.iter().enumerate() {
             self.server_stats_at_warmup[i] = s.stats();
         }
@@ -344,10 +374,15 @@ impl Sim {
         // Every counter field is windowed, so plain-fabric counts
         // (routed_plain, dropped_unroutable) and the rarer NetClone
         // counters stay comparable with the windowed requests/responses.
-        let switch = self
-            .switch
+        // Per-switch deltas first, then the fabric-wide merge.
+        let per_switch: Vec<SwitchCounters> = self
+            .fabric
             .counters()
-            .since(&self.switch_counters_at_warmup);
+            .iter()
+            .zip(&self.switch_counters_at_warmup)
+            .map(|(now, base)| now.since(base))
+            .collect();
+        let switch: SwitchCounters = per_switch.iter().sum();
 
         let mut clone_drops = 0;
         let mut idle_reports = 0;
@@ -379,6 +414,7 @@ impl Sim {
             throughput_series: self.throughput,
             packets_lost: self.packets_lost,
             per_server_served,
+            per_switch,
         }
     }
 }

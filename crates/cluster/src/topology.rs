@@ -1,0 +1,295 @@
+//! Cluster topology as a first-class scenario dimension.
+//!
+//! The paper's evaluation runs a single rack: every host hangs off one
+//! ToR switch. §3.7 "Multi-rack deployment" extends the design to a
+//! two-tier leaf/spine fabric: NetClone logic runs only at the
+//! *client-side* ToR (gated by the `SWITCH_ID` header field); every other
+//! switch — server-side ToRs and the aggregation spine — forwards with
+//! plain L3 routing.
+//!
+//! [`Topology`] describes the fabric shape: how many racks, where servers
+//! and clients sit, and the extra per-link latency of the leaf↔spine
+//! hops. [`Fabric`] is the built artifact — one
+//! [`SwitchEngine`] per switch plus the
+//! routing metadata ([`Fabric::hop`]) the event loop uses to walk
+//! emissions between switches. Assembly (which engine runs on which
+//! leaf, what gets registered where) lives in
+//! [`crate::build::build_fabric`].
+//!
+//! ## Switch indexing and ports
+//!
+//! | index | switch |
+//! |-------|--------|
+//! | `0..racks` | leaf (ToR) of rack *r* |
+//! | `racks` | the spine (only when `racks > 1`) |
+//!
+//! On a leaf, port [`UPLINK_PORT`] faces the spine; servers keep their
+//! single-rack ports (`10 + sid`), clients theirs (`100 + cid`), the
+//! coordinator its own (99). On the spine, [`spine_port`]`(r)` faces
+//! leaf *r*. A single-rack topology has no spine and no uplink — the
+//! fabric degenerates to exactly the pre-topology simulator.
+
+use netclone_asic::PortId;
+use netclone_core::{SwitchCounters, SwitchEngine};
+
+/// Leaf port facing the spine. Servers sit at `10+`, clients at `100+`,
+/// the coordinator at 99, so 1 is free on every leaf.
+pub const UPLINK_PORT: PortId = 1;
+
+/// Spine port facing leaf `rack`.
+pub const fn spine_port(rack: usize) -> PortId {
+    2 + rack as PortId
+}
+
+/// Where the hosts of one kind sit across the racks.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Placement {
+    /// Host `i` sits in rack `i % racks` (the default: balanced).
+    RoundRobin,
+    /// Host `i` sits in rack `racks[i]` (arbitrary, e.g. all servers in
+    /// one rack with the clients in another).
+    Explicit(Vec<usize>),
+}
+
+impl Placement {
+    /// Rack of host `i` under this placement.
+    pub fn rack_of(&self, i: usize, racks: usize) -> usize {
+        match self {
+            Placement::RoundRobin => i % racks,
+            Placement::Explicit(v) => v[i],
+        }
+    }
+}
+
+/// The fabric shape: racks, host placement, inter-rack link latency.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Topology {
+    /// Number of racks (leaf switches). 1 = the paper's testbed.
+    pub racks: usize,
+    /// One-way latency of each leaf↔spine link, ns (on top of the
+    /// switch pass latency; unused when `racks == 1`).
+    pub inter_rack_ns: u64,
+    /// Which rack each server sits in.
+    pub server_placement: Placement,
+    /// Which rack each client sits in.
+    pub client_placement: Placement,
+}
+
+impl Topology {
+    /// The paper's single-rack testbed (the default everywhere).
+    pub fn single_rack() -> Self {
+        Topology {
+            racks: 1,
+            inter_rack_ns: crate::calib::INTER_RACK_ONE_WAY_NS,
+            server_placement: Placement::RoundRobin,
+            client_placement: Placement::RoundRobin,
+        }
+    }
+
+    /// A balanced multi-rack fabric: servers and clients round-robin
+    /// across `racks` racks, default inter-rack link latency.
+    pub fn uniform(racks: usize) -> Self {
+        Topology {
+            racks,
+            ..Topology::single_rack()
+        }
+    }
+
+    /// Overrides the leaf↔spine link latency.
+    pub fn with_inter_rack_ns(mut self, ns: u64) -> Self {
+        self.inter_rack_ns = ns;
+        self
+    }
+
+    /// Places server `sid` explicitly (see [`Placement::Explicit`]).
+    pub fn with_server_racks(mut self, racks: Vec<usize>) -> Self {
+        self.server_placement = Placement::Explicit(racks);
+        self
+    }
+
+    /// Places client `cid` explicitly (see [`Placement::Explicit`]).
+    pub fn with_client_racks(mut self, racks: Vec<usize>) -> Self {
+        self.client_placement = Placement::Explicit(racks);
+        self
+    }
+
+    /// Rack of server `sid`.
+    pub fn server_rack(&self, sid: usize) -> usize {
+        self.server_placement.rack_of(sid, self.racks)
+    }
+
+    /// Rack of client `cid`.
+    pub fn client_rack(&self, cid: usize) -> usize {
+        self.client_placement.rack_of(cid, self.racks)
+    }
+
+    /// Number of switches in the fabric: the leaves plus, for multi-rack
+    /// shapes, one aggregation spine.
+    pub fn num_switches(&self) -> usize {
+        if self.racks > 1 {
+            self.racks + 1
+        } else {
+            1
+        }
+    }
+
+    /// Index of the spine switch (`None` for a single rack).
+    pub fn spine(&self) -> Option<usize> {
+        (self.racks > 1).then_some(self.racks)
+    }
+
+    /// Checks the shape against a host fleet. Explicit placements must
+    /// cover every host and name only existing racks.
+    pub fn validate(&self, n_servers: usize, n_clients: usize) -> Result<(), String> {
+        if self.racks == 0 {
+            return Err("a topology needs at least one rack".into());
+        }
+        let check = |kind: &str, placement: &Placement, n: usize| match placement {
+            Placement::RoundRobin => Ok(()),
+            Placement::Explicit(v) => {
+                if v.len() != n {
+                    return Err(format!("{kind} placement covers {} of {n} hosts", v.len()));
+                }
+                match v.iter().find(|&&r| r >= self.racks) {
+                    Some(r) => Err(format!("{kind} placed in rack {r} of {}", self.racks)),
+                    None => Ok(()),
+                }
+            }
+        };
+        check("server", &self.server_placement, n_servers)?;
+        check("client", &self.client_placement, n_clients)
+    }
+}
+
+/// One step of a packet's walk through the fabric.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Hop {
+    /// The port is a host port on this leaf — deliver locally.
+    Local(PortId),
+    /// The port is an inter-switch link — forward to that switch.
+    Switch(usize),
+}
+
+/// A built two-tier fabric: one programmed engine per switch plus the
+/// routing metadata to walk emissions between them.
+///
+/// Index layout matches [`Topology`]: leaves `0..racks`, then the spine.
+/// Built by [`crate::build::build_fabric`]; driven by the event loop
+/// ([`crate::sim::Sim`]) and directly by the topology tests.
+pub struct Fabric {
+    /// The per-switch engines.
+    pub engines: Vec<Box<dyn SwitchEngine>>,
+    pub(crate) racks: usize,
+    pub(crate) inter_rack_ns: u64,
+    /// Leaf index of each server (by sim index == sid).
+    pub(crate) server_leaf: Vec<usize>,
+    /// Leaf index of each client (by cid).
+    pub(crate) client_leaf: Vec<usize>,
+    /// Leaf the LÆDGE coordinator hangs off (rack 0 by convention).
+    pub(crate) coord_leaf: usize,
+}
+
+impl Fabric {
+    /// Number of switches.
+    pub fn len(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// True for an engine-less fabric (never produced by the builder).
+    pub fn is_empty(&self) -> bool {
+        self.engines.is_empty()
+    }
+
+    /// Index of the spine switch (`None` for a single rack).
+    pub fn spine(&self) -> Option<usize> {
+        (self.racks > 1).then_some(self.racks)
+    }
+
+    /// Leaf switch of server `idx`.
+    pub fn server_leaf(&self, idx: usize) -> usize {
+        self.server_leaf[idx]
+    }
+
+    /// Leaf switch of client `cid`.
+    pub fn client_leaf(&self, cid: usize) -> usize {
+        self.client_leaf[cid]
+    }
+
+    /// Leaf switch of the coordinator host.
+    pub fn coord_leaf(&self) -> usize {
+        self.coord_leaf
+    }
+
+    /// One-way latency of a leaf↔spine link, ns.
+    pub fn inter_rack_ns(&self) -> u64 {
+        self.inter_rack_ns
+    }
+
+    /// Resolves an emission from switch `sw` out of `port`: either a
+    /// local host port or the next switch. Pure arithmetic — the hot
+    /// path allocates nothing.
+    pub fn hop(&self, sw: usize, port: PortId) -> Hop {
+        if Some(sw) == self.spine() {
+            Hop::Switch((port - spine_port(0)) as usize)
+        } else if port == UPLINK_PORT && self.racks > 1 {
+            Hop::Switch(self.racks)
+        } else {
+            Hop::Local(port)
+        }
+    }
+
+    /// Per-switch counter snapshots, in switch-index order.
+    pub fn counters(&self) -> Vec<SwitchCounters> {
+        self.engines.iter().map(|e| e.counters()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rack_is_the_default_shape() {
+        let t = Topology::single_rack();
+        assert_eq!(t.racks, 1);
+        assert_eq!(t.num_switches(), 1);
+        assert_eq!(t.spine(), None);
+        assert_eq!(t.server_rack(5), 0);
+        assert_eq!(t.client_rack(1), 0);
+        assert!(t.validate(6, 2).is_ok());
+    }
+
+    #[test]
+    fn uniform_round_robins_hosts() {
+        let t = Topology::uniform(3);
+        assert_eq!(t.num_switches(), 4);
+        assert_eq!(t.spine(), Some(3));
+        assert_eq!(
+            (0..6).map(|s| t.server_rack(s)).collect::<Vec<_>>(),
+            vec![0, 1, 2, 0, 1, 2]
+        );
+        assert_eq!(t.client_rack(1), 1);
+    }
+
+    #[test]
+    fn explicit_placement_and_validation() {
+        let t = Topology::uniform(2)
+            .with_server_racks(vec![1, 1, 1])
+            .with_client_racks(vec![0]);
+        assert_eq!(t.server_rack(2), 1);
+        assert_eq!(t.client_rack(0), 0);
+        assert!(t.validate(3, 1).is_ok());
+        assert!(t.validate(4, 1).is_err(), "placement must cover all hosts");
+        let bad = Topology::uniform(2).with_client_racks(vec![2]);
+        assert!(bad.validate(2, 1).is_err(), "rack index out of range");
+    }
+
+    #[test]
+    fn zero_racks_rejected() {
+        let t = Topology {
+            racks: 0,
+            ..Topology::single_rack()
+        };
+        assert!(t.validate(2, 1).is_err());
+    }
+}

@@ -86,6 +86,35 @@ impl SwitchCounters {
             self.responses_filtered as f64 / self.responses as f64
         }
     }
+
+    /// Adds `other` into `self`, field by field — fabric-wide totals are
+    /// the merge of every per-switch counter snapshot (multi-rack
+    /// deployments run one engine per switch, §3.7).
+    pub fn merge(&mut self, other: &SwitchCounters) {
+        self.requests += other.requests;
+        self.cloned += other.cloned;
+        self.clone_skipped_busy += other.clone_skipped_busy;
+        self.clone_skipped_uncloneable += other.clone_skipped_uncloneable;
+        self.clone_forced_multipacket += other.clone_forced_multipacket;
+        self.recirculated += other.recirculated;
+        self.responses += other.responses;
+        self.responses_filtered += other.responses_filtered;
+        self.filter_overwrites += other.filter_overwrites;
+        self.routed_plain += other.routed_plain;
+        self.dropped_unroutable += other.dropped_unroutable;
+        self.jsq_fallbacks += other.jsq_fallbacks;
+    }
+}
+
+/// Summing per-switch snapshots yields the fabric-wide totals.
+impl<'a> std::iter::Sum<&'a SwitchCounters> for SwitchCounters {
+    fn sum<I: Iterator<Item = &'a SwitchCounters>>(iter: I) -> Self {
+        let mut total = SwitchCounters::default();
+        for c in iter {
+            total.merge(c);
+        }
+        total
+    }
 }
 
 #[cfg(test)]
@@ -110,5 +139,32 @@ mod tests {
         };
         assert!((c.clone_rate() - 0.4).abs() < 1e-12);
         assert!((c.filter_rate() - 4.0 / 14.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_and_sum_accumulate_every_field() {
+        let a = SwitchCounters {
+            requests: 1,
+            cloned: 2,
+            clone_skipped_busy: 3,
+            clone_skipped_uncloneable: 4,
+            clone_forced_multipacket: 5,
+            recirculated: 6,
+            responses: 7,
+            responses_filtered: 8,
+            filter_overwrites: 9,
+            routed_plain: 10,
+            dropped_unroutable: 11,
+            jsq_fallbacks: 12,
+        };
+        let mut m = a;
+        m.merge(&a);
+        let total: SwitchCounters = [a, a, a].iter().sum();
+        assert_eq!(total.requests, 3);
+        assert_eq!(total.jsq_fallbacks, 36);
+        assert_eq!(m.requests, 2);
+        assert_eq!(m.cloned, 4);
+        assert_eq!(m.routed_plain, 20);
+        assert_eq!(m.jsq_fallbacks, 24);
     }
 }

@@ -5,6 +5,9 @@
 
 use netclone::cluster::experiments::Scale;
 use netclone::cluster::harness::{find, RunCtx};
+use netclone::cluster::{Scenario, Scheme, Sim, Topology};
+use netclone::core::SwitchCounters;
+use netclone::workloads::exp25;
 
 fn reports_match(id: &str) {
     let exp = find(id).expect("registry id");
@@ -39,4 +42,62 @@ fn fig13_parallel_equals_serial() {
 fn ablations_parallel_equals_serial() {
     // Three independent sub-studies, including the custom-group scenario.
     reports_match("ablations");
+}
+
+#[test]
+fn multirack_parallel_equals_serial() {
+    // Multi-rack cells run per-switch engine fabrics; the fan-out must
+    // stay invisible exactly like the single-rack experiments.
+    reports_match("multirack");
+}
+
+/// `Topology::single_rack()` (the default) must reproduce the
+/// pre-topology simulator bit for bit. These numbers were captured from
+/// the seed-state single-switch event loop before the fabric refactor;
+/// any drift here means the single-rack fast path changed behaviour.
+#[test]
+fn single_rack_topology_reproduces_seed_state_run() {
+    let mut s = Scenario::synthetic_default(Scheme::NETCLONE, exp25(), 0.0);
+    s.warmup_ns = 4_000_000;
+    s.measure_ns = 20_000_000;
+    s.offered_rps = s.capacity_rps() * 0.6;
+    s.seed = 7;
+    assert_eq!(s.topology, Topology::single_rack());
+
+    let r = Sim::run(s);
+    assert_eq!(r.generated, 37568);
+    assert_eq!(r.completed, 37568);
+    assert_eq!(r.client_redundant, 0);
+    assert_eq!(r.client_clone_wins, 8761);
+    assert_eq!(
+        r.switch,
+        SwitchCounters {
+            requests: 37570,
+            cloned: 23744,
+            clone_skipped_busy: 13826,
+            clone_skipped_uncloneable: 0,
+            clone_forced_multipacket: 0,
+            recirculated: 23744,
+            responses: 55690,
+            responses_filtered: 18072,
+            filter_overwrites: 797,
+            routed_plain: 0,
+            dropped_unroutable: 0,
+            jsq_fallbacks: 0,
+        }
+    );
+    assert_eq!(
+        r.per_switch,
+        vec![r.switch],
+        "one switch, equal to the merge"
+    );
+    assert_eq!(r.server_clone_drops, 5712);
+    assert_eq!(r.server_idle_reports, 42664);
+    assert_eq!(r.server_responses, 55689);
+    assert_eq!(r.packets_lost, 0);
+    assert_eq!(
+        r.per_server_served,
+        vec![9369, 9159, 9450, 9189, 9238, 9284]
+    );
+    assert_eq!(r.latency.p50_p99_p999(), (23039, 124927, 638975));
 }
