@@ -2,11 +2,30 @@
 //! whatever carries its packets (the discrete-event simulator or the
 //! real-socket soft switch).
 //!
-//! A program receives one parsed packet plus its ingress port and returns
-//! the packets to emit, each with an egress port and the processing latency
-//! it accrued inside the switch (pipeline passes + any recirculations —
-//! replication and recirculation are internal to the program, so callers
-//! only ever see final emissions).
+//! A program receives one parsed packet plus its ingress port and appends
+//! the packets to emit — each with an egress port and the processing
+//! latency it accrued inside the switch (pipeline passes + any
+//! recirculations; replication and recirculation are internal to the
+//! program, so callers only ever see final emissions) — into a
+//! caller-provided [`EmissionSink`].
+//!
+//! ## The `EmissionSink` contract
+//!
+//! The sink is a reusable buffer owned by the *caller* (the simulator
+//! holds exactly one per run; the soft switch one per forwarding thread),
+//! so the per-packet path performs no heap allocation in steady state:
+//!
+//! * [`DataPlane::process`] only **appends**; it never reads, clears, or
+//!   reorders existing contents. Callers normally hand in an empty sink
+//!   and drain it in place afterwards.
+//! * A program emits at most a handful of packets per ingress packet
+//!   (cloning produces two), so the sink's initial capacity of
+//!   [`EmissionSink::INLINE_CAPACITY`] never grows in steady state.
+//! * Emission **order is part of the program's behaviour** (the original
+//!   egresses before its recirculated clone) and must be deterministic —
+//!   the DES frontend schedules emissions in sink order.
+//! * Programs must not retain the sink across calls (the `&mut` borrow
+//!   enforces this), so `process` is trivially reentrant per program.
 
 use netclone_proto::PacketMeta;
 
@@ -24,16 +43,100 @@ pub struct Emission {
     pub latency_ns: u64,
 }
 
+/// A reusable, caller-owned buffer of [`Emission`]s (see the module docs
+/// for the ownership and reentrancy contract).
+///
+/// Backed by a `Vec` whose capacity is retained across
+/// [`EmissionSink::clear`]/[`EmissionSink::drain`], so a long-lived sink
+/// allocates exactly once. Dereferences to `[Emission]` for inspection.
+#[derive(Clone, Debug, Default)]
+pub struct EmissionSink {
+    buf: Vec<Emission>,
+}
+
+impl EmissionSink {
+    /// Initial capacity: enough for every program in the workspace
+    /// (cloning emits two packets; nothing emits more than a handful).
+    pub const INLINE_CAPACITY: usize = 8;
+
+    /// Creates an empty sink with the default capacity pre-allocated.
+    pub fn new() -> Self {
+        EmissionSink {
+            buf: Vec::with_capacity(Self::INLINE_CAPACITY),
+        }
+    }
+
+    /// Appends one emission.
+    #[inline]
+    pub fn push(&mut self, e: Emission) {
+        self.buf.push(e);
+    }
+
+    /// Removes all emissions, keeping the allocated capacity.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// Drains the buffered emissions front-to-back, keeping the allocated
+    /// capacity for reuse.
+    #[inline]
+    pub fn drain(&mut self) -> std::vec::Drain<'_, Emission> {
+        self.buf.drain(..)
+    }
+}
+
+impl std::ops::Deref for EmissionSink {
+    type Target = [Emission];
+    #[inline]
+    fn deref(&self) -> &[Emission] {
+        &self.buf
+    }
+}
+
+impl std::ops::DerefMut for EmissionSink {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [Emission] {
+        &mut self.buf
+    }
+}
+
+impl IntoIterator for EmissionSink {
+    type Item = Emission;
+    type IntoIter = std::vec::IntoIter<Emission>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.buf.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a EmissionSink {
+    type Item = &'a Emission;
+    type IntoIter = std::slice::Iter<'a, Emission>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.buf.iter()
+    }
+}
+
 /// A switch data-plane program.
 pub trait DataPlane {
     /// Short program name (diagnostics and reports).
     fn name(&self) -> &'static str;
 
-    /// Processes one ingress packet and returns everything that egresses.
+    /// Processes one ingress packet, appending everything that egresses
+    /// to `out` (see the module docs for the sink contract).
     ///
-    /// An empty vector means the packet was dropped (e.g. a filtered
+    /// Appending nothing means the packet was dropped (e.g. a filtered
     /// redundant response, or no route).
-    fn process(&mut self, pkt: PacketMeta, ingress: PortId, now_ns: u64) -> Vec<Emission>;
+    fn process(&mut self, pkt: PacketMeta, ingress: PortId, now_ns: u64, out: &mut EmissionSink);
+
+    /// Convenience for tests and diagnostics: processes one packet into a
+    /// fresh sink and returns it. Hot paths hold a reusable sink and call
+    /// [`DataPlane::process`] instead — this allocates per call.
+    fn process_collected(&mut self, pkt: PacketMeta, ingress: PortId, now_ns: u64) -> EmissionSink {
+        let mut out = EmissionSink::new();
+        self.process(pkt, ingress, now_ns, &mut out);
+        out
+    }
 
     /// Clears all *soft* state (server states, sequence numbers, filter
     /// fingerprints) as a power cycle would (§3.6 "Switch failures").
@@ -55,12 +158,18 @@ mod tests {
         fn name(&self) -> &'static str {
             "null"
         }
-        fn process(&mut self, pkt: PacketMeta, _ingress: PortId, _now_ns: u64) -> Vec<Emission> {
-            vec![Emission {
+        fn process(
+            &mut self,
+            pkt: PacketMeta,
+            _ingress: PortId,
+            _now_ns: u64,
+            out: &mut EmissionSink,
+        ) {
+            out.push(Emission {
                 pkt,
                 port: 0,
                 latency_ns: 100,
-            }]
+            });
         }
     }
 
@@ -69,11 +178,37 @@ mod tests {
         let mut dp: Box<dyn DataPlane> = Box::new(Null);
         let pkt =
             PacketMeta::netclone_request(Ipv4::client(0), NetCloneHdr::request(0, 0, 0, 0), 64);
-        let out = dp.process(pkt, 5, 0);
+        let out = dp.process_collected(pkt, 5, 0);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].port, 0);
         assert_eq!(out[0].latency_ns, 100);
         assert_eq!(dp.name(), "null");
         dp.reset_soft_state(); // default no-op must be callable
+    }
+
+    #[test]
+    fn sink_appends_and_reuses_capacity() {
+        let mut dp = Null;
+        let pkt =
+            PacketMeta::netclone_request(Ipv4::client(0), NetCloneHdr::request(0, 0, 0, 0), 64);
+        let mut sink = EmissionSink::new();
+        let cap_before = sink.buf.capacity();
+        assert_eq!(cap_before, EmissionSink::INLINE_CAPACITY);
+
+        // process() appends without clearing prior contents.
+        dp.process(pkt, 5, 0, &mut sink);
+        dp.process(pkt, 5, 0, &mut sink);
+        assert_eq!(sink.len(), 2);
+
+        // Draining and clearing keep the allocation: the steady state
+        // never reallocates.
+        assert_eq!(sink.drain().count(), 2);
+        assert!(sink.is_empty());
+        assert_eq!(sink.buf.capacity(), cap_before, "drain freed the buffer");
+        dp.process(pkt, 5, 0, &mut sink);
+        assert_eq!(sink.len(), 1);
+        sink.clear();
+        assert!(sink.is_empty());
+        assert_eq!(sink.buf.capacity(), cap_before, "clear freed the buffer");
     }
 }

@@ -37,7 +37,7 @@ pub mod resources;
 pub mod spec;
 pub mod table;
 
-pub use dataplane::{DataPlane, Emission, PortId};
+pub use dataplane::{DataPlane, Emission, EmissionSink, PortId};
 pub use error::AsicError;
 pub use hash::{crc32, HashUnit};
 pub use pass::PacketPass;

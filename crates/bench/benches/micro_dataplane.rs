@@ -9,7 +9,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use netclone_asic::{crc32, DataPlane};
+use netclone_asic::{crc32, DataPlane, EmissionSink};
 use netclone_core::{NetCloneConfig, NetCloneSwitch};
 use netclone_proto::{wire, Ipv4, NetCloneHdr, PacketMeta, RpcOp, ServerState};
 
@@ -21,7 +21,7 @@ fn build_switch(busy: bool) -> NetCloneSwitch {
     sw.add_client(Ipv4::client(0), 100).unwrap();
     if busy {
         // Mark everything busy so requests take the non-cloning path.
-        let probe = sw.process(
+        let probe = sw.process_collected(
             PacketMeta::netclone_request(Ipv4::client(0), NetCloneHdr::request(0, 0, 0, 0), 84),
             100,
             0,
@@ -29,7 +29,7 @@ fn build_switch(busy: bool) -> NetCloneSwitch {
         for sid in 0..6u16 {
             let nc = NetCloneHdr::response_to(&probe[0].pkt.nc, sid, ServerState(5));
             let resp = PacketMeta::netclone_response(Ipv4::server(sid), Ipv4::client(0), nc, 84);
-            sw.process(resp, 10, 0);
+            sw.process_collected(resp, 10, 0);
         }
     }
     sw
@@ -37,24 +37,39 @@ fn build_switch(busy: bool) -> NetCloneSwitch {
 
 fn bench_program(c: &mut Criterion) {
     let mut g = c.benchmark_group("netclone_program");
+    // Like the simulator's hot loop: one reusable sink, zero allocation
+    // per packet.
+    let mut sink = EmissionSink::new();
 
     let mut sw = build_switch(true);
     let req = PacketMeta::netclone_request(Ipv4::client(0), NetCloneHdr::request(0, 0, 0, 0), 84);
     g.bench_function("request_no_clone", |b| {
-        b.iter(|| black_box(sw.process(black_box(req), 100, 0)))
+        b.iter(|| {
+            sink.clear();
+            sw.process(black_box(req), 100, 0, &mut sink);
+            black_box(sink.len())
+        })
     });
 
     let mut sw = build_switch(false);
     g.bench_function("request_with_clone", |b| {
-        b.iter(|| black_box(sw.process(black_box(req), 100, 0)))
+        b.iter(|| {
+            sink.clear();
+            sw.process(black_box(req), 100, 0, &mut sink);
+            black_box(sink.len())
+        })
     });
 
     let mut sw = build_switch(false);
-    let out = sw.process(req, 100, 0);
+    let out = sw.process_collected(req, 100, 0);
     let nc = NetCloneHdr::response_to(&out[0].pkt.nc, 0, ServerState(0));
     let resp = PacketMeta::netclone_response(Ipv4::server(0), Ipv4::client(0), nc, 84);
     g.bench_function("response_with_filter", |b| {
-        b.iter(|| black_box(sw.process(black_box(resp), 10, 0)))
+        b.iter(|| {
+            sink.clear();
+            sw.process(black_box(resp), 10, 0, &mut sink);
+            black_box(sink.len())
+        })
     });
     g.finish();
 }

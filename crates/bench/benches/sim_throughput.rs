@@ -1,0 +1,40 @@
+//! Criterion macro-benchmark of whole-simulation throughput: one
+//! `Sim::run` per iteration on short fixed-seed scenarios, single-rack
+//! and 4-rack. Complements the tracked `sim_throughput` *binary* (which
+//! emits `BENCH_sim.json` with events/sec for CI gating) with an
+//! interactive ns/iteration view of the same hot path.
+//!
+//! Run: `cargo bench -p netclone-bench --bench sim_throughput`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use netclone_cluster::{Scenario, Scheme, Sim, Topology};
+use netclone_workloads::exp25;
+
+/// A short run (~10k requests) so criterion gets several samples.
+fn scenario(racks: usize) -> Scenario {
+    let mut s = Scenario::synthetic_default(Scheme::NETCLONE, exp25(), 0.0);
+    s.warmup_ns = 1_000_000;
+    s.measure_ns = 5_000_000;
+    s.offered_rps = s.capacity_rps() * 0.6;
+    s.seed = 7;
+    if racks > 1 {
+        s.topology = Topology::uniform(racks);
+    }
+    s
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_throughput");
+    g.bench_function("single_rack", |b| {
+        b.iter(|| black_box(Sim::run(black_box(scenario(1)))).completed)
+    });
+    g.bench_function("four_rack", |b| {
+        b.iter(|| black_box(Sim::run(black_box(scenario(4)))).completed)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

@@ -1,0 +1,222 @@
+//! Simulator throughput tracker: wall time and events/sec for fixed
+//! end-to-end scenarios, emitted as machine-readable JSON so CI can keep
+//! a perf trajectory and gate regressions.
+//!
+//! ```text
+//! sim_throughput [--scale smoke|full] [--reps N] [--format json|md]
+//!                [--out FILE] [--baseline FILE] [--max-regress FRAC]
+//! ```
+//!
+//! Scenarios: the seed-pinned single-rack testbed and the same fleet
+//! spread over a 4-rack leaf/spine fabric (§3.7) — one NetClone run
+//! each, fixed seed, so the event count is deterministic and only the
+//! wall time varies. Each scenario runs `--reps` times (default 3) and
+//! reports the **best** run, the standard trick to suppress scheduler
+//! noise on shared CI runners.
+//!
+//! With `--baseline`, compares each scenario's events/sec against the
+//! checked-in baseline (itself a `sim_throughput` JSON report) and exits
+//! non-zero if any scenario regresses by more than `--max-regress`
+//! (default 0.20). The methodology notes live in `docs/EXPERIMENTS.md`.
+
+use std::time::Instant;
+
+use netclone_cluster::{Scenario, Scheme, Sim, Topology};
+use netclone_workloads::exp25;
+
+/// One measured scenario.
+struct Measurement {
+    id: &'static str,
+    racks: usize,
+    events: u64,
+    completed: u64,
+    wall_s: f64,
+    events_per_sec: f64,
+}
+
+/// The benched scenario: the pinned-seed testbed shape at 60% of
+/// capacity, spread over `racks` racks.
+fn scenario(racks: usize, measure_ns: u64) -> Scenario {
+    let mut s = Scenario::synthetic_default(Scheme::NETCLONE, exp25(), 0.0);
+    s.warmup_ns = 10_000_000;
+    s.measure_ns = measure_ns;
+    s.offered_rps = s.capacity_rps() * 0.6;
+    s.seed = 7;
+    if racks > 1 {
+        s.topology = Topology::uniform(racks);
+    }
+    s
+}
+
+fn measure(id: &'static str, racks: usize, measure_ns: u64, reps: usize) -> Measurement {
+    let mut best: Option<Measurement> = None;
+    for _ in 0..reps {
+        let s = scenario(racks, measure_ns);
+        let start = Instant::now();
+        let r = Sim::run(s);
+        let wall_s = start.elapsed().as_secs_f64();
+        let m = Measurement {
+            id,
+            racks,
+            events: r.events,
+            completed: r.completed,
+            wall_s,
+            events_per_sec: r.events as f64 / wall_s,
+        };
+        if best.as_ref().map_or(true, |b| m.wall_s < b.wall_s) {
+            best = Some(m);
+        }
+    }
+    best.expect("at least one rep")
+}
+
+fn to_json(ms: &[Measurement]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"sim_throughput\",\n  \"scenarios\": [\n");
+    for (i, m) in ms.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"id\": \"{}\", \"racks\": {}, \"events\": {}, \"completed\": {}, \
+             \"wall_s\": {:.4}, \"events_per_sec\": {:.0}}}{}\n",
+            m.id,
+            m.racks,
+            m.events,
+            m.completed,
+            m.wall_s,
+            m.events_per_sec,
+            if i + 1 < ms.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn to_markdown(ms: &[Measurement]) -> String {
+    let mut out = String::from(
+        "| scenario | racks | events | wall (s) | events/sec |\n|---|---|---|---|---|\n",
+    );
+    for m in ms {
+        out.push_str(&format!(
+            "| {} | {} | {} | {:.3} | {:.0} |\n",
+            m.id, m.racks, m.events, m.wall_s, m.events_per_sec
+        ));
+    }
+    out
+}
+
+/// Pulls numeric field `field` of scenario `id` out of a
+/// `sim_throughput` JSON report (dependency-free field scan).
+fn baseline_field(json: &str, id: &str, field: &str) -> Option<f64> {
+    let obj = json
+        .split('{')
+        .find(|frag| frag.contains(&format!("\"id\": \"{id}\"")))?;
+    let tail = obj.split(&format!("\"{field}\":")).nth(1)?;
+    tail.trim_start()
+        .split(|c: char| !c.is_ascii_digit() && c != '.')
+        .next()?
+        .parse()
+        .ok()
+}
+
+fn main() {
+    let mut scale = "smoke".to_string();
+    let mut format = "md".to_string();
+    let mut out_path: Option<String> = None;
+    let mut baseline_path: Option<String> = None;
+    let mut max_regress = 0.20f64;
+    let mut reps = 3usize;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--scale" => scale = val("--scale"),
+            "--format" => format = val("--format"),
+            "--out" => out_path = Some(val("--out")),
+            "--baseline" => baseline_path = Some(val("--baseline")),
+            "--max-regress" => {
+                max_regress = val("--max-regress").parse().expect("fraction");
+            }
+            "--reps" => reps = val("--reps").parse().expect("rep count"),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: sim_throughput [--scale smoke|full] [--reps N] \
+                     [--format json|md] [--out FILE] [--baseline FILE] \
+                     [--max-regress FRAC]"
+                );
+                return;
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+
+    let measure_ns: u64 = match scale.as_str() {
+        "smoke" => 25_000_000,
+        "full" => 100_000_000,
+        other => panic!("unknown scale {other:?} (smoke|full)"),
+    };
+
+    eprintln!("== sim_throughput at {scale} scale, best of {reps}…");
+    let measurements = vec![
+        measure("single_rack", 1, measure_ns, reps),
+        measure("four_rack", 4, measure_ns, reps),
+    ];
+
+    let rendered = match format.as_str() {
+        "json" => to_json(&measurements),
+        "md" => to_markdown(&measurements),
+        other => panic!("unknown format {other:?} (json|md)"),
+    };
+    print!("{rendered}");
+    if let Some(path) = out_path {
+        // The artifact is always the JSON report, whatever stdout shows.
+        std::fs::write(&path, to_json(&measurements)).expect("write report");
+        eprintln!("== wrote {path}");
+    }
+
+    if let Some(path) = baseline_path {
+        let json = std::fs::read_to_string(&path).expect("read baseline");
+        let mut failed = false;
+        for m in &measurements {
+            let Some(base) = baseline_field(&json, m.id, "events_per_sec") else {
+                eprintln!("== {}: no baseline entry in {path}, skipping", m.id);
+                continue;
+            };
+            // The event count is seed-deterministic and machine-independent:
+            // a mismatch means the hot path's event structure drifted (or
+            // the scenario changed without refreshing the baseline) —
+            // always a hard failure, and never a flaky one.
+            if let Some(base_events) = baseline_field(&json, m.id, "events") {
+                if base_events as u64 != m.events {
+                    eprintln!(
+                        "== MISMATCH: {} processed {} events, baseline pinned {} \
+                         (event structure drifted, or refresh {path} per docs/EXPERIMENTS.md)",
+                        m.id, m.events, base_events as u64
+                    );
+                    failed = true;
+                }
+            }
+            let ratio = m.events_per_sec / base;
+            eprintln!(
+                "== {}: {:.0} ev/s vs baseline {:.0} ({:+.1}%)",
+                m.id,
+                m.events_per_sec,
+                base,
+                (ratio - 1.0) * 100.0
+            );
+            if ratio < 1.0 - max_regress {
+                eprintln!(
+                    "== REGRESSION: {} is {:.1}% below baseline (limit {:.0}%)",
+                    m.id,
+                    (1.0 - ratio) * 100.0,
+                    max_regress * 100.0
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+    }
+}

@@ -26,9 +26,10 @@ use netclone_stats::TimeSeries;
 use netclone_workloads::{KvMix, ServiceShape, ZipfSampler};
 
 use crate::calib;
+use crate::payload::PayloadSlab;
 use crate::scenario::{Scenario, Workload};
 use crate::scheme::Scheme;
-use crate::sim::{Ev, Sim};
+use crate::sim::{Ev, LossModel, Sim};
 use crate::topology::{spine_port, Fabric, UPLINK_PORT};
 
 /// Switch port of the LÆDGE coordinator host.
@@ -361,7 +362,14 @@ impl ScenarioBuilder {
             workload_rngs: (0..n_clients)
                 .map(|i| seeds.rng_for("workload", i as u64))
                 .collect(),
-            loss_rng: seeds.rng_for("loss", 0),
+            // The loss model (and its RNG) exists only for lossy
+            // scenarios; the zero-loss fast path never draws. The stream
+            // is an independent SeedFactory fan-out, so skipping it
+            // cannot shift any other stream (`tests/loss_determinism.rs`).
+            loss: (scenario.loss > 0.0).then(|| LossModel {
+                prob: scenario.loss,
+                rng: seeds.rng_for("loss", 0),
+            }),
             server_epoch: vec![0; n_servers],
             server_stats_at_warmup: vec![Default::default(); n_servers],
             throughput: TimeSeries::new(scenario.timeseries_bucket_ns, ts_buckets),
@@ -374,6 +382,8 @@ impl ScenarioBuilder {
             coordinator,
             synthetic,
             kvmix,
+            sink: netclone_asic::EmissionSink::new(),
+            payloads: PayloadSlab::new(),
             end_ns,
             measure_start_ns: 0,
             completed_in_window: 0,

@@ -132,6 +132,7 @@ mod tests {
                 throughput_series: TimeSeries::new(1_000_000, 1),
                 packets_lost: 0,
                 per_server_served: vec![],
+                events: 0,
             },
         }
     }

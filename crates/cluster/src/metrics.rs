@@ -45,6 +45,10 @@ pub struct RunResult {
     pub packets_lost: u64,
     /// Requests served per server (load-balance diagnostics, ablations).
     pub per_server_served: Vec<u64>,
+    /// Total simulation events processed (scheduled and drained) over the
+    /// whole run, warm-up included — the numerator of the events/sec
+    /// throughput report (`sim_throughput`).
+    pub events: u64,
 }
 
 impl RunResult {
@@ -122,6 +126,7 @@ mod tests {
             throughput_series: TimeSeries::new(1_000_000_000, 1),
             packets_lost: 0,
             per_server_served: vec![50, 50],
+            events: 0,
         };
         assert!((r.achieved_mrps() - 0.99).abs() < 1e-9);
         assert!((r.empty_queue_fraction() - 0.6).abs() < 1e-9);

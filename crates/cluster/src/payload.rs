@@ -1,0 +1,158 @@
+//! Interned per-request payloads: the event-queue slimming half of the
+//! allocation-free hot path.
+//!
+//! An [`AppPacket`](netclone_hosts::AppPacket) carries three things: the
+//! switch-visible [`PacketMeta`], the application op, and the client-side
+//! birth timestamp. The latter two are **immutable for the lifetime of a
+//! request** — the original, its switch clone, and both responses all
+//! share them — yet the event queue used to copy them through every hop.
+//! [`PayloadSlab`] interns `(op, born_ns)` once per generated packet;
+//! events carry a [`SimPacket`] (metadata + slab id), and the simulator
+//! reconstitutes the full `AppPacket` only at host boundaries.
+//!
+//! The slab is reference-counted because one payload can back several
+//! in-flight packets at once (a cloned request, its original, and later
+//! both responses). The discipline in `sim.rs` is strictly symmetric:
+//! every *scheduled* packet event holds one reference; every *consumed*
+//! event releases it (or hands it on to the packet it becomes). Freed
+//! slots go on a free list, so steady state allocates nothing and ids
+//! stay dense. Determinism is untouched — the slab is pure storage and
+//! draws nothing.
+
+use netclone_proto::{PacketMeta, RpcOp};
+
+/// Slab id of an interned payload.
+pub(crate) type PayloadId = u32;
+
+/// A packet as the event queue carries it: the mutable switch-visible
+/// metadata inline, the immutable op/birth interned in the run's
+/// [`PayloadSlab`].
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct SimPacket {
+    /// The switch-visible slice (addresses + NetClone header).
+    pub meta: PacketMeta,
+    /// Key of the interned `(op, born_ns)` pair.
+    pub pid: PayloadId,
+}
+
+/// A reference-counted slab of `(op, born_ns)` pairs with a free list.
+pub(crate) struct PayloadSlab {
+    slots: Vec<(RpcOp, u64)>,
+    rc: Vec<u32>,
+    free: Vec<PayloadId>,
+    live: usize,
+}
+
+impl PayloadSlab {
+    /// An empty slab.
+    pub fn new() -> Self {
+        PayloadSlab {
+            slots: Vec::new(),
+            rc: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// Interns one payload with an initial reference count of 1.
+    #[inline]
+    pub fn alloc(&mut self, op: RpcOp, born_ns: u64) -> PayloadId {
+        self.live += 1;
+        match self.free.pop() {
+            Some(pid) => {
+                self.slots[pid as usize] = (op, born_ns);
+                self.rc[pid as usize] = 1;
+                pid
+            }
+            None => {
+                let pid = self.slots.len() as PayloadId;
+                self.slots.push((op, born_ns));
+                self.rc.push(1);
+                pid
+            }
+        }
+    }
+
+    /// Adds one reference (a second in-flight packet now shares `pid`).
+    #[inline]
+    pub fn retain(&mut self, pid: PayloadId) {
+        debug_assert!(self.rc[pid as usize] > 0, "retain of a freed payload");
+        self.rc[pid as usize] += 1;
+    }
+
+    /// Drops one reference, freeing the slot when it was the last.
+    #[inline]
+    pub fn release(&mut self, pid: PayloadId) {
+        let rc = &mut self.rc[pid as usize];
+        debug_assert!(*rc > 0, "release of a freed payload");
+        *rc -= 1;
+        if *rc == 0 {
+            self.free.push(pid);
+            self.live -= 1;
+        }
+    }
+
+    /// The interned `(op, born_ns)` pair.
+    #[inline]
+    pub fn get(&self, pid: PayloadId) -> (RpcOp, u64) {
+        debug_assert!(self.rc[pid as usize] > 0, "read of a freed payload");
+        self.slots[pid as usize]
+    }
+
+    /// Payloads currently alive (leak diagnostics: a fully drained run
+    /// must end at zero).
+    pub fn live(&self) -> usize {
+        self.live
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(ns: u64) -> RpcOp {
+        RpcOp::Echo { class_ns: ns }
+    }
+
+    #[test]
+    fn alloc_get_release_cycle() {
+        let mut slab = PayloadSlab::new();
+        let a = slab.alloc(op(1), 10);
+        let b = slab.alloc(op(2), 20);
+        assert_ne!(a, b);
+        assert_eq!(slab.get(a), (op(1), 10));
+        assert_eq!(slab.get(b), (op(2), 20));
+        assert_eq!(slab.live(), 2);
+        slab.release(a);
+        assert_eq!(slab.live(), 1);
+        // The freed slot is recycled: ids stay dense.
+        let c = slab.alloc(op(3), 30);
+        assert_eq!(c, a);
+        assert_eq!(slab.get(c), (op(3), 30));
+        assert_eq!(slab.live(), 2);
+    }
+
+    #[test]
+    fn refcounts_keep_shared_payloads_alive() {
+        let mut slab = PayloadSlab::new();
+        let a = slab.alloc(op(1), 10);
+        slab.retain(a); // the switch clone
+        slab.retain(a); // a response
+        slab.release(a);
+        slab.release(a);
+        assert_eq!(slab.live(), 1, "one reference still holds the slot");
+        assert_eq!(slab.get(a), (op(1), 10));
+        slab.release(a);
+        assert_eq!(slab.live(), 0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "release of a freed payload")]
+    fn double_release_is_caught_in_debug() {
+        let mut slab = PayloadSlab::new();
+        let a = slab.alloc(op(1), 10);
+        slab.release(a);
+        slab.release(a);
+    }
+}

@@ -8,6 +8,21 @@
 //! trait object the real-socket soft switch drives — so the simulator has
 //! no per-scheme dispatch at all.
 //!
+//! ## The allocation-free hot path
+//!
+//! The per-packet path performs no heap allocation in steady state:
+//!
+//! * switch programs write into the run's single reusable
+//!   [`EmissionSink`] (see the contract in `netclone_asic::dataplane`),
+//!   which `Sim::on_switch_in` drains in place;
+//! * events carry a `SimPacket` — metadata plus a payload-slab id —
+//!   instead of a full `AppPacket`, so the immutable `(op, born_ns)`
+//!   pair is interned once per packet rather than copied through every
+//!   hop (see the `payload` module for the reference-counting
+//!   discipline);
+//! * the event queue itself is `netclone-des`'s indexed 4-ary heap over
+//!   a flat `Vec`.
+//!
 //! Topology: a [`Fabric`] built from the
 //! scenario's [`Topology`](crate::topology::Topology). The default single
 //! rack (the paper's testbed) is one ToR switch with every host attached;
@@ -29,6 +44,7 @@
 //!            └─→ ServerIn(clone) ─→ … ─┘                    filtered at switch)
 //! ```
 
+use netclone_asic::EmissionSink;
 use netclone_core::SwitchCounters;
 use netclone_des::{EventQueue, SimTime};
 use netclone_hosts::{Admission, AppPacket, ClientMode, ClientSim, ServerSim};
@@ -42,27 +58,31 @@ use rand::Rng;
 use crate::build::{ScenarioBuilder, COORD_PORT};
 use crate::calib;
 use crate::metrics::RunResult;
+use crate::payload::{PayloadSlab, SimPacket};
 use crate::scenario::Scenario;
 use crate::topology::{Fabric, Hop};
 
 /// Simulation events.
+///
+/// Packet-bearing variants carry a [`SimPacket`] (metadata + interned
+/// payload id), not a full `AppPacket` — see the module docs.
 pub(crate) enum Ev {
     /// Client `cid` generates its next request.
     Gen(usize),
     /// A packet reaches switch `idx` of the fabric.
-    SwitchIn(usize, AppPacket),
+    SwitchIn(usize, SimPacket),
     /// A packet reaches server `idx`'s NIC.
-    ServerIn(usize, AppPacket),
+    ServerIn(usize, SimPacket),
     /// Server `idx` finishes serving `pkt` (valid only in `epoch`).
     ServerDone {
         idx: usize,
         epoch: u32,
-        pkt: AppPacket,
+        pkt: SimPacket,
     },
     /// A packet reaches client `cid`'s NIC.
-    ClientIn(usize, AppPacket),
+    ClientIn(usize, SimPacket),
     /// A packet reaches the coordinator.
-    CoordIn(AppPacket),
+    CoordIn(SimPacket),
     /// Measurements start.
     EndWarmup,
     /// The fabric stops forwarding (Fig. 16; see
@@ -77,6 +97,18 @@ pub(crate) enum Ev {
     ServerKill(usize),
     /// The control plane removes a failed server from the switch tables.
     ServerRemove(ServerId),
+}
+
+/// The link-loss model, materialised only for lossy scenarios: the
+/// zero-loss fast path (`scenario.loss == 0.0`, known at build time)
+/// holds no RNG and never draws. The loss stream is seeded independently
+/// (`SeedFactory` fan-out), so its presence or absence cannot shift any
+/// other stream — pinned by `tests/loss_determinism.rs` on both sides.
+pub(crate) struct LossModel {
+    /// Per-link-traversal loss probability (`scenario.loss`).
+    pub prob: f64,
+    /// The dedicated loss stream.
+    pub rng: StdRng,
 }
 
 /// One testbed simulation.
@@ -94,9 +126,14 @@ pub struct Sim {
     pub(crate) arrivals: PoissonArrivals,
     pub(crate) arrival_rngs: Vec<StdRng>,
     pub(crate) workload_rngs: Vec<StdRng>,
-    pub(crate) loss_rng: StdRng,
+    pub(crate) loss: Option<LossModel>,
     pub(crate) synthetic: Option<SyntheticWorkload>,
     pub(crate) kvmix: Option<KvMix>,
+    /// The run's single reusable emission buffer (`on_switch_in` drains
+    /// it in place; see the `EmissionSink` contract).
+    pub(crate) sink: EmissionSink,
+    /// Interned `(op, born_ns)` payloads for in-flight packets.
+    pub(crate) payloads: PayloadSlab,
     pub(crate) end_ns: u64,
     pub(crate) measure_start_ns: u64,
     pub(crate) throughput: TimeSeries,
@@ -122,12 +159,16 @@ impl Sim {
         sim.finish()
     }
 
+    #[inline]
     fn lose_packet(&mut self) -> bool {
-        self.scenario.loss > 0.0 && self.loss_rng.random::<f64>() < self.scenario.loss
+        match &mut self.loss {
+            None => false,
+            Some(m) => m.rng.random::<f64>() < m.prob,
+        }
     }
 
     fn draw_op(&mut self, cid: usize) -> RpcOp {
-        if let Some(wl) = self.synthetic {
+        if let Some(wl) = &self.synthetic {
             RpcOp::Echo {
                 class_ns: wl.sample_class(&mut self.workload_rngs[cid]),
             }
@@ -136,6 +177,17 @@ impl Sim {
                 .as_ref()
                 .expect("kv workload")
                 .sample(&mut self.workload_rngs[cid])
+        }
+    }
+
+    /// Reconstitutes the host-layer view of an in-flight packet.
+    #[inline]
+    fn app(&self, sp: &SimPacket) -> AppPacket {
+        let (op, born_ns) = self.payloads.get(sp.pid);
+        AppPacket {
+            meta: sp.meta,
+            op,
+            born_ns,
         }
     }
 
@@ -212,116 +264,159 @@ impl Sim {
                 self.packets_lost += 1;
                 continue;
             }
+            let pid = self.payloads.alloc(pkt.op, pkt.born_ns);
             self.q.schedule(
                 SimTime::from_ns(tx_done + calib::LINK_ONE_WAY_NS),
-                Ev::SwitchIn(tor, pkt),
+                Ev::SwitchIn(
+                    tor,
+                    SimPacket {
+                        meta: pkt.meta,
+                        pid,
+                    },
+                ),
             );
         }
         let gap = self.arrivals.next_gap_ns(&mut self.arrival_rngs[cid]);
         self.q.schedule(SimTime::from_ns(now + gap), Ev::Gen(cid));
     }
 
-    fn on_switch_in(&mut self, sw: usize, pkt: AppPacket, now: u64) {
+    fn on_switch_in(&mut self, sw: usize, sp: SimPacket, now: u64) {
         if !self.switch_up {
             self.packets_lost += 1;
+            self.payloads.release(sp.pid);
             return;
         }
-        let emissions = self.fabric.engines[sw].process(pkt.meta, 0, now);
-        for e in emissions {
+        // The sink moves out for the drain so scheduling below can borrow
+        // `self` freely; `mem::take` swaps in an (unallocated) empty one.
+        let mut sink = std::mem::take(&mut self.sink);
+        self.fabric.engines[sw].process(sp.meta, 0, now, &mut sink);
+        for e in sink.drain() {
             if self.lose_packet() {
                 self.packets_lost += 1;
                 continue;
             }
-            let out = AppPacket {
-                meta: e.pkt,
-                op: pkt.op,
-                born_ns: pkt.born_ns,
-            };
             match self.fabric.hop(sw, e.port) {
                 Hop::Switch(next) => {
                     // A leaf↔spine traversal: no host NIC on this hop,
                     // the fabric link latency applies instead.
                     let at = SimTime::from_ns(now + e.latency_ns + self.fabric.inter_rack_ns());
-                    self.q.schedule(at, Ev::SwitchIn(next, out));
+                    self.payloads.retain(sp.pid);
+                    self.q.schedule(
+                        at,
+                        Ev::SwitchIn(
+                            next,
+                            SimPacket {
+                                meta: e.pkt,
+                                pid: sp.pid,
+                            },
+                        ),
+                    );
                 }
                 Hop::Local(port) => {
                     let at = SimTime::from_ns(now + e.latency_ns + calib::LINK_ONE_WAY_NS);
+                    let out = SimPacket {
+                        meta: e.pkt,
+                        pid: sp.pid,
+                    };
                     if port == COORD_PORT {
+                        self.payloads.retain(sp.pid);
                         self.q.schedule(at, Ev::CoordIn(out));
                     } else if port >= 100 {
                         let cid = (port - 100) as usize;
                         if cid < self.clients.len() {
+                            self.payloads.retain(sp.pid);
                             self.q.schedule(at, Ev::ClientIn(cid, out));
                         }
                     } else if port >= 10 {
                         let idx = (port - 10) as usize;
                         if idx < self.servers.len() {
+                            self.payloads.retain(sp.pid);
                             self.q.schedule(at, Ev::ServerIn(idx, out));
                         }
                     }
                 }
             }
         }
+        self.sink = sink;
+        // The consumed ingress packet's reference, released last so the
+        // payload stayed alive while emissions were scheduled.
+        self.payloads.release(sp.pid);
     }
 
-    fn on_server_in(&mut self, idx: usize, pkt: AppPacket, now: u64) {
+    fn on_server_in(&mut self, idx: usize, sp: SimPacket, now: u64) {
         if !self.servers[idx].is_alive() {
+            self.payloads.release(sp.pid);
             return; // a dead server swallows packets
         }
         let seen_at = now + calib::HOST_RX_STACK_NS;
-        match self.servers[idx].on_request(pkt, seen_at) {
+        let app = self.app(&sp);
+        match self.servers[idx].on_request(app, seen_at) {
             Admission::Start { done_at } => {
+                // The packet keeps its payload reference while in service.
                 self.q.schedule(
                     SimTime::from_ns(done_at),
                     Ev::ServerDone {
                         idx,
                         epoch: self.server_epoch[idx],
-                        pkt,
+                        pkt: sp,
                     },
                 );
             }
-            Admission::Queued | Admission::CloneDropped => {}
+            Admission::Queued | Admission::CloneDropped => {
+                // Queued packets live inside the server (full AppPacket);
+                // dropped clones are gone. Either way this reference ends.
+                self.payloads.release(sp.pid);
+            }
         }
     }
 
-    fn on_server_done(&mut self, idx: usize, epoch: u32, pkt: AppPacket, now: u64) {
+    fn on_server_done(&mut self, idx: usize, epoch: u32, sp: SimPacket, now: u64) {
         if epoch != self.server_epoch[idx] || !self.servers[idx].is_alive() {
+            self.payloads.release(sp.pid);
             return; // the server died while this was in service
         }
-        let completion = self.servers[idx].on_service_done(&pkt.meta.nc, now);
+        let completion = self.servers[idx].on_service_done(&sp.meta.nc, now);
         let sid = self.servers[idx].sid();
-        let resp = AppPacket {
-            meta: PacketMeta::netclone_response(
-                Ipv4::server(sid),
-                pkt.meta.src_ip,
-                completion.resp,
-                84,
-            ),
-            op: pkt.op,
-            born_ns: pkt.born_ns,
-        };
+        let resp_meta =
+            PacketMeta::netclone_response(Ipv4::server(sid), sp.meta.src_ip, completion.resp, 84);
         if self.lose_packet() {
             self.packets_lost += 1;
+            self.payloads.release(sp.pid);
         } else {
+            // The response inherits the request's payload reference.
             self.q.schedule(
                 SimTime::from_ns(now + calib::LINK_ONE_WAY_NS),
-                Ev::SwitchIn(self.fabric.server_leaf(idx), resp),
+                Ev::SwitchIn(
+                    self.fabric.server_leaf(idx),
+                    SimPacket {
+                        meta: resp_meta,
+                        pid: sp.pid,
+                    },
+                ),
             );
         }
         if let Some((next_pkt, next_done)) = completion.next {
+            // A queued request leaves the server's internal queue and
+            // re-enters the event system: intern its payload afresh.
+            let pid = self.payloads.alloc(next_pkt.op, next_pkt.born_ns);
             self.q.schedule(
                 SimTime::from_ns(next_done),
                 Ev::ServerDone {
                     idx,
                     epoch: self.server_epoch[idx],
-                    pkt: next_pkt,
+                    pkt: SimPacket {
+                        meta: next_pkt.meta,
+                        pid,
+                    },
                 },
             );
         }
     }
 
-    fn on_client_in(&mut self, cid: usize, pkt: AppPacket, now: u64) {
-        let outcome = self.clients[cid].on_response(&pkt, now);
+    fn on_client_in(&mut self, cid: usize, sp: SimPacket, now: u64) {
+        let app = self.app(&sp);
+        let outcome = self.clients[cid].on_response(&app, now);
+        self.payloads.release(sp.pid);
         if outcome.latency_ns.is_some() && self.measure_start_ns > 0 {
             self.throughput.record(outcome.done_at);
             if outcome.done_at <= self.end_ns {
@@ -330,20 +425,29 @@ impl Sim {
         }
     }
 
-    fn on_coord_in(&mut self, pkt: AppPacket, now: u64) {
+    fn on_coord_in(&mut self, sp: SimPacket, now: u64) {
+        let app = self.app(&sp);
+        self.payloads.release(sp.pid);
         let coord = self.coordinator.as_mut().expect("coordinator scheme");
-        let events = match pkt.meta.nc.msg_type {
-            MsgType::Req => coord.on_request(pkt, now),
-            MsgType::Resp => coord.on_response(pkt, now),
+        let events = match app.meta.nc.msg_type {
+            MsgType::Req => coord.on_request(app, now),
+            MsgType::Resp => coord.on_response(app, now),
         };
         for e in events {
             if self.lose_packet() {
                 self.packets_lost += 1;
                 continue;
             }
+            let pid = self.payloads.alloc(e.pkt.op, e.pkt.born_ns);
             self.q.schedule(
                 SimTime::from_ns(e.send_at + calib::LINK_ONE_WAY_NS),
-                Ev::SwitchIn(self.fabric.coord_leaf(), e.pkt),
+                Ev::SwitchIn(
+                    self.fabric.coord_leaf(),
+                    SimPacket {
+                        meta: e.pkt.meta,
+                        pid,
+                    },
+                ),
             );
         }
     }
@@ -360,6 +464,14 @@ impl Sim {
     }
 
     fn finish(self) -> RunResult {
+        // Every reference-counting path in the handlers above must
+        // balance: a fully drained run leaves no live payloads.
+        debug_assert_eq!(
+            self.payloads.live(),
+            0,
+            "payload slab leaked {} entries",
+            self.payloads.live()
+        );
         let mut latency = LatencyHistogram::new();
         let mut generated = 0u64;
         let mut redundant = 0u64;
@@ -415,6 +527,7 @@ impl Sim {
             packets_lost: self.packets_lost,
             per_server_served,
             per_switch,
+            events: self.q.scheduled_total(),
         }
     }
 }

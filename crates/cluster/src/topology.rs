@@ -228,6 +228,7 @@ impl Fabric {
     /// Resolves an emission from switch `sw` out of `port`: either a
     /// local host port or the next switch. Pure arithmetic — the hot
     /// path allocates nothing.
+    #[inline]
     pub fn hop(&self, sw: usize, port: PortId) -> Hop {
         if Some(sw) == self.spine() {
             Hop::Switch((port - spine_port(0)) as usize)

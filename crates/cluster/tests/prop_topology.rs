@@ -58,7 +58,7 @@ fn walk(fabric: &mut Fabric, entry: usize, pkt: PacketMeta) -> Vec<(usize, Packe
     while let Some((sw, pkt)) = work.pop() {
         hops += 1;
         assert!(hops <= 32, "forwarding loop");
-        for e in fabric.engines[sw].process(pkt, 0, 0) {
+        for e in fabric.engines[sw].process_collected(pkt, 0, 0) {
             match fabric.hop(sw, e.port) {
                 Hop::Switch(next) => work.push((next, e.pkt)),
                 Hop::Local(port) => delivered.push((sw, e.pkt, port)),

@@ -159,7 +159,7 @@ mod tests {
 
         let req =
             PacketMeta::netclone_request(Ipv4::client(0), NetCloneHdr::request(0, 0, 0, 0), 84);
-        let out = engine.process(req, 100, 0);
+        let out = engine.process_collected(req, 100, 0);
         assert_eq!(out.len(), 2, "both candidates idle: cloned via the trait");
         assert_eq!(engine.counters().cloned, 1);
 

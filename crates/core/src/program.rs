@@ -34,8 +34,8 @@
 
 use netclone_asic::resources::{Allocation, ResourceKind};
 use netclone_asic::{
-    AsicSpec, DataPlane, Emission, HashUnit, Layout, MatchTable, PacketPass, PortId, RegisterArray,
-    ResourceReport,
+    AsicSpec, DataPlane, Emission, EmissionSink, HashUnit, Layout, MatchTable, PacketPass, PortId,
+    RegisterArray, ResourceReport,
 };
 use netclone_proto::{CloneStatus, Ipv4, MsgType, PacketMeta, ReqId, ServerId, ServerState};
 
@@ -224,22 +224,19 @@ impl NetCloneSwitch {
     // Packet processing
     // ------------------------------------------------------------------
 
-    fn plain_route(&mut self, pkt: PacketMeta) -> Vec<Emission> {
+    fn plain_route(&mut self, pkt: PacketMeta, out: &mut EmissionSink) {
         let mut pass = PacketPass::new();
         let port = self.route_t.lookup(&mut pass, pkt.dst_ip.0).expect(PIPE);
         match port {
             Some(port) => {
                 self.counters.routed_plain += 1;
-                vec![Emission {
+                out.push(Emission {
                     pkt,
                     port,
                     latency_ns: self.cfg.spec.pass_latency_ns,
-                }]
+                });
             }
-            None => {
-                self.counters.dropped_unroutable += 1;
-                Vec::new()
-            }
+            None => self.counters.dropped_unroutable += 1,
         }
     }
 
@@ -251,7 +248,12 @@ impl NetCloneSwitch {
 
     /// The recirculated-clone pass (Algorithm 1 lines 11–13): mark `CLO=2`,
     /// resolve the clone's destination from `SID`, forward.
-    fn process_recirculated(&mut self, mut pkt: PacketMeta, base_latency_ns: u64) -> Vec<Emission> {
+    fn process_recirculated(
+        &mut self,
+        mut pkt: PacketMeta,
+        base_latency_ns: u64,
+        out: &mut EmissionSink,
+    ) {
         let mut pass = PacketPass::new();
         pkt.nc.clo = CloneStatus::Clone;
         let dest = self.addr_t.lookup(&mut pass, pkt.nc.sid).expect(PIPE);
@@ -259,23 +261,20 @@ impl NetCloneSwitch {
             Some((ip, port)) => {
                 self.counters.recirculated += 1;
                 pkt.dst_ip = Ipv4(ip);
-                vec![Emission {
+                out.push(Emission {
                     pkt,
                     port,
                     latency_ns: base_latency_ns
                         + self.cfg.spec.recirc_latency_ns
                         + self.cfg.spec.pass_latency_ns,
-                }]
+                });
             }
-            None => {
-                self.counters.dropped_unroutable += 1;
-                Vec::new()
-            }
+            None => self.counters.dropped_unroutable += 1,
         }
     }
 
     /// Fresh-request pass (Algorithm 1 lines 1–10).
-    fn process_request(&mut self, mut pkt: PacketMeta) -> Vec<Emission> {
+    fn process_request(&mut self, mut pkt: PacketMeta, out: &mut EmissionSink) {
         let mut pass = PacketPass::new();
         self.counters.requests += 1;
 
@@ -312,7 +311,7 @@ impl NetCloneSwitch {
         // Stage 1: group → candidate pair (line 4).
         let Some((s1, s2)) = self.grp_t.lookup(&mut pass, pkt.nc.grp).expect(PIPE) else {
             self.counters.dropped_unroutable += 1;
-            return Vec::new();
+            return;
         };
 
         // Stage 1: multi-packet message hash (CRC of the Lamport tuple),
@@ -372,19 +371,17 @@ impl NetCloneSwitch {
             pkt.nc.sid = s2;
             let Some((ip1, port1)) = self.addr_t.lookup(&mut pass, s1).expect(PIPE) else {
                 self.counters.dropped_unroutable += 1;
-                return Vec::new();
+                return;
             };
             pkt.dst_ip = Ipv4(ip1);
-            let original = Emission {
+            out.push(Emission {
                 pkt,
                 port: port1,
                 latency_ns: self.cfg.spec.pass_latency_ns,
-            };
+            });
             // The multicast copy re-enters through the loopback port and
             // completes on a second pass (lines 11–13).
-            let mut out = vec![original];
-            out.extend(self.process_recirculated(pkt, self.cfg.spec.pass_latency_ns));
-            out
+            self.process_recirculated(pkt, self.cfg.spec.pass_latency_ns, out);
         } else {
             if self.cfg.cloning_enabled {
                 if !cloneable {
@@ -409,26 +406,26 @@ impl NetCloneSwitch {
             pkt.nc.clo = CloneStatus::NotCloned;
             let Some((ip, port)) = self.addr_t.lookup(&mut pass, dst).expect(PIPE) else {
                 self.counters.dropped_unroutable += 1;
-                return Vec::new();
+                return;
             };
             pkt.dst_ip = Ipv4(ip);
-            vec![Emission {
+            out.push(Emission {
                 pkt,
                 port,
                 latency_ns: self.cfg.spec.pass_latency_ns,
-            }]
+            });
         }
     }
 
     /// Response pass (Algorithm 1 lines 14–26).
-    fn process_response(&mut self, pkt: PacketMeta) -> Vec<Emission> {
+    fn process_response(&mut self, pkt: PacketMeta, out: &mut EmissionSink) {
         let mut pass = PacketPass::new();
         self.counters.responses += 1;
 
         // Stage 0: egress port toward the client.
         let Some(port) = self.route_t.lookup(&mut pass, pkt.dst_ip.0).expect(PIPE) else {
             self.counters.dropped_unroutable += 1;
-            return Vec::new();
+            return;
         };
 
         // Stages 2–3: update both state tables with the piggybacked state
@@ -463,18 +460,18 @@ impl NetCloneSwitch {
                 .expect(PIPE);
             if old == req_id {
                 self.counters.responses_filtered += 1;
-                return Vec::new(); // Drop(pkt)
+                return; // Drop(pkt)
             }
             if old != 0 {
                 self.counters.filter_overwrites += 1;
             }
         }
 
-        vec![Emission {
+        out.push(Emission {
             pkt,
             port,
             latency_ns: self.cfg.spec.pass_latency_ns,
-        }]
+        });
     }
 }
 
@@ -483,29 +480,29 @@ impl DataPlane for NetCloneSwitch {
         "NetClone"
     }
 
-    fn process(&mut self, pkt: PacketMeta, ingress: PortId, _now_ns: u64) -> Vec<Emission> {
+    fn process(&mut self, pkt: PacketMeta, ingress: PortId, _now_ns: u64, out: &mut EmissionSink) {
         // §3.2: the reserved L4 port selects NetClone processing.
         if !pkt.is_netclone() {
-            return self.plain_route(pkt);
+            return self.plain_route(pkt, out);
         }
         match pkt.nc.msg_type {
             MsgType::Req => {
                 // The recirculated clone: CLO=1 arriving on the loopback
                 // port (lines 11–13).
                 if pkt.nc.clo == CloneStatus::ClonedOriginal && ingress == self.cfg.recirc_port {
-                    return self.process_recirculated(pkt, 0);
+                    return self.process_recirculated(pkt, 0, out);
                 }
                 // Multi-rack gate (§3.7): only the client-side ToR clones.
                 if !self.gate_allows(&pkt) {
-                    return self.plain_route(pkt);
+                    return self.plain_route(pkt, out);
                 }
-                self.process_request(pkt)
+                self.process_request(pkt, out)
             }
             MsgType::Resp => {
                 if !self.gate_allows(&pkt) {
-                    return self.plain_route(pkt);
+                    return self.plain_route(pkt, out);
                 }
-                self.process_response(pkt)
+                self.process_response(pkt, out)
             }
         }
     }

@@ -3,7 +3,7 @@
 //! Scripted scenarios verifying the paper's Algorithm 1 semantics and the
 //! §3.7 extensions, packet by packet.
 
-use netclone_asic::{DataPlane, Emission, PortId};
+use netclone_asic::{DataPlane, EmissionSink, PortId};
 use netclone_core::{NetCloneConfig, NetCloneSwitch, RequestIdMode, Scheduling};
 use netclone_proto::{CloneStatus, Ipv4, MsgType, NetCloneHdr, PacketMeta, ServerId, ServerState};
 
@@ -33,8 +33,8 @@ fn response_for(emitted: &PacketMeta, sid: ServerId, state: u16) -> PacketMeta {
     PacketMeta::netclone_response(Ipv4::server(sid), Ipv4::client(0), nc, 84)
 }
 
-fn ingest(sw: &mut NetCloneSwitch, pkt: PacketMeta) -> Vec<Emission> {
-    sw.process(pkt, CLIENT_PORT, 0)
+fn ingest(sw: &mut NetCloneSwitch, pkt: PacketMeta) -> EmissionSink {
+    sw.process_collected(pkt, CLIENT_PORT, 0)
 }
 
 #[test]
@@ -325,7 +325,7 @@ fn externally_recirculated_clone_is_finished_on_reentry() {
     pkt.nc.clo = CloneStatus::ClonedOriginal;
     pkt.nc.sid = 3;
     pkt.nc.req_id = 42;
-    let out = sw.process(pkt, recirc, 0);
+    let out = sw.process_collected(pkt, recirc, 0);
     assert_eq!(out.len(), 1);
     assert_eq!(out[0].pkt.nc.clo, CloneStatus::Clone);
     assert_eq!(out[0].port, server_port(3));

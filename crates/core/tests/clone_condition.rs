@@ -42,14 +42,14 @@ fn build(cond: CloneCondition) -> NetCloneSwitch {
 }
 
 fn mark_busy(sw: &mut NetCloneSwitch, sid: u16, qlen: u16) {
-    let probe = sw.process(
+    let probe = sw.process_collected(
         PacketMeta::netclone_request(Ipv4::client(0), NetCloneHdr::request(1, 0, 0, 0), 84),
         100,
         0,
     );
     let nc = NetCloneHdr::response_to(&probe[0].pkt.nc, sid, ServerState(qlen));
     let resp = PacketMeta::netclone_response(Ipv4::server(sid), Ipv4::client(0), nc, 84);
-    sw.process(resp, 10, 0);
+    sw.process_collected(resp, 10, 0);
 }
 
 #[test]
@@ -59,7 +59,7 @@ fn threshold_clones_through_small_queues() {
     mark_busy(&mut sw, s1, 2);
     mark_busy(&mut sw, s2, 2);
     // BothIdle would refuse; QueueBelow(3) clones.
-    let out = sw.process(
+    let out = sw.process_collected(
         PacketMeta::netclone_request(Ipv4::client(0), NetCloneHdr::request(0, 0, 0, 0), 84),
         100,
         0,
@@ -71,7 +71,7 @@ fn threshold_clones_through_small_queues() {
     );
 
     mark_busy(&mut sw, s1, 3);
-    let out = sw.process(
+    let out = sw.process_collected(
         PacketMeta::netclone_request(Ipv4::client(0), NetCloneHdr::request(0, 0, 0, 0), 84),
         100,
         0,
@@ -84,7 +84,7 @@ fn default_condition_matches_the_paper() {
     let mut sw = build(CloneCondition::BothIdle);
     let (s1, _s2) = sw.group(0).unwrap();
     mark_busy(&mut sw, s1, 1);
-    let out = sw.process(
+    let out = sw.process_collected(
         PacketMeta::netclone_request(Ipv4::client(0), NetCloneHdr::request(0, 0, 0, 0), 84),
         100,
         0,

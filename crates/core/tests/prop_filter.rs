@@ -40,7 +40,7 @@ proptest! {
                 NetCloneHdr::request(grp, idxs[i], 0, i as u32),
                 84,
             );
-            let out = sw.process(pkt, CLIENT_PORT, 0);
+            let out = sw.process_collected(pkt, CLIENT_PORT, 0);
             // All servers stay tracked-idle (no responses carry busy
             // states), so every request clones.
             prop_assert_eq!(out.len(), 2);
@@ -67,7 +67,7 @@ proptest! {
         let mut forwarded = std::collections::HashMap::new();
         let total = pending.len() as u64;
         for (req_id, resp) in pending {
-            let out = sw.process(resp, 10, 0);
+            let out = sw.process_collected(resp, 10, 0);
             if !out.is_empty() {
                 *forwarded.entry(req_id).or_insert(0u32) += 1;
             }
@@ -99,7 +99,7 @@ proptest! {
                     NetCloneHdr::request(sid % sw.num_groups(), 0, 0, 0),
                     84,
                 );
-                let out = sw.process(pkt, CLIENT_PORT, 0);
+                let out = sw.process_collected(pkt, CLIENT_PORT, 0);
                 if let Some(e) = out.first() {
                     last_req = Some(e.pkt);
                 }
@@ -112,7 +112,7 @@ proptest! {
                     nc,
                     84,
                 );
-                sw.process(resp, 10, 0);
+                sw.process_collected(resp, 10, 0);
             }
             prop_assert!(sw.state_tables_consistent());
         }
@@ -125,7 +125,7 @@ proptest! {
         updates in proptest::collection::vec((0u16..4, 0u16..8), 1..60)
     ) {
         let mut sw = build(4);
-        let probe = sw.process(
+        let probe = sw.process_collected(
             PacketMeta::netclone_request(
                 Ipv4::client(0),
                 NetCloneHdr::request(0, 0, 0, 0),
@@ -139,7 +139,7 @@ proptest! {
         for (sid, qlen) in updates {
             let nc = NetCloneHdr::response_to(&req.nc, sid, ServerState(qlen));
             let resp = PacketMeta::netclone_response(Ipv4::server(sid), Ipv4::client(0), nc, 84);
-            sw.process(resp, 10, 0);
+            sw.process_collected(resp, 10, 0);
             expected[sid as usize] = qlen;
         }
         for sid in 0..4u16 {

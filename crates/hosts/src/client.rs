@@ -16,6 +16,61 @@ pub use netclone_hostcore::{ClientMode, ClientStats};
 
 use crate::packet::AppPacket;
 
+/// The packets one [`ClientSim::generate`] call emits, each stamped with
+/// its TX-completion time.
+///
+/// A fixed-size burst — no addressing scheme emits more than two packets
+/// per request (C-Clone duplicates) — so the per-request path allocates
+/// nothing. Index it or iterate it by value.
+#[derive(Clone, Copy, Debug)]
+pub struct TxBurst {
+    buf: [Option<(AppPacket, u64)>; 2],
+    len: usize,
+}
+
+impl TxBurst {
+    fn new() -> Self {
+        TxBurst {
+            buf: [None, None],
+            len: 0,
+        }
+    }
+
+    fn push(&mut self, item: (AppPacket, u64)) {
+        assert!(
+            self.len < 2,
+            "a client emits at most two packets per request"
+        );
+        self.buf[self.len] = Some(item);
+        self.len += 1;
+    }
+
+    /// Number of packets in the burst.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the burst holds no packets.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl std::ops::Index<usize> for TxBurst {
+    type Output = (AppPacket, u64);
+    fn index(&self, i: usize) -> &Self::Output {
+        self.buf[i].as_ref().expect("index past burst length")
+    }
+}
+
+impl IntoIterator for TxBurst {
+    type Item = (AppPacket, u64);
+    type IntoIter = std::iter::Flatten<std::array::IntoIter<Option<(AppPacket, u64)>, 2>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.buf.into_iter().flatten()
+    }
+}
+
 /// Outcome of the receiver thread processing one response.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RxOutcome {
@@ -102,9 +157,9 @@ impl ClientSim {
     /// The open-loop generator never blocks: packets queue behind the
     /// sender thread's per-packet cost (`tx_free_at`), exactly like an
     /// application handing buffers to a userspace NIC queue.
-    pub fn generate(&mut self, op: RpcOp, now: u64) -> Vec<(AppPacket, u64)> {
+    pub fn generate(&mut self, op: RpcOp, now: u64) -> TxBurst {
         self.core.generate(op, now);
-        let mut out = Vec::with_capacity(2);
+        let mut out = TxBurst::new();
         while let Some(meta) = self.core.poll() {
             let tx_done = now.max(self.tx_free_at) + self.tx_cost_ns;
             self.tx_free_at = tx_done;

@@ -16,7 +16,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use netclone_asic::PortId;
+use netclone_asic::{EmissionSink, PortId};
 use netclone_core::{NetCloneConfig, NetCloneSwitch, SwitchCounters, SwitchEngine};
 use netclone_proto::pcap::PcapWriter;
 use netclone_proto::{Ipv4, ServerId};
@@ -219,6 +219,10 @@ fn switch_loop(
     mut tap: Option<PcapWriter>,
 ) {
     let mut buf = vec![0u8; 65_536];
+    // One reusable emission buffer for the thread's lifetime: the
+    // per-datagram path allocates nothing (see the `EmissionSink`
+    // contract in `netclone_asic::dataplane`).
+    let mut sink = EmissionSink::new();
     while !stop.load(Ordering::SeqCst) {
         let (len, _from) = match socket.recv_from(&mut buf) {
             Ok(x) => x,
@@ -239,8 +243,8 @@ fn switch_loop(
         // Ingress port 0: the loopback fabric cannot tell us which wire the
         // packet came in on, and the program only needs the recirculation
         // port to be distinguishable (recirculation is internal here).
-        let emissions = s.program.process(meta, 0, now);
-        for e in emissions {
+        s.program.process(meta, 0, now, &mut sink);
+        for e in sink.drain() {
             if let Some(Some(dst)) = s.port_map.get(e.port as usize) {
                 let out = encode_packet(&e.pkt, &op, &value);
                 let _ = socket.send_to(&out, dst);

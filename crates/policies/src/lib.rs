@@ -50,7 +50,7 @@ mod tests {
         sw.add_client(Ipv4::client(0), 2).unwrap();
         // Load server states: group 0's first candidate busy, second idle.
         let (s1, s2) = sw.group(0).unwrap();
-        let probe = sw.process(
+        let probe = sw.process_collected(
             PacketMeta::netclone_request(Ipv4::client(0), NetCloneHdr::request(1, 0, 0, 0), 84),
             2,
             0,
@@ -61,9 +61,9 @@ mod tests {
             NetCloneHdr::response_to(&probe[0].pkt.nc, s1, ServerState(5)),
             84,
         );
-        sw.process(resp, 10, 0);
+        sw.process_collected(resp, 10, 0);
 
-        let out = sw.process(
+        let out = sw.process_collected(
             PacketMeta::netclone_request(Ipv4::client(0), NetCloneHdr::request(0, 0, 0, 0), 84),
             2,
             0,

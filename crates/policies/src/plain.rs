@@ -2,7 +2,9 @@
 //! fabric under the Baseline and C-Clone schemes — all intelligence lives
 //! in the clients.
 
-use netclone_asic::{AsicSpec, DataPlane, Emission, Layout, MatchTable, PacketPass, PortId};
+use netclone_asic::{
+    AsicSpec, DataPlane, Emission, EmissionSink, Layout, MatchTable, PacketPass, PortId,
+};
 use netclone_core::{EngineError, SwitchCounters, SwitchEngine};
 use netclone_proto::{Ipv4, PacketMeta, ServerId};
 
@@ -56,7 +58,7 @@ impl DataPlane for PlainL3Switch {
         "PlainL3"
     }
 
-    fn process(&mut self, pkt: PacketMeta, _ingress: PortId, _now_ns: u64) -> Vec<Emission> {
+    fn process(&mut self, pkt: PacketMeta, _ingress: PortId, _now_ns: u64, out: &mut EmissionSink) {
         let mut pass = PacketPass::new();
         match self
             .route_t
@@ -65,16 +67,13 @@ impl DataPlane for PlainL3Switch {
         {
             Some(port) => {
                 self.forwarded += 1;
-                vec![Emission {
+                out.push(Emission {
                     pkt,
                     port,
                     latency_ns: self.layout.spec().pass_latency_ns,
-                }]
+                });
             }
-            None => {
-                self.dropped += 1;
-                Vec::new()
-            }
+            None => self.dropped += 1,
         }
     }
 }
@@ -131,7 +130,7 @@ mod tests {
         let mut pkt =
             PacketMeta::netclone_request(Ipv4::client(0), NetCloneHdr::request(0, 0, 0, 0), 84);
         pkt.dst_ip = Ipv4::server(0);
-        let out = sw.process(pkt, 2, 0);
+        let out = sw.process_collected(pkt, 2, 0);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].port, 10);
         // Header is untouched: no request IDs, no cloning.
@@ -145,7 +144,7 @@ mod tests {
         let mut pkt =
             PacketMeta::netclone_request(Ipv4::client(0), NetCloneHdr::request(0, 0, 0, 0), 84);
         pkt.dst_ip = Ipv4::new(198, 18, 0, 1);
-        assert!(sw.process(pkt, 2, 0).is_empty());
+        assert!(sw.process_collected(pkt, 2, 0).is_empty());
         assert_eq!(sw.dropped(), 1);
     }
 

@@ -31,7 +31,7 @@
 //! let scenario = Scenario::synthetic_default(Scheme::NETCLONE, exp25(), 1e5);
 //! let mut engine = build_engine(&scenario); // Box<dyn SwitchEngine>, fully programmed
 //! let req = PacketMeta::netclone_request(Ipv4::client(0), NetCloneHdr::request(0, 0, 0, 0), 84);
-//! let out = engine.process(req, 100, 0);
+//! let out = engine.process_collected(req, 100, 0);
 //! assert_eq!(out.len(), 2, "both candidates idle: the request was cloned");
 //! assert_eq!(engine.counters().cloned, 1);
 //! ```

@@ -76,7 +76,7 @@ fn run_direct(
 ) -> (SwitchCounters, Vec<Vec<u16>>) {
     let mut fanouts = Vec::new();
     for (seq, step) in steps.iter().enumerate() {
-        let emissions = engine.process(request_meta(step, seq as u32), 100, 0);
+        let emissions = engine.process_collected(request_meta(step, seq as u32), 100, 0);
         let mut ports: Vec<u16> = emissions.iter().map(|e| e.port).collect();
         ports.sort_unstable();
         // Mirror each delivery with a server response, in port order.
@@ -89,7 +89,7 @@ fn run_direct(
             let sid = e.port - 10;
             let nc = NetCloneHdr::response_to(&e.pkt.nc, sid, step.reply_state);
             let resp = PacketMeta::netclone_response(Ipv4::server(sid), e.pkt.src_ip, nc, 84);
-            engine.process(resp, e.port, 0);
+            engine.process_collected(resp, e.port, 0);
         }
         fanouts.push(ports);
     }
@@ -254,7 +254,7 @@ fn host_cores_agree_across_frontends() {
         client.generate(op_for(i), now);
         let meta = client.poll().expect("one packet per request");
         assert!(client.poll().is_none());
-        let mut emissions = engine.process(meta, 100, now);
+        let mut emissions = engine.process_collected(meta, 100, now);
         emissions.sort_by_key(|e| e.port);
         let ports: Vec<u16> = emissions.iter().map(|e| e.port).collect();
         let mut to_client = 0;
@@ -269,7 +269,7 @@ fn host_cores_agree_across_frontends() {
             );
             let resp_hdr = core.response(&e.pkt.nc, 0);
             let resp = PacketMeta::netclone_response(Ipv4::server(sid), e.pkt.src_ip, resp_hdr, 84);
-            for out in engine.process(resp, e.port, now) {
+            for out in engine.process_collected(resp, e.port, now) {
                 assert_eq!(out.port, 100, "responses go back to the client");
                 client.on_packet(&out.pkt.nc, now + 50_000);
                 to_client += 1;
@@ -381,7 +381,7 @@ fn plain_engine_is_equivalent_across_frontends() {
             84,
         );
         req.dst_ip = Ipv4::server(sid);
-        let out = direct.process(req, 100, 0);
+        let out = direct.process_collected(req, 100, 0);
         assert_eq!(out.len(), 1, "plain switch forwards without cloning");
         let resp = PacketMeta::netclone_response(
             Ipv4::server(sid),
@@ -389,7 +389,7 @@ fn plain_engine_is_equivalent_across_frontends() {
             NetCloneHdr::response_to(&req.nc, sid, ServerState(0)),
             84,
         );
-        direct.process(resp, 10 + sid, 0);
+        direct.process_collected(resp, 10 + sid, 0);
     }
     let direct_counters = direct.counters();
     assert_eq!(direct_counters.routed_plain, 2 * N_SERVERS as u64);

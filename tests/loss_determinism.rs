@@ -1,0 +1,48 @@
+//! RNG-stream pinning for the packet-loss path.
+//!
+//! `Sim` only materialises a loss model when `scenario.loss > 0.0`; the
+//! zero-loss fast path must not draw from (or even construct) the loss
+//! stream. These pins guarantee the optimisation cannot silently shift
+//! any seeded stream:
+//!
+//! * the zero-loss pin lives in `tests/harness_determinism.rs`
+//!   (`single_rack_topology_reproduces_seed_state_run`) — if skipping the
+//!   loss RNG perturbed the other streams, that test would fail;
+//! * the lossy pin below was captured *before* the zero-loss fast path
+//!   existed, so the `loss > 0` stream provably draws at the exact same
+//!   points as the original always-constructed implementation.
+
+use netclone::cluster::{Scenario, Scheme, Sim};
+use netclone::workloads::exp25;
+
+fn lossy_scenario() -> Scenario {
+    let mut s = Scenario::synthetic_default(Scheme::NETCLONE, exp25(), 0.0);
+    s.warmup_ns = 4_000_000;
+    s.measure_ns = 20_000_000;
+    s.offered_rps = s.capacity_rps() * 0.6;
+    s.seed = 7;
+    s.loss = 0.01;
+    s
+}
+
+#[test]
+fn lossy_run_reproduces_pinned_loss_stream() {
+    let r = Sim::run(lossy_scenario());
+    assert_eq!(r.packets_lost, 2269, "loss stream shifted");
+    assert_eq!(r.generated, 37568);
+    assert_eq!(r.completed, 36503);
+    assert_eq!(r.client_clone_wins, 9019);
+    assert_eq!(r.latency.p50_p99_p999(), (22783, 123903, 573439));
+}
+
+#[test]
+fn zero_loss_runs_are_reproducible() {
+    let mut s = lossy_scenario();
+    s.loss = 0.0;
+    let a = Sim::run(s.clone());
+    let b = Sim::run(s);
+    assert_eq!(a.generated, b.generated);
+    assert_eq!(a.completed, b.completed);
+    assert_eq!(a.packets_lost, 0);
+    assert_eq!(a.latency.p50_p99_p999(), b.latency.p50_p99_p999());
+}

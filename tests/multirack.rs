@@ -43,7 +43,7 @@ fn drive(
     while let Some((sw, pkt, ingress)) = work.pop() {
         hops += 1;
         assert!(hops <= 16, "forwarding loop");
-        for e in fabric.engines[sw].process(pkt, ingress, 0) {
+        for e in fabric.engines[sw].process_collected(pkt, ingress, 0) {
             match fabric.hop(sw, e.port) {
                 Hop::Switch(next) => work.push((next, e.pkt, 0)),
                 Hop::Local(_) => delivered.push((sw, e)),
@@ -211,10 +211,10 @@ impl TwoTier {
     /// Drives one packet from the client all the way to server ports.
     fn client_to_servers(&mut self, pkt: PacketMeta) -> Vec<Emission> {
         let mut out = Vec::new();
-        for e1 in self.client_tor.process(pkt, CLIENT_PORT, 0) {
-            for e2 in self.agg.process(e1.pkt, 1, 0) {
+        for e1 in self.client_tor.process_collected(pkt, CLIENT_PORT, 0) {
+            for e2 in self.agg.process_collected(e1.pkt, 1, 0) {
                 assert_eq!(e2.port, 2, "agg must push toward the server rack");
-                out.extend(self.server_tor.process(e2.pkt, UPLINK, 0));
+                out.extend(self.server_tor.process_collected(e2.pkt, UPLINK, 0));
             }
         }
         out
@@ -222,11 +222,11 @@ impl TwoTier {
 
     /// Drives one response from a server back to the client port.
     fn server_to_client(&mut self, pkt: PacketMeta, sid: u16) {
-        for e1 in self.server_tor.process(pkt, 10 + sid, 0) {
+        for e1 in self.server_tor.process_collected(pkt, 10 + sid, 0) {
             assert_eq!(e1.port, UPLINK);
-            for e2 in self.agg.process(e1.pkt, 2, 0) {
+            for e2 in self.agg.process_collected(e1.pkt, 2, 0) {
                 assert_eq!(e2.port, 1);
-                self.client_tor.process(e2.pkt, UPLINK, 0);
+                self.client_tor.process_collected(e2.pkt, UPLINK, 0);
             }
         }
     }
