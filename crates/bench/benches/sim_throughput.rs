@@ -33,6 +33,9 @@ fn bench_sim(c: &mut Criterion) {
     g.bench_function("four_rack", |b| {
         b.iter(|| black_box(Sim::run(black_box(scenario(4)))).completed)
     });
+    g.bench_function("four_rack_s4", |b| {
+        b.iter(|| black_box(Sim::run_with_shards(black_box(scenario(4)), 4)).completed)
+    });
     g.finish();
 }
 

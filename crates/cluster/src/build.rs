@@ -1,9 +1,11 @@
 //! Scenario → testbed assembly.
 //!
-//! [`ScenarioBuilder`] turns a [`Scenario`] into a runnable [`Sim`]: it
-//! picks and programs the switch engine for the scheme, spawns the server
-//! and client models, wires the optional coordinator, and schedules the
-//! priming events. The simulator itself ([`Sim`]) is only the event loop.
+//! [`ScenarioBuilder`] turns a [`Scenario`] into runnable per-rack
+//! shards: it picks and programs the switch engine for the scheme,
+//! spawns the server and client models, wires the optional coordinator,
+//! scatters everything to its owning shard, and schedules the priming
+//! events under the shared control-domain key counter. The simulator
+//! itself ([`Sim`][crate::sim::Sim]) is only the event loop.
 //!
 //! [`build_engine`] / [`build_fabric`] are the single place a scheme
 //! becomes a switch program. Every frontend (this DES testbed,
@@ -15,8 +17,11 @@
 //! per leaf plus a plain-L3 spine, wired per §3.7 (NetClone logic only
 //! where clients attach, `SWITCH_ID`-gated pass-through everywhere else).
 
+use std::sync::Arc;
+
 use netclone_asic::PortId;
 use netclone_core::{NetCloneConfig, NetCloneSwitch, Scheduling, SwitchEngine};
+use netclone_des::sync::tie_key;
 use netclone_des::{EventQueue, SeedFactory, SimTime};
 use netclone_hosts::{ClientMode, ClientSim, ServerConfig, ServerSim};
 use netclone_kvstore::ServiceCostModel;
@@ -24,12 +29,14 @@ use netclone_policies::{CoordinatorConfig, LaedgeCoordinator, PlainL3Switch};
 use netclone_proto::{Ipv4, ServerId, SwitchId};
 use netclone_stats::TimeSeries;
 use netclone_workloads::{KvMix, ServiceShape, ZipfSampler};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 use crate::calib;
 use crate::payload::PayloadSlab;
 use crate::scenario::{Scenario, Workload};
 use crate::scheme::Scheme;
-use crate::sim::{Ev, LossModel, Sim};
+use crate::sim::{Ev, LossModel, Shard, CONTROL_SRC};
 use crate::topology::{spine_port, Fabric, UPLINK_PORT};
 
 /// Switch port of the LÆDGE coordinator host.
@@ -218,29 +225,41 @@ pub fn build_fabric(scenario: &Scenario) -> Fabric {
         fabric.engines.push(e);
     }
 
-    // The aggregation spine: plain L3, one route per endpoint toward its
-    // rack's leaf.
+    fabric.engines.push(build_spine(
+        scenario,
+        &fabric.server_leaf,
+        &fabric.client_leaf,
+        coord_leaf,
+    ));
+    fabric
+}
+
+/// Builds and programs the aggregation spine: plain L3, one route per
+/// endpoint toward its rack's leaf. Factored out of [`build_fabric`]
+/// because sharded runs program one *replica* per shard — the spine is
+/// stateless, so each shard forwards through its own copy and only the
+/// counters need merging.
+fn build_spine(
+    scenario: &Scenario,
+    server_leaf: &[usize],
+    client_leaf: &[usize],
+    coord_leaf: usize,
+) -> Box<dyn SwitchEngine> {
     let mut spine = PlainL3Switch::new(netclone_asic::AsicSpec::tofino());
-    for sid in 0..n_servers as u16 {
-        spine.add_route(
-            Ipv4::server(sid),
-            spine_port(fabric.server_leaf[sid as usize]),
-        );
+    for sid in 0..server_leaf.len() as u16 {
+        spine.add_route(Ipv4::server(sid), spine_port(server_leaf[sid as usize]));
     }
-    for cid in 0..scenario.n_clients as u16 {
-        spine.add_route(
-            Ipv4::client(cid),
-            spine_port(fabric.client_leaf[cid as usize]),
-        );
+    for cid in 0..client_leaf.len() as u16 {
+        spine.add_route(Ipv4::client(cid), spine_port(client_leaf[cid as usize]));
     }
     if scenario.scheme.uses_coordinator() {
         spine.add_route(COORD_IP, spine_port(coord_leaf));
     }
-    fabric.engines.push(Box::new(spine));
-    fabric
+    Box::new(spine)
 }
 
-/// Assembles a [`Sim`] from a [`Scenario`].
+/// Assembles the sharded testbed of a [`Scenario`] (see
+/// [`Sim`][crate::sim::Sim] for the run entry points).
 pub struct ScenarioBuilder {
     scenario: Scenario,
 }
@@ -251,10 +270,19 @@ impl ScenarioBuilder {
         ScenarioBuilder { scenario }
     }
 
-    /// Builds the testbed: switch engine, hosts, workload streams, and the
+    /// Builds the testbed partitioned into `min(shards, racks)` per-rack
+    /// shards (racks are assigned round-robin, rack *r* → shard
+    /// `r % n`): switch engines, hosts, workload streams, and the
     /// priming events (first arrivals, warm-up end, failure injections).
-    pub fn build(self) -> Sim {
-        let scenario = self.scenario;
+    /// Returns the shards plus the conservative lookahead — the minimum
+    /// simulated delay of any cross-shard interaction.
+    ///
+    /// The partitioning is *count-clamped to the topology, never to the
+    /// machine*: the shard layout (and therefore every event key) is a
+    /// pure function of the scenario, so results cannot depend on where
+    /// the run executes.
+    pub(crate) fn build_shards(self, shards: usize, traced: bool) -> (Vec<Shard>, u64) {
+        let scenario = Arc::new(self.scenario);
         let seeds = SeedFactory::new(scenario.seed);
         let n_servers = scenario.servers.len();
         assert!(
@@ -277,7 +305,7 @@ impl ScenarioBuilder {
                 let keys = ZipfSampler::new(*objects, *zipf_theta);
                 (
                     None,
-                    Some(KvMix::read_mix(*get_frac, *scan_count, keys)),
+                    Some(Arc::new(KvMix::read_mix(*get_frac, *scan_count, keys))),
                     *cost,
                 )
             }
@@ -347,82 +375,205 @@ impl ScenarioBuilder {
             })
             .collect();
 
-        // ---- assembly + priming --------------------------------------
+        // ---- arrivals -------------------------------------------------
+        // The first inter-arrival gaps are drawn here, dense and in cid
+        // order, *before* the streams are scattered to their shards — the
+        // exact draw order of the pre-sharding prime loop.
+        let n_clients = scenario.n_clients;
+        let arrivals =
+            netclone_workloads::PoissonArrivals::new(scenario.offered_rps / n_clients as f64);
+        let mut arrival_rngs: Vec<StdRng> = (0..n_clients)
+            .map(|i| seeds.rng_for("arrivals", i as u64))
+            .collect();
+        let first_gaps: Vec<u64> = arrival_rngs
+            .iter_mut()
+            .map(|rng| arrivals.next_gap_ns(rng))
+            .collect();
+
+        // ---- partitioning --------------------------------------------
+        let Fabric {
+            engines,
+            racks,
+            inter_rack_ns,
+            server_leaf,
+            client_leaf,
+            coord_leaf,
+        } = fabric;
+        let nshards = shards.clamp(1, racks);
+        let shard_of = |rack: usize| rack % nshards;
+
+        let mut engines = engines;
+        // Multi-rack fabrics carry the spine last; shard 0 inherits it
+        // and every other shard programs an identical replica.
+        let spine0 = (racks > 1).then(|| engines.pop().expect("spine engine"));
+
         let end_ns = scenario.warmup_ns + scenario.measure_ns;
         let ts_buckets = (end_ns / scenario.timeseries_bucket_ns + 2).max(1) as usize;
-        let n_clients = scenario.n_clients;
-        let n_switches = fabric.len();
-        let mut sim = Sim {
-            arrivals: netclone_workloads::PoissonArrivals::new(
-                scenario.offered_rps / n_clients as f64,
-            ),
-            arrival_rngs: (0..n_clients)
-                .map(|i| seeds.rng_for("arrivals", i as u64))
-                .collect(),
-            workload_rngs: (0..n_clients)
-                .map(|i| seeds.rng_for("workload", i as u64))
-                .collect(),
-            // The loss model (and its RNG) exists only for lossy
-            // scenarios; the zero-loss fast path never draws. The stream
-            // is an independent SeedFactory fan-out, so skipping it
-            // cannot shift any other stream (`tests/loss_determinism.rs`).
-            loss: (scenario.loss > 0.0).then(|| LossModel {
-                prob: scenario.loss,
-                rng: seeds.rng_for("loss", 0),
-            }),
-            server_epoch: vec![0; n_servers],
-            server_stats_at_warmup: vec![Default::default(); n_servers],
-            throughput: TimeSeries::new(scenario.timeseries_bucket_ns, ts_buckets),
-            scenario,
-            q: EventQueue::new(),
-            clients,
-            servers,
-            fabric,
-            switch_up: true,
-            coordinator,
-            synthetic,
-            kvmix,
-            sink: netclone_asic::EmissionSink::new(),
-            payloads: PayloadSlab::new(),
-            end_ns,
-            measure_start_ns: 0,
-            completed_in_window: 0,
-            generated_in_window: 0,
-            packets_lost: 0,
-            switch_counters_at_warmup: vec![Default::default(); n_switches],
-        };
-        Self::prime(&mut sim);
-        sim
+        // Single-rack runs collapse every domain onto the control domain
+        // (one counter == the old global sequence); multi-rack runs get
+        // one domain per rack above it.
+        let n_domains = if racks == 1 { 1 } else { racks + 1 };
+
+        let mut out: Vec<Shard> = (0..nshards)
+            .map(|k| Shard {
+                id: k,
+                nshards,
+                scenario: Arc::clone(&scenario),
+                q: EventQueue::new(),
+                clients: (0..n_clients).map(|_| None).collect(),
+                servers: (0..n_servers).map(|_| None).collect(),
+                server_epoch: vec![0; n_servers],
+                engines: (0..racks).map(|_| None).collect(),
+                spine: None,
+                racks,
+                inter_rack_ns,
+                server_leaf: server_leaf.clone(),
+                client_leaf: client_leaf.clone(),
+                coord_leaf,
+                switch_up: true,
+                coordinator: None,
+                arrivals,
+                arrival_rngs: (0..n_clients).map(|_| None).collect(),
+                workload_rngs: (0..n_clients).map(|_| None).collect(),
+                // The loss model (and its RNGs) exists only for lossy
+                // scenarios; the zero-loss fast path never draws. Each
+                // rack's stream is an independent SeedFactory fan-out, so
+                // the draws of one rack cannot shift another's — nor any
+                // non-loss stream (`tests/loss_determinism.rs`).
+                loss: (scenario.loss > 0.0).then(|| LossModel {
+                    prob: scenario.loss,
+                    rngs: (0..racks)
+                        .map(|r| (shard_of(r) == k).then(|| seeds.rng_for("loss", r as u64)))
+                        .collect(),
+                }),
+                synthetic,
+                kvmix: kvmix.clone(),
+                sink: netclone_asic::EmissionSink::new(),
+                spine_sink: netclone_asic::EmissionSink::new(),
+                payloads: PayloadSlab::new(),
+                end_ns,
+                measure_start_ns: 0,
+                throughput: TimeSeries::new(scenario.timeseries_bucket_ns, ts_buckets),
+                completed_in_window: 0,
+                generated_in_window: 0,
+                packets_lost: 0,
+                switch_counters_at_warmup: vec![Default::default(); racks],
+                spine_counters_at_warmup: Default::default(),
+                server_stats_at_warmup: vec![Default::default(); n_servers],
+                seq: vec![0; n_domains],
+                cur_src: CONTROL_SRC,
+                cur_rack: usize::MAX,
+                events_scheduled: 0,
+                outbox: (0..nshards).map(|_| Vec::new()).collect(),
+                trace: traced.then(Vec::new),
+            })
+            .collect();
+
+        for (r, e) in engines.into_iter().enumerate() {
+            out[shard_of(r)].engines[r] = Some(e);
+        }
+        if let Some(spine) = spine0 {
+            out[0].spine = Some(spine);
+            for sh in out.iter_mut().skip(1) {
+                sh.spine = Some(build_spine(
+                    &scenario,
+                    &server_leaf,
+                    &client_leaf,
+                    coord_leaf,
+                ));
+            }
+        }
+        for (i, s) in servers.into_iter().enumerate() {
+            out[shard_of(server_leaf[i])].servers[i] = Some(s);
+        }
+        for (cid, c) in clients.into_iter().enumerate() {
+            let k = shard_of(client_leaf[cid]);
+            out[k].clients[cid] = Some(c);
+            out[k].arrival_rngs[cid] = Some(std::mem::replace(
+                &mut arrival_rngs[cid],
+                StdRng::seed_from_u64(0),
+            ));
+            out[k].workload_rngs[cid] = Some(seeds.rng_for("workload", cid as u64));
+        }
+        out[shard_of(coord_leaf)].coordinator = coordinator;
+
+        Self::prime(&mut out, &scenario, &first_gaps, &client_leaf, &server_leaf);
+        (
+            out,
+            2 * (netclone_asic::AsicSpec::tofino().pass_latency_ns + inter_rack_ns),
+        )
     }
 
     /// Schedules the events that start the run: one arrival per client,
     /// the warm-up end, and any configured failure injections.
-    fn prime(sim: &mut Sim) {
-        for cid in 0..sim.clients.len() {
-            let gap = sim.arrivals.next_gap_ns(&mut sim.arrival_rngs[cid]);
-            sim.q.schedule(SimTime::from_ns(gap), Ev::Gen(cid));
+    ///
+    /// Control events share one key counter regardless of the shard
+    /// count, assigned in a fixed order. Events with a single owner
+    /// (arrivals, a server kill) land only on the owner's queue;
+    /// fabric-wide events (warm-up end, switch failure, server removal)
+    /// are replicated onto *every* queue under the *same* key, and every
+    /// shard leaves priming with the same control counter — so any
+    /// control key a shard assigns later is assigned identically by all.
+    /// Logical events are counted once (on the owner, or shard 0 for
+    /// broadcasts), keeping `RunResult::events` shard-count-invariant.
+    fn prime(
+        shards: &mut [Shard],
+        scenario: &Scenario,
+        first_gaps: &[u64],
+        client_leaf: &[usize],
+        server_leaf: &[usize],
+    ) {
+        let nshards = shards.len();
+        let mut ctl = 0u64;
+        let prime_one = |shards: &mut [Shard], ctl: &mut u64, owner: usize, at: u64, ev: Ev| {
+            let tie = tie_key(CONTROL_SRC, *ctl);
+            *ctl += 1;
+            shards[owner].events_scheduled += 1;
+            shards[owner]
+                .q
+                .schedule_keyed(SimTime::from_ns(at), tie, ev);
+        };
+        let broadcast = |shards: &mut [Shard], ctl: &mut u64, at: u64, mk: &dyn Fn() -> Ev| {
+            let tie = tie_key(CONTROL_SRC, *ctl);
+            *ctl += 1;
+            shards[0].events_scheduled += 1;
+            for sh in shards.iter_mut() {
+                sh.q.schedule_keyed(SimTime::from_ns(at), tie, mk());
+            }
+        };
+
+        for (cid, gap) in first_gaps.iter().enumerate() {
+            prime_one(
+                shards,
+                &mut ctl,
+                client_leaf[cid] % nshards,
+                *gap,
+                Ev::Gen(cid),
+            );
         }
-        sim.q
-            .schedule(SimTime::from_ns(sim.scenario.warmup_ns), Ev::EndWarmup);
-        if let Some(plan) = sim.scenario.switch_failure {
-            sim.q
-                .schedule(SimTime::from_ns(plan.fail_at_ns), Ev::SwitchFail);
-            sim.q.schedule(
-                SimTime::from_ns(plan.reactivate_at_ns),
+        broadcast(shards, &mut ctl, scenario.warmup_ns, &|| Ev::EndWarmup);
+        if let Some(plan) = scenario.switch_failure {
+            broadcast(shards, &mut ctl, plan.fail_at_ns, &|| Ev::SwitchFail);
+            broadcast(shards, &mut ctl, plan.reactivate_at_ns, &|| {
                 Ev::SwitchReactivate {
                     bringup_ns: plan.bringup_ns,
-                },
-            );
+                }
+            });
         }
-        if let Some(plan) = sim.scenario.server_failure {
-            sim.q.schedule(
-                SimTime::from_ns(plan.fail_at_ns),
+        if let Some(plan) = scenario.server_failure {
+            prime_one(
+                shards,
+                &mut ctl,
+                server_leaf[plan.sid as usize] % nshards,
+                plan.fail_at_ns,
                 Ev::ServerKill(plan.sid as usize),
             );
-            sim.q.schedule(
-                SimTime::from_ns(plan.removed_at_ns),
-                Ev::ServerRemove(plan.sid),
-            );
+            broadcast(shards, &mut ctl, plan.removed_at_ns, &|| {
+                Ev::ServerRemove(plan.sid)
+            });
+        }
+        for sh in shards.iter_mut() {
+            sh.seq[usize::from(CONTROL_SRC)] = ctl;
         }
     }
 }

@@ -18,7 +18,6 @@ use netclone_workloads::exp25;
 use crate::harness::{Experiment, RunCtx};
 use crate::scenario::Scenario;
 use crate::scheme::Scheme;
-use crate::sim::Sim;
 
 const TITLE: &str = "Design-choice ablations (filter tables, group ordering, clone threshold)";
 
@@ -58,7 +57,7 @@ pub fn filter_tables(ctx: &RunCtx) -> FilterAblation {
         s.offered_rps = s.capacity_rps() * 0.5;
         s.n_filter_tables = n_tables;
         s.filter_slots_log2 = 7;
-        let run = Sim::run(s);
+        let run = ctx.run_sim(s);
         let leak = if run.completed == 0 {
             0.0
         } else {
@@ -122,7 +121,7 @@ pub fn group_ordering(ctx: &RunCtx) -> GroupAblation {
     let imbalances = ctx.map(
         "ablation:groups",
         vec![template, naive_scenario],
-        |scenario| imbalance(&Sim::run(scenario).per_server_served),
+        |scenario| imbalance(&ctx.run_sim(scenario).per_server_served),
     );
     GroupAblation {
         ordered_imbalance: imbalances[0],
@@ -167,7 +166,7 @@ pub fn clone_threshold(ctx: &RunCtx) -> ThresholdAblation {
         s.measure_ns = ctx.scale.measure_ns();
         s.offered_rps = s.capacity_rps() * 0.8;
         s.clone_condition = netclone_core::CloneCondition::QueueBelow(thr);
-        let run = Sim::run(s);
+        let run = ctx.run_sim(s);
         let drops = if run.switch.requests == 0 {
             0.0
         } else {

@@ -14,7 +14,6 @@ use netclone_workloads::exp25;
 use crate::harness::{Experiment, RunCtx};
 use crate::scenario::Scenario;
 use crate::scheme::Scheme;
-use crate::sim::Sim;
 
 const TITLE: &str = "Confidence of the empty-queue signal";
 
@@ -83,7 +82,7 @@ pub fn run(ctx: &RunCtx) -> Fig13 {
     let empty_queue = ctx.map("fig13a", loads, |pct| {
         let mut s = template.clone();
         s.offered_rps = cap * pct / 100.0;
-        let run = Sim::run(s);
+        let run = ctx.run_sim(s);
         (pct, run.empty_queue_fraction() * 100.0)
     });
 
@@ -99,7 +98,7 @@ pub fn run(ctx: &RunCtx) -> Fig13 {
         s.scheme = scheme;
         s.offered_rps = cap * 0.9;
         s.seed = 1000 + rep as u64;
-        (scheme, Sim::run(s).p99_us())
+        (scheme, ctx.run_sim(s).p99_us())
     });
     let mut baseline = Summary::new();
     let mut netclone = Summary::new();

@@ -12,7 +12,6 @@ use crate::experiments::scale::Scale;
 use crate::harness::{Experiment, RunCtx};
 use crate::scenario::{Scenario, SwitchFailurePlan};
 use crate::scheme::Scheme;
-use crate::sim::Sim;
 
 const TITLE: &str = "Switch failure timeline (stop 5s, reactivate 7s, up ~10s)";
 
@@ -87,7 +86,7 @@ pub fn run(ctx: &RunCtx) -> Fig16 {
         reactivate_at_ns: 7 * sec,
         bringup_ns: 3 * sec,
     });
-    let run = Sim::run(s);
+    let run = ctx.run_sim(s);
     // rates_per_sec is per *sim* second — already the paper's y-axis; only
     // the time axis needs decompressing back to paper seconds.
     let rates = run.throughput_series.rates_per_sec();

@@ -20,7 +20,6 @@ use crate::harness::{Experiment, RunCtx};
 use crate::metrics::RunResult;
 use crate::scenario::Scenario;
 use crate::scheme::Scheme;
-use crate::sim::Sim;
 use crate::sweep::capacity_fractions;
 use crate::topology::Topology;
 
@@ -114,7 +113,7 @@ pub fn run(ctx: &RunCtx) -> MultiRackResult {
     }
     let cells = ctx.map("multirack", cells, |(racks, s)| Cell {
         racks,
-        run: Sim::run(s),
+        run: ctx.run_sim(s),
     });
     MultiRackResult { cells }
 }

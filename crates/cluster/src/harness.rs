@@ -52,6 +52,12 @@ pub struct RunCtx {
     pub scale: Scale,
     /// Worker-thread budget; 1 means run strictly serially.
     pub jobs: usize,
+    /// Per-run shard budget: how many event-loop shards each simulation
+    /// may use (`0` = auto, one per rack; `1` = serial, the default).
+    /// Orthogonal to `jobs`: `jobs` fans *cells* (independent scenarios)
+    /// across threads, `shards` parallelises *within* one cell, and both
+    /// are bit-identical to serial execution, so they compose freely.
+    pub shards: usize,
     progress: Option<ProgressFn>,
 }
 
@@ -69,6 +75,7 @@ impl RunCtx {
         RunCtx {
             scale,
             jobs: 1,
+            shards: 1,
             progress: None,
         }
     }
@@ -77,6 +84,29 @@ impl RunCtx {
     pub fn with_jobs(mut self, jobs: usize) -> Self {
         self.jobs = jobs.max(1);
         self
+    }
+
+    /// Sets the per-run shard budget (`0` = auto, one shard per rack).
+    /// Results are bit-identical at any setting; single-rack scenarios
+    /// always run serially (the shard count clamps to the rack count).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Runs one simulation under this context's shard budget.
+    pub fn run_sim(&self, scenario: Scenario) -> crate::metrics::RunResult {
+        Sim::run_with_shards(scenario, self.effective_shards())
+    }
+
+    /// The shard count handed to [`Sim::run_with_shards`]: the budget,
+    /// with `0` meaning "as many as the topology has racks".
+    pub fn effective_shards(&self) -> usize {
+        if self.shards == 0 {
+            usize::MAX
+        } else {
+            self.shards
+        }
     }
 
     /// Installs a progress callback, invoked once per finished cell with
@@ -196,7 +226,7 @@ pub fn run_sweeps(ctx: &RunCtx, label: &str, specs: Vec<SweepSpec>) -> Vec<Panel
     }
     let points = ctx.map(label, cells, |(si, s)| {
         let offered = s.offered_rps;
-        (si, SweepPoint::from_run(offered, Sim::run(s)))
+        (si, SweepPoint::from_run(offered, ctx.run_sim(s)))
     });
     let mut per_spec: Vec<Vec<SweepPoint>> = specs.iter().map(|_| Vec::new()).collect();
     for (si, p) in points {

@@ -30,6 +30,7 @@ pub mod metrics;
 pub(crate) mod payload;
 pub mod scenario;
 pub mod scheme;
+pub(crate) mod shard;
 pub mod sim;
 pub mod sweep;
 pub mod topology;

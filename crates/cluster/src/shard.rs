@@ -1,0 +1,254 @@
+//! Conservative shard execution and result merging.
+//!
+//! [`ShardCoordinator`] drives the per-rack [`Shard`]s built by
+//! [`ScenarioBuilder::build_shards`]: serially when there is one shard
+//! (the default, and any single-rack scenario), or on one thread per
+//! shard under the conservative lookahead protocol from
+//! [`netclone_des::sync`].
+//!
+//! ## The window protocol
+//!
+//! The only cross-shard interaction is a spine-forwarded packet landing
+//! on a foreign leaf, and that takes at least
+//!
+//! ```text
+//! lookahead = 2 × (switch pass latency + inter-rack link latency)
+//! ```
+//!
+//! of simulated time after the event that emits it (leaf pass → uplink →
+//! spine pass → downlink). So the shards advance in rounds:
+//!
+//! 1. every shard publishes its next-event time on the
+//!    [`HorizonBoard`], then waits at a barrier;
+//! 2. every shard reads the same board minimum `m` (all idle → done) and
+//!    executes its events with `time < m + lookahead`, buffering
+//!    outbound cross-shard messages in per-destination outboxes;
+//! 3. outboxes flush into the destinations' mailboxes, everybody waits
+//!    at a second barrier, then drains its own mailbox — every delivered
+//!    message is timestamped at or after the window end (asserted in
+//!    debug builds) — and the round repeats.
+//!
+//! The shard owning `m` always executes at least one event per round, so
+//! the protocol makes progress; the barriers are [`SpinBarrier`]s, which
+//! yield after a brief spin, so shard counts above the machine's core
+//! count degrade into time-slicing instead of livelock.
+//!
+//! Bit-identity of the merged result is a property of the event *keys*,
+//! not of the schedule — see [`crate::sim`] and [`netclone_des::sync`] —
+//! so none of this depends on thread timing.
+
+use std::sync::Mutex;
+
+use netclone_core::SwitchCounters;
+use netclone_des::sync::window_end;
+use netclone_des::{HorizonBoard, SpinBarrier};
+use netclone_stats::LatencyHistogram;
+
+use crate::build::ScenarioBuilder;
+use crate::metrics::RunResult;
+use crate::sim::{CrossMsg, Shard};
+
+/// Owns a run's shards from build to merged [`RunResult`].
+pub(crate) struct ShardCoordinator {
+    shards: Vec<Shard>,
+    /// The conservative window extension: the minimum simulated time
+    /// between a cross-shard send and its delivery.
+    lookahead_ns: u64,
+}
+
+impl ShardCoordinator {
+    /// Builds the testbed partitioned into (up to) `shards` shards;
+    /// `traced` additionally records every executed event's `(time, key)`.
+    pub(crate) fn new(builder: ScenarioBuilder, shards: usize, traced: bool) -> Self {
+        let (shards, lookahead_ns) = builder.build_shards(shards, traced);
+        ShardCoordinator {
+            shards,
+            lookahead_ns,
+        }
+    }
+
+    /// Runs the simulation to completion and merges the results.
+    pub(crate) fn run(mut self) -> (RunResult, Option<Vec<(u64, u64)>>) {
+        if self.shards.len() == 1 {
+            // The serial path: one queue, drained in key order. No
+            // barriers, no atomics — the pre-sharding event loop.
+            let shard = &mut self.shards[0];
+            while let Some((t, tie, ev)) = shard.q.pop_keyed() {
+                if let Some(trace) = &mut shard.trace {
+                    trace.push((t.as_ns(), tie));
+                }
+                shard.handle(t.as_ns(), ev);
+            }
+        } else {
+            self.run_windowed();
+        }
+        self.merge()
+    }
+
+    /// One thread per shard, advancing in conservative windows.
+    fn run_windowed(&mut self) {
+        let n = self.shards.len();
+        let lookahead = self.lookahead_ns;
+        debug_assert!(lookahead > 0, "a zero lookahead cannot make progress");
+        let board = HorizonBoard::new(n);
+        let barrier = SpinBarrier::new(n);
+        let mailboxes: Vec<Mutex<Vec<CrossMsg>>> = (0..n).map(|_| Mutex::new(Vec::new())).collect();
+        std::thread::scope(|s| {
+            for (k, shard) in self.shards.iter_mut().enumerate() {
+                let (board, barrier, mailboxes) = (&board, &barrier, &mailboxes);
+                s.spawn(move || loop {
+                    board.publish(k, shard.q.peek_time());
+                    barrier.wait();
+                    // Between the barrier above and the one below nobody
+                    // publishes, so every shard reads the same minimum
+                    // and either all break (all idle, mailboxes empty by
+                    // construction) or all continue.
+                    let Some(w_end) = window_end(board.min(), lookahead) else {
+                        break;
+                    };
+                    while shard.q.peek_time().is_some_and(|t| t.as_ns() < w_end) {
+                        let (t, tie, ev) = shard.q.pop_keyed().expect("peeked event");
+                        if let Some(trace) = &mut shard.trace {
+                            trace.push((t.as_ns(), tie));
+                        }
+                        shard.handle(t.as_ns(), ev);
+                    }
+                    for (dst, out) in shard.outbox.iter_mut().enumerate() {
+                        if !out.is_empty() {
+                            mailboxes[dst].lock().expect("mailbox").append(out);
+                        }
+                    }
+                    barrier.wait();
+                    let inbound = std::mem::take(&mut *mailboxes[k].lock().expect("mailbox"));
+                    shard.deliver(w_end, inbound);
+                });
+            }
+        });
+        debug_assert!(
+            mailboxes
+                .iter()
+                .all(|m| m.lock().expect("mailbox").is_empty()),
+            "undelivered cross-shard messages at termination"
+        );
+    }
+
+    /// Assembles the [`RunResult`] — deterministically: every vector is
+    /// walked in global index order, every scalar is a sum, and the one
+    /// order-sensitive-looking piece (the spine counter replicas) is a
+    /// `SwitchCounters::merge`, which is field-wise addition.
+    fn merge(mut self) -> (RunResult, Option<Vec<(u64, u64)>>) {
+        let shards = &mut self.shards;
+        let nshards = shards.len();
+        let scenario = shards[0].scenario.clone();
+        let racks = shards[0].racks;
+        let n_clients = scenario.n_clients;
+        let n_servers = scenario.servers.len();
+        for sh in shards.iter() {
+            debug_assert_eq!(
+                sh.payloads.live(),
+                0,
+                "shard {} leaked {} payload slots",
+                sh.id,
+                sh.payloads.live()
+            );
+            debug_assert!(
+                sh.q.is_empty(),
+                "shard {} stopped with queued events",
+                sh.id
+            );
+        }
+
+        let mut latency = LatencyHistogram::new();
+        let mut generated = 0u64;
+        let mut redundant = 0u64;
+        let mut clone_wins = 0u64;
+        for cid in 0..n_clients {
+            let owner = shards[0].client_leaf[cid] % nshards;
+            let c = shards[owner].clients[cid].as_ref().expect("client owner");
+            latency.merge(c.latencies());
+            generated += c.stats().generated;
+            redundant += c.stats().redundant;
+            clone_wins += c.stats().clone_wins;
+        }
+
+        // Per-switch windows in fabric index order (leaves, then the
+        // spine): each leaf's from its owner, the spine's as the merge of
+        // every shard's replica delta.
+        let mut per_switch: Vec<SwitchCounters> = Vec::with_capacity(racks + 1);
+        for r in 0..racks {
+            let sh = &shards[r % nshards];
+            let e = sh.engines[r].as_ref().expect("leaf owner");
+            per_switch.push(e.counters().since(&sh.switch_counters_at_warmup[r]));
+        }
+        if racks > 1 {
+            let mut spine = SwitchCounters::default();
+            for sh in shards.iter() {
+                let replica = sh.spine.as_ref().expect("spine replica");
+                spine.merge(&replica.counters().since(&sh.spine_counters_at_warmup));
+            }
+            per_switch.push(spine);
+        }
+        let switch: SwitchCounters = per_switch.iter().sum();
+
+        let mut clone_drops = 0;
+        let mut idle_reports = 0;
+        let mut responses = 0;
+        let mut per_server_served = Vec::with_capacity(n_servers);
+        for idx in 0..n_servers {
+            let sh = &shards[shards[0].server_leaf[idx] % nshards];
+            let st = sh.servers[idx].as_ref().expect("server owner").stats();
+            let b = sh.server_stats_at_warmup[idx];
+            clone_drops += st.clones_dropped - b.clones_dropped;
+            idle_reports += st.idle_reports - b.idle_reports;
+            responses += st.responses - b.responses;
+            per_server_served.push(st.served - b.served);
+        }
+
+        let mut throughput = shards[0].throughput.clone();
+        for sh in &shards[1..] {
+            throughput.merge(&sh.throughput);
+        }
+        let completed: u64 = shards.iter().map(|s| s.completed_in_window).sum();
+        let packets_lost: u64 = shards.iter().map(|s| s.packets_lost).sum();
+        let events: u64 = shards.iter().map(|s| s.events_scheduled).sum();
+        let measure_secs = scenario.measure_ns as f64 / 1e9;
+
+        let trace = shards[0].trace.is_some().then(|| {
+            let mut t: Vec<(u64, u64)> = shards
+                .iter_mut()
+                .flat_map(|s| s.trace.take().expect("traced shard"))
+                .collect();
+            if nshards > 1 {
+                // A serial trace is already in execution order; a merged
+                // one is sorted into the global key order, with the
+                // broadcast control events (one identically-keyed replica
+                // per shard) collapsed.
+                t.sort_unstable();
+                t.dedup();
+            }
+            t
+        });
+
+        let result = RunResult {
+            scheme: scenario.scheme.label(),
+            workload: scenario.workload.label(),
+            offered_rps: scenario.offered_rps,
+            achieved_rps: completed as f64 / measure_secs,
+            latency,
+            generated,
+            completed,
+            client_redundant: redundant,
+            client_clone_wins: clone_wins,
+            switch,
+            server_clone_drops: clone_drops,
+            server_idle_reports: idle_reports,
+            server_responses: responses,
+            throughput_series: throughput,
+            packets_lost,
+            per_server_served,
+            per_switch,
+            events,
+        };
+        (result, trace)
+    }
+}

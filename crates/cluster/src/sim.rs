@@ -2,19 +2,41 @@
 //!
 //! Everything about *assembling* a testbed (scheme → switch engines,
 //! hosts, workload streams, priming events) lives in
-//! [`crate::build::ScenarioBuilder`]; this module drains the event queue
-//! and keeps the measurement windows. Every switch is a
+//! [`crate::build::ScenarioBuilder`]; this module executes events and
+//! keeps the measurement windows. Every switch is a
 //! [`Box<dyn SwitchEngine>`](netclone_core::SwitchEngine) — the same
 //! trait object the real-socket soft switch drives — so the simulator has
 //! no per-scheme dispatch at all.
+//!
+//! ## Sharded execution
+//!
+//! The run state lives in per-rack `Shard`s: each shard owns its leaf
+//! engine(s), its racks' clients and servers, a slice of the loss/workload
+//! RNG streams, a private [`EventQueue`], and a private `PayloadSlab`.
+//! [`Sim::run`] drives one shard serially;
+//! [`Sim::run_with_shards`] fans the racks out across threads under the
+//! conservative lookahead protocol in `crate::shard`. Both produce
+//! **bit-identical** results for a seed because every event is keyed
+//! `(time, source domain, per-domain seq)` (see
+//! [`netclone_des::sync`]) — a total order no interleaving can change.
+//! Single-rack runs collapse to one domain whose keys equal the old
+//! global `(time, seq)` order, so the pre-sharding seed pins still hold.
+//!
+//! The spine never gets events of its own: it is stateless plain L3, so
+//! each shard processes spine hops *inline* against a private replica
+//! (counters are merged at the end — order-insensitive by
+//! `SwitchCounters::merge`). That removes the spine queue round-trip from
+//! the hot path and, more importantly, removes the one switch every shard
+//! would otherwise have to synchronise on; the cross-shard lookahead
+//! becomes two switch passes plus two inter-rack link traversals.
 //!
 //! ## The allocation-free hot path
 //!
 //! The per-packet path performs no heap allocation in steady state:
 //!
-//! * switch programs write into the run's single reusable
+//! * switch programs write into the shard's reusable
 //!   [`EmissionSink`] (see the contract in `netclone_asic::dataplane`),
-//!   which `Sim::on_switch_in` drains in place;
+//!   which `Shard::on_switch_in` drains in place;
 //! * events carry a `SimPacket` — metadata plus a payload-slab id —
 //!   instead of a full `AppPacket`, so the immutable `(op, born_ns)`
 //!   pair is interned once per packet rather than copied through every
@@ -23,15 +45,14 @@
 //! * the event queue itself is `netclone-des`'s indexed 4-ary heap over
 //!   a flat `Vec`.
 //!
-//! Topology: a [`Fabric`] built from the
-//! scenario's [`Topology`](crate::topology::Topology). The default single
-//! rack (the paper's testbed) is one ToR switch with every host attached;
+//! Topology: the scenario's [`Topology`](crate::topology::Topology),
+//! assembled by [`crate::build::build_fabric`]. The default single rack
+//! (the paper's testbed) is one ToR switch with every host attached;
 //! multi-rack shapes (§3.7) add per-rack leaves and an aggregation spine,
-//! with `Ev::SwitchIn` carrying the switch index and
-//! [`Fabric::hop`](crate::topology::Fabric::hop) walking emissions
-//! between switches (each leaf↔spine traversal costs the topology's
-//! inter-rack latency). The full fabric path — cloning at the client-side
-//! ToR only, `SWITCH_ID`-gated pass-through elsewhere — is covered by
+//! with `Ev::SwitchIn` carrying the *leaf* index and leaf↔spine
+//! traversals costing the topology's inter-rack latency each way. The
+//! full fabric path — cloning at the client-side ToR only,
+//! `SWITCH_ID`-gated pass-through elsewhere — is covered by
 //! `tests/multirack.rs` and the topology proptests.
 //! Ports: servers at `10+sid`, coordinator at 99, clients at `100+cid`,
 //! uplinks per [`crate::topology`].
@@ -46,30 +67,34 @@
 
 use netclone_asic::EmissionSink;
 use netclone_core::SwitchCounters;
+use netclone_des::sync::tie_key;
 use netclone_des::{EventQueue, SimTime};
 use netclone_hosts::{Admission, AppPacket, ClientMode, ClientSim, ServerSim};
 use netclone_policies::LaedgeCoordinator;
 use netclone_proto::{Ipv4, MsgType, PacketMeta, RpcOp, ServerId};
-use netclone_stats::{LatencyHistogram, TimeSeries};
+use netclone_stats::TimeSeries;
 use netclone_workloads::{KvMix, PoissonArrivals, SyntheticWorkload};
 use rand::rngs::StdRng;
 use rand::Rng;
+use std::sync::Arc;
 
 use crate::build::{ScenarioBuilder, COORD_PORT};
 use crate::calib;
 use crate::metrics::RunResult;
 use crate::payload::{PayloadSlab, SimPacket};
 use crate::scenario::Scenario;
-use crate::topology::{Fabric, Hop};
+use crate::shard::ShardCoordinator;
+use crate::topology::{spine_port, UPLINK_PORT};
 
 /// Simulation events.
 ///
 /// Packet-bearing variants carry a [`SimPacket`] (metadata + interned
 /// payload id), not a full `AppPacket` — see the module docs.
+/// `SwitchIn` always targets a *leaf*; spine hops are processed inline.
 pub(crate) enum Ev {
     /// Client `cid` generates its next request.
     Gen(usize),
-    /// A packet reaches switch `idx` of the fabric.
+    /// A packet reaches leaf switch `idx` of the fabric.
     SwitchIn(usize, SimPacket),
     /// A packet reaches server `idx`'s NIC.
     ServerIn(usize, SimPacket),
@@ -99,40 +124,72 @@ pub(crate) enum Ev {
     ServerRemove(ServerId),
 }
 
+/// The source domain of the control plane (primed events, warm-up end,
+/// failure injections). Domain 0 so control events win timestamp ties —
+/// and so the single-rack case, where *every* event maps to domain 0,
+/// degenerates to one counter identical to the old global sequence.
+pub(crate) const CONTROL_SRC: u16 = 0;
+
 /// The link-loss model, materialised only for lossy scenarios: the
 /// zero-loss fast path (`scenario.loss == 0.0`, known at build time)
-/// holds no RNG and never draws. The loss stream is seeded independently
-/// (`SeedFactory` fan-out), so its presence or absence cannot shift any
-/// other stream — pinned by `tests/loss_determinism.rs` on both sides.
+/// holds no RNGs and never draws. One independent stream per rack
+/// (`SeedFactory` fan-out, `("loss", rack)`): every traversal of a packet
+/// executing in rack *r*'s domain draws from stream *r*, so the draw
+/// order is a per-domain property that sharding cannot change. A shard
+/// only holds the streams of the racks it owns. Single-rack runs hold
+/// exactly the old `("loss", 0)` stream — pinned by
+/// `tests/loss_determinism.rs` on both sides.
 pub(crate) struct LossModel {
     /// Per-link-traversal loss probability (`scenario.loss`).
     pub prob: f64,
-    /// The dedicated loss stream.
-    pub rng: StdRng,
+    /// Per-rack loss streams (`None` for racks owned by other shards).
+    pub rngs: Vec<Option<StdRng>>,
 }
 
-/// One testbed simulation.
-pub struct Sim {
-    pub(crate) scenario: Scenario,
+/// One shard of a testbed simulation: the event loop state for a subset
+/// of the racks (all of them, for a serial run).
+///
+/// Host and engine vectors are indexed by *global* id with `None` holes
+/// for entities owned by other shards, so port arithmetic and
+/// result-assembly order are identical at any shard count.
+pub(crate) struct Shard {
+    /// This shard's index and the total count (`racks % nshards` owner
+    /// mapping, see [`Shard::shard_of_rack`]).
+    pub(crate) id: usize,
+    pub(crate) nshards: usize,
+    pub(crate) scenario: Arc<Scenario>,
     pub(crate) q: EventQueue<Ev>,
-    pub(crate) clients: Vec<ClientSim>,
-    pub(crate) servers: Vec<ServerSim>,
+    pub(crate) clients: Vec<Option<ClientSim>>,
+    pub(crate) servers: Vec<Option<ServerSim>>,
     pub(crate) server_epoch: Vec<u32>,
-    /// The switch fabric — one engine per switch, assembled by
-    /// [`crate::build::build_fabric`].
-    pub(crate) fabric: Fabric,
+    /// Owned leaf engines, indexed by rack (`None` = foreign rack).
+    pub(crate) engines: Vec<Option<Box<dyn netclone_core::SwitchEngine>>>,
+    /// This shard's replica of the (stateless) spine, `None` when
+    /// `racks == 1`. Counter replicas are merged at the end.
+    pub(crate) spine: Option<Box<dyn netclone_core::SwitchEngine>>,
+    pub(crate) racks: usize,
+    pub(crate) inter_rack_ns: u64,
+    pub(crate) server_leaf: Vec<usize>,
+    pub(crate) client_leaf: Vec<usize>,
+    pub(crate) coord_leaf: usize,
+    /// Fabric-forwarding flag; a replica on every shard, flipped by
+    /// broadcast control events.
     pub(crate) switch_up: bool,
     pub(crate) coordinator: Option<LaedgeCoordinator>,
     pub(crate) arrivals: PoissonArrivals,
-    pub(crate) arrival_rngs: Vec<StdRng>,
-    pub(crate) workload_rngs: Vec<StdRng>,
+    pub(crate) arrival_rngs: Vec<Option<StdRng>>,
+    pub(crate) workload_rngs: Vec<Option<StdRng>>,
     pub(crate) loss: Option<LossModel>,
     pub(crate) synthetic: Option<SyntheticWorkload>,
-    pub(crate) kvmix: Option<KvMix>,
-    /// The run's single reusable emission buffer (`on_switch_in` drains
-    /// it in place; see the `EmissionSink` contract).
+    pub(crate) kvmix: Option<Arc<KvMix>>,
+    /// The shard's reusable emission buffer (`on_switch_in` drains it in
+    /// place; see the `EmissionSink` contract)…
     pub(crate) sink: EmissionSink,
-    /// Interned `(op, born_ns)` payloads for in-flight packets.
+    /// …and a second one for inline spine hops, which happen while the
+    /// leaf sink is detached.
+    pub(crate) spine_sink: EmissionSink,
+    /// Interned `(op, born_ns)` payloads for packets in flight *within*
+    /// this shard; cross-shard packets are re-interned on arrival.
     pub(crate) payloads: PayloadSlab,
     pub(crate) end_ns: u64,
     pub(crate) measure_start_ns: u64,
@@ -140,43 +197,119 @@ pub struct Sim {
     pub(crate) completed_in_window: u64,
     pub(crate) generated_in_window: u64,
     pub(crate) packets_lost: u64,
+    /// Warm-up snapshots of the owned leaves (by rack index) and of the
+    /// spine replica.
     pub(crate) switch_counters_at_warmup: Vec<SwitchCounters>,
+    pub(crate) spine_counters_at_warmup: SwitchCounters,
     pub(crate) server_stats_at_warmup: Vec<netclone_hosts::server::ServerStats>,
+    /// Per-source tie-break sequence counters (index = source id).
+    /// Control counters (`seq[0]`) evolve identically on every shard;
+    /// rack counters are only touched by their owner.
+    pub(crate) seq: Vec<u64>,
+    /// Source id of the currently-executing event's domain.
+    pub(crate) cur_src: u16,
+    /// Rack of the currently-executing event (selects the loss stream);
+    /// control events never draw.
+    pub(crate) cur_rack: usize,
+    /// Logical events scheduled by this shard (cross-shard sends counted
+    /// at the sender, broadcast control replicas once, on shard 0) — the
+    /// shard's share of `RunResult::events`.
+    pub(crate) events_scheduled: u64,
+    /// Outbound cross-shard messages, per destination shard, flushed at
+    /// the end of each window.
+    pub(crate) outbox: Vec<Vec<CrossMsg>>,
+    /// When tracing, the popped `(time, tie)` keys in execution order.
+    pub(crate) trace: Option<Vec<(u64, u64)>>,
 }
 
-impl Sim {
-    /// Builds the testbed for a scenario (see [`ScenarioBuilder`]).
-    pub fn new(scenario: Scenario) -> Self {
-        ScenarioBuilder::new(scenario).build()
+/// A cross-shard `Ev::SwitchIn` in transit: the sender stamps the
+/// deterministic delivery key and materialises the payload (the slabs
+/// are shard-private), the receiver re-interns it.
+pub(crate) struct CrossMsg {
+    pub at: u64,
+    pub tie: u64,
+    pub leaf: usize,
+    pub meta: PacketMeta,
+    pub op: RpcOp,
+    pub born_ns: u64,
+}
+
+impl Shard {
+    /// Owner shard of a rack.
+    #[inline]
+    pub(crate) fn shard_of_rack(&self, rack: usize) -> usize {
+        rack % self.nshards
     }
 
-    /// Runs to completion and returns the measured results.
-    pub fn run(scenario: Scenario) -> RunResult {
-        let mut sim = Sim::new(scenario);
-        while let Some((t, ev)) = sim.q.pop() {
-            sim.handle(t.as_ns(), ev);
+    /// Source id of a rack's domain: single-rack runs collapse onto the
+    /// control domain (one counter — the old global sequence); multi-rack
+    /// runs put racks above the control domain so control events win
+    /// ties.
+    #[inline]
+    fn src_of_rack(&self, rack: usize) -> u16 {
+        if self.racks == 1 {
+            CONTROL_SRC
+        } else {
+            (rack + 1) as u16
         }
-        sim.finish()
+    }
+
+    #[inline]
+    fn set_rack_ctx(&mut self, rack: usize) {
+        self.cur_src = self.src_of_rack(rack);
+        self.cur_rack = rack;
+    }
+
+    #[inline]
+    fn set_control_ctx(&mut self) {
+        self.cur_src = CONTROL_SRC;
+        // Control handlers never traverse links, so they never draw from
+        // a loss stream; poison the rack index to catch violations.
+        self.cur_rack = usize::MAX;
+    }
+
+    /// Schedules `ev` on this shard's queue, keyed by the executing
+    /// domain. All targets are local by construction (the only non-local
+    /// sends are the spine-inline deliveries in [`Self::via_spine`]).
+    #[inline]
+    fn sched(&mut self, at_ns: u64, ev: Ev) {
+        let tie = self.next_tie();
+        self.events_scheduled += 1;
+        self.q.schedule_keyed(SimTime::from_ns(at_ns), tie, ev);
+    }
+
+    /// The next tie-break key of the executing domain.
+    #[inline]
+    fn next_tie(&mut self) -> u64 {
+        let s = self.cur_src as usize;
+        let tie = tie_key(self.cur_src, self.seq[s]);
+        self.seq[s] += 1;
+        tie
     }
 
     #[inline]
     fn lose_packet(&mut self) -> bool {
         match &mut self.loss {
             None => false,
-            Some(m) => m.rng.random::<f64>() < m.prob,
+            Some(m) => {
+                let rng = m.rngs[self.cur_rack]
+                    .as_mut()
+                    .expect("loss stream of an owned rack");
+                rng.random::<f64>() < m.prob
+            }
         }
     }
 
     fn draw_op(&mut self, cid: usize) -> RpcOp {
+        let rng = self.workload_rngs[cid]
+            .as_mut()
+            .expect("workload stream of an owned client");
         if let Some(wl) = &self.synthetic {
             RpcOp::Echo {
-                class_ns: wl.sample_class(&mut self.workload_rngs[cid]),
+                class_ns: wl.sample_class(rng),
             }
         } else {
-            self.kvmix
-                .as_ref()
-                .expect("kv workload")
-                .sample(&mut self.workload_rngs[cid])
+            self.kvmix.as_ref().expect("kv workload").sample(rng)
         }
     }
 
@@ -191,33 +324,73 @@ impl Sim {
         }
     }
 
-    fn handle(&mut self, now: u64, ev: Ev) {
+    pub(crate) fn handle(&mut self, now: u64, ev: Ev) {
         match ev {
-            Ev::Gen(cid) => self.on_gen(cid, now),
-            Ev::SwitchIn(sw, pkt) => self.on_switch_in(sw, pkt, now),
-            Ev::ServerIn(idx, pkt) => self.on_server_in(idx, pkt, now),
-            Ev::ServerDone { idx, epoch, pkt } => self.on_server_done(idx, epoch, pkt, now),
-            Ev::ClientIn(cid, pkt) => self.on_client_in(cid, pkt, now),
-            Ev::CoordIn(pkt) => self.on_coord_in(pkt, now),
-            Ev::EndWarmup => self.on_end_warmup(now),
-            Ev::SwitchFail => self.switch_up = false,
+            Ev::Gen(cid) => {
+                self.set_rack_ctx(self.client_leaf[cid]);
+                self.on_gen(cid, now);
+            }
+            Ev::SwitchIn(sw, pkt) => {
+                self.set_rack_ctx(sw);
+                self.on_switch_in(sw, pkt, now);
+            }
+            Ev::ServerIn(idx, pkt) => {
+                self.set_rack_ctx(self.server_leaf[idx]);
+                self.on_server_in(idx, pkt, now);
+            }
+            Ev::ServerDone { idx, epoch, pkt } => {
+                self.set_rack_ctx(self.server_leaf[idx]);
+                self.on_server_done(idx, epoch, pkt, now);
+            }
+            Ev::ClientIn(cid, pkt) => {
+                self.set_rack_ctx(self.client_leaf[cid]);
+                self.on_client_in(cid, pkt, now);
+            }
+            Ev::CoordIn(pkt) => {
+                self.set_rack_ctx(self.coord_leaf);
+                self.on_coord_in(pkt, now);
+            }
+            Ev::EndWarmup => {
+                self.set_control_ctx();
+                self.on_end_warmup(now);
+            }
+            Ev::SwitchFail => {
+                self.set_control_ctx();
+                self.switch_up = false;
+            }
             Ev::SwitchReactivate { bringup_ns } => {
+                // Broadcast control event: every shard schedules its own
+                // SwitchUp replica with the *same* key (the control
+                // counters march in lockstep), counted once.
+                self.set_control_ctx();
+                let tie = self.next_tie();
+                if self.id == 0 {
+                    self.events_scheduled += 1;
+                }
                 self.q
-                    .schedule(SimTime::from_ns(now + bringup_ns), Ev::SwitchUp);
+                    .schedule_keyed(SimTime::from_ns(now + bringup_ns), tie, Ev::SwitchUp);
             }
             Ev::SwitchUp => {
                 // §3.6: only soft state is lost; the control plane's table
                 // entries are reinstalled during bring-up.
-                for e in &mut self.fabric.engines {
+                self.set_control_ctx();
+                for e in self.engines.iter_mut().flatten() {
                     e.reset_soft_state();
+                }
+                if let Some(spine) = &mut self.spine {
+                    spine.reset_soft_state();
                 }
                 self.switch_up = true;
             }
             Ev::ServerKill(idx) => {
-                self.servers[idx].kill();
+                self.set_control_ctx();
+                self.servers[idx].as_mut().expect("owned server").kill();
                 self.server_epoch[idx] += 1;
             }
-            Ev::ServerRemove(sid) => self.on_server_remove(sid),
+            Ev::ServerRemove(sid) => {
+                self.set_control_ctx();
+                self.on_server_remove(sid);
+            }
         }
     }
 
@@ -225,21 +398,32 @@ impl Sim {
     /// tables drops it (engines without server tables decline, which is
     /// fine — their clients handle failure below), and every client stops
     /// addressing it. Each client refreshes its group count from its own
-    /// ToR, the engine its requests traverse.
+    /// ToR, the engine its requests traverse. A broadcast control event:
+    /// each shard walks its own engines and clients.
     fn on_server_remove(&mut self, sid: ServerId) {
         let mut any_deregistered = false;
-        for e in &mut self.fabric.engines {
+        for e in self.engines.iter_mut().flatten() {
             any_deregistered |= e.deregister_server(sid).is_ok();
         }
+        if let Some(spine) = &mut self.spine {
+            any_deregistered |= spine.deregister_server(sid).is_ok();
+        }
         if any_deregistered {
-            for (cid, c) in self.clients.iter_mut().enumerate() {
+            for cid in 0..self.client_leaf.len() {
+                let leaf = self.client_leaf[cid];
+                let Some(c) = self.clients[cid].as_mut() else {
+                    continue;
+                };
                 if let ClientMode::NetClone { num_groups, .. } = c.mode_mut() {
-                    *num_groups = self.fabric.engines[self.fabric.client_leaf(cid)].num_groups();
+                    *num_groups = self.engines[leaf]
+                        .as_ref()
+                        .expect("a client's leaf lives on its shard")
+                        .num_groups();
                 }
             }
         }
         let dead_ip = Ipv4::server(sid);
-        for c in &mut self.clients {
+        for c in self.clients.iter_mut().flatten() {
             match c.mode_mut() {
                 ClientMode::DirectRandom { servers } | ClientMode::DirectDuplicate { servers } => {
                     servers.retain(|ip| *ip != dead_ip);
@@ -257,16 +441,19 @@ impl Sim {
             self.generated_in_window += 1;
         }
         let op = self.draw_op(cid);
-        let tor = self.fabric.client_leaf(cid);
-        let pkts = self.clients[cid].generate(op, now);
+        let tor = self.client_leaf[cid];
+        let pkts = self.clients[cid]
+            .as_mut()
+            .expect("owned client")
+            .generate(op, now);
         for (pkt, tx_done) in pkts {
             if self.lose_packet() {
                 self.packets_lost += 1;
                 continue;
             }
             let pid = self.payloads.alloc(pkt.op, pkt.born_ns);
-            self.q.schedule(
-                SimTime::from_ns(tx_done + calib::LINK_ONE_WAY_NS),
+            self.sched(
+                tx_done + calib::LINK_ONE_WAY_NS,
                 Ev::SwitchIn(
                     tor,
                     SimPacket {
@@ -276,8 +463,11 @@ impl Sim {
                 ),
             );
         }
-        let gap = self.arrivals.next_gap_ns(&mut self.arrival_rngs[cid]);
-        self.q.schedule(SimTime::from_ns(now + gap), Ev::Gen(cid));
+        let rng = self.arrival_rngs[cid]
+            .as_mut()
+            .expect("arrival stream of an owned client");
+        let gap = self.arrivals.next_gap_ns(rng);
+        self.sched(now + gap, Ev::Gen(cid));
     }
 
     fn on_switch_in(&mut self, sw: usize, sp: SimPacket, now: u64) {
@@ -289,50 +479,41 @@ impl Sim {
         // The sink moves out for the drain so scheduling below can borrow
         // `self` freely; `mem::take` swaps in an (unallocated) empty one.
         let mut sink = std::mem::take(&mut self.sink);
-        self.fabric.engines[sw].process(sp.meta, 0, now, &mut sink);
+        self.engines[sw]
+            .as_mut()
+            .expect("owned leaf engine")
+            .process(sp.meta, 0, now, &mut sink);
         for e in sink.drain() {
             if self.lose_packet() {
                 self.packets_lost += 1;
                 continue;
             }
-            match self.fabric.hop(sw, e.port) {
-                Hop::Switch(next) => {
-                    // A leaf↔spine traversal: no host NIC on this hop,
-                    // the fabric link latency applies instead.
-                    let at = SimTime::from_ns(now + e.latency_ns + self.fabric.inter_rack_ns());
+            if e.port == UPLINK_PORT && self.racks > 1 {
+                // A leaf→spine traversal: no host NIC on this hop, the
+                // fabric link latency applies instead; the spine pass is
+                // processed inline (module docs).
+                let at_spine = now + e.latency_ns + self.inter_rack_ns;
+                self.via_spine(e.pkt, at_spine, sp.pid);
+            } else {
+                let at = now + e.latency_ns + calib::LINK_ONE_WAY_NS;
+                let out = SimPacket {
+                    meta: e.pkt,
+                    pid: sp.pid,
+                };
+                if e.port == COORD_PORT {
                     self.payloads.retain(sp.pid);
-                    self.q.schedule(
-                        at,
-                        Ev::SwitchIn(
-                            next,
-                            SimPacket {
-                                meta: e.pkt,
-                                pid: sp.pid,
-                            },
-                        ),
-                    );
-                }
-                Hop::Local(port) => {
-                    let at = SimTime::from_ns(now + e.latency_ns + calib::LINK_ONE_WAY_NS);
-                    let out = SimPacket {
-                        meta: e.pkt,
-                        pid: sp.pid,
-                    };
-                    if port == COORD_PORT {
+                    self.sched(at, Ev::CoordIn(out));
+                } else if e.port >= 100 {
+                    let cid = (e.port - 100) as usize;
+                    if cid < self.clients.len() {
                         self.payloads.retain(sp.pid);
-                        self.q.schedule(at, Ev::CoordIn(out));
-                    } else if port >= 100 {
-                        let cid = (port - 100) as usize;
-                        if cid < self.clients.len() {
-                            self.payloads.retain(sp.pid);
-                            self.q.schedule(at, Ev::ClientIn(cid, out));
-                        }
-                    } else if port >= 10 {
-                        let idx = (port - 10) as usize;
-                        if idx < self.servers.len() {
-                            self.payloads.retain(sp.pid);
-                            self.q.schedule(at, Ev::ServerIn(idx, out));
-                        }
+                        self.sched(at, Ev::ClientIn(cid, out));
+                    }
+                } else if e.port >= 10 {
+                    let idx = (e.port - 10) as usize;
+                    if idx < self.servers.len() {
+                        self.payloads.retain(sp.pid);
+                        self.sched(at, Ev::ServerIn(idx, out));
                     }
                 }
             }
@@ -343,18 +524,63 @@ impl Sim {
         self.payloads.release(sp.pid);
     }
 
+    /// Processes one packet's spine pass inline against this shard's
+    /// replica, at the simulated time it would have reached the spine,
+    /// and delivers the emission to the destination leaf — locally, or
+    /// through the cross-shard outbox with a sender-stamped key.
+    fn via_spine(&mut self, meta: PacketMeta, at_spine: u64, pid: crate::payload::PayloadId) {
+        let mut sink = std::mem::take(&mut self.spine_sink);
+        self.spine
+            .as_mut()
+            .expect("spine replica on a multi-rack shard")
+            .process(meta, 0, at_spine, &mut sink);
+        for e in sink.drain() {
+            if self.lose_packet() {
+                self.packets_lost += 1;
+                continue;
+            }
+            // Spine ports map 1:1 onto leaves (`spine_port`), exactly the
+            // arithmetic `Fabric::hop` applies.
+            let leaf = (e.port - spine_port(0)) as usize;
+            let at = at_spine + e.latency_ns + self.inter_rack_ns;
+            let dst = self.shard_of_rack(leaf);
+            let out = SimPacket { meta: e.pkt, pid };
+            if dst == self.id {
+                self.payloads.retain(pid);
+                self.sched(at, Ev::SwitchIn(leaf, out));
+            } else {
+                let tie = self.next_tie();
+                self.events_scheduled += 1;
+                let (op, born_ns) = self.payloads.get(pid);
+                self.outbox[dst].push(CrossMsg {
+                    at,
+                    tie,
+                    leaf,
+                    meta: e.pkt,
+                    op,
+                    born_ns,
+                });
+            }
+        }
+        self.spine_sink = sink;
+    }
+
     fn on_server_in(&mut self, idx: usize, sp: SimPacket, now: u64) {
-        if !self.servers[idx].is_alive() {
+        if !self.servers[idx].as_ref().expect("owned server").is_alive() {
             self.payloads.release(sp.pid);
             return; // a dead server swallows packets
         }
         let seen_at = now + calib::HOST_RX_STACK_NS;
         let app = self.app(&sp);
-        match self.servers[idx].on_request(app, seen_at) {
+        match self.servers[idx]
+            .as_mut()
+            .expect("owned server")
+            .on_request(app, seen_at)
+        {
             Admission::Start { done_at } => {
                 // The packet keeps its payload reference while in service.
-                self.q.schedule(
-                    SimTime::from_ns(done_at),
+                self.sched(
+                    done_at,
                     Ev::ServerDone {
                         idx,
                         epoch: self.server_epoch[idx],
@@ -371,12 +597,13 @@ impl Sim {
     }
 
     fn on_server_done(&mut self, idx: usize, epoch: u32, sp: SimPacket, now: u64) {
-        if epoch != self.server_epoch[idx] || !self.servers[idx].is_alive() {
+        let server = self.servers[idx].as_mut().expect("owned server");
+        if epoch != self.server_epoch[idx] || !server.is_alive() {
             self.payloads.release(sp.pid);
             return; // the server died while this was in service
         }
-        let completion = self.servers[idx].on_service_done(&sp.meta.nc, now);
-        let sid = self.servers[idx].sid();
+        let completion = server.on_service_done(&sp.meta.nc, now);
+        let sid = server.sid();
         let resp_meta =
             PacketMeta::netclone_response(Ipv4::server(sid), sp.meta.src_ip, completion.resp, 84);
         if self.lose_packet() {
@@ -384,10 +611,10 @@ impl Sim {
             self.payloads.release(sp.pid);
         } else {
             // The response inherits the request's payload reference.
-            self.q.schedule(
-                SimTime::from_ns(now + calib::LINK_ONE_WAY_NS),
+            self.sched(
+                now + calib::LINK_ONE_WAY_NS,
                 Ev::SwitchIn(
-                    self.fabric.server_leaf(idx),
+                    self.server_leaf[idx],
                     SimPacket {
                         meta: resp_meta,
                         pid: sp.pid,
@@ -399,8 +626,8 @@ impl Sim {
             // A queued request leaves the server's internal queue and
             // re-enters the event system: intern its payload afresh.
             let pid = self.payloads.alloc(next_pkt.op, next_pkt.born_ns);
-            self.q.schedule(
-                SimTime::from_ns(next_done),
+            self.sched(
+                next_done,
                 Ev::ServerDone {
                     idx,
                     epoch: self.server_epoch[idx],
@@ -415,7 +642,10 @@ impl Sim {
 
     fn on_client_in(&mut self, cid: usize, sp: SimPacket, now: u64) {
         let app = self.app(&sp);
-        let outcome = self.clients[cid].on_response(&app, now);
+        let outcome = self.clients[cid]
+            .as_mut()
+            .expect("owned client")
+            .on_response(&app, now);
         self.payloads.release(sp.pid);
         if outcome.latency_ns.is_some() && self.measure_start_ns > 0 {
             self.throughput.record(outcome.done_at);
@@ -439,10 +669,10 @@ impl Sim {
                 continue;
             }
             let pid = self.payloads.alloc(e.pkt.op, e.pkt.born_ns);
-            self.q.schedule(
-                SimTime::from_ns(e.send_at + calib::LINK_ONE_WAY_NS),
+            self.sched(
+                e.send_at + calib::LINK_ONE_WAY_NS,
                 Ev::SwitchIn(
-                    self.fabric.coord_leaf(),
+                    self.coord_leaf,
                     SimPacket {
                         meta: e.pkt.meta,
                         pid,
@@ -452,82 +682,81 @@ impl Sim {
         }
     }
 
-    fn on_end_warmup(&mut self, now: u64) {
-        self.measure_start_ns = now.max(1);
-        for c in &mut self.clients {
-            c.reset_measurements();
-        }
-        self.switch_counters_at_warmup = self.fabric.counters();
-        for (i, s) in self.servers.iter().enumerate() {
-            self.server_stats_at_warmup[i] = s.stats();
+    /// Installs one round's inbound cross-shard messages. The
+    /// conservative lookahead guarantees none of them lands inside the
+    /// window just executed; the mailbox's arrival order is irrelevant
+    /// because the queue re-sorts by the sender-stamped keys (which are
+    /// globally unique — domains are disjoint across shards).
+    pub(crate) fn deliver(&mut self, window_end_ns: u64, inbound: Vec<CrossMsg>) {
+        for m in inbound {
+            debug_assert!(
+                m.at >= window_end_ns,
+                "cross-shard message due inside the executed window"
+            );
+            let pid = self.payloads.alloc(m.op, m.born_ns);
+            // The sender already counted this event; schedule without
+            // touching `events_scheduled` or the local key counters.
+            self.q.schedule_keyed(
+                SimTime::from_ns(m.at),
+                m.tie,
+                Ev::SwitchIn(m.leaf, SimPacket { meta: m.meta, pid }),
+            );
         }
     }
 
-    fn finish(self) -> RunResult {
-        // Every reference-counting path in the handlers above must
-        // balance: a fully drained run leaves no live payloads.
-        debug_assert_eq!(
-            self.payloads.live(),
-            0,
-            "payload slab leaked {} entries",
-            self.payloads.live()
-        );
-        let mut latency = LatencyHistogram::new();
-        let mut generated = 0u64;
-        let mut redundant = 0u64;
-        let mut clone_wins = 0u64;
-        for c in &self.clients {
-            latency.merge(c.latencies());
-            generated += c.stats().generated;
-            redundant += c.stats().redundant;
-            clone_wins += c.stats().clone_wins;
+    fn on_end_warmup(&mut self, now: u64) {
+        self.measure_start_ns = now.max(1);
+        for c in self.clients.iter_mut().flatten() {
+            c.reset_measurements();
         }
-        let measure_secs = self.scenario.measure_ns as f64 / 1e9;
-        // Every counter field is windowed, so plain-fabric counts
-        // (routed_plain, dropped_unroutable) and the rarer NetClone
-        // counters stay comparable with the windowed requests/responses.
-        // Per-switch deltas first, then the fabric-wide merge.
-        let per_switch: Vec<SwitchCounters> = self
-            .fabric
-            .counters()
-            .iter()
-            .zip(&self.switch_counters_at_warmup)
-            .map(|(now, base)| now.since(base))
-            .collect();
-        let switch: SwitchCounters = per_switch.iter().sum();
-
-        let mut clone_drops = 0;
-        let mut idle_reports = 0;
-        let mut responses = 0;
-        let mut per_server_served = Vec::with_capacity(self.servers.len());
+        for (r, e) in self.engines.iter().enumerate() {
+            if let Some(e) = e {
+                self.switch_counters_at_warmup[r] = e.counters();
+            }
+        }
+        if let Some(spine) = &self.spine {
+            self.spine_counters_at_warmup = spine.counters();
+        }
         for (i, s) in self.servers.iter().enumerate() {
-            let st = s.stats();
-            let b = self.server_stats_at_warmup[i];
-            clone_drops += st.clones_dropped - b.clones_dropped;
-            idle_reports += st.idle_reports - b.idle_reports;
-            responses += st.responses - b.responses;
-            per_server_served.push(st.served - b.served);
+            if let Some(s) = s {
+                self.server_stats_at_warmup[i] = s.stats();
+            }
         }
+    }
+}
 
-        RunResult {
-            scheme: self.scenario.scheme.label(),
-            workload: self.scenario.workload.label(),
-            offered_rps: self.scenario.offered_rps,
-            achieved_rps: self.completed_in_window as f64 / measure_secs,
-            latency,
-            generated,
-            completed: self.completed_in_window,
-            client_redundant: redundant,
-            client_clone_wins: clone_wins,
-            switch,
-            server_clone_drops: clone_drops,
-            server_idle_reports: idle_reports,
-            server_responses: responses,
-            throughput_series: self.throughput,
-            packets_lost: self.packets_lost,
-            per_server_served,
-            per_switch,
-            events: self.q.scheduled_total(),
-        }
+/// One testbed simulation — the public entry points. State lives in
+/// per-rack `Shard`s driven by `crate::shard::ShardCoordinator`.
+pub struct Sim;
+
+impl Sim {
+    /// Runs to completion serially and returns the measured results.
+    pub fn run(scenario: Scenario) -> RunResult {
+        Self::run_with_shards(scenario, 1)
+    }
+
+    /// Runs with the event loop partitioned into up to `shards` per-rack
+    /// shards (clamped to `[1, racks]`; `usize::MAX` = one per rack),
+    /// synchronized conservatively on the inter-rack latency lookahead.
+    ///
+    /// The result is **bit-identical** to [`Sim::run`] for any shard
+    /// count — sharding is an execution strategy, not a model change
+    /// (asserted by `tests/harness_determinism.rs` and the sharding
+    /// proptests).
+    pub fn run_with_shards(scenario: Scenario, shards: usize) -> RunResult {
+        ShardCoordinator::new(ScenarioBuilder::new(scenario), shards, false)
+            .run()
+            .0
+    }
+
+    /// [`Sim::run_with_shards`], also returning the `(time, tie-key)` of
+    /// every executed event, merged across shards in key order — the
+    /// hook the sharding-order proptests compare against the serial
+    /// execution order.
+    #[doc(hidden)]
+    pub fn run_traced(scenario: Scenario, shards: usize) -> (RunResult, Vec<(u64, u64)>) {
+        let (result, trace) =
+            ShardCoordinator::new(ScenarioBuilder::new(scenario), shards, true).run();
+        (result, trace.expect("tracing enabled"))
     }
 }

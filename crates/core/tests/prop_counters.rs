@@ -1,0 +1,85 @@
+//! Property tests for [`SwitchCounters`] merging.
+//!
+//! The sharded simulator leans on merge being **order-insensitive**: the
+//! spine's fabric-wide window is assembled from one counter replica per
+//! shard, and the per-switch vector is summed into the fabric total, in
+//! whatever order the merge code walks them. These properties pin that
+//! down: merge is commutative and associative (it is field-wise `u64`
+//! addition), with `default()` as the identity, and `Sum` matches
+//! pairwise merging.
+
+use netclone_core::SwitchCounters;
+use proptest::prelude::*;
+
+fn counters() -> impl Strategy<Value = SwitchCounters> {
+    // Small enough that merging a handful can never overflow a u64.
+    let f = 0u64..1u64 << 40;
+    (
+        (
+            f.clone(),
+            f.clone(),
+            f.clone(),
+            f.clone(),
+            f.clone(),
+            f.clone(),
+        ),
+        (f.clone(), f.clone(), f.clone(), f.clone(), f.clone(), f),
+    )
+        .prop_map(|((a, b, c, d, e, g), (h, i, j, k, l, m))| SwitchCounters {
+            requests: a,
+            cloned: b,
+            clone_skipped_busy: c,
+            clone_skipped_uncloneable: d,
+            clone_forced_multipacket: e,
+            recirculated: g,
+            responses: h,
+            responses_filtered: i,
+            filter_overwrites: j,
+            routed_plain: k,
+            dropped_unroutable: l,
+            jsq_fallbacks: m,
+        })
+}
+
+fn merged(a: &SwitchCounters, b: &SwitchCounters) -> SwitchCounters {
+    let mut out = *a;
+    out.merge(b);
+    out
+}
+
+proptest! {
+    #[test]
+    fn merge_is_commutative(a in counters(), b in counters()) {
+        prop_assert_eq!(merged(&a, &b), merged(&b, &a));
+    }
+
+    #[test]
+    fn merge_is_associative(a in counters(), b in counters(), c in counters()) {
+        prop_assert_eq!(merged(&merged(&a, &b), &c), merged(&a, &merged(&b, &c)));
+    }
+
+    #[test]
+    fn default_is_the_merge_identity(a in counters()) {
+        prop_assert_eq!(merged(&a, &SwitchCounters::default()), a);
+        prop_assert_eq!(merged(&SwitchCounters::default(), &a), a);
+    }
+
+    #[test]
+    fn sum_matches_pairwise_merge_in_any_order(
+        mut v in proptest::collection::vec(counters(), 0..8),
+        rot in 0usize..8,
+    ) {
+        let summed: SwitchCounters = v.iter().sum();
+        let folded = v
+            .iter()
+            .fold(SwitchCounters::default(), |acc, c| merged(&acc, c));
+        prop_assert_eq!(summed, folded);
+        // Order-insensitive: any rotation sums to the same totals.
+        if !v.is_empty() {
+            let r = rot % v.len();
+            v.rotate_left(r);
+            let rotated: SwitchCounters = v.iter().sum();
+            prop_assert_eq!(summed, rotated);
+        }
+    }
+}

@@ -14,14 +14,21 @@
 //!   one stream per simulated entity, so adding an entity never perturbs the
 //!   random draws of the others.
 //!
+//! For sharded (multi-queue) simulations, [`sync`] adds the conservative
+//! lookahead pieces: per-domain tie-break keys that keep the merged
+//! execution order machine-independent, a horizon board, and a reusable
+//! spin barrier.
+//!
 //! Design follows the event-driven style of smoltcp: no global registries,
 //! no trait-object callback soup — the simulation owns its entities and
 //! dispatches popped events itself.
 
 pub mod queue;
 pub mod rng;
+pub mod sync;
 pub mod time;
 
 pub use queue::EventQueue;
 pub use rng::SeedFactory;
+pub use sync::{HorizonBoard, SpinBarrier};
 pub use time::SimTime;

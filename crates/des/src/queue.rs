@@ -29,6 +29,12 @@ const fn key(at: SimTime, seq: u64) -> u128 {
     ((at.as_ns() as u128) << 64) | seq as u128
 }
 
+/// Tie-break half of a packed key.
+#[inline]
+const fn key_tie(k: u128) -> u64 {
+    k as u64
+}
+
 /// Time half of a packed key.
 #[inline]
 const fn key_time(k: u128) -> SimTime {
@@ -98,6 +104,49 @@ impl<E> EventQueue<E> {
     #[inline]
     pub fn schedule_in(&mut self, delay_ns: u64, ev: E) {
         self.schedule(self.now + delay_ns, ev);
+    }
+
+    /// Schedules `ev` at `at` with a caller-supplied tie-break key.
+    ///
+    /// The pop order is `(at, tie)` lexicographic. Sharded simulations use
+    /// this to impose a *machine-independent* total order: the caller packs
+    /// `(source domain, per-domain sequence)` into `tie` (see
+    /// [`crate::sync::tie_key`]), so two queues on different shards agree
+    /// on the order of any pair of events without ever communicating.
+    /// Callers must keep `(at, tie)` pairs unique; equal keys would fall
+    /// back to unspecified (heap) ordering.
+    ///
+    /// Like [`schedule`](Self::schedule), panics on scheduling in the past.
+    #[inline]
+    pub fn schedule_keyed(&mut self, at: SimTime, tie: u64, ev: E) {
+        assert!(
+            at >= self.now,
+            "event scheduled in the past: at={at} now={}",
+            self.now
+        );
+        self.scheduled_total += 1;
+        self.heap.push((key(at, tie), ev));
+        self.sift_up(self.heap.len() - 1);
+    }
+
+    /// Pops the earliest event along with its tie-break key (the low 64
+    /// bits of the packed key — the push sequence for
+    /// [`schedule`](Self::schedule), the caller's `tie` for
+    /// [`schedule_keyed`](Self::schedule_keyed)).
+    #[inline]
+    pub fn pop_keyed(&mut self) -> Option<(SimTime, u64, E)> {
+        let last = self.heap.pop()?;
+        let (k, ev) = if self.heap.is_empty() {
+            last
+        } else {
+            let root = std::mem::replace(&mut self.heap[0], last);
+            self.sift_down(0);
+            root
+        };
+        let at = key_time(k);
+        debug_assert!(at >= self.now, "heap returned an out-of-order event");
+        self.now = at;
+        Some((at, key_tie(k), ev))
     }
 
     /// Pops the earliest event and advances the clock to its timestamp.
@@ -248,6 +297,42 @@ mod tests {
         assert_eq!(q.len(), 1);
         assert_eq!(q.scheduled_total(), 2);
         assert_eq!(q.peek_time(), Some(SimTime::from_ns(2)));
+    }
+
+    #[test]
+    fn keyed_schedule_orders_by_tie_not_push_order() {
+        let mut q = EventQueue::new();
+        // Push in descending tie order at one instant: pops must follow
+        // the ties, not insertion.
+        q.schedule_keyed(SimTime::from_ns(5), 300, "c");
+        q.schedule_keyed(SimTime::from_ns(5), 100, "a");
+        q.schedule_keyed(SimTime::from_ns(5), 200, "b");
+        q.schedule_keyed(SimTime::from_ns(1), 999, "first");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["first", "a", "b", "c"]);
+    }
+
+    #[test]
+    fn pop_keyed_returns_the_tie() {
+        let mut q = EventQueue::new();
+        q.schedule_keyed(SimTime::from_ns(7), 42, ());
+        q.schedule(SimTime::from_ns(9), ());
+        assert_eq!(q.scheduled_total(), 2);
+        let (at, tie, _) = q.pop_keyed().unwrap();
+        assert_eq!((at.as_ns(), tie), (7, 42));
+        // `schedule` ties are the internal push sequence (one `schedule`
+        // so far → seq 0).
+        let (at, tie, _) = q.pop_keyed().unwrap();
+        assert_eq!((at.as_ns(), tie), (9, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn keyed_scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule_keyed(SimTime::from_us(10), 0, ());
+        q.pop();
+        q.schedule_keyed(SimTime::from_us(5), 1, ());
     }
 
     /// Exercises sift-down through several heap levels with a mix of

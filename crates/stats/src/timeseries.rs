@@ -49,6 +49,21 @@ impl TimeSeries {
     pub fn total(&self) -> u64 {
         self.counts.iter().sum()
     }
+
+    /// Adds another series bucket-wise. Both series must have been built
+    /// with the same bucket width and bucket count (shards of one run
+    /// always are); anything else is a caller bug.
+    pub fn merge(&mut self, other: &TimeSeries) {
+        assert_eq!(self.bucket_ns, other.bucket_ns, "bucket width mismatch");
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "bucket count mismatch"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -88,5 +103,25 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_bucket_width_panics() {
         let _ = TimeSeries::new(0, 1);
+    }
+
+    #[test]
+    fn merge_adds_bucket_wise() {
+        let mut a = TimeSeries::new(1_000, 3);
+        let mut b = TimeSeries::new(1_000, 3);
+        a.record(0);
+        a.record(2_100);
+        b.record(500);
+        b.record(1_500);
+        a.merge(&b);
+        assert_eq!(a.counts(), &[2, 1, 1]);
+        assert_eq!(a.total(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width mismatch")]
+    fn merge_rejects_mismatched_widths() {
+        let mut a = TimeSeries::new(1_000, 2);
+        a.merge(&TimeSeries::new(2_000, 2));
     }
 }

@@ -1,8 +1,8 @@
 //! `repro` — regenerate any table or figure of the paper's evaluation.
 //!
 //! ```text
-//! repro [--scale smoke|standard|full] [--jobs N] [--format md|csv|json]
-//!       [--out DIR] [ids…]
+//! repro [--scale smoke|standard|full] [--jobs N] [--shards N|auto]
+//!       [--format md|csv|json] [--out DIR] [ids…]
 //! repro --list
 //! ```
 //!
@@ -12,6 +12,12 @@
 //! deterministic worker pool, and renders through the unified `Report`
 //! artifact — the chosen format is printed to stdout and written under
 //! `--out` (default `results/`).
+//!
+//! `--jobs` and `--shards` compose: `--jobs` fans independent simulation
+//! cells across threads, `--shards` parallelises the event loop *inside*
+//! each multi-rack cell (`auto` = one shard per rack; default 1 =
+//! serial). Both are bit-identical to serial execution, so any
+//! combination regenerates the same artifacts.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -29,10 +35,14 @@ enum Format {
 
 fn usage() {
     println!(
-        "usage: repro [--scale smoke|standard|full] [--jobs N] [--format md|csv|json] [--out DIR] [ids…]"
+        "usage: repro [--scale smoke|standard|full] [--jobs N] [--shards N|auto] [--format md|csv|json] [--out DIR] [ids…]"
     );
-    println!("       repro --list");
+    println!("       repro --list   (show every experiment id with its tags and title)");
     println!("With no ids, runs every experiment in the registry.");
+    println!("--jobs N       experiment-level parallelism: run N simulation cells at once");
+    println!("--shards N     run-level parallelism: split each multi-rack event loop into");
+    println!("               N per-rack shards ('auto' = one per rack; default 1 = serial).");
+    println!("               Results are bit-identical for any --jobs/--shards combination.");
 }
 
 fn fail(msg: &str) -> ExitCode {
@@ -47,6 +57,7 @@ fn main() -> ExitCode {
     };
     let mut out = PathBuf::from("results");
     let mut jobs = default_jobs();
+    let mut shards = 1usize;
     let mut format = Format::Markdown;
     let mut ids: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -71,6 +82,16 @@ fn main() -> ExitCode {
                 jobs = match args.next().map(|v| v.parse::<usize>()) {
                     Some(Ok(n)) if n >= 1 => n,
                     _ => return fail("--jobs needs a positive integer"),
+                };
+            }
+            "--shards" => {
+                shards = match args.next().as_deref() {
+                    Some("auto") => 0,
+                    Some(v) => match v.parse::<usize>() {
+                        Ok(n) if n >= 1 => n,
+                        _ => return fail("--shards needs a positive integer or 'auto'"),
+                    },
+                    None => return fail("--shards needs a value (N or 'auto')"),
                 };
             }
             "--format" => {
@@ -125,6 +146,7 @@ fn main() -> ExitCode {
     }
     let ctx = RunCtx::new(scale)
         .with_jobs(jobs)
+        .with_shards(shards)
         .with_progress(|msg| eprint!("\r   {msg} "));
     for exp in experiments {
         let t0 = std::time::Instant::now();

@@ -5,7 +5,7 @@
 
 use netclone::cluster::experiments::Scale;
 use netclone::cluster::harness::{find, RunCtx};
-use netclone::cluster::{Scenario, Scheme, Sim, Topology};
+use netclone::cluster::{Scenario, Scheme, Sim, SwitchFailurePlan, Topology};
 use netclone::core::SwitchCounters;
 use netclone::workloads::exp25;
 
@@ -100,4 +100,85 @@ fn single_rack_topology_reproduces_seed_state_run() {
         vec![9369, 9159, 9450, 9189, 9238, 9284]
     );
     assert_eq!(r.latency.p50_p99_p999(), (23039, 124927, 638975));
+}
+
+/// A 4-rack seed-7 scenario for the sharding cases: enough clients that
+/// every rack generates traffic and the spine carries real load.
+fn four_rack_scenario() -> Scenario {
+    let mut s = Scenario::synthetic_default(Scheme::NETCLONE, exp25(), 0.0);
+    s.warmup_ns = 2_000_000;
+    s.measure_ns = 10_000_000;
+    s.n_clients = 4;
+    s.offered_rps = s.capacity_rps() * 0.6;
+    s.seed = 7;
+    s.topology = Topology::uniform(4);
+    s
+}
+
+/// Every field of a [`netclone::cluster::RunResult`], byte for byte —
+/// the histogram, the per-switch counter vector, the throughput series,
+/// the event count, everything `Debug` reaches.
+fn result_bytes(r: &netclone::cluster::RunResult) -> String {
+    format!("{r:?}")
+}
+
+/// The tentpole guarantee: sharding is an execution strategy, not a
+/// model change. For any shard count the merged `RunResult` — including
+/// `per_switch` counters and the total event count — must be
+/// byte-identical to the serial run.
+#[test]
+fn sharded_run_equals_serial_byte_for_byte() {
+    let serial = result_bytes(&Sim::run(four_rack_scenario()));
+    for shards in [2, 3, 4, 16] {
+        let sharded = result_bytes(&Sim::run_with_shards(four_rack_scenario(), shards));
+        assert_eq!(serial, sharded, "shards={shards} diverged from serial");
+    }
+}
+
+/// Sharding must also be invisible under failure injections: the
+/// fabric-wide control events (switch failure, reactivation, server
+/// removal) are broadcast to every shard under one shared key.
+#[test]
+fn sharded_run_equals_serial_under_failures() {
+    let mut s = four_rack_scenario();
+    s.switch_failure = Some(SwitchFailurePlan {
+        fail_at_ns: 4_000_000,
+        reactivate_at_ns: 5_000_000,
+        bringup_ns: 1_000_000,
+    });
+    s.server_failure = Some(netclone::cluster::scenario::ServerFailurePlan {
+        sid: 1,
+        fail_at_ns: 3_000_000,
+        removed_at_ns: 3_500_000,
+    });
+    let serial = result_bytes(&Sim::run(s.clone()));
+    let sharded = result_bytes(&Sim::run_with_shards(s, 4));
+    assert_eq!(serial, sharded);
+}
+
+/// The coordinator scheme concentrates all control traffic on rack 0's
+/// shard while the clients answer from every other shard — the most
+/// cross-shard-chatty scheme in the registry.
+#[test]
+fn sharded_run_equals_serial_with_coordinator() {
+    let mut s = four_rack_scenario();
+    s.scheme = Scheme::Laedge;
+    let serial = result_bytes(&Sim::run(s.clone()));
+    let sharded = result_bytes(&Sim::run_with_shards(s, 4));
+    assert_eq!(serial, sharded);
+}
+
+/// Experiment-level parallelism (`--jobs`) and run-level sharding
+/// (`--shards`) compose: a report produced with both turned up is
+/// byte-identical to the serial-serial one.
+#[test]
+fn multirack_report_with_jobs_and_shards_equals_serial() {
+    let exp = find("multirack").expect("registry id");
+    let serial = exp.run(&RunCtx::new(Scale::Smoke));
+    let both = exp.run(&RunCtx::new(Scale::Smoke).with_jobs(8).with_shards(0));
+    assert_eq!(
+        serial.to_json(),
+        both.to_json(),
+        "jobs×shards diverged from serial"
+    );
 }

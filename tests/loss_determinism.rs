@@ -35,6 +35,25 @@ fn lossy_run_reproduces_pinned_loss_stream() {
     assert_eq!(r.latency.p50_p99_p999(), (22783, 123903, 573439));
 }
 
+/// Lossy runs shard too: each rack draws from its own seeded loss
+/// stream *in its own event order*, so the draw sequence is a per-rack
+/// property no shard count can perturb. Seed-7, 1% loss, 4 racks.
+#[test]
+fn lossy_sharded_run_equals_serial() {
+    let mut s = lossy_scenario();
+    s.n_clients = 4;
+    s.offered_rps = s.capacity_rps() * 0.6;
+    s.topology = netclone::cluster::Topology::uniform(4);
+    let serial = Sim::run(s.clone());
+    let sharded = Sim::run_with_shards(s, 4);
+    assert_eq!(
+        format!("{serial:?}"),
+        format!("{sharded:?}"),
+        "lossy sharded run diverged from serial"
+    );
+    assert!(serial.packets_lost > 0, "the loss path was not exercised");
+}
+
 #[test]
 fn zero_loss_runs_are_reproducible() {
     let mut s = lossy_scenario();
