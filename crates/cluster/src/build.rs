@@ -36,8 +36,8 @@ use crate::calib;
 use crate::payload::PayloadSlab;
 use crate::scenario::{Scenario, Workload};
 use crate::scheme::Scheme;
-use crate::sim::{Ev, LossModel, Shard, CONTROL_SRC};
-use crate::topology::{spine_port, Fabric, UPLINK_PORT};
+use crate::sim::{BgState, Ev, LinkState, LossModel, Shard, CONTROL_SRC};
+use crate::topology::{agg_down_port, core_port, spine_port, Fabric, FabricShape, UPLINK_PORT};
 
 /// Switch port of the LÆDGE coordinator host.
 pub(crate) const COORD_PORT: PortId = 99;
@@ -154,6 +154,8 @@ pub fn build_fabric(scenario: &Scenario) -> Fabric {
         engines: Vec::with_capacity(topo.num_switches()),
         racks: topo.racks,
         inter_rack_ns: topo.inter_rack_ns,
+        shape: topo.shape,
+        ecmp_seed: topo.ecmp_seed,
         server_leaf,
         client_leaf,
         coord_leaf,
@@ -225,13 +227,105 @@ pub fn build_fabric(scenario: &Scenario) -> Fabric {
         fabric.engines.push(e);
     }
 
-    fabric.engines.push(build_spine(
+    let upper = build_upper(
         scenario,
+        topo.shape,
+        topo.racks,
         &fabric.server_leaf,
         &fabric.client_leaf,
         coord_leaf,
-    ));
+    );
+    fabric.engines.extend(upper);
     fabric
+}
+
+/// Builds and programs the upper tier of a multi-rack fabric: the
+/// leaf/spine spine, or a fat-tree's aggregation then core switches
+/// ([`crate::topology`]'s global index order, minus the leaves). All
+/// plain L3. Factored out of [`build_fabric`] because sharded runs
+/// program one *replica set* per shard — the upper tier is stateless, so
+/// each shard forwards through its own copies and only the counters need
+/// merging.
+fn build_upper(
+    scenario: &Scenario,
+    shape: FabricShape,
+    racks: usize,
+    server_leaf: &[usize],
+    client_leaf: &[usize],
+    coord_leaf: usize,
+) -> Vec<Box<dyn SwitchEngine>> {
+    match shape {
+        FabricShape::LeafSpine => {
+            vec![build_spine(scenario, server_leaf, client_leaf, coord_leaf)]
+        }
+        FabricShape::FatTree {
+            pods,
+            aggs_per_pod,
+            cores_per_group,
+        } => {
+            let lpp = shape.leaves_per_pod(racks);
+            let mut out: Vec<Box<dyn SwitchEngine>> =
+                Vec::with_capacity(pods * aggs_per_pod + aggs_per_pod * cores_per_group);
+            // Aggregation switches, pod-major: in-pod endpoints on the
+            // down-port of their leaf, everything else up to the cores.
+            for p in 0..pods {
+                for _j in 0..aggs_per_pod {
+                    let mut agg = PlainL3Switch::new(netclone_asic::AsicSpec::tofino());
+                    for sid in 0..server_leaf.len() as u16 {
+                        let leaf = server_leaf[sid as usize];
+                        let port = if leaf / lpp == p {
+                            agg_down_port(leaf % lpp)
+                        } else {
+                            UPLINK_PORT
+                        };
+                        agg.add_route(Ipv4::server(sid), port);
+                    }
+                    for cid in 0..client_leaf.len() as u16 {
+                        let leaf = client_leaf[cid as usize];
+                        let port = if leaf / lpp == p {
+                            agg_down_port(leaf % lpp)
+                        } else {
+                            UPLINK_PORT
+                        };
+                        agg.add_route(Ipv4::client(cid), port);
+                    }
+                    if scenario.scheme.uses_coordinator() {
+                        let port = if coord_leaf / lpp == p {
+                            agg_down_port(coord_leaf % lpp)
+                        } else {
+                            UPLINK_PORT
+                        };
+                        agg.add_route(COORD_IP, port);
+                    }
+                    out.push(Box::new(agg));
+                }
+            }
+            // Core switches, group-major (group `j` serves agg `j` of
+            // every pod): each routes every endpoint down to its pod.
+            for _j in 0..aggs_per_pod {
+                for _c in 0..cores_per_group {
+                    let mut core = PlainL3Switch::new(netclone_asic::AsicSpec::tofino());
+                    for sid in 0..server_leaf.len() as u16 {
+                        core.add_route(
+                            Ipv4::server(sid),
+                            core_port(server_leaf[sid as usize] / lpp),
+                        );
+                    }
+                    for cid in 0..client_leaf.len() as u16 {
+                        core.add_route(
+                            Ipv4::client(cid),
+                            core_port(client_leaf[cid as usize] / lpp),
+                        );
+                    }
+                    if scenario.scheme.uses_coordinator() {
+                        core.add_route(COORD_IP, core_port(coord_leaf / lpp));
+                    }
+                    out.push(Box::new(core));
+                }
+            }
+            out
+        }
+    }
 }
 
 /// Builds and programs the aggregation spine: plain L3, one route per
@@ -395,6 +489,8 @@ impl ScenarioBuilder {
             engines,
             racks,
             inter_rack_ns,
+            shape,
+            ecmp_seed,
             server_leaf,
             client_leaf,
             coord_leaf,
@@ -403,9 +499,41 @@ impl ScenarioBuilder {
         let shard_of = |rack: usize| rack % nshards;
 
         let mut engines = engines;
-        // Multi-rack fabrics carry the spine last; shard 0 inherits it
-        // and every other shard programs an identical replica.
-        let spine0 = (racks > 1).then(|| engines.pop().expect("spine engine"));
+        // Multi-rack fabrics carry the upper tier (spine, or fat-tree
+        // aggs then cores) after the leaves; shard 0 inherits the
+        // originals and every other shard programs identical replicas.
+        let upper0 = engines.split_off(racks.min(engines.len()));
+        let upper_count = upper0.len();
+
+        // ---- background incast ----------------------------------------
+        // Mirrors the arrivals discipline: the per-source-rack streams
+        // are created and their first gaps drawn dense, in rack order,
+        // before anything is scattered — the draw order is a pure
+        // function of the scenario.
+        let mut bg_setup = scenario.background.map(|b| {
+            assert!(
+                scenario.links.is_some(),
+                "background traffic requires congestion-aware links"
+            );
+            assert!(
+                racks > 1,
+                "background traffic requires a multi-rack topology"
+            );
+            assert!(b.victim_rack < racks, "victim rack out of range");
+            let arrivals = netclone_workloads::PoissonArrivals::new(b.rps / (racks - 1) as f64);
+            let mut rngs: Vec<Option<StdRng>> = (0..racks)
+                .map(|r| (r != b.victim_rack).then(|| seeds.rng_for("bg", r as u64)))
+                .collect();
+            let first_gaps: Vec<Option<u64>> = rngs
+                .iter_mut()
+                .map(|o| o.as_mut().map(|rng| arrivals.next_gap_ns(rng)))
+                .collect();
+            (arrivals, rngs, first_gaps, b)
+        });
+        let bg_first_gaps: Vec<Option<u64>> = bg_setup
+            .as_ref()
+            .map(|(_, _, gaps, _)| gaps.clone())
+            .unwrap_or_default();
 
         let end_ns = scenario.warmup_ns + scenario.measure_ns;
         let ts_buckets = (end_ns / scenario.timeseries_bucket_ns + 2).max(1) as usize;
@@ -424,12 +552,63 @@ impl ScenarioBuilder {
                 servers: (0..n_servers).map(|_| None).collect(),
                 server_epoch: vec![0; n_servers],
                 engines: (0..racks).map(|_| None).collect(),
-                spine: None,
+                upper: Vec::new(),
                 racks,
                 inter_rack_ns,
+                shape,
+                ecmp_seed,
+                pass_ns: netclone_asic::AsicSpec::tofino().pass_latency_ns,
                 server_leaf: server_leaf.clone(),
                 client_leaf: client_leaf.clone(),
                 coord_leaf,
+                // Congestion-aware links: every shard materialises only
+                // the links its racks own (access links by host, leaf
+                // uplinks/downlinks by rack) — link state is touched only
+                // by the owning rack's event domain.
+                links: scenario.links.as_ref().map(|spec| {
+                    let n_up = shape.n_uplinks();
+                    LinkState {
+                        client_up: (0..n_clients)
+                            .map(|c| (shard_of(client_leaf[c]) == k).then(|| spec.edge_link()))
+                            .collect(),
+                        client_down: (0..n_clients)
+                            .map(|c| (shard_of(client_leaf[c]) == k).then(|| spec.edge_link()))
+                            .collect(),
+                        server_up: (0..n_servers)
+                            .map(|i| (shard_of(server_leaf[i]) == k).then(|| spec.edge_link()))
+                            .collect(),
+                        server_down: (0..n_servers)
+                            .map(|i| (shard_of(server_leaf[i]) == k).then(|| spec.edge_link()))
+                            .collect(),
+                        coord_up: (shard_of(coord_leaf) == k).then(|| spec.edge_link()),
+                        coord_down: (shard_of(coord_leaf) == k).then(|| spec.edge_link()),
+                        up: (0..racks)
+                            .map(|r| {
+                                if racks > 1 && shard_of(r) == k {
+                                    (0..n_up).map(|_| spec.fabric_link()).collect()
+                                } else {
+                                    Vec::new()
+                                }
+                            })
+                            .collect(),
+                        down: (0..racks)
+                            .map(|r| {
+                                if racks > 1 && shard_of(r) == k {
+                                    (0..n_up).map(|_| spec.fabric_link()).collect()
+                                } else {
+                                    Vec::new()
+                                }
+                            })
+                            .collect(),
+                    }
+                }),
+                bg: bg_setup.as_ref().map(|(arrivals, _, _, b)| BgState {
+                    arrivals: *arrivals,
+                    rngs: (0..racks).map(|_| None).collect(),
+                    wire: b.wire_bytes,
+                    victim: b.victim_rack,
+                    sent: vec![0; racks],
+                }),
                 switch_up: true,
                 coordinator: None,
                 arrivals,
@@ -449,7 +628,7 @@ impl ScenarioBuilder {
                 synthetic,
                 kvmix: kvmix.clone(),
                 sink: netclone_asic::EmissionSink::new(),
-                spine_sink: netclone_asic::EmissionSink::new(),
+                upper_sink: netclone_asic::EmissionSink::new(),
                 payloads: PayloadSlab::new(),
                 end_ns,
                 measure_start_ns: 0,
@@ -458,7 +637,7 @@ impl ScenarioBuilder {
                 generated_in_window: 0,
                 packets_lost: 0,
                 switch_counters_at_warmup: vec![Default::default(); racks],
-                spine_counters_at_warmup: Default::default(),
+                upper_counters_at_warmup: vec![Default::default(); upper_count],
                 server_stats_at_warmup: vec![Default::default(); n_servers],
                 seq: vec![0; n_domains],
                 cur_src: CONTROL_SRC,
@@ -472,15 +651,24 @@ impl ScenarioBuilder {
         for (r, e) in engines.into_iter().enumerate() {
             out[shard_of(r)].engines[r] = Some(e);
         }
-        if let Some(spine) = spine0 {
-            out[0].spine = Some(spine);
+        if !upper0.is_empty() {
             for sh in out.iter_mut().skip(1) {
-                sh.spine = Some(build_spine(
+                sh.upper = build_upper(
                     &scenario,
+                    shape,
+                    racks,
                     &server_leaf,
                     &client_leaf,
                     coord_leaf,
-                ));
+                );
+            }
+            out[0].upper = upper0;
+        }
+        if let Some((_, rngs, _, _)) = &mut bg_setup {
+            for (r, rng) in rngs.iter_mut().enumerate() {
+                if let Some(rng) = rng.take() {
+                    out[shard_of(r)].bg.as_mut().expect("bg state").rngs[r] = Some(rng);
+                }
             }
         }
         for (i, s) in servers.into_iter().enumerate() {
@@ -497,11 +685,27 @@ impl ScenarioBuilder {
         }
         out[shard_of(coord_leaf)].coordinator = coordinator;
 
-        Self::prime(&mut out, &scenario, &first_gaps, &client_leaf, &server_leaf);
-        (
-            out,
-            2 * (netclone_asic::AsicSpec::tofino().pass_latency_ns + inter_rack_ns),
-        )
+        Self::prime(
+            &mut out,
+            &scenario,
+            &first_gaps,
+            &bg_first_gaps,
+            &client_leaf,
+            &server_leaf,
+        );
+        // The conservative lookahead: the minimum simulated delay of any
+        // cross-shard interaction. Without links a packet pays two switch
+        // passes and both inter-rack propagations before reaching a
+        // foreign leaf; with links it is parked at the foreign downlink
+        // *before* the second propagation (queueing only adds delay), so
+        // the bound tightens to one propagation.
+        let pass = netclone_asic::AsicSpec::tofino().pass_latency_ns;
+        let lookahead = if scenario.links.is_some() {
+            2 * pass + inter_rack_ns
+        } else {
+            2 * (pass + inter_rack_ns)
+        };
+        (out, lookahead)
     }
 
     /// Schedules the events that start the run: one arrival per client,
@@ -520,6 +724,7 @@ impl ScenarioBuilder {
         shards: &mut [Shard],
         scenario: &Scenario,
         first_gaps: &[u64],
+        bg_first_gaps: &[Option<u64>],
         client_leaf: &[usize],
         server_leaf: &[usize],
     ) {
@@ -571,6 +776,13 @@ impl ScenarioBuilder {
             broadcast(shards, &mut ctl, plan.removed_at_ns, &|| {
                 Ev::ServerRemove(plan.sid)
             });
+        }
+        // Background incast: one first arrival per source rack, owned by
+        // the rack's shard (the victim rack has no stream).
+        for (r, gap) in bg_first_gaps.iter().enumerate() {
+            if let Some(gap) = gap {
+                prime_one(shards, &mut ctl, r % nshards, *gap, Ev::BgGen(r));
+            }
         }
         for sh in shards.iter_mut() {
             sh.seq[usize::from(CONTROL_SRC)] = ctl;

@@ -1,0 +1,328 @@
+//! Oversubscribed fat-tree fabrics: cloning under real congestion.
+//!
+//! The paper's evaluation (and the `multirack` sweep) runs over
+//! fixed-latency hops — the fabric is never the bottleneck. This
+//! experiment puts NetClone where cloning actually hurts: a k-ary
+//! fat-tree ([`Topology::fat_tree`]) with congestion-aware links
+//! (`netclone-linksim`), swept over the fabric oversubscription ratio
+//! (1:1 wire-speed → 4:1), with bulk background incast converging on the
+//! rack where every client sits. Two effects compose against cloning:
+//!
+//! * the redundant response stream doubles NetClone's share of the
+//!   victim rack's downlink bytes, so it saturates the oversubscribed
+//!   fabric earlier than the baseline;
+//! * cloned responses crossing the congested core are delayed or
+//!   tail-dropped, so the clone loses (or never arrives) more often —
+//!   the clone-win ratio degrades as the ratio grows, while p99 inflates
+//!   for everyone.
+//!
+//! The per-link drop table ([`FatTreeResult::links_table`]) names the
+//! congested links — the victim's downlinks, by construction.
+//!
+//! Scale picks the radix (`--fattree-k` overrides): Smoke k=4 (8 racks,
+//! 16 host slots), Standard k=6 (18 racks, 54 slots), Full k=16 (128
+//! racks, 1024 slots — the 1k-host fabric).
+
+use netclone_linksim::LinkSpec;
+use netclone_stats::{Report, Table};
+use netclone_workloads::exp50;
+
+use crate::harness::{Experiment, RunCtx};
+use crate::metrics::RunResult;
+use crate::scenario::{Background, Scenario, ServerSpec};
+use crate::scheme::Scheme;
+use crate::topology::Topology;
+
+const TITLE: &str = "Fat-tree oversubscription: clone-win ratio and p99 under incast";
+
+/// Oversubscription ratios under test (fabric rate = edge rate ÷ ratio).
+pub const OVERSUB: [f64; 4] = [1.0, 2.0, 3.0, 4.0];
+
+/// Schemes under test.
+pub const SCHEMES: [Scheme; 2] = [Scheme::Baseline, Scheme::NETCLONE];
+
+/// Host access-link rate, Gbit/s.
+pub const EDGE_GBPS: f64 = 10.0;
+
+/// Per-link queue capacity, bytes (≈ 5 jumbo frames).
+pub const QUEUE_BYTES: u32 = 45_000;
+
+/// Background packet size, bytes (bulk flows: jumbo frames).
+pub const BG_WIRE_BYTES: u16 = 9_000;
+
+/// Background load as a fraction of the victim rack's *wire-speed*
+/// downlink capacity — fixed across the sweep, so rising ratios turn the
+/// same offered bytes into rising overload.
+pub const BG_FRACTION: f64 = 0.30;
+
+/// RPC load as a fraction of the binding host ceiling (the clients'
+/// receive rate).
+pub const CLIENT_LOAD: f64 = 0.6;
+
+/// Target worker-thread utilization. High enough that a clone landing on
+/// an actually-busy server queues behind real work and loses — which is
+/// what lets stale idle signals (delayed by fabric congestion) degrade
+/// the clone-win ratio.
+pub const WORKER_UTIL: f64 = 0.7;
+
+/// The experiment's seed (all cells share it; the sweep varies only the
+/// ratio and scheme).
+pub const SEED: u64 = 7;
+
+/// Fat-tree radix per scale (even, ≥ 4).
+pub fn radix_for(ctx: &RunCtx) -> usize {
+    ctx.fattree_k.unwrap_or(match ctx.scale {
+        crate::experiments::Scale::Smoke => 4,
+        crate::experiments::Scale::Standard => 6,
+        crate::experiments::Scale::Full => 16,
+    })
+}
+
+/// The scenario of one cell: a k-ary fat-tree filled to its canonical
+/// k/2 hosts per leaf — rack 0 is all clients (the incast victim), every
+/// other rack all servers, worker threads sized to [`WORKER_UTIL`] so
+/// idle signals carry real information.
+pub fn scenario(k: usize, oversub: f64, scheme: Scheme, ctx: &RunCtx) -> Scenario {
+    assert!(k >= 4 && k % 2 == 0, "the experiment needs an even k >= 4");
+    let topo = Topology::fat_tree(k);
+    let racks = topo.racks;
+    let hosts_per_leaf = k / 2;
+    let n_clients = hosts_per_leaf;
+    let n_servers = (racks - 1) * hosts_per_leaf;
+    let mut server_racks = Vec::new();
+    for r in 1..racks {
+        server_racks.extend(std::iter::repeat(r).take(hosts_per_leaf));
+    }
+    let mut s = Scenario::synthetic_default(scheme, exp50(), 1.0);
+    s.n_clients = n_clients;
+    s.seed = SEED;
+    s.warmup_ns = ctx.scale.warmup_ns();
+    s.measure_ns = ctx.scale.measure_ns();
+    s.topology = topo
+        .with_server_racks(server_racks)
+        .with_client_racks(vec![0; n_clients])
+        .with_ecmp_seed(SEED);
+    s.links = Some(LinkSpec::oversubscribed(EDGE_GBPS, oversub, QUEUE_BYTES));
+    // Offered RPC load: a fixed fraction of the clients' receive ceiling
+    // (the binding host limit) — the *fabric* is then the only thing the
+    // sweep varies.
+    let client_rx_rps = n_clients as f64 * 1e9 / crate::calib::CLIENT_RX_NS as f64;
+    s.offered_rps = CLIENT_LOAD * client_rx_rps;
+    // Worker threads sized so the pool runs at ≈ WORKER_UTIL (floor: one
+    // thread per server), spread as evenly as the integer split allows.
+    // An overprovisioned pool would make every clone land on an idle
+    // server and hide the cost of stale idle signals entirely.
+    s.servers = vec![ServerSpec { workers: 1 }; n_servers];
+    let mean_eff_s = n_servers as f64 / s.capacity_rps();
+    let threads = ((s.offered_rps * mean_eff_s / WORKER_UTIL).ceil() as usize).max(n_servers);
+    let threads = threads.min(n_servers * crate::calib::SYNTHETIC_WORKERS);
+    let (base, extra) = (threads / n_servers, threads % n_servers);
+    for (i, spec) in s.servers.iter_mut().enumerate() {
+        spec.workers = base + usize::from(i < extra);
+    }
+    // Background incast: a fixed byte rate against the victim's
+    // wire-speed downlink capacity, independent of the ratio under test.
+    let victim_capacity_bps = (k / 2) as f64 * EDGE_GBPS * 1e9;
+    s.background = Some(Background {
+        rps: BG_FRACTION * victim_capacity_bps / (8.0 * BG_WIRE_BYTES as f64),
+        wire_bytes: BG_WIRE_BYTES,
+        victim_rack: 0,
+    });
+    s
+}
+
+/// One measured cell of the sweep.
+pub struct Cell {
+    /// Oversubscription ratio (fabric = edge ÷ ratio).
+    pub oversub: f64,
+    /// The full run result.
+    pub run: RunResult,
+}
+
+/// The typed result: every (ratio, scheme) cell, in sweep order.
+pub struct FatTreeResult {
+    /// The fat-tree radix.
+    pub k: usize,
+    /// The measured cells.
+    pub cells: Vec<Cell>,
+}
+
+impl FatTreeResult {
+    /// The headline table: ratio × scheme rows with tail latency, the
+    /// clone-win ratio, and the fabric-wide drop/mark totals by tier.
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new([
+            "oversub",
+            "scheme",
+            "offered (MRPS)",
+            "achieved (MRPS)",
+            "p50 (us)",
+            "p99 (us)",
+            "clone-win ratio",
+            "up drops",
+            "down drops",
+            "edge drops",
+            "ecn marks",
+        ]);
+        for cell in &self.cells {
+            let (p50, p99, _) = cell.run.percentiles_us();
+            let lt = cell.run.link_totals.unwrap_or_default();
+            t.row([
+                format!("{}:1", cell.oversub),
+                cell.run.scheme.to_string(),
+                format!("{:.3}", cell.run.offered_rps / 1e6),
+                format!("{:.3}", cell.run.achieved_mrps()),
+                format!("{p50:.1}"),
+                format!("{p99:.1}"),
+                format!("{:.3}", cell.run.clone_win_ratio()),
+                lt.up.dropped.to_string(),
+                lt.down.dropped.to_string(),
+                lt.edge.dropped.to_string(),
+                cell.run.link_ecn_marks().to_string(),
+            ]);
+        }
+        t
+    }
+
+    /// The congested links, per cell: every link that dropped or
+    /// ECN-marked a packet, capped at the eight worst per cell.
+    pub fn links_table(&self) -> Table {
+        let mut t = Table::new([
+            "oversub",
+            "scheme",
+            "link",
+            "forwarded",
+            "dropped",
+            "ecn marked",
+        ]);
+        for cell in &self.cells {
+            let mut links: Vec<_> = cell.run.link_stats.iter().collect();
+            links.sort_by_key(|l| std::cmp::Reverse((l.dropped, l.ecn_marked)));
+            for l in links.into_iter().take(8) {
+                t.row([
+                    format!("{}:1", cell.oversub),
+                    cell.run.scheme.to_string(),
+                    l.link.clone(),
+                    l.forwarded.to_string(),
+                    l.dropped.to_string(),
+                    l.ecn_marked.to_string(),
+                ]);
+            }
+        }
+        t
+    }
+
+    /// Converts the sweep into the unified report artifact.
+    pub fn into_report(self) -> Report {
+        let k = self.k;
+        let main = self.to_table();
+        let links = self.links_table();
+        Report::new("fattree", TITLE)
+            .with_section(
+                format!("k={k} fat-tree, oversubscription sweep"),
+                "fattree",
+                main,
+            )
+            .with_note(format!(
+                "edge {EDGE_GBPS} Gbit/s; fabric = edge / ratio; queue {QUEUE_BYTES} B/link; \
+                 background incast {:.0}% of wire-speed victim downlink capacity",
+                BG_FRACTION * 100.0
+            ))
+            .with_section("congested links (worst 8 per cell)", "fattree_links", links)
+    }
+
+    /// p99 latency (µs) of the given (ratio, scheme) cell.
+    pub fn p99_at(&self, oversub: f64, scheme: &str) -> Option<f64> {
+        self.cell(oversub, scheme).map(|c| c.run.p99_us())
+    }
+
+    /// Clone-win ratio of the given (ratio, scheme) cell.
+    pub fn clone_win_at(&self, oversub: f64, scheme: &str) -> Option<f64> {
+        self.cell(oversub, scheme).map(|c| c.run.clone_win_ratio())
+    }
+
+    fn cell(&self, oversub: f64, scheme: &str) -> Option<&Cell> {
+        self.cells
+            .iter()
+            .find(|c| c.oversub == oversub && c.run.scheme == scheme)
+    }
+}
+
+/// Runs the sweep on the given context.
+pub fn run(ctx: &RunCtx) -> FatTreeResult {
+    let k = radix_for(ctx);
+    let ratios: Vec<f64> = match ctx.oversub {
+        Some(r) => vec![r],
+        None => OVERSUB.to_vec(),
+    };
+    let mut cells: Vec<(f64, Scenario)> = Vec::new();
+    for &oversub in &ratios {
+        for scheme in SCHEMES {
+            cells.push((oversub, scenario(k, oversub, scheme, ctx)));
+        }
+    }
+    let cells = ctx.map("fattree", cells, |(oversub, s)| Cell {
+        oversub,
+        run: ctx.run_sim(s),
+    });
+    FatTreeResult { k, cells }
+}
+
+/// The fat-tree oversubscription sweep in the experiment registry.
+pub struct FatTree;
+
+impl Experiment for FatTree {
+    fn id(&self) -> &'static str {
+        "fattree"
+    }
+    fn title(&self) -> &'static str {
+        TITLE
+    }
+    fn tags(&self) -> &'static [&'static str] {
+        &["table", "sweep", "topology", "links", "congestion"]
+    }
+    fn topology(&self) -> &'static str {
+        "fat-tree"
+    }
+    fn run(&self, ctx: &RunCtx) -> Report {
+        run(ctx).into_report()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::Scale;
+
+    #[test]
+    fn smoke_run_covers_every_cell() {
+        let ctx = RunCtx::new(Scale::Smoke).with_jobs(crate::harness::default_jobs());
+        let r = run(&ctx);
+        assert_eq!(r.k, 4);
+        assert_eq!(r.cells.len(), OVERSUB.len() * SCHEMES.len());
+        for cell in &r.cells {
+            assert!(
+                cell.run.completed > 0,
+                "{}:1 {}",
+                cell.oversub,
+                cell.run.scheme
+            );
+            let totals = cell.run.link_totals.expect("links enabled");
+            // Conservation per tier: everything offered is forwarded or
+            // dropped, nowhere else.
+            for t in [totals.edge, totals.up, totals.down] {
+                assert_eq!(t.offered, t.forwarded + t.dropped);
+            }
+        }
+        let report = r.into_report();
+        assert!(report.to_markdown().contains("fattree"));
+    }
+
+    #[test]
+    fn oversub_override_pins_one_ratio() {
+        let ctx = RunCtx::new(Scale::Smoke).with_oversub(2.0);
+        let r = run(&ctx);
+        assert_eq!(r.cells.len(), SCHEMES.len());
+        assert!(r.cells.iter().all(|c| c.oversub == 2.0));
+    }
+}

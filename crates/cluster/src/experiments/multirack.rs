@@ -131,6 +131,9 @@ impl Experiment for MultiRack {
     fn tags(&self) -> &'static [&'static str] {
         &["table", "sweep", "topology", "multirack"]
     }
+    fn topology(&self) -> &'static str {
+        "leaf/spine"
+    }
     fn run(&self, ctx: &RunCtx) -> Report {
         run(ctx).into_report()
     }

@@ -133,6 +133,8 @@ mod tests {
                 packets_lost: 0,
                 per_server_served: vec![],
                 events: 0,
+                link_stats: vec![],
+                link_totals: None,
             },
         }
     }

@@ -38,6 +38,12 @@ pub trait Experiment: Sync {
     fn title(&self) -> &'static str;
     /// Free-form labels for `repro --list` filtering and docs.
     fn tags(&self) -> &'static [&'static str];
+    /// Topology shape the experiment simulates (shown by `repro --list`).
+    /// The paper's experiments all run the single-rack testbed; the
+    /// scale-out experiments override this.
+    fn topology(&self) -> &'static str {
+        "single-rack"
+    }
     /// Runs the experiment and returns the unified artifact.
     fn run(&self, ctx: &RunCtx) -> Report;
 }
@@ -58,6 +64,12 @@ pub struct RunCtx {
     /// across threads, `shards` parallelises *within* one cell, and both
     /// are bit-identical to serial execution, so they compose freely.
     pub shards: usize,
+    /// Fat-tree radix override for topology experiments (`None` = the
+    /// experiment's per-scale default).
+    pub fattree_k: Option<usize>,
+    /// Single-oversubscription override for topology experiments
+    /// (`None` = sweep the experiment's default ratios).
+    pub oversub: Option<f64>,
     progress: Option<ProgressFn>,
 }
 
@@ -76,8 +88,24 @@ impl RunCtx {
             scale,
             jobs: 1,
             shards: 1,
+            fattree_k: None,
+            oversub: None,
             progress: None,
         }
+    }
+
+    /// Overrides the fat-tree radix (`k` even, ≥ 2) for topology
+    /// experiments.
+    pub fn with_fattree_k(mut self, k: usize) -> Self {
+        self.fattree_k = Some(k);
+        self
+    }
+
+    /// Pins topology experiments to a single oversubscription ratio
+    /// instead of their default sweep.
+    pub fn with_oversub(mut self, ratio: f64) -> Self {
+        self.oversub = Some(ratio);
+        self
     }
 
     /// Sets the worker-thread budget (clamped to ≥ 1).
@@ -268,6 +296,7 @@ pub fn registry() -> Vec<Box<dyn Experiment>> {
         Box::new(fig15::Fig15),
         Box::new(fig16::Fig16Exp),
         Box::new(multirack::MultiRack),
+        Box::new(fattree::FatTree),
         Box::new(ablations::Ablations),
     ]
 }
@@ -351,11 +380,11 @@ mod tests {
     #[test]
     fn registry_ids_are_unique_and_titled() {
         let reg = registry();
-        assert_eq!(reg.len(), 14);
+        assert_eq!(reg.len(), 15);
         let mut ids: Vec<&str> = reg.iter().map(|e| e.id()).collect();
         ids.sort();
         ids.dedup();
-        assert_eq!(ids.len(), 14, "duplicate experiment ids");
+        assert_eq!(ids.len(), 15, "duplicate experiment ids");
         for e in &reg {
             assert!(!e.title().is_empty(), "{} has no title", e.id());
             assert!(!e.tags().is_empty(), "{} has no tags", e.id());

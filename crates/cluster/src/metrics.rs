@@ -1,7 +1,38 @@
 //! Results of one simulation run.
 
 use netclone_core::SwitchCounters;
+use netclone_linksim::LinkCounters;
 use netclone_stats::{LatencyHistogram, TimeSeries};
+
+/// One congested link's counter window (only links that dropped or
+/// ECN-marked at least one packet are reported — a healthy fabric has
+/// thousands of boring links).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LinkStat {
+    /// Deterministic link name: `client3.up`, `server0.down`, `coord.up`,
+    /// `leaf2.up1`, `leaf0.down3`, …
+    pub link: String,
+    /// Packets the link accepted.
+    pub forwarded: u64,
+    /// Packets tail-dropped at the bounded queue.
+    pub dropped: u64,
+    /// Forwarded packets ECN-marked at enqueue.
+    pub ecn_marked: u64,
+}
+
+/// Fabric-wide link counter totals by tier, for conservation checks
+/// (every packet offered to a tier is forwarded or dropped there) and
+/// congestion summaries.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LinkTotals {
+    /// All host access links (client/server/coordinator NIC↔leaf), both
+    /// directions.
+    pub edge: LinkCounters,
+    /// All leaf→upper fabric links.
+    pub up: LinkCounters,
+    /// All upper→leaf fabric links.
+    pub down: LinkCounters,
+}
 
 /// Everything measured in one run's measurement window.
 #[derive(Clone, Debug)]
@@ -49,6 +80,13 @@ pub struct RunResult {
     /// whole run, warm-up included — the numerator of the events/sec
     /// throughput report (`sim_throughput`).
     pub events: u64,
+    /// Per-link windows of every link that dropped or ECN-marked a
+    /// packet, in deterministic fabric order (empty without
+    /// [`Scenario::links`](crate::scenario::Scenario::links)).
+    pub link_stats: Vec<LinkStat>,
+    /// Fabric-wide link totals by tier (`None` without congestion-aware
+    /// links).
+    pub link_totals: Option<LinkTotals>,
 }
 
 impl RunResult {
@@ -96,6 +134,20 @@ impl RunResult {
             self.server_idle_reports as f64 / self.server_responses as f64
         }
     }
+
+    /// Packets tail-dropped across every congestion-aware link (0 when
+    /// links are disabled).
+    pub fn link_drops(&self) -> u64 {
+        self.link_totals
+            .map_or(0, |t| t.edge.dropped + t.up.dropped + t.down.dropped)
+    }
+
+    /// Packets ECN-marked across every congestion-aware link.
+    pub fn link_ecn_marks(&self) -> u64 {
+        self.link_totals.map_or(0, |t| {
+            t.edge.ecn_marked + t.up.ecn_marked + t.down.ecn_marked
+        })
+    }
 }
 
 #[cfg(test)]
@@ -127,9 +179,13 @@ mod tests {
             packets_lost: 0,
             per_server_served: vec![50, 50],
             events: 0,
+            link_stats: Vec::new(),
+            link_totals: None,
         };
         assert!((r.achieved_mrps() - 0.99).abs() < 1e-9);
         assert!((r.empty_queue_fraction() - 0.6).abs() < 1e-9);
+        assert_eq!(r.link_drops(), 0);
+        assert_eq!(r.link_ecn_marks(), 0);
         assert!((r.clone_win_ratio() - 33.0 / 99.0).abs() < 1e-9);
         assert!(r.p99_us() >= 890.0);
         let (p50, p99, p999) = r.percentiles_us();

@@ -1,6 +1,7 @@
 //! Scenario descriptions: everything one simulation run needs.
 
 use netclone_kvstore::ServiceCostModel;
+use netclone_linksim::LinkSpec;
 use netclone_workloads::{Jitter, SyntheticWorkload};
 
 use crate::calib;
@@ -107,6 +108,25 @@ pub struct SwitchFailurePlan {
     pub bringup_ns: u64,
 }
 
+/// Background incast traffic: bulk flows from every other rack converging
+/// on one victim rack's downlinks, contending with the RPC traffic for
+/// queue space (requires [`Scenario::links`] and a multi-rack topology).
+///
+/// Background packets are *load*, not workload: they traverse the
+/// congestion-aware links (filling queues, taking drops) but never touch
+/// a switch engine, server, or client, so they leave every RPC-layer
+/// counter untouched except through queueing delay and drops.
+#[derive(Clone, Copy, Debug)]
+pub struct Background {
+    /// Aggregate background packet rate, packets/second across all
+    /// source racks.
+    pub rps: f64,
+    /// On-wire size of one background packet, bytes (bulk flows: jumbo).
+    pub wire_bytes: u16,
+    /// The rack whose downlinks the flows converge on.
+    pub victim_rack: usize,
+}
+
 /// A server failure injection (§3.6).
 #[derive(Clone, Copy, Debug)]
 pub struct ServerFailurePlan {
@@ -161,6 +181,13 @@ pub struct Scenario {
     /// Fabric shape: racks, host placement, inter-rack latency (§3.7).
     /// [`Topology::single_rack`] reproduces the paper's testbed exactly.
     pub topology: Topology,
+    /// Congestion-aware links (`netclone-linksim`): bandwidth, bounded
+    /// queues, tail-drop, ECN counters. `None` (the default) keeps every
+    /// hop a fixed latency — the pre-linksim simulator, bit for bit.
+    pub links: Option<LinkSpec>,
+    /// Background incast traffic over the links (`None` = quiet fabric;
+    /// requires `links` and a multi-rack topology).
+    pub background: Option<Background>,
 }
 
 impl Scenario {
@@ -191,6 +218,8 @@ impl Scenario {
             custom_groups: None,
             clone_condition: netclone_core::CloneCondition::BothIdle,
             topology: Topology::single_rack(),
+            links: None,
+            background: None,
         }
     }
 
@@ -220,6 +249,8 @@ impl Scenario {
             custom_groups: None,
             clone_condition: netclone_core::CloneCondition::BothIdle,
             topology: Topology::single_rack(),
+            links: None,
+            background: None,
         }
     }
 

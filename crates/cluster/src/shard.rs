@@ -8,15 +8,19 @@
 //!
 //! ## The window protocol
 //!
-//! The only cross-shard interaction is a spine-forwarded packet landing
-//! on a foreign leaf, and that takes at least
+//! The only cross-shard interaction is an upper-tier-forwarded packet
+//! landing on a foreign leaf (or its downlink queue), and that takes at
+//! least
 //!
 //! ```text
-//! lookahead = 2 × (switch pass latency + inter-rack link latency)
+//! lookahead = 2 × (switch pass latency + inter-rack link latency)   (fixed-latency hops)
+//! lookahead = 2 × switch pass latency + inter-rack link latency     (congestion-aware links)
 //! ```
 //!
 //! of simulated time after the event that emits it (leaf pass → uplink →
-//! spine pass → downlink). So the shards advance in rounds:
+//! upper pass → downlink; with links the packet is handed to the foreign
+//! rack *at* its downlink head, one propagation earlier — queueing only
+//! adds delay). So the shards advance in rounds:
 //!
 //! 1. every shard publishes its next-event time on the
 //!    [`HorizonBoard`], then waits at a barrier;
@@ -45,7 +49,7 @@ use netclone_des::{HorizonBoard, SpinBarrier};
 use netclone_stats::LatencyHistogram;
 
 use crate::build::ScenarioBuilder;
-use crate::metrics::RunResult;
+use crate::metrics::{LinkStat, LinkTotals, RunResult};
 use crate::sim::{CrossMsg, Shard};
 
 /// Owns a run's shards from build to merged [`RunResult`].
@@ -172,23 +176,104 @@ impl ShardCoordinator {
         }
 
         // Per-switch windows in fabric index order (leaves, then the
-        // spine): each leaf's from its owner, the spine's as the merge of
-        // every shard's replica delta.
-        let mut per_switch: Vec<SwitchCounters> = Vec::with_capacity(racks + 1);
+        // upper tier): each leaf's from its owner, each upper switch's as
+        // the merge of every shard's replica delta.
+        let upper_count = shards[0].upper.len();
+        let mut per_switch: Vec<SwitchCounters> = Vec::with_capacity(racks + upper_count);
         for r in 0..racks {
             let sh = &shards[r % nshards];
             let e = sh.engines[r].as_ref().expect("leaf owner");
             per_switch.push(e.counters().since(&sh.switch_counters_at_warmup[r]));
         }
-        if racks > 1 {
-            let mut spine = SwitchCounters::default();
+        for i in 0..upper_count {
+            let mut merged = SwitchCounters::default();
             for sh in shards.iter() {
-                let replica = sh.spine.as_ref().expect("spine replica");
-                spine.merge(&replica.counters().since(&sh.spine_counters_at_warmup));
+                merged.merge(
+                    &sh.upper[i]
+                        .counters()
+                        .since(&sh.upper_counters_at_warmup[i]),
+                );
             }
-            per_switch.push(spine);
+            per_switch.push(merged);
         }
         let switch: SwitchCounters = per_switch.iter().sum();
+
+        // Link stats, in deterministic fabric order: host access links
+        // (clients, servers, coordinator), then each leaf's uplinks and
+        // downlinks. Only congested links (a drop or an ECN mark) get a
+        // row; the totals cover every link. Counters are whole-run — the
+        // conservation identities (offered == forwarded + dropped) only
+        // hold unwindowed.
+        let mut link_stats: Vec<LinkStat> = Vec::new();
+        let mut link_totals: Option<LinkTotals> = None;
+        if scenario.links.is_some() {
+            let mut totals = LinkTotals::default();
+            {
+                let mut take =
+                    |name: String,
+                     c: netclone_linksim::LinkCounters,
+                     tier: &mut netclone_linksim::LinkCounters| {
+                        tier.add(&c);
+                        if c.dropped > 0 || c.ecn_marked > 0 {
+                            link_stats.push(LinkStat {
+                                link: name,
+                                forwarded: c.forwarded,
+                                dropped: c.dropped,
+                                ecn_marked: c.ecn_marked,
+                            });
+                        }
+                    };
+                let client_leaf = shards[0].client_leaf.clone();
+                let server_leaf = shards[0].server_leaf.clone();
+                let coord_leaf = shards[0].coord_leaf;
+                for cid in 0..n_clients {
+                    let ls = shards[client_leaf[cid] % nshards]
+                        .links
+                        .as_ref()
+                        .expect("links enabled");
+                    let up = ls.client_up[cid].as_ref().expect("client owner").counters();
+                    take(format!("client{cid}.up"), up, &mut totals.edge);
+                    let down = ls.client_down[cid]
+                        .as_ref()
+                        .expect("client owner")
+                        .counters();
+                    take(format!("client{cid}.down"), down, &mut totals.edge);
+                }
+                for idx in 0..n_servers {
+                    let ls = shards[server_leaf[idx] % nshards]
+                        .links
+                        .as_ref()
+                        .expect("links enabled");
+                    let up = ls.server_up[idx].as_ref().expect("server owner").counters();
+                    take(format!("server{idx}.up"), up, &mut totals.edge);
+                    let down = ls.server_down[idx]
+                        .as_ref()
+                        .expect("server owner")
+                        .counters();
+                    take(format!("server{idx}.down"), down, &mut totals.edge);
+                }
+                {
+                    let ls = shards[coord_leaf % nshards]
+                        .links
+                        .as_ref()
+                        .expect("links enabled");
+                    let up = ls.coord_up.as_ref().expect("coord owner").counters();
+                    take("coord.up".into(), up, &mut totals.edge);
+                    let down = ls.coord_down.as_ref().expect("coord owner").counters();
+                    take("coord.down".into(), down, &mut totals.edge);
+                }
+                for r in 0..racks {
+                    let ls = shards[r % nshards].links.as_ref().expect("links enabled");
+                    for (j, l) in ls.up[r].iter().enumerate() {
+                        take(format!("leaf{r}.up{j}"), l.counters(), &mut totals.up);
+                    }
+                    for (j, l) in ls.down[r].iter().enumerate() {
+                        take(format!("leaf{r}.down{j}"), l.counters(), &mut totals.down);
+                    }
+                }
+            }
+            link_totals = Some(totals);
+        }
 
         let mut clone_drops = 0;
         let mut idle_reports = 0;
@@ -248,6 +333,8 @@ impl ShardCoordinator {
             per_server_served,
             per_switch,
             events,
+            link_stats,
+            link_totals,
         };
         (result, trace)
     }

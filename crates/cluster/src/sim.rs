@@ -22,13 +22,33 @@
 //! Single-rack runs collapse to one domain whose keys equal the old
 //! global `(time, seq)` order, so the pre-sharding seed pins still hold.
 //!
-//! The spine never gets events of its own: it is stateless plain L3, so
-//! each shard processes spine hops *inline* against a private replica
-//! (counters are merged at the end — order-insensitive by
-//! `SwitchCounters::merge`). That removes the spine queue round-trip from
-//! the hot path and, more importantly, removes the one switch every shard
-//! would otherwise have to synchronise on; the cross-shard lookahead
-//! becomes two switch passes plus two inter-rack link traversals.
+//! The upper-tier switches (the leaf/spine spine, or a fat-tree's
+//! aggregation and core layers) never get events of their own: they are
+//! stateless plain L3, so each shard processes upper-tier hops *inline*
+//! against private replicas (counters are merged at the end —
+//! order-insensitive by `SwitchCounters::merge`). That removes the spine
+//! queue round-trip from the hot path and, more importantly, removes the
+//! switches every shard would otherwise have to synchronise on; the
+//! cross-shard lookahead becomes two switch passes plus an inter-rack
+//! link traversal (or two, without congestion-aware links).
+//!
+//! ## Congestion-aware links
+//!
+//! With [`Scenario::links`](crate::scenario::Scenario::links) set, every
+//! *rack-adjacent* link — host access links and each leaf's
+//! uplinks/downlinks — is a `netclone_linksim::Link`: finite bandwidth,
+//! a bounded tail-drop FIFO, ECN-mark counters. Interior fabric links
+//! (agg↔core) stay latency-only: they are never the oversubscription
+//! bottleneck, and keeping stateful links rack-adjacent means every link
+//! is mutated only by events of its owning rack's domain, which execute
+//! in the same total key order at any shard count — the bit-identity
+//! argument of the sharded loop extends to link state for free. A packet
+//! crossing the upper tier is parked as an `Ev::DownlinkIn` at the
+//! destination leaf's downlink head, where the *destination* rack's
+//! domain applies queueing (or tail-drops it). Background incast
+//! (`Ev::BgGen`/`Ev::BgDown`) rides the same links without ever
+//! touching an engine, server, or client. `links: None` takes none of
+//! these paths — the pre-linksim event stream, bit for bit.
 //!
 //! ## The allocation-free hot path
 //!
@@ -70,6 +90,7 @@ use netclone_core::SwitchCounters;
 use netclone_des::sync::tie_key;
 use netclone_des::{EventQueue, SimTime};
 use netclone_hosts::{Admission, AppPacket, ClientMode, ClientSim, ServerSim};
+use netclone_linksim::{Link, Verdict};
 use netclone_policies::LaedgeCoordinator;
 use netclone_proto::{Ipv4, MsgType, PacketMeta, RpcOp, ServerId};
 use netclone_stats::TimeSeries;
@@ -81,10 +102,10 @@ use std::sync::Arc;
 use crate::build::{ScenarioBuilder, COORD_PORT};
 use crate::calib;
 use crate::metrics::RunResult;
-use crate::payload::{PayloadSlab, SimPacket};
+use crate::payload::{PayloadId, PayloadSlab, SimPacket};
 use crate::scenario::Scenario;
 use crate::shard::ShardCoordinator;
-use crate::topology::{spine_port, UPLINK_PORT};
+use crate::topology::{agg_down_port, core_port, flow_hash, spine_port, FabricShape, UPLINK_PORT};
 
 /// Simulation events.
 ///
@@ -108,6 +129,30 @@ pub(crate) enum Ev {
     ClientIn(usize, SimPacket),
     /// A packet reaches the coordinator.
     CoordIn(SimPacket),
+    /// A packet reaches the head of downlink `via` into leaf `leaf`
+    /// (congestion-aware links only): the destination rack's domain
+    /// offers it to the queue.
+    DownlinkIn {
+        /// Destination leaf.
+        leaf: usize,
+        /// Downlink index (== the ECMP uplink index that carried it up).
+        via: usize,
+        /// The packet.
+        pkt: SimPacket,
+    },
+    /// Source rack `r` generates its next background packet.
+    BgGen(usize),
+    /// A background packet reaches the head of downlink `via` into leaf
+    /// `leaf`; it is absorbed after the queue (background is load, not
+    /// workload).
+    BgDown {
+        /// Destination (victim) leaf.
+        leaf: usize,
+        /// Downlink index.
+        via: usize,
+        /// On-wire size, bytes.
+        wire: u16,
+    },
     /// Measurements start.
     EndWarmup,
     /// The fabric stops forwarding (Fig. 16; see
@@ -146,6 +191,63 @@ pub(crate) struct LossModel {
     pub rngs: Vec<Option<StdRng>>,
 }
 
+/// The congestion-aware links owned by one shard (see the module docs):
+/// host access links by global host id, leaf uplinks/downlinks by
+/// `[rack][uplink index]`. Entries of foreign racks are `None`/empty —
+/// every link is touched only by its owning rack's event domain.
+pub(crate) struct LinkState {
+    pub client_up: Vec<Option<Link>>,
+    pub client_down: Vec<Option<Link>>,
+    pub server_up: Vec<Option<Link>>,
+    pub server_down: Vec<Option<Link>>,
+    pub coord_up: Option<Link>,
+    pub coord_down: Option<Link>,
+    /// Leaf `r` → upper tier via uplink `j`.
+    pub up: Vec<Vec<Link>>,
+    /// Upper tier → leaf `r` via downlink `j`.
+    pub down: Vec<Vec<Link>>,
+}
+
+/// Background incast state: per-source-rack Poisson streams converging
+/// on the victim rack's downlinks.
+pub(crate) struct BgState {
+    /// Per-source-rack arrival process (aggregate rate ÷ source racks).
+    pub arrivals: PoissonArrivals,
+    /// Per-rack arrival streams (`None` = foreign rack or the victim).
+    pub rngs: Vec<Option<StdRng>>,
+    /// On-wire bytes per background packet.
+    pub wire: u16,
+    /// The rack whose downlinks the flows converge on.
+    pub victim: usize,
+    /// Packets generated per source rack (the flow-hash counter: each
+    /// background packet is its own flow, spreading across uplinks).
+    pub sent: Vec<u64>,
+}
+
+/// Mixes a background packet's (source rack, sequence) into its ECMP
+/// hash (a splitmix64 round — any deterministic mix works).
+#[inline]
+fn bg_hash(rack: u64, n: u64) -> u64 {
+    let mut z = rack
+        .wrapping_mul(0xff51_afd7_ed55_8ccd)
+        .wrapping_add(n.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .wrapping_add(0x2545_f491_4f6c_dd1d);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Which host access link an [`Shard::edge_hop`] traversal uses.
+#[derive(Clone, Copy)]
+enum EdgeLink {
+    ClientUp(usize),
+    ClientDown(usize),
+    ServerUp(usize),
+    ServerDown(usize),
+    CoordUp,
+    CoordDown,
+}
+
 /// One shard of a testbed simulation: the event loop state for a subset
 /// of the racks (all of them, for a serial run).
 ///
@@ -164,14 +266,26 @@ pub(crate) struct Shard {
     pub(crate) server_epoch: Vec<u32>,
     /// Owned leaf engines, indexed by rack (`None` = foreign rack).
     pub(crate) engines: Vec<Option<Box<dyn netclone_core::SwitchEngine>>>,
-    /// This shard's replica of the (stateless) spine, `None` when
-    /// `racks == 1`. Counter replicas are merged at the end.
-    pub(crate) spine: Option<Box<dyn netclone_core::SwitchEngine>>,
+    /// This shard's replicas of the (stateless) upper-tier switches —
+    /// the spine, or a fat-tree's aggs then cores, indexed by
+    /// `global switch index - racks`. Empty when `racks == 1`. Counter
+    /// replicas are merged at the end.
+    pub(crate) upper: Vec<Box<dyn netclone_core::SwitchEngine>>,
     pub(crate) racks: usize,
     pub(crate) inter_rack_ns: u64,
+    /// The upper-fabric wiring and its ECMP hash seed.
+    pub(crate) shape: FabricShape,
+    pub(crate) ecmp_seed: u64,
+    /// One switch pass latency, ns (background packets cross leaves
+    /// without engine processing but still pay the pass).
+    pub(crate) pass_ns: u64,
     pub(crate) server_leaf: Vec<usize>,
     pub(crate) client_leaf: Vec<usize>,
     pub(crate) coord_leaf: usize,
+    /// Congestion-aware links (`None` = fixed-latency hops).
+    pub(crate) links: Option<LinkState>,
+    /// Background incast traffic (`None` = quiet fabric).
+    pub(crate) bg: Option<BgState>,
     /// Fabric-forwarding flag; a replica on every shard, flipped by
     /// broadcast control events.
     pub(crate) switch_up: bool,
@@ -185,9 +299,9 @@ pub(crate) struct Shard {
     /// The shard's reusable emission buffer (`on_switch_in` drains it in
     /// place; see the `EmissionSink` contract)…
     pub(crate) sink: EmissionSink,
-    /// …and a second one for inline spine hops, which happen while the
-    /// leaf sink is detached.
-    pub(crate) spine_sink: EmissionSink,
+    /// …and a second one for inline upper-tier hops, which happen while
+    /// the leaf sink is detached.
+    pub(crate) upper_sink: EmissionSink,
     /// Interned `(op, born_ns)` payloads for packets in flight *within*
     /// this shard; cross-shard packets are re-interned on arrival.
     pub(crate) payloads: PayloadSlab,
@@ -198,9 +312,9 @@ pub(crate) struct Shard {
     pub(crate) generated_in_window: u64,
     pub(crate) packets_lost: u64,
     /// Warm-up snapshots of the owned leaves (by rack index) and of the
-    /// spine replica.
+    /// upper-tier replicas.
     pub(crate) switch_counters_at_warmup: Vec<SwitchCounters>,
-    pub(crate) spine_counters_at_warmup: SwitchCounters,
+    pub(crate) upper_counters_at_warmup: Vec<SwitchCounters>,
     pub(crate) server_stats_at_warmup: Vec<netclone_hosts::server::ServerStats>,
     /// Per-source tie-break sequence counters (index = source id).
     /// Control counters (`seq[0]`) evolve identically on every shard;
@@ -222,16 +336,35 @@ pub(crate) struct Shard {
     pub(crate) trace: Option<Vec<(u64, u64)>>,
 }
 
-/// A cross-shard `Ev::SwitchIn` in transit: the sender stamps the
-/// deterministic delivery key and materialises the payload (the slabs
-/// are shard-private), the receiver re-interns it.
+/// A cross-shard event in transit: the sender stamps the deterministic
+/// delivery key and materialises any payload (the slabs are
+/// shard-private), the receiver re-interns it.
 pub(crate) struct CrossMsg {
     pub at: u64,
     pub tie: u64,
-    pub leaf: usize,
-    pub meta: PacketMeta,
-    pub op: RpcOp,
-    pub born_ns: u64,
+    pub ev: CrossEv,
+}
+
+/// The cross-shard event kinds (the only events that ever cross racks).
+pub(crate) enum CrossEv {
+    /// A packet arriving at a foreign leaf (fixed-latency fabrics).
+    SwitchIn {
+        leaf: usize,
+        meta: PacketMeta,
+        op: RpcOp,
+        born_ns: u64,
+    },
+    /// A packet arriving at a foreign leaf's downlink queue
+    /// (congestion-aware fabrics).
+    DownlinkIn {
+        leaf: usize,
+        via: usize,
+        meta: PacketMeta,
+        op: RpcOp,
+        born_ns: u64,
+    },
+    /// A background packet arriving at the victim leaf's downlink queue.
+    BgDown { leaf: usize, via: usize, wire: u16 },
 }
 
 impl Shard {
@@ -270,7 +403,8 @@ impl Shard {
 
     /// Schedules `ev` on this shard's queue, keyed by the executing
     /// domain. All targets are local by construction (the only non-local
-    /// sends are the spine-inline deliveries in [`Self::via_spine`]).
+    /// sends go through the outbox in [`Self::send_to_leaf`] and the
+    /// background path).
     #[inline]
     fn sched(&mut self, at_ns: u64, ev: Ev) {
         let tie = self.next_tie();
@@ -324,6 +458,31 @@ impl Shard {
         }
     }
 
+    /// Carries a packet across one host access link, starting at
+    /// `egress_ns` (when the sender's last bit is ready): returns the
+    /// arrival time at the far end, or `None` if the bounded queue
+    /// tail-dropped it. Links disabled → the historical fixed-latency
+    /// hop, arithmetic unchanged.
+    #[inline]
+    fn edge_hop(&mut self, which: EdgeLink, egress_ns: u64, wire: u16) -> Option<u64> {
+        let Some(ls) = &mut self.links else {
+            return Some(egress_ns + calib::LINK_ONE_WAY_NS);
+        };
+        let link = match which {
+            EdgeLink::ClientUp(cid) => ls.client_up[cid].as_mut(),
+            EdgeLink::ClientDown(cid) => ls.client_down[cid].as_mut(),
+            EdgeLink::ServerUp(idx) => ls.server_up[idx].as_mut(),
+            EdgeLink::ServerDown(idx) => ls.server_down[idx].as_mut(),
+            EdgeLink::CoordUp => ls.coord_up.as_mut(),
+            EdgeLink::CoordDown => ls.coord_down.as_mut(),
+        }
+        .expect("access link of an owned host");
+        match link.offer(egress_ns, u32::from(wire)) {
+            Verdict::Forward { depart_ns, .. } => Some(depart_ns + calib::LINK_ONE_WAY_NS),
+            Verdict::Drop => None,
+        }
+    }
+
     pub(crate) fn handle(&mut self, now: u64, ev: Ev) {
         match ev {
             Ev::Gen(cid) => {
@@ -349,6 +508,18 @@ impl Shard {
             Ev::CoordIn(pkt) => {
                 self.set_rack_ctx(self.coord_leaf);
                 self.on_coord_in(pkt, now);
+            }
+            Ev::DownlinkIn { leaf, via, pkt } => {
+                self.set_rack_ctx(leaf);
+                self.on_downlink_in(leaf, via, pkt, now);
+            }
+            Ev::BgGen(r) => {
+                self.set_rack_ctx(r);
+                self.on_bg_gen(r, now);
+            }
+            Ev::BgDown { leaf, via, wire } => {
+                self.set_rack_ctx(leaf);
+                self.on_bg_down(leaf, via, wire, now);
             }
             Ev::EndWarmup => {
                 self.set_control_ctx();
@@ -377,8 +548,8 @@ impl Shard {
                 for e in self.engines.iter_mut().flatten() {
                     e.reset_soft_state();
                 }
-                if let Some(spine) = &mut self.spine {
-                    spine.reset_soft_state();
+                for u in &mut self.upper {
+                    u.reset_soft_state();
                 }
                 self.switch_up = true;
             }
@@ -405,8 +576,8 @@ impl Shard {
         for e in self.engines.iter_mut().flatten() {
             any_deregistered |= e.deregister_server(sid).is_ok();
         }
-        if let Some(spine) = &mut self.spine {
-            any_deregistered |= spine.deregister_server(sid).is_ok();
+        for u in &mut self.upper {
+            any_deregistered |= u.deregister_server(sid).is_ok();
         }
         if any_deregistered {
             for cid in 0..self.client_leaf.len() {
@@ -451,9 +622,13 @@ impl Shard {
                 self.packets_lost += 1;
                 continue;
             }
+            let Some(at) = self.edge_hop(EdgeLink::ClientUp(cid), tx_done, pkt.meta.wire_bytes)
+            else {
+                continue; // tail-dropped at the access link
+            };
             let pid = self.payloads.alloc(pkt.op, pkt.born_ns);
             self.sched(
-                tx_done + calib::LINK_ONE_WAY_NS,
+                at,
                 Ev::SwitchIn(
                     tor,
                     SimPacket {
@@ -489,31 +664,51 @@ impl Shard {
                 continue;
             }
             if e.port == UPLINK_PORT && self.racks > 1 {
-                // A leaf→spine traversal: no host NIC on this hop, the
-                // fabric link latency applies instead; the spine pass is
-                // processed inline (module docs).
-                let at_spine = now + e.latency_ns + self.inter_rack_ns;
-                self.via_spine(e.pkt, at_spine, sp.pid);
+                // A leaf→upper traversal: no host NIC on this hop, the
+                // fabric link latency applies instead; the upper-tier
+                // passes are processed inline (module docs). ECMP picks
+                // the physical uplink (a fat-tree has n_uplinks > 1;
+                // leaf/spine collapses to 0).
+                let h = flow_hash(e.pkt.src_ip, e.pkt.dst_ip, self.ecmp_seed);
+                let via = (h % self.shape.n_uplinks() as u64) as usize;
+                let mut egress = now + e.latency_ns;
+                if let Some(ls) = &mut self.links {
+                    match ls.up[sw][via].offer(egress, u32::from(e.pkt.wire_bytes)) {
+                        Verdict::Forward { depart_ns, .. } => egress = depart_ns,
+                        Verdict::Drop => continue,
+                    }
+                }
+                self.via_upper(e.pkt, egress, sp.pid, sw, h);
             } else {
-                let at = now + e.latency_ns + calib::LINK_ONE_WAY_NS;
+                let egress = now + e.latency_ns;
                 let out = SimPacket {
                     meta: e.pkt,
                     pid: sp.pid,
                 };
                 if e.port == COORD_PORT {
-                    self.payloads.retain(sp.pid);
-                    self.sched(at, Ev::CoordIn(out));
+                    if let Some(at) = self.edge_hop(EdgeLink::CoordDown, egress, e.pkt.wire_bytes) {
+                        self.payloads.retain(sp.pid);
+                        self.sched(at, Ev::CoordIn(out));
+                    }
                 } else if e.port >= 100 {
                     let cid = (e.port - 100) as usize;
                     if cid < self.clients.len() {
-                        self.payloads.retain(sp.pid);
-                        self.sched(at, Ev::ClientIn(cid, out));
+                        if let Some(at) =
+                            self.edge_hop(EdgeLink::ClientDown(cid), egress, e.pkt.wire_bytes)
+                        {
+                            self.payloads.retain(sp.pid);
+                            self.sched(at, Ev::ClientIn(cid, out));
+                        }
                     }
                 } else if e.port >= 10 {
                     let idx = (e.port - 10) as usize;
                     if idx < self.servers.len() {
-                        self.payloads.retain(sp.pid);
-                        self.sched(at, Ev::ServerIn(idx, out));
+                        if let Some(at) =
+                            self.edge_hop(EdgeLink::ServerDown(idx), egress, e.pkt.wire_bytes)
+                        {
+                            self.payloads.retain(sp.pid);
+                            self.sched(at, Ev::ServerIn(idx, out));
+                        }
                     }
                 }
             }
@@ -524,45 +719,226 @@ impl Shard {
         self.payloads.release(sp.pid);
     }
 
-    /// Processes one packet's spine pass inline against this shard's
-    /// replica, at the simulated time it would have reached the spine,
-    /// and delivers the emission to the destination leaf — locally, or
-    /// through the cross-shard outbox with a sender-stamped key.
-    fn via_spine(&mut self, meta: PacketMeta, at_spine: u64, pid: crate::payload::PayloadId) {
-        let mut sink = std::mem::take(&mut self.spine_sink);
-        self.spine
-            .as_mut()
-            .expect("spine replica on a multi-rack shard")
-            .process(meta, 0, at_spine, &mut sink);
-        for e in sink.drain() {
-            if self.lose_packet() {
-                self.packets_lost += 1;
-                continue;
+    /// Walks one packet through the upper tier inline against this
+    /// shard's replicas, starting from its leaf-uplink egress at
+    /// `egress_ns`, and parks the result at the destination leaf —
+    /// locally, or through the cross-shard outbox with a sender-stamped
+    /// key. Leaf/spine is one pass; a fat-tree is agg (same pod) or
+    /// agg → core → agg, with ECMP hash `h` fixing the path.
+    fn via_upper(
+        &mut self,
+        meta: PacketMeta,
+        egress_ns: u64,
+        pid: PayloadId,
+        src_leaf: usize,
+        h: u64,
+    ) {
+        match self.shape {
+            FabricShape::LeafSpine => {
+                let at_spine = egress_ns + self.inter_rack_ns;
+                let mut sink = std::mem::take(&mut self.upper_sink);
+                self.upper[0].process(meta, 0, at_spine, &mut sink);
+                for e in sink.drain() {
+                    if self.lose_packet() {
+                        self.packets_lost += 1;
+                        continue;
+                    }
+                    // Spine ports map 1:1 onto leaves (`spine_port`),
+                    // exactly the arithmetic `Fabric::route` applies.
+                    let leaf = (e.port - spine_port(0)) as usize;
+                    self.send_to_leaf(leaf, 0, e.pkt, at_spine + e.latency_ns, pid);
+                }
+                self.upper_sink = sink;
             }
-            // Spine ports map 1:1 onto leaves (`spine_port`), exactly the
-            // arithmetic `Fabric::hop` applies.
-            let leaf = (e.port - spine_port(0)) as usize;
-            let at = at_spine + e.latency_ns + self.inter_rack_ns;
-            let dst = self.shard_of_rack(leaf);
-            let out = SimPacket { meta: e.pkt, pid };
+            FabricShape::FatTree {
+                pods,
+                aggs_per_pod,
+                cores_per_group,
+            } => {
+                let lpp = self.shape.leaves_per_pod(self.racks);
+                let j = (h % aggs_per_pod as u64) as usize;
+                // Local upper indices: aggs pod-major, cores after.
+                let mut u = (src_leaf / lpp) * aggs_per_pod + j;
+                let mut at = egress_ns + self.inter_rack_ns;
+                let mut meta = meta;
+                loop {
+                    let mut sink = std::mem::take(&mut self.upper_sink);
+                    self.upper[u].process(meta, 0, at, &mut sink);
+                    let mut next = None;
+                    for e in sink.drain() {
+                        if self.lose_packet() {
+                            self.packets_lost += 1;
+                            continue;
+                        }
+                        if e.port == UPLINK_PORT {
+                            // Agg → a core of its group (second ECMP
+                            // stage reuses the higher hash bits).
+                            let c = ((h / aggs_per_pod as u64) % cores_per_group as u64) as usize;
+                            let cu = pods * aggs_per_pod + j * cores_per_group + c;
+                            next = Some((cu, e.pkt, at + e.latency_ns + self.inter_rack_ns));
+                        } else if u < pods * aggs_per_pod {
+                            // Agg down-port → a leaf of its pod; the
+                            // downlink index equals the uplink index `j`
+                            // (leaf uplink j ↔ agg j of its pod).
+                            let leaf =
+                                (u / aggs_per_pod) * lpp + (e.port - agg_down_port(0)) as usize;
+                            self.send_to_leaf(leaf, j, e.pkt, at + e.latency_ns, pid);
+                        } else {
+                            // Core → aggregation `j` of the target pod.
+                            let pod = (e.port - core_port(0)) as usize;
+                            next = Some((
+                                pod * aggs_per_pod + j,
+                                e.pkt,
+                                at + e.latency_ns + self.inter_rack_ns,
+                            ));
+                        }
+                    }
+                    self.upper_sink = sink;
+                    let Some((nu, nmeta, nat)) = next else { break };
+                    (u, meta, at) = (nu, nmeta, nat);
+                }
+            }
+        }
+    }
+
+    /// Parks a packet leaving the upper tier at `down_egress_ns` (the
+    /// last upper switch's egress instant) at leaf `leaf`: without links
+    /// it arrives `inter_rack_ns` later as a plain `SwitchIn`; with
+    /// links it becomes a [`Ev::DownlinkIn`] so the *destination* rack's
+    /// domain offers it to downlink `via`'s queue. Cross-shard targets go
+    /// through the outbox under a sender-stamped key either way.
+    fn send_to_leaf(
+        &mut self,
+        leaf: usize,
+        via: usize,
+        meta: PacketMeta,
+        down_egress_ns: u64,
+        pid: PayloadId,
+    ) {
+        let dst = self.shard_of_rack(leaf);
+        let (at, local_ev) = if self.links.is_some() {
+            (
+                down_egress_ns,
+                Ev::DownlinkIn {
+                    leaf,
+                    via,
+                    pkt: SimPacket { meta, pid },
+                },
+            )
+        } else {
+            (
+                down_egress_ns + self.inter_rack_ns,
+                Ev::SwitchIn(leaf, SimPacket { meta, pid }),
+            )
+        };
+        if dst == self.id {
+            self.payloads.retain(pid);
+            self.sched(at, local_ev);
+        } else {
+            let tie = self.next_tie();
+            self.events_scheduled += 1;
+            let (op, born_ns) = self.payloads.get(pid);
+            let ev = if self.links.is_some() {
+                CrossEv::DownlinkIn {
+                    leaf,
+                    via,
+                    meta,
+                    op,
+                    born_ns,
+                }
+            } else {
+                CrossEv::SwitchIn {
+                    leaf,
+                    meta,
+                    op,
+                    born_ns,
+                }
+            };
+            self.outbox[dst].push(CrossMsg { at, tie, ev });
+        }
+    }
+
+    /// A packet reaches the head of downlink `via` into `leaf`: the
+    /// destination rack offers it to the queue; a tail-drop ends it here,
+    /// otherwise it reaches the leaf after serialization + propagation.
+    fn on_downlink_in(&mut self, leaf: usize, via: usize, sp: SimPacket, now: u64) {
+        let ls = self.links.as_mut().expect("downlink event requires links");
+        match ls.down[leaf][via].offer(now, u32::from(sp.meta.wire_bytes)) {
+            Verdict::Forward { depart_ns, .. } => {
+                self.sched(depart_ns + self.inter_rack_ns, Ev::SwitchIn(leaf, sp));
+            }
+            Verdict::Drop => self.payloads.release(sp.pid),
+        }
+    }
+
+    /// Source rack `r` emits its next background packet toward the
+    /// victim rack and re-arms its Poisson clock. Background packets
+    /// bypass the engines entirely: one uplink offer here, one downlink
+    /// offer at the victim ([`Self::on_bg_down`]), fixed pass/propagation
+    /// delay in between.
+    fn on_bg_gen(&mut self, r: usize, now: u64) {
+        if now >= self.end_ns {
+            return; // background stops with the workload
+        }
+        let bg = self.bg.as_mut().expect("bg event requires background");
+        let n = bg.sent[r];
+        bg.sent[r] += 1;
+        let (wire, victim) = (bg.wire, bg.victim);
+        let h = bg_hash(r as u64, n);
+        let via = (h % self.shape.n_uplinks() as u64) as usize;
+        let ls = self.links.as_mut().expect("background requires links");
+        if let Verdict::Forward { depart_ns, .. } =
+            ls.up[r][via].offer(now + self.pass_ns, u32::from(wire))
+        {
+            // Upper-tier traversal: 1 switch (spine, or same-pod agg) or
+            // 3 (agg → core → agg), each a pass + a propagation.
+            let hops = match self.shape {
+                FabricShape::LeafSpine => 1,
+                FabricShape::FatTree { .. } => {
+                    let lpp = self.shape.leaves_per_pod(self.racks);
+                    if r / lpp == victim / lpp {
+                        1
+                    } else {
+                        3
+                    }
+                }
+            };
+            let at = depart_ns + hops * (self.inter_rack_ns + self.pass_ns);
+            let dst = self.shard_of_rack(victim);
             if dst == self.id {
-                self.payloads.retain(pid);
-                self.sched(at, Ev::SwitchIn(leaf, out));
+                self.sched(
+                    at,
+                    Ev::BgDown {
+                        leaf: victim,
+                        via,
+                        wire,
+                    },
+                );
             } else {
                 let tie = self.next_tie();
                 self.events_scheduled += 1;
-                let (op, born_ns) = self.payloads.get(pid);
                 self.outbox[dst].push(CrossMsg {
                     at,
                     tie,
-                    leaf,
-                    meta: e.pkt,
-                    op,
-                    born_ns,
+                    ev: CrossEv::BgDown {
+                        leaf: victim,
+                        via,
+                        wire,
+                    },
                 });
             }
         }
-        self.spine_sink = sink;
+        let bg = self.bg.as_mut().expect("bg event requires background");
+        let rng = bg.rngs[r].as_mut().expect("bg stream of an owned rack");
+        let gap = bg.arrivals.next_gap_ns(rng);
+        self.sched(now + gap, Ev::BgGen(r));
+    }
+
+    /// A background packet reaches the victim's downlink: it takes queue
+    /// space (delaying and dropping RPC traffic behind it) and vanishes.
+    fn on_bg_down(&mut self, leaf: usize, via: usize, wire: u16, now: u64) {
+        let ls = self.links.as_mut().expect("background requires links");
+        let _ = ls.down[leaf][via].offer(now, u32::from(wire));
     }
 
     fn on_server_in(&mut self, idx: usize, sp: SimPacket, now: u64) {
@@ -609,10 +985,10 @@ impl Shard {
         if self.lose_packet() {
             self.packets_lost += 1;
             self.payloads.release(sp.pid);
-        } else {
+        } else if let Some(at) = self.edge_hop(EdgeLink::ServerUp(idx), now, resp_meta.wire_bytes) {
             // The response inherits the request's payload reference.
             self.sched(
-                now + calib::LINK_ONE_WAY_NS,
+                at,
                 Ev::SwitchIn(
                     self.server_leaf[idx],
                     SimPacket {
@@ -621,6 +997,9 @@ impl Shard {
                     },
                 ),
             );
+        } else {
+            // Tail-dropped at the server's access link.
+            self.payloads.release(sp.pid);
         }
         if let Some((next_pkt, next_done)) = completion.next {
             // A queued request leaves the server's internal queue and
@@ -668,9 +1047,13 @@ impl Shard {
                 self.packets_lost += 1;
                 continue;
             }
+            let Some(at) = self.edge_hop(EdgeLink::CoordUp, e.send_at, e.pkt.meta.wire_bytes)
+            else {
+                continue; // tail-dropped at the coordinator's access link
+            };
             let pid = self.payloads.alloc(e.pkt.op, e.pkt.born_ns);
             self.sched(
-                e.send_at + calib::LINK_ONE_WAY_NS,
+                at,
                 Ev::SwitchIn(
                     self.coord_leaf,
                     SimPacket {
@@ -693,14 +1076,35 @@ impl Shard {
                 m.at >= window_end_ns,
                 "cross-shard message due inside the executed window"
             );
-            let pid = self.payloads.alloc(m.op, m.born_ns);
             // The sender already counted this event; schedule without
             // touching `events_scheduled` or the local key counters.
-            self.q.schedule_keyed(
-                SimTime::from_ns(m.at),
-                m.tie,
-                Ev::SwitchIn(m.leaf, SimPacket { meta: m.meta, pid }),
-            );
+            let ev = match m.ev {
+                CrossEv::SwitchIn {
+                    leaf,
+                    meta,
+                    op,
+                    born_ns,
+                } => {
+                    let pid = self.payloads.alloc(op, born_ns);
+                    Ev::SwitchIn(leaf, SimPacket { meta, pid })
+                }
+                CrossEv::DownlinkIn {
+                    leaf,
+                    via,
+                    meta,
+                    op,
+                    born_ns,
+                } => {
+                    let pid = self.payloads.alloc(op, born_ns);
+                    Ev::DownlinkIn {
+                        leaf,
+                        via,
+                        pkt: SimPacket { meta, pid },
+                    }
+                }
+                CrossEv::BgDown { leaf, via, wire } => Ev::BgDown { leaf, via, wire },
+            };
+            self.q.schedule_keyed(SimTime::from_ns(m.at), m.tie, ev);
         }
     }
 
@@ -714,8 +1118,8 @@ impl Shard {
                 self.switch_counters_at_warmup[r] = e.counters();
             }
         }
-        if let Some(spine) = &self.spine {
-            self.spine_counters_at_warmup = spine.counters();
+        for (i, u) in self.upper.iter().enumerate() {
+            self.upper_counters_at_warmup[i] = u.counters();
         }
         for (i, s) in self.servers.iter().enumerate() {
             if let Some(s) = s {

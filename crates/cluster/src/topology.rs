@@ -11,26 +11,45 @@
 //! and clients sit, and the extra per-link latency of the leaf↔spine
 //! hops. [`Fabric`] is the built artifact — one
 //! [`SwitchEngine`] per switch plus the
-//! routing metadata ([`Fabric::hop`]) the event loop uses to walk
-//! emissions between switches. Assembly (which engine runs on which
-//! leaf, what gets registered where) lives in
+//! routing metadata ([`Fabric::hop`]/[`Fabric::route`]) the event loop
+//! uses to walk emissions between switches. Assembly (which engine runs
+//! on which leaf, what gets registered where) lives in
 //! [`crate::build::build_fabric`].
+//!
+//! ## Shapes
+//!
+//! [`FabricShape::LeafSpine`] is the two-tier fabric of §3.7: every leaf
+//! has one uplink to a single spine. [`FabricShape::FatTree`] is the
+//! parameterized k-ary three-tier fabric (ROADMAP item 1): `pods` pods
+//! of `racks/pods` leaves, `aggs_per_pod` aggregation switches per pod,
+//! and `aggs_per_pod × cores_per_group` core switches — core group *j*
+//! connects to aggregation switch *j* of every pod, the classic wiring
+//! that keeps ECMP loop-free. Uplink choice hashes each flow with
+//! [`flow_hash`] so a flow pins one path ("per-flow path stability")
+//! while distinct flows spread across the fabric.
 //!
 //! ## Switch indexing and ports
 //!
 //! | index | switch |
 //! |-------|--------|
 //! | `0..racks` | leaf (ToR) of rack *r* |
-//! | `racks` | the spine (only when `racks > 1`) |
+//! | `racks` | the spine (leaf/spine, only when `racks > 1`) |
+//! | `racks + pod·A + j` | fat-tree aggregation *j* of pod *pod* (A = `aggs_per_pod`) |
+//! | `racks + pods·A + c` | fat-tree core *c* (group `c / cores_per_group`) |
 //!
-//! On a leaf, port [`UPLINK_PORT`] faces the spine; servers keep their
-//! single-rack ports (`10 + sid`), clients theirs (`100 + cid`), the
-//! coordinator its own (99). On the spine, [`spine_port`]`(r)` faces
-//! leaf *r*. A single-rack topology has no spine and no uplink — the
-//! fabric degenerates to exactly the pre-topology simulator.
+//! On a leaf, port [`UPLINK_PORT`] faces the upper tier — which *physical*
+//! uplink carries the packet is the simulator's ECMP choice, invisible to
+//! the engine; servers keep their single-rack ports (`10 + sid`), clients
+//! theirs (`100 + cid`), the coordinator its own (99). On the spine,
+//! [`spine_port`]`(r)` faces leaf *r*. On an aggregation switch,
+//! [`agg_down_port`]`(i)` faces leaf *i* of its pod and [`UPLINK_PORT`]
+//! faces its core group. On a core, [`core_port`]`(p)` faces pod *p*. A
+//! single-rack topology has no upper tier and no uplink — the fabric
+//! degenerates to exactly the pre-topology simulator.
 
 use netclone_asic::PortId;
 use netclone_core::{SwitchCounters, SwitchEngine};
+use netclone_proto::Ipv4;
 
 /// Leaf port facing the spine. Servers sit at `10+`, clients at `100+`,
 /// the coordinator at 99, so 1 is free on every leaf.
@@ -39,6 +58,115 @@ pub const UPLINK_PORT: PortId = 1;
 /// Spine port facing leaf `rack`.
 pub const fn spine_port(rack: usize) -> PortId {
     2 + rack as PortId
+}
+
+/// Aggregation-switch port facing leaf `leaf_in_pod` of its pod.
+pub const fn agg_down_port(leaf_in_pod: usize) -> PortId {
+    2 + leaf_in_pod as PortId
+}
+
+/// Core-switch port facing pod `pod`.
+pub const fn core_port(pod: usize) -> PortId {
+    2 + pod as PortId
+}
+
+/// Seeded FNV-1a over the flow's (src, dst) address pair: the ECMP hash.
+///
+/// A fixed `seed` makes every flow's path a pure function of its
+/// endpoints — the per-flow path-stability property the proptests pin —
+/// while different seeds re-shuffle flows across uplinks.
+#[inline]
+pub fn flow_hash(src: Ipv4, dst: Ipv4, seed: u64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ seed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    for b in src.0.to_be_bytes().into_iter().chain(dst.0.to_be_bytes()) {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The upper-fabric wiring above the leaves.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FabricShape {
+    /// §3.7's two-tier fabric: one spine, one uplink per leaf.
+    LeafSpine,
+    /// A k-ary three-tier fat-tree: `pods` pods of `racks/pods` leaves,
+    /// `aggs_per_pod` aggregation switches per pod, and
+    /// `aggs_per_pod × cores_per_group` cores (core group *j* connects
+    /// to aggregation *j* of every pod).
+    FatTree {
+        /// Number of pods.
+        pods: usize,
+        /// Aggregation switches per pod == uplinks per leaf.
+        aggs_per_pod: usize,
+        /// Cores per aggregation group == uplinks per aggregation switch.
+        cores_per_group: usize,
+    },
+}
+
+impl FabricShape {
+    /// ECMP width: distinct uplinks out of one leaf.
+    #[inline]
+    pub fn n_uplinks(&self) -> usize {
+        match *self {
+            FabricShape::LeafSpine => 1,
+            FabricShape::FatTree { aggs_per_pod, .. } => aggs_per_pod,
+        }
+    }
+
+    /// Leaves per pod of a `racks`-leaf fabric (leaf/spine: one pod).
+    #[inline]
+    pub fn leaves_per_pod(&self, racks: usize) -> usize {
+        match *self {
+            FabricShape::LeafSpine => racks,
+            FabricShape::FatTree { pods, .. } => racks / pods,
+        }
+    }
+
+    /// Switches above the leaf tier (0 for a single rack).
+    #[inline]
+    pub fn upper_count(&self, racks: usize) -> usize {
+        if racks <= 1 {
+            return 0;
+        }
+        match *self {
+            FabricShape::LeafSpine => 1,
+            FabricShape::FatTree {
+                pods,
+                aggs_per_pod,
+                cores_per_group,
+            } => pods * aggs_per_pod + aggs_per_pod * cores_per_group,
+        }
+    }
+
+    /// Pod of leaf `leaf`.
+    #[inline]
+    pub fn pod_of_leaf(&self, racks: usize, leaf: usize) -> usize {
+        leaf / self.leaves_per_pod(racks)
+    }
+
+    /// Global switch index of aggregation `j` in pod `pod` (pod-major).
+    #[inline]
+    pub fn agg_index(&self, racks: usize, pod: usize, j: usize) -> usize {
+        match *self {
+            FabricShape::LeafSpine => racks,
+            FabricShape::FatTree { aggs_per_pod, .. } => racks + pod * aggs_per_pod + j,
+        }
+    }
+
+    /// Global switch index of core `c` in group `j` (cores sit after all
+    /// aggregation switches; group-major).
+    #[inline]
+    pub fn core_index(&self, racks: usize, j: usize, c: usize) -> usize {
+        match *self {
+            FabricShape::LeafSpine => racks,
+            FabricShape::FatTree {
+                pods,
+                aggs_per_pod,
+                cores_per_group,
+            } => racks + pods * aggs_per_pod + j * cores_per_group + c,
+        }
+    }
 }
 
 /// Where the hosts of one kind sit across the racks.
@@ -73,6 +201,11 @@ pub struct Topology {
     pub server_placement: Placement,
     /// Which rack each client sits in.
     pub client_placement: Placement,
+    /// The upper-fabric wiring above the leaves.
+    pub shape: FabricShape,
+    /// Seed of the ECMP [`flow_hash`] (only meaningful with multiple
+    /// uplinks, i.e. fat-tree shapes).
+    pub ecmp_seed: u64,
 }
 
 impl Topology {
@@ -83,6 +216,8 @@ impl Topology {
             inter_rack_ns: crate::calib::INTER_RACK_ONE_WAY_NS,
             server_placement: Placement::RoundRobin,
             client_placement: Placement::RoundRobin,
+            shape: FabricShape::LeafSpine,
+            ecmp_seed: 0,
         }
     }
 
@@ -95,9 +230,31 @@ impl Topology {
         }
     }
 
+    /// The canonical k-ary fat-tree (`k` even, ≥ 2): `k` pods of `k/2`
+    /// leaves, `k/2` aggregation switches per pod, `(k/2)²` cores —
+    /// `k²/2` racks total. Hosts round-robin unless placed explicitly.
+    pub fn fat_tree(k: usize) -> Self {
+        assert!(k >= 2 && k % 2 == 0, "a fat-tree needs an even k >= 2");
+        Topology {
+            racks: k * k / 2,
+            shape: FabricShape::FatTree {
+                pods: k,
+                aggs_per_pod: k / 2,
+                cores_per_group: k / 2,
+            },
+            ..Topology::single_rack()
+        }
+    }
+
     /// Overrides the leaf↔spine link latency.
     pub fn with_inter_rack_ns(mut self, ns: u64) -> Self {
         self.inter_rack_ns = ns;
+        self
+    }
+
+    /// Overrides the ECMP hash seed.
+    pub fn with_ecmp_seed(mut self, seed: u64) -> Self {
+        self.ecmp_seed = seed;
         self
     }
 
@@ -123,19 +280,30 @@ impl Topology {
         self.client_placement.rack_of(cid, self.racks)
     }
 
-    /// Number of switches in the fabric: the leaves plus, for multi-rack
-    /// shapes, one aggregation spine.
-    pub fn num_switches(&self) -> usize {
-        if self.racks > 1 {
-            self.racks + 1
-        } else {
-            1
-        }
+    /// Leaves per pod (`racks` for leaf/spine: one pod).
+    pub fn leaves_per_pod(&self) -> usize {
+        self.shape.leaves_per_pod(self.racks)
     }
 
-    /// Index of the spine switch (`None` for a single rack).
+    /// ECMP width: distinct uplinks out of one leaf.
+    pub fn n_uplinks(&self) -> usize {
+        self.shape.n_uplinks()
+    }
+
+    /// Switches above the leaf tier (0 for a single rack).
+    pub fn upper_count(&self) -> usize {
+        self.shape.upper_count(self.racks)
+    }
+
+    /// Number of switches in the fabric: the leaves plus the upper tier.
+    pub fn num_switches(&self) -> usize {
+        (self.racks + self.upper_count()).max(1)
+    }
+
+    /// Index of the spine switch (`None` for a single rack or a
+    /// fat-tree, which has no single spine).
     pub fn spine(&self) -> Option<usize> {
-        (self.racks > 1).then_some(self.racks)
+        (self.racks > 1 && self.shape == FabricShape::LeafSpine).then_some(self.racks)
     }
 
     /// Checks the shape against a host fleet. Explicit placements must
@@ -143,6 +311,25 @@ impl Topology {
     pub fn validate(&self, n_servers: usize, n_clients: usize) -> Result<(), String> {
         if self.racks == 0 {
             return Err("a topology needs at least one rack".into());
+        }
+        if let FabricShape::FatTree {
+            pods,
+            aggs_per_pod,
+            cores_per_group,
+        } = self.shape
+        {
+            if self.racks < 2 {
+                return Err("a fat-tree needs at least two racks".into());
+            }
+            if pods == 0 || aggs_per_pod == 0 || cores_per_group == 0 {
+                return Err("a fat-tree needs pods, aggs and cores >= 1".into());
+            }
+            if self.racks % pods != 0 {
+                return Err(format!(
+                    "{} racks do not split into {pods} pods",
+                    self.racks
+                ));
+            }
         }
         let check = |kind: &str, placement: &Placement, n: usize| match placement {
             Placement::RoundRobin => Ok(()),
@@ -187,6 +374,10 @@ pub struct Fabric {
     pub(crate) client_leaf: Vec<usize>,
     /// Leaf the LÆDGE coordinator hangs off (rack 0 by convention).
     pub(crate) coord_leaf: usize,
+    /// The upper-fabric wiring above the leaves.
+    pub(crate) shape: FabricShape,
+    /// Seed of the ECMP [`flow_hash`].
+    pub(crate) ecmp_seed: u64,
 }
 
 impl Fabric {
@@ -200,9 +391,19 @@ impl Fabric {
         self.engines.is_empty()
     }
 
-    /// Index of the spine switch (`None` for a single rack).
+    /// Index of the spine switch (`None` for a single rack or fat-tree).
     pub fn spine(&self) -> Option<usize> {
-        (self.racks > 1).then_some(self.racks)
+        (self.racks > 1 && self.shape == FabricShape::LeafSpine).then_some(self.racks)
+    }
+
+    /// The upper-fabric wiring.
+    pub fn shape(&self) -> FabricShape {
+        self.shape
+    }
+
+    /// Seed of the ECMP [`flow_hash`].
+    pub fn ecmp_seed(&self) -> u64 {
+        self.ecmp_seed
     }
 
     /// Leaf switch of server `idx`.
@@ -225,18 +426,68 @@ impl Fabric {
         self.inter_rack_ns
     }
 
-    /// Resolves an emission from switch `sw` out of `port`: either a
-    /// local host port or the next switch. Pure arithmetic — the hot
-    /// path allocates nothing.
+    /// Resolves an emission from switch `sw` out of `port` for a flow
+    /// hashing to `h`: either a local host port or the next switch. Pure
+    /// arithmetic — the hot path allocates nothing.
+    ///
+    /// The upper-tier walk is loop-free by construction: a packet goes
+    /// up (leaf → agg → core) only while `port == UPLINK_PORT`, and the
+    /// hash decides *which* same-tier switch, never whether to go back
+    /// down the tier it came from. Core group `j` reaches aggregation
+    /// `j` of every pod, so the down path retraces the group the up
+    /// path chose.
+    #[inline]
+    pub fn route(&self, sw: usize, port: PortId, h: u64) -> Hop {
+        if sw < self.racks {
+            // Leaf: the only inter-switch port is the uplink.
+            if port == UPLINK_PORT && self.racks > 1 {
+                match self.shape {
+                    FabricShape::LeafSpine => Hop::Switch(self.racks),
+                    FabricShape::FatTree { aggs_per_pod, .. } => {
+                        let pod = self.shape.pod_of_leaf(self.racks, sw);
+                        let j = (h % aggs_per_pod as u64) as usize;
+                        Hop::Switch(self.shape.agg_index(self.racks, pod, j))
+                    }
+                }
+            } else {
+                Hop::Local(port)
+            }
+        } else {
+            match self.shape {
+                FabricShape::LeafSpine => Hop::Switch((port - spine_port(0)) as usize),
+                FabricShape::FatTree {
+                    pods,
+                    aggs_per_pod,
+                    cores_per_group,
+                } => {
+                    let u = sw - self.racks;
+                    if u < pods * aggs_per_pod {
+                        // Aggregation switch `j` of pod `pod`.
+                        let (pod, j) = (u / aggs_per_pod, u % aggs_per_pod);
+                        if port == UPLINK_PORT {
+                            let c = ((h / aggs_per_pod as u64) % cores_per_group as u64) as usize;
+                            Hop::Switch(self.shape.core_index(self.racks, j, c))
+                        } else {
+                            let leaf_in_pod = (port - agg_down_port(0)) as usize;
+                            Hop::Switch(pod * self.shape.leaves_per_pod(self.racks) + leaf_in_pod)
+                        }
+                    } else {
+                        // Core of group `j`: every port faces one pod's
+                        // aggregation `j`.
+                        let j = (u - pods * aggs_per_pod) / cores_per_group;
+                        let pod = (port - core_port(0)) as usize;
+                        Hop::Switch(self.shape.agg_index(self.racks, pod, j))
+                    }
+                }
+            }
+        }
+    }
+
+    /// [`Fabric::route`] for single-path shapes (hash 0); the historical
+    /// two-tier entry point.
     #[inline]
     pub fn hop(&self, sw: usize, port: PortId) -> Hop {
-        if Some(sw) == self.spine() {
-            Hop::Switch((port - spine_port(0)) as usize)
-        } else if port == UPLINK_PORT && self.racks > 1 {
-            Hop::Switch(self.racks)
-        } else {
-            Hop::Local(port)
-        }
+        self.route(sw, port, 0)
     }
 
     /// Per-switch counter snapshots, in switch-index order.
@@ -292,5 +543,151 @@ mod tests {
             ..Topology::single_rack()
         };
         assert!(t.validate(2, 1).is_err());
+    }
+
+    /// An engine-less fabric: `route` is pure arithmetic over the shape.
+    fn fat_tree_fabric(k: usize) -> Fabric {
+        let t = Topology::fat_tree(k);
+        Fabric {
+            engines: Vec::new(),
+            racks: t.racks,
+            inter_rack_ns: t.inter_rack_ns,
+            server_leaf: Vec::new(),
+            client_leaf: Vec::new(),
+            coord_leaf: 0,
+            shape: t.shape,
+            ecmp_seed: 0,
+        }
+    }
+
+    #[test]
+    fn fat_tree_shape_arithmetic() {
+        let t = Topology::fat_tree(4);
+        assert_eq!(t.racks, 8);
+        assert_eq!(t.leaves_per_pod(), 2);
+        assert_eq!(t.n_uplinks(), 2);
+        assert_eq!(t.upper_count(), 4 * 2 + 2 * 2);
+        assert_eq!(t.num_switches(), 8 + 12);
+        assert_eq!(t.spine(), None, "a fat-tree has no single spine");
+        assert!(t.validate(8, 4).is_ok());
+        let t = Topology::fat_tree(6);
+        assert_eq!(t.racks, 18);
+        assert_eq!(t.n_uplinks(), 3);
+        assert_eq!(t.upper_count(), 6 * 3 + 3 * 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "even k")]
+    fn fat_tree_rejects_odd_k() {
+        let _ = Topology::fat_tree(3);
+    }
+
+    #[test]
+    fn fat_tree_route_transitions() {
+        let f = fat_tree_fabric(4);
+        let (pods, a, c) = (4usize, 2usize, 2usize);
+        let (racks, lpp) = (8usize, 2usize);
+        for leaf in 0..racks {
+            for h in [0u64, 1, 5, 0xdead_beef] {
+                let pod = leaf / lpp;
+                let j = (h % a as u64) as usize;
+                let agg = racks + pod * a + j;
+                assert_eq!(f.route(leaf, UPLINK_PORT, h), Hop::Switch(agg));
+                // Aggregation uplink: a core of group `j` (higher hash
+                // bits pick which one).
+                let cc = ((h / a as u64) % c as u64) as usize;
+                let core = racks + pods * a + j * c + cc;
+                assert_eq!(f.route(agg, UPLINK_PORT, h), Hop::Switch(core));
+                // Core group `j` reaches aggregation `j` of every pod —
+                // the down path retraces the group the up path chose.
+                for p in 0..pods {
+                    assert_eq!(
+                        f.route(core, core_port(p), h),
+                        Hop::Switch(racks + p * a + j)
+                    );
+                }
+                for i in 0..lpp {
+                    assert_eq!(
+                        f.route(agg, agg_down_port(i), h),
+                        Hop::Switch(pod * lpp + i)
+                    );
+                }
+                // Host ports on a leaf stay local.
+                assert_eq!(f.route(leaf, 10, h), Hop::Local(10));
+            }
+        }
+    }
+
+    #[test]
+    fn fat_tree_walks_terminate_loop_free() {
+        // From any leaf, following UPLINK_PORT transitions and then the
+        // down-ports reaches any destination leaf in ≤ 4 switch-to-switch
+        // hops without revisiting a tier.
+        let f = fat_tree_fabric(6);
+        let shape = f.shape();
+        let (racks, lpp) = (18usize, 3usize);
+        for src in 0..racks {
+            for dst in 0..racks {
+                for h in [3u64, 0x9e37_79b9] {
+                    // Up as far as needed: same pod stops at the agg.
+                    let Hop::Switch(agg) = f.route(src, UPLINK_PORT, h) else {
+                        panic!("uplink must reach a switch");
+                    };
+                    let down_from = if src / lpp == dst / lpp {
+                        agg
+                    } else {
+                        let Hop::Switch(core) = f.route(agg, UPLINK_PORT, h) else {
+                            panic!("agg uplink must reach a core");
+                        };
+                        let Hop::Switch(agg2) = f.route(core, core_port(dst / lpp), h) else {
+                            panic!("core must reach the destination pod");
+                        };
+                        assert_eq!(
+                            shape.pod_of_leaf(racks, (agg2 - racks) / shape.n_uplinks() * lpp),
+                            dst / lpp
+                        );
+                        agg2
+                    };
+                    assert_eq!(
+                        f.route(down_from, agg_down_port(dst % lpp), h),
+                        Hop::Switch(dst)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flow_hash_is_stable_and_seed_sensitive() {
+        let a = Ipv4::client(0);
+        let b = Ipv4::server(3);
+        assert_eq!(flow_hash(a, b, 7), flow_hash(a, b, 7));
+        assert_ne!(flow_hash(a, b, 7), flow_hash(a, b, 8));
+        assert_ne!(flow_hash(a, b, 7), flow_hash(b, a, 7));
+    }
+
+    #[test]
+    fn fat_tree_validation() {
+        assert!(Topology::fat_tree(4).validate(8, 2).is_ok());
+        let bad = Topology {
+            racks: 7,
+            shape: FabricShape::FatTree {
+                pods: 4,
+                aggs_per_pod: 2,
+                cores_per_group: 2,
+            },
+            ..Topology::single_rack()
+        };
+        assert!(bad.validate(2, 1).is_err(), "racks must split into pods");
+        let bad = Topology {
+            racks: 4,
+            shape: FabricShape::FatTree {
+                pods: 4,
+                aggs_per_pod: 0,
+                cores_per_group: 2,
+            },
+            ..Topology::single_rack()
+        };
+        assert!(bad.validate(2, 1).is_err(), "zero aggs rejected");
     }
 }

@@ -1,0 +1,111 @@
+//! Property tests for the link model: conservation (offered is exactly
+//! forwarded plus dropped), FIFO monotone departures, bounded backlog,
+//! rate-exactness against a naive reference, and drop-independence of
+//! the schedule.
+
+use netclone_linksim::{Link, Verdict};
+use proptest::prelude::*;
+
+/// An arbitrary offer script: (gap to next arrival, wire bytes).
+fn arb_script() -> impl Strategy<Value = Vec<(u64, u32)>> {
+    proptest::collection::vec(
+        (
+            prop_oneof![Just(0u64), 0u64..200, 0u64..100_000],
+            prop_oneof![Just(84u32), 64u32..1_500, Just(9_000u32)],
+        ),
+        1..200,
+    )
+}
+
+proptest! {
+    /// Every offered packet is either forwarded or dropped, exactly once.
+    #[test]
+    fn conservation(gbps in 1u32..400, queue in 1_024u32..1_000_000, script in arb_script()) {
+        let mut l = Link::new(f64::from(gbps), queue, queue / 3);
+        let (mut fwd, mut drop) = (0u64, 0u64);
+        let mut now = 0u64;
+        for (gap, bytes) in script {
+            now += gap;
+            match l.offer(now, bytes) {
+                Verdict::Forward { .. } => fwd += 1,
+                Verdict::Drop => drop += 1,
+            }
+        }
+        let c = l.counters();
+        prop_assert_eq!(c.forwarded, fwd);
+        prop_assert_eq!(c.dropped, drop);
+        prop_assert_eq!(c.offered, c.forwarded + c.dropped);
+        prop_assert!(c.ecn_marked <= c.forwarded);
+    }
+
+    /// Departures are strictly FIFO (monotone non-decreasing), never
+    /// before the arrival, and the backlog never exceeds the queue bound.
+    #[test]
+    fn fifo_departures_and_bounded_backlog(
+        gbps in 1u32..400,
+        queue in 9_000u32..500_000,
+        script in arb_script(),
+    ) {
+        let mut l = Link::new(f64::from(gbps), queue, 0);
+        let mut now = 0u64;
+        let mut last_depart = 0u64;
+        for (gap, bytes) in script {
+            now += gap;
+            prop_assert!(l.queued_bytes(now) <= u64::from(queue));
+            if let Verdict::Forward { depart_ns, .. } = l.offer(now, bytes) {
+                prop_assert!(depart_ns >= now + l.serialization_ns(bytes));
+                prop_assert!(depart_ns >= last_depart, "FIFO order violated");
+                last_depart = depart_ns;
+            }
+            prop_assert!(l.queued_bytes(now) <= u64::from(queue));
+        }
+    }
+
+    /// The busy-until link matches a naive reference that replays the
+    /// accepted packets one by one: depart = max(prev_depart, arrival) +
+    /// serialization.
+    #[test]
+    fn matches_naive_reference(gbps in 1u32..400, script in arb_script()) {
+        // Unbounded queue: the reference models service order only.
+        let mut l = Link::new(f64::from(gbps), u32::MAX, 0);
+        let mut now = 0u64;
+        let mut ref_busy = 0u64;
+        for (gap, bytes) in script {
+            now += gap;
+            let want = ref_busy.max(now) + l.serialization_ns(bytes);
+            match l.offer(now, bytes) {
+                Verdict::Forward { depart_ns, .. } => {
+                    prop_assert_eq!(depart_ns, want);
+                    ref_busy = want;
+                }
+                Verdict::Drop => prop_assert!(false, "unbounded queue dropped"),
+            }
+        }
+    }
+
+    /// A tail-drop leaves the departure schedule untouched: the accepted
+    /// subsequence departs exactly as if the dropped packets were never
+    /// offered.
+    #[test]
+    fn drops_do_not_perturb_schedule(
+        gbps in 1u32..100,
+        queue in 1_024u32..20_000,
+        script in arb_script(),
+    ) {
+        let mut bounded = Link::new(f64::from(gbps), queue, 0);
+        let mut shadow = Link::new(f64::from(gbps), u32::MAX, 0);
+        let mut now = 0u64;
+        for (gap, bytes) in script {
+            now += gap;
+            if let Verdict::Forward { depart_ns, .. } = bounded.offer(now, bytes) {
+                // Replay only the accepted packets through the shadow.
+                match shadow.offer(now, bytes) {
+                    Verdict::Forward { depart_ns: want, .. } => {
+                        prop_assert_eq!(depart_ns, want);
+                    }
+                    Verdict::Drop => prop_assert!(false, "shadow is unbounded"),
+                }
+            }
+        }
+    }
+}

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [--scale smoke|standard|full] [--jobs N] [--shards N|auto]
-//!       [--format md|csv|json] [--out DIR] [ids…]
+//!       [--fattree-k K] [--oversub R] [--format md|csv|json] [--out DIR] [ids…]
 //! repro --list
 //! ```
 //!
@@ -35,14 +35,17 @@ enum Format {
 
 fn usage() {
     println!(
-        "usage: repro [--scale smoke|standard|full] [--jobs N] [--shards N|auto] [--format md|csv|json] [--out DIR] [ids…]"
+        "usage: repro [--scale smoke|standard|full] [--jobs N] [--shards N|auto] [--fattree-k K] [--oversub R] [--format md|csv|json] [--out DIR] [ids…]"
     );
-    println!("       repro --list   (show every experiment id with its tags and title)");
+    println!("       repro --list   (show every experiment id with topology, tags, title)");
     println!("With no ids, runs every experiment in the registry.");
     println!("--jobs N       experiment-level parallelism: run N simulation cells at once");
     println!("--shards N     run-level parallelism: split each multi-rack event loop into");
     println!("               N per-rack shards ('auto' = one per rack; default 1 = serial).");
     println!("               Results are bit-identical for any --jobs/--shards combination.");
+    println!("--fattree-k K  override the fat-tree radix for topology experiments");
+    println!("               (even, >= 4; default picked by --scale: 4/6/16)");
+    println!("--oversub R    pin fat-tree sweeps to a single oversubscription ratio R");
 }
 
 fn fail(msg: &str) -> ExitCode {
@@ -58,6 +61,8 @@ fn main() -> ExitCode {
     let mut out = PathBuf::from("results");
     let mut jobs = default_jobs();
     let mut shards = 1usize;
+    let mut fattree_k: Option<usize> = None;
+    let mut oversub: Option<f64> = None;
     let mut format = Format::Markdown;
     let mut ids: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -65,7 +70,13 @@ fn main() -> ExitCode {
         match a.as_str() {
             "--list" => {
                 for e in registry() {
-                    println!("{:<10} [{}]  {}", e.id(), e.tags().join(", "), e.title());
+                    println!(
+                        "{:<10} {:<12} [{}]  {}",
+                        e.id(),
+                        e.topology(),
+                        e.tags().join(", "),
+                        e.title()
+                    );
                 }
                 return ExitCode::SUCCESS;
             }
@@ -92,6 +103,18 @@ fn main() -> ExitCode {
                         _ => return fail("--shards needs a positive integer or 'auto'"),
                     },
                     None => return fail("--shards needs a value (N or 'auto')"),
+                };
+            }
+            "--fattree-k" => {
+                fattree_k = match args.next().map(|v| v.parse::<usize>()) {
+                    Some(Ok(k)) if k >= 4 && k % 2 == 0 => Some(k),
+                    _ => return fail("--fattree-k needs an even integer >= 4"),
+                };
+            }
+            "--oversub" => {
+                oversub = match args.next().map(|v| v.parse::<f64>()) {
+                    Some(Ok(r)) if r >= 1.0 => Some(r),
+                    _ => return fail("--oversub needs a ratio >= 1.0"),
                 };
             }
             "--format" => {
@@ -144,10 +167,16 @@ fn main() -> ExitCode {
     if let Err(e) = std::fs::create_dir_all(&out) {
         return fail(&format!("cannot create {}: {e}", out.display()));
     }
-    let ctx = RunCtx::new(scale)
+    let mut ctx = RunCtx::new(scale)
         .with_jobs(jobs)
         .with_shards(shards)
         .with_progress(|msg| eprint!("\r   {msg} "));
+    if let Some(k) = fattree_k {
+        ctx = ctx.with_fattree_k(k);
+    }
+    if let Some(r) = oversub {
+        ctx = ctx.with_oversub(r);
+    }
     for exp in experiments {
         let t0 = std::time::Instant::now();
         eprintln!(

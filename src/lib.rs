@@ -81,6 +81,8 @@ pub use netclone_hostcore as hostcore;
 pub use netclone_hosts as hosts;
 /// The KV store and Redis/Memcached cost models (§5.5).
 pub use netclone_kvstore as kvstore;
+/// Congestion-aware link model: bandwidth, bounded queues, tail-drop/ECN.
+pub use netclone_linksim as linksim;
 /// The real-socket UDP runtime (soft switch + threaded hosts).
 pub use netclone_net as net;
 /// Compared schemes: Baseline/C-Clone fabric, LÆDGE, RackSched.
