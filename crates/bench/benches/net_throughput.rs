@@ -1,0 +1,53 @@
+//! Criterion macro-benchmark of real-socket throughput: one short
+//! open-loop run (sharded client → soft switch → sharded UDP servers on
+//! loopback) per iteration. Complements the tracked `net_throughput`
+//! *binary* (which emits `BENCH_net.json` with achieved rps for CI
+//! gating) with an interactive view of the same loopback path.
+//!
+//! Run: `cargo bench -p netclone-bench --bench net_throughput`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use netclone_core::NetCloneConfig;
+use netclone_net::{OpenLoopSpec, Testbed, WorkExecutor};
+use netclone_proto::RpcOp;
+
+/// One short run (~1.5k requests offered); returns completions.
+fn run_once(workers: usize) -> u64 {
+    let mut tb = Testbed::spawn(
+        NetCloneConfig::default(),
+        2,
+        workers,
+        WorkExecutor::Synthetic,
+    )
+    .expect("testbed");
+    let handle = tb.switch_handle();
+    let client = tb.open_loop_client(workers).expect("open-loop client");
+    let report = client
+        .run(OpenLoopSpec {
+            rate_rps: 10_000.0,
+            duration: Duration::from_millis(150),
+            op: RpcOp::Echo { class_ns: 25_000 },
+            drain: Duration::from_millis(100),
+            request_timeout: Duration::from_millis(50),
+            num_groups: handle.num_groups(),
+            num_filter_tables: 2,
+            seed: 7,
+            workers,
+        })
+        .expect("open-loop run");
+    tb.shutdown();
+    report.completed
+}
+
+fn bench_net(c: &mut Criterion) {
+    let mut g = c.benchmark_group("net_throughput");
+    g.bench_function("workers_1", |b| b.iter(|| black_box(run_once(1))));
+    g.bench_function("workers_2", |b| b.iter(|| black_box(run_once(2))));
+    g.finish();
+}
+
+criterion_group!(benches, bench_net);
+criterion_main!(benches);

@@ -80,6 +80,19 @@ impl ClientStats {
             self.clone_wins as f64 / self.completed as f64
         }
     }
+
+    /// Folds another client's counters into this one. Every field is a
+    /// plain count over a disjoint request set (sharded frontends give
+    /// each worker its own cid/seq partition), so merging is summation
+    /// and the `sent == completed + lost` invariant is preserved.
+    pub fn merge(&mut self, other: &ClientStats) {
+        self.generated += other.generated;
+        self.packets_sent += other.packets_sent;
+        self.completed += other.completed;
+        self.redundant += other.redundant;
+        self.clone_wins += other.clone_wins;
+        self.lost += other.lost;
+    }
 }
 
 /// Verdict of [`ClientCore::on_packet`] on one incoming packet.

@@ -41,6 +41,19 @@ pub struct ServerStats {
     pub peak_queue: usize,
 }
 
+impl ServerStats {
+    /// Folds another core's counters into this one: counts sum, the peak
+    /// queue takes the max. Used by sharded frontends where each receive
+    /// thread owns its own [`ServerCore`] and stats are merged on read.
+    pub fn merge(&mut self, other: &ServerStats) {
+        self.served += other.served;
+        self.clones_dropped += other.clones_dropped;
+        self.idle_reports += other.idle_reports;
+        self.responses += other.responses;
+        self.peak_queue = self.peak_queue.max(other.peak_queue);
+    }
+}
+
 #[derive(Debug, Default)]
 struct Counters {
     served: AtomicU64,

@@ -153,3 +153,92 @@ proptest! {
         prop_assert_eq!(st.redundant, n as u64);
     }
 }
+
+/// Scripted per-request fate for the sharding/merge property below.
+#[derive(Clone, Copy, Debug)]
+enum Fate {
+    /// One response arrives (`clone` selects the CLO=2 copy).
+    Complete { clone: bool },
+    /// The response arrives twice — the second must count as redundant.
+    Duplicate,
+    /// No response ever arrives — the final drain reports it lost.
+    Lose,
+}
+
+fn arb_fate() -> impl Strategy<Value = Fate> {
+    prop_oneof![
+        Just(Fate::Complete { clone: false }),
+        Just(Fate::Complete { clone: true }),
+        Just(Fate::Duplicate),
+        Just(Fate::Lose),
+    ]
+}
+
+/// Drives `cores[pick(i)]` through request `i`'s scripted fate and
+/// returns the merged stats plus total completed-latency samples.
+fn run_partitioned(
+    fates: &[Fate],
+    cores: &mut [ClientCore],
+    pick: impl Fn(usize) -> usize,
+) -> (netclone_hostcore::ClientStats, u64) {
+    let mut now = 0u64;
+    for (i, fate) in fates.iter().enumerate() {
+        now += 1_000;
+        let c = &mut cores[pick(i)];
+        c.generate(RpcOp::Echo { class_ns: 10_000 }, now);
+        let meta = c.poll().expect("NetClone mode emits one packet");
+        match fate {
+            Fate::Complete { clone } => {
+                c.on_packet(&response_to(&meta, *clone), now + 500);
+            }
+            Fate::Duplicate => {
+                c.on_packet(&response_to(&meta, false), now + 500);
+                c.on_packet(&response_to(&meta, false), now + 600);
+            }
+            Fate::Lose => {}
+        }
+    }
+    let mut merged = netclone_hostcore::ClientStats::default();
+    let mut samples = 0u64;
+    for c in cores.iter_mut() {
+        c.drain_outstanding();
+        merged.merge(&c.stats());
+        samples += c.latencies().count();
+    }
+    (merged, samples)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The sharded open-loop frontend's merge contract: partitioning a
+    /// request set across N worker cores (disjoint cids, any assignment)
+    /// and summing per-worker stats yields exactly the stats of a single
+    /// core running the same request set with the same per-request fates.
+    #[test]
+    fn merged_worker_stats_equal_a_single_core_run(
+        fates in proptest::collection::vec(arb_fate(), 1..200),
+        workers in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let mut single = [nc_core(seed)];
+        let (single_stats, single_samples) = run_partitioned(&fates, &mut single, |_| 0);
+
+        let mut cores: Vec<ClientCore> = (0..workers as u16)
+            .map(|w| {
+                ClientCore::new(
+                    w,
+                    ClientMode::NetClone { num_groups: 30, num_filter_tables: 2 },
+                    seed ^ u64::from(w),
+                )
+                .with_timeout(TIMEOUT_NS)
+            })
+            .collect();
+        let (merged, samples) = run_partitioned(&fates, &mut cores, |i| i % workers);
+
+        prop_assert_eq!(merged, single_stats);
+        prop_assert_eq!(samples, single_samples);
+        prop_assert_eq!(merged.generated, fates.len() as u64);
+        prop_assert_eq!(merged.completed + merged.lost, merged.generated);
+    }
+}

@@ -10,12 +10,12 @@
 use std::net::{SocketAddr, UdpSocket};
 use std::time::{Duration, Instant};
 
-use bytes::Bytes;
 use netclone_hostcore::{ClientCore, ClientMode, ClientStats, RxEvent};
 use netclone_proto::{ClientId, Ipv4, RpcOp, ServerState};
 use netclone_stats::LatencyHistogram;
 
-use crate::codec::{decode_packet, encode_packet};
+use crate::batch::DeadlineTimeout;
+use crate::codec::{decode_packet_borrowed, encode_packet};
 
 /// Errors from a blocking call.
 #[derive(Debug, PartialEq, Eq)]
@@ -153,12 +153,18 @@ impl UdpClient {
         }
 
         let mut buf = vec![0u8; 65_536];
+        // Re-arming the socket timeout with the exact remaining time was a
+        // syscall per iteration; the bucketed helper only re-arms when the
+        // remaining-deadline bucket changes, so a wake can come before the
+        // true deadline — the `elapsed >= timeout` check above the recv is
+        // what actually enforces it.
+        let mut arm = DeadlineTimeout::new();
         loop {
             let elapsed = start.elapsed();
             if elapsed >= timeout {
                 return fail(&mut self.core, CallError::Timeout);
             }
-            if let Err(e) = self.socket.set_read_timeout(Some(timeout - elapsed)) {
+            if let Err(e) = arm.arm(&self.socket, timeout - elapsed) {
                 return fail(&mut self.core, CallError::Io(e.to_string()));
             }
             let len = match self.socket.recv(&mut buf) {
@@ -167,11 +173,11 @@ impl UdpClient {
                     if e.kind() == std::io::ErrorKind::WouldBlock
                         || e.kind() == std::io::ErrorKind::TimedOut =>
                 {
-                    return fail(&mut self.core, CallError::Timeout);
+                    continue;
                 }
                 Err(e) => return fail(&mut self.core, CallError::Io(e.to_string())),
             };
-            let Ok((m, _op, value)) = decode_packet(Bytes::copy_from_slice(&buf[..len])) else {
+            let Ok((m, _op, value)) = decode_packet_borrowed(&buf[..len]) else {
                 continue;
             };
             match self.core.on_packet(&m.nc, self.now_ns()) {
@@ -203,7 +209,7 @@ impl UdpClient {
         let mut n = 0;
         let _ = self.socket.set_read_timeout(Some(Duration::from_millis(5)));
         while let Ok(len) = self.socket.recv(&mut buf) {
-            if let Ok((m, _op, _value)) = decode_packet(Bytes::copy_from_slice(&buf[..len])) {
+            if let Ok((m, _op, _value)) = decode_packet_borrowed(&buf[..len]) {
                 if self.core.on_packet(&m.nc, self.now_ns()) != RxEvent::Ignored {
                     n += 1;
                 }

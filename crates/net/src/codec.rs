@@ -20,13 +20,27 @@ pub const PREHEADER_LEN: usize = 10;
 /// Encodes a packet (and optional trailing value bytes) into a datagram.
 pub fn encode_packet(meta: &PacketMeta, op: &RpcOp, value: &[u8]) -> Bytes {
     let mut b = BytesMut::with_capacity(PREHEADER_LEN + wire::HEADER_LEN + 24 + value.len());
+    encode_packet_buf(meta, op, value, &mut b);
+    b.freeze()
+}
+
+/// Encodes a packet into a caller-owned reusable buffer (cleared first).
+///
+/// The allocation-free twin of [`encode_packet`]: a hot loop that keeps
+/// one `Vec<u8>` per slot pays for its capacity once and never allocates
+/// again — the contract the per-packet send paths rely on.
+pub fn encode_packet_into(meta: &PacketMeta, op: &RpcOp, value: &[u8], buf: &mut Vec<u8>) {
+    buf.clear();
+    encode_packet_buf(meta, op, value, buf);
+}
+
+fn encode_packet_buf<B: BufMut>(meta: &PacketMeta, op: &RpcOp, value: &[u8], b: &mut B) {
     b.put_u32(meta.src_ip.0);
     b.put_u32(meta.dst_ip.0);
     b.put_u16(meta.l4_dport);
-    wire::encode_header(&meta.nc, &mut b);
-    wire::encode_op(op, &mut b);
+    wire::encode_header(&meta.nc, b);
+    wire::encode_op(op, b);
     b.put_slice(value);
-    b.freeze()
 }
 
 /// Decodes a datagram into (metadata, op, trailing value bytes).
@@ -43,6 +57,37 @@ pub fn decode_packet(mut datagram: Bytes) -> Result<(PacketMeta, RpcOp, Bytes), 
     // The preheader has been consumed; the NetClone header, op, and value
     // are all still in `datagram`, so the total frame length is just the
     // preheader plus what remains.
+    let wire_len = (PREHEADER_LEN + datagram.len()).min(u16::MAX as usize);
+    let (nc, op) = wire::decode_frame(&mut datagram)?;
+    Ok((
+        PacketMeta {
+            src_ip,
+            dst_ip,
+            l4_dport,
+            nc,
+            wire_bytes: wire_len as u16,
+        },
+        op,
+        datagram,
+    ))
+}
+
+/// Decodes a datagram straight from a borrowed receive buffer — no copy
+/// into an owned `Bytes`, no allocation. The trailing value bytes are a
+/// sub-slice of `datagram`; callers that must keep the value past the
+/// buffer's next reuse copy it themselves (or use [`decode_packet`]).
+pub fn decode_packet_borrowed(
+    mut datagram: &[u8],
+) -> Result<(PacketMeta, RpcOp, &[u8]), WireError> {
+    if datagram.len() < PREHEADER_LEN {
+        return Err(WireError::Truncated {
+            needed: PREHEADER_LEN,
+            have: datagram.len(),
+        });
+    }
+    let src_ip = Ipv4(datagram.get_u32());
+    let dst_ip = Ipv4(datagram.get_u32());
+    let l4_dport = datagram.get_u16();
     let wire_len = (PREHEADER_LEN + datagram.len()).min(u16::MAX as usize);
     let (nc, op) = wire::decode_frame(&mut datagram)?;
     Ok((
@@ -115,6 +160,36 @@ mod tests {
         let (m, _, val) = decode_packet(dg).unwrap();
         assert_eq!(m.wire_bytes as usize, total);
         assert_eq!(val.len(), 64);
+    }
+
+    #[test]
+    fn borrowed_and_owned_paths_agree() {
+        let meta = PacketMeta::netclone_response(
+            Ipv4::server(1),
+            Ipv4::client(0),
+            NetCloneHdr::request(3, 0, 0, 42),
+            0,
+        );
+        let op = RpcOp::Get {
+            key: KvKey::from_index(9),
+        };
+        let owned = encode_packet(&meta, &op, b"VALUE");
+        let mut reused = Vec::new();
+        encode_packet_into(&meta, &op, b"VALUE", &mut reused);
+        assert_eq!(&owned[..], &reused[..]);
+        // Reuse must clear the previous contents.
+        encode_packet_into(&meta, &op, b"V2", &mut reused);
+        let cap = reused.capacity();
+        encode_packet_into(&meta, &op, b"VALUE", &mut reused);
+        assert_eq!(&owned[..], &reused[..]);
+        assert_eq!(reused.capacity(), cap, "steady-state reuse reallocated");
+
+        let (m1, o1, v1) = decode_packet(owned.clone()).unwrap();
+        let (m2, o2, v2) = decode_packet_borrowed(&owned).unwrap();
+        assert_eq!(m1, m2);
+        assert_eq!(o1, o2);
+        assert_eq!(&v1[..], v2);
+        assert!(decode_packet_borrowed(&[1, 2, 3]).is_err());
     }
 
     #[test]

@@ -21,16 +21,21 @@
 //! driver over the sans-io cores in [`netclone-hostcore`], the same state
 //! machines the discrete-event simulator runs.
 //!
-//! Concurrency follows the structured style of the networking guides:
-//! crossbeam channels as the server's request queue (its length is the
-//! §3.4 "queue" the clone-drop rule consults), `parking_lot` locks around
-//! shared switch state, explicit shutdown flags, and joined threads on
-//! drop.
+//! Concurrency is sharded, not queued: the open-loop client runs one
+//! thread per worker, each owning its own `ClientCore` and socket; the
+//! server runs one receive thread per worker, each owning its own
+//! `ServerCore` (the §3.4 "queue" the clone-drop rule consults is the
+//! batch backlog behind each request). The per-packet paths are
+//! allocation-free and batched ([`batch`]: `sendmmsg`/`recvmmsg` on
+//! Linux behind the `mmsg` feature, portable loop elsewhere);
+//! `parking_lot` guards only the shared switch state, with explicit
+//! shutdown flags and joined threads on drop.
 //!
 //! [`netclone-core`]: ../netclone_core/index.html
 //! [`netclone-hostcore`]: ../netclone_hostcore/index.html
 //! [`netclone-proto::wire`]: ../netclone_proto/wire/index.html
 
+pub mod batch;
 pub mod client;
 pub mod codec;
 pub mod openloop;
@@ -39,9 +44,10 @@ pub mod switch;
 pub mod testbed;
 pub mod work;
 
+pub use batch::{path_counters, DeadlineTimeout, PathCounters, RecvBatch, SendBatch};
 pub use client::{CallError, CallReply, UdpClient};
-pub use codec::{decode_packet, encode_packet};
-pub use openloop::{OpenLoopClient, OpenLoopReport, OpenLoopSpec};
+pub use codec::{decode_packet, decode_packet_borrowed, encode_packet, encode_packet_into};
+pub use openloop::{OpenLoopClient, OpenLoopReport, OpenLoopSpec, WorkerReport};
 pub use server::{ServerHandle, UdpServerConfig};
 pub use switch::{SoftSwitch, SwitchHandle};
 pub use testbed::Testbed;

@@ -1,40 +1,50 @@
-//! Open-loop load generation over real sockets — the §4.2 client: "It
-//! consists of two threads, one is the sender thread and the other is the
-//! receiver thread. The inter-arrival time between two consecutive
-//! requests is exponentially distributed."
+//! Open-loop load generation over real sockets — the §4.2 client ("the
+//! inter-arrival time between two consecutive requests is exponentially
+//! distributed"), sharded across worker threads.
 //!
-//! Both threads drive one shared [`ClientCore`]: the sender locks it to
-//! generate and address each request, the receiver locks it to classify
-//! responses and to evict requests that outlived `request_timeout`
-//! (bounding the outstanding map under response loss). All accounting —
-//! completed, redundant, clone-win, lost — is therefore identical to the
-//! DES client and to [`crate::UdpClient`].
+//! Each worker owns its **own** [`ClientCore`] — the core is sans-io and
+//! owns its seq space, so giving every worker a disjoint `cid` partition
+//! and a per-worker RNG stream derived from the seed removes the global
+//! `Mutex<ClientCore>` the first version of this module serialized every
+//! request through. A worker is one thread running both roles: it paces
+//! exponential-gap sends (batched through [`SendBatch`], `sendmmsg` on
+//! Linux) and busy-polls its own socket for responses (batched through
+//! [`RecvBatch`], borrowed decode), so the per-packet path takes no lock,
+//! performs no allocation, and issues a fraction of a syscall per packet.
+//! All accounting — completed, redundant, clone-win, lost — is still the
+//! core's, identical to the DES client and to [`crate::UdpClient`]; the
+//! run merges per-worker [`ClientStats`] and latency histograms into one
+//! [`OpenLoopReport`] that keeps the per-worker breakdown.
+//!
+//! Worker 0 uses the spec seed verbatim, so a `workers: 1` run generates
+//! the exact request stream (addressing, GRP/IDX draws, seq numbers) the
+//! pre-sharding client generated for the same seed.
 
 use std::net::{SocketAddr, UdpSocket};
-use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use bytes::Bytes;
 use netclone_hostcore::{ClientCore, ClientMode, ClientStats};
 use netclone_proto::{Ipv4, RpcOp};
 use netclone_stats::LatencyHistogram;
 use netclone_workloads::PoissonArrivals;
-use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::codec::{decode_packet, encode_packet};
+use crate::batch::{RecvBatch, SendBatch};
+use crate::codec::{decode_packet_borrowed, encode_packet_into};
 
 /// Parameters of one open-loop run.
 #[derive(Clone, Debug)]
 pub struct OpenLoopSpec {
-    /// Target request rate, requests/second.
+    /// Target request rate, requests/second, **aggregate** across workers
+    /// (each worker paces at `rate_rps / workers`).
     pub rate_rps: f64,
     /// Generation window.
     pub duration: Duration,
     /// The operation to issue (fixed class / key pattern).
     pub op: RpcOp,
-    /// Extra time to wait for in-flight responses after generation stops.
+    /// Extra time to wait for in-flight responses after generation stops
+    /// (workers exit early once nothing is outstanding).
     pub drain: Duration,
     /// Per-request timeout: requests unanswered this long are evicted from
     /// the outstanding map and reported as `lost`.
@@ -43,11 +53,27 @@ pub struct OpenLoopSpec {
     pub num_groups: u16,
     /// Number of filter tables (for the random IDX).
     pub num_filter_tables: u8,
-    /// RNG seed.
+    /// RNG seed. Worker 0 uses it verbatim; worker `w` derives its own
+    /// stream with a splitmix64 step over `seed ^ w`.
     pub seed: u64,
+    /// Worker threads — must match the worker count the client was bound
+    /// with ([`OpenLoopClient::bind_workers`]).
+    pub workers: usize,
 }
 
-/// Results of one open-loop run.
+/// One worker's share of an open-loop run.
+#[derive(Debug)]
+pub struct WorkerReport {
+    /// The worker's client identity (`base_cid + worker index`).
+    pub cid: u16,
+    /// The worker's core counters.
+    pub stats: ClientStats,
+    /// Latency histogram (ns) of the worker's completed requests.
+    pub latencies: LatencyHistogram,
+}
+
+/// Results of one open-loop run: merged totals plus the per-worker
+/// breakdown they were folded from.
 #[derive(Debug)]
 pub struct OpenLoopReport {
     /// Requests sent.
@@ -61,8 +87,10 @@ pub struct OpenLoopReport {
     /// Requests that never saw a response: evicted after
     /// `request_timeout`, or still outstanding when the run ended.
     pub lost: u64,
-    /// Latency histogram (ns) of completed requests.
+    /// Latency histogram (ns) of completed requests, all workers merged.
     pub latencies: LatencyHistogram,
+    /// Per-worker reports, in worker order (worker 0 first).
+    pub per_worker: Vec<WorkerReport>,
 }
 
 impl OpenLoopReport {
@@ -83,148 +111,320 @@ impl OpenLoopReport {
             self.clone_wins as f64 / self.completed as f64
         }
     }
-}
 
-/// An open-loop client bound to a socket (register [`Self::addr`] with the
-/// switch before running).
-pub struct OpenLoopClient {
-    cid: u16,
-    vip: Ipv4,
-    socket: UdpSocket,
-    switch_addr: SocketAddr,
-}
-
-impl OpenLoopClient {
-    /// Binds on `127.0.0.1`.
-    pub fn bind(cid: u16, switch_addr: SocketAddr) -> std::io::Result<Self> {
-        Ok(OpenLoopClient {
-            cid,
-            vip: Ipv4::client(cid),
-            socket: UdpSocket::bind("127.0.0.1:0")?,
-            switch_addr,
-        })
-    }
-
-    /// The client's socket address.
-    pub fn addr(&self) -> std::io::Result<SocketAddr> {
-        self.socket.local_addr()
-    }
-
-    /// The client's virtual address.
-    pub fn vip(&self) -> Ipv4 {
-        self.vip
-    }
-
-    /// Runs the sender on this thread and a receiver thread until the
-    /// window plus drain elapse; returns the merged report.
-    pub fn run(self, spec: OpenLoopSpec) -> std::io::Result<OpenLoopReport> {
-        let core = Arc::new(Mutex::new(
-            ClientCore::new(
-                self.cid,
-                ClientMode::NetClone {
-                    num_groups: spec.num_groups,
-                    num_filter_tables: spec.num_filter_tables,
-                },
-                spec.seed,
-            )
-            .with_timeout(spec.request_timeout.as_nanos() as u64),
-        ));
-        let rx_socket = self.socket.try_clone()?;
-        let epoch = Instant::now();
-        let deadline = epoch + spec.duration + spec.drain;
-        let receiver = {
-            let core = Arc::clone(&core);
-            let cid = self.cid;
-            std::thread::Builder::new()
-                .name(format!("openloop{cid}-rx"))
-                .spawn(move || receiver_loop(rx_socket, core, epoch, deadline))?
-        };
-
-        // Sender (this thread): exponential gaps at the target rate.
-        let arrivals = PoissonArrivals::new(spec.rate_rps);
-        let mut rng = StdRng::seed_from_u64(spec.seed);
-        let mut next_at = Duration::ZERO;
-        while epoch.elapsed() < spec.duration {
-            // Pace: sleep coarse gaps, spin the tail for μs precision.
-            loop {
-                let now = epoch.elapsed();
-                if now >= next_at {
-                    break;
-                }
-                let remaining = next_at - now;
-                if remaining > Duration::from_micros(300) {
-                    std::thread::sleep(remaining - Duration::from_micros(200));
-                } else {
-                    std::hint::spin_loop();
-                }
-            }
-            let meta = {
-                let mut core = core.lock();
-                core.generate(spec.op, epoch.elapsed().as_nanos() as u64);
-                core.poll().expect("NetClone mode emits one packet")
-            };
-            let datagram = encode_packet(&meta, &spec.op, &[]);
-            self.socket.send_to(&datagram, self.switch_addr)?;
-            next_at += Duration::from_nanos(arrivals.next_gap_ns(&mut rng));
+    fn merge(per_worker: Vec<WorkerReport>) -> OpenLoopReport {
+        let mut stats = ClientStats::default();
+        let mut latencies = LatencyHistogram::new();
+        for w in &per_worker {
+            stats.merge(&w.stats);
+            latencies.merge(&w.latencies);
         }
-
-        receiver
-            .join()
-            .map_err(|_| std::io::Error::other("receiver thread panicked"))?;
-        let mut core = core.lock();
-        // Whatever is still unanswered when the run ends will never be:
-        // the eviction sweep plus this final drain report it as lost.
-        core.drain_outstanding();
-        let stats: ClientStats = core.stats();
-        Ok(OpenLoopReport {
+        OpenLoopReport {
             sent: stats.generated,
             completed: stats.completed,
             redundant: stats.redundant,
             clone_wins: stats.clone_wins,
             lost: stats.lost,
-            latencies: core.latencies().clone(),
-        })
+            latencies,
+            per_worker,
+        }
     }
 }
 
-fn receiver_loop(
+/// One worker's identity + socket, fixed at bind time so every endpoint
+/// can be registered with the switch before traffic flows.
+struct Endpoint {
+    cid: u16,
+    vip: Ipv4,
     socket: UdpSocket,
-    core: Arc<Mutex<ClientCore>>,
+}
+
+/// An open-loop client bound to one socket per worker (register every
+/// [`Self::endpoints`] entry with the switch before running).
+pub struct OpenLoopClient {
+    endpoints: Vec<Endpoint>,
+    switch_addr: SocketAddr,
+}
+
+impl OpenLoopClient {
+    /// Binds a single-worker client on `127.0.0.1`.
+    pub fn bind(cid: u16, switch_addr: SocketAddr) -> std::io::Result<Self> {
+        Self::bind_workers(cid, 1, switch_addr)
+    }
+
+    /// Binds `workers` worker sockets on `127.0.0.1`, with client ids
+    /// `base_cid .. base_cid + workers`.
+    pub fn bind_workers(
+        base_cid: u16,
+        workers: usize,
+        switch_addr: SocketAddr,
+    ) -> std::io::Result<Self> {
+        if workers == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "open-loop client needs at least one worker",
+            ));
+        }
+        let mut endpoints = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let cid = base_cid + w as u16;
+            endpoints.push(Endpoint {
+                cid,
+                vip: Ipv4::client(cid),
+                socket: UdpSocket::bind("127.0.0.1:0")?,
+            });
+        }
+        Ok(OpenLoopClient {
+            endpoints,
+            switch_addr,
+        })
+    }
+
+    /// Worker count this client was bound with.
+    pub fn workers(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// Worker 0's socket address.
+    pub fn addr(&self) -> std::io::Result<SocketAddr> {
+        self.endpoints[0].socket.local_addr()
+    }
+
+    /// Worker 0's virtual address.
+    pub fn vip(&self) -> Ipv4 {
+        self.endpoints[0].vip
+    }
+
+    /// Every worker's `(cid, virtual address, socket address)`, in worker
+    /// order — register each with the switch before running.
+    pub fn endpoints(&self) -> std::io::Result<Vec<(u16, Ipv4, SocketAddr)>> {
+        self.endpoints
+            .iter()
+            .map(|e| Ok((e.cid, e.vip, e.socket.local_addr()?)))
+            .collect()
+    }
+
+    /// Runs worker 0 on this thread and the rest on their own threads
+    /// until the window plus drain elapse (or everything outstanding is
+    /// resolved); returns the merged report with per-worker breakdown.
+    pub fn run(self, spec: OpenLoopSpec) -> std::io::Result<OpenLoopReport> {
+        if spec.workers != self.endpoints.len() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!(
+                    "spec.workers = {} but the client was bound with {} workers",
+                    spec.workers,
+                    self.endpoints.len()
+                ),
+            ));
+        }
+        let epoch = Instant::now();
+        let switch_addr = self.switch_addr;
+        let mut endpoints = self.endpoints;
+        let rest = endpoints.split_off(1);
+        let ep0 = endpoints.pop().expect("bind_workers guarantees >= 1");
+
+        let mut threads = Vec::with_capacity(rest.len());
+        for (i, ep) in rest.into_iter().enumerate() {
+            let spec = spec.clone();
+            let windex = i + 1;
+            let cid = ep.cid;
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("openloop{cid}"))
+                    .spawn(move || worker_loop(ep, switch_addr, &spec, windex, epoch))?,
+            );
+        }
+        let first = worker_loop(ep0, switch_addr, &spec, 0, epoch);
+
+        let mut reports = Vec::with_capacity(spec.workers);
+        reports.push(first?);
+        for t in threads {
+            let report = t
+                .join()
+                .map_err(|_| std::io::Error::other("open-loop worker panicked"))??;
+            reports.push(report);
+        }
+        Ok(OpenLoopReport::merge(reports))
+    }
+}
+
+/// Worker 0 inherits the spec seed verbatim (pre-sharding bit-parity);
+/// the rest get decorrelated streams via a splitmix64 step.
+fn worker_seed(seed: u64, windex: usize) -> u64 {
+    if windex == 0 {
+        seed
+    } else {
+        splitmix64(seed ^ (windex as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One worker: paced batched sends interleaved with non-blocking batched
+/// receives on a single thread, no shared state.
+fn worker_loop(
+    ep: Endpoint,
+    switch_addr: SocketAddr,
+    spec: &OpenLoopSpec,
+    windex: usize,
     epoch: Instant,
-    deadline: Instant,
-) {
+) -> std::io::Result<WorkerReport> {
     /// How often the timeout sweep (`on_tick`) runs. Sweeping on every
     /// packet would make the receive path O(outstanding) under load; a
     /// fixed cadence keeps the map bounded at O(rate × timeout) entries
     /// while amortising the scan.
     const SWEEP_EVERY: Duration = Duration::from_millis(20);
+    /// Spin this many empty iterations before starting to yield: on a
+    /// loaded box the next packet is usually microseconds away.
+    const SPIN_BEFORE_YIELD: u32 = 64;
 
-    let mut buf = vec![0u8; 65_536];
-    let mut last_sweep = Instant::now();
+    let seed = worker_seed(spec.seed, windex);
+    let mut core = ClientCore::new(
+        ep.cid,
+        ClientMode::NetClone {
+            num_groups: spec.num_groups,
+            num_filter_tables: spec.num_filter_tables,
+        },
+        seed,
+    )
+    .with_timeout(spec.request_timeout.as_nanos() as u64);
+    ep.socket.connect(switch_addr)?;
+    ep.socket.set_nonblocking(true)?;
+
+    let arrivals = PoissonArrivals::new(spec.rate_rps / spec.workers as f64);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut send = SendBatch::new();
+    let mut recv = RecvBatch::new();
+    let gen_end = spec.duration;
+    let end = spec.duration + spec.drain;
+    let mut next_at = Duration::ZERO;
+    let mut last_sweep = Duration::ZERO;
+    let mut idle = 0u32;
+
     loop {
-        let now = Instant::now();
-        if now >= deadline {
+        let now = epoch.elapsed();
+        if now >= end {
             break;
         }
-        if now.duration_since(last_sweep) >= SWEEP_EVERY {
-            last_sweep = now;
-            core.lock().on_tick(epoch.elapsed().as_nanos() as u64);
-        }
-        let _ = socket.set_read_timeout(Some((deadline - now).min(SWEEP_EVERY)));
-        let len = match socket.recv(&mut buf) {
-            Ok(len) => len,
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                continue;
+        let mut progressed = false;
+
+        // Send side: batch up everything due, then flush in one syscall.
+        if now < gen_end && now >= next_at {
+            while !send.is_full() {
+                let t = epoch.elapsed();
+                if t < next_at || t >= gen_end {
+                    break;
+                }
+                core.generate(spec.op, t.as_nanos() as u64);
+                let meta = core.poll().expect("NetClone mode emits one packet");
+                encode_packet_into(&meta, &spec.op, &[], send.slot());
+                send.commit();
+                next_at += Duration::from_nanos(arrivals.next_gap_ns(&mut rng));
             }
-            Err(_) => break,
+            send.flush(&ep.socket)?;
+            progressed = true;
+        }
+
+        // Receive side: drain whatever is queued, decode borrowed.
+        let got = recv.recv_nonblocking(&ep.socket)?;
+        if got > 0 {
+            let now_ns = epoch.elapsed().as_nanos() as u64;
+            for dg in recv.iter() {
+                if let Ok((meta, _op, _value)) = decode_packet_borrowed(dg) {
+                    core.on_packet(&meta.nc, now_ns);
+                }
+            }
+            progressed = true;
+        }
+
+        let now = epoch.elapsed();
+        if now.saturating_sub(last_sweep) >= SWEEP_EVERY {
+            last_sweep = now;
+            core.on_tick(now.as_nanos() as u64);
+        }
+
+        // Once generation is over, leave as soon as nothing can complete.
+        if now >= gen_end && core.outstanding() == 0 {
+            break;
+        }
+
+        // Idle policy: spin briefly (the common sub-µs case), then yield
+        // so sibling threads run on small boxes, then sleep in short
+        // bounded steps when the next send is comfortably far away.
+        if progressed {
+            idle = 0;
+        } else {
+            idle += 1;
+            if idle <= SPIN_BEFORE_YIELD {
+                std::hint::spin_loop();
+            } else {
+                let next_evt = if now < gen_end { next_at.min(end) } else { end };
+                if next_evt > now + Duration::from_millis(1) {
+                    std::thread::sleep(Duration::from_micros(200));
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
+    // Whatever is still unanswered when the run ends will never be: the
+    // eviction sweep plus this final drain report it as lost.
+    core.drain_outstanding();
+    Ok(WorkerReport {
+        cid: ep.cid,
+        stats: core.stats(),
+        latencies: core.latencies().clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_zero_keeps_the_spec_seed() {
+        assert_eq!(worker_seed(42, 0), 42);
+        assert_ne!(worker_seed(42, 1), 42);
+        // Distinct workers get distinct streams.
+        let seeds: std::collections::HashSet<u64> = (0..8).map(|w| worker_seed(7, w)).collect();
+        assert_eq!(seeds.len(), 8);
+    }
+
+    #[test]
+    fn bind_workers_partitions_cids() {
+        let sw: SocketAddr = "127.0.0.1:9".parse().unwrap();
+        let c = OpenLoopClient::bind_workers(10, 4, sw).unwrap();
+        let eps = c.endpoints().unwrap();
+        assert_eq!(eps.len(), 4);
+        for (w, (cid, vip, _)) in eps.iter().enumerate() {
+            assert_eq!(*cid, 10 + w as u16);
+            assert_eq!(*vip, Ipv4::client(*cid));
+        }
+        assert!(OpenLoopClient::bind_workers(0, 0, sw).is_err());
+    }
+
+    #[test]
+    fn run_rejects_mismatched_worker_count() {
+        let sw: SocketAddr = "127.0.0.1:9".parse().unwrap();
+        let c = OpenLoopClient::bind_workers(0, 2, sw).unwrap();
+        let spec = OpenLoopSpec {
+            rate_rps: 100.0,
+            duration: Duration::from_millis(1),
+            op: RpcOp::Echo { class_ns: 1_000 },
+            drain: Duration::ZERO,
+            request_timeout: Duration::from_millis(10),
+            num_groups: 1,
+            num_filter_tables: 2,
+            seed: 1,
+            workers: 3,
         };
-        let Ok((meta, _op, _value)) = decode_packet(Bytes::copy_from_slice(&buf[..len])) else {
-            continue;
-        };
-        core.lock()
-            .on_packet(&meta.nc, epoch.elapsed().as_nanos() as u64);
+        assert!(c.run(spec).is_err());
     }
 }

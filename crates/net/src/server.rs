@@ -1,13 +1,15 @@
-//! The real-socket worker server: one dispatcher thread + N worker
-//! threads, faithful to §4.2, driving the shared [`ServerCore`] for the
-//! §3.4 server-side rules.
+//! The real-socket worker server, sharded: N receive threads share one
+//! UDP socket (kernel-fanned), and each owns its **own**
+//! [`ServerCore`] — no dispatcher, no channel, no lock on the per-packet
+//! path. Stats are merged on read via [`ServerStats::merge`].
 //!
-//! The crossbeam channel between dispatcher and workers *is* the FCFS
-//! request queue: its length is the "queue" the core's clone-drop rule
-//! consults and the value piggybacked on responses. The protocol logic
-//! itself — drop rule, response construction, accounting — is
-//! [`netclone_hostcore::ServerCore`], shared verbatim with the simulated
-//! server in `netclone-hosts`.
+//! Requests are pulled in batches ([`RecvBatch`], `recvmmsg` on Linux):
+//! for each request in a batch, the requests still queued *behind* it are
+//! the FCFS "queue" the §3.4 clone-drop rule consults and the value
+//! piggybacked on its response — the batch is the queue made visible. The
+//! protocol logic itself — drop rule, response construction, accounting —
+//! is [`netclone_hostcore::ServerCore`], shared verbatim with the
+//! simulated server in `netclone-hosts`.
 
 use std::net::{SocketAddr, UdpSocket};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -15,11 +17,11 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use netclone_hostcore::{AdmitDecision, ServerCore, ServerStats};
-use netclone_proto::{Ipv4, PacketMeta, RpcOp, ServerId};
+use netclone_proto::{Ipv4, PacketMeta, ServerId};
 
-use crate::codec::{decode_packet, encode_packet};
+use crate::batch::{RecvBatch, MAX_DATAGRAM};
+use crate::codec::{decode_packet_borrowed, encode_packet_into};
 use crate::work::WorkExecutor;
 
 /// Configuration of a real-socket server.
@@ -29,7 +31,7 @@ pub struct UdpServerConfig {
     pub sid: ServerId,
     /// Virtual address (registered with the soft switch).
     pub vip: Ipv4,
-    /// Worker threads.
+    /// Worker threads (each owns its own core; 0 is treated as 1).
     pub workers: usize,
     /// What a worker does with a request.
     pub executor: WorkExecutor,
@@ -37,60 +39,47 @@ pub struct UdpServerConfig {
     pub switch_addr: SocketAddr,
 }
 
-/// A running server: dispatcher + workers around one shared core. The
-/// core's counters are atomics, so no lock sits on the per-packet path.
+/// A running server: per-worker cores behind one socket. Counters are
+/// relaxed atomics inside each core and merged when read, so nothing on
+/// the per-packet path contends.
 pub struct ServerHandle {
     addr: SocketAddr,
-    core: Arc<ServerCore>,
+    cores: Vec<Arc<ServerCore>>,
     stop: Arc<AtomicBool>,
-    dispatcher: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
-    // Keeping one sender alive would prevent worker shutdown on dispatcher
-    // exit; the dispatcher owns the only sender.
-}
-
-struct Job {
-    meta: PacketMeta,
-    op: RpcOp,
 }
 
 impl ServerHandle {
-    /// Binds a server on `127.0.0.1` and starts its threads.
+    /// Binds a server on `127.0.0.1` and starts its worker threads.
     pub fn spawn(cfg: UdpServerConfig) -> std::io::Result<ServerHandle> {
         let socket = UdpSocket::bind("127.0.0.1:0")?;
         socket.set_read_timeout(Some(Duration::from_millis(20)))?;
+        // All traffic flows through the switch, so a connected socket is
+        // both a filter and what lets batched sends skip per-msg addresses.
+        socket.connect(cfg.switch_addr)?;
         let addr = socket.local_addr()?;
-        let core = Arc::new(ServerCore::new(cfg.sid));
         let stop = Arc::new(AtomicBool::new(false));
-        let (tx, rx): (Sender<Job>, Receiver<Job>) = unbounded();
+        let n = cfg.workers.max(1);
 
-        let mut workers = Vec::with_capacity(cfg.workers);
-        for w in 0..cfg.workers {
-            let rx = rx.clone();
+        let mut cores = Vec::with_capacity(n);
+        let mut workers = Vec::with_capacity(n);
+        for w in 0..n {
+            let core = Arc::new(ServerCore::new(cfg.sid));
+            cores.push(Arc::clone(&core));
             let cfg = cfg.clone();
-            let core = Arc::clone(&core);
             let sock = socket.try_clone()?;
+            let stop = Arc::clone(&stop);
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("server{}-worker{}", cfg.sid, w))
-                    .spawn(move || worker_loop(rx, cfg, core, sock))?,
+                    .spawn(move || worker_loop(sock, cfg, core, stop))?,
             );
         }
 
-        let dispatcher = {
-            let cfg = cfg.clone();
-            let core = Arc::clone(&core);
-            let stop = Arc::clone(&stop);
-            std::thread::Builder::new()
-                .name(format!("server{}-dispatcher", cfg.sid))
-                .spawn(move || dispatcher_loop(socket, tx, cfg, core, stop))?
-        };
-
         Ok(ServerHandle {
             addr,
-            core,
+            cores,
             stop,
-            dispatcher: Some(dispatcher),
             workers,
         })
     }
@@ -100,9 +89,19 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Statistics so far (same counters as the simulated server).
+    /// Statistics so far, merged across workers (same counters as the
+    /// simulated server).
     pub fn stats(&self) -> ServerStats {
-        self.core.stats()
+        let mut total = ServerStats::default();
+        for c in &self.cores {
+            total.merge(&c.stats());
+        }
+        total
+    }
+
+    /// Per-worker statistics, in worker order.
+    pub fn worker_stats(&self) -> Vec<ServerStats> {
+        self.cores.iter().map(|c| c.stats()).collect()
     }
 
     /// Requests served so far.
@@ -127,11 +126,6 @@ impl ServerHandle {
 
     fn stop_and_join(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
-        if let Some(d) = self.dispatcher.take() {
-            let _ = d.join();
-        }
-        // The dispatcher owned the only Sender; once it exits, worker
-        // recv() calls return Err and the workers drain out.
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
@@ -144,50 +138,44 @@ impl Drop for ServerHandle {
     }
 }
 
-fn dispatcher_loop(
-    socket: UdpSocket,
-    tx: Sender<Job>,
-    _cfg: UdpServerConfig,
+fn worker_loop(
+    sock: UdpSocket,
+    cfg: UdpServerConfig,
     core: Arc<ServerCore>,
     stop: Arc<AtomicBool>,
 ) {
-    let mut buf = vec![0u8; 65_536];
+    let mut recv = RecvBatch::new();
+    // One reusable response buffer: the per-packet path allocates nothing
+    // (the synthetic executor returns no value bytes; KV values are the
+    // store's to own). Growth past the prealloc is a counted event.
+    let mut out = Vec::with_capacity(MAX_DATAGRAM);
+    let mut out_cap = out.capacity();
     while !stop.load(Ordering::SeqCst) {
-        let (len, _from) = match socket.recv_from(&mut buf) {
-            Ok(x) => x,
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                continue
-            }
+        let n = match recv.recv_timeout_then_drain(&sock) {
+            Ok(n) => n,
             Err(_) => break,
         };
-        let Ok((meta, op, _value)) = decode_packet(bytes::Bytes::copy_from_slice(&buf[..len]))
-        else {
-            continue;
-        };
-        if !meta.nc.is_request() {
-            continue;
+        for i in 0..n {
+            let Ok((meta, op, _value)) = decode_packet_borrowed(recv.datagram(i)) else {
+                continue;
+            };
+            if !meta.nc.is_request() {
+                continue;
+            }
+            // §3.4 admission: the requests still waiting behind this one
+            // in the batch are the FCFS queue the clone-drop rule sees.
+            let backlog = n - 1 - i;
+            if core.admit(meta.nc.clo, backlog) == AdmitDecision::DropClone {
+                continue;
+            }
+            core.note_queue_depth(backlog);
+            let value = cfg.executor.execute(&op);
+            // Piggyback the queue state observed at response-send time.
+            let nc = core.response(&meta.nc, backlog);
+            let resp = PacketMeta::netclone_response(cfg.vip, meta.src_ip, nc, 0);
+            encode_packet_into(&resp, &op, &value, &mut out);
+            crate::batch::note_growth(&mut out_cap, out.capacity());
+            let _ = sock.send(&out);
         }
-        // §3.4 admission: the channel length is the queue the clone-drop
-        // rule consults.
-        if core.admit(meta.nc.clo, tx.len()) == AdmitDecision::DropClone {
-            continue;
-        }
-        let _ = tx.send(Job { meta, op });
-        core.note_queue_depth(tx.len());
-    }
-    // tx drops here → workers see a disconnected channel and exit.
-}
-
-fn worker_loop(rx: Receiver<Job>, cfg: UdpServerConfig, core: Arc<ServerCore>, sock: UdpSocket) {
-    while let Ok(job) = rx.recv() {
-        let value = cfg.executor.execute(&job.op);
-        // Piggyback the queue state observed at response-send time (§3.4).
-        let nc = core.response(&job.meta.nc, rx.len());
-        let resp = PacketMeta::netclone_response(cfg.vip, job.meta.src_ip, nc, 0);
-        let out = encode_packet(&resp, &job.op, &value);
-        let _ = sock.send_to(&out, cfg.switch_addr);
     }
 }

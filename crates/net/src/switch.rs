@@ -22,7 +22,8 @@ use netclone_proto::pcap::PcapWriter;
 use netclone_proto::{Ipv4, ServerId};
 use parking_lot::Mutex;
 
-use crate::codec::{decode_packet, encode_packet};
+use crate::batch::{RecvBatch, MAX_DATAGRAM};
+use crate::codec::{decode_packet_borrowed, encode_packet_into};
 
 /// Shared state between the switch thread and the control plane.
 struct Shared {
@@ -218,40 +219,45 @@ fn switch_loop(
     stop: Arc<AtomicBool>,
     mut tap: Option<PcapWriter>,
 ) {
-    let mut buf = vec![0u8; 65_536];
-    // One reusable emission buffer for the thread's lifetime: the
-    // per-datagram path allocates nothing (see the `EmissionSink`
-    // contract in `netclone_asic::dataplane`).
+    // Datagrams are pulled in batches (`recvmmsg` on Linux) and decoded
+    // straight out of the receive buffers; emissions re-encode into one
+    // reusable buffer. Together with the `EmissionSink` contract from
+    // `netclone_asic::dataplane`, the per-datagram path allocates nothing
+    // and the pipeline lock is taken once per batch, not once per packet.
+    let mut batch = RecvBatch::new();
+    let mut out = Vec::with_capacity(MAX_DATAGRAM);
+    let mut out_cap = out.capacity();
     let mut sink = EmissionSink::new();
     while !stop.load(Ordering::SeqCst) {
-        let (len, _from) = match socket.recv_from(&mut buf) {
-            Ok(x) => x,
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                continue
-            }
+        let n = match batch.recv_timeout_then_drain(&socket) {
+            Ok(n) => n,
             Err(_) => break,
         };
-        let datagram = bytes::Bytes::copy_from_slice(&buf[..len]);
-        let Ok((meta, op, value)) = decode_packet(datagram) else {
-            continue; // malformed datagrams are dropped, never crash the fabric
-        };
+        if n == 0 {
+            continue;
+        }
         let now = now_ns();
         let mut s = shared.lock();
-        // Ingress port 0: the loopback fabric cannot tell us which wire the
-        // packet came in on, and the program only needs the recirculation
-        // port to be distinguishable (recirculation is internal here).
-        s.program.process(meta, 0, now, &mut sink);
-        for e in sink.drain() {
-            if let Some(Some(dst)) = s.port_map.get(e.port as usize) {
-                let out = encode_packet(&e.pkt, &op, &value);
-                let _ = socket.send_to(&out, dst);
-                if let Some(w) = tap.as_mut() {
-                    // The tap must never break forwarding: ignore IO errors.
-                    let ip = netclone_proto::l3::encode_ip_packet(&e.pkt, e.port, &op);
-                    let _ = w.record(now, &ip);
+        for i in 0..n {
+            let Ok((meta, op, value)) = decode_packet_borrowed(batch.datagram(i)) else {
+                continue; // malformed datagrams are dropped, never crash the fabric
+            };
+            // Ingress port 0: the loopback fabric cannot tell us which wire
+            // the packet came in on, and the program only needs the
+            // recirculation port to be distinguishable (recirculation is
+            // internal here).
+            s.program.process(meta, 0, now, &mut sink);
+            for e in sink.drain() {
+                if let Some(Some(dst)) = s.port_map.get(e.port as usize) {
+                    encode_packet_into(&e.pkt, &op, value, &mut out);
+                    crate::batch::note_growth(&mut out_cap, out.capacity());
+                    let _ = socket.send_to(&out, dst);
+                    if let Some(w) = tap.as_mut() {
+                        // The tap must never break forwarding: ignore IO
+                        // errors.
+                        let ip = netclone_proto::l3::encode_ip_packet(&e.pkt, e.port, &op);
+                        let _ = w.record(now, &ip);
+                    }
                 }
             }
         }

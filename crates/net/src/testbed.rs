@@ -8,6 +8,7 @@ use netclone_core::NetCloneConfig;
 use netclone_proto::Ipv4;
 
 use crate::client::UdpClient;
+use crate::openloop::OpenLoopClient;
 use crate::server::{ServerHandle, UdpServerConfig};
 use crate::switch::{SoftSwitch, SwitchHandle};
 use crate::work::WorkExecutor;
@@ -76,6 +77,23 @@ impl Testbed {
             .register_client(cid, client.vip(), client.addr()?)
             .map_err(std::io::Error::other)?;
         // Give the registration a moment to land before traffic flows.
+        std::thread::sleep(Duration::from_millis(5));
+        Ok(client)
+    }
+
+    /// Binds and registers an open-loop client with `workers` worker
+    /// endpoints (consuming `workers` consecutive client ids).
+    pub fn open_loop_client(&mut self, workers: usize) -> std::io::Result<OpenLoopClient> {
+        let base_cid = self.next_cid;
+        self.next_cid += workers as u16;
+        let client = OpenLoopClient::bind_workers(base_cid, workers, self.switch.addr())?;
+        let handle = self.switch.handle();
+        for (cid, vip, sock) in client.endpoints()? {
+            handle
+                .register_client(cid, vip, sock)
+                .map_err(std::io::Error::other)?;
+        }
+        // Give the registrations a moment to land before traffic flows.
         std::thread::sleep(Duration::from_millis(5));
         Ok(client)
     }

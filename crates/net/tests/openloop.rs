@@ -26,6 +26,7 @@ fn open_loop_sustains_a_modest_rate() {
             num_groups: handle.num_groups(),
             num_filter_tables: 2,
             seed: 11,
+            workers: 1,
         })
         .expect("run");
 

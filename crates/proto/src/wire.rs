@@ -55,9 +55,9 @@ impl std::fmt::Display for WireError {
 
 impl std::error::Error for WireError {}
 
-/// Serializes a header into `dst`.
-pub fn encode_header(h: &NetCloneHdr, dst: &mut BytesMut) {
-    dst.reserve(HEADER_LEN);
+/// Serializes a header into `dst` (any [`BufMut`], e.g. `BytesMut` or a
+/// reusable `Vec<u8>` for allocation-free encode paths).
+pub fn encode_header<B: BufMut>(h: &NetCloneHdr, dst: &mut B) {
     dst.put_u8(h.msg_type as u8);
     dst.put_u32(h.req_id);
     dst.put_u16(h.grp);
@@ -70,12 +70,13 @@ pub fn encode_header(h: &NetCloneHdr, dst: &mut BytesMut) {
     dst.put_u32(h.client_seq);
 }
 
-/// Deserializes a header from the front of `src`, advancing it.
-pub fn decode_header(src: &mut Bytes) -> Result<NetCloneHdr, WireError> {
-    if src.len() < HEADER_LEN {
+/// Deserializes a header from the front of `src` (any [`Buf`], e.g.
+/// `Bytes` or a borrowed `&[u8]` cursor), advancing it.
+pub fn decode_header<B: Buf>(src: &mut B) -> Result<NetCloneHdr, WireError> {
+    if src.remaining() < HEADER_LEN {
         return Err(WireError::Truncated {
             needed: HEADER_LEN,
-            have: src.len(),
+            have: src.remaining(),
         });
     }
     let ty_raw = src.get_u8();
@@ -110,7 +111,7 @@ const OP_SCAN: u8 = 2;
 const OP_PUT: u8 = 3;
 
 /// Serializes an operation payload into `dst`.
-pub fn encode_op(op: &RpcOp, dst: &mut BytesMut) {
+pub fn encode_op<B: BufMut>(op: &RpcOp, dst: &mut B) {
     match op {
         RpcOp::Echo { class_ns } => {
             dst.put_u8(OP_ECHO);
@@ -133,25 +134,25 @@ pub fn encode_op(op: &RpcOp, dst: &mut BytesMut) {
     }
 }
 
-fn need(src: &Bytes, n: usize) -> Result<(), WireError> {
-    if src.len() < n {
+fn need<B: Buf>(src: &B, n: usize) -> Result<(), WireError> {
+    if src.remaining() < n {
         Err(WireError::Truncated {
             needed: n,
-            have: src.len(),
+            have: src.remaining(),
         })
     } else {
         Ok(())
     }
 }
 
-fn get_key(src: &mut Bytes) -> KvKey {
+fn get_key<B: Buf>(src: &mut B) -> KvKey {
     let mut k = [0u8; 16];
     src.copy_to_slice(&mut k);
     KvKey(k)
 }
 
 /// Deserializes an operation payload from the front of `src`.
-pub fn decode_op(src: &mut Bytes) -> Result<RpcOp, WireError> {
+pub fn decode_op<B: Buf>(src: &mut B) -> Result<RpcOp, WireError> {
     need(src, 1)?;
     let tag = src.get_u8();
     match tag {
@@ -191,7 +192,7 @@ pub fn encode_frame(h: &NetCloneHdr, op: &RpcOp) -> Bytes {
 
 /// Deserializes a full frame. Trailing bytes (e.g. a carried value) are
 /// returned untouched in `src`.
-pub fn decode_frame(src: &mut Bytes) -> Result<(NetCloneHdr, RpcOp), WireError> {
+pub fn decode_frame<B: Buf>(src: &mut B) -> Result<(NetCloneHdr, RpcOp), WireError> {
     let h = decode_header(src)?;
     let op = decode_op(src)?;
     Ok((h, op))

@@ -1,29 +1,32 @@
-//! Open-loop load over the real-socket fabric: a paced sender + receiver
-//! thread pair (the paper's §4.2 client) against the soft switch.
+//! Open-loop load over the real-socket fabric: sharded worker threads
+//! (the paper's §4.2 client) against the soft switch, with batched UDP
+//! I/O — doubles as a manual smoke test for the sharded frontend.
 //!
 //! ```text
-//! cargo run --release --example open_loop_udp [rate_rps] [duration_ms]
+//! cargo run --release --example open_loop_udp [rate_rps] [duration_ms] [workers]
 //! ```
 
 use std::time::Duration;
 
 use netclone::core::NetCloneConfig;
-use netclone::net::{OpenLoopClient, OpenLoopSpec, Testbed, WorkExecutor};
-use netclone::proto::{Ipv4, RpcOp};
+use netclone::net::{path_counters, OpenLoopSpec, Testbed, WorkExecutor};
+use netclone::proto::RpcOp;
 
 fn main() -> std::io::Result<()> {
     let mut args = std::env::args().skip(1);
     let rate: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(5_000.0);
     let dur_ms: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(500);
+    let workers: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(2);
 
-    let tb = Testbed::spawn(NetCloneConfig::default(), 4, 2, WorkExecutor::Synthetic)?;
+    let mut tb = Testbed::spawn(NetCloneConfig::default(), 4, 2, WorkExecutor::Synthetic)?;
     let handle = tb.switch_handle();
-    let client = OpenLoopClient::bind(0, tb.switch_addr())?;
-    handle
-        .register_client(0, Ipv4::client(0), client.addr()?)
-        .map_err(std::io::Error::other)?;
+    let client = tb.open_loop_client(workers)?;
 
-    println!("open loop: {rate} rps for {dur_ms} ms against 4 servers (Echo 50us)\n");
+    println!(
+        "open loop: {rate} rps across {workers} workers for {dur_ms} ms \
+         against 4 servers (Echo 50us)\n"
+    );
+    let before = path_counters();
     let report = client.run(OpenLoopSpec {
         rate_rps: rate,
         duration: Duration::from_millis(dur_ms),
@@ -33,7 +36,9 @@ fn main() -> std::io::Result<()> {
         num_groups: handle.num_groups(),
         num_filter_tables: 2,
         seed: 1,
+        workers,
     })?;
+    let after = path_counters();
 
     let lat = &report.latencies;
     println!(
@@ -52,12 +57,30 @@ fn main() -> std::io::Result<()> {
         lat.quantile(0.99) as f64 / 1e3,
         lat.max() as f64 / 1e3
     );
+    println!("\nper-worker breakdown:");
+    for w in &report.per_worker {
+        println!(
+            "  cid {:>3}: sent {:>6}  completed {:>6}  lost {:>4}  \
+             clone-wins {:>5}  p99 {:.0} us",
+            w.cid,
+            w.stats.generated,
+            w.stats.completed,
+            w.stats.lost,
+            w.stats.clone_wins,
+            w.latencies.quantile(0.99) as f64 / 1e3
+        );
+    }
     let c = handle.counters();
     println!(
-        "switch: cloned {:.0}% of {} requests, filtered {} slower responses",
+        "\nswitch: cloned {:.0}% of {} requests, filtered {} slower responses",
         c.clone_rate() * 100.0,
         c.requests,
         c.responses_filtered
+    );
+    println!(
+        "hot path: {} buffer-growth allocs, {} timeout syscalls during the run",
+        after.buffer_grow_allocs - before.buffer_grow_allocs,
+        after.timeout_syscalls - before.timeout_syscalls
     );
     tb.shutdown();
     Ok(())

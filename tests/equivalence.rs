@@ -445,3 +445,92 @@ fn plain_engine_is_equivalent_across_frontends() {
     assert_eq!(handle.counters(), direct_counters);
     switch.shutdown();
 }
+
+/// The sharded open-loop frontend preserves host-core parity at any
+/// worker count: every generated request resolves exactly once
+/// (`sent == completed + lost`), the merged report equals the sum of its
+/// per-worker breakdown, and server-side accounting stays consistent
+/// with what the clients observed — the same invariants the single-core
+/// frontends uphold, now across disjoint cid/seq partitions.
+#[test]
+fn sharded_open_loop_preserves_host_accounting() {
+    use netclone::core::NetCloneConfig;
+    use netclone::net::{OpenLoopSpec, Testbed, WorkExecutor};
+
+    for workers in [1usize, 4] {
+        let mut tb = Testbed::spawn(
+            NetCloneConfig::default(),
+            2,
+            workers,
+            WorkExecutor::Synthetic,
+        )
+        .expect("testbed");
+        let handle = tb.switch_handle();
+        let client = tb.open_loop_client(workers).expect("open-loop client");
+        let report = client
+            .run(OpenLoopSpec {
+                rate_rps: 2_000.0,
+                duration: Duration::from_millis(300),
+                op: RpcOp::Echo { class_ns: 25_000 },
+                drain: Duration::from_millis(150),
+                request_timeout: Duration::from_millis(100),
+                num_groups: handle.num_groups(),
+                num_filter_tables: 2,
+                seed: 17,
+                workers,
+            })
+            .expect("open-loop run");
+
+        // Client-side conservation, merged and per worker.
+        assert!(report.completed > 0, "workers={workers}: no traffic moved");
+        assert_eq!(
+            report.sent,
+            report.completed + report.lost,
+            "workers={workers}: every request resolves exactly once"
+        );
+        assert_eq!(report.redundant, 0, "workers={workers}: filtering held");
+        assert_eq!(report.per_worker.len(), workers);
+        let mut merged = ClientStats::default();
+        let mut samples = 0u64;
+        for (w, wr) in report.per_worker.iter().enumerate() {
+            assert_eq!(wr.cid, w as u16, "cids are a contiguous partition");
+            assert_eq!(
+                wr.stats.generated,
+                wr.stats.completed + wr.stats.lost,
+                "workers={workers}: worker {w} conserves its own partition"
+            );
+            merged.merge(&wr.stats);
+            samples += wr.latencies.count();
+        }
+        assert_eq!(merged.generated, report.sent);
+        assert_eq!(merged.completed, report.completed);
+        assert_eq!(merged.redundant, report.redundant);
+        assert_eq!(merged.clone_wins, report.clone_wins);
+        assert_eq!(merged.lost, report.lost);
+        assert_eq!(samples, report.latencies.count());
+        assert_eq!(report.latencies.count(), report.completed);
+
+        // Server-side parity: every response was served exactly once per
+        // core, and the fleet served at least every client completion
+        // (clone copies can be served and then lose the race).
+        let mut served_total = 0u64;
+        for s in tb.servers() {
+            let st = s.stats();
+            assert_eq!(st.served, st.responses, "served and responses agree");
+            served_total += st.served;
+            // Merged handle stats equal the per-worker core sum.
+            let mut per_core = ServerStats::default();
+            for w in s.worker_stats() {
+                per_core.merge(&w);
+            }
+            assert_eq!(per_core, st);
+        }
+        assert!(
+            served_total >= report.completed,
+            "workers={workers}: servers served {} but clients completed {}",
+            served_total,
+            report.completed
+        );
+        tb.shutdown();
+    }
+}

@@ -186,6 +186,27 @@ impl Buf for Bytes {
     }
 }
 
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance past end of slice");
+        *self = &self[n..];
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
 /// A growable byte buffer.
 #[derive(Clone, Default, PartialEq, Eq)]
 pub struct BytesMut {
