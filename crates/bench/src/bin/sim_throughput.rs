@@ -33,7 +33,7 @@
 
 use std::time::Instant;
 
-use netclone_cluster::experiments::{fattree, Scale};
+use netclone_cluster::experiments::{adversarial, fattree, Scale};
 use netclone_cluster::harness::RunCtx;
 use netclone_cluster::{RunResult, Scenario, Scheme, Sim, Topology};
 use netclone_workloads::exp25;
@@ -76,6 +76,34 @@ fn fattree_scenario(measure_ns: u64) -> Scenario {
     s
 }
 
+/// The degraded scenarios from the adversarial suite on the bench's
+/// windows: the single-rack gray-failure slowdown, and the 4-rack leaf
+/// drain — the control-event edges and the drop gate on the hot path.
+/// The degradation window is re-anchored to the middle half of the
+/// bench's own measurement window.
+fn adversarial_scenario(racks: usize, measure_ns: u64) -> Scenario {
+    let ctx = RunCtx::new(Scale::Smoke);
+    let kind = if racks > 1 { "drain" } else { "slowdown" };
+    let mut s = adversarial::scenario(kind, Scheme::NETCLONE, &ctx);
+    s.warmup_ns = 10_000_000;
+    s.measure_ns = measure_ns;
+    s.offered_rps = s.capacity_rps() * 0.6;
+    s.seed = 7;
+    let (start, end) = (
+        s.warmup_ns + measure_ns / 4,
+        s.warmup_ns + 3 * measure_ns / 4,
+    );
+    if let Some(sl) = &mut s.degradation.slowdown {
+        sl.start_ns = start;
+        sl.end_ns = end;
+    }
+    if let Some(d) = &mut s.degradation.drain {
+        d.drain_at_ns = start;
+        d.restore_at_ns = end;
+    }
+    s
+}
+
 /// FNV-1a over the `Debug` rendering of the full result — every field
 /// the simulator produces (histogram, per-switch counters, timeseries,
 /// event count), none of which depends on wall time. Two scenarios that
@@ -102,6 +130,7 @@ fn measure(
     for _ in 0..reps {
         let s = match shape {
             "fattree" => fattree_scenario(measure_ns),
+            "adversarial" => adversarial_scenario(racks, measure_ns),
             _ => scenario(racks, measure_ns),
         };
         let start = Instant::now();
@@ -226,8 +255,10 @@ fn main() {
     // (id, shape, racks, shards). `--shards` replaces the matrix's shard
     // counts wholesale (each run still clamps to its rack count), turning
     // the matrix into a uniform determinism probe for CI to diff. The
-    // fat-tree rows exercise the congested-link path (events pinned and
-    // digest-recorded, not perf-gated; see the baseline gate below).
+    // fat-tree rows exercise the congested-link path, the adversarial
+    // rows the degradation control events and the leaf drop gate (both
+    // events-pinned and digest-recorded, not perf-gated; see the
+    // baseline gate below).
     let matrix: &[(&'static str, &'static str, usize, usize)] = &[
         ("single_rack", "leaf_spine", 1, 1),
         ("four_rack", "leaf_spine", 4, 1),
@@ -236,6 +267,9 @@ fn main() {
         ("eight_rack_s8", "leaf_spine", 8, 8),
         ("fattree_k4", "fattree", 8, 1),
         ("fattree_k4_s4", "fattree", 8, 4),
+        ("adv_slowdown", "adversarial", 1, 1),
+        ("adv_drain", "adversarial", 4, 1),
+        ("adv_drain_s4", "adversarial", 4, 4),
     ];
     let measurements: Vec<Measurement> = matrix
         .iter()

@@ -383,6 +383,9 @@ impl ScenarioBuilder {
             n_servers >= 2,
             "NetClone requires at least two servers (§5.3.2)"
         );
+        if let Err(e) = scenario.validate() {
+            panic!("invalid scenario: {e}");
+        }
 
         let fabric = build_fabric(&scenario);
 
@@ -416,13 +419,19 @@ impl ScenarioBuilder {
                     workers: spec.workers,
                     dispatch_ns: calib::DISPATCH_NS,
                     clone_drop_ns: calib::CLONE_DROP_NS,
-                    shape: if synthetic.is_some() {
-                        ServiceShape::Exponential
-                    } else {
-                        ServiceShape::Gamma4
-                    },
+                    // The service-model seam: an explicit shape override
+                    // wins; otherwise the workload's own model applies.
+                    shape: scenario
+                        .service_model
+                        .shape
+                        .unwrap_or(if synthetic.is_some() {
+                            ServiceShape::Exponential
+                        } else {
+                            ServiceShape::Gamma4
+                        }),
                     jitter: scenario.jitter,
                     cost,
+                    hot_key: scenario.service_model.hot_key,
                     seed: seeds.seed_for("server", i as u64),
                 })
             })
@@ -610,6 +619,7 @@ impl ScenarioBuilder {
                     sent: vec![0; racks],
                 }),
                 switch_up: true,
+                leaf_up: vec![true; racks],
                 coordinator: None,
                 arrivals,
                 arrival_rngs: (0..n_clients).map(|_| None).collect(),
@@ -776,6 +786,49 @@ impl ScenarioBuilder {
             broadcast(shards, &mut ctl, plan.removed_at_ns, &|| {
                 Ev::ServerRemove(plan.sid)
             });
+        }
+        // Degradation plans ride the control domain too, but every
+        // consumer of their state (the server's slow factor, the leaf's
+        // forwarding flag) lives on one shard, so both edges prime on the
+        // owner alone — no broadcast, and no events at all when the plans
+        // are absent (pre-existing scenarios stay seed-pinned).
+        if let Some(plan) = scenario.degradation.slowdown {
+            let owner = server_leaf[plan.sid as usize] % nshards;
+            let idx = plan.sid as usize;
+            prime_one(
+                shards,
+                &mut ctl,
+                owner,
+                plan.start_ns,
+                Ev::ServerSlow {
+                    idx,
+                    factor: plan.factor,
+                },
+            );
+            prime_one(
+                shards,
+                &mut ctl,
+                owner,
+                plan.end_ns,
+                Ev::ServerSlow { idx, factor: 1.0 },
+            );
+        }
+        if let Some(plan) = scenario.degradation.drain {
+            let owner = plan.rack % nshards;
+            prime_one(
+                shards,
+                &mut ctl,
+                owner,
+                plan.drain_at_ns,
+                Ev::LeafDrain(plan.rack),
+            );
+            prime_one(
+                shards,
+                &mut ctl,
+                owner,
+                plan.restore_at_ns,
+                Ev::LeafRestore(plan.rack),
+            );
         }
         // Background incast: one first arrival per source rack, owned by
         // the rack's shard (the victim rack has no stream).

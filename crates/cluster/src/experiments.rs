@@ -9,6 +9,7 @@ pub mod panel;
 pub mod scale;
 
 pub mod ablations;
+pub mod adversarial;
 pub mod fattree;
 pub mod fig07;
 pub mod fig08;

@@ -297,6 +297,7 @@ pub fn registry() -> Vec<Box<dyn Experiment>> {
         Box::new(fig16::Fig16Exp),
         Box::new(multirack::MultiRack),
         Box::new(fattree::FatTree),
+        Box::new(adversarial::Adversarial),
         Box::new(ablations::Ablations),
     ]
 }
@@ -380,11 +381,11 @@ mod tests {
     #[test]
     fn registry_ids_are_unique_and_titled() {
         let reg = registry();
-        assert_eq!(reg.len(), 15);
+        assert_eq!(reg.len(), 16);
         let mut ids: Vec<&str> = reg.iter().map(|e| e.id()).collect();
         ids.sort();
         ids.dedup();
-        assert_eq!(ids.len(), 15, "duplicate experiment ids");
+        assert_eq!(ids.len(), 16, "duplicate experiment ids");
         for e in &reg {
             assert!(!e.title().is_empty(), "{} has no title", e.id());
             assert!(!e.tags().is_empty(), "{} has no tags", e.id());

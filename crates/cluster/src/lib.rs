@@ -38,7 +38,10 @@ pub mod topology;
 pub use build::{build_engine, build_fabric, ScenarioBuilder};
 pub use harness::{registry, Experiment, RunCtx, Runner};
 pub use metrics::RunResult;
-pub use scenario::{Scenario, ServerSpec, SwitchFailurePlan, Workload};
+pub use scenario::{
+    DegradationPlan, DrainPlan, Scenario, ServerSpec, ServiceModel, SlowdownPlan,
+    SwitchFailurePlan, Workload,
+};
 pub use scheme::Scheme;
 pub use sim::Sim;
 pub use sweep::{sweep, SweepPoint};

@@ -1,8 +1,8 @@
 //! Scenario descriptions: everything one simulation run needs.
 
-use netclone_kvstore::ServiceCostModel;
+use netclone_kvstore::{HotKeyCost, ServiceCostModel};
 use netclone_linksim::LinkSpec;
-use netclone_workloads::{Jitter, SyntheticWorkload};
+use netclone_workloads::{Jitter, ServiceShape, SyntheticWorkload};
 
 use crate::calib;
 use crate::scheme::Scheme;
@@ -127,7 +127,15 @@ pub struct Background {
     pub victim_rack: usize,
 }
 
-/// A server failure injection (§3.6).
+/// A server failure injection (§3.6) — **fail-stop**: the server silently
+/// drops everything from `fail_at_ns` until the control plane removes it.
+///
+/// This is the crash model. For the *gray* failure where a server keeps
+/// answering but slower (thermal throttling, a noisy neighbour, a
+/// background compaction), use [`SlowdownPlan`] — the two are distinct
+/// knobs, and [`Scenario::validate`] rejects a configuration that
+/// schedules both on the same server at overlapping times (a server
+/// cannot be simultaneously dead and slow; pick the failure mode).
 #[derive(Clone, Copy, Debug)]
 pub struct ServerFailurePlan {
     /// Which server dies.
@@ -137,6 +145,83 @@ pub struct ServerFailurePlan {
     /// When the switch control plane removes it from the tables, ns
     /// (detection delay after the failure).
     pub removed_at_ns: u64,
+}
+
+/// A mid-run server **slowdown** — the gray-failure counterpart of the
+/// fail-stop [`ServerFailurePlan`]: from `start_ns` to `end_ns` every
+/// service time the server *draws* is multiplied by `factor` (in-flight
+/// requests keep their completion times). The server keeps accepting,
+/// queueing, and answering throughout, so the switch never removes it —
+/// exactly the scenario where cloning (racing a second server) should
+/// shine and where fail-stop handling does nothing.
+///
+/// Both edges are fabric-domain-0 control events, so serial and sharded
+/// runs stay byte-identical; see "Degradation events" in
+/// `docs/ARCHITECTURE.md`.
+#[derive(Clone, Copy, Debug)]
+pub struct SlowdownPlan {
+    /// Which server degrades.
+    pub sid: u16,
+    /// When the degradation starts, ns.
+    pub start_ns: u64,
+    /// When the server recovers to full speed, ns.
+    pub end_ns: u64,
+    /// Multiplicative service-time factor while degraded (> 1 slows the
+    /// server; must be > 0).
+    pub factor: f64,
+}
+
+/// A mid-run **leaf drain** in a multi-rack fabric: from `drain_at_ns`
+/// the victim rack's leaf switch stops forwarding (maintenance drain /
+/// unplanned leaf outage — packets to and from that rack are lost), and
+/// at `restore_at_ns` it comes back with its soft state cleared, exactly
+/// like a post-power-cycle switch (Fig. 16, but scoped to one leaf
+/// instead of the whole fabric).
+#[derive(Clone, Copy, Debug)]
+pub struct DrainPlan {
+    /// Which rack's leaf drains (must exist and the topology must have
+    /// more than one rack — draining the only leaf is just Fig. 16).
+    pub rack: usize,
+    /// When forwarding stops, ns.
+    pub drain_at_ns: u64,
+    /// When forwarding resumes (soft state cleared), ns.
+    pub restore_at_ns: u64,
+}
+
+/// Mid-run degradation injections (the adversarial suite). `Default` is
+/// no degradation; absent plans add no events, so pre-existing scenarios
+/// stay seed-pinned bit for bit.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DegradationPlan {
+    /// Optional mid-run server slowdown (gray failure).
+    pub slowdown: Option<SlowdownPlan>,
+    /// Optional leaf drain (multi-rack fabrics only).
+    pub drain: Option<DrainPlan>,
+}
+
+impl DegradationPlan {
+    /// True when no degradation is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.slowdown.is_none() && self.drain.is_none()
+    }
+}
+
+/// Composable service-model overrides layered over the workload — the
+/// adversarial suite's seam. `Default` means "the workload's own model"
+/// (synthetic → exponential execution around the class, KV → Gamma(4)
+/// over the flat cost model), which keeps every pre-existing scenario
+/// seed-pinned.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServiceModel {
+    /// Override the per-server execution-time shape (e.g.
+    /// [`ServiceShape::Gamma4`] for a synthetic workload, or
+    /// [`ServiceShape::Deterministic`] to expose the class distribution
+    /// directly).
+    pub shape: Option<ServiceShape>,
+    /// Cache-aware hot/cold cost split for KV workloads: keys in the hot
+    /// set are cheap hits, the Zipf tail pays the expensive miss path.
+    /// Replaces the workload's flat [`ServiceCostModel`] at the servers.
+    pub hot_key: Option<HotKeyCost>,
 }
 
 /// Everything one simulation run needs.
@@ -164,8 +249,15 @@ pub struct Scenario {
     pub seed: u64,
     /// Optional switch failure (Fig. 16).
     pub switch_failure: Option<SwitchFailurePlan>,
-    /// Optional server failure (§3.6).
+    /// Optional **fail-stop** server failure (§3.6). For the gray-failure
+    /// slowdown, use [`Scenario::degradation`] — see [`SlowdownPlan`].
     pub server_failure: Option<ServerFailurePlan>,
+    /// Service-model overrides (shape, hot-key cost); default = the
+    /// workload's own model.
+    pub service_model: ServiceModel,
+    /// Mid-run degradation injections (slowdown, leaf drain); default =
+    /// none.
+    pub degradation: DegradationPlan,
     /// Throughput-timeseries bucket width, ns (Fig. 16 uses 1 s).
     pub timeseries_bucket_ns: u64,
     /// Filter tables on the switch (paper default 2; ablations vary it).
@@ -212,6 +304,8 @@ impl Scenario {
             seed: 42,
             switch_failure: None,
             server_failure: None,
+            service_model: ServiceModel::default(),
+            degradation: DegradationPlan::default(),
             timeseries_bucket_ns: 100_000_000,
             n_filter_tables: 2,
             filter_slots_log2: 17,
@@ -243,6 +337,8 @@ impl Scenario {
             seed: 42,
             switch_failure: None,
             server_failure: None,
+            service_model: ServiceModel::default(),
+            degradation: DegradationPlan::default(),
             timeseries_bucket_ns: 100_000_000,
             n_filter_tables: 2,
             filter_slots_log2: 17,
@@ -255,12 +351,83 @@ impl Scenario {
     }
 
     /// Aggregate worker-thread capacity in requests/second (the knee of
-    /// the throughput axis; sweeps size their rates from this).
+    /// the throughput axis; sweeps size their rates from this). Accounts
+    /// for a hot-key service model: the mean blends hit and miss costs
+    /// by the Zipf mass on the hot set.
     pub fn capacity_rps(&self) -> f64 {
         let threads: usize = self.servers.iter().map(|s| s.workers).sum();
-        let mean_ns = self.workload.mean_service_ns()
-            * (1.0 + self.jitter.p * (self.jitter.factor as f64 - 1.0));
+        let base_mean = match (&self.workload, &self.service_model.hot_key) {
+            (
+                Workload::Kv {
+                    get_frac,
+                    scan_count,
+                    objects,
+                    zipf_theta,
+                    ..
+                },
+                Some(hk),
+            ) => hk.zipf_mix_mean_ns(*get_frac, *scan_count, *objects as u64, *zipf_theta),
+            _ => self.workload.mean_service_ns(),
+        };
+        let mean_ns = base_mean * (1.0 + self.jitter.p * (self.jitter.factor as f64 - 1.0));
         threads as f64 / (mean_ns / 1e9)
+    }
+
+    /// Checks the degradation plans against the rest of the scenario.
+    /// Called by the builder before any event is primed; the error
+    /// message names the conflicting knobs.
+    pub fn validate(&self) -> Result<(), String> {
+        if let Some(sl) = &self.degradation.slowdown {
+            if sl.factor <= 0.0 || sl.factor.is_nan() {
+                return Err(format!("slowdown factor must be > 0, got {}", sl.factor));
+            }
+            if sl.start_ns >= sl.end_ns {
+                return Err(format!(
+                    "slowdown window is empty: start_ns {} >= end_ns {}",
+                    sl.start_ns, sl.end_ns
+                ));
+            }
+            if sl.sid as usize >= self.servers.len() {
+                return Err(format!(
+                    "slowdown targets server {} but the scenario has {}",
+                    sl.sid,
+                    self.servers.len()
+                ));
+            }
+            if let Some(f) = &self.server_failure {
+                // Overlap unless one window ends before the other starts.
+                let disjoint = sl.end_ns <= f.fail_at_ns || f.removed_at_ns <= sl.start_ns;
+                if f.sid == sl.sid && !disjoint {
+                    return Err(format!(
+                        "server {} has a fail-stop plan ({}..{} ns) overlapping its \
+                         slowdown plan ({}..{} ns); a server cannot be dead and slow \
+                         at once — separate the windows or pick one failure mode",
+                        sl.sid, f.fail_at_ns, f.removed_at_ns, sl.start_ns, sl.end_ns
+                    ));
+                }
+            }
+        }
+        if let Some(d) = &self.degradation.drain {
+            let racks = self.topology.racks;
+            if racks < 2 {
+                return Err("leaf drain needs a multi-rack topology (draining the only \
+                     leaf is the Fig. 16 switch_failure plan)"
+                    .to_string());
+            }
+            if d.rack >= racks {
+                return Err(format!(
+                    "drain targets rack {} but the topology has {racks}",
+                    d.rack
+                ));
+            }
+            if d.drain_at_ns >= d.restore_at_ns {
+                return Err(format!(
+                    "drain window is empty: drain_at_ns {} >= restore_at_ns {}",
+                    d.drain_at_ns, d.restore_at_ns
+                ));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -301,5 +468,76 @@ mod tests {
     fn workload_labels() {
         assert_eq!(Workload::Synthetic(exp25()).label(), "Exp(25)");
         assert_eq!(Workload::redis(0.99).label(), "99%-GET,1%-SCAN(100)");
+    }
+
+    #[test]
+    fn overlapping_fail_stop_and_slowdown_on_one_server_is_rejected() {
+        let mut s = Scenario::synthetic_default(Scheme::NETCLONE, exp25(), 1e6);
+        s.server_failure = Some(ServerFailurePlan {
+            sid: 1,
+            fail_at_ns: 3_000_000,
+            removed_at_ns: 5_000_000,
+        });
+        s.degradation.slowdown = Some(SlowdownPlan {
+            sid: 1,
+            start_ns: 4_000_000,
+            end_ns: 8_000_000,
+            factor: 4.0,
+        });
+        let err = s.validate().unwrap_err();
+        assert!(err.contains("dead and slow"), "unhelpful error: {err}");
+        // Disjoint windows on the same server are fine…
+        s.degradation.slowdown.as_mut().unwrap().start_ns = 5_000_000;
+        assert!(s.validate().is_ok());
+        // …and so are overlapping windows on different servers.
+        s.degradation.slowdown = Some(SlowdownPlan {
+            sid: 2,
+            start_ns: 2_000_000,
+            end_ns: 8_000_000,
+            factor: 4.0,
+        });
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn degenerate_degradation_plans_are_rejected() {
+        let mut s = Scenario::synthetic_default(Scheme::NETCLONE, exp25(), 1e6);
+        s.degradation.slowdown = Some(SlowdownPlan {
+            sid: 0,
+            start_ns: 2_000_000,
+            end_ns: 1_000_000,
+            factor: 4.0,
+        });
+        assert!(s.validate().unwrap_err().contains("empty"));
+        s.degradation.slowdown = Some(SlowdownPlan {
+            sid: 0,
+            start_ns: 1_000_000,
+            end_ns: 2_000_000,
+            factor: 0.0,
+        });
+        assert!(s.validate().unwrap_err().contains("factor"));
+        s.degradation.slowdown = None;
+        // Draining the only rack is the switch_failure plan's job.
+        s.degradation.drain = Some(DrainPlan {
+            rack: 0,
+            drain_at_ns: 1_000_000,
+            restore_at_ns: 2_000_000,
+        });
+        assert!(s.validate().unwrap_err().contains("multi-rack"));
+        s.topology = Topology::uniform(4);
+        assert!(s.validate().is_ok());
+        s.degradation.drain.as_mut().unwrap().rack = 4;
+        assert!(s.validate().unwrap_err().contains("rack 4"));
+    }
+
+    #[test]
+    fn hot_key_model_shifts_capacity() {
+        let mut s = Scenario::kv_default(Scheme::Baseline, Workload::redis(0.99), 1e5);
+        let flat = s.capacity_rps();
+        s.service_model.hot_key = Some(HotKeyCost::redis_with_backing_store(1_000));
+        let hot = s.capacity_rps();
+        // Misses are 10× the hit cost, so capacity must drop.
+        assert!(hot < flat, "hot-key capacity {hot} !< flat {flat}");
+        assert!(hot > 0.0);
     }
 }

@@ -167,6 +167,20 @@ pub(crate) enum Ev {
     ServerKill(usize),
     /// The control plane removes a failed server from the switch tables.
     ServerRemove(ServerId),
+    /// Server `idx`'s future service draws scale by `factor` (gray
+    /// failure; 1.0 restores full speed — see
+    /// [`crate::scenario::SlowdownPlan`]).
+    ServerSlow {
+        /// The degrading server.
+        idx: usize,
+        /// Multiplicative service-time factor.
+        factor: f64,
+    },
+    /// Leaf `rack` stops forwarding (maintenance drain / leaf outage;
+    /// see [`crate::scenario::DrainPlan`]).
+    LeafDrain(usize),
+    /// Leaf `rack` resumes forwarding with its soft state cleared.
+    LeafRestore(usize),
 }
 
 /// The source domain of the control plane (primed events, warm-up end,
@@ -289,6 +303,10 @@ pub(crate) struct Shard {
     /// Fabric-forwarding flag; a replica on every shard, flipped by
     /// broadcast control events.
     pub(crate) switch_up: bool,
+    /// Per-leaf forwarding flags (drain plans). Only the owning shard's
+    /// entries are ever consulted — a leaf's packets execute in its own
+    /// rack domain — so drain events prime on the owner alone.
+    pub(crate) leaf_up: Vec<bool>,
     pub(crate) coordinator: Option<LaedgeCoordinator>,
     pub(crate) arrivals: PoissonArrivals,
     pub(crate) arrival_rngs: Vec<Option<StdRng>>,
@@ -562,6 +580,31 @@ impl Shard {
                 self.set_control_ctx();
                 self.on_server_remove(sid);
             }
+            Ev::ServerSlow { idx, factor } => {
+                // Gray failure: only future service draws change; the
+                // switch keeps the server in its tables and the queue
+                // keeps filling — which is the point.
+                self.set_control_ctx();
+                self.servers[idx]
+                    .as_mut()
+                    .expect("owned server")
+                    .set_slow_factor(factor);
+            }
+            Ev::LeafDrain(rack) => {
+                self.set_control_ctx();
+                self.leaf_up[rack] = false;
+            }
+            Ev::LeafRestore(rack) => {
+                // Fig. 16 bring-up semantics scoped to one leaf: packets
+                // flow again, but the leaf's soft state (idle tracking,
+                // filters) restarts cold.
+                self.set_control_ctx();
+                self.leaf_up[rack] = true;
+                self.engines[rack]
+                    .as_mut()
+                    .expect("owned leaf engine")
+                    .reset_soft_state();
+            }
         }
     }
 
@@ -646,7 +689,7 @@ impl Shard {
     }
 
     fn on_switch_in(&mut self, sw: usize, sp: SimPacket, now: u64) {
-        if !self.switch_up {
+        if !self.switch_up || !self.leaf_up[sw] {
             self.packets_lost += 1;
             self.payloads.release(sp.pid);
             return;

@@ -11,7 +11,7 @@
 //! serial order is the `(time, domain, seq)` total order and that
 //! sharding executed precisely that set.
 
-use netclone_cluster::{Scenario, Scheme, Sim, Topology};
+use netclone_cluster::{DrainPlan, Scenario, Scheme, Sim, SlowdownPlan, Topology};
 use netclone_workloads::exp25;
 use proptest::prelude::*;
 
@@ -78,6 +78,54 @@ proptest! {
             serial_trace,
             sharded_trace,
             "event execution order diverged (racks={}, shards={})",
+            shape.racks,
+            shards
+        );
+        prop_assert_eq!(format!("{serial:?}"), format!("{sharded:?}"));
+    }
+
+    /// Mid-run degradation (server slowdown, leaf drain) is primed as
+    /// fabric-domain-0 control events on the owning shard alone — for any
+    /// random plan and shard count, the trace must still be the serial
+    /// one, byte for byte.
+    #[test]
+    fn degradation_plans_are_shard_count_invariant(
+        shape in shapes(),
+        shards in 2usize..=8,
+        seed in 0u64..1_000,
+        use_slow in any::<bool>(),
+        slow in (0usize..16, 200_000u64..900_000, 100_000u64..800_000, 15u32..80),
+        use_drain in any::<bool>(),
+        drain in (0usize..8, 200_000u64..900_000, 100_000u64..800_000),
+    ) {
+        let build = || {
+            let mut s = scenario_for(&shape, seed, false);
+            if let (true, (sid, start, dur, f10)) = (use_slow, slow) {
+                s.degradation.slowdown = Some(SlowdownPlan {
+                    sid: (sid % s.servers.len()) as u16,
+                    start_ns: start,
+                    end_ns: start + dur,
+                    factor: f64::from(f10) / 10.0,
+                });
+            }
+            // Drains need a fabric: fold the drawn rack into the shape
+            // when multi-rack, skip the injection for single-rack draws.
+            if use_drain && shape.racks >= 2 {
+                let (rack, start, dur) = drain;
+                s.degradation.drain = Some(DrainPlan {
+                    rack: rack % shape.racks,
+                    drain_at_ns: start,
+                    restore_at_ns: start + dur,
+                });
+            }
+            s
+        };
+        let (serial, serial_trace) = Sim::run_traced(build(), 1);
+        let (sharded, sharded_trace) = Sim::run_traced(build(), shards);
+        prop_assert_eq!(
+            serial_trace,
+            sharded_trace,
+            "degraded execution order diverged (racks={}, shards={})",
             shape.racks,
             shards
         );

@@ -8,7 +8,7 @@
 use std::collections::VecDeque;
 
 use netclone_hostcore::{AdmitDecision, ServerCore};
-use netclone_kvstore::ServiceCostModel;
+use netclone_kvstore::{HotKeyCost, ServiceCostModel};
 use netclone_proto::{NetCloneHdr, RpcOp, ServerId};
 use netclone_workloads::{Jitter, ServiceShape};
 use rand::rngs::StdRng;
@@ -37,6 +37,10 @@ pub struct ServerConfig {
     pub jitter: Jitter,
     /// Cost model for KV operations (Echo requests carry their own class).
     pub cost: ServiceCostModel,
+    /// Optional cache-aware hit/miss split over `cost`: when set, the
+    /// request's class comes from the hot-key model instead of `cost`
+    /// (the adversarial Zipf hot-key scenarios).
+    pub hot_key: Option<HotKeyCost>,
     /// RNG seed (derive via `SeedFactory`).
     pub seed: u64,
 }
@@ -53,6 +57,7 @@ impl ServerConfig {
             shape: ServiceShape::Exponential,
             jitter: Jitter::HIGH,
             cost: ServiceCostModel::redis(), // unused by Echo classes
+            hot_key: None,
             seed,
         }
     }
@@ -68,6 +73,7 @@ impl ServerConfig {
             shape: ServiceShape::Gamma4,
             jitter: Jitter::HIGH,
             cost,
+            hot_key: None,
             seed,
         }
     }
@@ -107,6 +113,10 @@ pub struct ServerSim {
     busy_workers: usize,
     dispatcher_free_at: u64,
     alive: bool,
+    /// Multiplicative service-time degradation (1.0 = healthy). Unlike
+    /// `kill()` (fail-stop, §3.6) the server keeps answering — just
+    /// slower — which is exactly the gray failure cloning should mask.
+    slow_factor: f64,
 }
 
 impl ServerSim {
@@ -120,6 +130,7 @@ impl ServerSim {
             busy_workers: 0,
             dispatcher_free_at: 0,
             alive: true,
+            slow_factor: 1.0,
         }
     }
 
@@ -161,11 +172,35 @@ impl ServerSim {
         self.alive
     }
 
-    /// Draws the execution time for one request (class → shape → jitter).
+    /// Sets the multiplicative service-time degradation (1.0 = healthy).
+    /// Affects only services *drawn* from now on — in-flight requests
+    /// keep their completion times, like a real frequency drop.
+    pub fn set_slow_factor(&mut self, factor: f64) {
+        debug_assert!(factor > 0.0, "slow factor must be positive");
+        self.slow_factor = factor;
+    }
+
+    /// Current degradation factor.
+    pub fn slow_factor(&self) -> f64 {
+        self.slow_factor
+    }
+
+    /// Draws the execution time for one request (class → shape → jitter →
+    /// degradation). The slowdown multiplies *after* the stochastic
+    /// stages, so the RNG draw sequence is identical whether or not a
+    /// degradation plan is active — healthy runs stay seed-pinned.
     fn draw_service_ns(&mut self, op: &RpcOp) -> u64 {
-        let class = self.cfg.cost.class_ns(op);
+        let class = match &self.cfg.hot_key {
+            Some(hk) => hk.class_ns(op),
+            None => self.cfg.cost.class_ns(op),
+        };
         let base = self.cfg.shape.sample(&mut self.rng, class);
-        self.cfg.jitter.apply(&mut self.rng, base)
+        let jittered = self.cfg.jitter.apply(&mut self.rng, base);
+        if self.slow_factor != 1.0 {
+            (jittered as f64 * self.slow_factor).round() as u64
+        } else {
+            jittered
+        }
     }
 
     /// Handles one arriving request packet at time `now`.
@@ -363,6 +398,57 @@ mod tests {
             s.on_request(pkt(CloneStatus::NotCloned), 0),
             Admission::Start { .. }
         ));
+    }
+
+    #[test]
+    fn slow_factor_scales_new_services_only() {
+        let mut s = det_server(2);
+        match s.on_request(pkt(CloneStatus::NotCloned), 0) {
+            Admission::Start { done_at } => assert_eq!(done_at, 100 + 25_000),
+            other => panic!("{other:?}"),
+        }
+        s.set_slow_factor(4.0);
+        // A new arrival pays 4× service; dispatcher cost is unaffected.
+        match s.on_request(pkt(CloneStatus::NotCloned), 1_000_000) {
+            Admission::Start { done_at } => assert_eq!(done_at, 1_000_000 + 100 + 100_000),
+            other => panic!("{other:?}"),
+        }
+        s.set_slow_factor(1.0);
+        assert_eq!(s.slow_factor(), 1.0);
+    }
+
+    #[test]
+    fn hot_key_split_prices_hits_and_misses_differently() {
+        use netclone_kvstore::HotKeyCost;
+        use netclone_proto::KvKey;
+        let mut cfg = ServerConfig::kv(0, ServiceCostModel::redis(), 1);
+        cfg.shape = ServiceShape::Deterministic;
+        cfg.jitter = Jitter::NONE;
+        cfg.dispatch_ns = 0;
+        cfg.hot_key = Some(HotKeyCost::redis_with_backing_store(100));
+        let mut s = ServerSim::new(cfg);
+        let hk = cfg.hot_key.unwrap();
+        let mk = |idx: u64| {
+            let meta =
+                PacketMeta::netclone_request(Ipv4::client(0), NetCloneHdr::request(0, 0, 0, 0), 84);
+            AppPacket {
+                meta,
+                op: RpcOp::Get {
+                    key: KvKey::from_index(idx),
+                },
+                born_ns: 0,
+            }
+        };
+        match s.on_request(mk(0), 0) {
+            Admission::Start { done_at } => assert_eq!(done_at, hk.hit.get_ns()),
+            other => panic!("{other:?}"),
+        }
+        match s.on_request(mk(5_000), 10_000_000) {
+            Admission::Start { done_at } => {
+                assert_eq!(done_at, 10_000_000 + hk.miss.get_ns());
+            }
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

@@ -34,6 +34,7 @@ fn server(workers: usize, seed: u64) -> ServerSim {
         shape: ServiceShape::Deterministic,
         jitter: Jitter::NONE,
         cost: ServiceCostModel::redis(),
+        hot_key: None,
         seed,
     })
 }

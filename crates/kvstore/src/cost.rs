@@ -69,6 +69,96 @@ impl ServiceCostModel {
     }
 }
 
+/// Cache-aware service cost: keys below `hot_ranks` are served from the
+/// hot set at `hit` cost, everything else pays the `miss` cost.
+///
+/// This is the adversarial hot-key seam: with a Zipf-skewed key stream
+/// most requests hit the cheap hot set while the Zipf tail pays the
+/// expensive miss path — a bimodal *service* distribution whose mix is
+/// controlled by the *key* distribution, not by an independent coin.
+/// Ranks work because [`netclone_proto::KvKey::from_index`] keys are
+/// generated in popularity-rank order by the Zipf sampler (rank 0 is
+/// the most popular key).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HotKeyCost {
+    /// Number of leading key ranks resident in the hot set.
+    pub hot_ranks: u64,
+    /// Cost model for hot-set hits (cheap).
+    pub hit: ServiceCostModel,
+    /// Cost model for misses (expensive: backing-store path).
+    pub miss: ServiceCostModel,
+}
+
+impl HotKeyCost {
+    /// A Redis-flavoured hit/miss split: hits at the calibrated Redis
+    /// cost, misses an order of magnitude slower (backing-store fetch),
+    /// with the top `hot_ranks` keys resident.
+    pub fn redis_with_backing_store(hot_ranks: u64) -> Self {
+        let hit = ServiceCostModel::redis();
+        HotKeyCost {
+            hot_ranks,
+            hit,
+            miss: ServiceCostModel {
+                base_ns: hit.base_ns * 10,
+                per_object_ns: hit.per_object_ns * 10,
+            },
+        }
+    }
+
+    /// True if `op` is served entirely from the hot set. `Echo` carries
+    /// no key and counts as a hit (its class is explicit anyway); a
+    /// `Scan` misses if any object in its range is outside the hot set.
+    pub fn is_hit(&self, op: &RpcOp) -> bool {
+        match op {
+            RpcOp::Echo { .. } => true,
+            RpcOp::Get { key } | RpcOp::Put { key, .. } => key.index() < self.hot_ranks,
+            RpcOp::Scan { key, count } => {
+                key.index().saturating_add(*count as u64) <= self.hot_ranks
+            }
+        }
+    }
+
+    /// Service class of one operation under the hit/miss split, ns.
+    pub fn class_ns(&self, op: &RpcOp) -> u64 {
+        if self.is_hit(op) {
+            self.hit.class_ns(op)
+        } else {
+            self.miss.class_ns(op)
+        }
+    }
+
+    /// Fraction of probability mass a Zipf(`theta`) popularity law over
+    /// `population` keys puts on the hot set — the expected hit rate of
+    /// single-key ops. Computed from the generalized harmonic sums
+    /// H(hot, θ) / H(population, θ).
+    pub fn zipf_hit_rate(&self, population: u64, theta: f64) -> f64 {
+        let hot = self.hot_ranks.min(population);
+        let harmonic = |n: u64| -> f64 { (1..=n).map(|k| 1.0 / (k as f64).powf(theta)).sum() };
+        if population == 0 {
+            return 0.0;
+        }
+        harmonic(hot) / harmonic(population)
+    }
+
+    /// Mean service time of a GET/SCAN mix under Zipf(`theta`) keys, ns —
+    /// used to size load sweeps exactly like
+    /// [`ServiceCostModel::mix_mean_ns`]. Approximates the scan hit rate
+    /// by the single-key rate (scans start at a Zipf-drawn rank).
+    pub fn zipf_mix_mean_ns(
+        &self,
+        get_frac: f64,
+        scan_count: u16,
+        population: u64,
+        theta: f64,
+    ) -> f64 {
+        let hit_rate = self.zipf_hit_rate(population, theta);
+        let blended = |hit: u64, miss: u64| hit_rate * hit as f64 + (1.0 - hit_rate) * miss as f64;
+        get_frac * blended(self.hit.get_ns(), self.miss.get_ns())
+            + (1.0 - get_frac)
+                * blended(self.hit.scan_ns(scan_count), self.miss.scan_ns(scan_count))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -114,6 +204,51 @@ mod tests {
         assert_eq!(pure_scan, m.scan_ns(100) as f64);
         let mixed = m.mix_mean_ns(0.9, 100);
         assert!(pure_get < mixed && mixed < pure_scan);
+    }
+
+    #[test]
+    fn hot_key_hit_and_miss_classes() {
+        let c = HotKeyCost::redis_with_backing_store(100);
+        let hot = RpcOp::Get {
+            key: KvKey::from_index(3),
+        };
+        let cold = RpcOp::Get {
+            key: KvKey::from_index(100),
+        };
+        assert!(c.is_hit(&hot) && !c.is_hit(&cold));
+        assert_eq!(c.class_ns(&hot), c.hit.get_ns());
+        assert_eq!(c.class_ns(&cold), c.miss.get_ns());
+        assert!(c.class_ns(&cold) > c.class_ns(&hot));
+        // A scan that walks off the hot set pays the miss path.
+        let edge_scan = RpcOp::Scan {
+            key: KvKey::from_index(50),
+            count: 100,
+        };
+        assert!(!c.is_hit(&edge_scan));
+        // Echo carries its own class either way.
+        assert_eq!(c.class_ns(&RpcOp::Echo { class_ns: 7 }), 7);
+    }
+
+    #[test]
+    fn zipf_hit_rate_tracks_skew() {
+        let c = HotKeyCost::redis_with_backing_store(100);
+        // Heavier skew concentrates more mass on the hot ranks.
+        let skewed = c.zipf_hit_rate(10_000, 0.99);
+        let uniformish = c.zipf_hit_rate(10_000, 0.1);
+        assert!(skewed > uniformish);
+        assert!((0.0..=1.0).contains(&skewed));
+        // Hot set covering the whole population hits everything.
+        let all = HotKeyCost::redis_with_backing_store(10_000);
+        assert!((all.zipf_hit_rate(10_000, 0.99) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zipf_mix_mean_is_between_pure_hit_and_pure_miss() {
+        let c = HotKeyCost::redis_with_backing_store(100);
+        let mean = c.zipf_mix_mean_ns(0.99, 100, 10_000, 0.99);
+        let pure_hit = c.hit.mix_mean_ns(0.99, 100);
+        let pure_miss = c.miss.mix_mean_ns(0.99, 100);
+        assert!(pure_hit < mean && mean < pure_miss, "mean {mean}");
     }
 
     #[test]

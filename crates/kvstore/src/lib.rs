@@ -13,5 +13,5 @@
 pub mod cost;
 pub mod store;
 
-pub use cost::ServiceCostModel;
+pub use cost::{HotKeyCost, ServiceCostModel};
 pub use store::KvStore;

@@ -29,6 +29,44 @@ pub fn sample_gamma4<R: Rng + ?Sized>(rng: &mut R, mean_ns: f64) -> u64 {
     (0..4).map(|_| sample_exp(rng, quarter)).sum()
 }
 
+/// Draws from a bounded Pareto distribution on `[min_ns, max_ns]` with
+/// tail index `alpha`, via inverse CDF. One uniform draw per sample.
+///
+/// The bounded form keeps the mean finite even for `alpha <= 1` and caps
+/// the worst-case service time (an unbounded Pareto would occasionally
+/// draw a request longer than the whole measurement window, which
+/// measures the window edge rather than the policy).
+pub fn sample_bounded_pareto<R: Rng + ?Sized>(
+    rng: &mut R,
+    alpha: f64,
+    min_ns: u64,
+    max_ns: u64,
+) -> u64 {
+    debug_assert!(alpha > 0.0 && min_ns > 0 && min_ns <= max_ns);
+    let l = min_ns as f64;
+    let h = max_ns as f64;
+    // u ∈ [0, 1); F⁻¹(u) = L · (1 − u·(1 − (L/H)^α))^(−1/α), which maps
+    // u = 0 → L and u → 1 → H.
+    let u: f64 = rng.random::<f64>();
+    let ratio = (l / h).powf(alpha);
+    let x = l * (1.0 - u * (1.0 - ratio)).powf(-1.0 / alpha);
+    (x.round() as u64).clamp(min_ns, max_ns)
+}
+
+/// Analytic mean of the bounded Pareto on `[min_ns, max_ns]` with tail
+/// index `alpha` (finite for every `alpha > 0` thanks to the bound).
+pub fn bounded_pareto_mean(alpha: f64, min_ns: u64, max_ns: u64) -> f64 {
+    let l = min_ns as f64;
+    let h = max_ns as f64;
+    if (alpha - 1.0).abs() < 1e-9 {
+        // α = 1 limit: E[X] = ln(H/L) / (1/L − 1/H).
+        return (h / l).ln() / (1.0 / l - 1.0 / h);
+    }
+    let la = l.powf(alpha);
+    let norm = 1.0 - (l / h).powf(alpha);
+    la / norm * alpha / (alpha - 1.0) * (l.powf(1.0 - alpha) - h.powf(1.0 - alpha))
+}
+
 /// How a server turns a request's intrinsic class into an execution time.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum ServiceShape {
@@ -70,6 +108,18 @@ pub enum SyntheticWorkload {
         /// Heavy class mean, ns.
         heavy_ns: u64,
     },
+    /// A continuum of classes: each request's class is a bounded-Pareto
+    /// draw on `[min_ns, max_ns]` with tail index `alpha` — the
+    /// adversarial heavy-tail shape (most requests near `min_ns`, a
+    /// power-law tail of monsters up to `max_ns`).
+    HeavyTail {
+        /// Tail index; smaller = heavier tail (1.1–1.5 is typical).
+        alpha: f64,
+        /// Smallest class, ns.
+        min_ns: u64,
+        /// Largest class, ns (bounds the tail so the mean stays finite).
+        max_ns: u64,
+    },
 }
 
 impl SyntheticWorkload {
@@ -88,6 +138,11 @@ impl SyntheticWorkload {
                     light_ns
                 }
             }
+            SyntheticWorkload::HeavyTail {
+                alpha,
+                min_ns,
+                max_ns,
+            } => sample_bounded_pareto(rng, alpha, min_ns, max_ns),
         }
     }
 
@@ -100,6 +155,11 @@ impl SyntheticWorkload {
                 light_ns,
                 heavy_ns,
             } => p_heavy * heavy_ns as f64 + (1.0 - p_heavy) * light_ns as f64,
+            SyntheticWorkload::HeavyTail {
+                alpha,
+                min_ns,
+                max_ns,
+            } => bounded_pareto_mean(alpha, min_ns, max_ns),
         }
     }
 
@@ -117,6 +177,15 @@ impl SyntheticWorkload {
                 light_ns / 1_000,
                 (p_heavy * 100.0).round() as u32,
                 heavy_ns / 1_000
+            ),
+            SyntheticWorkload::HeavyTail {
+                alpha,
+                min_ns,
+                max_ns,
+            } => format!(
+                "HeavyTail({alpha:.1},{}-{})",
+                min_ns / 1_000,
+                max_ns / 1_000
             ),
         }
     }
@@ -212,6 +281,43 @@ mod tests {
             .label(),
             "Bimodal(90%-25,10%-250)"
         );
+    }
+
+    #[test]
+    fn bounded_pareto_stays_in_bounds_and_converges_to_its_mean() {
+        let (alpha, lo, hi) = (1.3, 5_000, 2_500_000);
+        let mut rng = StdRng::seed_from_u64(6);
+        let n = 400_000usize;
+        let mut sum = 0u64;
+        for _ in 0..n {
+            let x = sample_bounded_pareto(&mut rng, alpha, lo, hi);
+            assert!((lo..=hi).contains(&x), "draw {x} escaped [{lo}, {hi}]");
+            sum += x;
+        }
+        let got = sum as f64 / n as f64;
+        let want = bounded_pareto_mean(alpha, lo, hi);
+        assert!(
+            (got - want).abs() / want < 0.05,
+            "pareto mean off: got {got}, want {want}"
+        );
+    }
+
+    #[test]
+    fn bounded_pareto_mean_alpha_one_limit_is_continuous() {
+        let at_one = bounded_pareto_mean(1.0, 10_000, 1_000_000);
+        let near_one = bounded_pareto_mean(1.0 + 1e-7, 10_000, 1_000_000);
+        assert!((at_one - near_one).abs() / at_one < 1e-3);
+    }
+
+    #[test]
+    fn heavy_tail_label_and_mean() {
+        let wl = SyntheticWorkload::HeavyTail {
+            alpha: 1.3,
+            min_ns: 5_000,
+            max_ns: 2_500_000,
+        };
+        assert_eq!(wl.label(), "HeavyTail(1.3,5-2500)");
+        assert!((wl.mean_class_ns() - bounded_pareto_mean(1.3, 5_000, 2_500_000)).abs() < 1e-9);
     }
 
     #[test]

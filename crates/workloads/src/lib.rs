@@ -26,7 +26,10 @@ pub mod presets;
 pub mod zipf;
 
 pub use arrivals::PoissonArrivals;
-pub use dist::{sample_exp, sample_gamma4, ServiceShape, SyntheticWorkload};
+pub use dist::{
+    bounded_pareto_mean, sample_bounded_pareto, sample_exp, sample_gamma4, ServiceShape,
+    SyntheticWorkload,
+};
 pub use jitter::Jitter;
 pub use kvmix::KvMix;
 pub use presets::*;

@@ -33,6 +33,18 @@ pub fn bimodal_50_500() -> SyntheticWorkload {
     }
 }
 
+/// `HeavyTail(1.3, 5-2500)` — the adversarial power-law mix: bounded
+/// Pareto classes on 5 μs–2.5 ms with tail index 1.3 (mean ≈ 21 μs, so
+/// it is load-comparable with `Exp(25)` while the p999 class is two
+/// orders of magnitude past the median).
+pub fn heavy_tail_25() -> SyntheticWorkload {
+    SyntheticWorkload::HeavyTail {
+        alpha: 1.3,
+        min_ns: 5_000,
+        max_ns: 2_500_000,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -43,6 +55,7 @@ mod tests {
         assert_eq!(exp50().label(), "Exp(50)");
         assert_eq!(bimodal_25_250().label(), "Bimodal(90%-25,10%-250)");
         assert_eq!(bimodal_50_500().label(), "Bimodal(90%-50,10%-500)");
+        assert_eq!(heavy_tail_25().label(), "HeavyTail(1.3,5-2500)");
     }
 
     #[test]
@@ -50,5 +63,7 @@ mod tests {
         assert_eq!(exp25().mean_class_ns(), 25_000.0);
         assert_eq!(bimodal_25_250().mean_class_ns(), 47_500.0);
         assert_eq!(bimodal_50_500().mean_class_ns(), 95_000.0);
+        let ht = heavy_tail_25().mean_class_ns();
+        assert!((15_000.0..30_000.0).contains(&ht), "heavy-tail mean {ht}");
     }
 }

@@ -1,8 +1,10 @@
 //! Property tests for the samplers: determinism under a fixed seed, range
 //! safety, and basic statistical sanity under arbitrary parameters.
 
+use netclone_proto::RpcOp;
 use netclone_workloads::{
-    sample_exp, Jitter, KvMix, PoissonArrivals, ServiceShape, SyntheticWorkload, ZipfSampler,
+    bounded_pareto_mean, sample_exp, Jitter, KvMix, PoissonArrivals, ServiceShape,
+    SyntheticWorkload, ZipfSampler,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -96,5 +98,108 @@ proptest! {
             let op = mix.sample(&mut rng);
             prop_assert!(op.is_cloneable(), "read mix produced a write: {op:?}");
         }
+    }
+
+    /// Zipf popularity is monotone in rank: the low-rank half of the
+    /// population draws at least as much mass as the high-rank half, and
+    /// rank 0 is (weakly) the single most popular key. Keys are numbered
+    /// in popularity order, so this is the property the hot-key cost
+    /// model ([`netclone_kvstore`]) leans on.
+    #[test]
+    fn zipf_frequency_is_monotone_in_rank(
+        n in 4usize..2_000,
+        theta in 0.4f64..1.3,
+        seed in any::<u64>(),
+    ) {
+        let z = ZipfSampler::new(n, theta);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let draws = 4_096;
+        let mut counts = vec![0u64; n];
+        for _ in 0..draws {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        let half = n / 2;
+        let low: u64 = counts[..half].iter().sum();
+        let high: u64 = counts[half..half * 2].iter().sum();
+        prop_assert!(
+            low >= high,
+            "low ranks [0,{half}) drew {low} < high ranks {high} (n={n}, theta={theta})"
+        );
+        let max = counts.iter().copied().max().unwrap();
+        prop_assert!(
+            counts[0] * 2 >= max,
+            "rank 0 ({}) far from the mode ({max})",
+            counts[0]
+        );
+    }
+
+    /// The GET/SCAN split of a read mix conserves the configured ratio.
+    #[test]
+    fn read_mix_conserves_get_fraction(get_frac in 0.05f64..0.95, seed in any::<u64>()) {
+        let mix = KvMix::read_mix(get_frac, 100, ZipfSampler::new(1_000, 0.99));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let draws = 8_192u64;
+        let mut gets = 0u64;
+        for _ in 0..draws {
+            match mix.sample(&mut rng) {
+                RpcOp::Get { .. } => gets += 1,
+                RpcOp::Scan { .. } => {}
+                other => prop_assert!(false, "read mix emitted {other:?}"),
+            }
+        }
+        let observed = gets as f64 / draws as f64;
+        // 8192 draws: a 6-sigma band is ~0.033 at p=0.5.
+        prop_assert!(
+            (observed - get_frac).abs() < 0.05,
+            "GET fraction {observed:.3} vs configured {get_frac:.3}"
+        );
+    }
+
+    /// Bimodal class draws match the configured mixture weight.
+    #[test]
+    fn bimodal_mixture_weight_holds(p_heavy in 0.05f64..0.95, seed in any::<u64>()) {
+        let wl = SyntheticWorkload::Bimodal {
+            p_heavy,
+            light_ns: 25_000,
+            heavy_ns: 250_000,
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let draws = 8_192u64;
+        let heavy = (0..draws)
+            .filter(|_| wl.sample_class(&mut rng) == 250_000)
+            .count() as f64;
+        let observed = heavy / draws as f64;
+        prop_assert!(
+            (observed - p_heavy).abs() < 0.05,
+            "heavy fraction {observed:.3} vs configured {p_heavy:.3}"
+        );
+    }
+
+    /// Heavy-tail class draws stay inside the configured bounds and their
+    /// sample mean converges on the analytic truncated-Pareto mean.
+    #[test]
+    fn heavy_tail_draws_match_analytic_mean(
+        alpha in 0.8f64..2.5,
+        seed in any::<u64>(),
+    ) {
+        let (min_ns, max_ns) = (5_000u64, 2_500_000u64);
+        let wl = SyntheticWorkload::HeavyTail { alpha, min_ns, max_ns };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let draws = 16_384;
+        let mut total = 0u64;
+        for _ in 0..draws {
+            let c = wl.sample_class(&mut rng);
+            prop_assert!((min_ns..=max_ns).contains(&c), "draw {c} out of bounds");
+            total += c;
+        }
+        let sample_mean = total as f64 / draws as f64;
+        let analytic = bounded_pareto_mean(alpha, min_ns, max_ns);
+        prop_assert_eq!(wl.mean_class_ns(), analytic);
+        // The truncated tail keeps the variance finite, but alpha near
+        // 0.8 still needs a generous band.
+        prop_assert!(
+            (sample_mean - analytic).abs() < analytic * 0.35,
+            "sample mean {sample_mean:.0} vs analytic {analytic:.0} (alpha={alpha})"
+        );
     }
 }

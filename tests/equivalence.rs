@@ -365,6 +365,137 @@ fn host_cores_agree_across_frontends() {
     switch.shutdown();
 }
 
+/// The hot-key service model ([`HotKeyCost`]) classifies a request by its
+/// key's popularity rank, so parity across frontends hinges on the wire
+/// codec preserving everything `class_ns` reads: the op kind, the key
+/// index, and the scan count. Drive the same hot/cold op mix through the
+/// inline engine and over real UDP, classify each delivery at the server,
+/// and require the identical hit/miss cost sequence.
+#[test]
+fn hot_key_costs_agree_across_frontends() {
+    use netclone::kvstore::HotKeyCost;
+
+    const N_OPS: usize = 24;
+    let hk = HotKeyCost::redis_with_backing_store(100);
+    // Hits, misses, a SCAN that stays resident, one that overruns the hot
+    // set, and a write — every classification branch.
+    let op_for = |i: usize| -> RpcOp {
+        match i % 6 {
+            0 => RpcOp::Scan {
+                key: KvKey::from_index((i as u64 * 7) % 120),
+                count: 50,
+            },
+            3 => RpcOp::Put {
+                key: KvKey::from_index((i as u64 * 37) % 200),
+                value_len: 16,
+            },
+            _ => RpcOp::Get {
+                key: KvKey::from_index((i as u64 * 37) % 200),
+            },
+        }
+    };
+
+    let scenario = scenario();
+
+    // Frontend 1: inline engine; ops reach the "server" unencoded.
+    let mut engine = build_engine(&scenario);
+    let mut direct_classes: Vec<(u16, u64)> = Vec::new();
+    let mut fanouts: Vec<Vec<u16>> = Vec::new();
+    for i in 0..N_OPS {
+        let op = op_for(i);
+        let mut meta = PacketMeta::netclone_request(
+            Ipv4::client(0),
+            NetCloneHdr::request((i as u16) % engine.num_groups(), (i % 2) as u8, 0, i as u32),
+            84,
+        );
+        if !op.is_cloneable() {
+            meta.nc.state = ServerState(1);
+        }
+        let mut emissions = engine.process_collected(meta, 100, 0);
+        emissions.sort_by_key(|e| e.port);
+        fanouts.push(emissions.iter().map(|e| e.port).collect());
+        for e in emissions {
+            let sid = e.port - 10;
+            direct_classes.push((e.port, hk.class_ns(&op)));
+            let nc = NetCloneHdr::response_to(&e.pkt.nc, sid, ServerState(0));
+            let resp = PacketMeta::netclone_response(Ipv4::server(sid), e.pkt.src_ip, nc, 84);
+            engine.process_collected(resp, e.port, 0);
+        }
+    }
+    let hit = hk.hit.class_ns(&RpcOp::Get {
+        key: KvKey::from_index(0),
+    });
+    let miss = hk.miss.class_ns(&RpcOp::Get {
+        key: KvKey::from_index(150),
+    });
+    assert!(hit < miss);
+    assert!(
+        direct_classes.iter().any(|&(_, c)| c == hit)
+            && direct_classes.iter().any(|&(_, c)| c == miss),
+        "the mix must exercise both the hit and the miss path"
+    );
+
+    // Frontend 2: the same trace over UDP; servers classify what the wire
+    // actually delivered.
+    let switch = SoftSwitch::spawn_engine(build_engine(&scenario)).expect("spawn soft switch");
+    let handle = switch.handle();
+    let client = UdpSocket::bind("127.0.0.1:0").expect("client socket");
+    let servers: Vec<UdpSocket> = (0..N_SERVERS)
+        .map(|_| UdpSocket::bind("127.0.0.1:0").expect("server socket"))
+        .collect();
+    handle
+        .map_port(100, client.local_addr().unwrap())
+        .expect("map client port");
+    for (sid, sock) in servers.iter().enumerate() {
+        handle
+            .map_port(10 + sid as u16, sock.local_addr().unwrap())
+            .expect("map server port");
+    }
+
+    let mut udp_classes: Vec<(u16, u64)> = Vec::new();
+    let mut buf = vec![0u8; 65_536];
+    let mut responses_seen = 0u64;
+    for (i, fanout) in fanouts.iter().enumerate() {
+        let op = op_for(i);
+        let mut meta = PacketMeta::netclone_request(
+            Ipv4::client(0),
+            NetCloneHdr::request((i as u16) % handle.num_groups(), (i % 2) as u8, 0, i as u32),
+            84,
+        );
+        if !op.is_cloneable() {
+            meta.nc.state = ServerState(1);
+        }
+        client
+            .send_to(&encode_packet(&meta, &op, &[]), handle.addr())
+            .expect("send request");
+        for &port in fanout {
+            let sock = &servers[(port - 10) as usize];
+            let len = recv_with_deadline(sock, &mut buf)
+                .unwrap_or_else(|| panic!("request {i}: no delivery on port {port}"));
+            let (req, op_rx, _value) = decode_packet(bytes_of(&buf[..len])).expect("decode");
+            let sid = port - 10;
+            udp_classes.push((port, hk.class_ns(&op_rx)));
+            let nc = NetCloneHdr::response_to(&req.nc, sid, ServerState(0));
+            let resp = PacketMeta::netclone_response(Ipv4::server(sid), req.src_ip, nc, 84);
+            sock.send_to(&encode_packet(&resp, &op, &[]), handle.addr())
+                .expect("send response");
+            responses_seen += 1;
+        }
+        // Serialise: wait for this step's responses before the next send.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while handle.counters().responses < responses_seen {
+            assert!(Instant::now() < deadline, "request {i}: responses lost");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    assert_eq!(
+        udp_classes, direct_classes,
+        "hot-key classification diverged between the inline and UDP frontends"
+    );
+    switch.shutdown();
+}
+
 /// The plain L3 fabric (Baseline/C-Clone schemes) must also behave
 /// identically across frontends — it implements the same trait.
 #[test]

@@ -2,8 +2,9 @@
 //! removal, switch power cycles, and packet loss.
 
 use netclone::cluster::scenario::ServerFailurePlan;
-use netclone::cluster::{Scenario, Scheme, Sim, SwitchFailurePlan};
+use netclone::cluster::{DrainPlan, Scenario, Scheme, Sim, SlowdownPlan, SwitchFailurePlan};
 use netclone::workloads::exp25;
+use netclone_cluster::Topology;
 
 #[test]
 fn server_failure_degrades_then_recovers() {
@@ -132,5 +133,106 @@ fn cloning_masks_request_loss_better_than_baseline() {
         "two copies in flight must survive loss more often: baseline {:.3} vs netclone {:.3}",
         rates[0],
         rates[1]
+    );
+}
+
+/// A 4-rack scenario under simultaneous adversity: a spine power cycle
+/// AND a leaf drain, over lossy links. Used by the composition and
+/// sharding tests below.
+fn compound_failure_scenario() -> Scenario {
+    let mut s = Scenario::synthetic_default(Scheme::NETCLONE, exp25(), 0.0);
+    s.topology = Topology::uniform(4);
+    s.offered_rps = s.capacity_rps() * 0.3;
+    s.warmup_ns = 5_000_000;
+    s.measure_ns = 60_000_000;
+    s.switch_failure = Some(SwitchFailurePlan {
+        fail_at_ns: 20_000_000,
+        reactivate_at_ns: 25_000_000,
+        bringup_ns: 5_000_000,
+    });
+    s.degradation.drain = Some(DrainPlan {
+        rack: 3,
+        drain_at_ns: 40_000_000,
+        restore_at_ns: 50_000_000,
+    });
+    s
+}
+
+#[test]
+fn switch_failure_and_drain_are_sharding_invariant() {
+    // Fail-stop switch events broadcast to every shard; drain events prime
+    // on the drained rack's owner alone. Either way, shards=1 and shards=4
+    // must execute the identical event sequence, byte for byte.
+    let serial = format!("{:?}", Sim::run_with_shards(compound_failure_scenario(), 1));
+    let sharded = format!("{:?}", Sim::run_with_shards(compound_failure_scenario(), 4));
+    assert_eq!(serial, sharded);
+}
+
+#[test]
+fn drained_leaf_recovers_after_restore() {
+    let mut s = compound_failure_scenario();
+    s.switch_failure = None; // isolate the drain
+    let r = Sim::run(s);
+    assert!(r.completed > 0);
+    assert!(
+        r.packets_lost > 0,
+        "traffic through the drained leaf must be dropped"
+    );
+    // The drained rack holds server 3 only; it serves before and after the
+    // window, so it still completes a healthy share of requests.
+    assert_eq!(r.per_server_served.len(), 6);
+    assert!(
+        r.per_server_served[3] > 0,
+        "the drained rack's server must serve again after restore"
+    );
+}
+
+#[test]
+fn lossy_links_compose_with_failures() {
+    // §3.6 composition: random loss + spine power cycle + leaf drain in one
+    // run. Nothing wedges, and the run still completes most requests.
+    let mut s = compound_failure_scenario();
+    s.loss = 0.005;
+    let r = Sim::run(s);
+    assert!(r.packets_lost > 0);
+    let completion_rate = r.completed as f64 / r.generated as f64;
+    assert!(
+        completion_rate > 0.5,
+        "compound adversity must not collapse the run: {completion_rate}"
+    );
+}
+
+#[test]
+fn slowdown_is_gray_not_fail_stop() {
+    // A slowed server keeps answering (no losses beyond zero), unlike the
+    // fail-stop plan above — the two injections are distinct mechanisms.
+    let mut s = Scenario::synthetic_default(Scheme::NETCLONE, exp25(), 0.0);
+    s.offered_rps = s.capacity_rps() * 0.3;
+    s.warmup_ns = 5_000_000;
+    s.measure_ns = 60_000_000;
+    s.degradation.slowdown = Some(SlowdownPlan {
+        sid: 0,
+        start_ns: 20_000_000,
+        end_ns: 40_000_000,
+        factor: 4.0,
+    });
+    let slow = Sim::run(s.clone());
+    s.degradation.slowdown = None;
+    let healthy = Sim::run(s);
+    // Gray failure loses nothing: the only incompletes are the same
+    // end-of-run stragglers a healthy open-loop run leaves in flight
+    // (plus the queue the slow server is still draining).
+    assert_eq!(slow.packets_lost, 0, "the server is slow, not dead");
+    let slow_strays = slow.generated - slow.completed;
+    let healthy_strays = healthy.generated - healthy.completed;
+    assert!(
+        slow_strays < healthy_strays + 200,
+        "slowdown must not lose requests: {slow_strays} vs healthy {healthy_strays}"
+    );
+    assert!(
+        slow.p99_us() > healthy.p99_us(),
+        "the slowdown must show up in the tail: {} vs {}",
+        slow.p99_us(),
+        healthy.p99_us()
     );
 }
