@@ -36,6 +36,9 @@ fn run_once(workers: usize) -> u64 {
             num_filter_tables: 2,
             seed: 7,
             workers,
+            retry: None,
+            faults: None,
+            crash_worker: None,
         })
         .expect("open-loop run");
     tb.shutdown();

@@ -70,6 +70,9 @@ fn measure(workers: usize, offered_rps: f64, window: Duration, reps: usize) -> M
                 num_filter_tables: 2,
                 seed: 7,
                 workers,
+                retry: None,
+                faults: None,
+                crash_worker: None,
             })
             .expect("open-loop run");
         let wall_s = start.elapsed().as_secs_f64();

@@ -34,7 +34,7 @@ use rand::SeedableRng;
 
 use crate::calib;
 use crate::payload::PayloadSlab;
-use crate::scenario::{Scenario, Workload};
+use crate::scenario::{Fault, Scenario, Workload};
 use crate::scheme::Scheme;
 use crate::sim::{BgState, Ev, LinkState, LossModel, Shard, CONTROL_SRC};
 use crate::topology::{agg_down_port, core_port, spine_port, Fabric, FabricShape, UPLINK_PORT};
@@ -468,13 +468,17 @@ impl ScenarioBuilder {
                         num_filter_tables: scenario.n_filter_tables as u8,
                     },
                 };
-                ClientSim::new(
+                let mut c = ClientSim::new(
                     cid,
                     mode,
                     calib::CLIENT_TX_NS,
                     calib::CLIENT_RX_NS,
                     seeds.seed_for("client", cid as u64),
-                )
+                );
+                if let Some(policy) = scenario.retry {
+                    c = c.with_retry(policy);
+                }
+                c
             })
             .collect();
 
@@ -787,48 +791,101 @@ impl ScenarioBuilder {
                 Ev::ServerRemove(plan.sid)
             });
         }
-        // Degradation plans ride the control domain too, but every
-        // consumer of their state (the server's slow factor, the leaf's
-        // forwarding flag) lives on one shard, so both edges prime on the
-        // owner alone — no broadcast, and no events at all when the plans
-        // are absent (pre-existing scenarios stay seed-pinned).
-        if let Some(plan) = scenario.degradation.slowdown {
-            let owner = server_leaf[plan.sid as usize] % nshards;
-            let idx = plan.sid as usize;
-            prime_one(
-                shards,
-                &mut ctl,
-                owner,
-                plan.start_ns,
-                Ev::ServerSlow {
-                    idx,
-                    factor: plan.factor,
-                },
-            );
-            prime_one(
-                shards,
-                &mut ctl,
-                owner,
-                plan.end_ns,
-                Ev::ServerSlow { idx, factor: 1.0 },
-            );
+        // Fault edges ride the control domain too. Faults whose state has
+        // a single consumer (a server's slow factor, a leaf's forwarding
+        // flag, a rack's link rates) prime both edges on the owner alone;
+        // fabric-wide faults (a switch reboot) broadcast under shared
+        // keys like the legacy `switch_failure` plan. `all_faults()`
+        // yields the legacy degradation plans first and the timeline
+        // after, in declaration order — an empty timeline schedules
+        // exactly the legacy events, so pre-existing scenarios stay
+        // seed-pinned.
+        for fault in scenario.all_faults() {
+            match fault {
+                Fault::Slowdown(plan) => {
+                    let owner = server_leaf[plan.sid as usize] % nshards;
+                    let idx = plan.sid as usize;
+                    prime_one(
+                        shards,
+                        &mut ctl,
+                        owner,
+                        plan.start_ns,
+                        Ev::ServerSlow {
+                            idx,
+                            factor: plan.factor,
+                        },
+                    );
+                    prime_one(
+                        shards,
+                        &mut ctl,
+                        owner,
+                        plan.end_ns,
+                        Ev::ServerSlow { idx, factor: 1.0 },
+                    );
+                }
+                Fault::Drain(plan) => {
+                    let owner = plan.rack % nshards;
+                    prime_one(
+                        shards,
+                        &mut ctl,
+                        owner,
+                        plan.drain_at_ns,
+                        Ev::LeafDrain(plan.rack),
+                    );
+                    prime_one(
+                        shards,
+                        &mut ctl,
+                        owner,
+                        plan.restore_at_ns,
+                        Ev::LeafRestore(plan.rack),
+                    );
+                }
+                Fault::LinkFlap(plan) => {
+                    let owner = plan.rack % nshards;
+                    prime_one(
+                        shards,
+                        &mut ctl,
+                        owner,
+                        plan.start_ns,
+                        Ev::LinkFlap {
+                            rack: plan.rack,
+                            factor: plan.factor,
+                        },
+                    );
+                    prime_one(
+                        shards,
+                        &mut ctl,
+                        owner,
+                        plan.end_ns,
+                        Ev::LinkFlap {
+                            rack: plan.rack,
+                            factor: 1,
+                        },
+                    );
+                }
+                Fault::Reboot(plan) => {
+                    broadcast(shards, &mut ctl, plan.fail_at_ns, &|| Ev::SwitchFail);
+                    broadcast(shards, &mut ctl, plan.reactivate_at_ns, &|| {
+                        Ev::SwitchReactivate {
+                            bringup_ns: plan.bringup_ns,
+                        }
+                    });
+                }
+            }
         }
-        if let Some(plan) = scenario.degradation.drain {
-            let owner = plan.rack % nshards;
-            prime_one(
-                shards,
-                &mut ctl,
-                owner,
-                plan.drain_at_ns,
-                Ev::LeafDrain(plan.rack),
-            );
-            prime_one(
-                shards,
-                &mut ctl,
-                owner,
-                plan.restore_at_ns,
-                Ev::LeafRestore(plan.rack),
-            );
+        // The retry clock: one self-rescheduling tick per client, owned by
+        // the client's shard. Absent a retry policy no tick is ever
+        // scheduled (and the legacy scenarios stay seed-pinned).
+        if let Some(policy) = scenario.retry {
+            for (cid, leaf) in client_leaf.iter().enumerate().take(scenario.n_clients) {
+                prime_one(
+                    shards,
+                    &mut ctl,
+                    leaf % nshards,
+                    policy.tick_ns(),
+                    Ev::ClientTick(cid),
+                );
+            }
         }
         // Background incast: one first arrival per source rack, owned by
         // the rack's shard (the victim rack has no stream).

@@ -10,6 +10,7 @@ pub mod scale;
 
 pub mod ablations;
 pub mod adversarial;
+pub mod chaos;
 pub mod fattree;
 pub mod fig07;
 pub mod fig08;

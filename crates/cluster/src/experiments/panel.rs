@@ -124,6 +124,12 @@ mod tests {
                 completed: 0,
                 client_redundant: 0,
                 client_clone_wins: 0,
+                client_lost: 0,
+                client_retried: 0,
+                client_retry_wins: 0,
+                client_budget_exhausted: 0,
+                lifetime: Default::default(),
+                client_outstanding: 0,
                 switch: SwitchCounters::default(),
                 per_switch: vec![SwitchCounters::default()],
                 server_clone_drops: 0,

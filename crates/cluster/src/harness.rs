@@ -298,6 +298,7 @@ pub fn registry() -> Vec<Box<dyn Experiment>> {
         Box::new(multirack::MultiRack),
         Box::new(fattree::FatTree),
         Box::new(adversarial::Adversarial),
+        Box::new(chaos::Chaos),
         Box::new(ablations::Ablations),
     ]
 }
@@ -381,11 +382,11 @@ mod tests {
     #[test]
     fn registry_ids_are_unique_and_titled() {
         let reg = registry();
-        assert_eq!(reg.len(), 16);
+        assert_eq!(reg.len(), 17);
         let mut ids: Vec<&str> = reg.iter().map(|e| e.id()).collect();
         ids.sort();
         ids.dedup();
-        assert_eq!(ids.len(), 16, "duplicate experiment ids");
+        assert_eq!(ids.len(), 17, "duplicate experiment ids");
         for e in &reg {
             assert!(!e.title().is_empty(), "{} has no title", e.id());
             assert!(!e.tags().is_empty(), "{} has no tags", e.id());

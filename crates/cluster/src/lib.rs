@@ -39,8 +39,8 @@ pub use build::{build_engine, build_fabric, ScenarioBuilder};
 pub use harness::{registry, Experiment, RunCtx, Runner};
 pub use metrics::RunResult;
 pub use scenario::{
-    DegradationPlan, DrainPlan, Scenario, ServerSpec, ServiceModel, SlowdownPlan,
-    SwitchFailurePlan, Workload,
+    DegradationPlan, DrainPlan, Fault, FaultTimeline, LinkFlapPlan, RetryPolicy, Scenario,
+    ServerSpec, ServiceModel, SlowdownPlan, SwitchFailurePlan, Workload,
 };
 pub use scheme::Scheme;
 pub use sim::Sim;

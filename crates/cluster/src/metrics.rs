@@ -56,6 +56,25 @@ pub struct RunResult {
     /// Completed requests whose winning response came from the clone
     /// (`CLO=2`) — tracked by the shared host core in every frontend.
     pub client_clone_wins: u64,
+    /// Requests evicted as lost by the clients (timeout budget spent, or
+    /// no retry policy and the deadline passed).
+    pub client_lost: u64,
+    /// Retransmissions sent by the clients under their retry policy.
+    pub client_retried: u64,
+    /// Completions whose winning response arrived after at least one
+    /// retransmission of the request.
+    pub client_retry_wins: u64,
+    /// Evictions forced by an exhausted per-client retry budget while
+    /// per-request tries remained.
+    pub client_budget_exhausted: u64,
+    /// Whole-run conservation counters summed over clients (never reset
+    /// at warm-up, unlike the windowed counters above): `generated ==
+    /// completed + lost + client_outstanding` holds at run end, retries
+    /// included.
+    pub lifetime: netclone_hosts::LifetimeCounters,
+    /// Requests still outstanding (un-answered, un-evicted) at run end,
+    /// summed over clients — the third term of the conservation identity.
+    pub client_outstanding: u64,
     /// Fabric-wide switch counters: the merge of every per-switch window
     /// (NetClone/RackSched engines count cloning/filtering; plain-L3
     /// switches only routed/dropped).
@@ -170,6 +189,12 @@ mod tests {
             completed: 99,
             client_redundant: 1,
             client_clone_wins: 33,
+            client_lost: 0,
+            client_retried: 0,
+            client_retry_wins: 0,
+            client_budget_exhausted: 0,
+            lifetime: Default::default(),
+            client_outstanding: 0,
             switch: SwitchCounters::default(),
             per_switch: vec![SwitchCounters::default()],
             server_clone_drops: 0,

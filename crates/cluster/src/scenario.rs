@@ -1,5 +1,6 @@
 //! Scenario descriptions: everything one simulation run needs.
 
+pub use netclone_hosts::RetryPolicy;
 use netclone_kvstore::{HotKeyCost, ServiceCostModel};
 use netclone_linksim::LinkSpec;
 use netclone_workloads::{Jitter, ServiceShape, SyntheticWorkload};
@@ -191,6 +192,11 @@ pub struct DrainPlan {
 /// Mid-run degradation injections (the adversarial suite). `Default` is
 /// no degradation; absent plans add no events, so pre-existing scenarios
 /// stay seed-pinned bit for bit.
+///
+/// This is the single-plan knob PR 8.5 introduced; for more than one
+/// concurrent fault (or link flaps / switch reboots) compose a
+/// [`FaultTimeline`] in [`Scenario::faults`] — the two layer cleanly, and
+/// [`Scenario::all_faults`] is the canonical merged view.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct DegradationPlan {
     /// Optional mid-run server slowdown (gray failure).
@@ -203,6 +209,109 @@ impl DegradationPlan {
     /// True when no degradation is scheduled.
     pub fn is_empty(&self) -> bool {
         self.slowdown.is_none() && self.drain.is_none()
+    }
+}
+
+/// A mid-run **link flap** in a congestion-aware multi-rack fabric: from
+/// `start_ns` to `end_ns` every rack-adjacent link of the victim rack
+/// (host access links and leaf↔upper-tier uplinks/downlinks) collapses to
+/// `1/factor` of its nominal rate — an auto-negotiation downshift or a
+/// flapping optic, the gray failure of the *network* the way
+/// [`SlowdownPlan`] is the gray failure of a server. Queued packets keep
+/// their departure schedule; packets offered inside the window pay the
+/// degraded serialization cost. The multiplier is an integer, so the flap
+/// inherits the link model's determinism.
+///
+/// Requires [`Scenario::links`] and a multi-rack [`Topology`] (stateful
+/// links are only materialized per owned rack there).
+#[derive(Clone, Copy, Debug)]
+pub struct LinkFlapPlan {
+    /// The rack whose adjacent links degrade.
+    pub rack: usize,
+    /// When the rate collapses, ns.
+    pub start_ns: u64,
+    /// When the nominal rate is restored, ns.
+    pub end_ns: u64,
+    /// Rate-collapse divisor while flapped (≥ 2; 1 is a healthy link).
+    pub factor: u64,
+}
+
+/// One timed fault edge pair in a [`FaultTimeline`].
+#[derive(Clone, Copy, Debug)]
+pub enum Fault {
+    /// Gray server: service times multiplied inside the window.
+    Slowdown(SlowdownPlan),
+    /// Leaf drain: one rack's leaf stops forwarding, then recovers with
+    /// soft state cleared.
+    Drain(DrainPlan),
+    /// Link flap: rack-adjacent links collapse to a fraction of nominal
+    /// rate, then recover.
+    LinkFlap(LinkFlapPlan),
+    /// Fabric-wide switch reboot (the Fig. 16 power-cycle as a timeline
+    /// member): forwarding stops at `fail_at_ns`, resumes `bringup_ns`
+    /// after `reactivate_at_ns` with soft state cleared and the
+    /// hard counters preserved.
+    Reboot(SwitchFailurePlan),
+}
+
+/// An ordered, validated set of timed fault edges — the composable
+/// generalization of [`DegradationPlan`]: concurrent gray servers,
+/// rolling drains, link flaps, and switch reboots in one scenario.
+///
+/// Every edge is delivered as a fabric-domain-0 control event primed at
+/// build time in declaration order, so serial and sharded runs stay
+/// byte-identical for any timeline (see "Fault timelines & recovery" in
+/// `docs/ARCHITECTURE.md`). `Default` is empty and primes nothing:
+/// pre-existing scenarios keep their seed pins bit for bit.
+#[derive(Clone, Debug, Default)]
+pub struct FaultTimeline {
+    /// The fault edges, primed in declaration order.
+    pub faults: Vec<Fault>,
+}
+
+impl FaultTimeline {
+    /// True when no fault is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Cascade preset: a maintenance wave draining `racks` one after
+    /// another — rack *i* drains at `start_ns + i·stagger_ns` and
+    /// restores `hold_ns` later. With `stagger_ns < hold_ns` the windows
+    /// overlap (an aggressive rollout); with `stagger_ns ≥ hold_ns` each
+    /// rack is back before the next goes down.
+    pub fn rolling_drain(racks: &[usize], start_ns: u64, hold_ns: u64, stagger_ns: u64) -> Self {
+        let faults = racks
+            .iter()
+            .enumerate()
+            .map(|(i, &rack)| {
+                let drain_at_ns = start_ns + i as u64 * stagger_ns;
+                Fault::Drain(DrainPlan {
+                    rack,
+                    drain_at_ns,
+                    restore_at_ns: drain_at_ns + hold_ns,
+                })
+            })
+            .collect();
+        FaultTimeline { faults }
+    }
+
+    /// Cascade preset: a correlated gray failure — every server in
+    /// `servers` slows down by `factor` over the *same* window (a shared
+    /// power cap, a bad kernel rollout, one overloaded backing store).
+    pub fn correlated_gray(servers: &[u16], start_ns: u64, end_ns: u64, factor: f64) -> Self {
+        let faults = servers
+            .iter()
+            .map(|&sid| {
+                Fault::Slowdown(SlowdownPlan {
+                    sid,
+                    start_ns,
+                    end_ns,
+                    factor,
+                })
+            })
+            .collect();
+        FaultTimeline { faults }
     }
 }
 
@@ -258,6 +367,15 @@ pub struct Scenario {
     /// Mid-run degradation injections (slowdown, leaf drain); default =
     /// none.
     pub degradation: DegradationPlan,
+    /// Composable fault-injection timeline (concurrent gray servers,
+    /// rolling drains, link flaps, switch reboots), layered after
+    /// `degradation`; default = empty.
+    pub faults: FaultTimeline,
+    /// Client-side retry-on-timeout recovery ([`RetryPolicy`]): expired
+    /// requests are retransmitted with capped exponential backoff under a
+    /// per-client budget. `None` (the default) keeps requests outstanding
+    /// until answered — the pre-recovery simulator, bit for bit.
+    pub retry: Option<RetryPolicy>,
     /// Throughput-timeseries bucket width, ns (Fig. 16 uses 1 s).
     pub timeseries_bucket_ns: u64,
     /// Filter tables on the switch (paper default 2; ablations vary it).
@@ -306,6 +424,8 @@ impl Scenario {
             server_failure: None,
             service_model: ServiceModel::default(),
             degradation: DegradationPlan::default(),
+            faults: FaultTimeline::default(),
+            retry: None,
             timeseries_bucket_ns: 100_000_000,
             n_filter_tables: 2,
             filter_slots_log2: 17,
@@ -339,6 +459,8 @@ impl Scenario {
             server_failure: None,
             service_model: ServiceModel::default(),
             degradation: DegradationPlan::default(),
+            faults: FaultTimeline::default(),
+            retry: None,
             timeseries_bucket_ns: 100_000_000,
             n_filter_tables: 2,
             filter_slots_log2: 17,
@@ -373,58 +495,188 @@ impl Scenario {
         threads as f64 / (mean_ns / 1e9)
     }
 
-    /// Checks the degradation plans against the rest of the scenario.
-    /// Called by the builder before any event is primed; the error
-    /// message names the conflicting knobs.
+    /// The canonical merged fault list: the legacy single-plan
+    /// [`Scenario::degradation`] knob first (slowdown, then drain —
+    /// exactly the pre-timeline priming order, so pre-existing seed pins
+    /// survive), then the [`FaultTimeline`] in declaration order. The
+    /// builder primes control events by iterating this.
+    pub fn all_faults(&self) -> Vec<Fault> {
+        let mut v = Vec::with_capacity(2 + self.faults.faults.len());
+        if let Some(sl) = self.degradation.slowdown {
+            v.push(Fault::Slowdown(sl));
+        }
+        if let Some(d) = self.degradation.drain {
+            v.push(Fault::Drain(d));
+        }
+        v.extend(self.faults.faults.iter().copied());
+        v
+    }
+
+    /// Checks the fault plans against the rest of the scenario. Called by
+    /// the builder before any event is primed; the error message names
+    /// the conflicting knobs.
     pub fn validate(&self) -> Result<(), String> {
-        if let Some(sl) = &self.degradation.slowdown {
-            if sl.factor <= 0.0 || sl.factor.is_nan() {
-                return Err(format!("slowdown factor must be > 0, got {}", sl.factor));
+        let faults = self.all_faults();
+        for fault in &faults {
+            self.validate_fault(fault)?;
+        }
+        // Overlapping/duplicate windows on the same target are a
+        // contradiction (which edge wins at the overlap is unanswerable),
+        // not a cascade — reject them instead of guessing.
+        let window = |f: &Fault| match *f {
+            Fault::Slowdown(s) => (s.start_ns, s.end_ns),
+            Fault::Drain(d) => (d.drain_at_ns, d.restore_at_ns),
+            Fault::LinkFlap(lf) => (lf.start_ns, lf.end_ns),
+            Fault::Reboot(r) => (r.fail_at_ns, r.reactivate_at_ns + r.bringup_ns),
+        };
+        let overlaps = |a: &Fault, b: &Fault| {
+            let (a0, a1) = window(a);
+            let (b0, b1) = window(b);
+            !(a1 <= b0 || b1 <= a0)
+        };
+        for (i, a) in faults.iter().enumerate() {
+            for b in &faults[i + 1..] {
+                let clash = match (a, b) {
+                    (Fault::Slowdown(x), Fault::Slowdown(y)) if x.sid == y.sid => {
+                        Some(format!("slowdown windows on server {}", x.sid))
+                    }
+                    (Fault::Drain(x), Fault::Drain(y)) if x.rack == y.rack => {
+                        Some(format!("drain windows on rack {}", x.rack))
+                    }
+                    (Fault::LinkFlap(x), Fault::LinkFlap(y)) if x.rack == y.rack => {
+                        Some(format!("link-flap windows on rack {}", x.rack))
+                    }
+                    (Fault::Reboot(_), Fault::Reboot(_)) => {
+                        Some("switch reboot windows".to_string())
+                    }
+                    _ => None,
+                };
+                if let Some(what) = clash {
+                    if overlaps(a, b) {
+                        let (a0, a1) = window(a);
+                        let (b0, b1) = window(b);
+                        return Err(format!(
+                            "overlapping {what}: {a0}..{a1} ns and {b0}..{b1} ns — \
+                             merge them into one window or separate them"
+                        ));
+                    }
+                }
             }
-            if sl.start_ns >= sl.end_ns {
-                return Err(format!(
-                    "slowdown window is empty: start_ns {} >= end_ns {}",
-                    sl.start_ns, sl.end_ns
-                ));
-            }
-            if sl.sid as usize >= self.servers.len() {
-                return Err(format!(
-                    "slowdown targets server {} but the scenario has {}",
-                    sl.sid,
-                    self.servers.len()
-                ));
-            }
-            if let Some(f) = &self.server_failure {
-                // Overlap unless one window ends before the other starts.
-                let disjoint = sl.end_ns <= f.fail_at_ns || f.removed_at_ns <= sl.start_ns;
-                if f.sid == sl.sid && !disjoint {
+        }
+        // A timeline reboot against the legacy Fig. 16 plan is the same
+        // contradiction.
+        if let Some(sf) = &self.switch_failure {
+            let legacy = Fault::Reboot(*sf);
+            for f in &faults {
+                if matches!(f, Fault::Reboot(_)) && overlaps(f, &legacy) {
+                    let (a0, a1) = window(f);
                     return Err(format!(
-                        "server {} has a fail-stop plan ({}..{} ns) overlapping its \
-                         slowdown plan ({}..{} ns); a server cannot be dead and slow \
-                         at once — separate the windows or pick one failure mode",
-                        sl.sid, f.fail_at_ns, f.removed_at_ns, sl.start_ns, sl.end_ns
+                        "overlapping switch reboot windows: the timeline reboot \
+                         {a0}..{a1} ns collides with the switch_failure plan \
+                         {}..{} ns",
+                        sf.fail_at_ns,
+                        sf.reactivate_at_ns + sf.bringup_ns
                     ));
                 }
             }
         }
-        if let Some(d) = &self.degradation.drain {
-            let racks = self.topology.racks;
-            if racks < 2 {
-                return Err("leaf drain needs a multi-rack topology (draining the only \
-                     leaf is the Fig. 16 switch_failure plan)"
-                    .to_string());
+        Ok(())
+    }
+
+    /// Per-fault shape checks (bounds, non-empty windows, required
+    /// topology features).
+    fn validate_fault(&self, fault: &Fault) -> Result<(), String> {
+        match fault {
+            Fault::Slowdown(sl) => {
+                if sl.factor <= 0.0 || sl.factor.is_nan() {
+                    return Err(format!("slowdown factor must be > 0, got {}", sl.factor));
+                }
+                if sl.start_ns >= sl.end_ns {
+                    return Err(format!(
+                        "slowdown window is empty: start_ns {} >= end_ns {}",
+                        sl.start_ns, sl.end_ns
+                    ));
+                }
+                if sl.sid as usize >= self.servers.len() {
+                    return Err(format!(
+                        "slowdown targets server {} but the scenario has {}",
+                        sl.sid,
+                        self.servers.len()
+                    ));
+                }
+                if let Some(f) = &self.server_failure {
+                    // Overlap unless one window ends before the other
+                    // starts.
+                    let disjoint = sl.end_ns <= f.fail_at_ns || f.removed_at_ns <= sl.start_ns;
+                    if f.sid == sl.sid && !disjoint {
+                        return Err(format!(
+                            "server {} has a fail-stop plan ({}..{} ns) overlapping its \
+                             slowdown plan ({}..{} ns); a server cannot be dead and slow \
+                             at once — separate the windows or pick one failure mode",
+                            sl.sid, f.fail_at_ns, f.removed_at_ns, sl.start_ns, sl.end_ns
+                        ));
+                    }
+                }
             }
-            if d.rack >= racks {
-                return Err(format!(
-                    "drain targets rack {} but the topology has {racks}",
-                    d.rack
-                ));
+            Fault::Drain(d) => {
+                let racks = self.topology.racks;
+                if racks < 2 {
+                    return Err("leaf drain needs a multi-rack topology (draining the only \
+                         leaf is the Fig. 16 switch_failure plan)"
+                        .to_string());
+                }
+                if d.rack >= racks {
+                    return Err(format!(
+                        "drain targets rack {} but the topology has {racks}",
+                        d.rack
+                    ));
+                }
+                if d.drain_at_ns >= d.restore_at_ns {
+                    return Err(format!(
+                        "drain window is empty: drain_at_ns {} >= restore_at_ns {}",
+                        d.drain_at_ns, d.restore_at_ns
+                    ));
+                }
             }
-            if d.drain_at_ns >= d.restore_at_ns {
-                return Err(format!(
-                    "drain window is empty: drain_at_ns {} >= restore_at_ns {}",
-                    d.drain_at_ns, d.restore_at_ns
-                ));
+            Fault::LinkFlap(lf) => {
+                if self.links.is_none() {
+                    return Err("link flap needs congestion-aware links (Scenario::links); \
+                         without them every hop is a fixed latency with no rate to \
+                         collapse"
+                        .to_string());
+                }
+                let racks = self.topology.racks;
+                if racks < 2 {
+                    return Err("link flap needs a multi-rack topology (stateful \
+                         rack-adjacent links exist only there)"
+                        .to_string());
+                }
+                if lf.rack >= racks {
+                    return Err(format!(
+                        "link flap targets rack {} but the topology has {racks}",
+                        lf.rack
+                    ));
+                }
+                if lf.start_ns >= lf.end_ns {
+                    return Err(format!(
+                        "link-flap window is empty: start_ns {} >= end_ns {}",
+                        lf.start_ns, lf.end_ns
+                    ));
+                }
+                if lf.factor < 2 {
+                    return Err(format!(
+                        "link-flap factor must be ≥ 2 (1 is a healthy link), got {}",
+                        lf.factor
+                    ));
+                }
+            }
+            Fault::Reboot(r) => {
+                if r.fail_at_ns >= r.reactivate_at_ns {
+                    return Err(format!(
+                        "switch reboot window is empty: fail_at_ns {} >= reactivate_at_ns {}",
+                        r.fail_at_ns, r.reactivate_at_ns
+                    ));
+                }
             }
         }
         Ok(())
@@ -528,6 +780,156 @@ mod tests {
         assert!(s.validate().is_ok());
         s.degradation.drain.as_mut().unwrap().rack = 4;
         assert!(s.validate().unwrap_err().contains("rack 4"));
+    }
+
+    #[test]
+    fn overlapping_slowdown_windows_on_one_server_are_rejected() {
+        let mut s = Scenario::synthetic_default(Scheme::NETCLONE, exp25(), 1e6);
+        s.degradation.slowdown = Some(SlowdownPlan {
+            sid: 1,
+            start_ns: 1_000_000,
+            end_ns: 5_000_000,
+            factor: 4.0,
+        });
+        s.faults.faults.push(Fault::Slowdown(SlowdownPlan {
+            sid: 1,
+            start_ns: 4_000_000,
+            end_ns: 8_000_000,
+            factor: 2.0,
+        }));
+        let err = s.validate().unwrap_err();
+        assert!(
+            err.contains("overlapping slowdown windows on server 1"),
+            "unhelpful error: {err}"
+        );
+        // The same overlap on a different server is a valid correlated
+        // gray failure…
+        match s.faults.faults.last_mut().unwrap() {
+            Fault::Slowdown(sl) => sl.sid = 2,
+            _ => unreachable!(),
+        }
+        assert!(s.validate().is_ok());
+        // …and back-to-back windows on the same server are a cascade,
+        // not a contradiction.
+        s.faults.faults = vec![Fault::Slowdown(SlowdownPlan {
+            sid: 1,
+            start_ns: 5_000_000,
+            end_ns: 8_000_000,
+            factor: 2.0,
+        })];
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn duplicate_drain_windows_on_one_rack_are_rejected() {
+        let mut s = Scenario::synthetic_default(Scheme::NETCLONE, exp25(), 1e6);
+        s.topology = Topology::uniform(4);
+        let d = DrainPlan {
+            rack: 2,
+            drain_at_ns: 1_000_000,
+            restore_at_ns: 2_000_000,
+        };
+        s.faults.faults = vec![Fault::Drain(d), Fault::Drain(d)];
+        let err = s.validate().unwrap_err();
+        assert!(
+            err.contains("overlapping drain windows on rack 2"),
+            "unhelpful error: {err}"
+        );
+        // A rolling drain across *different* racks may overlap freely.
+        s.faults = FaultTimeline::rolling_drain(&[0, 1, 2], 1_000_000, 2_000_000, 500_000);
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn link_flap_prerequisites_are_enforced() {
+        let mut s = Scenario::synthetic_default(Scheme::NETCLONE, exp25(), 1e6);
+        let flap = |rack, start_ns, end_ns, factor| {
+            Fault::LinkFlap(LinkFlapPlan {
+                rack,
+                start_ns,
+                end_ns,
+                factor,
+            })
+        };
+        s.faults.faults = vec![flap(0, 1_000_000, 2_000_000, 10)];
+        assert!(s.validate().unwrap_err().contains("links"));
+        s.links = Some(netclone_linksim::LinkSpec::flat(10.0, 150_000));
+        assert!(s.validate().unwrap_err().contains("multi-rack"));
+        s.topology = Topology::uniform(4);
+        assert!(s.validate().is_ok());
+        s.faults.faults = vec![flap(4, 1_000_000, 2_000_000, 10)];
+        assert!(s.validate().unwrap_err().contains("rack 4"));
+        s.faults.faults = vec![flap(0, 2_000_000, 1_000_000, 10)];
+        assert!(s.validate().unwrap_err().contains("empty"));
+        s.faults.faults = vec![flap(0, 1_000_000, 2_000_000, 1)];
+        assert!(s.validate().unwrap_err().contains("factor"));
+        // Overlapping flaps on one rack contradict; distinct racks don't.
+        s.faults.faults = vec![
+            flap(0, 1_000_000, 3_000_000, 10),
+            flap(0, 2_000_000, 4_000_000, 10),
+        ];
+        assert!(s
+            .validate()
+            .unwrap_err()
+            .contains("overlapping link-flap windows on rack 0"));
+        s.faults.faults = vec![
+            flap(0, 1_000_000, 3_000_000, 10),
+            flap(1, 2_000_000, 4_000_000, 10),
+        ];
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn overlapping_switch_reboots_are_rejected() {
+        let mut s = Scenario::synthetic_default(Scheme::NETCLONE, exp25(), 1e6);
+        let reboot = |fail_at_ns, reactivate_at_ns| {
+            Fault::Reboot(SwitchFailurePlan {
+                fail_at_ns,
+                reactivate_at_ns,
+                bringup_ns: 100_000,
+            })
+        };
+        s.faults.faults = vec![reboot(2_000_000, 1_000_000)];
+        assert!(s.validate().unwrap_err().contains("empty"));
+        // Two cascading reboots are fine; overlapping ones are not.
+        s.faults.faults = vec![reboot(1_000_000, 2_000_000), reboot(3_000_000, 4_000_000)];
+        assert!(s.validate().is_ok());
+        s.faults.faults = vec![reboot(1_000_000, 3_000_000), reboot(2_000_000, 4_000_000)];
+        assert!(s
+            .validate()
+            .unwrap_err()
+            .contains("overlapping switch reboot windows"));
+        // The bring-up tail counts as part of the outage window.
+        s.faults.faults = vec![reboot(1_000_000, 2_000_000), reboot(2_050_000, 4_000_000)];
+        assert!(s.validate().unwrap_err().contains("reboot"));
+        // A timeline reboot colliding with the legacy Fig. 16 plan is the
+        // same contradiction.
+        s.faults.faults = vec![reboot(1_000_000, 2_000_000)];
+        s.switch_failure = Some(SwitchFailurePlan {
+            fail_at_ns: 1_500_000,
+            reactivate_at_ns: 3_000_000,
+            bringup_ns: 100_000,
+        });
+        assert!(s.validate().unwrap_err().contains("switch_failure"));
+    }
+
+    #[test]
+    fn cascade_presets_validate() {
+        let mut s = Scenario::synthetic_default(Scheme::NETCLONE, exp25(), 1e6);
+        s.topology = Topology::uniform(4);
+        s.faults = FaultTimeline::rolling_drain(&[0, 1, 2, 3], 10_000_000, 5_000_000, 2_000_000);
+        assert_eq!(s.faults.faults.len(), 4);
+        assert!(s.validate().is_ok());
+        match s.faults.faults[3] {
+            Fault::Drain(d) => {
+                assert_eq!(d.drain_at_ns, 16_000_000);
+                assert_eq!(d.restore_at_ns, 21_000_000);
+            }
+            _ => unreachable!(),
+        }
+        s.faults = FaultTimeline::correlated_gray(&[0, 2, 4], 10_000_000, 20_000_000, 6.0);
+        assert!(s.validate().is_ok());
+        assert_eq!(s.all_faults().len(), 3);
     }
 
     #[test]

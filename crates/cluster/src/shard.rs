@@ -166,6 +166,12 @@ impl ShardCoordinator {
         let mut generated = 0u64;
         let mut redundant = 0u64;
         let mut clone_wins = 0u64;
+        let mut lost = 0u64;
+        let mut retried = 0u64;
+        let mut retry_wins = 0u64;
+        let mut budget_exhausted = 0u64;
+        let mut lifetime = netclone_hosts::LifetimeCounters::default();
+        let mut outstanding = 0u64;
         for cid in 0..n_clients {
             let owner = shards[0].client_leaf[cid] % nshards;
             let c = shards[owner].clients[cid].as_ref().expect("client owner");
@@ -173,6 +179,15 @@ impl ShardCoordinator {
             generated += c.stats().generated;
             redundant += c.stats().redundant;
             clone_wins += c.stats().clone_wins;
+            lost += c.stats().lost;
+            retried += c.stats().retried;
+            retry_wins += c.stats().retry_wins;
+            budget_exhausted += c.stats().budget_exhausted;
+            let lt = c.lifetime();
+            lifetime.generated += lt.generated;
+            lifetime.completed += lt.completed;
+            lifetime.lost += lt.lost;
+            outstanding += c.outstanding() as u64;
         }
 
         // Per-switch windows in fabric index order (leaves, then the
@@ -324,6 +339,12 @@ impl ShardCoordinator {
             completed,
             client_redundant: redundant,
             client_clone_wins: clone_wins,
+            client_lost: lost,
+            client_retried: retried,
+            client_retry_wins: retry_wins,
+            client_budget_exhausted: budget_exhausted,
+            lifetime,
+            client_outstanding: outstanding,
             switch,
             server_clone_drops: clone_drops,
             server_idle_reports: idle_reports,

@@ -181,6 +181,20 @@ pub(crate) enum Ev {
     LeafDrain(usize),
     /// Leaf `rack` resumes forwarding with its soft state cleared.
     LeafRestore(usize),
+    /// Every rack-adjacent link of `rack` sets its rate-collapse
+    /// multiplier to `factor` (1 restores nominal; see
+    /// [`crate::scenario::LinkFlapPlan`]).
+    LinkFlap {
+        /// The victim rack.
+        rack: usize,
+        /// The serialization-cost multiplier.
+        factor: u64,
+    },
+    /// Client `cid` runs its retry wheel: expired requests are
+    /// retransmitted (or evicted) per the scenario's
+    /// [`RetryPolicy`](netclone_hosts::RetryPolicy). Only primed when a
+    /// policy is configured.
+    ClientTick(usize),
 }
 
 /// The source domain of the control plane (primed events, warm-up end,
@@ -605,6 +619,103 @@ impl Shard {
                     .expect("owned leaf engine")
                     .reset_soft_state();
             }
+            Ev::LinkFlap { rack, factor } => {
+                self.set_control_ctx();
+                self.on_link_flap(rack, factor);
+            }
+            Ev::ClientTick(cid) => {
+                self.set_rack_ctx(self.client_leaf[cid]);
+                self.on_client_tick(cid, now);
+            }
+        }
+    }
+
+    /// Gray failure of the *network*: every rack-adjacent link of the
+    /// victim rack shifts its effective rate (queued packets keep their
+    /// schedule). Owner-primed — only the owning shard materializes these
+    /// links, and only its domain ever touches them, so the flap composes
+    /// with the sharded loop's bit-identity argument unchanged.
+    fn on_link_flap(&mut self, rack: usize, factor: u64) {
+        let Shard {
+            links,
+            client_leaf,
+            server_leaf,
+            coord_leaf,
+            ..
+        } = self;
+        let ls = links.as_mut().expect("link flap requires links");
+        for l in &mut ls.up[rack] {
+            l.set_degradation(factor);
+        }
+        for l in &mut ls.down[rack] {
+            l.set_degradation(factor);
+        }
+        for (cid, leaf) in client_leaf.iter().enumerate() {
+            if *leaf == rack {
+                if let Some(l) = ls.client_up[cid].as_mut() {
+                    l.set_degradation(factor);
+                }
+                if let Some(l) = ls.client_down[cid].as_mut() {
+                    l.set_degradation(factor);
+                }
+            }
+        }
+        for (idx, leaf) in server_leaf.iter().enumerate() {
+            if *leaf == rack {
+                if let Some(l) = ls.server_up[idx].as_mut() {
+                    l.set_degradation(factor);
+                }
+                if let Some(l) = ls.server_down[idx].as_mut() {
+                    l.set_degradation(factor);
+                }
+            }
+        }
+        if *coord_leaf == rack {
+            if let Some(l) = ls.coord_up.as_mut() {
+                l.set_degradation(factor);
+            }
+            if let Some(l) = ls.coord_down.as_mut() {
+                l.set_degradation(factor);
+            }
+        }
+    }
+
+    /// The client's retry wheel: expired requests retransmit through the
+    /// same loss/link/payload pipeline as first transmissions (a retry
+    /// storm loads the fabric like real traffic), without touching the
+    /// offered-load accounting — retries are recovery, not offered work.
+    /// Reschedules itself at the policy cadence until generation ends.
+    fn on_client_tick(&mut self, cid: usize, now: u64) {
+        let tor = self.client_leaf[cid];
+        let pkts = self.clients[cid].as_mut().expect("owned client").tick(now);
+        for (pkt, tx_done) in pkts {
+            if self.lose_packet() {
+                self.packets_lost += 1;
+                continue;
+            }
+            let Some(at) = self.edge_hop(EdgeLink::ClientUp(cid), tx_done, pkt.meta.wire_bytes)
+            else {
+                continue; // tail-dropped at the access link
+            };
+            let pid = self.payloads.alloc(pkt.op, pkt.born_ns);
+            self.sched(
+                at,
+                Ev::SwitchIn(
+                    tor,
+                    SimPacket {
+                        meta: pkt.meta,
+                        pid,
+                    },
+                ),
+            );
+        }
+        if now < self.end_ns {
+            let tick = self
+                .scenario
+                .retry
+                .expect("client tick requires a retry policy")
+                .tick_ns();
+            self.sched(now + tick, Ev::ClientTick(cid));
         }
     }
 

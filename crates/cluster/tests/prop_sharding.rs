@@ -11,7 +11,10 @@
 //! serial order is the `(time, domain, seq)` total order and that
 //! sharding executed precisely that set.
 
-use netclone_cluster::{DrainPlan, Scenario, Scheme, Sim, SlowdownPlan, Topology};
+use netclone_cluster::{
+    DrainPlan, Fault, FaultTimeline, LinkFlapPlan, RetryPolicy, Scenario, Scheme, Sim,
+    SlowdownPlan, SwitchFailurePlan, Topology,
+};
 use netclone_workloads::exp25;
 use proptest::prelude::*;
 
@@ -130,5 +133,96 @@ proptest! {
             shards
         );
         prop_assert_eq!(format!("{serial:?}"), format!("{sharded:?}"));
+    }
+
+    /// Composed [`FaultTimeline`]s (any mix of slowdown, drain, link
+    /// flap, and switch reboot) with or without a client [`RetryPolicy`]
+    /// are still shard-count invariant — every fault edge and retry tick
+    /// is a fabric-domain-0 control event — and the clients' whole-run
+    /// conservation identity `generated == completed + lost +
+    /// outstanding` holds at run end, retries and evictions included.
+    #[test]
+    fn fault_timelines_conserve_and_are_shard_count_invariant(
+        shape in shapes(),
+        shards in 2usize..=8,
+        seed in 0u64..1_000,
+        loss in any::<bool>(),
+        retry in proptest::option::of((60_000u64..300_000, 0u32..4, 0u64..64)),
+        slow in proptest::option::of((0usize..16, 200_000u64..900_000, 100_000u64..800_000, 15u32..80)),
+        drain in proptest::option::of((0usize..8, 200_000u64..900_000, 100_000u64..800_000)),
+        flap in proptest::option::of((0usize..8, 200_000u64..900_000, 100_000u64..800_000, 2u64..64)),
+        reboot in proptest::option::of((200_000u64..900_000, 100_000u64..600_000, 0u64..200_000)),
+    ) {
+        let build = || {
+            let mut s = scenario_for(&shape, seed, loss);
+            let mut faults = Vec::new();
+            if let Some((sid, start, dur, f10)) = slow {
+                faults.push(Fault::Slowdown(SlowdownPlan {
+                    sid: (sid % s.servers.len()) as u16,
+                    start_ns: start,
+                    end_ns: start + dur,
+                    factor: f64::from(f10) / 10.0,
+                }));
+            }
+            // Drains and flaps need a fabric: fold the drawn rack into
+            // the shape when multi-rack, skip the injection otherwise.
+            if shape.racks >= 2 {
+                if let Some((rack, start, dur)) = drain {
+                    faults.push(Fault::Drain(DrainPlan {
+                        rack: rack % shape.racks,
+                        drain_at_ns: start,
+                        restore_at_ns: start + dur,
+                    }));
+                }
+                if let Some((rack, start, dur, factor)) = flap {
+                    s.links = Some(netclone_linksim::LinkSpec::flat(10.0, 150_000));
+                    faults.push(Fault::LinkFlap(LinkFlapPlan {
+                        rack: rack % shape.racks,
+                        start_ns: start,
+                        end_ns: start + dur,
+                        factor,
+                    }));
+                }
+            }
+            if let Some((fail, dur, bringup)) = reboot {
+                faults.push(Fault::Reboot(SwitchFailurePlan {
+                    fail_at_ns: fail,
+                    reactivate_at_ns: fail + dur,
+                    bringup_ns: bringup,
+                }));
+            }
+            s.faults = FaultTimeline { faults };
+            if let Some((timeout, tries, budget)) = retry {
+                let mut p = RetryPolicy::new(timeout);
+                p.max_retries = tries;
+                // Budget 0 means "effectively unlimited" here, so both
+                // the eviction-by-budget and the plain retry paths are
+                // drawn.
+                p.budget = if budget == 0 { u64::MAX } else { budget };
+                s.retry = Some(p);
+            }
+            s
+        };
+        let (serial, serial_trace) = Sim::run_traced(build(), 1);
+        let (sharded, sharded_trace) = Sim::run_traced(build(), shards);
+        prop_assert_eq!(
+            serial_trace,
+            sharded_trace,
+            "fault-timeline execution order diverged (racks={}, shards={})",
+            shape.racks,
+            shards
+        );
+        prop_assert_eq!(format!("{serial:?}"), format!("{sharded:?}"));
+        for r in [&serial, &sharded] {
+            prop_assert_eq!(
+                r.lifetime.generated,
+                r.lifetime.completed + r.lifetime.lost + r.client_outstanding,
+                "conservation violated: generated {} != completed {} + lost {} + outstanding {}",
+                r.lifetime.generated,
+                r.lifetime.completed,
+                r.lifetime.lost,
+                r.client_outstanding
+            );
+        }
     }
 }

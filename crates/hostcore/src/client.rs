@@ -12,7 +12,9 @@
 //!   response / redundant / not-for-us) and keeps the latency histogram;
 //! * [`ClientCore::on_tick`] evicts requests that outlived the configured
 //!   per-request timeout, so `outstanding` never grows without bound under
-//!   response loss.
+//!   response loss — or, with a [`RetryPolicy`], *retransmits* them under
+//!   capped exponential backoff and a per-client retry budget, so degraded
+//!   servers become a measurable recovery path instead of silent loss.
 
 use std::collections::{HashMap, VecDeque};
 
@@ -51,6 +53,48 @@ pub enum ClientMode {
     },
 }
 
+/// Client-side recovery policy: retry-on-timeout with capped exponential
+/// backoff and a per-client retry budget.
+///
+/// A request that misses its deadline is *retransmitted* (same sequence
+/// number, fresh addressing draw) instead of evicted, doubling its timeout
+/// up to `backoff_cap_ns` each attempt, until either `max_retries` extra
+/// attempts or the client-wide `budget` is spent. Retries go through the
+/// normal outbox, so retry storms load the fabric like real traffic —
+/// they are modeled, not hidden.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Initial per-request timeout (first deadline = born + this).
+    pub timeout_ns: u64,
+    /// Ceiling for the doubled timeout (capped exponential backoff).
+    pub backoff_cap_ns: u64,
+    /// Extra transmission attempts allowed per request.
+    pub max_retries: u32,
+    /// Client-wide cap on total retransmissions; once spent, expired
+    /// requests are evicted as `budget_exhausted` instead of retried.
+    pub budget: u64,
+}
+
+impl RetryPolicy {
+    /// A conventional policy: 3 retries, backoff capped at 8× the initial
+    /// timeout, effectively unlimited budget.
+    pub fn new(timeout_ns: u64) -> Self {
+        RetryPolicy {
+            timeout_ns,
+            backoff_cap_ns: timeout_ns.saturating_mul(8),
+            max_retries: 3,
+            budget: u64::MAX,
+        }
+    }
+
+    /// A reasonable cadence for calling [`ClientCore::on_tick`]: half the
+    /// initial timeout, so a deadline is noticed at most half a timeout
+    /// late.
+    pub fn tick_ns(&self) -> u64 {
+        (self.timeout_ns / 2).max(1_000)
+    }
+}
+
 /// Aggregate client statistics.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ClientStats {
@@ -69,6 +113,16 @@ pub struct ClientStats {
     /// Requests evicted after exceeding the per-request timeout (or
     /// explicitly abandoned) without ever completing.
     pub lost: u64,
+    /// Retransmissions issued by the [`RetryPolicy`] recovery path.
+    pub retried: u64,
+    /// Completed requests that needed at least one retransmission —
+    /// recoveries won by the retry path, disjoint from `clone_wins`'
+    /// meaning (a retried request can still be clone-won; this counts the
+    /// request once).
+    pub retry_wins: u64,
+    /// Requests evicted because the client-wide retry budget was spent
+    /// while they still had attempts left.
+    pub budget_exhausted: u64,
 }
 
 impl ClientStats {
@@ -92,7 +146,28 @@ impl ClientStats {
         self.redundant += other.redundant;
         self.clone_wins += other.clone_wins;
         self.lost += other.lost;
+        self.retried += other.retried;
+        self.retry_wins += other.retry_wins;
+        self.budget_exhausted += other.budget_exhausted;
     }
+}
+
+/// Whole-run conservation counters, never cleared by
+/// [`ClientCore::reset_measurements`] (unlike the windowed
+/// [`ClientStats`]).
+///
+/// The invariant `generated == completed + lost + outstanding()` holds at
+/// every instant, retries included: a retransmission keeps its request
+/// outstanding under the same sequence number, so recovery never double
+/// counts and never leaks a request.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LifetimeCounters {
+    /// Requests ever generated.
+    pub generated: u64,
+    /// Requests ever completed.
+    pub completed: u64,
+    /// Requests ever lost (timeout/budget eviction, abandon, drain).
+    pub lost: u64,
 }
 
 /// Verdict of [`ClientCore::on_packet`] on one incoming packet.
@@ -133,11 +208,26 @@ pub struct ClientCore {
     mode: ClientMode,
     rng: StdRng,
     next_seq: u32,
-    outstanding: HashMap<u32, u64>, // client_seq → born_ns
+    outstanding: HashMap<u32, Pending>, // client_seq → request state
     outbox: VecDeque<PacketMeta>,
     timeout_ns: Option<u64>,
+    retry: Option<RetryPolicy>,
+    budget_left: u64,
     latencies: LatencyHistogram,
     stats: ClientStats,
+    lifetime: LifetimeCounters,
+}
+
+/// Per-request bookkeeping for an outstanding (not yet answered) request.
+struct Pending {
+    born_ns: u64,
+    /// Next timeout edge; `u64::MAX` when no timeout is configured.
+    deadline_ns: u64,
+    /// Current (possibly backed-off) timeout used to set the next deadline.
+    timeout_ns: u64,
+    /// Transmission attempts beyond the first.
+    tries: u32,
+    op: RpcOp,
 }
 
 impl ClientCore {
@@ -153,14 +243,35 @@ impl ClientCore {
             outstanding: HashMap::new(),
             outbox: VecDeque::new(),
             timeout_ns: None,
+            retry: None,
+            budget_left: 0,
             latencies: LatencyHistogram::new(),
             stats: ClientStats::default(),
+            lifetime: LifetimeCounters::default(),
         }
     }
 
     /// Sets the per-request timeout consulted by [`Self::on_tick`].
     pub fn with_timeout(mut self, timeout_ns: u64) -> Self {
         self.timeout_ns = Some(timeout_ns);
+        self
+    }
+
+    /// Arms the retry-on-timeout recovery path: expired requests are
+    /// retransmitted under `policy` instead of evicted. Implies the
+    /// policy's initial timeout.
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.timeout_ns = Some(policy.timeout_ns);
+        self.budget_left = policy.budget;
+        self.retry = Some(policy);
+        self
+    }
+
+    /// Starts sequence numbers at `base` instead of 0 — restarted worker
+    /// incarnations partition the sequence space so a resurrected worker
+    /// can never complete (or double count) its predecessor's requests.
+    pub fn with_seq_base(mut self, base: u32) -> Self {
+        self.next_seq = base;
         self
     }
 
@@ -196,6 +307,23 @@ impl ClientCore {
         self.outstanding.len()
     }
 
+    /// Whole-run conservation counters (see [`LifetimeCounters`]).
+    pub fn lifetime(&self) -> LifetimeCounters {
+        self.lifetime
+    }
+
+    /// The RPC operation of an outstanding request — frontends rebuild the
+    /// application payload of a retransmission from this.
+    pub fn pending_op(&self, seq: u32) -> Option<RpcOp> {
+        self.outstanding.get(&seq).map(|p| p.op)
+    }
+
+    /// Remaining client-wide retransmission budget (0 when no
+    /// [`RetryPolicy`] is armed).
+    pub fn retry_budget_left(&self) -> u64 {
+        self.budget_left
+    }
+
     /// Discards warm-up measurements (keeps outstanding bookkeeping).
     pub fn reset_measurements(&mut self) {
         self.latencies.clear();
@@ -207,9 +335,28 @@ impl ClientCore {
     pub fn generate(&mut self, op: RpcOp, now: u64) -> u32 {
         let seq = self.next_seq;
         self.next_seq = self.next_seq.wrapping_add(1);
-        self.outstanding.insert(seq, now);
+        let timeout_ns = self.timeout_ns.unwrap_or(u64::MAX);
+        self.outstanding.insert(
+            seq,
+            Pending {
+                born_ns: now,
+                deadline_ns: now.saturating_add(timeout_ns),
+                timeout_ns,
+                tries: 0,
+                op,
+            },
+        );
         self.stats.generated += 1;
+        self.lifetime.generated += 1;
+        self.enqueue_addressed(seq, op);
+        seq
+    }
 
+    /// Draws fresh addressing for `seq` and queues the packet(s) — the
+    /// shared tail of first transmission and retransmission. A retry
+    /// re-rolls the destination, so a retried request escapes a gray server
+    /// instead of hammering it.
+    fn enqueue_addressed(&mut self, seq: u32, op: RpcOp) {
         // Resolve the scheme's addressing first (mode and rng are disjoint
         // fields, so no clone of the server list is needed), then build
         // and queue the packet(s).
@@ -272,7 +419,6 @@ impl ClientCore {
                 queue_to(self, 0, 0, Some(b));
             }
         }
-        seq
     }
 
     fn push(&mut self, meta: PacketMeta) {
@@ -297,10 +443,14 @@ impl ClientCore {
             return RxEvent::Ignored;
         }
         match self.outstanding.remove(&nc.client_seq) {
-            Some(born) => {
-                let latency_ns = now.saturating_sub(born);
+            Some(p) => {
+                let latency_ns = now.saturating_sub(p.born_ns);
                 self.latencies.record(latency_ns);
                 self.stats.completed += 1;
+                self.lifetime.completed += 1;
+                if p.tries > 0 {
+                    self.stats.retry_wins += 1;
+                }
                 let from_clone = nc.clo == CloneStatus::Clone;
                 if from_clone {
                     self.stats.clone_wins += 1;
@@ -317,18 +467,52 @@ impl ClientCore {
         }
     }
 
-    /// Evicts outstanding requests older than the configured timeout,
-    /// counting them as lost. Returns how many were evicted. No-op (0)
-    /// when no timeout was configured.
+    /// Processes timeout edges at `now`: with no [`RetryPolicy`], expired
+    /// requests are evicted and counted as lost; with one, they are
+    /// retransmitted (queued for [`Self::poll`]) under capped exponential
+    /// backoff until attempts or the client-wide budget run out. Returns
+    /// how many requests were *evicted* (retransmissions keep theirs
+    /// outstanding). No-op (0) when no timeout was configured.
     pub fn on_tick(&mut self, now: u64) -> u64 {
-        let Some(timeout) = self.timeout_ns else {
+        if self.timeout_ns.is_none() {
             return 0;
-        };
-        let before = self.outstanding.len();
-        self.outstanding
-            .retain(|_, born| now.saturating_sub(*born) < timeout);
-        let evicted = (before - self.outstanding.len()) as u64;
-        self.stats.lost += evicted;
+        }
+        let mut expired: Vec<u32> = self
+            .outstanding
+            .iter()
+            .filter(|(_, p)| p.deadline_ns <= now)
+            .map(|(seq, _)| *seq)
+            .collect();
+        if expired.is_empty() {
+            return 0;
+        }
+        // Retransmissions draw fresh addressing from the client RNG, so
+        // the processing order must be a pure function of the state — a
+        // HashMap's iteration order is not.
+        expired.sort_unstable();
+        let mut evicted = 0;
+        for seq in expired {
+            let p = self.outstanding.get_mut(&seq).expect("collected above");
+            let tries_left = self.retry.is_some_and(|pol| p.tries < pol.max_retries);
+            if tries_left && self.budget_left > 0 {
+                let pol = self.retry.expect("tries_left implies a policy");
+                p.tries += 1;
+                p.timeout_ns = p.timeout_ns.saturating_mul(2).min(pol.backoff_cap_ns);
+                p.deadline_ns = now.saturating_add(p.timeout_ns);
+                let op = p.op;
+                self.budget_left -= 1;
+                self.stats.retried += 1;
+                self.enqueue_addressed(seq, op);
+            } else {
+                if tries_left {
+                    self.stats.budget_exhausted += 1;
+                }
+                self.outstanding.remove(&seq);
+                self.stats.lost += 1;
+                self.lifetime.lost += 1;
+                evicted += 1;
+            }
+        }
         evicted
     }
 
@@ -338,6 +522,7 @@ impl ClientCore {
         let removed = self.outstanding.remove(&seq).is_some();
         if removed {
             self.stats.lost += 1;
+            self.lifetime.lost += 1;
         }
         removed
     }
@@ -348,6 +533,7 @@ impl ClientCore {
         let n = self.outstanding.len() as u64;
         self.outstanding.clear();
         self.stats.lost += n;
+        self.lifetime.lost += n;
         n
     }
 }
@@ -477,8 +663,110 @@ mod tests {
                 redundant: 1,
                 clone_wins: 0,
                 lost: 1,
+                retried: 0,
+                retry_wins: 0,
+                budget_exhausted: 0,
             }
         );
+    }
+
+    #[test]
+    fn retry_retransmits_with_backoff_then_evicts() {
+        let pol = RetryPolicy {
+            timeout_ns: 10_000,
+            backoff_cap_ns: 40_000,
+            max_retries: 2,
+            budget: u64::MAX,
+        };
+        let mut c = nc_core(10).with_retry(pol);
+        let seq = c.generate(echo(), 0);
+        let first = c.poll().unwrap();
+        // First deadline: 10_000 → retransmit, timeout doubles to 20_000.
+        assert_eq!(c.on_tick(10_000), 0, "retry, not eviction");
+        let rt = c.poll().expect("retransmission queued");
+        assert_eq!(rt.nc.client_seq, first.nc.client_seq);
+        assert_eq!(c.stats().retried, 1);
+        assert_eq!(c.outstanding(), 1, "retried request stays outstanding");
+        // Second deadline: 10_000 + 20_000 = 30_000.
+        assert_eq!(c.on_tick(29_999), 0);
+        assert_eq!(c.on_tick(30_000), 0);
+        assert_eq!(c.stats().retried, 2);
+        assert!(c.poll().is_some());
+        // Timeout doubled again but capped: 40_000 → third deadline
+        // 70_000, and with max_retries=2 spent it evicts there.
+        assert_eq!(c.on_tick(69_999), 0);
+        assert_eq!(c.on_tick(70_000), 1, "attempts exhausted");
+        let st = c.stats();
+        assert_eq!((st.lost, st.budget_exhausted), (1, 0));
+        assert_eq!(st.packets_sent, 3);
+        assert!(!c.abandon(seq), "already evicted");
+        let lt = c.lifetime();
+        assert_eq!(
+            lt.generated,
+            lt.completed + lt.lost + c.outstanding() as u64
+        );
+    }
+
+    #[test]
+    fn completion_after_a_retry_is_a_retry_win() {
+        let mut c = nc_core(11).with_retry(RetryPolicy::new(10_000));
+        c.generate(echo(), 0);
+        let _ = c.poll().unwrap();
+        c.on_tick(10_000);
+        let rt = c.poll().expect("retransmission");
+        let resp = response_for(&rt, CloneStatus::NotCloned);
+        assert!(c.on_packet(&resp, 15_000).latency_ns().is_some());
+        let st = c.stats();
+        assert_eq!((st.completed, st.retried, st.retry_wins), (1, 1, 1));
+        // Latency is measured from the original birth, not the retry.
+        assert_eq!(c.latencies().count(), 1);
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_evicts_and_is_counted() {
+        let pol = RetryPolicy {
+            timeout_ns: 10_000,
+            backoff_cap_ns: 80_000,
+            max_retries: 3,
+            budget: 1,
+        };
+        let mut c = nc_core(12).with_retry(pol);
+        c.generate(echo(), 0);
+        c.generate(echo(), 0);
+        while c.poll().is_some() {}
+        // Both expire at 10_000; the budget covers exactly one retry.
+        // Expiry processes in seq order, so seq 0 gets it and seq 1 is
+        // evicted with attempts left.
+        assert_eq!(c.on_tick(10_000), 1);
+        let st = c.stats();
+        assert_eq!((st.retried, st.lost, st.budget_exhausted), (1, 1, 1));
+        assert_eq!(c.retry_budget_left(), 0);
+        assert_eq!(c.outstanding(), 1);
+        let lt = c.lifetime();
+        assert_eq!(
+            lt.generated,
+            lt.completed + lt.lost + c.outstanding() as u64
+        );
+    }
+
+    #[test]
+    fn lifetime_counters_survive_reset_measurements() {
+        let mut c = nc_core(13);
+        c.generate(echo(), 0);
+        let meta = c.poll().unwrap();
+        let resp = response_for(&meta, CloneStatus::NotCloned);
+        c.on_packet(&resp, 5_000);
+        c.reset_measurements();
+        assert_eq!(c.stats().completed, 0, "windowed stats reset");
+        let lt = c.lifetime();
+        assert_eq!((lt.generated, lt.completed, lt.lost), (1, 1, 0));
+    }
+
+    #[test]
+    fn seq_base_partitions_the_sequence_space() {
+        let mut c = nc_core(14).with_seq_base(1_000);
+        assert_eq!(c.generate(echo(), 0), 1_000);
+        assert_eq!(c.generate(echo(), 0), 1_001);
     }
 
     #[test]

@@ -12,7 +12,7 @@ use netclone_hostcore::ClientCore;
 use netclone_proto::{ClientId, Ipv4, RpcOp};
 use netclone_stats::LatencyHistogram;
 
-pub use netclone_hostcore::{ClientMode, ClientStats};
+pub use netclone_hostcore::{ClientMode, ClientStats, LifetimeCounters, RetryPolicy};
 
 use crate::packet::AppPacket;
 
@@ -114,6 +114,14 @@ impl ClientSim {
         }
     }
 
+    /// Arms the retry-on-timeout recovery path (see [`RetryPolicy`]):
+    /// [`Self::tick`] then retransmits expired requests instead of just
+    /// evicting them.
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.core = self.core.with_retry(policy);
+        self
+    }
+
     /// The client's address.
     pub fn ip(&self) -> Ipv4 {
         self.core.ip()
@@ -173,6 +181,40 @@ impl ClientSim {
             ));
         }
         out
+    }
+
+    /// Drives the core's timeout wheel at `now`.
+    ///
+    /// With a [`RetryPolicy`] armed, expired requests are retransmitted
+    /// and returned as packets stamped with TX-completion times (they
+    /// queue behind the sender thread like any generated packet); without
+    /// one, expired requests are evicted as lost and the result is empty.
+    pub fn tick(&mut self, now: u64) -> Vec<(AppPacket, u64)> {
+        self.core.on_tick(now);
+        let mut out = Vec::new();
+        while let Some(meta) = self.core.poll() {
+            let op = self
+                .core
+                .pending_op(meta.nc.client_seq)
+                .expect("a retransmitted request is still outstanding");
+            let tx_done = now.max(self.tx_free_at) + self.tx_cost_ns;
+            self.tx_free_at = tx_done;
+            out.push((
+                AppPacket {
+                    meta,
+                    op,
+                    born_ns: now,
+                },
+                tx_done,
+            ));
+        }
+        out
+    }
+
+    /// Whole-run conservation counters (see
+    /// [`netclone_hostcore::client::LifetimeCounters`]).
+    pub fn lifetime(&self) -> LifetimeCounters {
+        self.core.lifetime()
     }
 
     /// Receiver thread handles one response arriving at `now`.
@@ -354,6 +396,37 @@ mod tests {
         // The in-flight request still completes after the reset.
         let r = c.on_response(&response_to(&pkt), 50_000);
         assert!(r.latency_ns.is_some());
+    }
+
+    #[test]
+    fn tick_retransmits_under_the_retry_policy() {
+        let mut c = ClientSim::new(
+            0,
+            ClientMode::NetClone {
+                num_groups: 30,
+                num_filter_tables: 2,
+            },
+            350,
+            0,
+            10,
+        )
+        .with_retry(RetryPolicy::new(10_000));
+        let pkt = c.generate(echo(), 0)[0].0;
+        assert!(c.tick(9_999).is_empty());
+        let rt = c.tick(10_000);
+        assert_eq!(rt.len(), 1);
+        assert_eq!(rt[0].0.meta.nc.client_seq, pkt.meta.nc.client_seq);
+        assert_eq!(rt[0].1, 10_350, "retransmit pays the sender-thread cost");
+        assert_eq!(c.stats().retried, 1);
+        // The retransmission's response completes the original request.
+        let r = c.on_response(&response_to(&rt[0].0), 15_000);
+        assert!(r.latency_ns.is_some());
+        assert_eq!(c.stats().retry_wins, 1);
+        let lt = c.lifetime();
+        assert_eq!(
+            lt.generated,
+            lt.completed + lt.lost + c.outstanding() as u64
+        );
     }
 
     #[test]

@@ -82,6 +82,10 @@ pub struct Link {
     queue_bytes: u64,
     /// ECN mark threshold in bytes (0 disables marking).
     ecn_bytes: u64,
+    /// Rate-collapse multiplier for link-flap fault injection: the
+    /// effective serialization cost is `ps_per_byte * degrade` (≥ 1, so a
+    /// healthy link pays no arithmetic it did not already pay).
+    degrade: u64,
     /// When the transmitter goes idle.
     busy_until_ns: u64,
     counters: LinkCounters,
@@ -98,15 +102,38 @@ impl Link {
             ps_per_byte,
             queue_bytes: u64::from(queue_bytes),
             ecn_bytes: u64::from(ecn_threshold_bytes),
+            degrade: 1,
             busy_until_ns: 0,
             counters: LinkCounters::default(),
         }
     }
 
+    /// Sets the link-flap degradation multiplier: `factor` > 1 collapses
+    /// the effective rate to `1/factor` of nominal (queued backlog keeps
+    /// its departure schedule; only packets offered after the edge pay the
+    /// degraded rate). `factor ≤ 1` restores the nominal rate. Integer, so
+    /// a flap is as deterministic as the link itself.
+    #[inline]
+    pub fn set_degradation(&mut self, factor: u64) {
+        self.degrade = factor.max(1);
+    }
+
+    /// The current degradation multiplier (1 = healthy).
+    #[inline]
+    pub fn degradation(&self) -> u64 {
+        self.degrade
+    }
+
+    /// The effective serialization cost under the current degradation.
+    #[inline]
+    fn effective_ps_per_byte(&self) -> u64 {
+        self.ps_per_byte * self.degrade
+    }
+
     /// Serialization delay of `bytes` on this link, ns (rounded up).
     #[inline]
     pub fn serialization_ns(&self, bytes: u32) -> u64 {
-        (u64::from(bytes) * self.ps_per_byte).div_ceil(1_000)
+        (u64::from(bytes) * self.effective_ps_per_byte()).div_ceil(1_000)
     }
 
     /// Bytes queued ahead of a packet arriving at `now_ns` (the backlog
@@ -114,7 +141,7 @@ impl Link {
     #[inline]
     pub fn queued_bytes(&self, now_ns: u64) -> u64 {
         let backlog_ns = self.busy_until_ns.saturating_sub(now_ns);
-        backlog_ns * 1_000 / self.ps_per_byte
+        backlog_ns * 1_000 / self.effective_ps_per_byte()
     }
 
     /// Offers a `wire_bytes`-byte packet at `now_ns`.
@@ -303,6 +330,27 @@ mod tests {
         let mut l = Link::new(100.0, 1 << 20, 0);
         match l.offer_meta(0, &meta) {
             Verdict::Forward { depart_ns, .. } => assert_eq!(depart_ns, 7),
+            Verdict::Drop => panic!("idle link dropped"),
+        }
+    }
+
+    #[test]
+    fn degradation_collapses_and_restores_the_rate() {
+        let mut l = Link::new(10.0, 1 << 20, 0);
+        assert_eq!(l.serialization_ns(1_000), 800);
+        l.set_degradation(10);
+        assert_eq!(l.degradation(), 10);
+        assert_eq!(l.serialization_ns(1_000), 8_000);
+        match l.offer(0, 1_000) {
+            Verdict::Forward { depart_ns, .. } => assert_eq!(depart_ns, 8_000),
+            Verdict::Drop => panic!("idle link dropped"),
+        }
+        // Restoring (any factor ≤ 1 clamps to 1) brings back the nominal
+        // rate; the in-flight schedule is untouched.
+        l.set_degradation(0);
+        assert_eq!(l.degradation(), 1);
+        match l.offer(8_000, 1_000) {
+            Verdict::Forward { depart_ns, .. } => assert_eq!(depart_ns, 8_800),
             Verdict::Drop => panic!("idle link dropped"),
         }
     }

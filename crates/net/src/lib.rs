@@ -40,6 +40,7 @@ pub mod client;
 pub mod codec;
 pub mod openloop;
 pub mod server;
+pub mod shim;
 pub mod switch;
 pub mod testbed;
 pub mod work;
@@ -49,6 +50,7 @@ pub use client::{CallError, CallReply, UdpClient};
 pub use codec::{decode_packet, decode_packet_borrowed, encode_packet, encode_packet_into};
 pub use openloop::{OpenLoopClient, OpenLoopReport, OpenLoopSpec, WorkerReport};
 pub use server::{ServerHandle, UdpServerConfig};
+pub use shim::{FaultAction, FaultDirection, FaultPlan, FaultShim, FaultWindow};
 pub use switch::{SoftSwitch, SwitchHandle};
 pub use testbed::Testbed;
 pub use work::WorkExecutor;

@@ -23,7 +23,7 @@
 use std::net::{SocketAddr, UdpSocket};
 use std::time::{Duration, Instant};
 
-use netclone_hostcore::{ClientCore, ClientMode, ClientStats};
+use netclone_hostcore::{ClientCore, ClientMode, ClientStats, RetryPolicy};
 use netclone_proto::{Ipv4, RpcOp};
 use netclone_stats::LatencyHistogram;
 use netclone_workloads::PoissonArrivals;
@@ -32,6 +32,7 @@ use rand::SeedableRng;
 
 use crate::batch::{RecvBatch, SendBatch};
 use crate::codec::{decode_packet_borrowed, encode_packet_into};
+use crate::shim::{FaultAction, FaultPlan, FaultShim};
 
 /// Parameters of one open-loop run.
 #[derive(Clone, Debug)]
@@ -59,6 +60,18 @@ pub struct OpenLoopSpec {
     /// Worker threads — must match the worker count the client was bound
     /// with ([`OpenLoopClient::bind_workers`]).
     pub workers: usize,
+    /// Client-side recovery: retransmit timed-out requests with capped
+    /// exponential backoff under a per-worker retry budget. `None` keeps
+    /// the evict-as-lost behaviour (`request_timeout` alone).
+    pub retry: Option<RetryPolicy>,
+    /// Deterministic fault injection between codec and socket
+    /// ([`FaultShim`]); `None` (or an empty plan) leaves the hot path
+    /// untouched.
+    pub faults: Option<FaultPlan>,
+    /// Test/CI knob: worker `w` panics once its elapsed time passes the
+    /// given mark — first incarnation only, so the supervised restart
+    /// finishes the run. `None` in every production use.
+    pub crash_worker: Option<(usize, Duration)>,
 }
 
 /// One worker's share of an open-loop run.
@@ -66,10 +79,17 @@ pub struct OpenLoopSpec {
 pub struct WorkerReport {
     /// The worker's client identity (`base_cid + worker index`).
     pub cid: u16,
-    /// The worker's core counters.
+    /// The worker's core counters, merged across incarnations (a crashed
+    /// incarnation's counters are lost with its core; the report says so
+    /// via [`Self::error`]).
     pub stats: ClientStats,
     /// Latency histogram (ns) of the worker's completed requests.
     pub latencies: LatencyHistogram,
+    /// Times the supervisor restarted this worker after a panic.
+    pub restarts: u32,
+    /// The last failure the supervisor observed (a panic message or an
+    /// I/O error), if any — the run still completes and reports.
+    pub error: Option<String>,
 }
 
 /// Results of one open-loop run: merged totals plus the per-worker
@@ -87,6 +107,14 @@ pub struct OpenLoopReport {
     /// Requests that never saw a response: evicted after
     /// `request_timeout`, or still outstanding when the run ended.
     pub lost: u64,
+    /// Retransmissions issued by the [`RetryPolicy`] recovery path.
+    pub retried: u64,
+    /// Completions that needed at least one retransmission.
+    pub retry_wins: u64,
+    /// Evictions forced by an exhausted per-worker retry budget.
+    pub budget_exhausted: u64,
+    /// Worker restarts across the run (0 in a healthy run).
+    pub restarts: u32,
     /// Latency histogram (ns) of completed requests, all workers merged.
     pub latencies: LatencyHistogram,
     /// Per-worker reports, in worker order (worker 0 first).
@@ -112,12 +140,23 @@ impl OpenLoopReport {
         }
     }
 
+    /// Workers that reported a failure (panic or I/O error), in worker
+    /// order.
+    pub fn worker_errors(&self) -> Vec<(u16, &str)> {
+        self.per_worker
+            .iter()
+            .filter_map(|w| w.error.as_deref().map(|e| (w.cid, e)))
+            .collect()
+    }
+
     fn merge(per_worker: Vec<WorkerReport>) -> OpenLoopReport {
         let mut stats = ClientStats::default();
         let mut latencies = LatencyHistogram::new();
+        let mut restarts = 0u32;
         for w in &per_worker {
             stats.merge(&w.stats);
             latencies.merge(&w.latencies);
+            restarts += w.restarts;
         }
         OpenLoopReport {
             sent: stats.generated,
@@ -125,6 +164,10 @@ impl OpenLoopReport {
             redundant: stats.redundant,
             clone_wins: stats.clone_wins,
             lost: stats.lost,
+            retried: stats.retried,
+            retry_wins: stats.retry_wins,
+            budget_exhausted: stats.budget_exhausted,
+            restarts,
             latencies,
             per_worker,
         }
@@ -229,21 +272,29 @@ impl OpenLoopClient {
             let spec = spec.clone();
             let windex = i + 1;
             let cid = ep.cid;
-            threads.push(
+            threads.push((
+                cid,
                 std::thread::Builder::new()
                     .name(format!("openloop{cid}"))
-                    .spawn(move || worker_loop(ep, switch_addr, &spec, windex, epoch))?,
-            );
+                    .spawn(move || supervised_worker(ep, switch_addr, &spec, windex, epoch))?,
+            ));
         }
-        let first = worker_loop(ep0, switch_addr, &spec, 0, epoch);
+        let first = supervised_worker(ep0, switch_addr, &spec, 0, epoch);
 
+        // Every worker's report is collected even when some failed: a
+        // panic is caught by the worker's own supervisor, and should the
+        // supervisor itself die the join failure becomes a structured
+        // per-worker error instead of wedging the run.
         let mut reports = Vec::with_capacity(spec.workers);
-        reports.push(first?);
-        for t in threads {
-            let report = t
-                .join()
-                .map_err(|_| std::io::Error::other("open-loop worker panicked"))??;
-            reports.push(report);
+        reports.push(first);
+        for (cid, t) in threads {
+            reports.push(t.join().unwrap_or_else(|_| WorkerReport {
+                cid,
+                stats: ClientStats::default(),
+                latencies: LatencyHistogram::new(),
+                restarts: 0,
+                error: Some("worker supervisor panicked; stats lost".into()),
+            }));
         }
         Ok(OpenLoopReport::merge(reports))
     }
@@ -259,22 +310,86 @@ fn worker_seed(seed: u64, windex: usize) -> u64 {
     }
 }
 
-fn splitmix64(mut z: u64) -> u64 {
+pub(crate) fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
 }
 
-/// One worker: paced batched sends interleaved with non-blocking batched
-/// receives on a single thread, no shared state.
-fn worker_loop(
+/// Runs one worker under supervision: a panicking incarnation is caught,
+/// reported, and replaced by a fresh one (new core, disjoint seq space,
+/// decorrelated RNG stream) until the run window ends. The crashed
+/// incarnation's core — and therefore its counters — dies with it; the
+/// report carries the loss as a structured error instead of wedging the
+/// join.
+fn supervised_worker(
     ep: Endpoint,
     switch_addr: SocketAddr,
     spec: &OpenLoopSpec,
     windex: usize,
     epoch: Instant,
-) -> std::io::Result<WorkerReport> {
+) -> WorkerReport {
+    /// Give up replacing a worker that keeps dying — a crash loop is a
+    /// bug to report, not to retry forever.
+    const MAX_RESTARTS: u32 = 4;
+
+    let mut restarts = 0u32;
+    let mut error: Option<String> = None;
+    let mut stats = ClientStats::default();
+    let mut latencies = LatencyHistogram::new();
+    loop {
+        let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            worker_loop(&ep, switch_addr, spec, windex, epoch, restarts)
+        }));
+        match attempt {
+            Ok(Ok((s, l))) => {
+                stats.merge(&s);
+                latencies.merge(&l);
+                break;
+            }
+            Ok(Err(e)) => {
+                error = Some(format!("worker {windex} I/O error: {e}"));
+                break;
+            }
+            Err(panic) => {
+                let msg = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic".into());
+                restarts += 1;
+                error = Some(format!(
+                    "worker {windex} crashed ({msg}); restarted (incarnation {restarts})"
+                ));
+                if restarts > MAX_RESTARTS || epoch.elapsed() >= spec.duration + spec.drain {
+                    break;
+                }
+            }
+        }
+    }
+    WorkerReport {
+        cid: ep.cid,
+        stats,
+        latencies,
+        restarts,
+        error,
+    }
+}
+
+/// One worker incarnation: paced batched sends interleaved with
+/// non-blocking batched receives on a single thread, no shared state.
+/// Incarnation `i > 0` (a post-crash replacement) claims a disjoint seq
+/// space and a decorrelated RNG stream, so stale responses to the dead
+/// incarnation's requests can never complete the new one's.
+fn worker_loop(
+    ep: &Endpoint,
+    switch_addr: SocketAddr,
+    spec: &OpenLoopSpec,
+    windex: usize,
+    epoch: Instant,
+    incarnation: u32,
+) -> std::io::Result<(ClientStats, LatencyHistogram)> {
     /// How often the timeout sweep (`on_tick`) runs. Sweeping on every
     /// packet would make the receive path O(outstanding) under load; a
     /// fixed cadence keeps the map bounded at O(rate × timeout) entries
@@ -284,16 +399,31 @@ fn worker_loop(
     /// loaded box the next packet is usually microseconds away.
     const SPIN_BEFORE_YIELD: u32 = 64;
 
-    let seed = worker_seed(spec.seed, windex);
-    let mut core = ClientCore::new(
+    let seed = if incarnation == 0 {
+        worker_seed(spec.seed, windex)
+    } else {
+        splitmix64(worker_seed(spec.seed, windex) ^ incarnation as u64)
+    };
+    let core = ClientCore::new(
         ep.cid,
         ClientMode::NetClone {
             num_groups: spec.num_groups,
             num_filter_tables: spec.num_filter_tables,
         },
         seed,
-    )
-    .with_timeout(spec.request_timeout.as_nanos() as u64);
+    );
+    let mut core = match spec.retry {
+        Some(policy) => core.with_retry(policy),
+        None => core.with_timeout(spec.request_timeout.as_nanos() as u64),
+    }
+    // 2^24 seqs per incarnation: far beyond any run, and stale responses
+    // addressed to a crashed incarnation land outside the live map.
+    .with_seq_base(incarnation << 24);
+    let mut shim = spec
+        .faults
+        .as_ref()
+        .filter(|p| !p.is_empty())
+        .map(|p| FaultShim::for_worker(p, windex));
     ep.socket.connect(switch_addr)?;
     ep.socket.set_nonblocking(true)?;
 
@@ -312,6 +442,15 @@ fn worker_loop(
         if now >= end {
             break;
         }
+        // The injected crash point (CI smoke for the supervisor): first
+        // incarnation only, so the restarted worker finishes the run.
+        if incarnation == 0 {
+            if let Some((w, at)) = spec.crash_worker {
+                if w == windex && now >= at {
+                    panic!("injected worker crash");
+                }
+            }
+        }
         let mut progressed = false;
 
         // Send side: batch up everything due, then flush in one syscall.
@@ -324,20 +463,57 @@ fn worker_loop(
                 core.generate(spec.op, t.as_nanos() as u64);
                 let meta = core.poll().expect("NetClone mode emits one packet");
                 encode_packet_into(&meta, &spec.op, &[], send.slot());
-                send.commit();
+                commit_through_shim(&mut send, &mut shim, t, &ep.socket)?;
                 next_at += Duration::from_nanos(arrivals.next_gap_ns(&mut rng));
             }
             send.flush(&ep.socket)?;
             progressed = true;
         }
 
+        // Delayed datagrams whose hold expired: outbound ones go to the
+        // socket, inbound ones to the decoder.
+        if let Some(s) = shim.as_mut() {
+            let mut released = false;
+            while let Some(p) = s.due_tx(now) {
+                send.slot().clear();
+                send.slot().extend_from_slice(&p);
+                send.commit();
+                if send.is_full() {
+                    send.flush(&ep.socket)?;
+                }
+                released = true;
+            }
+            if released {
+                send.flush(&ep.socket)?;
+                progressed = true;
+            }
+            while let Some(p) = s.due_rx(now) {
+                if let Ok((meta, _op, _value)) = decode_packet_borrowed(&p) {
+                    core.on_packet(&meta.nc, now.as_nanos() as u64);
+                }
+                progressed = true;
+            }
+        }
+
         // Receive side: drain whatever is queued, decode borrowed.
         let got = recv.recv_nonblocking(&ep.socket)?;
         if got > 0 {
-            let now_ns = epoch.elapsed().as_nanos() as u64;
+            let nowd = epoch.elapsed();
+            let now_ns = nowd.as_nanos() as u64;
             for dg in recv.iter() {
-                if let Ok((meta, _op, _value)) = decode_packet_borrowed(dg) {
-                    core.on_packet(&meta.nc, now_ns);
+                let action = shim
+                    .as_mut()
+                    .map_or(FaultAction::Deliver, |s| s.on_rx(nowd, dg));
+                match action {
+                    FaultAction::Drop | FaultAction::Delay => continue,
+                    FaultAction::Deliver | FaultAction::Duplicate => {
+                        if let Ok((meta, _op, _value)) = decode_packet_borrowed(dg) {
+                            core.on_packet(&meta.nc, now_ns);
+                            if action == FaultAction::Duplicate {
+                                core.on_packet(&meta.nc, now_ns);
+                            }
+                        }
+                    }
                 }
             }
             progressed = true;
@@ -347,6 +523,21 @@ fn worker_loop(
         if now.saturating_sub(last_sweep) >= SWEEP_EVERY {
             last_sweep = now;
             core.on_tick(now.as_nanos() as u64);
+            // The sweep may have scheduled retransmissions (when the core
+            // runs a retry policy): drain them through the same batched,
+            // shimmed send path as first transmissions.
+            let mut retried = false;
+            while let Some(meta) = core.poll() {
+                let op = core
+                    .pending_op(meta.nc.client_seq)
+                    .expect("a retransmitted request is still outstanding");
+                encode_packet_into(&meta, &op, &[], send.slot());
+                commit_through_shim(&mut send, &mut shim, now, &ep.socket)?;
+                retried = true;
+            }
+            if retried {
+                send.flush(&ep.socket)?;
+            }
         }
 
         // Once generation is over, leave as soon as nothing can complete.
@@ -377,11 +568,37 @@ fn worker_loop(
     // Whatever is still unanswered when the run ends will never be: the
     // eviction sweep plus this final drain report it as lost.
     core.drain_outstanding();
-    Ok(WorkerReport {
-        cid: ep.cid,
-        stats: core.stats(),
-        latencies: core.latencies().clone(),
-    })
+    Ok((core.stats(), core.latencies().clone()))
+}
+
+/// Commits the encoded datagram sitting in `send.slot()` subject to the
+/// shim's verdict: deliver commits once, duplicate twice (flushing when
+/// the batch fills), drop and delay skip the commit (the shim keeps the
+/// delayed copy).
+fn commit_through_shim(
+    send: &mut SendBatch,
+    shim: &mut Option<FaultShim>,
+    now: Duration,
+    sock: &UdpSocket,
+) -> std::io::Result<()> {
+    let action = shim
+        .as_mut()
+        .map_or(FaultAction::Deliver, |s| s.on_tx(now, send.slot()));
+    match action {
+        FaultAction::Drop | FaultAction::Delay => {}
+        FaultAction::Deliver => send.commit(),
+        FaultAction::Duplicate => {
+            let dup = send.slot().clone();
+            send.commit();
+            if send.is_full() {
+                send.flush(sock)?;
+            }
+            send.slot().clear();
+            send.slot().extend_from_slice(&dup);
+            send.commit();
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -424,6 +641,9 @@ mod tests {
             num_filter_tables: 2,
             seed: 1,
             workers: 3,
+            retry: None,
+            faults: None,
+            crash_worker: None,
         };
         assert!(c.run(spec).is_err());
     }

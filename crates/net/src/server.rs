@@ -10,18 +10,25 @@
 //! protocol logic itself — drop rule, response construction, accounting —
 //! is [`netclone_hostcore::ServerCore`], shared verbatim with the
 //! simulated server in `netclone-hosts`.
+//!
+//! Workers run **supervised**: a panicking worker is caught, counted
+//! ([`ServerHandle::restarts`]), and its loop re-entered — the core is an
+//! `Arc` shared with the handle, so no counters are lost across a crash.
+//! An optional [`FaultShim`] per worker perturbs datagrams between codec
+//! and socket in both directions, deterministically from a seed.
 
 use std::net::{SocketAddr, UdpSocket};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use netclone_hostcore::{AdmitDecision, ServerCore, ServerStats};
 use netclone_proto::{Ipv4, PacketMeta, ServerId};
 
 use crate::batch::{RecvBatch, MAX_DATAGRAM};
 use crate::codec::{decode_packet_borrowed, encode_packet_into};
+use crate::shim::{FaultAction, FaultPlan, FaultShim};
 use crate::work::WorkExecutor;
 
 /// Configuration of a real-socket server.
@@ -37,6 +44,35 @@ pub struct UdpServerConfig {
     pub executor: WorkExecutor,
     /// Where to send responses (the soft switch).
     pub switch_addr: SocketAddr,
+    /// Deterministic fault injection between codec and socket
+    /// ([`FaultShim`]); `None` (or an empty plan) leaves the hot path
+    /// untouched.
+    pub faults: Option<FaultPlan>,
+    /// Test/CI knob: worker `w` panics once its core has served at least
+    /// `k` requests — once per server (a shared latch), so the supervised
+    /// restart finishes the run. `None` in every production use.
+    pub crash_worker: Option<(usize, u64)>,
+}
+
+impl UdpServerConfig {
+    /// A plain config with no fault injection.
+    pub fn new(
+        sid: ServerId,
+        vip: Ipv4,
+        workers: usize,
+        executor: WorkExecutor,
+        switch_addr: SocketAddr,
+    ) -> Self {
+        UdpServerConfig {
+            sid,
+            vip,
+            workers,
+            executor,
+            switch_addr,
+            faults: None,
+            crash_worker: None,
+        }
+    }
 }
 
 /// A running server: per-worker cores behind one socket. Counters are
@@ -46,6 +82,7 @@ pub struct ServerHandle {
     addr: SocketAddr,
     cores: Vec<Arc<ServerCore>>,
     stop: Arc<AtomicBool>,
+    restarts: Arc<AtomicU32>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -59,6 +96,9 @@ impl ServerHandle {
         socket.connect(cfg.switch_addr)?;
         let addr = socket.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
+        let restarts = Arc::new(AtomicU32::new(0));
+        let crashed = Arc::new(AtomicBool::new(false));
+        let epoch = Instant::now();
         let n = cfg.workers.max(1);
 
         let mut cores = Vec::with_capacity(n);
@@ -69,10 +109,14 @@ impl ServerHandle {
             let cfg = cfg.clone();
             let sock = socket.try_clone()?;
             let stop = Arc::clone(&stop);
+            let restarts = Arc::clone(&restarts);
+            let crashed = Arc::clone(&crashed);
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("server{}-worker{}", cfg.sid, w))
-                    .spawn(move || worker_loop(sock, cfg, core, stop))?,
+                    .spawn(move || {
+                        supervise_worker(sock, cfg, core, w, epoch, stop, restarts, crashed)
+                    })?,
             );
         }
 
@@ -80,6 +124,7 @@ impl ServerHandle {
             addr,
             cores,
             stop,
+            restarts,
             workers,
         })
     }
@@ -119,6 +164,11 @@ impl ServerHandle {
         self.stats().idle_reports
     }
 
+    /// Worker restarts after panics so far (0 on a healthy server).
+    pub fn restarts(&self) -> u32 {
+        self.restarts.load(Ordering::SeqCst)
+    }
+
     /// Stops all threads and joins them.
     pub fn shutdown(mut self) {
         self.stop_and_join();
@@ -127,6 +177,9 @@ impl ServerHandle {
     fn stop_and_join(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
         for w in self.workers.drain(..) {
+            // The supervisor catches worker panics; a join failure here
+            // would mean the supervisor itself died, which is a bug — but
+            // it must not wedge shutdown, so the join result is dropped.
             let _ = w.join();
         }
     }
@@ -138,44 +191,164 @@ impl Drop for ServerHandle {
     }
 }
 
-fn worker_loop(
+/// Runs one worker's loop, re-entering it after a panic until told to
+/// stop. The core lives in the handle (`Arc`), so a crash loses no
+/// counters — only the in-flight batch.
+#[allow(clippy::too_many_arguments)]
+fn supervise_worker(
     sock: UdpSocket,
     cfg: UdpServerConfig,
     core: Arc<ServerCore>,
+    windex: usize,
+    epoch: Instant,
     stop: Arc<AtomicBool>,
+    restarts: Arc<AtomicU32>,
+    crashed: Arc<AtomicBool>,
+) {
+    while !stop.load(Ordering::SeqCst) {
+        let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            worker_loop(&sock, &cfg, &core, windex, epoch, &stop, &crashed)
+        }));
+        match attempt {
+            Ok(()) => break,
+            Err(_) => {
+                restarts.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+    }
+}
+
+fn worker_loop(
+    sock: &UdpSocket,
+    cfg: &UdpServerConfig,
+    core: &ServerCore,
+    windex: usize,
+    epoch: Instant,
+    stop: &AtomicBool,
+    crashed: &AtomicBool,
 ) {
     let mut recv = RecvBatch::new();
+    let mut shim = cfg
+        .faults
+        .as_ref()
+        .filter(|p| !p.is_empty())
+        .map(|p| FaultShim::for_worker(p, windex));
     // One reusable response buffer: the per-packet path allocates nothing
     // (the synthetic executor returns no value bytes; KV values are the
     // store's to own). Growth past the prealloc is a counted event.
     let mut out = Vec::with_capacity(MAX_DATAGRAM);
     let mut out_cap = out.capacity();
     while !stop.load(Ordering::SeqCst) {
-        let n = match recv.recv_timeout_then_drain(&sock) {
+        // Release delayed datagrams first: outbound responses go to the
+        // socket, inbound requests are served like fresh arrivals (an
+        // already-empty queue behind them).
+        if shim.is_some() {
+            let now = epoch.elapsed();
+            while let Some(p) = shim.as_mut().and_then(|s| s.due_tx(now)) {
+                let _ = sock.send(&p);
+            }
+            while let Some(p) = shim.as_mut().and_then(|s| s.due_rx(now)) {
+                serve_one(
+                    sock,
+                    cfg,
+                    core,
+                    &mut shim,
+                    epoch,
+                    &p,
+                    0,
+                    &mut out,
+                    &mut out_cap,
+                );
+            }
+        }
+        let n = match recv.recv_timeout_then_drain(sock) {
             Ok(n) => n,
             Err(_) => break,
         };
         for i in 0..n {
-            let Ok((meta, op, _value)) = decode_packet_borrowed(recv.datagram(i)) else {
-                continue;
-            };
-            if !meta.nc.is_request() {
+            if let Some((w, k)) = cfg.crash_worker {
+                if w == windex && core.stats().served >= k && !crashed.swap(true, Ordering::SeqCst)
+                {
+                    panic!("injected server worker crash");
+                }
+            }
+            let dg = recv.datagram(i);
+            let action = shim
+                .as_mut()
+                .map_or(FaultAction::Deliver, |s| s.on_rx(epoch.elapsed(), dg));
+            if matches!(action, FaultAction::Drop | FaultAction::Delay) {
                 continue;
             }
             // §3.4 admission: the requests still waiting behind this one
             // in the batch are the FCFS queue the clone-drop rule sees.
+            // (An injected duplicate re-presents the request; the drop
+            // rule and the client-side filter absorb it, as they would a
+            // network-duplicated datagram.)
             let backlog = n - 1 - i;
-            if core.admit(meta.nc.clo, backlog) == AdmitDecision::DropClone {
-                continue;
+            let times = if action == FaultAction::Duplicate {
+                2
+            } else {
+                1
+            };
+            for _ in 0..times {
+                let dg = recv.datagram(i);
+                serve_one(
+                    sock,
+                    cfg,
+                    core,
+                    &mut shim,
+                    epoch,
+                    dg,
+                    backlog,
+                    &mut out,
+                    &mut out_cap,
+                );
             }
-            core.note_queue_depth(backlog);
-            let value = cfg.executor.execute(&op);
-            // Piggyback the queue state observed at response-send time.
-            let nc = core.response(&meta.nc, backlog);
-            let resp = PacketMeta::netclone_response(cfg.vip, meta.src_ip, nc, 0);
-            encode_packet_into(&resp, &op, &value, &mut out);
-            crate::batch::note_growth(&mut out_cap, out.capacity());
-            let _ = sock.send(&out);
+        }
+    }
+}
+
+/// Decodes, admits, executes, and answers one request datagram, passing
+/// the response through the shim's Tx side.
+#[allow(clippy::too_many_arguments)]
+fn serve_one(
+    sock: &UdpSocket,
+    cfg: &UdpServerConfig,
+    core: &ServerCore,
+    shim: &mut Option<FaultShim>,
+    epoch: Instant,
+    dg: &[u8],
+    backlog: usize,
+    out: &mut Vec<u8>,
+    out_cap: &mut usize,
+) {
+    let Ok((meta, op, _value)) = decode_packet_borrowed(dg) else {
+        return;
+    };
+    if !meta.nc.is_request() {
+        return;
+    }
+    if core.admit(meta.nc.clo, backlog) == AdmitDecision::DropClone {
+        return;
+    }
+    core.note_queue_depth(backlog);
+    let value = cfg.executor.execute(&op);
+    // Piggyback the queue state observed at response-send time.
+    let nc = core.response(&meta.nc, backlog);
+    let resp = PacketMeta::netclone_response(cfg.vip, meta.src_ip, nc, 0);
+    encode_packet_into(&resp, &op, &value, out);
+    crate::batch::note_growth(out_cap, out.capacity());
+    let action = shim
+        .as_mut()
+        .map_or(FaultAction::Deliver, |s| s.on_tx(epoch.elapsed(), out));
+    match action {
+        FaultAction::Drop | FaultAction::Delay => {}
+        FaultAction::Deliver => {
+            let _ = sock.send(out);
+        }
+        FaultAction::Duplicate => {
+            let _ = sock.send(out);
+            let _ = sock.send(out);
         }
     }
 }

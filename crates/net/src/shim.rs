@@ -1,0 +1,303 @@
+//! Deterministic fault injection for the real-socket frontend.
+//!
+//! A [`FaultShim`] sits between the codec and the socket on a worker's
+//! send and receive paths and perturbs datagrams — drop, delay,
+//! duplicate — inside configured time windows, from a seeded RNG. Every
+//! worker owns its own shim (same sharding discipline as the cores), so
+//! the per-packet path stays lock-free and the draw sequence of one
+//! worker cannot shift another's: given the same seed, windows, and
+//! packet sequence, the shim makes the same decisions.
+//!
+//! The shim is I/O-free on purpose: it returns a [`FaultAction`] verdict
+//! and parks delayed payloads internally; the worker loop decides what a
+//! verdict means for its batching (skip the commit, commit twice, hand
+//! the payload back via [`FaultShim::due_tx`]/[`FaultShim::due_rx`] when the hold expires). This
+//! mirrors the DES frontend, where the same fault classes are scheduled
+//! as control events — the real-socket path injects them at the socket
+//! boundary instead, which is where a real network would.
+
+use std::collections::VecDeque;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which side of the socket a window applies to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultDirection {
+    /// Outbound datagrams only (after encode, before send).
+    Tx,
+    /// Inbound datagrams only (after receive, before decode).
+    Rx,
+    /// Both directions.
+    Both,
+}
+
+impl FaultDirection {
+    fn applies_tx(self) -> bool {
+        matches!(self, FaultDirection::Tx | FaultDirection::Both)
+    }
+
+    fn applies_rx(self) -> bool {
+        matches!(self, FaultDirection::Rx | FaultDirection::Both)
+    }
+}
+
+/// One timed fault window: inside `[from, until)` each matching datagram
+/// is independently dropped with `drop_prob`, else duplicated with
+/// `dup_prob`, else delayed by `delay` (when non-zero).
+#[derive(Clone, Debug)]
+pub struct FaultWindow {
+    /// Window start, elapsed time since the run's epoch.
+    pub from: Duration,
+    /// Window end (exclusive).
+    pub until: Duration,
+    /// Which direction the window perturbs.
+    pub direction: FaultDirection,
+    /// Probability a matching datagram is dropped.
+    pub drop_prob: f64,
+    /// Probability a surviving datagram is sent twice.
+    pub dup_prob: f64,
+    /// Hold applied to surviving, non-duplicated datagrams
+    /// (`Duration::ZERO` delivers immediately).
+    pub delay: Duration,
+}
+
+impl FaultWindow {
+    fn active(&self, now: Duration) -> bool {
+        now >= self.from && now < self.until
+    }
+}
+
+/// The shim's verdict for one datagram.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Pass through untouched.
+    Deliver,
+    /// Discard silently.
+    Drop,
+    /// Deliver twice.
+    Duplicate,
+    /// Parked inside the shim; poll [`FaultShim::due_tx`]/[`FaultShim::due_rx`] to release it.
+    Delay,
+}
+
+/// Fault plan of one endpoint: a seed plus its windows. Workers derive
+/// per-worker shims from this ([`FaultShim::for_worker`]).
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// Base RNG seed; worker `w` draws from a splitmix64-decorrelated
+    /// stream so the plan is deterministic per worker, not per run.
+    pub seed: u64,
+    /// The timed windows, checked in order (first active one wins).
+    pub windows: Vec<FaultWindow>,
+}
+
+impl FaultPlan {
+    /// True when no window is configured (the shim short-circuits).
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+}
+
+/// A per-worker deterministic fault injector (see the module docs).
+pub struct FaultShim {
+    windows: Vec<FaultWindow>,
+    rng: StdRng,
+    /// Delayed payloads with their release times, kept per direction (a
+    /// released Tx payload goes to the socket, a released Rx payload to
+    /// the decoder). FIFO is release-ordered because every delay inside
+    /// one window is constant and `now` is monotone per worker.
+    held_tx: VecDeque<(Duration, Vec<u8>)>,
+    held_rx: VecDeque<(Duration, Vec<u8>)>,
+}
+
+impl FaultShim {
+    /// Builds a shim drawing from `seed` with the given windows.
+    pub fn new(seed: u64, windows: Vec<FaultWindow>) -> Self {
+        FaultShim {
+            windows,
+            rng: StdRng::seed_from_u64(seed),
+            held_tx: VecDeque::new(),
+            held_rx: VecDeque::new(),
+        }
+    }
+
+    /// Builds worker `w`'s shim for a shared plan (decorrelated stream,
+    /// identical windows).
+    pub fn for_worker(plan: &FaultPlan, w: usize) -> Self {
+        let seed = if w == 0 {
+            plan.seed
+        } else {
+            crate::openloop::splitmix64(plan.seed ^ (w as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        };
+        FaultShim::new(seed, plan.windows.clone())
+    }
+
+    fn decide(&mut self, now: Duration, tx: bool) -> FaultAction {
+        let Some(w) = self.windows.iter().find(|w| {
+            w.active(now)
+                && (if tx {
+                    w.direction.applies_tx()
+                } else {
+                    w.direction.applies_rx()
+                })
+        }) else {
+            return FaultAction::Deliver;
+        };
+        // One draw per decision point, taken unconditionally, so a
+        // window's packet count alone determines the stream position.
+        let (d1, d2): (f64, f64) = (self.rng.random(), self.rng.random());
+        if d1 < w.drop_prob {
+            FaultAction::Drop
+        } else if d2 < w.dup_prob {
+            FaultAction::Duplicate
+        } else if w.delay > Duration::ZERO {
+            FaultAction::Delay
+        } else {
+            FaultAction::Deliver
+        }
+    }
+
+    /// Verdict for an outbound datagram. On [`FaultAction::Delay`] the
+    /// shim keeps a copy; release it via [`Self::due_tx`].
+    pub fn on_tx(&mut self, now: Duration, payload: &[u8]) -> FaultAction {
+        let action = self.decide(now, true);
+        if action == FaultAction::Delay {
+            let at = now + self.delay_at(now);
+            self.held_tx.push_back((at, payload.to_vec()));
+        }
+        action
+    }
+
+    /// Verdict for an inbound datagram; a delayed payload is released via
+    /// [`Self::due_rx`] instead.
+    pub fn on_rx(&mut self, now: Duration, payload: &[u8]) -> FaultAction {
+        let action = self.decide(now, false);
+        if action == FaultAction::Delay {
+            let at = now + self.delay_at(now);
+            self.held_rx.push_back((at, payload.to_vec()));
+        }
+        action
+    }
+
+    fn delay_at(&self, now: Duration) -> Duration {
+        self.windows
+            .iter()
+            .find(|w| w.active(now))
+            .map(|w| w.delay)
+            .unwrap_or(Duration::ZERO)
+    }
+
+    /// Releases the next delayed outbound payload whose hold has expired,
+    /// if any. Call in a loop each iteration of the worker loop.
+    pub fn due_tx(&mut self, now: Duration) -> Option<Vec<u8>> {
+        Self::pop_due(&mut self.held_tx, now)
+    }
+
+    /// Releases the next delayed inbound payload whose hold has expired.
+    pub fn due_rx(&mut self, now: Duration) -> Option<Vec<u8>> {
+        Self::pop_due(&mut self.held_rx, now)
+    }
+
+    fn pop_due(q: &mut VecDeque<(Duration, Vec<u8>)>, now: Duration) -> Option<Vec<u8>> {
+        if q.front().is_some_and(|(at, _)| *at <= now) {
+            q.pop_front().map(|(_, p)| p)
+        } else {
+            None
+        }
+    }
+
+    /// Payloads still parked in either direction (diagnostics / final
+    /// drain decisions).
+    pub fn held(&self) -> usize {
+        self.held_tx.len() + self.held_rx.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window(drop: f64, dup: f64, delay_ms: u64) -> FaultWindow {
+        FaultWindow {
+            from: Duration::from_millis(10),
+            until: Duration::from_millis(20),
+            direction: FaultDirection::Both,
+            drop_prob: drop,
+            dup_prob: dup,
+            delay: Duration::from_millis(delay_ms),
+        }
+    }
+
+    #[test]
+    fn outside_a_window_everything_delivers() {
+        let mut s = FaultShim::new(1, vec![window(1.0, 1.0, 5)]);
+        assert_eq!(
+            s.on_tx(Duration::from_millis(5), b"x"),
+            FaultAction::Deliver
+        );
+        assert_eq!(
+            s.on_rx(Duration::from_millis(25), b"x"),
+            FaultAction::Deliver
+        );
+    }
+
+    #[test]
+    fn certain_drop_drops_and_certain_dup_duplicates() {
+        let mut s = FaultShim::new(1, vec![window(1.0, 0.0, 0)]);
+        assert_eq!(s.on_tx(Duration::from_millis(15), b"x"), FaultAction::Drop);
+        let mut s = FaultShim::new(1, vec![window(0.0, 1.0, 0)]);
+        assert_eq!(
+            s.on_rx(Duration::from_millis(15), b"x"),
+            FaultAction::Duplicate
+        );
+    }
+
+    #[test]
+    fn delay_parks_and_releases_in_order_per_direction() {
+        let mut s = FaultShim::new(1, vec![window(0.0, 0.0, 5)]);
+        assert_eq!(s.on_tx(Duration::from_millis(11), b"a"), FaultAction::Delay);
+        assert_eq!(s.on_rx(Duration::from_millis(11), b"r"), FaultAction::Delay);
+        assert_eq!(s.on_tx(Duration::from_millis(12), b"b"), FaultAction::Delay);
+        assert_eq!(s.held(), 3);
+        assert!(s.due_tx(Duration::from_millis(15)).is_none());
+        assert_eq!(
+            s.due_tx(Duration::from_millis(16)).as_deref(),
+            Some(&b"a"[..])
+        );
+        assert!(s.due_tx(Duration::from_millis(16)).is_none());
+        assert_eq!(
+            s.due_rx(Duration::from_millis(16)).as_deref(),
+            Some(&b"r"[..])
+        );
+        assert_eq!(
+            s.due_tx(Duration::from_millis(17)).as_deref(),
+            Some(&b"b"[..])
+        );
+        assert_eq!(s.held(), 0);
+    }
+
+    #[test]
+    fn direction_gates_the_verdict() {
+        let mut w = window(1.0, 0.0, 0);
+        w.direction = FaultDirection::Tx;
+        let mut s = FaultShim::new(1, vec![w]);
+        assert_eq!(
+            s.on_rx(Duration::from_millis(15), b"x"),
+            FaultAction::Deliver
+        );
+        assert_eq!(s.on_tx(Duration::from_millis(15), b"x"), FaultAction::Drop);
+    }
+
+    #[test]
+    fn same_seed_same_decisions() {
+        let windows = vec![window(0.4, 0.4, 1)];
+        let mut a = FaultShim::new(7, windows.clone());
+        let mut b = FaultShim::new(7, windows);
+        for i in 0..200u64 {
+            let t = Duration::from_millis(10) + Duration::from_micros(i * 40);
+            assert_eq!(a.on_tx(t, b"x"), b.on_tx(t, b"x"));
+        }
+    }
+}

@@ -10,6 +10,7 @@ use netclone_proto::Ipv4;
 use crate::client::UdpClient;
 use crate::openloop::OpenLoopClient;
 use crate::server::{ServerHandle, UdpServerConfig};
+use crate::shim::FaultPlan;
 use crate::switch::{SoftSwitch, SwitchHandle};
 use crate::work::WorkExecutor;
 
@@ -29,6 +30,21 @@ impl Testbed {
         workers: usize,
         executor: WorkExecutor,
     ) -> std::io::Result<Testbed> {
+        Self::spawn_faulty(cfg, n_servers, workers, executor, None, None)
+    }
+
+    /// [`Self::spawn`] with fault injection: every server worker runs the
+    /// given [`FaultPlan`] between codec and socket, and server 0's
+    /// worker `w` crashes (once, supervised) after serving `k` requests
+    /// when `server_crash = Some((w, k))`.
+    pub fn spawn_faulty(
+        cfg: NetCloneConfig,
+        n_servers: u16,
+        workers: usize,
+        executor: WorkExecutor,
+        server_faults: Option<FaultPlan>,
+        server_crash: Option<(usize, u64)>,
+    ) -> std::io::Result<Testbed> {
         let switch = SoftSwitch::spawn(cfg)?;
         let handle = switch.handle();
         let mut servers = Vec::with_capacity(n_servers as usize);
@@ -39,6 +55,8 @@ impl Testbed {
                 workers,
                 executor: executor.clone(),
                 switch_addr: switch.addr(),
+                faults: server_faults.clone(),
+                crash_worker: if sid == 0 { server_crash } else { None },
             })?;
             handle
                 .register_server(sid, Ipv4::server(sid), server.addr())

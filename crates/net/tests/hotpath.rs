@@ -33,6 +33,9 @@ fn open_loop_steady_state_is_alloc_and_timeout_syscall_free() {
             num_filter_tables: 2,
             seed: 3,
             workers: 2,
+            retry: None,
+            faults: None,
+            crash_worker: None,
         })
         .expect("open-loop run");
     let after = path_counters();

@@ -27,6 +27,9 @@ fn open_loop_sustains_a_modest_rate() {
             num_filter_tables: 2,
             seed: 11,
             workers: 1,
+            retry: None,
+            faults: None,
+            crash_worker: None,
         })
         .expect("run");
 

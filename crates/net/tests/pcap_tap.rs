@@ -23,6 +23,8 @@ fn tap_records_forwarded_packets() {
             workers: 2,
             executor: WorkExecutor::Synthetic,
             switch_addr: switch.addr(),
+            faults: None,
+            crash_worker: None,
         })
         .expect("server");
         handle

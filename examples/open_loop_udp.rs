@@ -37,6 +37,9 @@ fn main() -> std::io::Result<()> {
         num_filter_tables: 2,
         seed: 1,
         workers,
+        retry: None,
+        faults: None,
+        crash_worker: None,
     })?;
     let after = path_counters();
 

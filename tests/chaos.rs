@@ -1,0 +1,193 @@
+//! The chaos suite as a test asset: seed-pinned state per fault kind,
+//! shard-count byte-equality for every chaos scenario, conservation
+//! under recovery, and the headline policy ordering under a rolling
+//! drain with retries.
+//!
+//! The pins freeze the *exact* simulator state (request counts, retry
+//! counters, tail percentiles) of one representative cell per chaos
+//! kind. Any change to RNG draw order, control-event priming, the retry
+//! path, or the service pipeline shows up here first — by design. If a
+//! change is intentional, re-record the constants and say so in the
+//! commit.
+
+use netclone::cluster::experiments::chaos;
+use netclone::cluster::experiments::Scale;
+use netclone::cluster::{RunCtx, Scenario, Scheme, Sim};
+
+/// One representative cell: the kind's smoke-scale scenario at half its
+/// own capacity, under the given scheme.
+fn cell(kind: &str, scheme: Scheme) -> Scenario {
+    let ctx = RunCtx::new(Scale::Smoke);
+    let mut s = chaos::scenario(kind, scheme, &ctx);
+    s.offered_rps = s.capacity_rps() * 0.5;
+    s
+}
+
+/// Expected NetClone state of one kind at seed 42, half capacity, smoke
+/// scale — recorded from the run that introduced the suite.
+struct Pin {
+    kind: &'static str,
+    generated: u64,
+    completed: u64,
+    retried: u64,
+    retry_wins: u64,
+    lost: u64,
+    budget_exhausted: u64,
+    p50: f64,
+    p99: f64,
+    p999: f64,
+}
+
+/// Note the retry-storm row: its measured-window `retried` is zero
+/// because the deliberately tiny budget (64/client) is spent during
+/// warm-up — every expiry inside the window is an eviction, which is
+/// exactly the `budget_exhausted` path the kind exists to pin.
+const PINS: [Pin; 4] = [
+    Pin {
+        kind: "rolling-drain",
+        generated: 31_587,
+        completed: 31_597,
+        retried: 1_163,
+        retry_wins: 1_005,
+        lost: 0,
+        budget_exhausted: 0,
+        p50: 25.087,
+        p99: 1_490.943,
+        p999: 3_506.175,
+    },
+    Pin {
+        kind: "correlated-gray",
+        generated: 31_587,
+        completed: 30_408,
+        retried: 8_411,
+        retry_wins: 6_807,
+        lost: 0,
+        budget_exhausted: 0,
+        p50: 43.007,
+        p99: 4_521.983,
+        p999: 5_636.095,
+    },
+    Pin {
+        kind: "linkflap",
+        generated: 31_587,
+        completed: 31_418,
+        retried: 1_310,
+        retry_wins: 1_158,
+        lost: 0,
+        budget_exhausted: 0,
+        p50: 26.623,
+        p99: 1_507.327,
+        p999: 3_473.407,
+    },
+    Pin {
+        kind: "retry-storm",
+        generated: 31_587,
+        completed: 29_886,
+        retried: 0,
+        retry_wins: 0,
+        lost: 1_729,
+        budget_exhausted: 1_729,
+        p50: 20.479,
+        p99: 105.471,
+        p999: 303.103,
+    },
+];
+
+#[test]
+fn chaos_cells_reproduce_the_pinned_seed_state() {
+    for p in PINS {
+        let kind = p.kind;
+        let r = Sim::run(cell(kind, Scheme::NETCLONE));
+        let (r50, r99, r999) = r.percentiles_us();
+        assert_eq!(r.generated, p.generated, "{kind}: generated drifted");
+        assert_eq!(r.completed, p.completed, "{kind}: completed drifted");
+        assert_eq!(r.client_retried, p.retried, "{kind}: retried drifted");
+        assert_eq!(
+            r.client_retry_wins, p.retry_wins,
+            "{kind}: retry wins drifted"
+        );
+        assert_eq!(r.client_lost, p.lost, "{kind}: lost drifted");
+        assert_eq!(
+            r.client_budget_exhausted, p.budget_exhausted,
+            "{kind}: budget evictions drifted"
+        );
+        assert_eq!(
+            (r50, r99, r999),
+            (p.p50, p.p99, p.p999),
+            "{kind}: tail drifted"
+        );
+        // Recovery never leaks or double-counts a request.
+        assert_eq!(
+            r.lifetime.generated,
+            r.lifetime.completed + r.lifetime.lost + r.client_outstanding,
+            "{kind}: conservation violated"
+        );
+    }
+}
+
+#[test]
+fn every_chaos_scenario_is_sharding_invariant() {
+    // The acceptance bar of the suite: for each chaos kind — fault
+    // timelines priming on owner shards, reboots broadcast to every
+    // shard, retry ticks per client — shards=1 and shards=4 yield
+    // byte-identical results.
+    for kind in chaos::KINDS {
+        let serial = format!(
+            "{:?}",
+            Sim::run_with_shards(cell(kind, Scheme::NETCLONE), 1)
+        );
+        let sharded = format!(
+            "{:?}",
+            Sim::run_with_shards(cell(kind, Scheme::NETCLONE), 4)
+        );
+        assert_eq!(serial, sharded, "{kind}: shards=1 vs shards=4 diverged");
+    }
+}
+
+#[test]
+fn netclone_beats_plain_duplication_under_rolling_drain_with_retries() {
+    // The shootout's headline at the cell level: while a maintenance
+    // wave rolls through two racks, the idle-gated clone plus a retry
+    // re-roll routes around the holes; C-Clone's unconditional
+    // duplication doubles the load on the surviving racks and its
+    // retries double it again. Measured at the sweep's peak fraction
+    // (0.7), where the asymmetry bites hardest.
+    let at_peak = |scheme| {
+        let mut s = cell("rolling-drain", scheme);
+        s.offered_rps = s.capacity_rps() * 0.7;
+        Sim::run(s)
+    };
+    let nc = at_peak(Scheme::NETCLONE);
+    let dup = at_peak(Scheme::CClone);
+    assert!(
+        nc.p99_us() < dup.p99_us(),
+        "rolling-drain p99: NetClone {} >= C-Clone {}",
+        nc.p99_us(),
+        dup.p99_us()
+    );
+}
+
+#[test]
+fn faults_actually_hurt_and_recovery_actually_recovers() {
+    // Guard against the timeline silently becoming a no-op: each fault
+    // kind must be measurably worse at the tail than its healthy twin,
+    // and the retry path must win back real completions.
+    for kind in ["rolling-drain", "correlated-gray", "linkflap"] {
+        let healthy = {
+            let mut s = cell(kind, Scheme::NETCLONE);
+            s.faults = Default::default();
+            Sim::run(s)
+        };
+        let faulted = Sim::run(cell(kind, Scheme::NETCLONE));
+        assert!(
+            faulted.p99_us() > healthy.p99_us() * 2.0,
+            "{kind} too mild: {} vs healthy {}",
+            faulted.p99_us(),
+            healthy.p99_us()
+        );
+        assert!(
+            faulted.client_retry_wins > 0,
+            "{kind}: retries never won a completion"
+        );
+    }
+}

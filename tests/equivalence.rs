@@ -609,6 +609,9 @@ fn sharded_open_loop_preserves_host_accounting() {
                 num_filter_tables: 2,
                 seed: 17,
                 workers,
+                retry: None,
+                faults: None,
+                crash_worker: None,
             })
             .expect("open-loop run");
 

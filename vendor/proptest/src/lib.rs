@@ -358,6 +358,33 @@ pub mod collection {
     }
 }
 
+/// `Option` strategies, mirroring `proptest::option`.
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// Generates `Option`s of the inner strategy's values.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// A strategy for `Option<T>` that is `Some` half the time (the
+    /// upstream default probability).
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(2) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
 /// The common imports, mirroring `proptest::prelude`.
 pub mod prelude {
     pub use crate::collection;
