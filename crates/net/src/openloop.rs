@@ -433,8 +433,18 @@ fn worker_loop(
     let mut recv = RecvBatch::new();
     let gen_end = spec.duration;
     let end = spec.duration + spec.drain;
-    let mut next_at = Duration::ZERO;
-    let mut last_sweep = Duration::ZERO;
+    // The epoch is shared across incarnations: a replacement spawned at
+    // elapsed time T must resume pacing from T, or `now >= next_at` holds
+    // for the whole elapsed window and the restart emits a catch-up burst
+    // of ~rate*T packets. Incarnation 0 starts at ZERO (the schedule's
+    // origin), preserving the pre-sharding pacing exactly.
+    let start = if incarnation == 0 {
+        Duration::ZERO
+    } else {
+        epoch.elapsed()
+    };
+    let mut next_at = start;
+    let mut last_sweep = start;
     let mut idle = 0u32;
 
     loop {
@@ -572,9 +582,11 @@ fn worker_loop(
 }
 
 /// Commits the encoded datagram sitting in `send.slot()` subject to the
-/// shim's verdict: deliver commits once, duplicate twice (flushing when
-/// the batch fills), drop and delay skip the commit (the shim keeps the
-/// delayed copy).
+/// shim's verdict: deliver commits once, duplicate twice, drop and delay
+/// skip the commit (the shim keeps the delayed copy). Every commit that
+/// fills the batch flushes it, so callers may drain an unbounded stream
+/// (e.g. a retransmission sweep after a stall) through this path without
+/// ever handing `SendBatch::slot` a full batch.
 fn commit_through_shim(
     send: &mut SendBatch,
     shim: &mut Option<FaultShim>,
@@ -586,7 +598,12 @@ fn commit_through_shim(
         .map_or(FaultAction::Deliver, |s| s.on_tx(now, send.slot()));
     match action {
         FaultAction::Drop | FaultAction::Delay => {}
-        FaultAction::Deliver => send.commit(),
+        FaultAction::Deliver => {
+            send.commit();
+            if send.is_full() {
+                send.flush(sock)?;
+            }
+        }
         FaultAction::Duplicate => {
             let dup = send.slot().clone();
             send.commit();
@@ -596,6 +613,9 @@ fn commit_through_shim(
             send.slot().clear();
             send.slot().extend_from_slice(&dup);
             send.commit();
+            if send.is_full() {
+                send.flush(sock)?;
+            }
         }
     }
     Ok(())
@@ -625,6 +645,50 @@ mod tests {
             assert_eq!(*vip, Ipv4::client(*cid));
         }
         assert!(OpenLoopClient::bind_workers(0, 0, sw).is_err());
+    }
+
+    #[test]
+    fn commit_through_shim_flushes_instead_of_overflowing() {
+        use crate::batch::BATCH;
+        use crate::shim::{FaultDirection, FaultWindow};
+
+        let sock = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let peer = UdpSocket::bind("127.0.0.1:0").unwrap();
+        sock.connect(peer.local_addr().unwrap()).unwrap();
+
+        // No shim: an unbounded drain (e.g. a retransmission sweep after a
+        // stall) must flush as the batch fills, never panic in slot().
+        let mut send = SendBatch::new();
+        let mut shim: Option<FaultShim> = None;
+        for i in 0..(3 * BATCH + 5) {
+            let slot = send.slot();
+            slot.clear();
+            slot.push(i as u8);
+            commit_through_shim(&mut send, &mut shim, Duration::ZERO, &sock).unwrap();
+        }
+        send.flush(&sock).unwrap();
+
+        // Duplicate-everything shim: the second commit of each pair must
+        // also flush when it fills the batch.
+        let mut shim = Some(FaultShim::new(
+            1,
+            vec![FaultWindow {
+                from: Duration::ZERO,
+                until: Duration::from_secs(1),
+                direction: FaultDirection::Tx,
+                drop_prob: 0.0,
+                dup_prob: 1.0,
+                delay: Duration::ZERO,
+            }],
+        ));
+        let mut send = SendBatch::new();
+        for i in 0..(2 * BATCH) {
+            let slot = send.slot();
+            slot.clear();
+            slot.push(i as u8);
+            commit_through_shim(&mut send, &mut shim, Duration::from_millis(1), &sock).unwrap();
+        }
+        send.flush(&sock).unwrap();
     }
 
     #[test]

@@ -106,8 +106,10 @@ pub struct FaultShim {
     rng: StdRng,
     /// Delayed payloads with their release times, kept per direction (a
     /// released Tx payload goes to the socket, a released Rx payload to
-    /// the decoder). FIFO is release-ordered because every delay inside
-    /// one window is constant and `now` is monotone per worker.
+    /// the decoder). Mostly release-ordered — every delay inside one
+    /// window is constant and `now` is monotone per worker — but windows
+    /// with different delays can interleave, so release scans for the
+    /// first due entry rather than trusting the front.
     held_tx: VecDeque<(Duration, Vec<u8>)>,
     held_rx: VecDeque<(Duration, Vec<u8>)>,
 }
@@ -134,7 +136,11 @@ impl FaultShim {
         FaultShim::new(seed, plan.windows.clone())
     }
 
-    fn decide(&mut self, now: Duration, tx: bool) -> FaultAction {
+    /// Verdict plus, for [`FaultAction::Delay`], the delay of the window
+    /// that produced it — the same direction-filtered window selection for
+    /// both, so a Tx-only window can never set the hold of an Rx verdict
+    /// (or vice versa).
+    fn decide(&mut self, now: Duration, tx: bool) -> (FaultAction, Duration) {
         let Some(w) = self.windows.iter().find(|w| {
             w.active(now)
                 && (if tx {
@@ -143,29 +149,28 @@ impl FaultShim {
                     w.direction.applies_rx()
                 })
         }) else {
-            return FaultAction::Deliver;
+            return (FaultAction::Deliver, Duration::ZERO);
         };
         // One draw per decision point, taken unconditionally, so a
         // window's packet count alone determines the stream position.
         let (d1, d2): (f64, f64) = (self.rng.random(), self.rng.random());
         if d1 < w.drop_prob {
-            FaultAction::Drop
+            (FaultAction::Drop, Duration::ZERO)
         } else if d2 < w.dup_prob {
-            FaultAction::Duplicate
+            (FaultAction::Duplicate, Duration::ZERO)
         } else if w.delay > Duration::ZERO {
-            FaultAction::Delay
+            (FaultAction::Delay, w.delay)
         } else {
-            FaultAction::Deliver
+            (FaultAction::Deliver, Duration::ZERO)
         }
     }
 
     /// Verdict for an outbound datagram. On [`FaultAction::Delay`] the
     /// shim keeps a copy; release it via [`Self::due_tx`].
     pub fn on_tx(&mut self, now: Duration, payload: &[u8]) -> FaultAction {
-        let action = self.decide(now, true);
+        let (action, delay) = self.decide(now, true);
         if action == FaultAction::Delay {
-            let at = now + self.delay_at(now);
-            self.held_tx.push_back((at, payload.to_vec()));
+            self.held_tx.push_back((now + delay, payload.to_vec()));
         }
         action
     }
@@ -173,20 +178,11 @@ impl FaultShim {
     /// Verdict for an inbound datagram; a delayed payload is released via
     /// [`Self::due_rx`] instead.
     pub fn on_rx(&mut self, now: Duration, payload: &[u8]) -> FaultAction {
-        let action = self.decide(now, false);
+        let (action, delay) = self.decide(now, false);
         if action == FaultAction::Delay {
-            let at = now + self.delay_at(now);
-            self.held_rx.push_back((at, payload.to_vec()));
+            self.held_rx.push_back((now + delay, payload.to_vec()));
         }
         action
-    }
-
-    fn delay_at(&self, now: Duration) -> Duration {
-        self.windows
-            .iter()
-            .find(|w| w.active(now))
-            .map(|w| w.delay)
-            .unwrap_or(Duration::ZERO)
     }
 
     /// Releases the next delayed outbound payload whose hold has expired,
@@ -200,12 +196,15 @@ impl FaultShim {
         Self::pop_due(&mut self.held_rx, now)
     }
 
+    /// Pops the first due entry anywhere in the queue. Within one window
+    /// the queue is release-ordered (constant delay, monotone `now`), so
+    /// this is an O(1) front check in the steady state; the scan matters
+    /// only across adjacent windows with different delays, where a
+    /// short-hold payload can be parked behind a long-hold one and must
+    /// not be held for the longer delay.
     fn pop_due(q: &mut VecDeque<(Duration, Vec<u8>)>, now: Duration) -> Option<Vec<u8>> {
-        if q.front().is_some_and(|(at, _)| *at <= now) {
-            q.pop_front().map(|(_, p)| p)
-        } else {
-            None
-        }
+        let i = q.iter().position(|(at, _)| *at <= now)?;
+        q.remove(i).map(|(_, p)| p)
     }
 
     /// Payloads still parked in either direction (diagnostics / final
@@ -274,6 +273,66 @@ mod tests {
         assert_eq!(
             s.due_tx(Duration::from_millis(17)).as_deref(),
             Some(&b"b"[..])
+        );
+        assert_eq!(s.held(), 0);
+    }
+
+    #[test]
+    fn delay_comes_from_the_window_that_matched_the_direction() {
+        // A Tx-only long-hold window ordered before an Rx short-hold one:
+        // the Rx verdict must take the Rx window's 2 ms delay, not be held
+        // for the Tx window's 10 ms.
+        let mut tx_w = window(0.0, 0.0, 10);
+        tx_w.direction = FaultDirection::Tx;
+        let mut rx_w = window(0.0, 0.0, 2);
+        rx_w.direction = FaultDirection::Rx;
+        let mut s = FaultShim::new(1, vec![tx_w, rx_w]);
+        assert_eq!(s.on_rx(Duration::from_millis(11), b"r"), FaultAction::Delay);
+        assert_eq!(
+            s.due_rx(Duration::from_millis(13)).as_deref(),
+            Some(&b"r"[..])
+        );
+        // And the Tx verdict still takes the Tx window's 10 ms.
+        assert_eq!(s.on_tx(Duration::from_millis(11), b"t"), FaultAction::Delay);
+        assert!(s.due_tx(Duration::from_millis(13)).is_none());
+        assert_eq!(
+            s.due_tx(Duration::from_millis(21)).as_deref(),
+            Some(&b"t"[..])
+        );
+    }
+
+    #[test]
+    fn short_hold_is_not_stuck_behind_long_hold_across_windows() {
+        // Adjacent windows with different delays: a payload held 10 ms in
+        // the first window parks ahead of one held 1 ms in the second, but
+        // the short hold must still release on its own schedule.
+        let long = FaultWindow {
+            from: Duration::from_millis(10),
+            until: Duration::from_millis(20),
+            direction: FaultDirection::Both,
+            drop_prob: 0.0,
+            dup_prob: 0.0,
+            delay: Duration::from_millis(10),
+        };
+        let short = FaultWindow {
+            from: Duration::from_millis(20),
+            until: Duration::from_millis(30),
+            direction: FaultDirection::Both,
+            drop_prob: 0.0,
+            dup_prob: 0.0,
+            delay: Duration::from_millis(1),
+        };
+        let mut s = FaultShim::new(1, vec![long, short]);
+        assert_eq!(s.on_tx(Duration::from_millis(19), b"L"), FaultAction::Delay); // due 29 ms
+        assert_eq!(s.on_tx(Duration::from_millis(21), b"S"), FaultAction::Delay); // due 22 ms
+        assert_eq!(
+            s.due_tx(Duration::from_millis(23)).as_deref(),
+            Some(&b"S"[..])
+        );
+        assert!(s.due_tx(Duration::from_millis(23)).is_none());
+        assert_eq!(
+            s.due_tx(Duration::from_millis(29)).as_deref(),
+            Some(&b"L"[..])
         );
         assert_eq!(s.held(), 0);
     }
